@@ -1,0 +1,185 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/experiments"
+	"repro/internal/randx"
+	"repro/internal/sim"
+)
+
+// Every table and figure of the paper has a benchmark that regenerates
+// it (Quick mode: shrunk Monte-Carlo counts, identical workload shape).
+// `go test -bench=. -benchmem` therefore reruns the entire evaluation;
+// cmd/experiments renders the same artifacts at full scale.
+
+var benchResult experiments.Result
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id, int64(i)+1, experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchResult = res
+	}
+}
+
+// --- Paper artifacts (see DESIGN.md's per-experiment index) ---
+
+func BenchmarkFig2RawRatings(b *testing.B)               { benchExperiment(b, "fig2") }
+func BenchmarkFig3Histogram(b *testing.B)                { benchExperiment(b, "fig3") }
+func BenchmarkFig4ModelError(b *testing.B)               { benchExperiment(b, "fig4") }
+func BenchmarkTab1DetectionRates(b *testing.B)           { benchExperiment(b, "tab1") }
+func BenchmarkFig5Netflix(b *testing.B)                  { benchExperiment(b, "fig5") }
+func BenchmarkTab2Aggregators(b *testing.B)              { benchExperiment(b, "tab2") }
+func BenchmarkFig6TrustEvolution(b *testing.B)           { benchExperiment(b, "fig6") }
+func BenchmarkFig7TrustMonth6(b *testing.B)              { benchExperiment(b, "fig7") }
+func BenchmarkFig8TrustMonth12(b *testing.B)             { benchExperiment(b, "fig8") }
+func BenchmarkFig9DetectionCapability(b *testing.B)      { benchExperiment(b, "fig9") }
+func BenchmarkFig10HonestProducts(b *testing.B)          { benchExperiment(b, "fig10") }
+func BenchmarkFig11DishonestProducts(b *testing.B)       { benchExperiment(b, "fig11") }
+func BenchmarkFig12DishonestProductsBias02(b *testing.B) { benchExperiment(b, "fig12") }
+
+// --- Ablations of the design choices DESIGN.md calls out ---
+
+func BenchmarkAblationDemean(b *testing.B)       { benchExperiment(b, "ablation-demean") }
+func BenchmarkAblationARMethod(b *testing.B)     { benchExperiment(b, "ablation-armethod") }
+func BenchmarkAblationOrder(b *testing.B)        { benchExperiment(b, "ablation-order") }
+func BenchmarkAblationWindow(b *testing.B)       { benchExperiment(b, "ablation-window") }
+func BenchmarkAblationThresholdROC(b *testing.B) { benchExperiment(b, "ablation-threshold") }
+func BenchmarkAblationTrustFloor(b *testing.B)   { benchExperiment(b, "ablation-floor") }
+func BenchmarkAblationWhiteness(b *testing.B)    { benchExperiment(b, "ablation-whiteness") }
+func BenchmarkAblationForgetting(b *testing.B)   { benchExperiment(b, "ablation-forgetting") }
+func BenchmarkAblationAttacks(b *testing.B)      { benchExperiment(b, "ablation-attacks") }
+func BenchmarkAblationBaselines(b *testing.B)    { benchExperiment(b, "ablation-baselines") }
+func BenchmarkAblationChurn(b *testing.B)        { benchExperiment(b, "ablation-churn") }
+func BenchmarkAblationLatency(b *testing.B)      { benchExperiment(b, "ablation-latency") }
+func BenchmarkAblationPrior(b *testing.B)        { benchExperiment(b, "ablation-prior") }
+
+// --- Micro-benchmarks of the hot kernels ---
+
+var (
+	sinkModel  repro.ARModel
+	sinkReport repro.DetectionReport
+	sinkFloat  float64
+)
+
+func benchWindow(n int) []float64 {
+	rng := randx.New(42)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = randx.Quantize(rng.NormalVar(0.7, 0.04), 11, true)
+	}
+	return x
+}
+
+func BenchmarkARCovarianceFit50(b *testing.B) {
+	x := benchWindow(50)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := repro.FitAR(x, 4, repro.AROptions{Method: repro.ARCovariance})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkModel = m
+	}
+}
+
+func BenchmarkARYuleWalkerFit50(b *testing.B) {
+	x := benchWindow(50)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := repro.FitAR(x, 4, repro.AROptions{Method: repro.ARYuleWalker})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkModel = m
+	}
+}
+
+func BenchmarkARBurgFit50(b *testing.B) {
+	x := benchWindow(50)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := repro.FitAR(x, 4, repro.AROptions{Method: repro.ARBurg})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkModel = m
+	}
+}
+
+func benchTrace(b *testing.B) []repro.Rating {
+	b.Helper()
+	ls, err := sim.GenerateIllustrative(randx.New(7), sim.DefaultIllustrative())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sim.Ratings(ls)
+}
+
+func BenchmarkDetectIllustrativeTrace(b *testing.B) {
+	rs := benchTrace(b)
+	cfg := repro.DetectorConfig{Mode: repro.WindowByCount, Size: 50, Step: 25, Threshold: 0.105}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := repro.Detect(rs, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkReport = rep
+	}
+}
+
+func BenchmarkBetaFilter(b *testing.B) {
+	rs := benchTrace(b)
+	f := repro.BetaFilter{Q: 0.1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := f.Apply(rs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkFloat = float64(len(res.Accepted))
+	}
+}
+
+func BenchmarkAggregateM3(b *testing.B) {
+	rng := randx.New(9)
+	const n = 100
+	ratings := make([]float64, n)
+	trusts := make([]float64, n)
+	for i := range ratings {
+		ratings[i] = rng.Float64()
+		trusts[i] = 0.5 + 0.5*rng.Float64()
+	}
+	agg := repro.ModifiedWeightedAverage{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v, err := agg.Aggregate(ratings, trusts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkFloat = v
+	}
+}
+
+func BenchmarkSystemProcessWindow(b *testing.B) {
+	rs := benchTrace(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sys, err := repro.NewSystem(repro.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.SubmitAll(rs); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.ProcessWindow(0, 60); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+const traceCSV = `time,rater,object,value,class,unfair
+0.5,1,1,0.7,reliable,false
+1.5,2,1,0.7,reliable,false
+2.5,3,1,0.7,reliable,false
+3.5,4,1,0.7,reliable,false
+4.5,5,1,0.7,reliable,false
+5.5,6,1,0.7,reliable,false
+6.5,7,1,0.7,reliable,false
+7.5,8,1,0.7,reliable,false
+8.5,9,1,0.7,reliable,false
+9.5,10,1,0.7,reliable,false
+10.5,11,1,0.7,reliable,false
+11.5,12,1,0.7,reliable,false
+`
+
+const netflixFile = `1:
+101,3,2004-01-01
+102,4,2004-01-02
+103,3,2004-01-03
+104,4,2004-01-04
+105,3,2004-01-05
+106,4,2004-01-06
+107,3,2004-01-07
+108,4,2004-01-08
+109,3,2004-01-09
+110,4,2004-01-10
+`
+
+func TestDetectFromStdinCSV(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-size", "10", "-step", "5", "-order", "2", "-threshold", "0.5"},
+		strings.NewReader(traceCSV), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "object 1: 12 ratings") {
+		t.Fatalf("output:\n%s", got)
+	}
+	// Constant ratings: windows must be flagged and every rater listed.
+	if !strings.Contains(got, "*") {
+		t.Fatalf("no suspicious window marked:\n%s", got)
+	}
+	if !strings.Contains(got, "raters with nonzero suspicion") {
+		t.Fatalf("no suspicion summary:\n%s", got)
+	}
+}
+
+func TestDetectFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.csv")
+	if err := os.WriteFile(path, []byte(traceCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-in", path, "-size", "10", "-step", "10", "-order", "2", "-threshold", "0.5"}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "object 1") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestDetectNetflixFormat(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-format", "netflix", "-size", "10", "-step", "10", "-order", "2", "-threshold", "0.9"},
+		strings.NewReader(netflixFile), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "object 1: 10 ratings") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestDetectTimeMode(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-time", "-width", "6", "-timestep", "3", "-order", "2", "-threshold", "0.5"},
+		strings.NewReader(traceCSV), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "windows") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestDetectErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		args  []string
+		stdin string
+	}{
+		{"unknown format", []string{"-format", "xml"}, traceCSV},
+		{"missing file", []string{"-in", "/does/not/exist"}, ""},
+		{"empty csv", nil, "time,rater,object,value\n"},
+		{"short row", nil, "h\n1,2\n"},
+		{"bad time", nil, "time,rater,object,value\nx,1,1,0.5\n"},
+		{"bad rater", nil, "time,rater,object,value\n1,x,1,0.5\n"},
+		{"bad object", nil, "time,rater,object,value\n1,1,x,0.5\n"},
+		{"bad value", nil, "time,rater,object,value\n1,1,1,x\n"},
+		{"out-of-range value", nil, "time,rater,object,value\n1,1,1,7\n"},
+		{"bad netflix", []string{"-format", "netflix"}, "garbage"},
+		{"bad flag", []string{"-nope"}, ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(c.args, strings.NewReader(c.stdin), &out); err == nil {
+				t.Fatalf("no error for %s", c.name)
+			}
+		})
+	}
+}
+
+func TestDetectMultipleObjects(t *testing.T) {
+	csv := "time,rater,object,value\n"
+	for i := 0; i < 12; i++ {
+		csv += strings.Join([]string{
+			// object 1 constant, object 2 constant; both flaggable
+			f(float64(i)), itoa(i), "1", "0.8",
+		}, ",") + "\n"
+		csv += strings.Join([]string{
+			f(float64(i)), itoa(100 + i), "2", "0.3",
+		}, ",") + "\n"
+	}
+	var out bytes.Buffer
+	err := run([]string{"-size", "10", "-step", "10", "-order", "2", "-threshold", "0.5"},
+		strings.NewReader(csv), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "object 1") || !strings.Contains(got, "object 2") {
+		t.Fatalf("missing per-object output:\n%s", got)
+	}
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'f', -1, 64) }
+func itoa(v int) string  { return strconv.Itoa(v) }
+
+func TestDetectWhitenessFlag(t *testing.T) {
+	// An oscillating stream is the whiteness detector's home turf.
+	csv := "time,rater,object,value\n"
+	for i := 0; i < 120; i++ {
+		v := "0.3"
+		if (i/15)%2 == 0 {
+			v = "0.8"
+		}
+		csv += f(float64(i)) + "," + itoa(i) + ",1," + v + "\n"
+	}
+	var out bytes.Buffer
+	err := run([]string{"-whiteness", "-size", "60", "-step", "30"},
+		strings.NewReader(csv), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "*") {
+		t.Fatalf("oscillation not flagged by whiteness detector:\n%s", out.String())
+	}
+}

@@ -1,0 +1,78 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+//	experiments -list
+//	experiments -run fig4
+//	experiments -run all -mode full -csv out/
+//
+// Each experiment prints a text report (paper claim, measured headline
+// numbers, series/tables); -csv additionally writes every series and
+// table as CSV for plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		list   = fs.Bool("list", false, "list experiment IDs and exit")
+		runID  = fs.String("run", "all", "experiment ID to run, or \"all\"")
+		seed   = fs.Int64("seed", 1, "top-level random seed")
+		mode   = fs.String("mode", "full", "fidelity: full or quick")
+		csvDir = fs.String("csv", "", "directory to write CSV artifacts into (optional)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Fprintln(out, id)
+		}
+		return nil
+	}
+
+	var m experiments.Mode
+	switch *mode {
+	case "full":
+		m = experiments.Full
+	case "quick":
+		m = experiments.Quick
+	default:
+		return fmt.Errorf("unknown mode %q (want full or quick)", *mode)
+	}
+
+	ids := []string{*runID}
+	if *runID == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		res, err := experiments.Run(id, *seed, m)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		if err := experiments.RenderText(out, res); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		if *csvDir != "" {
+			if err := experiments.WriteCSV(*csvDir, res); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

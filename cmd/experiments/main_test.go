@@ -1,0 +1,66 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListFlag(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fig4") || !strings.Contains(buf.String(), "tab2") {
+		t.Fatalf("list output:\n%s", buf.String())
+	}
+}
+
+func TestRunQuickSingle(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-run", "tab2", "-mode", "quick"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "modified-weighted-average") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-run", "fig2", "-mode", "quick", "-csv", dir}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no CSV written")
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".csv" {
+			t.Fatalf("unexpected artifact %s", e.Name())
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-run", "fig99", "-mode", "quick"}, io.Discard); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestUnknownMode(t *testing.T) {
+	if err := run([]string{"-run", "tab2", "-mode", "turbo"}, io.Discard); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}, io.Discard); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return buf.String()
+}
+
+func parseCSV(t *testing.T, out string) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestIllustrativeCSV(t *testing.T) {
+	rows := parseCSV(t, runCLI(t, "-scenario", "illustrative", "-seed", "1"))
+	if len(rows) < 100 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	header := rows[0]
+	want := []string{"time", "rater", "object", "value", "class", "unfair"}
+	for i, col := range want {
+		if header[i] != col {
+			t.Fatalf("header = %v", header)
+		}
+	}
+	var sawUnfair bool
+	prev := -1.0
+	for _, row := range rows[1:] {
+		tm, err := strconv.ParseFloat(row[0], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tm < prev {
+			t.Fatal("rows not time-sorted")
+		}
+		prev = tm
+		v, err := strconv.ParseFloat(row[3], 64)
+		if err != nil || v < 0 || v > 1 {
+			t.Fatalf("value %q", row[3])
+		}
+		if row[5] == "true" {
+			sawUnfair = true
+		}
+	}
+	if !sawUnfair {
+		t.Fatal("no unfair ratings in attacked trace")
+	}
+}
+
+func TestIllustrativeNoAttack(t *testing.T) {
+	rows := parseCSV(t, runCLI(t, "-scenario", "illustrative", "-attack=false"))
+	for _, row := range rows[1:] {
+		if row[5] == "true" {
+			t.Fatal("unfair rating in attack-free trace")
+		}
+	}
+}
+
+func TestMarketplaceScenario(t *testing.T) {
+	rows := parseCSV(t, runCLI(t, "-scenario", "marketplace", "-months", "2"))
+	if len(rows) < 50 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	objects := map[string]bool{}
+	for _, row := range rows[1:] {
+		objects[row[2]] = true
+	}
+	if len(objects) != 10 { // 2 months x 5 products
+		t.Fatalf("%d objects, want 10", len(objects))
+	}
+}
+
+func TestMovieScenario(t *testing.T) {
+	rows := parseCSV(t, runCLI(t, "-scenario", "movie", "-days", "100"))
+	if len(rows) < 50 {
+		t.Fatalf("%d rows", len(rows))
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	a := runCLI(t, "-scenario", "illustrative", "-seed", "7")
+	b := runCLI(t, "-scenario", "illustrative", "-seed", "7")
+	if a != b {
+		t.Fatal("same seed produced different traces")
+	}
+}
+
+func TestBiasOverride(t *testing.T) {
+	// A much larger bias must raise the unfair ratings' mean.
+	meanUnfair := func(out string) float64 {
+		rows := parseCSV(t, out)
+		var sum float64
+		var n int
+		for _, row := range rows[1:] {
+			if row[5] == "true" && row[4] == "type2-collaborative" {
+				v, _ := strconv.ParseFloat(row[3], 64)
+				sum += v
+				n++
+			}
+		}
+		if n == 0 {
+			t.Fatal("no type-2 ratings")
+		}
+		return sum / float64(n)
+	}
+	low := meanUnfair(runCLI(t, "-seed", "3", "-bias", "0.05"))
+	high := meanUnfair(runCLI(t, "-seed", "3", "-bias", "0.3"))
+	if high <= low {
+		t.Fatalf("bias override ineffective: %.3f vs %.3f", low, high)
+	}
+}
+
+func TestUnknownScenario(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-scenario", "nope"}, &buf); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-definitely-not-a-flag"}, &buf); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

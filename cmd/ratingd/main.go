@@ -1,0 +1,136 @@
+// Command ratingd serves the trust-enhanced rating system over HTTP.
+//
+//	ratingd -addr :8080
+//	ratingd -addr :8080 -snapshot state.json   # load state, save on SIGINT
+//
+// Endpoints are documented in internal/server. Example session:
+//
+//	curl -X POST localhost:8080/v1/ratings -d '[{"rater":1,"object":42,"value":0.8,"time":3.5}]'
+//	curl -X POST localhost:8080/v1/process -d '{"start":0,"end":30}'
+//	curl localhost:8080/v1/objects/42/aggregate
+//	curl localhost:8080/v1/raters/1/trust
+//	curl localhost:8080/v1/malicious
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/server"
+	"repro/internal/trust"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ratingd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ratingd", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", ":8080", "listen address")
+		snapshot  = fs.String("snapshot", "", "state file: loaded at start if present, written on shutdown")
+		threshold = fs.Float64("threshold", 0.1, "detector model-error threshold")
+		width     = fs.Float64("width", 10, "detector window width (days)")
+		step      = fs.Float64("step", 5, "detector window step (days)")
+		order     = fs.Int("order", 4, "AR model order")
+		b         = fs.Float64("b", 1, "Procedure 2's b (suspicion weight)")
+		forget    = fs.Float64("forget", 1, "per-day trust forgetting factor")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv, err := server.New(core.Config{
+		Detector: detector.Config{
+			Width:     *width,
+			TimeStep:  *step,
+			Order:     *order,
+			Threshold: *threshold,
+		},
+		Trust: trust.ManagerConfig{B: *b, Forgetting: *forget},
+	})
+	if err != nil {
+		return err
+	}
+
+	if *snapshot != "" {
+		if err := loadSnapshot(srv, *snapshot); err != nil {
+			return err
+		}
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Printf("ratingd listening on %s\n", *addr)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case <-stop:
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return err
+	}
+	if *snapshot != "" {
+		if err := saveSnapshot(srv, *snapshot); err != nil {
+			return err
+		}
+		fmt.Printf("state saved to %s\n", *snapshot)
+	}
+	return nil
+}
+
+func loadSnapshot(srv *server.Server, path string) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil // first start
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := srv.System().LoadSnapshot(f); err != nil {
+		return fmt.Errorf("load %s: %w", path, err)
+	}
+	fmt.Printf("state loaded from %s\n", path)
+	return nil
+}
+
+func saveSnapshot(srv *server.Server, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := srv.System().WriteSnapshot(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

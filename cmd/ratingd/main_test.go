@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+func newTestDaemonServer(t *testing.T) *server.Server {
+	t.Helper()
+	srv, err := server.New(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+func TestSaveAndLoadSnapshot(t *testing.T) {
+	srv := newTestDaemonServer(t)
+	path := filepath.Join(t.TempDir(), "state.json")
+	if err := saveSnapshot(srv, path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+	// Reload into a fresh server.
+	srv2 := newTestDaemonServer(t)
+	if err := loadSnapshot(srv2, path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadSnapshotMissingFileIsFirstStart(t *testing.T) {
+	srv := newTestDaemonServer(t)
+	if err := loadSnapshot(srv, filepath.Join(t.TempDir(), "nope.json")); err != nil {
+		t.Fatalf("missing snapshot must be tolerated: %v", err)
+	}
+}
+
+func TestLoadSnapshotGarbage(t *testing.T) {
+	srv := newTestDaemonServer(t)
+	path := filepath.Join(t.TempDir(), "state.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := loadSnapshot(srv, path); err == nil {
+		t.Fatal("garbage snapshot accepted")
+	}
+}
+
+func TestSaveSnapshotAtomic(t *testing.T) {
+	srv := newTestDaemonServer(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	if err := saveSnapshot(srv, path); err != nil {
+		t.Fatal(err)
+	}
+	// No temp file left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "state.json" {
+		t.Fatalf("dir contents: %v", entries)
+	}
+}
+
+func TestSaveSnapshotBadDir(t *testing.T) {
+	srv := newTestDaemonServer(t)
+	if err := saveSnapshot(srv, "/does/not/exist/state.json"); err == nil {
+		t.Fatal("unwritable path accepted")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if err := run([]string{"-b", "7"}); err == nil {
+		t.Fatal("invalid trust config accepted")
+	}
+}

@@ -1,0 +1,142 @@
+package repro_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// Example shows the minimal lifecycle: submit ratings, run one
+// maintenance window, read the trust-weighted aggregate.
+func Example() {
+	// MinWindow keeps the AR detector away from windows too sparse to
+	// fit honestly — production deployments set it well above the bare
+	// algebraic minimum (see §IV's configuration).
+	sys, err := repro.NewSystem(repro.Config{
+		Detector: repro.DetectorConfig{MinWindow: 25},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Ten noisy-but-honest raters plus one detractor.
+	honest := []float64{0.9, 0.6, 0.8, 0.7, 0.5, 0.9, 0.8, 0.4, 0.7, 0.9}
+	for i, v := range honest {
+		_ = sys.Submit(repro.Rating{
+			Rater:  repro.RaterID(i + 1),
+			Object: 42,
+			Value:  v,
+			Time:   float64(i + 1),
+		})
+	}
+	_ = sys.Submit(repro.Rating{Rater: 11, Object: 42, Value: 0.2, Time: 11})
+
+	if _, err := sys.ProcessWindow(0, 30); err != nil {
+		log.Fatal(err)
+	}
+	agg, err := sys.Aggregate(42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("aggregate %.2f from %d raters\n", agg.Value, agg.Used)
+	// Output:
+	// aggregate 0.67 from 11 raters
+}
+
+// ExampleDetect runs Procedure 1 standalone over a constant clique —
+// the most extreme collusion signature (a perfectly predictable
+// window).
+func ExampleDetect() {
+	var rs []repro.Rating
+	for i := 0; i < 40; i++ {
+		rs = append(rs, repro.Rating{
+			Rater: repro.RaterID(i),
+			Value: 0.9,
+			Time:  float64(i),
+		})
+	}
+	rep, err := repro.Detect(rs, repro.DetectorConfig{
+		Mode: repro.WindowByCount, Size: 20, Step: 10, Threshold: 0.5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d of %d windows suspicious\n", len(rep.SuspiciousWindows()), len(rep.Windows))
+	// Output:
+	// 3 of 3 windows suspicious
+}
+
+// ExampleModifiedWeightedAverage reproduces the paper's Method 3 on a
+// tiny instance: the distrusted rater is excluded entirely.
+func ExampleModifiedWeightedAverage() {
+	agg := repro.ModifiedWeightedAverage{}
+	ratings := []float64{0.8, 0.1}
+	trusts := []float64{0.9, 0.3} // second rater below the 0.5 floor
+	v, err := agg.Aggregate(ratings, trusts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%.1f\n", v)
+	// Output:
+	// 0.8
+}
+
+// ExampleFitAR fits the covariance-method AR model the detector uses
+// and reads its normalized error: a pure sinusoid is perfectly
+// predictable.
+func ExampleFitAR() {
+	x := make([]float64, 100)
+	for i := range x {
+		// Period-4 oscillation.
+		switch i % 4 {
+		case 0:
+			x[i] = 0.9
+		case 1:
+			x[i] = 0.5
+		case 2:
+			x[i] = 0.1
+		default:
+			x[i] = 0.5
+		}
+	}
+	m, err := repro.FitAR(x, 4, repro.AROptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("normalized error below 0.001: %v\n", m.NormalizedError < 0.001)
+	// Output:
+	// normalized error below 0.001: true
+}
+
+// ExampleNewScheduler drives maintenance by advancing a clock instead
+// of tracking window boundaries by hand.
+func ExampleNewScheduler() {
+	sys, err := repro.NewSystem(repro.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sched, err := repro.NewScheduler(sys, 0, 30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_ = sys.Submit(repro.Rating{Rater: 1, Object: 1, Value: 0.7, Time: 5})
+
+	reports, err := sched.AdvanceTo(65) // two complete 30-day windows
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("processed %d windows, next starts at day %.0f\n", len(reports), sched.Pending())
+	// Output:
+	// processed 2 windows, next starts at day 60
+}
+
+// ExampleEntropyTrust shows the entropy trust mapping of Sun et al.:
+// certainty in either direction maps away from zero.
+func ExampleEntropyTrust() {
+	fmt.Printf("%.2f %.2f %.2f\n",
+		repro.EntropyTrust(0.1),
+		repro.EntropyTrust(0.5),
+		repro.EntropyTrust(0.9))
+	// Output:
+	// -0.53 0.00 0.53
+}

@@ -1,0 +1,91 @@
+// Marketplace demo — a compressed version of the paper's §IV year: 800
+// raters (reliable / careless / potential-collaborative), five products
+// per month of which one is dishonest and recruits colluders, processed
+// month by month through the trust-enhanced system. Prints the trust
+// evolution of each rater class and the final product aggregates.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/randx"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	p := sim.DefaultMarketplace()
+	// σ-semantics spreads (see DESIGN.md) and a 6-month demo year.
+	p.GoodVar, p.CarelessVar, p.BadVar = 0.04, 0.09, 0.0004
+	p.Months = 6
+
+	trace, err := sim.GenerateMarketplace(randx.New(7), p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("generated %d ratings for %d products from %d raters\n\n",
+		len(trace.Ratings), len(trace.Products), p.TotalRaters())
+
+	sys, err := repro.NewSystem(repro.Config{
+		Filter: repro.BetaFilter{Q: 0.1},
+		Detector: repro.DetectorConfig{
+			Width: 10, TimeStep: 5, Order: 4,
+			Threshold: 0.10, MinWindow: 25,
+		},
+		Trust: repro.TrustConfig{B: 1},
+	})
+	if err != nil {
+		return err
+	}
+	if err := sys.SubmitAll(sim.Ratings(trace.Ratings)); err != nil {
+		return err
+	}
+
+	fmt.Println("month | reliable | careless |   PC   | malicious")
+	for m := 0; m < p.Months; m++ {
+		start := float64(m * p.DaysPerMonth)
+		if _, err := sys.ProcessWindow(start, start+float64(p.DaysPerMonth)+1e-9); err != nil {
+			return err
+		}
+		sums := map[sim.RaterClass]float64{}
+		counts := map[sim.RaterClass]int{}
+		for id := 0; id < p.TotalRaters(); id++ {
+			class := p.RaterClassOf(repro.RaterID(id))
+			sums[class] += sys.TrustIn(repro.RaterID(id))
+			counts[class]++
+		}
+		fmt.Printf("%5d | %8.3f | %8.3f | %6.3f | %d\n",
+			m+1,
+			sums[sim.Reliable]/float64(counts[sim.Reliable]),
+			sums[sim.Careless]/float64(counts[sim.Careless]),
+			sums[sim.PotentialCollaborative]/float64(counts[sim.PotentialCollaborative]),
+			len(sys.MaliciousRaters()))
+	}
+
+	fmt.Println("\nfinal aggregates (simple average vs trust-enhanced):")
+	for _, pr := range trace.DishonestProducts() {
+		ls := trace.ByProduct(pr.ID)
+		if len(ls) == 0 {
+			continue
+		}
+		var sum float64
+		for _, l := range ls {
+			sum += l.Rating.Value
+		}
+		simple := sum / float64(len(ls))
+		agg, err := sys.Aggregate(pr.ID)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  dishonest product %2d: quality %.3f | simple %.3f (off by %+.3f) | proposed %.3f (off by %+.3f)\n",
+			pr.ID, pr.Quality, simple, simple-pr.Quality, agg.Value, agg.Value-pr.Quality)
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+// Red-team demo — attack the trust-enhanced rating system with every
+// adaptive collusion strategy from the attack library (the paper's §V
+// future work) and print a robustness scoreboard: how often each
+// campaign is detected and how much it moves the naive versus the
+// trust-weighted aggregate.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/attack"
+	"repro/internal/randx"
+	"repro/internal/sim"
+	"repro/internal/stat"
+)
+
+const runsPerStrategy = 10
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("strategy            detect  naive-damage  defended-damage")
+	rng := randx.New(2026)
+	for _, strat := range attack.All() {
+		detected := 0
+		var naive, defended []float64
+		for i := 0; i < runsPerStrategy; i++ {
+			d, n, def, err := oneRun(rng.Split(), strat)
+			if err != nil {
+				return fmt.Errorf("%s: %w", strat.Name(), err)
+			}
+			if d {
+				detected++
+			}
+			naive = append(naive, n)
+			defended = append(defended, def)
+		}
+		fmt.Printf("%-18s  %3d/%-2d  %+12.4f  %+15.4f\n",
+			strat.Name(), detected, runsPerStrategy, stat.Mean(naive), stat.Mean(defended))
+	}
+	fmt.Println("\ndamage = shift of the aggregate versus the honest-only pipeline")
+	return nil
+}
+
+func oneRun(rng *randx.Rand, strat repro.AttackStrategy) (detected bool, naive, defended float64, err error) {
+	p := sim.DefaultIllustrative()
+	p.Attack = false
+	honest, err := sim.GenerateIllustrative(rng, p)
+	if err != nil {
+		return false, 0, 0, err
+	}
+	campaign, err := strat.Plan(rng.Split(), repro.AttackParams{
+		Object:   p.Object,
+		Start:    p.AStart,
+		End:      p.AEnd,
+		Rate:     p.ArrivalRate,
+		Bias:     p.BiasShift2,
+		Variance: p.BadVar,
+		Levels:   p.RLevels,
+	}, p.Quality)
+	if err != nil {
+		return false, 0, 0, err
+	}
+	combined := append(append([]sim.LabeledRating(nil), honest...), campaign...)
+	sim.SortByTime(combined)
+	attacked := sim.Ratings(combined)
+	clean := sim.Ratings(honest)
+
+	rep, err := repro.Detect(attacked, repro.DetectorConfig{
+		Mode: repro.WindowByCount, Size: 50, Step: 25, Threshold: 0.105,
+	})
+	if err != nil {
+		return false, 0, 0, err
+	}
+	for _, i := range rep.SuspiciousWindows() {
+		w := rep.Windows[i]
+		if w.Window.End >= p.AStart && w.Window.Start <= p.AEnd {
+			detected = true
+			break
+		}
+	}
+
+	attackedAgg, err := pipelineAggregate(attacked)
+	if err != nil {
+		return false, 0, 0, err
+	}
+	cleanAgg, err := pipelineAggregate(clean)
+	if err != nil {
+		return false, 0, 0, err
+	}
+	naive = stat.Mean(values(attacked)) - stat.Mean(values(clean))
+	defended = attackedAgg - cleanAgg
+	return detected, naive, defended, nil
+}
+
+func pipelineAggregate(rs []repro.Rating) (float64, error) {
+	sys, err := repro.NewSystem(repro.Config{
+		Detector: repro.DetectorConfig{Width: 10, TimeStep: 5, Threshold: 0.105, MinWindow: 25},
+	})
+	if err != nil {
+		return 0, err
+	}
+	if err := sys.SubmitAll(rs); err != nil {
+		return 0, err
+	}
+	for _, w := range [][2]float64{{0, 30}, {30, 60}} {
+		if _, err := sys.ProcessWindow(w[0], w[1]); err != nil {
+			return 0, err
+		}
+	}
+	agg, err := sys.Aggregate(0)
+	if err != nil {
+		return 0, err
+	}
+	return agg.Value, nil
+}
+
+func values(rs []repro.Rating) []float64 {
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = r.Value
+	}
+	return out
+}

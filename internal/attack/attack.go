@@ -1,0 +1,329 @@
+// Package attack implements adaptive collusion strategies against the
+// trust-enhanced rating system — the paper's stated future work ("we
+// will study the possible attacks to the proposed solutions"). Each
+// Strategy plans a campaign of unfair ratings for one object on top of
+// an honest background stream; the robustness experiment
+// (ablation-attacks) scores the detector and the aggregation pipeline
+// against every strategy.
+//
+// Strategies are deliberately stronger than the paper's type-1/type-2
+// raters:
+//
+//   - Constant: the paper's type-2 clique (baseline).
+//   - Camouflage: colluders match the honest variance so the window
+//     variance signature disappears; only the mean shifts.
+//   - OnOff: alternating burst/sleep intervals, defeating detectors
+//     that need sustained low-error windows.
+//   - Ramp: the bias grows slowly across the attack interval, keeping
+//     every window marginal.
+//   - TrustThenStrike: colluders first submit honest ratings to build
+//     trust (Procedure 2's S), then strike — attacking the trust floor
+//     of the modified weighted average.
+//   - Sybil: each unfair rating comes from a fresh identity, so
+//     per-rater suspicion never accumulates across windows or objects.
+package attack
+
+import (
+	"fmt"
+
+	"repro/internal/randx"
+	"repro/internal/rating"
+	"repro/internal/sim"
+)
+
+// Params shape a collusion campaign.
+type Params struct {
+	// Object is the target object.
+	Object rating.ObjectID
+	// Start and End delimit the campaign in days.
+	Start, End float64
+	// Rate is the unfair-rating arrival rate per day.
+	Rate float64
+	// Bias is the shift the campaign aims to inject above the honest
+	// quality.
+	Bias float64
+	// Variance of the unfair ratings (strategy-dependent meaning).
+	Variance float64
+	// Levels quantizes values; 0 means 11 zero-based levels.
+	Levels int
+	// Colluders is the clique size (identities available). 0 means one
+	// identity per rating for Sybil and Rate·(End−Start) otherwise.
+	Colluders int
+	// FirstRater is the first colluder ID; successive identities count
+	// up from it. Zero means 100000 (the sim convention).
+	FirstRater rating.RaterID
+}
+
+func (p Params) withDefaults() Params {
+	if p.Levels == 0 {
+		p.Levels = 11
+	}
+	if p.FirstRater == 0 {
+		p.FirstRater = 100000
+	}
+	if p.Colluders == 0 {
+		n := int(p.Rate * (p.End - p.Start))
+		if n < 1 {
+			n = 1
+		}
+		p.Colluders = n
+	}
+	return p
+}
+
+// Validate reports parameter errors.
+func (p Params) Validate() error {
+	switch {
+	case p.End < p.Start:
+		return fmt.Errorf("attack: interval [%g,%g]", p.Start, p.End)
+	case p.Rate < 0:
+		return fmt.Errorf("attack: rate %g", p.Rate)
+	case p.Variance < 0:
+		return fmt.Errorf("attack: variance %g", p.Variance)
+	case p.Colluders < 0:
+		return fmt.Errorf("attack: %d colluders", p.Colluders)
+	}
+	return nil
+}
+
+// Strategy plans a campaign. Quality maps a time to the object's true
+// quality (so strategies can track drifting targets, as the paper's
+// colluders do).
+type Strategy interface {
+	// Name identifies the strategy in reports.
+	Name() string
+	// Plan returns the campaign's unfair ratings, labeled. The returned
+	// slice need not be sorted.
+	Plan(rng *randx.Rand, p Params, quality func(float64) float64) ([]sim.LabeledRating, error)
+}
+
+// All returns every implemented strategy, baseline first.
+func All() []Strategy {
+	return []Strategy{
+		Constant{},
+		Camouflage{HonestVariance: 0.2},
+		OnOff{BurstDays: 3, SleepDays: 3},
+		Ramp{},
+		TrustThenStrike{BuildRatio: 0.5},
+		Sybil{},
+	}
+}
+
+// emit quantizes and labels one unfair rating.
+func emit(p Params, id rating.RaterID, value, tm float64) sim.LabeledRating {
+	return sim.LabeledRating{
+		Rating: rating.Rating{
+			Rater:  id,
+			Object: p.Object,
+			Value:  randx.Quantize(value, p.Levels, true),
+			Time:   tm,
+		},
+		Class:  sim.Type2Collaborative,
+		Unfair: true,
+	}
+}
+
+// Constant is the paper's type-2 clique: Poisson arrivals with a fixed
+// moderate bias and small variance.
+type Constant struct{}
+
+var _ Strategy = Constant{}
+
+// Name implements Strategy.
+func (Constant) Name() string { return "constant" }
+
+// Plan implements Strategy.
+func (Constant) Plan(rng *randx.Rand, p Params, quality func(float64) float64) ([]sim.LabeledRating, error) {
+	p = p.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	var out []sim.LabeledRating
+	for i, tm := range rng.PoissonProcess(p.Rate, p.Start, p.End) {
+		id := p.FirstRater + rating.RaterID(i%p.Colluders)
+		out = append(out, emit(p, id, rng.NormalVar(quality(tm)+p.Bias, p.Variance), tm))
+	}
+	return out, nil
+}
+
+// Camouflage matches the honest variance so the clique's tight
+// clustering — the main AR signature — disappears; only the mean moves.
+type Camouflage struct {
+	// HonestVariance is the variance to mimic (the workload's goodVar).
+	HonestVariance float64
+}
+
+var _ Strategy = Camouflage{}
+
+// Name implements Strategy.
+func (Camouflage) Name() string { return "camouflage" }
+
+// Plan implements Strategy.
+func (c Camouflage) Plan(rng *randx.Rand, p Params, quality func(float64) float64) ([]sim.LabeledRating, error) {
+	p = p.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	variance := c.HonestVariance
+	if variance <= 0 {
+		variance = 0.2
+	}
+	var out []sim.LabeledRating
+	for i, tm := range rng.PoissonProcess(p.Rate, p.Start, p.End) {
+		id := p.FirstRater + rating.RaterID(i%p.Colluders)
+		out = append(out, emit(p, id, rng.NormalVar(quality(tm)+p.Bias, variance), tm))
+	}
+	return out, nil
+}
+
+// OnOff alternates burst and sleep intervals inside the campaign.
+type OnOff struct {
+	// BurstDays and SleepDays set the duty cycle; zero values mean 3/3.
+	BurstDays, SleepDays float64
+}
+
+var _ Strategy = OnOff{}
+
+// Name implements Strategy.
+func (OnOff) Name() string { return "on-off" }
+
+// Plan implements Strategy.
+func (o OnOff) Plan(rng *randx.Rand, p Params, quality func(float64) float64) ([]sim.LabeledRating, error) {
+	p = p.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	burst, sleep := o.BurstDays, o.SleepDays
+	if burst <= 0 {
+		burst = 3
+	}
+	if sleep <= 0 {
+		sleep = 3
+	}
+	var out []sim.LabeledRating
+	i := 0
+	for start := p.Start; start < p.End; start += burst + sleep {
+		end := start + burst
+		if end > p.End {
+			end = p.End
+		}
+		// Double the rate inside bursts so the injected mass matches a
+		// sustained campaign with the same Params.Rate.
+		for _, tm := range rng.PoissonProcess(2*p.Rate, start, end) {
+			id := p.FirstRater + rating.RaterID(i%p.Colluders)
+			out = append(out, emit(p, id, rng.NormalVar(quality(tm)+p.Bias, p.Variance), tm))
+			i++
+		}
+	}
+	return out, nil
+}
+
+// Ramp grows the bias linearly from zero to the target across the
+// campaign, keeping each window's shift marginal.
+type Ramp struct{}
+
+var _ Strategy = Ramp{}
+
+// Name implements Strategy.
+func (Ramp) Name() string { return "ramp" }
+
+// Plan implements Strategy.
+func (Ramp) Plan(rng *randx.Rand, p Params, quality func(float64) float64) ([]sim.LabeledRating, error) {
+	p = p.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	span := p.End - p.Start
+	var out []sim.LabeledRating
+	for i, tm := range rng.PoissonProcess(p.Rate, p.Start, p.End) {
+		frac := 0.0
+		if span > 0 {
+			frac = (tm - p.Start) / span
+		}
+		id := p.FirstRater + rating.RaterID(i%p.Colluders)
+		out = append(out, emit(p, id, rng.NormalVar(quality(tm)+p.Bias*frac, p.Variance), tm))
+	}
+	return out, nil
+}
+
+// TrustThenStrike spends the first BuildRatio of the campaign rating
+// honestly (accumulating S in Procedure 2), then strikes with the full
+// bias — the canonical attack on trust-floor aggregation.
+type TrustThenStrike struct {
+	// BuildRatio in (0, 1) is the fraction of the campaign spent
+	// building trust; zero means 0.5.
+	BuildRatio float64
+	// HonestVariance is the variance of the trust-building ratings;
+	// zero means 0.2.
+	HonestVariance float64
+}
+
+var _ Strategy = TrustThenStrike{}
+
+// Name implements Strategy.
+func (TrustThenStrike) Name() string { return "trust-then-strike" }
+
+// Plan implements Strategy.
+func (t TrustThenStrike) Plan(rng *randx.Rand, p Params, quality func(float64) float64) ([]sim.LabeledRating, error) {
+	ratio := t.BuildRatio
+	if ratio <= 0 || ratio >= 1 {
+		ratio = 0.5
+	}
+	if p.Colluders == 0 {
+		// The same clique must appear in both phases, so the identity
+		// pool is one phase's worth of arrivals, not the campaign's.
+		n := int(ratio * p.Rate * (p.End - p.Start))
+		if n < 1 {
+			n = 1
+		}
+		p.Colluders = n
+	}
+	p = p.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	honestVar := t.HonestVariance
+	if honestVar <= 0 {
+		honestVar = 0.2
+	}
+	pivot := p.Start + ratio*(p.End-p.Start)
+	var out []sim.LabeledRating
+	for i, tm := range rng.PoissonProcess(p.Rate, p.Start, p.End) {
+		id := p.FirstRater + rating.RaterID(i%p.Colluders)
+		if tm < pivot {
+			// Trust-building phase: honest-looking ratings. Still from
+			// colluder identities, but not unfair — label accordingly.
+			l := emit(p, id, rng.NormalVar(quality(tm), honestVar), tm)
+			l.Unfair = false
+			l.Class = sim.PotentialCollaborative
+			out = append(out, l)
+			continue
+		}
+		out = append(out, emit(p, id, rng.NormalVar(quality(tm)+p.Bias, p.Variance), tm))
+	}
+	return out, nil
+}
+
+// Sybil gives every unfair rating a fresh identity so no rater ever
+// accumulates suspicion across windows.
+type Sybil struct{}
+
+var _ Strategy = Sybil{}
+
+// Name implements Strategy.
+func (Sybil) Name() string { return "sybil" }
+
+// Plan implements Strategy.
+func (Sybil) Plan(rng *randx.Rand, p Params, quality func(float64) float64) ([]sim.LabeledRating, error) {
+	p = p.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	var out []sim.LabeledRating
+	next := p.FirstRater
+	for _, tm := range rng.PoissonProcess(p.Rate, p.Start, p.End) {
+		out = append(out, emit(p, next, rng.NormalVar(quality(tm)+p.Bias, p.Variance), tm))
+		next++
+	}
+	return out, nil
+}

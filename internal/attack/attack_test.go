@@ -1,0 +1,299 @@
+package attack
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/randx"
+	"repro/internal/sim"
+	"repro/internal/stat"
+)
+
+func testParams() Params {
+	return Params{
+		Object:   1,
+		Start:    30,
+		End:      44,
+		Rate:     3,
+		Bias:     0.15,
+		Variance: 0.02,
+	}
+}
+
+func flatQuality(float64) float64 { return 0.7 }
+
+func TestParamsDefaults(t *testing.T) {
+	p := testParams().withDefaults()
+	if p.Levels != 11 {
+		t.Fatalf("levels = %d", p.Levels)
+	}
+	if p.FirstRater != 100000 {
+		t.Fatalf("first rater = %d", p.FirstRater)
+	}
+	if p.Colluders != 42 { // 3/day * 14 days
+		t.Fatalf("colluders = %d", p.Colluders)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	bad := []Params{
+		{Start: 10, End: 5},
+		{Rate: -1},
+		{Variance: -1},
+		{Colluders: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+}
+
+func TestAllStrategiesBasicContract(t *testing.T) {
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			rng := randx.New(1)
+			ls, err := s.Plan(rng, testParams(), flatQuality)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ls) == 0 {
+				t.Fatal("no ratings planned")
+			}
+			var unfair int
+			for _, l := range ls {
+				if err := l.Rating.Validate(); err != nil {
+					t.Fatal(err)
+				}
+				if l.Rating.Time < 30 || l.Rating.Time >= 44 {
+					t.Fatalf("rating at %g outside campaign", l.Rating.Time)
+				}
+				if l.Rating.Object != 1 {
+					t.Fatalf("wrong object %d", l.Rating.Object)
+				}
+				if l.Unfair {
+					unfair++
+				}
+			}
+			if unfair == 0 {
+				t.Fatal("no unfair ratings planned")
+			}
+		})
+	}
+}
+
+func TestStrategyNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range All() {
+		if seen[s.Name()] {
+			t.Fatalf("duplicate strategy name %q", s.Name())
+		}
+		seen[s.Name()] = true
+	}
+	if len(seen) != 6 {
+		t.Fatalf("%d strategies", len(seen))
+	}
+}
+
+func TestConstantBiasAndVariance(t *testing.T) {
+	rng := randx.New(2)
+	p := testParams()
+	p.Rate = 50 // plenty of samples
+	ls, err := Constant{}.Plan(rng, p, flatQuality)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := make([]float64, len(ls))
+	for i, l := range ls {
+		values[i] = l.Rating.Value
+	}
+	if m := stat.Mean(values); m < 0.80 || m > 0.90 {
+		t.Fatalf("mean %g, want near 0.85", m)
+	}
+	if v := stat.Variance(values); v > 0.05 {
+		t.Fatalf("variance %g, want tight", v)
+	}
+}
+
+func TestCamouflageMatchesHonestVariance(t *testing.T) {
+	rng := randx.New(3)
+	p := testParams()
+	p.Rate = 50
+	ls, err := Camouflage{HonestVariance: 0.2}.Plan(rng, p, flatQuality)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := make([]float64, len(ls))
+	for i, l := range ls {
+		values[i] = l.Rating.Value
+	}
+	// Variance must be far larger than the constant clique's 0.02
+	// (clamping to [0,1] shrinks it below the nominal 0.2).
+	if v := stat.Variance(values); v < 0.05 {
+		t.Fatalf("camouflage variance %g too tight", v)
+	}
+}
+
+func TestOnOffLeavesGaps(t *testing.T) {
+	rng := randx.New(4)
+	p := testParams()
+	p.Start, p.End = 0, 30
+	p.Rate = 10
+	ls, err := OnOff{BurstDays: 3, SleepDays: 3}.Plan(rng, p, flatQuality)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No rating may fall in a sleep interval [3,6), [9,12), ...
+	for _, l := range ls {
+		phase := int(l.Rating.Time/3) % 2
+		if phase == 1 {
+			t.Fatalf("rating at %g inside a sleep interval", l.Rating.Time)
+		}
+	}
+}
+
+func TestRampGrowsBias(t *testing.T) {
+	rng := randx.New(5)
+	p := testParams()
+	p.Start, p.End = 0, 40
+	p.Rate = 20
+	p.Variance = 0.001
+	ls, err := Ramp{}.Plan(rng, p, flatQuality)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var early, late []float64
+	for _, l := range ls {
+		if l.Rating.Time < 10 {
+			early = append(early, l.Rating.Value)
+		}
+		if l.Rating.Time > 30 {
+			late = append(late, l.Rating.Value)
+		}
+	}
+	if stat.Mean(late) <= stat.Mean(early)+0.05 {
+		t.Fatalf("ramp did not grow: early %.3f late %.3f", stat.Mean(early), stat.Mean(late))
+	}
+}
+
+func TestTrustThenStrikePhases(t *testing.T) {
+	rng := randx.New(6)
+	p := testParams()
+	p.Start, p.End = 0, 40
+	p.Rate = 10
+	ls, err := TrustThenStrike{BuildRatio: 0.5}.Plan(rng, p, flatQuality)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range ls {
+		if l.Rating.Time < 20 && l.Unfair {
+			t.Fatalf("unfair rating at %g during build phase", l.Rating.Time)
+		}
+		if l.Rating.Time >= 20 && !l.Unfair {
+			t.Fatalf("honest rating at %g during strike phase", l.Rating.Time)
+		}
+	}
+	// Build-phase ratings come from the same identities as the strike.
+	builders := map[int]bool{}
+	strikers := map[int]bool{}
+	for _, l := range ls {
+		if l.Unfair {
+			strikers[int(l.Rating.Rater)] = true
+		} else {
+			builders[int(l.Rating.Rater)] = true
+		}
+	}
+	shared := 0
+	for id := range strikers {
+		if builders[id] {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Fatal("no identity overlap between build and strike phases")
+	}
+}
+
+func TestSybilFreshIdentities(t *testing.T) {
+	rng := randx.New(7)
+	ls, err := Sybil{}.Plan(rng, testParams(), flatQuality)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, l := range ls {
+		if seen[int(l.Rating.Rater)] {
+			t.Fatalf("sybil reused identity %d", l.Rating.Rater)
+		}
+		seen[int(l.Rating.Rater)] = true
+	}
+}
+
+func TestColludersBoundIdentities(t *testing.T) {
+	rng := randx.New(8)
+	p := testParams()
+	p.Colluders = 5
+	ls, err := Constant{}.Plan(rng, p, flatQuality)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := map[int]bool{}
+	for _, l := range ls {
+		ids[int(l.Rating.Rater)] = true
+	}
+	if len(ids) > 5 {
+		t.Fatalf("%d identities used, want <= 5", len(ids))
+	}
+}
+
+// Property: every strategy is deterministic in the seed and respects
+// the campaign interval and object.
+func TestStrategiesDeterministicProperty(t *testing.T) {
+	prop := func(seed int64, idx uint8) bool {
+		strategies := All()
+		s := strategies[int(idx)%len(strategies)]
+		p := testParams()
+		a, err1 := s.Plan(randx.New(seed), p, flatQuality)
+		b, err2 := s.Plan(randx.New(seed), p, flatQuality)
+		if err1 != nil || err2 != nil || len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: planned campaigns mix cleanly with an honest stream (all
+// labels preserved after sorting).
+func TestStrategiesComposeWithHonestStream(t *testing.T) {
+	rng := randx.New(9)
+	honest, err := sim.GenerateIllustrative(rng, func() sim.IllustrativeParams {
+		p := sim.DefaultIllustrative()
+		p.Attack = false
+		return p
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range All() {
+		ls, err := s.Plan(rng.Split(), testParams(), flatQuality)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		combined := append(append([]sim.LabeledRating(nil), honest...), ls...)
+		sim.SortByTime(combined)
+		for i := 1; i < len(combined); i++ {
+			if combined[i].Rating.Time < combined[i-1].Rating.Time {
+				t.Fatalf("%s: combined stream not sorted", s.Name())
+			}
+		}
+	}
+}

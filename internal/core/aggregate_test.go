@@ -1,0 +1,178 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/filter"
+	"repro/internal/rating"
+	"repro/internal/trust"
+)
+
+// driveTrust pushes a rater's trust up (honest) or down (suspicious)
+// through real processing on a dedicated object.
+func driveTrust(t *testing.T, s *System, id rating.RaterID, obj rating.ObjectID, up bool) {
+	t.Helper()
+	for i := 0; i < 40; i++ {
+		v := 0.9 // constant stream: flagged, trust falls
+		if up {
+			v = []float64{0.1, 0.9, 0.3, 0.7, 0.5, 0.8, 0.2, 0.6}[i%8] // noisy: unpredictable
+		}
+		if err := s.Submit(rating.Rating{Rater: id, Object: obj, Value: v, Time: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestAggregateDropsMaliciousBeforeFilter verifies the hardening found
+// by the ablation-attacks study: a detected clique must not be able to
+// steer the Beta filter's majority estimate at aggregation time.
+func TestAggregateDropsMaliciousBeforeFilter(t *testing.T) {
+	s := newTestSystem(t, Config{
+		Filter:   filter.Beta{Q: 0.2},
+		Detector: detector.Config{Threshold: 0.05},
+	})
+	// Honest rater 1 (trusted after processing), clique rater 2
+	// (distrusted after processing).
+	driveTrust(t, s, 1, 100, true)
+	driveTrust(t, s, 2, 200, false)
+	if _, err := s.ProcessWindow(0, 40); err != nil {
+		t.Fatal(err)
+	}
+	if s.TrustIn(1) <= 0.5 || s.TrustIn(2) >= 0.5 {
+		t.Fatalf("trust setup failed: %g / %g", s.TrustIn(1), s.TrustIn(2))
+	}
+
+	// Object 300: honest rater 1 rates 0.2; clique floods 0.9s from
+	// rater 2. Without the pre-drop, the clique majority would make the
+	// filter reject rater 1's 0.2; with it, the clique is invisible to
+	// the filter and the aggregate follows rater 1.
+	if err := s.Submit(rating.Rating{Rater: 1, Object: 300, Value: 0.2, Time: 50}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := s.Submit(rating.Rating{Rater: 2, Object: 300, Value: 0.9, Time: 50 + float64(i)/100}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	agg, err := s.Aggregate(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(agg.Value-0.2) > 1e-9 {
+		t.Fatalf("aggregate = %+v, want 0.2 (clique neutralized)", agg)
+	}
+	if agg.Used != 1 {
+		t.Fatalf("used %d raters, want 1", agg.Used)
+	}
+}
+
+// TestAggregateAllMaliciousFallsBack covers the degenerate case: when
+// every rater of an object is distrusted, the aggregate still answers
+// (via the fallback) instead of erroring.
+func TestAggregateAllMaliciousFallsBack(t *testing.T) {
+	s := newTestSystem(t, Config{
+		Filter:   filter.Noop{},
+		Detector: detector.Config{Threshold: 0.05},
+	})
+	driveTrust(t, s, 2, 200, false)
+	if _, err := s.ProcessWindow(0, 40); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(rating.Rating{Rater: 2, Object: 300, Value: 0.9, Time: 50}); err != nil {
+		t.Fatal(err)
+	}
+	agg, err := s.Aggregate(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !agg.FellBack || agg.Value != 0.9 {
+		t.Fatalf("aggregate = %+v, want fallback over the only rating", agg)
+	}
+}
+
+// TestAggregateNeutralRatersSurviveDrop: fresh raters sit exactly at
+// 0.5 and must NOT be pre-dropped (>= threshold keeps them); they are
+// excluded by M3's floor but still feed the filter and fallback.
+func TestAggregateNeutralRatersSurviveDrop(t *testing.T) {
+	s := newTestSystem(t, Config{Filter: filter.Noop{}})
+	_ = s.Submit(rating.Rating{Rater: 1, Object: 1, Value: 0.4, Time: 1})
+	_ = s.Submit(rating.Rating{Rater: 2, Object: 1, Value: 0.6, Time: 2})
+	agg, err := s.Aggregate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !agg.FellBack || agg.Used != 2 || math.Abs(agg.Value-0.5) > 1e-9 {
+		t.Fatalf("aggregate = %+v", agg)
+	}
+}
+
+// TestAggregateCustomMaliciousThreshold: the pre-drop respects the
+// configured threshold.
+func TestAggregateCustomMaliciousThreshold(t *testing.T) {
+	cfg := Config{Filter: filter.Noop{}}
+	cfg.Trust.MaliciousThreshold = 0.4
+	s := newTestSystem(t, cfg)
+	driveTrust(t, s, 2, 200, false)
+	if _, err := s.ProcessWindow(0, 40); err != nil {
+		t.Fatal(err)
+	}
+	tr := s.TrustIn(2)
+	if tr >= 0.4 {
+		t.Skipf("trust %g not below custom threshold; scenario too weak", tr)
+	}
+	_ = s.Submit(rating.Rating{Rater: 2, Object: 300, Value: 0.9, Time: 50})
+	_ = s.Submit(rating.Rating{Rater: 3, Object: 300, Value: 0.3, Time: 51})
+	agg, err := s.Aggregate(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rater 2 dropped; rater 3 neutral -> fallback over 0.3 alone.
+	if math.Abs(agg.Value-0.3) > 1e-9 || agg.Used != 1 {
+		t.Fatalf("aggregate = %+v", agg)
+	}
+}
+
+func TestAggregateWindow(t *testing.T) {
+	s := newTestSystem(t, Config{Filter: filter.Noop{}})
+	// Quality shift: early ratings 0.3, recent ratings 0.9.
+	for i := 0; i < 5; i++ {
+		_ = s.Submit(rating.Rating{Rater: rating.RaterID(i), Object: 1, Value: 0.3, Time: float64(i)})
+		_ = s.Submit(rating.Rating{Rater: rating.RaterID(10 + i), Object: 1, Value: 0.9, Time: 30 + float64(i)})
+	}
+	all, err := s.Aggregate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(all.Value-0.6) > 1e-9 {
+		t.Fatalf("all-time aggregate = %g", all.Value)
+	}
+	recent, err := s.AggregateWindow(1, 30, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(recent.Value-0.9) > 1e-9 || recent.Used != 5 {
+		t.Fatalf("recent aggregate = %+v", recent)
+	}
+	early, err := s.AggregateWindow(1, 0, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(early.Value-0.3) > 1e-9 {
+		t.Fatalf("early aggregate = %+v", early)
+	}
+}
+
+func TestAggregateWindowValidation(t *testing.T) {
+	s := newTestSystem(t, Config{})
+	if _, err := s.AggregateWindow(1, 10, 10); err == nil {
+		t.Fatal("empty window accepted")
+	}
+	_ = s.Submit(rating.Rating{Rater: 1, Object: 1, Value: 0.5, Time: 5})
+	// A window containing no ratings surfaces ErrNoRatings.
+	if _, err := s.AggregateWindow(1, 100, 200); !errors.Is(err, trust.ErrNoRatings) {
+		t.Fatalf("err = %v", err)
+	}
+}

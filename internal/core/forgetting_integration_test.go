@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/randx"
+	"repro/internal/rating"
+	"repro/internal/trust"
+)
+
+// buildTurncoatTrace builds many months of one rater's activity: honest
+// noisy ratings (each month on a fresh object) for the first
+// `honestMonths`, then constant clique-style ratings.
+func buildTurncoatTrace(honestMonths, colludeMonths int) []rating.Rating {
+	rng := randx.New(5)
+	var rs []rating.Rating
+	month := 0
+	emit := func(value func() float64) {
+		start := float64(month * 30)
+		for i := 0; i < 30; i++ {
+			rs = append(rs, rating.Rating{
+				Rater:  1,
+				Object: rating.ObjectID(month + 1),
+				Value:  value(),
+				Time:   start + float64(i),
+			})
+		}
+		month++
+	}
+	for m := 0; m < honestMonths; m++ {
+		emit(func() float64 { return randx.Quantize(rng.NormalVar(0.6, 0.04), 11, true) })
+	}
+	for m := 0; m < colludeMonths; m++ {
+		emit(func() float64 { return 0.9 })
+	}
+	return rs
+}
+
+// monthsToFlag processes the trace month by month and returns how many
+// collusion months pass before the rater drops below the malicious
+// line (-1 if never).
+func monthsToFlag(t *testing.T, forgetting float64, honestMonths, colludeMonths int) int {
+	t.Helper()
+	sys, err := NewSystem(Config{
+		Detector: detector.Config{Threshold: 0.05},
+		Trust:    trust.ManagerConfig{Forgetting: forgetting},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := buildTurncoatTrace(honestMonths, colludeMonths)
+	if err := sys.SubmitAll(rs); err != nil {
+		t.Fatal(err)
+	}
+	total := honestMonths + colludeMonths
+	for m := 0; m < total; m++ {
+		start := float64(m * 30)
+		if _, err := sys.ProcessWindow(start, start+30); err != nil {
+			t.Fatal(err)
+		}
+		if m >= honestMonths && sys.TrustIn(1) < 0.5 {
+			return m - honestMonths + 1
+		}
+	}
+	return -1
+}
+
+// TestForgettingCatchesTurncoatFaster is the end-to-end version of the
+// ablation-forgetting study: a rater with a long honest history turns
+// colluder; with record-maintenance forgetting configured the full
+// system flags them strictly sooner than without.
+func TestForgettingCatchesTurncoatFaster(t *testing.T) {
+	const honestMonths, colludeMonths = 8, 20
+	without := monthsToFlag(t, 1.0, honestMonths, colludeMonths)
+	with := monthsToFlag(t, 0.97, honestMonths, colludeMonths)
+	if with < 0 {
+		t.Fatal("forgetting system never flagged the turncoat")
+	}
+	if without >= 0 && with >= without {
+		t.Fatalf("forgetting (%d months) not faster than none (%d months)", with, without)
+	}
+	if without < 0 {
+		// Even better: the memoryful system never catches up within the
+		// horizon while the forgetting one does.
+		t.Logf("no-forgetting system never flagged within %d months; forgetting took %d", colludeMonths, with)
+	}
+}
+
+// TestForgettingStableForHonest: forgetting must not destabilize a
+// consistently honest rater.
+func TestForgettingStableForHonest(t *testing.T) {
+	sys, err := NewSystem(Config{
+		Detector: detector.Config{Threshold: 0.05},
+		Trust:    trust.ManagerConfig{Forgetting: 0.97},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := buildTurncoatTrace(10, 0)
+	if err := sys.SubmitAll(rs); err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m < 10; m++ {
+		start := float64(m * 30)
+		if _, err := sys.ProcessWindow(start, start+30); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr := sys.TrustIn(1); tr < 0.8 {
+		t.Fatalf("honest trust %g under forgetting", tr)
+	}
+}

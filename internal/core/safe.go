@@ -1,0 +1,114 @@
+package core
+
+import (
+	"io"
+	"sync"
+
+	"repro/internal/rating"
+	"repro/internal/trust"
+)
+
+// SafeSystem wraps a System with a mutex so it can back a concurrent
+// service (cmd/ratingd). Reads and writes both take the exclusive lock:
+// the underlying store and trust manager interleave reads with
+// incremental state, so a reader-writer split would be incorrect, and
+// every operation is far from contention-bound in practice.
+type SafeSystem struct {
+	mu  sync.Mutex
+	sys *System
+}
+
+// NewSafeSystem builds the wrapper.
+func NewSafeSystem(cfg Config) (*SafeSystem, error) {
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &SafeSystem{sys: sys}, nil
+}
+
+// Submit records one raw rating.
+func (s *SafeSystem) Submit(r rating.Rating) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.Submit(r)
+}
+
+// SubmitAll records a batch of raw ratings atomically with respect to
+// other callers (partial batches can still remain if a rating is
+// invalid, mirroring System.SubmitAll).
+func (s *SafeSystem) SubmitAll(rs []rating.Rating) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.SubmitAll(rs)
+}
+
+// Len returns the number of stored ratings.
+func (s *SafeSystem) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.Len()
+}
+
+// ProcessWindow runs one maintenance pass.
+func (s *SafeSystem) ProcessWindow(start, end float64) (ProcessReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.ProcessWindow(start, end)
+}
+
+// Aggregate returns the object's trust-enhanced aggregate.
+func (s *SafeSystem) Aggregate(obj rating.ObjectID) (AggregateResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.Aggregate(obj)
+}
+
+// AggregateWindow returns the aggregate over ratings in [start, end).
+func (s *SafeSystem) AggregateWindow(obj rating.ObjectID, start, end float64) (AggregateResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.AggregateWindow(obj, start, end)
+}
+
+// TrustIn returns the system's trust in a rater.
+func (s *SafeSystem) TrustIn(id rating.RaterID) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.TrustIn(id)
+}
+
+// TrustSnapshot returns every tracked rater's trust.
+func (s *SafeSystem) TrustSnapshot() map[rating.RaterID]float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.TrustSnapshot()
+}
+
+// MaliciousRaters returns raters below the malicious-trust threshold.
+func (s *SafeSystem) MaliciousRaters() []rating.RaterID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.MaliciousRaters()
+}
+
+// RecordRecommendations computes indirect trust from recommendations.
+func (s *SafeSystem) RecordRecommendations(about rating.RaterID, recs []trust.Recommendation) (float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.RecordRecommendations(about, recs)
+}
+
+// WriteSnapshot serializes the state while holding the lock.
+func (s *SafeSystem) WriteSnapshot(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.WriteSnapshot(w)
+}
+
+// LoadSnapshot replaces the state while holding the lock.
+func (s *SafeSystem) LoadSnapshot(r io.Reader) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.LoadSnapshot(r)
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/rating"
+)
+
+func TestSafeSystemBasics(t *testing.T) {
+	s, err := NewSafeSystem(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(rating.Rating{Rater: 1, Object: 1, Value: 0.5, Time: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.TrustIn(1) != 0.5 {
+		t.Fatal("trust")
+	}
+}
+
+func TestNewSafeSystemValidation(t *testing.T) {
+	if _, err := NewSafeSystem(Config{Detector: detector.Config{Order: -1}}); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+func TestSafeSystemConcurrentUse(t *testing.T) {
+	// Hammer the wrapper from many goroutines; run with -race this
+	// verifies the locking discipline.
+	s, err := NewSafeSystem(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	const workers = 8
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				r := rating.Rating{
+					Rater:  rating.RaterID(w*1000 + i),
+					Object: rating.ObjectID(i % 3),
+					Value:  0.5,
+					Time:   float64(i),
+				}
+				if err := s.Submit(r); err != nil {
+					t.Error(err)
+					return
+				}
+				_ = s.TrustIn(r.Rater)
+				_, _ = s.Aggregate(r.Object)
+				_ = s.TrustSnapshot()
+				_ = s.MaliciousRaters()
+			}
+		}()
+	}
+	// Concurrent maintenance and snapshots.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if _, err := s.ProcessWindow(0, 60); err != nil {
+				t.Error(err)
+				return
+			}
+			var buf bytes.Buffer
+			if err := s.WriteSnapshot(&buf); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if s.Len() != workers*50 {
+		t.Fatalf("Len = %d, want %d", s.Len(), workers*50)
+	}
+}
+
+func TestSafeSystemSnapshotRoundTrip(t *testing.T) {
+	s, err := NewSafeSystem(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Submit(rating.Rating{Rater: 1, Object: 1, Value: 0.6, Time: 1})
+	var buf bytes.Buffer
+	if err := s.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := NewSafeSystem(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.LoadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != 1 {
+		t.Fatalf("Len = %d", restored.Len())
+	}
+}

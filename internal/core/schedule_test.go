@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/rating"
+)
+
+func TestNewSchedulerValidation(t *testing.T) {
+	sys := newTestSystem(t, Config{})
+	if _, err := NewScheduler(nil, 0, 30); err == nil {
+		t.Fatal("nil system accepted")
+	}
+	if _, err := NewScheduler(sys, 0, 0); err == nil {
+		t.Fatal("zero width accepted")
+	}
+	if _, err := NewScheduler(sys, 0, -5); err == nil {
+		t.Fatal("negative width accepted")
+	}
+}
+
+func TestSchedulerProcessesCompleteWindows(t *testing.T) {
+	sys := newTestSystem(t, Config{})
+	for i := 0; i < 90; i++ {
+		if err := sys.Submit(rating.Rating{
+			Rater: rating.RaterID(i), Object: 1, Value: 0.7, Time: float64(i),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sched, err := NewScheduler(sys, 0, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mid-window: nothing to do.
+	reports, err := sched.AdvanceTo(29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 0 || sched.Pending() != 0 {
+		t.Fatalf("early advance: %d reports, pending %g", len(reports), sched.Pending())
+	}
+
+	// Exactly one boundary.
+	reports, err = sched.AdvanceTo(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 || reports[0].Start != 0 || reports[0].End != 30 {
+		t.Fatalf("reports = %+v", reports)
+	}
+	if sched.Pending() != 30 {
+		t.Fatalf("pending = %g", sched.Pending())
+	}
+
+	// Jumping far ahead catches up every missed window.
+	reports, err = sched.AdvanceTo(95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("%d catch-up reports", len(reports))
+	}
+	if reports[1].Start != 60 || sched.Pending() != 90 {
+		t.Fatalf("windows misaligned: %+v, pending %g", reports[1], sched.Pending())
+	}
+
+	// Time never re-processed.
+	reports, err = sched.AdvanceTo(95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 0 {
+		t.Fatal("window re-processed")
+	}
+}
+
+func TestSchedulerMatchesManualWindows(t *testing.T) {
+	// Scheduler-driven processing must produce identical trust to the
+	// manual monthly loop.
+	build := func(useScheduler bool) map[rating.RaterID]float64 {
+		sys := newTestSystem(t, Config{})
+		for i := 0; i < 120; i++ {
+			_ = sys.Submit(rating.Rating{
+				Rater: rating.RaterID(i % 10), Object: 1, Value: 0.7, Time: float64(i) / 2,
+			})
+		}
+		if useScheduler {
+			sched, err := NewScheduler(sys, 0, 30)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sched.AdvanceTo(60); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			for _, w := range [][2]float64{{0, 30}, {30, 60}} {
+				if _, err := sys.ProcessWindow(w[0], w[1]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return sys.TrustSnapshot()
+	}
+	a, b := build(true), build(false)
+	if len(a) != len(b) {
+		t.Fatalf("snapshot sizes %d vs %d", len(a), len(b))
+	}
+	for id, v := range a {
+		if b[id] != v {
+			t.Fatalf("rater %d: %g vs %g", id, v, b[id])
+		}
+	}
+}
+
+func TestSchedulerNegativeStart(t *testing.T) {
+	// Windows may start anywhere, including negative simulation time.
+	sys := newTestSystem(t, Config{})
+	sched, err := NewScheduler(sys, -30, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := sched.AdvanceTo(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 || reports[0].Start != -30 {
+		t.Fatalf("reports = %+v", reports)
+	}
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/rating"
+	"repro/internal/trust"
+)
+
+// snapshotVersion is bumped on incompatible snapshot-format changes.
+const snapshotVersion = 1
+
+// ErrSnapshotVersion is returned when loading a snapshot written by an
+// incompatible format version.
+var ErrSnapshotVersion = errors.New("core: unsupported snapshot version")
+
+// snapshot is the on-disk envelope. Ratings and trust records are
+// stored exhaustively; configuration is NOT persisted — the caller
+// reconstructs the System with its own Config, so operational tuning
+// (thresholds, filters) can change across restarts without invalidating
+// the state.
+type snapshot struct {
+	Version int              `json:"version"`
+	Ratings []snapshotRating `json:"ratings"`
+	Records []snapshotRecord `json:"records"`
+}
+
+type snapshotRating struct {
+	Rater  int     `json:"rater"`
+	Object int     `json:"object"`
+	Value  float64 `json:"value"`
+	Time   float64 `json:"time"`
+}
+
+type snapshotRecord struct {
+	Rater      int     `json:"rater"`
+	S          float64 `json:"s"`
+	F          float64 `json:"f"`
+	LastUpdate float64 `json:"lastUpdate"`
+}
+
+// WriteSnapshot serializes the system's full state (ratings + trust
+// records) as JSON.
+func (s *System) WriteSnapshot(w io.Writer) error {
+	snap := snapshot{Version: snapshotVersion}
+	for _, obj := range s.store.Objects() {
+		rs, err := s.store.ForObject(obj)
+		if err != nil {
+			return fmt.Errorf("core: snapshot: %w", err)
+		}
+		for _, r := range rs {
+			snap.Ratings = append(snap.Ratings, snapshotRating{
+				Rater:  int(r.Rater),
+				Object: int(r.Object),
+				Value:  r.Value,
+				Time:   r.Time,
+			})
+		}
+	}
+	for id, rec := range s.manager.Records() {
+		snap.Records = append(snap.Records, snapshotRecord{
+			Rater:      int(id),
+			S:          rec.S,
+			F:          rec.F,
+			LastUpdate: rec.LastUpdate,
+		})
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(snap); err != nil {
+		return fmt.Errorf("core: snapshot encode: %w", err)
+	}
+	return nil
+}
+
+// LoadSnapshot replaces the system's state with a snapshot previously
+// produced by WriteSnapshot. The system's configuration is kept. On
+// error the system's previous state is preserved.
+func (s *System) LoadSnapshot(r io.Reader) error {
+	var snap snapshot
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&snap); err != nil {
+		return fmt.Errorf("core: snapshot decode: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return fmt.Errorf("core: snapshot version %d: %w", snap.Version, ErrSnapshotVersion)
+	}
+
+	store := rating.NewStore()
+	for i, sr := range snap.Ratings {
+		if err := store.Add(rating.Rating{
+			Rater:  rating.RaterID(sr.Rater),
+			Object: rating.ObjectID(sr.Object),
+			Value:  sr.Value,
+			Time:   sr.Time,
+		}); err != nil {
+			return fmt.Errorf("core: snapshot rating %d: %w", i, err)
+		}
+	}
+	records := make(map[rating.RaterID]trust.Record, len(snap.Records))
+	for _, rec := range snap.Records {
+		records[rating.RaterID(rec.Rater)] = trust.Record{
+			S:          rec.S,
+			F:          rec.F,
+			LastUpdate: rec.LastUpdate,
+		}
+	}
+	manager, err := trust.NewManager(s.cfg.Trust)
+	if err != nil {
+		return fmt.Errorf("core: snapshot: %w", err)
+	}
+	if err := manager.Restore(records); err != nil {
+		return fmt.Errorf("core: snapshot: %w", err)
+	}
+
+	s.store = store
+	s.manager = manager
+	return nil
+}

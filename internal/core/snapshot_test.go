@@ -1,0 +1,140 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/randx"
+	"repro/internal/rating"
+	"repro/internal/sim"
+)
+
+// populatedSystem builds a system with trust state from the
+// illustrative trace.
+func populatedSystem(t *testing.T) *System {
+	t.Helper()
+	s := newTestSystem(t, Config{Detector: detector.Config{Threshold: 0.05}})
+	ls, err := sim.GenerateIllustrative(randx.New(1), sim.DefaultIllustrative())
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitTrace(t, s, ls)
+	for _, w := range [][2]float64{{0, 30}, {30, 60}} {
+		if _, err := s.ProcessWindow(w[0], w[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	orig := populatedSystem(t)
+
+	var buf bytes.Buffer
+	if err := orig.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := newTestSystem(t, Config{Detector: detector.Config{Threshold: 0.05}})
+	if err := restored.LoadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	if restored.Len() != orig.Len() {
+		t.Fatalf("ratings %d != %d", restored.Len(), orig.Len())
+	}
+	origTrust := orig.TrustSnapshot()
+	restoredTrust := restored.TrustSnapshot()
+	if len(restoredTrust) != len(origTrust) {
+		t.Fatalf("records %d != %d", len(restoredTrust), len(origTrust))
+	}
+	for id, tr := range origTrust {
+		if restoredTrust[id] != tr {
+			t.Fatalf("rater %d trust %g != %g", id, restoredTrust[id], tr)
+		}
+	}
+	// The restored system must behave identically downstream.
+	a1, err := orig.Aggregate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := restored.Aggregate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Fatalf("aggregate diverged: %+v vs %+v", a1, a2)
+	}
+}
+
+func TestSnapshotContinuesProcessing(t *testing.T) {
+	// A restored system must accept further windows seamlessly.
+	orig := populatedSystem(t)
+	var buf bytes.Buffer
+	if err := orig.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := newTestSystem(t, Config{Detector: detector.Config{Threshold: 0.05}})
+	if err := restored.LoadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Submit(rating.Rating{Rater: 5, Object: 0, Value: 0.7, Time: 61}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := restored.ProcessWindow(60, 90); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotVersionRejected(t *testing.T) {
+	s := newTestSystem(t, Config{})
+	err := s.LoadSnapshot(strings.NewReader(`{"version": 99}`))
+	if !errors.Is(err, ErrSnapshotVersion) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSnapshotMalformedJSON(t *testing.T) {
+	s := newTestSystem(t, Config{})
+	if err := s.LoadSnapshot(strings.NewReader(`{`)); err == nil {
+		t.Fatal("malformed snapshot accepted")
+	}
+}
+
+func TestSnapshotInvalidRatingPreservesState(t *testing.T) {
+	s := populatedSystem(t)
+	before := s.Len()
+	bad := `{"version":1,"ratings":[{"rater":1,"object":1,"value":7,"time":0}],"records":[]}`
+	if err := s.LoadSnapshot(strings.NewReader(bad)); err == nil {
+		t.Fatal("invalid rating accepted")
+	}
+	if s.Len() != before {
+		t.Fatal("failed load corrupted the system")
+	}
+}
+
+func TestSnapshotInvalidRecordRejected(t *testing.T) {
+	s := newTestSystem(t, Config{})
+	bad := `{"version":1,"ratings":[],"records":[{"rater":1,"s":-3,"f":0}]}`
+	if err := s.LoadSnapshot(strings.NewReader(bad)); err == nil {
+		t.Fatal("invalid record accepted")
+	}
+}
+
+func TestSnapshotEmptySystem(t *testing.T) {
+	s := newTestSystem(t, Config{})
+	var buf bytes.Buffer
+	if err := s.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := newTestSystem(t, Config{})
+	if err := restored.LoadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != 0 {
+		t.Fatalf("Len = %d", restored.Len())
+	}
+}

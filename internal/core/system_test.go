@@ -1,0 +1,298 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/detector"
+	"repro/internal/filter"
+	"repro/internal/randx"
+	"repro/internal/rating"
+	"repro/internal/sim"
+	"repro/internal/trust"
+)
+
+func newTestSystem(t *testing.T, cfg Config) *System {
+	t.Helper()
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := NewSystem(Config{Detector: detector.Config{Order: -1}}); err == nil {
+		t.Fatal("bad detector config accepted")
+	}
+	if _, err := NewSystem(Config{Trust: trust.ManagerConfig{B: 5}}); err == nil {
+		t.Fatal("bad trust config accepted")
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s := newTestSystem(t, Config{})
+	if err := s.Submit(rating.Rating{Value: 2, Time: 0}); err == nil {
+		t.Fatal("invalid rating accepted")
+	}
+	if err := s.Submit(rating.Rating{Rater: 1, Object: 1, Value: 0.5, Time: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestProcessWindowValidation(t *testing.T) {
+	s := newTestSystem(t, Config{})
+	if _, err := s.ProcessWindow(10, 10); err == nil {
+		t.Fatal("empty window accepted")
+	}
+	if _, err := s.ProcessWindow(10, 5); err == nil {
+		t.Fatal("inverted window accepted")
+	}
+}
+
+func TestProcessWindowEmptySystem(t *testing.T) {
+	s := newTestSystem(t, Config{})
+	rep, err := s.ProcessWindow(0, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Objects) != 0 || len(rep.Observations) != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+// submitTrace loads a generated single-object trace into a system.
+func submitTrace(t *testing.T, s *System, ls []sim.LabeledRating) {
+	t.Helper()
+	if err := s.SubmitAll(sim.Ratings(ls)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObservationBookkeeping(t *testing.T) {
+	// n must count every rating in the window; f + s <= n must hold;
+	// ratings outside the window must not be counted.
+	s := newTestSystem(t, Config{})
+	ls, err := sim.GenerateIllustrative(randx.New(1), sim.DefaultIllustrative())
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitTrace(t, s, ls)
+	rep, err := s.ProcessWindow(0, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inWindow int
+	for _, l := range ls {
+		if l.Rating.Time < 30 {
+			inWindow++
+		}
+	}
+	var counted int
+	for _, obs := range rep.Observations {
+		counted += obs.N
+		if obs.Filtered+obs.Suspicious > obs.N {
+			t.Fatalf("observation %+v breaks f+s <= n", obs)
+		}
+	}
+	if counted != inWindow {
+		t.Fatalf("observed %d ratings, window holds %d", counted, inWindow)
+	}
+	if len(rep.Objects) != 1 {
+		t.Fatalf("%d objects", len(rep.Objects))
+	}
+	if rep.Objects[0].Considered != inWindow {
+		t.Fatalf("considered %d, want %d", rep.Objects[0].Considered, inWindow)
+	}
+}
+
+func TestTrustSeparatesColludersOverTime(t *testing.T) {
+	// Run the illustrative scenario through monthly maintenance windows
+	// with a detector threshold calibrated to the scenario; colluders'
+	// mean trust must end below honest raters' mean trust.
+	cfg := Config{
+		Detector: detector.Config{Threshold: 0.05, Width: 10, TimeStep: 5},
+	}
+	var honestSum, honestN, colluderSum, colluderN float64
+	for seed := int64(0); seed < 5; seed++ {
+		s := newTestSystem(t, cfg)
+		p := sim.DefaultIllustrative()
+		p.BadVar = 0.002 // tight clique, as in the smart strategy
+		ls, err := sim.GenerateIllustrative(randx.New(seed), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		submitTrace(t, s, ls)
+		for _, w := range [][2]float64{{0, 30}, {30, 60}} {
+			if _, err := s.ProcessWindow(w[0], w[1]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for id, tr := range s.TrustSnapshot() {
+			if id >= 100000 {
+				colluderSum += tr
+				colluderN++
+			} else {
+				honestSum += tr
+				honestN++
+			}
+		}
+	}
+	if colluderN == 0 || honestN == 0 {
+		t.Fatal("missing a population")
+	}
+	honestMean := honestSum / honestN
+	colluderMean := colluderSum / colluderN
+	if colluderMean >= honestMean-0.02 {
+		t.Fatalf("colluder trust %.3f not clearly below honest %.3f", colluderMean, honestMean)
+	}
+}
+
+func TestAggregateUnknownObject(t *testing.T) {
+	s := newTestSystem(t, Config{})
+	if _, err := s.Aggregate(42); !errors.Is(err, rating.ErrUnknownObject) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAggregateUsesLatestPerRater(t *testing.T) {
+	s := newTestSystem(t, Config{Filter: filter.Noop{}})
+	_ = s.Submit(rating.Rating{Rater: 1, Object: 1, Value: 0.2, Time: 1})
+	_ = s.Submit(rating.Rating{Rater: 1, Object: 1, Value: 0.8, Time: 2})
+	res, err := s.Aggregate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Used != 1 {
+		t.Fatalf("used %d raters, want 1", res.Used)
+	}
+	// Fresh rater trust 0.5 -> M3 has no one above floor -> fallback to
+	// the simple average of the single latest value.
+	if !res.FellBack || res.Value != 0.8 {
+		t.Fatalf("result = %+v, want fallback value 0.8", res)
+	}
+}
+
+func TestAggregateWeighsByTrust(t *testing.T) {
+	// Build divergent trust through real processing: rater 1 emits
+	// noisy honest ratings (object 2: unpredictable, trust rises);
+	// rater 2 emits a constant stream (object 3: perfectly predictable,
+	// every window suspicious, trust collapses). The aggregate of
+	// object 1 must then follow rater 1 alone.
+	s := newTestSystem(t, Config{
+		Filter:   filter.Noop{},
+		Detector: detector.Config{Threshold: 0.05},
+	})
+	_ = s.Submit(rating.Rating{Rater: 1, Object: 1, Value: 0.8, Time: 31})
+	_ = s.Submit(rating.Rating{Rater: 2, Object: 1, Value: 0.2, Time: 31})
+	rng := randx.New(11)
+	for i := 0; i < 60; i++ {
+		tm := rng.Uniform(0, 30)
+		if err := s.Submit(rating.Rating{Rater: 1, Object: 2, Value: randx.Quantize(rng.NormalVar(0.7, 0.04), 11, true), Time: tm}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Submit(rating.Rating{Rater: 2, Object: 3, Value: 0.9, Time: tm}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.ProcessWindow(0, 30); err != nil {
+		t.Fatal(err)
+	}
+	if tr1, tr2 := s.TrustIn(1), s.TrustIn(2); tr1 <= 0.5 || tr2 >= 0.5 {
+		t.Fatalf("trust did not diverge: rater1 %.3f rater2 %.3f", tr1, tr2)
+	}
+	res, err := s.Aggregate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FellBack {
+		t.Fatalf("unexpected fallback: %+v", res)
+	}
+	if math.Abs(res.Value-0.8) > 1e-9 {
+		t.Fatalf("aggregate = %g, want 0.8 (rater 2 excluded)", res.Value)
+	}
+}
+
+func TestAggregateNoFallback(t *testing.T) {
+	s := newTestSystem(t, Config{Filter: filter.Noop{}, Fallback: NoFallback})
+	_ = s.Submit(rating.Rating{Rater: 1, Object: 1, Value: 0.5, Time: 1})
+	if _, err := s.Aggregate(1); !errors.Is(err, trust.ErrNoTrustedRaters) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMaliciousRatersExposed(t *testing.T) {
+	cfg := Config{Detector: detector.Config{Threshold: 0.05}}
+	s := newTestSystem(t, cfg)
+	p := sim.DefaultIllustrative()
+	p.BadVar = 0.002
+	ls, err := sim.GenerateIllustrative(randx.New(3), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitTrace(t, s, ls)
+	for _, w := range [][2]float64{{0, 30}, {30, 60}} {
+		if _, err := s.ProcessWindow(w[0], w[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The call must work and only list raters that indeed have trust
+	// below the threshold.
+	for _, id := range s.MaliciousRaters() {
+		if s.TrustIn(id) >= 0.5 {
+			t.Fatalf("rater %d listed malicious at trust %g", id, s.TrustIn(id))
+		}
+	}
+}
+
+func TestRecordRecommendations(t *testing.T) {
+	s := newTestSystem(t, Config{})
+	if _, err := s.RecordRecommendations(9, nil); !errors.Is(err, trust.ErrNoRecommendations) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// Property: after any sequence of windows, trust values stay in (0, 1)
+// and aggregation (when defined) stays in [0, 1].
+func TestSystemBoundsProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := randx.New(seed)
+		s, err := NewSystem(Config{Detector: detector.Config{Threshold: 0.1}})
+		if err != nil {
+			return false
+		}
+		p := sim.DefaultIllustrative()
+		p.RecruitPower1 = rng.Float64()
+		p.BiasShift2 = rng.Uniform(0.05, 0.3)
+		ls, err := sim.GenerateIllustrative(rng, p)
+		if err != nil {
+			return false
+		}
+		if err := s.SubmitAll(sim.Ratings(ls)); err != nil {
+			return false
+		}
+		for _, w := range [][2]float64{{0, 20}, {20, 40}, {40, 60}} {
+			if _, err := s.ProcessWindow(w[0], w[1]); err != nil {
+				return false
+			}
+		}
+		for _, tr := range s.TrustSnapshot() {
+			if tr <= 0 || tr >= 1 {
+				return false
+			}
+		}
+		res, err := s.Aggregate(0)
+		if err != nil {
+			return false
+		}
+		return res.Value >= 0 && res.Value <= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,296 @@
+// Package detector implements Procedure 1 of the paper: AR
+// signal-modeling detection of collaborative unfair ratings.
+//
+// The ratings of one object are split into (possibly overlapping)
+// windows; each window is fitted with an all-pole AR model (covariance
+// method by default) and its normalized model error e(k) computed. A
+// window whose error falls below a threshold is marked suspicious with
+// level L(k), and every rater with a rating inside a suspicious window
+// accrues suspicion mass C(i) — the quantity Procedure 2 later converts
+// into distrust.
+package detector
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/rating"
+	"repro/internal/signal"
+)
+
+// WindowMode selects how an object's rating sequence is windowed.
+type WindowMode int
+
+const (
+	// WindowByCount cuts windows of Size ratings advancing by Step
+	// ratings (Fig 4's "50 ratings in each window").
+	WindowByCount WindowMode = iota + 1
+	// WindowByTime cuts windows of Width days advancing by TimeStep
+	// days over [T0, End) (§IV: width 10, step 5).
+	WindowByTime
+)
+
+// Config parameterizes a detection run. Zero values select the paper's
+// defaults where one exists.
+type Config struct {
+	// Mode selects windowing; zero value means WindowByCount.
+	Mode WindowMode
+	// Size and Step configure WindowByCount. Zero means 50 and 25.
+	Size, Step int
+	// T0, End, Width and TimeStep configure WindowByTime. Width and
+	// TimeStep zero mean 10 and 5 days (§IV.A). End zero means the time
+	// of the last rating.
+	T0, End, Width, TimeStep float64
+	// Order is the AR model order; zero means 4.
+	Order int
+	// Threshold is the model-error cutoff below which a window is
+	// suspicious; zero means 0.02 (§IV.A).
+	Threshold float64
+	// Scale is Procedure 1's scaling factor in (0, 1]; zero means 1.
+	Scale float64
+	// MinWindow is the minimum number of ratings a window needs to be
+	// fitted. Zero means the AR method's own minimum (2·Order+1 for the
+	// covariance method). Short windows overfit — an order-4 model on a
+	// dozen ratings produces spuriously low errors — so workloads with
+	// sparse tail windows should raise this (§IV uses 25).
+	MinWindow int
+	// Signal configures the AR fit (method, demeaning, ridge).
+	Signal signal.Options
+	// LiteralLevel uses the paper's printed formula
+	// L(k) = Scale·(1−e(k))/Threshold, which exceeds 1 for any error
+	// under a small threshold. The default is the bounded reading
+	// L(k) = Scale·(1 − e(k)/Threshold) ∈ (0, Scale]; see DESIGN.md.
+	LiteralLevel bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Mode == 0 {
+		c.Mode = WindowByCount
+	}
+	if c.Size == 0 {
+		c.Size = 50
+	}
+	if c.Step == 0 {
+		c.Step = 25
+	}
+	if c.Width == 0 {
+		c.Width = 10
+	}
+	if c.TimeStep == 0 {
+		c.TimeStep = 5
+	}
+	if c.Order == 0 {
+		c.Order = 4
+	}
+	if c.Threshold == 0 {
+		c.Threshold = 0.02
+	}
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	return c
+}
+
+// Validate reports configuration errors after defaulting.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if c.Mode != WindowByCount && c.Mode != WindowByTime {
+		return fmt.Errorf("detector: unknown window mode %d", int(c.Mode))
+	}
+	if c.Size < 1 || c.Step < 1 {
+		return fmt.Errorf("detector: size=%d step=%d", c.Size, c.Step)
+	}
+	if c.Width <= 0 || c.TimeStep <= 0 {
+		return fmt.Errorf("detector: width=%g timestep=%g", c.Width, c.TimeStep)
+	}
+	if c.Order < 1 {
+		return fmt.Errorf("detector: order %d", c.Order)
+	}
+	if c.Threshold <= 0 || c.Threshold >= 1 {
+		return fmt.Errorf("detector: threshold %g outside (0,1)", c.Threshold)
+	}
+	if c.Scale <= 0 || c.Scale > 1 {
+		return fmt.Errorf("detector: scale %g outside (0,1]", c.Scale)
+	}
+	if c.MinWindow < 0 {
+		return fmt.Errorf("detector: min window %d", c.MinWindow)
+	}
+	return nil
+}
+
+// WindowReport is the per-window outcome.
+type WindowReport struct {
+	Window rating.Window
+	// Fitted reports whether the window had enough ratings for the AR
+	// fit; unfitted windows are never suspicious.
+	Fitted bool
+	// Model is the AR fit (zero when !Fitted).
+	Model signal.Model
+	// Suspicious marks e(k) < Threshold.
+	Suspicious bool
+	// Level is Procedure 1's L(k) (zero when not suspicious).
+	Level float64
+}
+
+// RaterStats aggregates Procedure 1's per-rater outputs over one run.
+type RaterStats struct {
+	// Suspicion is C(i), the accumulated suspicion mass.
+	Suspicion float64
+	// SuspiciousRatings is s_i: how many of the rater's ratings lie in
+	// at least one suspicious window.
+	SuspiciousRatings int
+	// TotalRatings is n_i within this run.
+	TotalRatings int
+}
+
+// Report is the outcome of one detection run over one object.
+type Report struct {
+	Windows  []WindowReport
+	PerRater map[rating.RaterID]RaterStats
+}
+
+// SuspiciousWindows returns the indices of suspicious windows.
+func (r Report) SuspiciousWindows() []int {
+	var out []int
+	for i, w := range r.Windows {
+		if w.Suspicious {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ModelErrors returns (center, e(k)) pairs for every fitted window —
+// the series plotted in Fig 4 (lower) and Fig 5. Center is the midpoint
+// of the window's covered interval.
+func (r Report) ModelErrors() (centers, errs []float64) {
+	for _, w := range r.Windows {
+		if !w.Fitted {
+			continue
+		}
+		centers = append(centers, (w.Window.Start+w.Window.End)/2)
+		errs = append(errs, w.Model.NormalizedError)
+	}
+	return centers, errs
+}
+
+// Detect runs Procedure 1 over the time-sorted ratings of one object.
+// Windows too short for the configured AR order are skipped (reported
+// with Fitted == false).
+func Detect(rs []rating.Rating, cfg Config) (Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return Report{}, err
+	}
+	cfg = cfg.withDefaults()
+
+	windows, err := buildWindows(rs, cfg)
+	if err != nil {
+		return Report{}, err
+	}
+
+	report := Report{
+		Windows:  make([]WindowReport, 0, len(windows)),
+		PerRater: make(map[rating.RaterID]RaterStats),
+	}
+	for _, r := range rs {
+		s := report.PerRater[r.Rater]
+		s.TotalRatings++
+		report.PerRater[r.Rater] = s
+	}
+
+	minSamples := signal.MinSamples(effectiveMethod(cfg.Signal), cfg.Order)
+	if cfg.MinWindow > minSamples {
+		minSamples = cfg.MinWindow
+	}
+	latest := make(map[rating.RaterID]float64) // Procedure 1's L_latest
+	inSuspicious := make([]bool, len(rs))      // rating index -> marked
+
+	for _, w := range windows {
+		wr := WindowReport{Window: w}
+		if len(w.Ratings) >= minSamples {
+			model, ferr := signal.Fit(w.Values(), cfg.Order, cfg.Signal)
+			if ferr != nil {
+				if !errors.Is(ferr, signal.ErrTooShort) {
+					return Report{}, fmt.Errorf("detector: window %d: %w", w.Index, ferr)
+				}
+			} else {
+				wr.Fitted = true
+				wr.Model = model
+				if model.NormalizedError < cfg.Threshold {
+					wr.Suspicious = true
+					wr.Level = suspicionLevel(model.NormalizedError, cfg)
+				}
+			}
+		}
+		if wr.Suspicious {
+			// Procedure 1 steps 8-16: accrue per-rater suspicion. A rater
+			// whose latest level already covers L(k) accrues only the
+			// increment, so overlapping suspicious windows count once at
+			// their maximum level.
+			accrue(&report, rs, w, wr.Level, latest, inSuspicious)
+		}
+		report.Windows = append(report.Windows, wr)
+	}
+
+	for idx, marked := range inSuspicious {
+		if marked {
+			s := report.PerRater[rs[idx].Rater]
+			s.SuspiciousRatings++
+			report.PerRater[rs[idx].Rater] = s
+		}
+	}
+	return report, nil
+}
+
+// buildWindows cuts rs into windows per the configured mode.
+func buildWindows(rs []rating.Rating, cfg Config) ([]rating.Window, error) {
+	var (
+		windows []rating.Window
+		err     error
+	)
+	switch cfg.Mode {
+	case WindowByCount:
+		windows, err = rating.CountWindows(rs, cfg.Size, cfg.Step)
+	case WindowByTime:
+		end := cfg.End
+		if end == 0 && len(rs) > 0 {
+			end = rs[len(rs)-1].Time + 1e-9
+		}
+		windows, err = rating.TimeWindows(rs, cfg.T0, end, cfg.Width, cfg.TimeStep)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("detector: windowing: %w", err)
+	}
+	return windows, nil
+}
+
+func effectiveMethod(opts signal.Options) signal.Method {
+	if opts.Method == 0 {
+		return signal.MethodCovariance
+	}
+	return opts.Method
+}
+
+func suspicionLevel(e float64, cfg Config) float64 {
+	if cfg.LiteralLevel {
+		return cfg.Scale * (1 - e) / cfg.Threshold
+	}
+	return cfg.Scale * (1 - e/cfg.Threshold)
+}
+
+// Merge accumulates per-rater statistics from several per-object
+// reports — the multi-object extension the paper describes ("running
+// procedure 1 for each object" with C initialized once).
+func Merge(reports ...Report) map[rating.RaterID]RaterStats {
+	out := make(map[rating.RaterID]RaterStats)
+	for _, rep := range reports {
+		for id, s := range rep.PerRater {
+			acc := out[id]
+			acc.Suspicion += s.Suspicion
+			acc.SuspiciousRatings += s.SuspiciousRatings
+			acc.TotalRatings += s.TotalRatings
+			out[id] = acc
+		}
+	}
+	return out
+}

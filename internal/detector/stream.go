@@ -1,0 +1,192 @@
+package detector
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/rating"
+	"repro/internal/signal"
+)
+
+// ErrOutOfOrder is returned when a streamed rating arrives with a time
+// before the previous one.
+var ErrOutOfOrder = errors.New("detector: rating out of time order")
+
+// Stream is the online form of Procedure 1: ratings for one object are
+// pushed as they arrive and window reports are emitted the moment each
+// count window completes, with the same suspicion bookkeeping as the
+// batch Detect. Memory stays bounded: ratings older than the next
+// window start are discarded.
+//
+// Only count-based windowing is supported (a live system knows "every
+// 50 ratings" immediately, whereas a time window can only close when a
+// later rating — or an external clock — proves it is over; callers with
+// a clock can run batch Detect per maintenance interval instead, as
+// core.System does).
+type Stream struct {
+	cfg        Config
+	minSamples int
+
+	buf []rating.Rating
+	// emitted counts windows already reported.
+	emitted int
+	// consumed is the absolute index (over all pushed ratings) of
+	// buf[0].
+	consumed int
+	total    int
+	lastTime float64
+
+	latest   map[rating.RaterID]float64
+	perRater map[rating.RaterID]RaterStats
+	// pendingSuspicious marks buffered ratings (relative to consumed)
+	// whose membership in a suspicious window has been counted.
+	pendingSuspicious map[int]bool
+}
+
+// NewStream builds a streaming detector. cfg.Mode must be
+// WindowByCount (or zero, which defaults to it).
+func NewStream(cfg Config) (*Stream, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if cfg.Mode != WindowByCount {
+		return nil, fmt.Errorf("detector: stream supports count windows only")
+	}
+	minSamples := signal.MinSamples(effectiveMethod(cfg.Signal), cfg.Order)
+	if cfg.MinWindow > minSamples {
+		minSamples = cfg.MinWindow
+	}
+	return &Stream{
+		cfg:               cfg,
+		minSamples:        minSamples,
+		latest:            make(map[rating.RaterID]float64),
+		perRater:          make(map[rating.RaterID]RaterStats),
+		pendingSuspicious: make(map[int]bool),
+	}, nil
+}
+
+// Push appends one rating and returns the window reports completed by
+// it (zero or one for step >= 1; exactly one at each step boundary once
+// the first window has filled). Ratings must arrive in non-decreasing
+// time order.
+func (s *Stream) Push(r rating.Rating) ([]WindowReport, error) {
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("detector: %w", err)
+	}
+	if s.total > 0 && r.Time < s.lastTime {
+		return nil, fmt.Errorf("detector: %g after %g: %w", r.Time, s.lastTime, ErrOutOfOrder)
+	}
+	s.lastTime = r.Time
+	s.buf = append(s.buf, r)
+	s.total++
+
+	stats := s.perRater[r.Rater]
+	stats.TotalRatings++
+	s.perRater[r.Rater] = stats
+
+	var out []WindowReport
+	for {
+		start := s.emitted * s.cfg.Step // absolute index of next window
+		if start+s.cfg.Size > s.total {
+			break
+		}
+		rel := start - s.consumed
+		member := s.buf[rel : rel+s.cfg.Size]
+		wr, err := s.fitWindow(member, start)
+		if err != nil {
+			return nil, err
+		}
+		if wr.Suspicious {
+			s.accrueWindow(member, rel, wr.Level)
+		}
+		out = append(out, wr)
+		s.emitted++
+		s.compact()
+	}
+	return out, nil
+}
+
+func (s *Stream) fitWindow(member []rating.Rating, start int) (WindowReport, error) {
+	w := rating.Window{
+		Index:   s.emitted,
+		Start:   member[0].Time,
+		End:     member[len(member)-1].Time,
+		Lo:      start,
+		Hi:      start + len(member),
+		Ratings: member,
+	}
+	wr := WindowReport{Window: w}
+	if len(member) < s.minSamples {
+		return wr, nil
+	}
+	model, err := signal.Fit(rating.Values(member), s.cfg.Order, s.cfg.Signal)
+	if err != nil {
+		if errors.Is(err, signal.ErrTooShort) {
+			return wr, nil
+		}
+		return WindowReport{}, fmt.Errorf("detector: stream window %d: %w", s.emitted, err)
+	}
+	wr.Fitted = true
+	wr.Model = model
+	if model.NormalizedError < s.cfg.Threshold {
+		wr.Suspicious = true
+		wr.Level = suspicionLevel(model.NormalizedError, s.cfg)
+	}
+	return wr, nil
+}
+
+// accrueWindow applies Procedure 1's per-rater update for one
+// suspicious window whose members start at buffer offset rel.
+func (s *Stream) accrueWindow(member []rating.Rating, rel int, level float64) {
+	for i, r := range member {
+		abs := s.consumed + rel + i
+		if !s.pendingSuspicious[abs] {
+			s.pendingSuspicious[abs] = true
+			stats := s.perRater[r.Rater]
+			stats.SuspiciousRatings++
+			s.perRater[r.Rater] = stats
+		}
+		prev := s.latest[r.Rater]
+		switch {
+		case prev == 0:
+			stats := s.perRater[r.Rater]
+			stats.Suspicion += level
+			s.perRater[r.Rater] = stats
+			s.latest[r.Rater] = level
+		case level > prev:
+			stats := s.perRater[r.Rater]
+			stats.Suspicion += level - prev
+			s.perRater[r.Rater] = stats
+			s.latest[r.Rater] = level
+		}
+	}
+}
+
+// compact drops buffered ratings that can no longer appear in a window.
+func (s *Stream) compact() {
+	nextStart := s.emitted * s.cfg.Step
+	if drop := nextStart - s.consumed; drop > 0 {
+		for abs := s.consumed; abs < nextStart; abs++ {
+			delete(s.pendingSuspicious, abs)
+		}
+		s.buf = append(s.buf[:0], s.buf[drop:]...)
+		s.consumed = nextStart
+	}
+}
+
+// PerRater returns a copy of the accumulated per-rater statistics —
+// the same quantities batch Detect reports.
+func (s *Stream) PerRater() map[rating.RaterID]RaterStats {
+	out := make(map[rating.RaterID]RaterStats, len(s.perRater))
+	for id, st := range s.perRater {
+		out[id] = st
+	}
+	return out
+}
+
+// Windows returns how many windows have been emitted.
+func (s *Stream) Windows() int { return s.emitted }
+
+// Buffered returns how many ratings are currently held.
+func (s *Stream) Buffered() int { return len(s.buf) }

@@ -1,0 +1,217 @@
+package detector
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/randx"
+	"repro/internal/rating"
+)
+
+func TestNewStreamValidation(t *testing.T) {
+	if _, err := NewStream(Config{Mode: WindowByTime}); err == nil {
+		t.Fatal("time mode accepted")
+	}
+	if _, err := NewStream(Config{Order: -1}); err == nil {
+		t.Fatal("bad config accepted")
+	}
+	// Zero mode defaults to count.
+	if _, err := NewStream(Config{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamRejectsOutOfOrder(t *testing.T) {
+	s, err := NewStream(Config{Size: 10, Step: 5, Threshold: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Push(rating.Rating{Rater: 1, Value: 0.5, Time: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Push(rating.Rating{Rater: 2, Value: 0.5, Time: 4}); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := s.Push(rating.Rating{Rater: 3, Value: 2, Time: 6}); err == nil {
+		t.Fatal("invalid rating accepted")
+	}
+}
+
+func TestStreamEmitsAtBoundaries(t *testing.T) {
+	s, err := NewStream(Config{Size: 10, Step: 5, Order: 2, Threshold: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var emitted int
+	for i := 0; i < 25; i++ {
+		reports, err := s.Push(rating.Rating{Rater: rating.RaterID(i), Value: 0.8, Time: float64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		emitted += len(reports)
+		// First window completes at the 10th rating, then every 5th.
+		switch {
+		case i < 9 && len(reports) != 0:
+			t.Fatalf("report before first window at i=%d", i)
+		case i == 9 && len(reports) != 1:
+			t.Fatalf("no report at first boundary")
+		case i == 14 && len(reports) != 1:
+			t.Fatalf("no report at second boundary")
+		}
+	}
+	if emitted != 4 || s.Windows() != 4 {
+		t.Fatalf("emitted %d windows", emitted)
+	}
+	// Buffer stays bounded near Size.
+	if s.Buffered() > 15 {
+		t.Fatalf("buffer grew to %d", s.Buffered())
+	}
+}
+
+// streamOver pushes a full trace and returns all window reports.
+func streamOver(t *testing.T, rs []rating.Rating, cfg Config) ([]WindowReport, map[rating.RaterID]RaterStats) {
+	t.Helper()
+	s, err := NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var windows []WindowReport
+	for _, r := range rs {
+		reports, err := s.Push(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		windows = append(windows, reports...)
+	}
+	return windows, s.PerRater()
+}
+
+func TestStreamMatchesBatchDetect(t *testing.T) {
+	// The streaming detector must reproduce batch Detect exactly:
+	// same windows, same models, same per-rater statistics.
+	for seed := int64(0); seed < 5; seed++ {
+		rs := genScenario(seed, true)
+		cfg := Config{Mode: WindowByCount, Size: 50, Step: 25, Threshold: 0.08}
+
+		batch, err := Detect(rs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		streamed, perRater := streamOver(t, rs, cfg)
+
+		if len(streamed) != len(batch.Windows) {
+			t.Fatalf("seed %d: %d streamed windows vs %d batch", seed, len(streamed), len(batch.Windows))
+		}
+		for i := range streamed {
+			b := batch.Windows[i]
+			s := streamed[i]
+			if s.Fitted != b.Fitted || s.Suspicious != b.Suspicious {
+				t.Fatalf("seed %d window %d: flags differ", seed, i)
+			}
+			if s.Model.NormalizedError != b.Model.NormalizedError {
+				t.Fatalf("seed %d window %d: error %g vs %g", seed, i,
+					s.Model.NormalizedError, b.Model.NormalizedError)
+			}
+			if s.Level != b.Level {
+				t.Fatalf("seed %d window %d: level %g vs %g", seed, i, s.Level, b.Level)
+			}
+		}
+		if len(perRater) != len(batch.PerRater) {
+			t.Fatalf("seed %d: per-rater sizes differ", seed)
+		}
+		for id, st := range batch.PerRater {
+			if perRater[id] != st {
+				t.Fatalf("seed %d rater %d: %+v vs %+v", seed, id, perRater[id], st)
+			}
+		}
+	}
+}
+
+func TestStreamConstantCliqueFlagged(t *testing.T) {
+	s, err := NewStream(Config{Size: 20, Step: 10, Threshold: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var suspicious int
+	for i := 0; i < 40; i++ {
+		reports, err := s.Push(rating.Rating{Rater: 7, Value: 0.9, Time: float64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range reports {
+			if w.Suspicious {
+				suspicious++
+			}
+		}
+	}
+	if suspicious < 2 {
+		t.Fatalf("%d suspicious windows", suspicious)
+	}
+	st := s.PerRater()[7]
+	// Incremental max across overlapping windows: exactly one level's
+	// worth (the ridge leaves a ~1e-9 residual under 1).
+	if math.Abs(st.Suspicion-1) > 1e-8 {
+		t.Fatalf("suspicion = %g", st.Suspicion)
+	}
+	if st.SuspiciousRatings != 40 {
+		t.Fatalf("suspicious ratings = %d", st.SuspiciousRatings)
+	}
+}
+
+// Property: streaming equals batch for arbitrary traces and window
+// geometries.
+func TestStreamEquivalenceProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := randx.New(seed)
+		n := 30 + rng.Intn(150)
+		rs := make([]rating.Rating, n)
+		for i := range rs {
+			rs[i] = rating.Rating{
+				Rater: rating.RaterID(rng.Intn(20)),
+				Value: randx.Quantize(rng.Float64(), 11, true),
+				Time:  float64(i) + rng.Float64(),
+			}
+		}
+		size := 10 + rng.Intn(30)
+		step := 1 + rng.Intn(size)
+		cfg := Config{Mode: WindowByCount, Size: size, Step: step, Threshold: 0.3}
+
+		batch, err := Detect(rs, cfg)
+		if err != nil {
+			return false
+		}
+		s, err := NewStream(cfg)
+		if err != nil {
+			return false
+		}
+		var streamed []WindowReport
+		for _, r := range rs {
+			reports, err := s.Push(r)
+			if err != nil {
+				return false
+			}
+			streamed = append(streamed, reports...)
+		}
+		if len(streamed) != len(batch.Windows) {
+			return false
+		}
+		for i := range streamed {
+			if streamed[i].Suspicious != batch.Windows[i].Suspicious ||
+				streamed[i].Model.NormalizedError != batch.Windows[i].Model.NormalizedError {
+				return false
+			}
+		}
+		per := s.PerRater()
+		for id, st := range batch.PerRater {
+			if per[id] != st {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/mathx"
+	"repro/internal/randx"
+	"repro/internal/trust"
+)
+
+// Tab2Aggregators regenerates the §III.B.2 comparison of rating
+// aggregation methods: 10 honest raters (ratings ~ N(0.8, σ 0.05),
+// trust ~ N(0.95, σ 0.05)) versus 10 collaborative raters (ratings ~
+// N(0.4, σ 0.02), trust ~ N(0.6, σ 0.1)), no filtering, averaged over
+// 500 runs. The paper reports M1 0.6365, M2 0.6138, M3 0.7445,
+// M4 0.5985; the desired value is the honest mean 0.8.
+//
+// The case study's tight spreads are treated as standard deviations
+// (see DESIGN.md, variance semantics).
+func Tab2Aggregators(seed int64, mode Mode) (Result, error) {
+	runs := runsFor(mode, 500, 50)
+	rng := randx.New(seed)
+
+	sums := make(map[string]float64)
+	methods := trust.Methods()
+	for i := 0; i < runs; i++ {
+		local := rng.Split()
+		ratings := make([]float64, 0, 20)
+		trusts := make([]float64, 0, 20)
+		for j := 0; j < 10; j++ {
+			ratings = append(ratings, mathx.Clamp(local.Normal(0.8, 0.05), 0, 1))
+			trusts = append(trusts, mathx.Clamp(local.Normal(0.95, 0.05), 0, 1))
+		}
+		for j := 0; j < 10; j++ {
+			ratings = append(ratings, mathx.Clamp(local.Normal(0.4, 0.02), 0, 1))
+			trusts = append(trusts, mathx.Clamp(local.Normal(0.6, 0.1), 0, 1))
+		}
+		for _, m := range methods {
+			v, err := m.Aggregate(ratings, trusts)
+			if err != nil {
+				return Result{}, fmt.Errorf("tab2 %s: %w", m.Name(), err)
+			}
+			sums[m.Name()] += v
+		}
+	}
+
+	paper := map[string]string{
+		"simple-average":            "0.6365",
+		"beta-aggregation":          "0.6138",
+		"modified-weighted-average": "0.7445",
+		"trust-weighted-beta":       "0.5985",
+	}
+	table := Table{
+		Title:   "average aggregated rating (desired 0.8, 50% colluders)",
+		Columns: []string{"method", "paper", "measured"},
+	}
+	for i, m := range methods {
+		table.Rows = append(table.Rows, []string{
+			fmt.Sprintf("M%d %s", i+1, m.Name()),
+			paper[m.Name()],
+			f(sums[m.Name()] / float64(runs)),
+		})
+	}
+
+	m3 := sums["modified-weighted-average"] / float64(runs)
+	return Result{
+		ID:         "tab2",
+		Title:      "Comparison of rating aggregation methods under 50% collusion",
+		PaperClaim: "the modified weighted average (M3) drops only 7% from the desired 0.8; all other methods fall near 0.6",
+		Notes: []string{
+			fmt.Sprintf("measured over %d runs; M3 deficit from desired 0.8: %.1f%%", runs, 100*(0.8-m3)/0.8),
+		},
+		Tables: []Table{table},
+	}, nil
+}

@@ -1,0 +1,211 @@
+// Package experiments defines one deterministic runner per table and
+// figure of the paper's evaluation, plus the ablation studies listed in
+// DESIGN.md. Each runner is a pure function of (seed, mode) returning a
+// structured Result that cmd/experiments renders as text/CSV and the
+// root benchmarks execute.
+package experiments
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Mode selects experiment fidelity.
+type Mode int
+
+const (
+	// Full runs the paper-scale Monte Carlo (e.g. 500 runs for tab1).
+	Full Mode = iota + 1
+	// Quick shrinks run counts for benchmarks and CI while keeping the
+	// workload shape.
+	Quick
+)
+
+// Series is one named (x, y) line of a figure.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Table is a printable table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Result is one experiment's structured output.
+type Result struct {
+	// ID is the experiment key ("fig4", "tab2", "ablation-order", ...).
+	ID string
+	// Title restates what the paper artifact shows.
+	Title string
+	// PaperClaim records what the paper reports, for EXPERIMENTS.md.
+	PaperClaim string
+	// Notes carry measured headline numbers and substitutions.
+	Notes []string
+	// Series hold figure lines; Tables hold table artifacts.
+	Series []Series
+	Tables []Table
+}
+
+// Runner executes one experiment.
+type Runner func(seed int64, mode Mode) (Result, error)
+
+// ErrUnknownExperiment is returned for unregistered IDs.
+var ErrUnknownExperiment = errors.New("experiments: unknown experiment")
+
+// registry maps experiment IDs to runners. Populated by Register calls
+// from each experiment file's runners() wiring.
+func registry() map[string]Runner {
+	return map[string]Runner{
+		"fig2":  Fig2RawRatings,
+		"fig3":  Fig3Histogram,
+		"fig4":  Fig4ModelError,
+		"tab1":  Tab1DetectionRates,
+		"fig5":  Fig5Netflix,
+		"tab2":  Tab2Aggregators,
+		"fig6":  Fig6TrustEvolution,
+		"fig7":  Fig7TrustMonth6,
+		"fig8":  Fig8TrustMonth12,
+		"fig9":  Fig9DetectionCapability,
+		"fig10": Fig10HonestProducts,
+		"fig11": Fig11DishonestProducts,
+		"fig12": Fig12DishonestProductsBias02,
+
+		"ablation-attacks":    AblationAttacks,
+		"ablation-whiteness":  AblationWhiteness,
+		"ablation-forgetting": AblationForgetting,
+		"ablation-baselines":  AblationBaselines,
+		"ablation-churn":      AblationChurn,
+		"ablation-latency":    AblationLatency,
+		"ablation-prior":      AblationPrior,
+		"ablation-demean":     AblationDemean,
+		"ablation-armethod":   AblationARMethod,
+		"ablation-order":      AblationOrder,
+		"ablation-window":     AblationWindow,
+		"ablation-threshold":  AblationThresholdROC,
+		"ablation-floor":      AblationTrustFloor,
+	}
+}
+
+// IDs returns every registered experiment ID, sorted.
+func IDs() []string {
+	reg := registry()
+	out := make([]string, 0, len(reg))
+	for id := range reg {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by ID.
+func Run(id string, seed int64, mode Mode) (Result, error) {
+	runner, ok := registry()[id]
+	if !ok {
+		return Result{}, fmt.Errorf("%q: %w", id, ErrUnknownExperiment)
+	}
+	return runner(seed, mode)
+}
+
+// RenderText writes a human-readable report of r.
+func RenderText(w io.Writer, r Result) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s — %s ===\n", r.ID, r.Title)
+	if r.PaperClaim != "" {
+		fmt.Fprintf(&b, "paper: %s\n", r.PaperClaim)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note:  %s\n", n)
+	}
+	for _, t := range r.Tables {
+		fmt.Fprintf(&b, "\n%s\n", t.Title)
+		fmt.Fprintf(&b, "  %s\n", strings.Join(t.Columns, "\t"))
+		for _, row := range t.Rows {
+			fmt.Fprintf(&b, "  %s\n", strings.Join(row, "\t"))
+		}
+	}
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, "\nseries %s (%d points)\n", s.Name, len(s.X))
+		for i := range s.X {
+			fmt.Fprintf(&b, "  %.4f\t%.6f\n", s.X[i], s.Y[i])
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV writes each series and table of r into dir as CSV files
+// named <id>_<artifact>.csv.
+func WriteCSV(dir string, r Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	for _, s := range r.Series {
+		rows := [][]string{{"x", "y"}}
+		for i := range s.X {
+			rows = append(rows, []string{
+				strconv.FormatFloat(s.X[i], 'g', -1, 64),
+				strconv.FormatFloat(s.Y[i], 'g', -1, 64),
+			})
+		}
+		if err := writeCSVFile(filepath.Join(dir, csvName(r.ID, "series", s.Name)), rows); err != nil {
+			return err
+		}
+	}
+	for _, t := range r.Tables {
+		rows := [][]string{t.Columns}
+		rows = append(rows, t.Rows...)
+		if err := writeCSVFile(filepath.Join(dir, csvName(r.ID, "table", t.Title)), rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func csvName(id, kind, name string) string {
+	clean := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '-'
+		}
+	}, name)
+	return fmt.Sprintf("%s_%s_%s.csv", id, kind, clean)
+}
+
+func writeCSVFile(path string, rows [][]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.WriteAll(rows); err != nil {
+		return fmt.Errorf("experiments: write %s: %w", path, err)
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return fmt.Errorf("experiments: flush %s: %w", path, err)
+	}
+	return nil
+}
+
+// runsFor scales a Monte-Carlo count by mode.
+func runsFor(mode Mode, full, quick int) int {
+	if mode == Quick {
+		return quick
+	}
+	return full
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }

@@ -1,0 +1,349 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestIDsRegistered(t *testing.T) {
+	ids := IDs()
+	want := []string{
+		"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"fig10", "fig11", "fig12", "tab1", "tab2",
+		"ablation-demean", "ablation-armethod", "ablation-order",
+		"ablation-window", "ablation-threshold", "ablation-floor",
+		"ablation-attacks", "ablation-whiteness", "ablation-forgetting", "ablation-baselines", "ablation-churn", "ablation-latency", "ablation-prior",
+	}
+	if len(ids) != len(want) {
+		t.Fatalf("%d experiments registered, want %d: %v", len(ids), len(want), ids)
+	}
+	have := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("nope", 1, Quick); !errors.Is(err, ErrUnknownExperiment) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRenderTextAndCSV(t *testing.T) {
+	res := Result{
+		ID:         "x",
+		Title:      "test artifact",
+		PaperClaim: "the claim",
+		Notes:      []string{"a note"},
+		Series:     []Series{{Name: "s one", X: []float64{1, 2}, Y: []float64{3, 4}}},
+		Tables: []Table{{
+			Title:   "t",
+			Columns: []string{"a", "b"},
+			Rows:    [][]string{{"1", "2"}},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := RenderText(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"test artifact", "the claim", "a note", "series s one", "1.0000\t3.000000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+
+	dir := t.TempDir()
+	if err := WriteCSV(dir, res); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("%d CSV files, want 2", len(entries))
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "x_series_s-one.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "x,y") || !strings.Contains(string(data), "1,3") {
+		t.Fatalf("series csv = %q", data)
+	}
+}
+
+// TestAllExperimentsRunQuick executes every registered experiment in
+// Quick mode and sanity-checks the structural output. This is the
+// repository's end-to-end regression net over the entire evaluation.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			res, err := Run(id, 1, Quick)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ID != id {
+				t.Fatalf("result ID %q", res.ID)
+			}
+			if res.Title == "" {
+				t.Fatal("empty title")
+			}
+			if len(res.Series) == 0 && len(res.Tables) == 0 {
+				t.Fatal("experiment produced no artifacts")
+			}
+			for _, s := range res.Series {
+				if len(s.X) != len(s.Y) {
+					t.Fatalf("series %s length mismatch", s.Name)
+				}
+			}
+			for _, tb := range res.Tables {
+				for _, row := range tb.Rows {
+					if len(row) != len(tb.Columns) {
+						t.Fatalf("table %s row width mismatch", tb.Title)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestExperimentsDeterministic(t *testing.T) {
+	for _, id := range []string{"fig4", "tab2", "fig6"} {
+		a, err := Run(id, 7, Quick)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(id, 7, Quick)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var bufA, bufB bytes.Buffer
+		if err := RenderText(&bufA, a); err != nil {
+			t.Fatal(err)
+		}
+		if err := RenderText(&bufB, b); err != nil {
+			t.Fatal(err)
+		}
+		if bufA.String() != bufB.String() {
+			t.Fatalf("%s not deterministic", id)
+		}
+	}
+}
+
+// --- Reproduction-shape assertions: the paper's qualitative claims ---
+
+func tableCell(t *testing.T, res Result, rowPrefix string, col int) string {
+	t.Helper()
+	for _, tb := range res.Tables {
+		for _, row := range tb.Rows {
+			if strings.HasPrefix(row[0], rowPrefix) {
+				return row[col]
+			}
+		}
+	}
+	t.Fatalf("row %q not found in %s", rowPrefix, res.ID)
+	return ""
+}
+
+func parse(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+func TestTab1Shape(t *testing.T) {
+	res, err := Run("tab1", 1, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := parse(t, tableCell(t, res, "detection ratio", 2))
+	fa := parse(t, tableCell(t, res, "false alarm ratio", 2))
+	if det < 0.5 {
+		t.Fatalf("detection ratio %.3f too low", det)
+	}
+	if fa > 0.25 {
+		t.Fatalf("false alarm ratio %.3f too high", fa)
+	}
+	if det <= fa+0.3 {
+		t.Fatalf("detection %.3f does not dominate false alarm %.3f", det, fa)
+	}
+}
+
+func TestTab2Shape(t *testing.T) {
+	res, err := Run("tab2", 1, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := parse(t, tableCell(t, res, "M1", 2))
+	m2 := parse(t, tableCell(t, res, "M2", 2))
+	m3 := parse(t, tableCell(t, res, "M3", 2))
+	m4 := parse(t, tableCell(t, res, "M4", 2))
+	if !(m3 > m1 && m3 > m2 && m3 > m4) {
+		t.Fatalf("M3 %.3f is not the winner (%.3f %.3f %.3f)", m3, m1, m2, m4)
+	}
+	if m3 < 0.70 {
+		t.Fatalf("M3 %.3f too far from the paper's 0.7445", m3)
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	res, err := Run("fig4", 1, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := map[string]Series{}
+	for _, s := range res.Series {
+		series[s.Name] = s
+	}
+	errH, okH := series["model-error-without-CR"]
+	errA, okA := series["model-error-with-CR"]
+	if !okH || !okA {
+		t.Fatal("model error series missing")
+	}
+	// Minimum error with the attack present must undercut the honest
+	// trace's minimum (the Fig 4 drop).
+	minH, minA := minOf(errH.Y), minOf(errA.Y)
+	if minA >= minH {
+		t.Fatalf("attacked min error %.4f not below honest min %.4f", minA, minH)
+	}
+}
+
+func minOf(xs []float64) float64 {
+	m := xs[0]
+	for _, v := range xs[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+func TestFig5Shape(t *testing.T) {
+	res, err := Run("fig5", 1, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var orig, attacked Series
+	for _, s := range res.Series {
+		switch s.Name {
+		case "model-error-original":
+			orig = s
+		case "model-error-with-collaborative":
+			attacked = s
+		}
+	}
+	// Error inside the attack window must dip below the original's
+	// values at comparable times.
+	origIn := meanWhere(orig, 212, 272)
+	attackedIn := meanWhere(attacked, 212, 272)
+	if attackedIn >= 0.8*origIn {
+		t.Fatalf("attacked error %.4f not clearly below original %.4f in the attack window", attackedIn, origIn)
+	}
+}
+
+func meanWhere(s Series, lo, hi float64) float64 {
+	var sum float64
+	var n int
+	for i, x := range s.X {
+		if x >= lo && x <= hi {
+			sum += s.Y[i]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func TestFig6Shape(t *testing.T) {
+	res, err := Run("fig6", 1, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Series{}
+	for _, s := range res.Series {
+		byName[s.Name] = s
+	}
+	rel := byName["reliable"]
+	pc := byName["dishonest (PC)"]
+	last := len(rel.Y) - 1
+	if rel.Y[last] < 0.8 {
+		t.Fatalf("reliable final trust %.3f too low", rel.Y[last])
+	}
+	if pc.Y[last] > 0.5 {
+		t.Fatalf("PC final trust %.3f not below 0.5", pc.Y[last])
+	}
+	if pc.Y[last] >= pc.Y[0] {
+		t.Fatal("PC trust did not fall over the year")
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	res, err := Run("fig9", 1, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var det, fa Series
+	for _, s := range res.Series {
+		switch s.Name {
+		case "unfair-rating-detection":
+			det = s
+		case "fair-rating-false-alarm":
+			fa = s
+		}
+	}
+	// Over the year, aggregate detection must dominate false alarm.
+	if meanOf(det.Y) <= meanOf(fa.Y) {
+		t.Fatalf("mean detection %.3f not above mean false alarm %.3f", meanOf(det.Y), meanOf(fa.Y))
+	}
+	if meanOf(fa.Y) > 0.15 {
+		t.Fatalf("mean false alarm %.3f too high", meanOf(fa.Y))
+	}
+}
+
+func meanOf(xs []float64) float64 {
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+func TestFig12Shape(t *testing.T) {
+	res, err := Run("fig12", 1, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Series{}
+	for _, s := range res.Series {
+		byName[s.Name] = s
+	}
+	simple := byName["simple-average"]
+	proposed := byName["modified-weighted-average (proposed)"]
+	quality := byName["quality-of-product"]
+	devSimple := maxAbsDiff(simple, quality)
+	devProposed := maxAbsDiff(proposed, quality)
+	if devProposed >= devSimple {
+		t.Fatalf("proposed deviation %.3f not below simple %.3f", devProposed, devSimple)
+	}
+	// Simple average must be visibly boosted on dishonest products.
+	if devSimple < 0.05 {
+		t.Fatalf("simple-average deviation %.3f suspiciously small — attack missing?", devSimple)
+	}
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/trust"
+)
+
+// AblationForgetting exercises the Record Maintenance module's
+// forgetting scheme (§III.B, inherited from [8]): "an honest rater may
+// become compromised or an incapable rater may become capable", so old
+// observations should weigh less than recent ones.
+//
+// Two regime-switch scenarios are scored for each per-day forgetting
+// factor λ:
+//
+//   - turncoat: 12 months honest, then colluding — how many months
+//     until trust falls below the 0.5 malicious line;
+//   - redemption: 12 months colluding, then honest — months until
+//     trust recovers above 0.5.
+//
+// Without forgetting (λ = 1) a long history dominates and both lags
+// blow up; aggressive forgetting shortens them at the cost of less
+// stable steady-state trust.
+func AblationForgetting(seed int64, mode Mode) (Result, error) {
+	_ = seed // fully deterministic scenario
+	const (
+		months     = 12
+		monthDays  = 30
+		maxTrack   = 48 // give slow configurations room to converge
+		honestObs  = 10 // clean ratings per month
+		colludeObs = 10 // suspicious ratings per month
+	)
+	factors := []float64{1.0, 0.995, 0.98, 0.95, 0.9}
+
+	table := Table{
+		Title:   "forgetting factor sweep (per-day λ)",
+		Columns: []string{"lambda", "steady honest trust", "turncoat lag (months)", "redemption lag (months)"},
+	}
+
+	for _, lambda := range factors {
+		steady, err := steadyHonestTrust(lambda, months, monthDays, honestObs)
+		if err != nil {
+			return Result{}, err
+		}
+		turncoat, err := regimeSwitchLag(lambda, months, monthDays, maxTrack, honestObs, colludeObs, true)
+		if err != nil {
+			return Result{}, err
+		}
+		redemption, err := regimeSwitchLag(lambda, months, monthDays, maxTrack, honestObs, colludeObs, false)
+		if err != nil {
+			return Result{}, err
+		}
+		table.Rows = append(table.Rows, []string{
+			fmt.Sprintf("%.3f", lambda), f(steady), lagString(turncoat, maxTrack), lagString(redemption, maxTrack),
+		})
+	}
+
+	return Result{
+		ID:    "ablation-forgetting",
+		Title: "Ablation: record-maintenance forgetting under regime switches",
+		Notes: []string{
+			fmt.Sprintf("deterministic scenario: %d months in the first regime, then switched; %d observations/month", months, honestObs),
+			"lag = months after the switch until trust crosses the 0.5 malicious line ('>' means never within the horizon)",
+		},
+		Tables: []Table{table},
+	}, nil
+}
+
+func lagString(lag, maxTrack int) string {
+	if lag < 0 {
+		return fmt.Sprintf(">%d", maxTrack)
+	}
+	return fmt.Sprintf("%d", lag)
+}
+
+// steadyHonestTrust returns the trust of a purely honest rater after
+// the build-up period.
+func steadyHonestTrust(lambda float64, months, monthDays, obs int) (float64, error) {
+	m, err := trust.NewManager(trust.ManagerConfig{Forgetting: lambda})
+	if err != nil {
+		return 0, err
+	}
+	for month := 1; month <= months; month++ {
+		if err := m.Update(1, trust.Observation{N: obs}, float64(month*monthDays)); err != nil {
+			return 0, err
+		}
+	}
+	return m.Trust(1), nil
+}
+
+// regimeSwitchLag builds `months` of one behavior, switches, and
+// returns how many months the new behavior needs to push trust across
+// 0.5 (negative if it never does within maxTrack months).
+func regimeSwitchLag(lambda float64, months, monthDays, maxTrack, honestObs, colludeObs int, honestFirst bool) (int, error) {
+	m, err := trust.NewManager(trust.ManagerConfig{Forgetting: lambda})
+	if err != nil {
+		return 0, err
+	}
+	honest := trust.Observation{N: honestObs}
+	collude := trust.Observation{
+		N:             colludeObs,
+		Suspicious:    colludeObs,
+		SuspicionMass: float64(colludeObs),
+	}
+	first, second := honest, collude
+	if !honestFirst {
+		first, second = collude, honest
+	}
+	now := 0.0
+	for month := 1; month <= months; month++ {
+		now = float64(month * monthDays)
+		if err := m.Update(1, first, now); err != nil {
+			return 0, err
+		}
+	}
+	for lag := 1; lag <= maxTrack; lag++ {
+		now += float64(monthDays)
+		if err := m.Update(1, second, now); err != nil {
+			return 0, err
+		}
+		crossed := m.Trust(1) < 0.5
+		if !honestFirst {
+			crossed = m.Trust(1) > 0.5
+		}
+		if crossed {
+			return lag, nil
+		}
+	}
+	return -1, nil
+}

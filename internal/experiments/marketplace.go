@@ -1,0 +1,449 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/filter"
+	"repro/internal/randx"
+	"repro/internal/rating"
+	"repro/internal/sim"
+	"repro/internal/trust"
+)
+
+// marketplaceThreshold is the Procedure-1 model-error threshold used in
+// the §IV marketplace. The paper's 0.02 belongs to its Matlab error
+// scale; this value is calibrated to this library's covariance-method
+// levels: honest product windows sit around error 0.11-0.25 while the
+// colluder-dominated recruit windows of dishonest products fall to
+// 0.02-0.06.
+const marketplaceThreshold = 0.10
+
+func marketplaceDetectorConfig() detector.Config {
+	return detector.Config{
+		// ProcessWindow overrides the mode/interval; width 10, step 5
+		// follow §IV.A. MinWindow 25 skips sparse month-end windows
+		// whose order-4 fits overfit into false alarms.
+		Width:     10,
+		TimeStep:  5,
+		Order:     4,
+		Threshold: marketplaceThreshold,
+		Scale:     1,
+		MinWindow: 25,
+	}
+}
+
+func marketplaceSystemConfig() core.Config {
+	return core.Config{
+		Filter:   filter.Beta{Q: 0.1},
+		Detector: marketplaceDetectorConfig(),
+		Trust:    trust.ManagerConfig{B: 1},
+	}
+}
+
+// marketplaceParams picks §IV parameters, shrunk in Quick mode while
+// preserving per-product rating volumes (the AR fit needs them).
+//
+// The §IV spread parameters (goodVar 0.2, carelessVar 0.3, badVar 0.02)
+// are read as standard deviations and squared into the generator's
+// variance fields: with ~90 honest ratings per product, the paper's
+// reported aggregate deviations (proposed ≤0.02 vs ~0.1 for the
+// baselines, Figs 10-12) sit exactly at the σ=0.2 sampling-noise floor,
+// whereas variance semantics (σ≈0.45) would bury the collusion signal
+// under ±0.1 honest noise. See DESIGN.md, variance semantics.
+func marketplaceParams() sim.MarketplaceParams {
+	p := sim.DefaultMarketplace()
+	p.GoodVar = 0.2 * 0.2
+	p.CarelessVar = 0.3 * 0.3
+	p.BadVar = 0.02 * 0.02
+	return p
+}
+
+// scaleQuick shrinks the honest population 4x with PRate scaled up 4x,
+// keeping the per-product daily honest volume (and thus the AR windows)
+// identical. A1 and A2 are scaled down by the same factor so every
+// per-day rate (a_i·PRate) matches full scale, and the PC population is
+// left at 150 because each colluder rates a dishonest product at most
+// once — colluder volume equals the recruited population and cannot be
+// recovered through PRate.
+func scaleQuick(p sim.MarketplaceParams) sim.MarketplaceParams {
+	p.Reliable, p.Careless, p.PC = 100, 50, 150
+	p.PRate = 0.1
+	p.A1 = p.A1 / 4
+	p.A2 = p.A2 / 4
+	return p
+}
+
+// paramsFor assembles the scenario: paper parameters, an optional
+// per-figure adjustment (applied at full scale), then quick scaling.
+func paramsFor(mode Mode, adjust func(*sim.MarketplaceParams)) sim.MarketplaceParams {
+	p := marketplaceParams()
+	if adjust != nil {
+		adjust(&p)
+	}
+	if mode == Quick {
+		p = scaleQuick(p)
+	}
+	return p
+}
+
+// marketplaceRun is one simulated year processed through the system.
+type marketplaceRun struct {
+	params    sim.MarketplaceParams
+	trace     *sim.MarketplaceTrace
+	sys       *core.System
+	snapshots []map[rating.RaterID]float64 // trust after each month
+	reports   []core.ProcessReport
+}
+
+func runMarketplace(seed int64, p sim.MarketplaceParams) (*marketplaceRun, error) {
+	rng := randx.New(seed)
+	trace, err := sim.GenerateMarketplace(rng, p)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := core.NewSystem(marketplaceSystemConfig())
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.SubmitAll(sim.Ratings(trace.Ratings)); err != nil {
+		return nil, err
+	}
+	run := &marketplaceRun{params: p, trace: trace, sys: sys}
+	for m := 0; m < p.Months; m++ {
+		start := float64(m * p.DaysPerMonth)
+		rep, err := sys.ProcessWindow(start, start+float64(p.DaysPerMonth)+1e-9)
+		if err != nil {
+			return nil, err
+		}
+		run.reports = append(run.reports, rep)
+		run.snapshots = append(run.snapshots, sys.TrustSnapshot())
+	}
+	return run, nil
+}
+
+// classMeans returns the mean trust of each identity class in a
+// snapshot. Raters that never rated keep the neutral 0.5.
+func (r *marketplaceRun) classMeans(snapshot map[rating.RaterID]float64) map[sim.RaterClass]float64 {
+	sums := map[sim.RaterClass]float64{}
+	counts := map[sim.RaterClass]int{}
+	for id := 0; id < r.params.TotalRaters(); id++ {
+		class := r.params.RaterClassOf(rating.RaterID(id))
+		v, ok := snapshot[rating.RaterID(id)]
+		if !ok {
+			v = 0.5
+		}
+		sums[class] += v
+		counts[class]++
+	}
+	out := make(map[sim.RaterClass]float64, len(sums))
+	for class, s := range sums {
+		out[class] = s / float64(counts[class])
+	}
+	return out
+}
+
+// classRates returns, for a snapshot, the fraction of each class with
+// trust below the malicious threshold 0.5 — the detection rate for PC
+// raters and the false-alarm rate for honest classes.
+func (r *marketplaceRun) classRates(snapshot map[rating.RaterID]float64) map[sim.RaterClass]float64 {
+	below := map[sim.RaterClass]int{}
+	counts := map[sim.RaterClass]int{}
+	for id := 0; id < r.params.TotalRaters(); id++ {
+		class := r.params.RaterClassOf(rating.RaterID(id))
+		v, ok := snapshot[rating.RaterID(id)]
+		if !ok {
+			v = 0.5
+		}
+		if v < 0.5 {
+			below[class]++
+		}
+		counts[class]++
+	}
+	out := make(map[sim.RaterClass]float64, len(counts))
+	for class, n := range counts {
+		out[class] = float64(below[class]) / float64(n)
+	}
+	return out
+}
+
+// Fig6TrustEvolution regenerates Fig 6: mean trust of reliable,
+// careless and PC raters over the 12 months.
+func Fig6TrustEvolution(seed int64, mode Mode) (Result, error) {
+	run, err := runMarketplace(seed, paramsFor(mode, nil))
+	if err != nil {
+		return Result{}, err
+	}
+	series := map[sim.RaterClass]*Series{
+		sim.Reliable:               {Name: "reliable"},
+		sim.Careless:               {Name: "careless"},
+		sim.PotentialCollaborative: {Name: "dishonest (PC)"},
+	}
+	for m, snap := range run.snapshots {
+		means := run.classMeans(snap)
+		for class, s := range series {
+			s.X = append(s.X, float64(m+1))
+			s.Y = append(s.Y, means[class])
+		}
+	}
+	last := run.classMeans(run.snapshots[len(run.snapshots)-1])
+	return Result{
+		ID:         "fig6",
+		Title:      "Mean of raters' trust over 12 months",
+		PaperClaim: "PC raters' mean trust falls quickly toward 0.4 while reliable and careless raters' trust rises; careless trails reliable slightly",
+		Notes: []string{
+			fmt.Sprintf("final mean trust: reliable %.3f, careless %.3f, PC %.3f",
+				last[sim.Reliable], last[sim.Careless], last[sim.PotentialCollaborative]),
+		},
+		Series: []Series{*series[sim.Reliable], *series[sim.Careless], *series[sim.PotentialCollaborative]},
+	}, nil
+}
+
+// trustAtMonth renders the per-rater trust snapshot of one month as a
+// figure plus detection/false-alarm notes (Figs 7 and 8).
+func trustAtMonth(id, title, claim string, month int, seed int64, mode Mode) (Result, error) {
+	p := paramsFor(mode, nil)
+	if month > p.Months {
+		return Result{}, fmt.Errorf("experiments: month %d beyond %d-month run", month, p.Months)
+	}
+	run, err := runMarketplace(seed, p)
+	if err != nil {
+		return Result{}, err
+	}
+	snap := run.snapshots[month-1]
+	s := Series{Name: fmt.Sprintf("trust-month-%d", month)}
+	for idx := 0; idx < p.TotalRaters(); idx++ {
+		v, ok := snap[rating.RaterID(idx)]
+		if !ok {
+			v = 0.5
+		}
+		s.X = append(s.X, float64(idx))
+		s.Y = append(s.Y, v)
+	}
+	rates := run.classRates(snap)
+	return Result{
+		ID:         id,
+		Title:      title,
+		PaperClaim: claim,
+		Notes: []string{
+			fmt.Sprintf("false alarm: reliable %.1f%%, careless %.1f%%; PC detection %.1f%% (trust < 0.5)",
+				100*rates[sim.Reliable], 100*rates[sim.Careless], 100*rates[sim.PotentialCollaborative]),
+		},
+		Series: []Series{s},
+	}, nil
+}
+
+// Fig7TrustMonth6 regenerates Fig 7.
+func Fig7TrustMonth6(seed int64, mode Mode) (Result, error) {
+	return trustAtMonth("fig7", "Raters' trust in the 6th month",
+		"false alarm 1% (reliable) / 3% (careless); 72% of PC raters detected", 6, seed, mode)
+}
+
+// Fig8TrustMonth12 regenerates Fig 8.
+func Fig8TrustMonth12(seed int64, mode Mode) (Result, error) {
+	return trustAtMonth("fig8", "Raters' trust in the 12th month",
+		"false alarm 0%; 87% of PC raters detected", 12, seed, mode)
+}
+
+// Fig9DetectionCapability regenerates Fig 9: per-month rating-level
+// unfair-rating detection ratio and fair-rating false-alarm ratio. A
+// rating counts as detected when the filter rejected it or it lies in
+// at least one suspicious AR window.
+func Fig9DetectionCapability(seed int64, mode Mode) (Result, error) {
+	p := paramsFor(mode, nil)
+	run, err := runMarketplace(seed, p)
+	if err != nil {
+		return Result{}, err
+	}
+
+	type key struct {
+		r rating.RaterID
+		o rating.ObjectID
+	}
+	unfair := make(map[key]bool)
+	for _, l := range run.trace.Ratings {
+		if l.Unfair {
+			unfair[key{l.Rating.Rater, l.Rating.Object}] = true
+		}
+	}
+
+	det := Series{Name: "unfair-rating-detection"}
+	fa := Series{Name: "fair-rating-false-alarm"}
+	var notesLast string
+	for m, rep := range run.reports {
+		var unfairTotal, unfairHit, fairTotal, fairHit int
+		for _, obj := range rep.Objects {
+			flagged := make(map[key]bool)
+			for _, r := range obj.Rejected {
+				flagged[key{r.Rater, r.Object}] = true
+			}
+			for _, r := range obj.FlaggedRatings() {
+				flagged[key{r.Rater, r.Object}] = true
+			}
+			count := func(rs []rating.Rating) {
+				for _, r := range rs {
+					k := key{r.Rater, r.Object}
+					if unfair[k] {
+						unfairTotal++
+						if flagged[k] {
+							unfairHit++
+						}
+					} else {
+						fairTotal++
+						if flagged[k] {
+							fairHit++
+						}
+					}
+				}
+			}
+			count(obj.Accepted)
+			count(obj.Rejected)
+		}
+		var dRatio, fRatio float64
+		if unfairTotal > 0 {
+			dRatio = float64(unfairHit) / float64(unfairTotal)
+		}
+		if fairTotal > 0 {
+			fRatio = float64(fairHit) / float64(fairTotal)
+		}
+		det.X = append(det.X, float64(m+1))
+		det.Y = append(det.Y, dRatio)
+		fa.X = append(fa.X, float64(m+1))
+		fa.Y = append(fa.Y, fRatio)
+		notesLast = fmt.Sprintf("month %d: detection %.3f, false alarm %.3f (%d unfair / %d fair ratings)",
+			m+1, dRatio, fRatio, unfairTotal, fairTotal)
+	}
+	return Result{
+		ID:         "fig9",
+		Title:      "Unfair-rating detection capability over time",
+		PaperClaim: "detection ratio rises toward 87% while false alarm decays to negligible; existing majority-rule schemes detect 0% of this attack",
+		Notes:      []string{notesLast},
+		Series:     []Series{det, fa},
+	}, nil
+}
+
+// productAggregation runs the a1=8 marketplace and aggregates every
+// product three ways (Figs 10-12): simple average, beta-function
+// aggregation, and the proposed filter+trust pipeline (Method 3 with
+// year-end trust).
+func productAggregation(seed int64, mode Mode, biasShift2 float64, dishonestOnly bool) ([]Series, *marketplaceRun, error) {
+	p := paramsFor(mode, func(p *sim.MarketplaceParams) {
+		p.A1 = 8
+		p.BiasShift2 = biasShift2
+	})
+	run, err := runMarketplace(seed, p)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var products []sim.Product
+	if dishonestOnly {
+		products = run.trace.DishonestProducts()
+	} else {
+		products = run.trace.HonestProducts()
+	}
+
+	simple := Series{Name: "simple-average"}
+	beta := Series{Name: "beta-function-aggregation"}
+	proposed := Series{Name: "modified-weighted-average (proposed)"}
+	quality := Series{Name: "quality-of-product"}
+	for i, pr := range products {
+		ls := run.trace.ByProduct(pr.ID)
+		if len(ls) == 0 {
+			continue
+		}
+		values := make([]float64, len(ls))
+		for j, l := range ls {
+			values[j] = l.Rating.Value
+		}
+		m1, err := trust.SimpleAverage{}.Aggregate(values, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		m2, err := trust.BetaAggregation{}.Aggregate(values, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		agg, err := run.sys.Aggregate(pr.ID)
+		if err != nil {
+			return nil, nil, err
+		}
+		x := float64(i + 1)
+		if dishonestOnly {
+			// Paper numbers dishonest products 49..60.
+			x = float64(len(run.trace.HonestProducts()) + i + 1)
+		}
+		simple.X, simple.Y = append(simple.X, x), append(simple.Y, m1)
+		beta.X, beta.Y = append(beta.X, x), append(beta.Y, m2)
+		proposed.X, proposed.Y = append(proposed.X, x), append(proposed.Y, agg.Value)
+		quality.X, quality.Y = append(quality.X, x), append(quality.Y, pr.Quality)
+	}
+	return []Series{simple, beta, proposed, quality}, run, nil
+}
+
+// maxAbsDiff returns the largest |a.Y[i] − b.Y[i]|.
+func maxAbsDiff(a, b Series) float64 {
+	var maxDiff float64
+	for i := range a.Y {
+		d := a.Y[i] - b.Y[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > maxDiff {
+			maxDiff = d
+		}
+	}
+	return maxDiff
+}
+
+// Fig10HonestProducts regenerates Fig 10: aggregated ratings for the
+// honest products (biasShift2 = 0.15, a1 = 8) — all three schemes track
+// quality.
+func Fig10HonestProducts(seed int64, mode Mode) (Result, error) {
+	series, _, err := productAggregation(seed, mode, 0.15, false)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		ID:         "fig10",
+		Title:      "Rating aggregation for honest products (bias 0.15)",
+		PaperClaim: "all three schemes stay close to the true product quality on honest products",
+		Notes: []string{
+			fmt.Sprintf("max |simple − quality| %.3f; max |proposed − quality| %.3f",
+				maxAbsDiff(series[0], series[3]), maxAbsDiff(series[2], series[3])),
+		},
+		Series: series,
+	}, nil
+}
+
+// Fig11DishonestProducts regenerates Fig 11 (bias 0.15).
+func Fig11DishonestProducts(seed int64, mode Mode) (Result, error) {
+	return dishonestFigure(seed, mode, "fig11", 0.15,
+		"the proposed scheme stays near quality while simple/beta aggregates are boosted by the colluders")
+}
+
+// Fig12DishonestProductsBias02 regenerates Fig 12 (bias 0.2): the paper
+// reports a max deviation of only 0.02 for the proposed scheme versus
+// about 0.1 for the others.
+func Fig12DishonestProductsBias02(seed int64, mode Mode) (Result, error) {
+	return dishonestFigure(seed, mode, "fig12", 0.2,
+		"proposed max deviation ~0.02; simple/beta deviation ~0.1 — an order of magnitude higher")
+}
+
+func dishonestFigure(seed int64, mode Mode, id string, bias float64, claim string) (Result, error) {
+	series, _, err := productAggregation(seed, mode, bias, true)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		ID:         id,
+		Title:      fmt.Sprintf("Rating aggregation for dishonest products (bias %.2f)", bias),
+		PaperClaim: claim,
+		Notes: []string{
+			fmt.Sprintf("max deviation from quality: simple %.3f, beta %.3f, proposed %.3f",
+				maxAbsDiff(series[0], series[3]), maxAbsDiff(series[1], series[3]), maxAbsDiff(series[2], series[3])),
+		},
+		Series: series,
+	}, nil
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/detector"
+	"repro/internal/netflix"
+	"repro/internal/randx"
+	"repro/internal/sim"
+)
+
+// Fig5Netflix regenerates Fig 5: AR model error over a movie rating
+// trace, with and without inserted collaborative ratings (attack days
+// 212-272, the paper's exact insertion parameters). The paper used the
+// Netflix Prize trace of "Dinosaur Planet"; that dataset is withdrawn,
+// so the default trace is the synthetic substitute from
+// internal/netflix (see DESIGN.md). Drop-in of a real Netflix per-movie
+// file is supported by cmd/detect.
+func Fig5Netflix(seed int64, _ Mode) (Result, error) {
+	rng := randx.New(seed)
+	movie, err := netflix.GenerateSynthetic(rng, netflix.SyntheticParams{})
+	if err != nil {
+		return Result{}, err
+	}
+	attack := netflix.DefaultAttack()
+	attacked, err := netflix.InsertCollaborative(rng.Split(), movie, attack)
+	if err != nil {
+		return Result{}, err
+	}
+
+	cfg := detector.Config{
+		Mode:      detector.WindowByCount,
+		Size:      50,
+		Step:      25,
+		Order:     4,
+		Threshold: 0.999, // report the raw error series; thresholding is fig4/tab1's job
+		Scale:     1,
+	}
+	repOrig, err := detector.Detect(movie.Ratings, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	repAttacked, err := detector.Detect(sim.Ratings(attacked), cfg)
+	if err != nil {
+		return Result{}, err
+	}
+
+	xs, ys := repOrig.ModelErrors()
+	sOrig := Series{Name: "model-error-original", X: xs, Y: ys}
+	xs, ys = repAttacked.ModelErrors()
+	sAttacked := Series{Name: "model-error-with-collaborative", X: xs, Y: ys}
+
+	origIn := meanErrorIn(repOrig, attack.AStart, attack.AEnd)
+	attackedIn := meanErrorIn(repAttacked, attack.AStart, attack.AEnd)
+	origOut := meanErrorOutside(repOrig, attack.AStart, attack.AEnd)
+	attackedOut := meanErrorOutside(repAttacked, attack.AStart, attack.AEnd)
+
+	return Result{
+		ID:         "fig5",
+		Title:      "Model error on movie rating data, original vs inserted collaborative ratings",
+		PaperClaim: "the model error drops significantly during the time when the collaborative unfair ratings are present (Dinosaur Planet, 2003)",
+		Notes: []string{
+			"trace: synthetic Dinosaur-Planet-like substitute (Netflix Prize data withdrawn); see DESIGN.md",
+			fmt.Sprintf("mean error inside attack days [%g,%g]: original %.4f vs attacked %.4f",
+				attack.AStart, attack.AEnd, origIn, attackedIn),
+			fmt.Sprintf("mean error outside attack: original %.4f vs attacked %.4f", origOut, attackedOut),
+		},
+		Series: []Series{sOrig, sAttacked},
+	}, nil
+}
+
+func meanErrorOutside(rep detector.Report, start, end float64) float64 {
+	var sum float64
+	var n int
+	for _, w := range rep.Windows {
+		if !w.Fitted {
+			continue
+		}
+		center := (w.Window.Start + w.Window.End) / 2
+		if center < start || center > end {
+			sum += w.Model.NormalizedError
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

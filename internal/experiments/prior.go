@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/randx"
+	"repro/internal/rating"
+	"repro/internal/sim"
+	"repro/internal/stat"
+	"repro/internal/trust"
+)
+
+// AblationPrior sweeps the newcomer trust prior (Record Maintenance's
+// initialization, §III.B) against the sybil strategy — the attack that
+// specifically exploits fresh identities. A skeptical prior (InitialF >
+// 0) starts newcomers below Method 3's aggregation floor, so sybil
+// ratings carry no weight until an identity builds history it cannot
+// afford to build; the cost is a slower honest cold start. The table
+// reports the sybil campaign's residual damage through the full
+// pipeline and how many clean months an honest newcomer needs to rise
+// above the floor.
+func AblationPrior(seed int64, mode Mode) (Result, error) {
+	runs := runsFor(mode, 40, 8)
+	rng := randx.New(seed)
+
+	table := Table{
+		Title:   "newcomer-prior sweep vs the sybil strategy",
+		Columns: []string{"prior (S0,F0)", "newcomer trust", "sybil damage", "honest cold start (months)"},
+	}
+
+	priors := []struct{ s, f float64 }{{0, 0}, {0, 1}, {0, 2}, {1, 2}}
+	for _, prior := range priors {
+		trustCfg := trust.ManagerConfig{B: 1, InitialS: prior.s, InitialF: prior.f}
+		var damage []float64
+		for i := 0; i < runs; i++ {
+			local := rng.Split()
+			p := sim.DefaultIllustrative()
+			p.Attack = false
+			honest, err := sim.GenerateIllustrative(local, p)
+			if err != nil {
+				return Result{}, err
+			}
+			campaign, err := attack.Sybil{}.Plan(local.Split(), attack.Params{
+				Object:   p.Object,
+				Start:    p.AStart,
+				End:      p.AEnd,
+				Rate:     p.ArrivalRate,
+				Bias:     p.BiasShift2,
+				Variance: p.BadVar,
+				Levels:   p.RLevels,
+			}, p.Quality)
+			if err != nil {
+				return Result{}, err
+			}
+			combined := append(append([]sim.LabeledRating(nil), honest...), campaign...)
+			sim.SortByTime(combined)
+
+			attacked, err := priorPipelineAggregate(sim.Ratings(combined), p.Object, trustCfg)
+			if err != nil {
+				return Result{}, err
+			}
+			clean, err := priorPipelineAggregate(sim.Ratings(honest), p.Object, trustCfg)
+			if err != nil {
+				return Result{}, err
+			}
+			damage = append(damage, attacked-clean)
+		}
+
+		coldStart, err := honestColdStartMonths(trustCfg)
+		if err != nil {
+			return Result{}, err
+		}
+		newcomer := (trust.Record{S: prior.s, F: prior.f}).Trust()
+		table.Rows = append(table.Rows, []string{
+			fmt.Sprintf("(%g,%g)", prior.s, prior.f),
+			f(newcomer),
+			f(stat.Mean(damage)),
+			fmt.Sprintf("%d", coldStart),
+		})
+	}
+
+	return Result{
+		ID:    "ablation-prior",
+		Title: "Ablation: newcomer trust prior vs sybil identities",
+		Notes: []string{
+			fmt.Sprintf("%d runs per prior; sybil damage = aggregate shift vs the honest-only pipeline", runs),
+			"cold start = clean months (10 honest ratings each) an honest newcomer needs to rise above the 0.5 floor",
+			"negative result: on this one-shot-rater workload every honest rater also starts below the floor under a skeptical prior, so the trust-weighted path collapses to the fallback and damage can exceed the neutral prior's — skeptical priors only pay off where raters have sustained activity (the detector, not the prior, is what neutralizes sybils here; compare ablation-attacks)",
+		},
+		Tables: []Table{table},
+	}, nil
+}
+
+func priorPipelineAggregate(rs []rating.Rating, obj rating.ObjectID, trustCfg trust.ManagerConfig) (float64, error) {
+	sys, err := core.NewSystem(core.Config{
+		Detector: detector.Config{
+			Width: 10, TimeStep: 5, Order: 4,
+			Threshold: illustrativeThreshold, MinWindow: 25,
+		},
+		Trust: trustCfg,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if err := sys.SubmitAll(rs); err != nil {
+		return 0, err
+	}
+	for _, w := range [][2]float64{{0, 30}, {30, 60}} {
+		if _, err := sys.ProcessWindow(w[0], w[1]); err != nil {
+			return 0, err
+		}
+	}
+	agg, err := sys.Aggregate(obj)
+	if err != nil {
+		return 0, err
+	}
+	return agg.Value, nil
+}
+
+// honestColdStartMonths counts months of clean activity until the
+// prior-seeded trust crosses 0.5 (0 when the prior already starts at or
+// above it; capped at 24).
+func honestColdStartMonths(cfg trust.ManagerConfig) (int, error) {
+	m, err := trust.NewManager(cfg)
+	if err != nil {
+		return 0, err
+	}
+	if m.Trust(1) > 0.5 {
+		return 0, nil
+	}
+	for month := 1; month <= 24; month++ {
+		if err := m.Update(1, trust.Observation{N: 10}, float64(month*30)); err != nil {
+			return 0, err
+		}
+		if m.Trust(1) > 0.5 {
+			return month, nil
+		}
+	}
+	return 24, nil
+}

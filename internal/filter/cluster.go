@@ -1,0 +1,149 @@
+package filter
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/rating"
+	"repro/internal/stat"
+)
+
+// Cluster is the Dellarocas-style clustering filter [3]: ratings are
+// split into two clusters by one-dimensional 2-means; when the clusters
+// are clearly separated, the smaller cluster is deemed the unfair
+// faction and rejected. With balanced or poorly separated clusters the
+// filter abstains (accepts everything) — exactly the majority-rule
+// failure mode the paper exploits: a clique that is comparable in size
+// to the honest population, or close to it in value, is untouchable.
+type Cluster struct {
+	// MinSeparation is the minimum distance between cluster means, in
+	// units of the pooled within-cluster standard deviation, for the
+	// split to count as real; 0 means 2.
+	MinSeparation float64
+	// MaxMinorityShare is the largest fraction of ratings the rejected
+	// cluster may hold; 0 means 0.35 (rejecting a near-half "cluster"
+	// would just be taking sides).
+	MaxMinorityShare float64
+	// MaxIter bounds the Lloyd iterations; 0 means 50.
+	MaxIter int
+}
+
+var _ Filter = Cluster{}
+
+// Name implements Filter.
+func (Cluster) Name() string { return "cluster" }
+
+// Apply implements Filter.
+func (c Cluster) Apply(rs []rating.Rating) (Result, error) {
+	minSep := c.MinSeparation
+	if minSep <= 0 {
+		minSep = 2
+	}
+	maxShare := c.MaxMinorityShare
+	if maxShare <= 0 {
+		maxShare = 0.35
+	}
+	if maxShare >= 0.5 {
+		return Result{}, fmt.Errorf("filter: cluster MaxMinorityShare %g must be below 0.5", maxShare)
+	}
+	maxIter := c.MaxIter
+	if maxIter <= 0 {
+		maxIter = 50
+	}
+	if len(rs) < 4 {
+		// Too few ratings to call anything a faction.
+		return Result{Accepted: append([]rating.Rating(nil), rs...)}, nil
+	}
+
+	values := rating.Values(rs)
+	assign, meanLo, meanHi, ok := twoMeans(values, maxIter)
+	if !ok {
+		return Result{Accepted: append([]rating.Rating(nil), rs...)}, nil
+	}
+
+	// Pooled within-cluster spread.
+	var lo, hi []float64
+	for i, v := range values {
+		if assign[i] == 0 {
+			lo = append(lo, v)
+		} else {
+			hi = append(hi, v)
+		}
+	}
+	within := (stat.Variance(lo)*float64(len(lo)) + stat.Variance(hi)*float64(len(hi))) / float64(len(values))
+	spread := math.Sqrt(within)
+	if spread <= 1e-9 {
+		spread = 1e-9
+	}
+	if (meanHi-meanLo)/spread < minSep {
+		return Result{Accepted: append([]rating.Rating(nil), rs...)}, nil
+	}
+
+	minority := 0 // cluster index of the smaller faction
+	if len(lo) > len(hi) {
+		minority = 1
+	}
+	minoritySize := len(lo)
+	if minority == 1 {
+		minoritySize = len(hi)
+	}
+	if float64(minoritySize)/float64(len(values)) > maxShare {
+		return Result{Accepted: append([]rating.Rating(nil), rs...)}, nil
+	}
+
+	accepted := make([]bool, len(rs))
+	for i := range rs {
+		accepted[i] = assign[i] != minority
+	}
+	return partition(rs, accepted), nil
+}
+
+// twoMeans runs Lloyd's algorithm with k = 2 on one-dimensional data,
+// seeded at the lower/upper quartiles. It returns per-point assignments
+// (0 = low cluster, 1 = high cluster) and the two means; ok is false
+// when the data cannot be split (all values equal or a cluster emptied).
+func twoMeans(values []float64, maxIter int) (assign []int, meanLo, meanHi float64, ok bool) {
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	if sorted[0] == sorted[len(sorted)-1] {
+		return nil, 0, 0, false
+	}
+	meanLo = sorted[len(sorted)/4]
+	meanHi = sorted[(3*len(sorted))/4]
+	if meanLo == meanHi {
+		meanLo, meanHi = sorted[0], sorted[len(sorted)-1]
+	}
+
+	assign = make([]int, len(values))
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		var sumLo, sumHi float64
+		var nLo, nHi int
+		for i, v := range values {
+			cluster := 0
+			if v-meanLo > meanHi-v {
+				cluster = 1
+			}
+			if assign[i] != cluster {
+				assign[i] = cluster
+				changed = true
+			}
+			if cluster == 0 {
+				sumLo += v
+				nLo++
+			} else {
+				sumHi += v
+				nHi++
+			}
+		}
+		if nLo == 0 || nHi == 0 {
+			return nil, 0, 0, false
+		}
+		meanLo, meanHi = sumLo/float64(nLo), sumHi/float64(nHi)
+		if !changed {
+			break
+		}
+	}
+	return assign, meanLo, meanHi, true
+}

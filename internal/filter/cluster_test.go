@@ -1,0 +1,184 @@
+package filter
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/randx"
+	"repro/internal/rating"
+)
+
+func TestClusterRejectsSmallFarFaction(t *testing.T) {
+	rng := randx.New(1)
+	var rs []rating.Rating
+	// 30 honest around 0.8, 8 downgraders at 0.1.
+	for i := 0; i < 30; i++ {
+		rs = append(rs, rating.Rating{
+			Rater: rating.RaterID(i),
+			Value: randx.Quantize(rng.NormalVar(0.8, 0.005), 11, true),
+			Time:  float64(i),
+		})
+	}
+	for i := 0; i < 8; i++ {
+		rs = append(rs, rating.Rating{
+			Rater: rating.RaterID(1000 + i),
+			Value: 0.1,
+			Time:  float64(30 + i),
+		})
+	}
+	res, err := Cluster{}.Apply(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rejected) != 8 {
+		t.Fatalf("rejected %d, want the 8-member faction", len(res.Rejected))
+	}
+	for _, r := range res.Rejected {
+		if r.Rater < 1000 {
+			t.Fatalf("honest rater %d rejected", r.Rater)
+		}
+	}
+}
+
+func TestClusterAbstainsOnBalancedSplit(t *testing.T) {
+	// Two equal camps: taking sides would be arbitrary; the filter must
+	// abstain.
+	var rs []rating.Rating
+	for i := 0; i < 20; i++ {
+		v := 0.2
+		if i%2 == 0 {
+			v = 0.9
+		}
+		rs = append(rs, rating.Rating{Rater: rating.RaterID(i), Value: v, Time: float64(i)})
+	}
+	res, err := Cluster{}.Apply(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rejected) != 0 {
+		t.Fatalf("balanced split rejected %d ratings", len(res.Rejected))
+	}
+}
+
+func TestClusterAbstainsOnPoorSeparation(t *testing.T) {
+	// Wide unimodal noise: 2-means always "finds" two clusters, but the
+	// separation test must reject the split.
+	rng := randx.New(2)
+	var rs []rating.Rating
+	for i := 0; i < 60; i++ {
+		rs = append(rs, rating.Rating{
+			Rater: rating.RaterID(i),
+			Value: randx.Quantize(rng.NormalVar(0.5, 0.2), 11, true),
+			Time:  float64(i),
+		})
+	}
+	res, err := Cluster{}.Apply(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac := float64(len(res.Rejected)) / float64(len(rs)); frac > 0.2 {
+		t.Fatalf("unimodal noise: rejected %.2f of ratings", frac)
+	}
+}
+
+// TestClusterMissesSmartCollusion: the §III.A.2 point again — a clique
+// at quality+0.15 is too close to separate, and one comparable in size
+// to the honest side is protected by the minority-share guard.
+func TestClusterMissesSmartCollusion(t *testing.T) {
+	rng := randx.New(3)
+	var rs []rating.Rating
+	for i := 0; i < 40; i++ {
+		rs = append(rs, rating.Rating{
+			Rater: rating.RaterID(i),
+			Value: randx.Quantize(rng.NormalVar(0.7, 0.04), 11, true),
+			Time:  float64(i),
+		})
+	}
+	var colluders int
+	for i := 0; i < 35; i++ {
+		rs = append(rs, rating.Rating{
+			Rater: rating.RaterID(500 + i),
+			Value: randx.Quantize(rng.NormalVar(0.85, 0.002), 11, true),
+			Time:  float64(40 + i),
+		})
+		colluders++
+	}
+	res, err := Cluster{}.Apply(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caught := 0
+	for _, r := range res.Rejected {
+		if r.Rater >= 500 {
+			caught++
+		}
+	}
+	if caught > colluders/4 {
+		t.Fatalf("cluster filter caught %d/%d smart colluders; expected it to mostly miss", caught, colluders)
+	}
+}
+
+func TestClusterSmallBatches(t *testing.T) {
+	res, err := Cluster{}.Apply(batch(0.1, 0.9, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rejected) != 0 {
+		t.Fatal("tiny batch must be accepted wholesale")
+	}
+	res, err = Cluster{}.Apply(nil)
+	if err != nil || len(res.Accepted) != 0 {
+		t.Fatalf("empty: %+v %v", res, err)
+	}
+}
+
+func TestClusterConstantValues(t *testing.T) {
+	res, err := Cluster{}.Apply(batch(0.5, 0.5, 0.5, 0.5, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rejected) != 0 {
+		t.Fatal("constant batch rejected ratings")
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := (Cluster{MaxMinorityShare: 0.6}).Apply(batch(0.1, 0.2, 0.3, 0.4)); err == nil {
+		t.Fatal("MaxMinorityShare >= 0.5 accepted")
+	}
+}
+
+// Property: the cluster filter partitions its input and, when it does
+// reject, rejects a minority whose values all sit on one side of the
+// accepted values' range.
+func TestClusterPartitionProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := randx.New(seed)
+		n := rng.Intn(80)
+		rs := make([]rating.Rating, n)
+		for i := range rs {
+			rs[i] = rating.Rating{
+				Rater: rating.RaterID(i),
+				Value: randx.Quantize(rng.Float64(), 11, true),
+				Time:  float64(i),
+			}
+		}
+		res, err := Cluster{}.Apply(rs)
+		if err != nil {
+			return false
+		}
+		if len(res.Accepted)+len(res.Rejected) != n {
+			return false
+		}
+		if len(res.Rejected) == 0 {
+			return true
+		}
+		if len(res.Rejected)*2 >= n {
+			return false // never reject a majority
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

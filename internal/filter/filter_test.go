@@ -1,0 +1,283 @@
+package filter
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/randx"
+	"repro/internal/rating"
+)
+
+// batch builds ratings from values, times = index.
+func batch(values ...float64) []rating.Rating {
+	rs := make([]rating.Rating, len(values))
+	for i, v := range values {
+		rs[i] = rating.Rating{Rater: rating.RaterID(i), Value: v, Time: float64(i)}
+	}
+	return rs
+}
+
+// honestPlusOutliers builds a tight honest cluster around 0.8 plus far
+// outliers.
+func honestPlusOutliers(rng *randx.Rand, nHonest int, outliers ...float64) []rating.Rating {
+	var rs []rating.Rating
+	for i := 0; i < nHonest; i++ {
+		rs = append(rs, rating.Rating{
+			Rater: rating.RaterID(i),
+			Value: randx.Quantize(rng.NormalVar(0.8, 0.01), 11, true),
+			Time:  float64(i),
+		})
+	}
+	for j, v := range outliers {
+		rs = append(rs, rating.Rating{
+			Rater: rating.RaterID(1000 + j),
+			Value: v,
+			Time:  float64(nHonest + j),
+		})
+	}
+	return rs
+}
+
+func TestNoopAcceptsEverything(t *testing.T) {
+	rs := batch(0, 0.5, 1)
+	res, err := Noop{}.Apply(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Accepted) != 3 || len(res.Rejected) != 0 {
+		t.Fatalf("noop = %+v", res)
+	}
+	if (Noop{}).Name() != "noop" {
+		t.Fatal("name")
+	}
+}
+
+func TestNoopCopies(t *testing.T) {
+	rs := batch(0.5)
+	res, _ := Noop{}.Apply(rs)
+	res.Accepted[0].Value = 0.9
+	if rs[0].Value != 0.5 {
+		t.Fatal("noop aliases its input")
+	}
+}
+
+func TestBetaFilterRejectsFarOutliers(t *testing.T) {
+	// A downgrading clique at 0/0.05 against a majority near 0.8 is far
+	// enough outside each outlier's individual Beta quantile band to be
+	// caught. (A 1.0 rating against a 0.8 majority would NOT be: the
+	// individual Beta(2,1) band reaches the majority — the filter is
+	// asymmetric by construction.)
+	rng := randx.New(1)
+	rs := honestPlusOutliers(rng, 30, 0.0, 0.05)
+	res, err := Beta{Q: 0.1}.Apply(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rejected := make(map[rating.RaterID]bool)
+	for _, r := range res.Rejected {
+		rejected[r.Rater] = true
+	}
+	for j := 0; j < 2; j++ {
+		if !rejected[rating.RaterID(1000+j)] {
+			t.Fatalf("outlier %d not rejected; rejected set: %v", j, res.Rejected)
+		}
+	}
+	if len(res.Rejected) > 4 {
+		t.Fatalf("filter over-rejected: %d ratings", len(res.Rejected))
+	}
+}
+
+// TestBetaFilterMissesSmartCollusion reproduces the paper's point: the
+// type-2 strategy (moderate bias, low variance) slips through the Beta
+// filter because it is not far from the majority (§III.A.2, Fig 4).
+func TestBetaFilterMissesSmartCollusion(t *testing.T) {
+	rng := randx.New(2)
+	var rs []rating.Rating
+	for i := 0; i < 40; i++ {
+		rs = append(rs, rating.Rating{
+			Rater: rating.RaterID(i),
+			Value: randx.Quantize(rng.NormalVar(0.7, 0.2), 11, true),
+			Time:  float64(i),
+		})
+	}
+	var colluders int
+	for i := 0; i < 40; i++ {
+		v := randx.Quantize(rng.NormalVar(0.85, 0.02), 11, true)
+		rs = append(rs, rating.Rating{
+			Rater: rating.RaterID(500 + i),
+			Value: v,
+			Time:  float64(40 + i),
+		})
+		colluders++
+	}
+	res, err := Beta{Q: 0.1}.Apply(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caught := 0
+	for _, r := range res.Rejected {
+		if r.Rater >= 500 {
+			caught++
+		}
+	}
+	if caught > colluders/4 {
+		t.Fatalf("beta filter caught %d/%d smart colluders; the paper's premise expects it to miss most", caught, colluders)
+	}
+}
+
+func TestBetaFilterValidation(t *testing.T) {
+	if _, err := (Beta{Q: 0}).Apply(batch(0.5)); err == nil {
+		t.Fatal("q = 0 accepted")
+	}
+	if _, err := (Beta{Q: 0.5}).Apply(batch(0.5)); err == nil {
+		t.Fatal("q = 0.5 accepted")
+	}
+}
+
+func TestBetaFilterEmptyAndTiny(t *testing.T) {
+	res, err := Beta{Q: 0.1}.Apply(nil)
+	if err != nil || len(res.Accepted) != 0 {
+		t.Fatalf("empty: %+v, %v", res, err)
+	}
+	// MinKeep prevents emptying a 2-rating batch.
+	res, err = Beta{Q: 0.1}.Apply(batch(0.1, 0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Accepted) < 2 {
+		t.Fatalf("tiny batch reduced below MinKeep: %+v", res)
+	}
+}
+
+func TestQuantileFilter(t *testing.T) {
+	rs := batch(0.0, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 1.0)
+	res, err := Quantile{Q: 0.15}.Apply(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rejected) != 2 {
+		t.Fatalf("rejected %d, want the two extremes", len(res.Rejected))
+	}
+	for _, r := range res.Rejected {
+		if r.Value != 0 && r.Value != 1 {
+			t.Fatalf("rejected %+v", r)
+		}
+	}
+}
+
+func TestQuantileFilterValidation(t *testing.T) {
+	if _, err := (Quantile{Q: 0.6}).Apply(batch(0.5)); err == nil {
+		t.Fatal("q > 0.5 accepted")
+	}
+	res, err := Quantile{Q: 0.1}.Apply(nil)
+	if err != nil || len(res.Accepted) != 0 {
+		t.Fatalf("empty: %+v %v", res, err)
+	}
+}
+
+func TestEntropyFilterFlagsDistributionShift(t *testing.T) {
+	// Seed with a tight cluster; a far rating increases entropy and is
+	// rejected, a conforming rating is accepted.
+	var rs []rating.Rating
+	for i := 0; i < 20; i++ {
+		rs = append(rs, rating.Rating{Rater: rating.RaterID(i), Value: 0.7, Time: float64(i)})
+	}
+	rs = append(rs,
+		rating.Rating{Rater: 100, Value: 0.1, Time: 20},
+		rating.Rating{Rater: 101, Value: 0.7, Time: 21},
+	)
+	res, err := Entropy{}.Apply(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rejected) != 1 || res.Rejected[0].Rater != 100 {
+		t.Fatalf("rejected = %+v", res.Rejected)
+	}
+}
+
+func TestEntropyFilterSeedPhaseAcceptsAll(t *testing.T) {
+	rs := batch(0.1, 0.9, 0.2, 0.8)
+	res, err := Entropy{MinSamples: 10}.Apply(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rejected) != 0 {
+		t.Fatalf("seed phase rejected %+v", res.Rejected)
+	}
+}
+
+func TestEndorsementFilter(t *testing.T) {
+	rng := randx.New(3)
+	rs := honestPlusOutliers(rng, 20, 0.05)
+	res, err := Endorsement{}.Apply(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rejected) != 1 || res.Rejected[0].Rater != 1000 {
+		t.Fatalf("rejected = %+v", res.Rejected)
+	}
+}
+
+func TestEndorsementFilterSingleRating(t *testing.T) {
+	res, err := Endorsement{}.Apply(batch(0.4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Accepted) != 1 {
+		t.Fatalf("single rating: %+v", res)
+	}
+}
+
+// Property: every filter partitions its input exactly — accepted plus
+// rejected is the input multiset, order preserved within each side, and
+// the input itself is never mutated.
+func TestFiltersPartitionProperty(t *testing.T) {
+	filters := []Filter{
+		Noop{},
+		Beta{Q: 0.1},
+		Quantile{Q: 0.1},
+		Entropy{},
+		Endorsement{},
+		Cluster{},
+	}
+	prop := func(seed int64) bool {
+		rng := randx.New(seed)
+		n := rng.Intn(60)
+		rs := make([]rating.Rating, n)
+		for i := range rs {
+			rs[i] = rating.Rating{
+				Rater: rating.RaterID(i),
+				Value: randx.Quantize(rng.Float64(), 11, true),
+				Time:  float64(i),
+			}
+		}
+		before := append([]rating.Rating(nil), rs...)
+		for _, f := range filters {
+			res, err := f.Apply(rs)
+			if err != nil {
+				return false
+			}
+			if len(res.Accepted)+len(res.Rejected) != n {
+				return false
+			}
+			// Each side must preserve input (time) order.
+			for _, side := range [][]rating.Rating{res.Accepted, res.Rejected} {
+				for i := 1; i < len(side); i++ {
+					if side[i].Time < side[i-1].Time {
+						return false
+					}
+				}
+			}
+			// Input untouched.
+			for i := range rs {
+				if rs[i] != before[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

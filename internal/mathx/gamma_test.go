@@ -1,0 +1,114 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegLowerGammaKnown(t *testing.T) {
+	// P(1, x) = 1 - exp(-x).
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5, 10} {
+		got, err := RegLowerGamma(1, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1 - math.Exp(-x)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("P(1,%g) = %g, want %g", x, got, want)
+		}
+	}
+	// P(1/2, x) = erf(sqrt(x)).
+	for _, x := range []float64{0.2, 1, 3, 8} {
+		got, err := RegLowerGamma(0.5, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Erf(math.Sqrt(x))
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("P(0.5,%g) = %g, want %g", x, got, want)
+		}
+	}
+}
+
+func TestRegLowerGammaEdges(t *testing.T) {
+	if got, _ := RegLowerGamma(3, 0); got != 0 {
+		t.Fatalf("P(3,0) = %g", got)
+	}
+	if _, err := RegLowerGamma(0, 1); err == nil {
+		t.Fatal("a = 0 accepted")
+	}
+	if _, err := RegLowerGamma(1, -1); err == nil {
+		t.Fatal("x < 0 accepted")
+	}
+}
+
+func TestRegUpperGammaComplement(t *testing.T) {
+	for _, c := range []struct{ a, x float64 }{{0.7, 0.3}, {2, 2}, {5, 9}, {10, 3}} {
+		p, err1 := RegLowerGamma(c.a, c.x)
+		q, err2 := RegUpperGamma(c.a, c.x)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("errors: %v %v", err1, err2)
+		}
+		if math.Abs(p+q-1) > 1e-12 {
+			t.Errorf("P+Q = %g at %+v", p+q, c)
+		}
+	}
+}
+
+func TestChiSquaredSurvivalKnown(t *testing.T) {
+	// Chi-squared with 2 dof: survival = exp(-x/2).
+	for _, x := range []float64{0.5, 2, 6} {
+		got, err := ChiSquaredSurvival(x, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Exp(-x / 2)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("surv(%g, 2) = %g, want %g", x, got, want)
+		}
+	}
+	// 95th percentile of chi2(1) is about 3.841.
+	got, err := ChiSquaredSurvival(3.841, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.05) > 1e-3 {
+		t.Errorf("surv(3.841, 1) = %g, want about 0.05", got)
+	}
+}
+
+func TestChiSquaredSurvivalEdges(t *testing.T) {
+	if got, _ := ChiSquaredSurvival(0, 3); got != 1 {
+		t.Fatalf("surv(0) = %g", got)
+	}
+	if got, _ := ChiSquaredSurvival(-2, 3); got != 1 {
+		t.Fatalf("surv(-2) = %g", got)
+	}
+	if _, err := ChiSquaredSurvival(1, 0); err == nil {
+		t.Fatal("0 dof accepted")
+	}
+}
+
+// Property: P(a, x) is monotone non-decreasing in x and within [0, 1].
+func TestRegLowerGammaMonotoneProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed))
+		a := 0.2 + 15*local.Float64()
+		x1 := 30 * local.Float64()
+		x2 := 30 * local.Float64()
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		p1, err1 := RegLowerGamma(a, x1)
+		p2, err2 := RegLowerGamma(a, x2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return p1 >= 0 && p2 <= 1 && p1 <= p2+1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

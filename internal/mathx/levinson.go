@@ -1,0 +1,58 @@
+package mathx
+
+import "fmt"
+
+// LevinsonDurbin solves the Toeplitz normal equations of the AR
+// autocorrelation (Yule-Walker) method.
+//
+// Given autocorrelation estimates r[0..p] it returns the AR coefficients
+// a[1..p] of the all-pole model
+//
+//	x(n) = -a(1) x(n-1) - ... - a(p) x(n-p) + e(n)
+//
+// (so the full polynomial is [1, a(1), ..., a(p)]), the final prediction
+// error power, and the reflection coefficients k[1..p]. The returned
+// coefficient slice has length p and holds a(1..p); the implicit leading
+// 1 is omitted.
+//
+// It fails when r[0] <= 0 (no signal energy) or when the recursion
+// produces a non-positive error power before the requested order, which
+// indicates an invalid (non positive-semidefinite) autocorrelation
+// sequence.
+func LevinsonDurbin(r []float64, p int) (a []float64, errPower float64, k []float64, err error) {
+	if p < 1 {
+		return nil, 0, nil, fmt.Errorf("levinson: order %d: %w", p, ErrDimension)
+	}
+	if len(r) < p+1 {
+		return nil, 0, nil, fmt.Errorf("levinson: need %d lags, have %d: %w", p+1, len(r), ErrDimension)
+	}
+	if r[0] <= 0 {
+		return nil, 0, nil, fmt.Errorf("levinson: zero-energy signal: %w", ErrSingular)
+	}
+
+	a = make([]float64, p)
+	k = make([]float64, p)
+	prev := make([]float64, p)
+	e := r[0]
+
+	for j := 1; j <= p; j++ {
+		acc := r[j]
+		for i := 1; i < j; i++ {
+			acc += a[i-1] * r[j-i]
+		}
+		kj := -acc / e
+		k[j-1] = kj
+
+		copy(prev, a[:j-1])
+		for i := 1; i < j; i++ {
+			a[i-1] = prev[i-1] + kj*prev[j-i-1]
+		}
+		a[j-1] = kj
+
+		e *= 1 - kj*kj
+		if e <= 0 {
+			return nil, 0, nil, fmt.Errorf("levinson: error power vanished at order %d: %w", j, ErrSingular)
+		}
+	}
+	return a, e, k, nil
+}

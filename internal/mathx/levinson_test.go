@@ -1,0 +1,135 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevinsonDurbinOrderOne(t *testing.T) {
+	// AR(1): r(0)=1, r(1)=rho -> a(1) = -rho, error = 1 - rho^2.
+	const rho = 0.6
+	a, e, k, err := LevinsonDurbin([]float64{1, rho}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a[0]+rho) > 1e-12 {
+		t.Fatalf("a(1) = %g, want %g", a[0], -rho)
+	}
+	if math.Abs(e-(1-rho*rho)) > 1e-12 {
+		t.Fatalf("error power = %g, want %g", e, 1-rho*rho)
+	}
+	if math.Abs(k[0]+rho) > 1e-12 {
+		t.Fatalf("k(1) = %g, want %g", k[0], -rho)
+	}
+}
+
+func TestLevinsonDurbinMatchesDirectSolve(t *testing.T) {
+	// Levinson must agree with a direct Toeplitz solve of the
+	// Yule-Walker equations R a = -r.
+	r := []float64{2.0, 1.1, 0.6, 0.25, 0.1}
+	const p = 4
+	a, _, _, err := LevinsonDurbin(r, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build the Toeplitz system.
+	m := NewMatrix(p, p)
+	rhs := make([]float64, p)
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			m[i][j] = r[abs(i-j)]
+		}
+		rhs[i] = -r[i+1]
+	}
+	want, err := SymSolve(m, rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(a[i]-want[i]) > 1e-9 {
+			t.Fatalf("a = %v, direct solve = %v", a, want)
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestLevinsonDurbinWhiteNoise(t *testing.T) {
+	// White noise has r = [s, 0, 0, ...]: all coefficients zero, error = s.
+	a, e, _, err := LevinsonDurbin([]float64{3, 0, 0, 0}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range a {
+		if v != 0 {
+			t.Fatalf("a(%d) = %g, want 0", i+1, v)
+		}
+	}
+	if e != 3 {
+		t.Fatalf("error = %g, want 3", e)
+	}
+}
+
+func TestLevinsonDurbinErrors(t *testing.T) {
+	if _, _, _, err := LevinsonDurbin([]float64{1, 0.5}, 0); err == nil {
+		t.Fatal("order 0 accepted")
+	}
+	if _, _, _, err := LevinsonDurbin([]float64{1}, 1); err == nil {
+		t.Fatal("too few lags accepted")
+	}
+	if _, _, _, err := LevinsonDurbin([]float64{0, 0}, 1); err == nil {
+		t.Fatal("zero-energy signal accepted")
+	}
+	// |rho| = 1 collapses the error power at order 2.
+	if _, _, _, err := LevinsonDurbin([]float64{1, 1, 1}, 2); err == nil {
+		t.Fatal("degenerate autocorrelation accepted")
+	}
+}
+
+// Property: error power is positive and non-increasing with model order,
+// and all reflection coefficients have magnitude < 1 for valid sequences.
+func TestLevinsonDurbinMonotoneErrorProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed))
+		// Build a valid autocorrelation from a random signal.
+		n := 64
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = local.NormFloat64()
+		}
+		const maxP = 6
+		r := make([]float64, maxP+1)
+		for lag := 0; lag <= maxP; lag++ {
+			for i := lag; i < n; i++ {
+				r[lag] += x[i] * x[i-lag]
+			}
+		}
+		prevErr := r[0]
+		for p := 1; p <= maxP; p++ {
+			_, e, k, err := LevinsonDurbin(r, p)
+			if err != nil {
+				return false
+			}
+			if e <= 0 || e > prevErr+1e-12 {
+				return false
+			}
+			for _, kv := range k {
+				if math.Abs(kv) >= 1 {
+					return false
+				}
+			}
+			prevErr = e
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

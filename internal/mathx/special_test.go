@@ -1,0 +1,185 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogBetaKnown(t *testing.T) {
+	cases := []struct {
+		a, b, want float64
+	}{
+		{1, 1, 0},                  // B(1,1)=1
+		{2, 3, math.Log(1.0 / 12)}, // B(2,3)=1/12
+		{0.5, 0.5, math.Log(math.Pi)},
+	}
+	for _, c := range cases {
+		if got := LogBeta(c.a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("LogBeta(%g,%g) = %g, want %g", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRegIncBetaKnown(t *testing.T) {
+	cases := []struct {
+		x, a, b, want float64
+	}{
+		{0.5, 1, 1, 0.5},         // uniform CDF
+		{0.25, 1, 1, 0.25},       // uniform CDF
+		{0.5, 2, 2, 0.5},         // symmetric
+		{0.3, 1, 2, 1 - 0.7*0.7}, // I_x(1,2) = 1-(1-x)^2
+		{0.7, 2, 1, 0.49},        // I_x(2,1) = x^2
+	}
+	for _, c := range cases {
+		got, err := RegIncBeta(c.x, c.a, c.b)
+		if err != nil {
+			t.Fatalf("RegIncBeta(%g,%g,%g): %v", c.x, c.a, c.b, err)
+		}
+		if math.Abs(got-c.want) > 1e-10 {
+			t.Errorf("RegIncBeta(%g,%g,%g) = %g, want %g", c.x, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRegIncBetaBoundaries(t *testing.T) {
+	if got, _ := RegIncBeta(0, 3, 4); got != 0 {
+		t.Fatalf("I_0 = %g, want 0", got)
+	}
+	if got, _ := RegIncBeta(1, 3, 4); got != 1 {
+		t.Fatalf("I_1 = %g, want 1", got)
+	}
+}
+
+func TestRegIncBetaInvalid(t *testing.T) {
+	if _, err := RegIncBeta(0.5, -1, 2); err == nil {
+		t.Fatal("negative shape accepted")
+	}
+	if _, err := RegIncBeta(1.5, 1, 2); err == nil {
+		t.Fatal("x > 1 accepted")
+	}
+	if _, err := RegIncBeta(math.NaN(), 1, 2); err == nil {
+		t.Fatal("NaN x accepted")
+	}
+}
+
+func TestRegIncBetaSymmetry(t *testing.T) {
+	// I_x(a,b) = 1 - I_{1-x}(b,a).
+	for _, c := range []struct{ x, a, b float64 }{
+		{0.1, 2.5, 7}, {0.9, 0.7, 0.4}, {0.42, 10, 3},
+	} {
+		lhs, err1 := RegIncBeta(c.x, c.a, c.b)
+		rhs, err2 := RegIncBeta(1-c.x, c.b, c.a)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("errors: %v %v", err1, err2)
+		}
+		if math.Abs(lhs-(1-rhs)) > 1e-11 {
+			t.Errorf("symmetry violated at %+v: %g vs %g", c, lhs, 1-rhs)
+		}
+	}
+}
+
+func TestBetaQuantileKnown(t *testing.T) {
+	// Uniform distribution: quantile is identity.
+	for _, p := range []float64{0.01, 0.25, 0.5, 0.9, 0.999} {
+		got, err := BetaQuantile(p, 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-p) > 1e-10 {
+			t.Errorf("BetaQuantile(%g,1,1) = %g, want %g", p, got, p)
+		}
+	}
+	// I_x(2,1)=x^2 so quantile(p) = sqrt(p).
+	got, err := BetaQuantile(0.25, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("BetaQuantile(0.25,2,1) = %g, want 0.5", got)
+	}
+}
+
+func TestBetaQuantileBoundaries(t *testing.T) {
+	if got, _ := BetaQuantile(0, 5, 2); got != 0 {
+		t.Fatalf("quantile(0) = %g", got)
+	}
+	if got, _ := BetaQuantile(1, 5, 2); got != 1 {
+		t.Fatalf("quantile(1) = %g", got)
+	}
+	if _, err := BetaQuantile(-0.1, 1, 1); err == nil {
+		t.Fatal("p < 0 accepted")
+	}
+	if _, err := BetaQuantile(0.5, 0, 1); err == nil {
+		t.Fatal("zero shape accepted")
+	}
+}
+
+// Property: BetaQuantile inverts RegIncBeta across random shapes.
+func TestBetaQuantileInverseProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed))
+		a := 0.2 + 20*local.Float64()
+		b := 0.2 + 20*local.Float64()
+		p := local.Float64()
+		x, err := BetaQuantile(p, a, b)
+		if err != nil {
+			return false
+		}
+		back, err := RegIncBeta(x, a, b)
+		if err != nil {
+			return false
+		}
+		return math.Abs(back-p) < 1e-8
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RegIncBeta is monotone non-decreasing in x.
+func TestRegIncBetaMonotoneProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed))
+		a := 0.3 + 10*local.Float64()
+		b := 0.3 + 10*local.Float64()
+		x1, x2 := local.Float64(), local.Float64()
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		v1, err1 := RegIncBeta(x1, a, b)
+		v2, err2 := RegIncBeta(x2, a, b)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return v1 <= v2+1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBetaMean(t *testing.T) {
+	if got := BetaMean(1, 1); got != 0.5 {
+		t.Fatalf("BetaMean(1,1) = %g", got)
+	}
+	if got := BetaMean(3, 1); got != 0.75 {
+		t.Fatalf("BetaMean(3,1) = %g", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ v, lo, hi, want float64 }{
+		{-1, 0, 1, 0},
+		{2, 0, 1, 1},
+		{0.5, 0, 1, 0.5},
+		{0, 0, 1, 0},
+		{1, 0, 1, 1},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.v, c.lo, c.hi); got != c.want {
+			t.Errorf("Clamp(%g,%g,%g) = %g, want %g", c.v, c.lo, c.hi, got, c.want)
+		}
+	}
+}

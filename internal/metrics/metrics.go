@@ -1,0 +1,187 @@
+// Package metrics provides the binary-classification measures the
+// evaluation uses to score detectors: confusion-matrix rates, ROC
+// curves and AUC (via the Mann-Whitney rank statistic, with tie
+// handling), so detector comparisons do not depend on any single
+// threshold choice.
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Confusion is a binary confusion matrix.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Precision returns TP/(TP+FP), or 0 when nothing was predicted
+// positive.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN) — the detection ratio — or 0 when there are
+// no positives.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// FallOut returns FP/(FP+TN) — the false-alarm ratio — or 0 when there
+// are no negatives.
+func (c Confusion) FallOut() float64 {
+	if c.FP+c.TN == 0 {
+		return 0
+	}
+	return float64(c.FP) / float64(c.FP+c.TN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Accuracy returns (TP+TN)/total, or 0 for an empty matrix.
+func (c Confusion) Accuracy() float64 {
+	total := c.TP + c.FP + c.TN + c.FN
+	if total == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(total)
+}
+
+// Score is one scored example: higher Score means "more positive".
+type Score struct {
+	Score    float64
+	Positive bool
+}
+
+// ErrDegenerate is returned when a measure needs both classes present.
+var ErrDegenerate = errors.New("metrics: need at least one positive and one negative example")
+
+// AUC computes the area under the ROC curve via the Mann-Whitney U
+// statistic: the probability that a random positive scores above a
+// random negative, with ties counting half. NaN scores are rejected.
+func AUC(scores []Score) (float64, error) {
+	var pos, neg int
+	for _, s := range scores {
+		if math.IsNaN(s.Score) {
+			return 0, fmt.Errorf("metrics: NaN score")
+		}
+		if s.Positive {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return 0, ErrDegenerate
+	}
+
+	sorted := append([]Score(nil), scores...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Score < sorted[j].Score })
+
+	// Average ranks over tie groups.
+	var rankSumPos float64
+	i := 0
+	for i < len(sorted) {
+		j := i
+		for j < len(sorted) && sorted[j].Score == sorted[i].Score {
+			j++
+		}
+		avgRank := float64(i+j+1) / 2 // ranks are 1-based: (i+1 + j)/2
+		for k := i; k < j; k++ {
+			if sorted[k].Positive {
+				rankSumPos += avgRank
+			}
+		}
+		i = j
+	}
+	u := rankSumPos - float64(pos)*float64(pos+1)/2
+	return u / (float64(pos) * float64(neg)), nil
+}
+
+// ROCPoint is one operating point of a ROC curve.
+type ROCPoint struct {
+	// Threshold classifies Score >= Threshold as positive.
+	Threshold float64
+	// TPR and FPR are the true- and false-positive rates at that
+	// threshold.
+	TPR, FPR float64
+}
+
+// ROC returns the full ROC curve: one point per distinct score
+// (descending thresholds), prefixed by the all-negative point and
+// suffixed by the all-positive one.
+func ROC(scores []Score) ([]ROCPoint, error) {
+	var pos, neg int
+	for _, s := range scores {
+		if math.IsNaN(s.Score) {
+			return nil, fmt.Errorf("metrics: NaN score")
+		}
+		if s.Positive {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return nil, ErrDegenerate
+	}
+	sorted := append([]Score(nil), scores...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Score > sorted[j].Score })
+
+	curve := []ROCPoint{{Threshold: math.Inf(1), TPR: 0, FPR: 0}}
+	tp, fp := 0, 0
+	i := 0
+	for i < len(sorted) {
+		j := i
+		for j < len(sorted) && sorted[j].Score == sorted[i].Score {
+			if sorted[j].Positive {
+				tp++
+			} else {
+				fp++
+			}
+			j++
+		}
+		curve = append(curve, ROCPoint{
+			Threshold: sorted[i].Score,
+			TPR:       float64(tp) / float64(pos),
+			FPR:       float64(fp) / float64(neg),
+		})
+		i = j
+	}
+	return curve, nil
+}
+
+// Classify builds a confusion matrix from scores at a threshold
+// (Score >= threshold predicts positive).
+func Classify(scores []Score, threshold float64) Confusion {
+	var c Confusion
+	for _, s := range scores {
+		predicted := s.Score >= threshold
+		switch {
+		case predicted && s.Positive:
+			c.TP++
+		case predicted && !s.Positive:
+			c.FP++
+		case !predicted && s.Positive:
+			c.FN++
+		default:
+			c.TN++
+		}
+	}
+	return c
+}

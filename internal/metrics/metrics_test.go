@@ -1,0 +1,214 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/randx"
+)
+
+func TestConfusionMeasures(t *testing.T) {
+	c := Confusion{TP: 8, FP: 2, TN: 85, FN: 5}
+	if got := c.Precision(); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("precision %g", got)
+	}
+	if got := c.Recall(); math.Abs(got-8.0/13) > 1e-12 {
+		t.Fatalf("recall %g", got)
+	}
+	if got := c.FallOut(); math.Abs(got-2.0/87) > 1e-12 {
+		t.Fatalf("fallout %g", got)
+	}
+	if got := c.Accuracy(); math.Abs(got-0.93) > 1e-12 {
+		t.Fatalf("accuracy %g", got)
+	}
+	p, r := c.Precision(), c.Recall()
+	if got := c.F1(); math.Abs(got-2*p*r/(p+r)) > 1e-12 {
+		t.Fatalf("f1 %g", got)
+	}
+}
+
+func TestConfusionEmptyEdges(t *testing.T) {
+	var c Confusion
+	if c.Precision() != 0 || c.Recall() != 0 || c.FallOut() != 0 || c.F1() != 0 || c.Accuracy() != 0 {
+		t.Fatal("empty matrix must report zeros")
+	}
+}
+
+func TestAUCPerfectSeparation(t *testing.T) {
+	scores := []Score{
+		{0.9, true}, {0.8, true}, {0.3, false}, {0.1, false},
+	}
+	auc, err := AUC(scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc != 1 {
+		t.Fatalf("AUC = %g", auc)
+	}
+	// Inverted scores: AUC 0.
+	for i := range scores {
+		scores[i].Score = -scores[i].Score
+	}
+	auc, err = AUC(scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc != 0 {
+		t.Fatalf("inverted AUC = %g", auc)
+	}
+}
+
+func TestAUCAllTied(t *testing.T) {
+	scores := []Score{{0.5, true}, {0.5, false}, {0.5, true}, {0.5, false}}
+	auc, err := AUC(scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc != 0.5 {
+		t.Fatalf("tied AUC = %g", auc)
+	}
+}
+
+func TestAUCKnownValue(t *testing.T) {
+	// Positives at 3 and 1, negatives at 2 and 0: P(pos > neg) pairs:
+	// (3>2, 3>0, 1>0) = 3 of 4 -> 0.75.
+	scores := []Score{{3, true}, {1, true}, {2, false}, {0, false}}
+	auc, err := AUC(scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc != 0.75 {
+		t.Fatalf("AUC = %g", auc)
+	}
+}
+
+func TestAUCErrors(t *testing.T) {
+	if _, err := AUC([]Score{{1, true}}); !errors.Is(err, ErrDegenerate) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := AUC([]Score{{math.NaN(), true}, {0, false}}); err == nil {
+		t.Fatal("NaN accepted")
+	}
+}
+
+func TestROCCurve(t *testing.T) {
+	scores := []Score{{0.9, true}, {0.7, false}, {0.5, true}, {0.2, false}}
+	curve, err := ROC(scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Start at (0,0), end at (1,1), monotone in both axes.
+	first, last := curve[0], curve[len(curve)-1]
+	if first.TPR != 0 || first.FPR != 0 {
+		t.Fatalf("first = %+v", first)
+	}
+	if last.TPR != 1 || last.FPR != 1 {
+		t.Fatalf("last = %+v", last)
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].TPR < curve[i-1].TPR || curve[i].FPR < curve[i-1].FPR {
+			t.Fatalf("curve not monotone at %d: %+v", i, curve)
+		}
+	}
+	if _, err := ROC([]Score{{1, true}}); !errors.Is(err, ErrDegenerate) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	scores := []Score{{0.9, true}, {0.7, false}, {0.5, true}, {0.2, false}}
+	c := Classify(scores, 0.6)
+	if c.TP != 1 || c.FP != 1 || c.FN != 1 || c.TN != 1 {
+		t.Fatalf("confusion = %+v", c)
+	}
+	// Threshold below everything: all predicted positive.
+	c = Classify(scores, -1)
+	if c.TP != 2 || c.FP != 2 || c.TN != 0 || c.FN != 0 {
+		t.Fatalf("confusion = %+v", c)
+	}
+}
+
+// Property: AUC is within [0, 1], invariant under any strictly
+// monotone transform of the scores, and complementary under negation.
+func TestAUCInvarianceProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := randx.New(seed)
+		n := 4 + rng.Intn(60)
+		scores := make([]Score, n)
+		havePos, haveNeg := false, false
+		for i := range scores {
+			scores[i] = Score{Score: rng.Normal(0, 1), Positive: rng.Bernoulli(0.5)}
+			if scores[i].Positive {
+				havePos = true
+			} else {
+				haveNeg = true
+			}
+		}
+		if !havePos || !haveNeg {
+			return true
+		}
+		auc, err := AUC(scores)
+		if err != nil || auc < 0 || auc > 1 {
+			return false
+		}
+		// Monotone transform: exp.
+		transformed := make([]Score, n)
+		for i, s := range scores {
+			transformed[i] = Score{Score: math.Exp(s.Score), Positive: s.Positive}
+		}
+		auc2, err := AUC(transformed)
+		if err != nil || math.Abs(auc-auc2) > 1e-9 {
+			return false
+		}
+		// Negation flips.
+		negated := make([]Score, n)
+		for i, s := range scores {
+			negated[i] = Score{Score: -s.Score, Positive: s.Positive}
+		}
+		auc3, err := AUC(negated)
+		return err == nil && math.Abs(auc+auc3-1) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AUC equals the trapezoidal area under the ROC curve.
+func TestAUCMatchesROCAreaProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := randx.New(seed)
+		n := 4 + rng.Intn(50)
+		scores := make([]Score, n)
+		havePos, haveNeg := false, false
+		for i := range scores {
+			// Quantized scores force ties.
+			scores[i] = Score{Score: float64(rng.Intn(6)), Positive: rng.Bernoulli(0.5)}
+			if scores[i].Positive {
+				havePos = true
+			} else {
+				haveNeg = true
+			}
+		}
+		if !havePos || !haveNeg {
+			return true
+		}
+		auc, err := AUC(scores)
+		if err != nil {
+			return false
+		}
+		curve, err := ROC(scores)
+		if err != nil {
+			return false
+		}
+		var area float64
+		for i := 1; i < len(curve); i++ {
+			area += (curve[i].FPR - curve[i-1].FPR) * (curve[i].TPR + curve[i-1].TPR) / 2
+		}
+		return math.Abs(area-auc) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

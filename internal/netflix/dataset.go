@@ -1,0 +1,154 @@
+package netflix
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Title is one row of the Netflix Prize movie_titles.txt index.
+type Title struct {
+	ID int
+	// Year is the release year; 0 when the dataset row says NULL.
+	Year int
+	Name string
+}
+
+// ParseTitles reads the movie_titles.txt format:
+//
+//	1,2003,Dinosaur Planet
+//	2,2004,Isle of Man TT 2004 Review
+//	4,NULL,Something with, commas
+//
+// The title field may itself contain commas, so only the first two
+// commas split fields.
+func ParseTitles(r io.Reader) (map[int]Title, error) {
+	out := make(map[int]Title)
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
+	line := 0
+	for scanner.Scan() {
+		line++
+		text := strings.TrimSpace(scanner.Text())
+		if text == "" {
+			continue
+		}
+		parts := strings.SplitN(text, ",", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("netflix: titles line %d %q: %w", line, text, ErrBadFormat)
+		}
+		id, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("netflix: titles line %d id: %w", line, ErrBadFormat)
+		}
+		year := 0
+		if parts[1] != "NULL" {
+			year, err = strconv.Atoi(parts[1])
+			if err != nil {
+				return nil, fmt.Errorf("netflix: titles line %d year %q: %w", line, parts[1], ErrBadFormat)
+			}
+		}
+		out[id] = Title{ID: id, Year: year, Name: parts[2]}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("netflix: titles scan: %w", err)
+	}
+	return out, nil
+}
+
+// WalkDataset streams every per-movie file (mv_*.txt) under dir, in
+// filename order, to fn. Processing stops at the first error from fn.
+// The Netflix Prize layout keeps ~17k such files in training_set/; the
+// walk never holds more than one movie in memory.
+func WalkDataset(dir string, fn func(*Movie) error) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("netflix: dataset dir: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.Type().IsRegular() && strings.HasPrefix(e.Name(), "mv_") && strings.HasSuffix(e.Name(), ".txt") {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("netflix: no mv_*.txt files in %s: %w", dir, fs.ErrNotExist)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := walkOne(filepath.Join(dir, name), fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func walkOne(path string, fn func(*Movie) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("netflix: %w", err)
+	}
+	defer f.Close()
+	m, err := ParseMovie(f)
+	if err != nil {
+		return fmt.Errorf("netflix: %s: %w", filepath.Base(path), err)
+	}
+	return fn(m)
+}
+
+// Dataset is an eagerly loaded collection of movies plus their titles.
+type Dataset struct {
+	Movies []*Movie
+	byID   map[int]*Movie
+}
+
+// LoadDataset reads every movie under dir and, when titlesPath is
+// non-empty, attaches titles from the movie_titles.txt index.
+func LoadDataset(dir, titlesPath string) (*Dataset, error) {
+	var titles map[int]Title
+	if titlesPath != "" {
+		f, err := os.Open(titlesPath)
+		if err != nil {
+			return nil, fmt.Errorf("netflix: titles: %w", err)
+		}
+		titles, err = ParseTitles(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	ds := &Dataset{byID: make(map[int]*Movie)}
+	err := WalkDataset(dir, func(m *Movie) error {
+		if t, ok := titles[m.ID]; ok {
+			m.Title = t.Name
+		}
+		ds.Movies = append(ds.Movies, m)
+		ds.byID[m.ID] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// Movie returns the movie with the given ID, or false.
+func (d *Dataset) Movie(id int) (*Movie, bool) {
+	m, ok := d.byID[id]
+	return m, ok
+}
+
+// TotalRatings sums the rating counts across all movies.
+func (d *Dataset) TotalRatings() int {
+	var n int
+	for _, m := range d.Movies {
+		n += len(m.Ratings)
+	}
+	return n
+}

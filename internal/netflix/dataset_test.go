@@ -1,0 +1,158 @@
+package netflix
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const titlesSample = `1,2003,Dinosaur Planet
+2,2004,Isle of Man TT 2004 Review
+3,NULL,Character
+4,1994,Movie, With Commas: Part 2
+`
+
+func TestParseTitles(t *testing.T) {
+	titles, err := ParseTitles(strings.NewReader(titlesSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(titles) != 4 {
+		t.Fatalf("%d titles", len(titles))
+	}
+	if titles[1].Name != "Dinosaur Planet" || titles[1].Year != 2003 {
+		t.Fatalf("title 1 = %+v", titles[1])
+	}
+	if titles[3].Year != 0 {
+		t.Fatalf("NULL year = %d", titles[3].Year)
+	}
+	if titles[4].Name != "Movie, With Commas: Part 2" {
+		t.Fatalf("comma title = %q", titles[4].Name)
+	}
+}
+
+func TestParseTitlesErrors(t *testing.T) {
+	cases := []string{
+		"1,2003\n",      // too few fields
+		"x,2003,Name\n", // bad id
+		"1,20x3,Name\n", // bad year
+	}
+	for i, c := range cases {
+		if _, err := ParseTitles(strings.NewReader(c)); !errors.Is(err, ErrBadFormat) {
+			t.Errorf("case %d: err = %v", i, err)
+		}
+	}
+	// Blank lines are fine.
+	titles, err := ParseTitles(strings.NewReader("\n1,2003,A\n\n"))
+	if err != nil || len(titles) != 1 {
+		t.Fatalf("blank lines: %v, %d", err, len(titles))
+	}
+}
+
+func writeDataset(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"mv_0000001.txt": "1:\n101,3,2004-01-01\n102,4,2004-02-01\n",
+		"mv_0000002.txt": "2:\n201,5,2005-01-01\n",
+		"notes.txt":      "ignore me",
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, "movie_titles.txt"), []byte(titlesSample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestWalkDataset(t *testing.T) {
+	dir := writeDataset(t)
+	var ids []int
+	err := WalkDataset(dir, func(m *Movie) error {
+		ids = append(ids, m.ID)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 2 {
+		t.Fatalf("ids = %v", ids)
+	}
+}
+
+func TestWalkDatasetStopsOnError(t *testing.T) {
+	dir := writeDataset(t)
+	sentinel := errors.New("stop")
+	var count int
+	err := WalkDataset(dir, func(*Movie) error {
+		count++
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) || count != 1 {
+		t.Fatalf("err = %v after %d movies", err, count)
+	}
+}
+
+func TestWalkDatasetEmptyDir(t *testing.T) {
+	if err := WalkDataset(t.TempDir(), func(*Movie) error { return nil }); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := WalkDataset("/does/not/exist", func(*Movie) error { return nil }); err == nil {
+		t.Fatal("missing dir accepted")
+	}
+}
+
+func TestWalkDatasetMalformedMovie(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "mv_0000009.txt"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WalkDataset(dir, func(*Movie) error { return nil }); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLoadDataset(t *testing.T) {
+	dir := writeDataset(t)
+	ds, err := LoadDataset(dir, filepath.Join(dir, "movie_titles.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Movies) != 2 {
+		t.Fatalf("%d movies", len(ds.Movies))
+	}
+	m, ok := ds.Movie(1)
+	if !ok || m.Title != "Dinosaur Planet" {
+		t.Fatalf("movie 1 = %+v", m)
+	}
+	if _, ok := ds.Movie(99); ok {
+		t.Fatal("phantom movie")
+	}
+	if ds.TotalRatings() != 3 {
+		t.Fatalf("total ratings = %d", ds.TotalRatings())
+	}
+}
+
+func TestLoadDatasetWithoutTitles(t *testing.T) {
+	dir := writeDataset(t)
+	ds, err := LoadDataset(dir, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, _ := ds.Movie(1); m.Title != "" {
+		t.Fatalf("unexpected title %q", m.Title)
+	}
+}
+
+func TestLoadDatasetMissingTitles(t *testing.T) {
+	dir := writeDataset(t)
+	if _, err := LoadDataset(dir, filepath.Join(dir, "nope.txt")); err == nil {
+		t.Fatal("missing titles accepted")
+	}
+}

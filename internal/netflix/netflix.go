@@ -1,0 +1,356 @@
+// Package netflix is the real-data substrate for Fig 5. The paper runs
+// the detector on the Netflix Prize ratings of the first movie in the
+// dataset ("Dinosaur Planet", 2003) and on the same data with inserted
+// collaborative ratings.
+//
+// The Netflix Prize dataset was withdrawn and is not redistributable,
+// so this package provides two paths (see DESIGN.md, substitutions):
+//
+//   - ParseMovie reads the published per-movie text format
+//     ("MovieID:" header, then "CustomerID,Rating,Date" rows), so the
+//     real file can be dropped in when available;
+//   - GenerateSynthetic produces a Dinosaur-Planet-like trace — ~700
+//     days of 1-5 star ratings with nonstationary daily volume and a
+//     slowly drifting mean — exercising the identical detector path.
+//
+// InsertCollaborative adds type-1/type-2 collaborative ratings with the
+// paper's Fig 5 parameters.
+package netflix
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/randx"
+	"repro/internal/rating"
+	"repro/internal/sim"
+	"repro/internal/stat"
+)
+
+// Levels is the Netflix star scale: 1..5 stars mapped to 0.2..1.0.
+const Levels = 5
+
+// Movie is one movie's rating history. Times are days since the
+// movie's first rating.
+type Movie struct {
+	ID      int
+	Title   string
+	Ratings []rating.Rating
+}
+
+// Span returns the number of days covered (last rating time).
+func (m *Movie) Span() float64 {
+	if len(m.Ratings) == 0 {
+		return 0
+	}
+	return m.Ratings[len(m.Ratings)-1].Time
+}
+
+// ErrBadFormat is returned for malformed Netflix-format input.
+var ErrBadFormat = errors.New("netflix: malformed input")
+
+// ParseMovie reads one movie in the Netflix Prize per-movie format:
+//
+//	1:
+//	1488844,3,2005-09-06
+//	822109,5,2005-05-13
+//
+// Star ratings are mapped to the [0,1] scale as stars/5 and times to
+// fractional days since the earliest rating in the file. Rows are
+// returned time-sorted.
+func ParseMovie(r io.Reader) (*Movie, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
+
+	if !scanner.Scan() {
+		if err := scanner.Err(); err != nil {
+			return nil, fmt.Errorf("netflix: read header: %w", err)
+		}
+		return nil, fmt.Errorf("netflix: empty input: %w", ErrBadFormat)
+	}
+	header := strings.TrimSpace(scanner.Text())
+	if !strings.HasSuffix(header, ":") {
+		return nil, fmt.Errorf("netflix: header %q: %w", header, ErrBadFormat)
+	}
+	id, err := strconv.Atoi(strings.TrimSuffix(header, ":"))
+	if err != nil {
+		return nil, fmt.Errorf("netflix: movie id in %q: %w", header, ErrBadFormat)
+	}
+
+	type row struct {
+		customer int
+		stars    int
+		date     time.Time
+	}
+	var rows []row
+	line := 1
+	for scanner.Scan() {
+		line++
+		text := strings.TrimSpace(scanner.Text())
+		if text == "" {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("netflix: line %d %q: %w", line, text, ErrBadFormat)
+		}
+		customer, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("netflix: line %d customer: %w", line, ErrBadFormat)
+		}
+		stars, err := strconv.Atoi(parts[1])
+		if err != nil || stars < 1 || stars > 5 {
+			return nil, fmt.Errorf("netflix: line %d stars %q: %w", line, parts[1], ErrBadFormat)
+		}
+		date, err := time.Parse("2006-01-02", parts[2])
+		if err != nil {
+			return nil, fmt.Errorf("netflix: line %d date %q: %w", line, parts[2], ErrBadFormat)
+		}
+		rows = append(rows, row{customer: customer, stars: stars, date: date})
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("netflix: scan: %w", err)
+	}
+	if len(rows) == 0 {
+		return &Movie{ID: id}, nil
+	}
+
+	sort.Slice(rows, func(i, j int) bool { return rows[i].date.Before(rows[j].date) })
+	epoch := rows[0].date
+	m := &Movie{ID: id, Ratings: make([]rating.Rating, 0, len(rows))}
+	for _, rw := range rows {
+		m.Ratings = append(m.Ratings, rating.Rating{
+			Rater:  rating.RaterID(rw.customer),
+			Object: rating.ObjectID(id),
+			Value:  float64(rw.stars) / Levels,
+			Time:   rw.date.Sub(epoch).Hours() / 24,
+		})
+	}
+	return m, nil
+}
+
+// FormatMovie writes a movie back in the Netflix per-movie format,
+// using epoch (the date of day 0) to reconstruct dates.
+func FormatMovie(w io.Writer, m *Movie, epoch time.Time) error {
+	if _, err := fmt.Fprintf(w, "%d:\n", m.ID); err != nil {
+		return fmt.Errorf("netflix: write header: %w", err)
+	}
+	for _, r := range m.Ratings {
+		stars := int(math.Round(r.Value * Levels))
+		if stars < 1 {
+			stars = 1
+		}
+		if stars > 5 {
+			stars = 5
+		}
+		date := epoch.AddDate(0, 0, int(r.Time))
+		if _, err := fmt.Fprintf(w, "%d,%d,%s\n", int(r.Rater), stars, date.Format("2006-01-02")); err != nil {
+			return fmt.Errorf("netflix: write row: %w", err)
+		}
+	}
+	return nil
+}
+
+// SyntheticParams shapes the synthetic movie trace.
+type SyntheticParams struct {
+	// MovieID and Title label the trace (defaults 1, "Dinosaur Planet
+	// (synthetic)").
+	MovieID int
+	Title   string
+	// Days is the trace length (default 700, matching Fig 5's axis).
+	Days int
+	// BaseRate is the average daily rating volume (default 4).
+	BaseRate float64
+	// VolumeWalkSigma is the per-day log random-walk step of popularity
+	// (default 0.05), producing the bursty nonstationary volume real
+	// movie traces show.
+	VolumeWalkSigma float64
+	// MeanStart and MeanEnd drift the true mean star value, on the
+	// [0, 1] scale (defaults 0.62 → 0.66 — "Dinosaur Planet" sits near
+	// 3.1-3.3 stars).
+	MeanStart, MeanEnd float64
+	// StarSigma is the rating noise standard deviation on the [0, 1]
+	// scale before quantization to stars (default 0.22).
+	StarSigma float64
+}
+
+func (p SyntheticParams) withDefaults() SyntheticParams {
+	if p.MovieID == 0 {
+		p.MovieID = 1
+	}
+	if p.Title == "" {
+		p.Title = "Dinosaur Planet (synthetic)"
+	}
+	if p.Days == 0 {
+		p.Days = 700
+	}
+	if p.BaseRate == 0 {
+		p.BaseRate = 4
+	}
+	if p.VolumeWalkSigma == 0 {
+		p.VolumeWalkSigma = 0.05
+	}
+	if p.MeanStart == 0 {
+		p.MeanStart = 0.62
+	}
+	if p.MeanEnd == 0 {
+		p.MeanEnd = 0.66
+	}
+	if p.StarSigma == 0 {
+		p.StarSigma = 0.22
+	}
+	return p
+}
+
+// Validate reports parameter errors after defaulting.
+func (p SyntheticParams) Validate() error {
+	p = p.withDefaults()
+	switch {
+	case p.Days < 1:
+		return fmt.Errorf("netflix: days %d", p.Days)
+	case p.BaseRate <= 0:
+		return fmt.Errorf("netflix: base rate %g", p.BaseRate)
+	case p.MeanStart < 0 || p.MeanStart > 1 || p.MeanEnd < 0 || p.MeanEnd > 1:
+		return fmt.Errorf("netflix: mean drift %g→%g outside [0,1]", p.MeanStart, p.MeanEnd)
+	case p.StarSigma < 0:
+		return fmt.Errorf("netflix: negative sigma")
+	case p.VolumeWalkSigma < 0:
+		return fmt.Errorf("netflix: negative volume walk sigma")
+	}
+	return nil
+}
+
+// GenerateSynthetic produces the substitute trace. Each rater ID is
+// fresh (real Netflix raters rate a movie once).
+func GenerateSynthetic(rng *randx.Rand, p SyntheticParams) (*Movie, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	p = p.withDefaults()
+	m := &Movie{ID: p.MovieID, Title: p.Title}
+	logVolume := 0.0
+	next := rating.RaterID(1)
+	for day := 0; day < p.Days; day++ {
+		logVolume += rng.Normal(0, p.VolumeWalkSigma)
+		// Keep the walk from dying out or exploding.
+		if logVolume > 1.2 {
+			logVolume = 1.2
+		}
+		if logVolume < -1.2 {
+			logVolume = -1.2
+		}
+		mean := p.MeanStart + (p.MeanEnd-p.MeanStart)*float64(day)/float64(p.Days)
+		for _, tm := range rng.PoissonProcess(p.BaseRate*math.Exp(logVolume), float64(day), float64(day+1)) {
+			m.Ratings = append(m.Ratings, rating.Rating{
+				Rater:  next,
+				Object: rating.ObjectID(p.MovieID),
+				Value:  randx.Quantize(rng.Normal(mean, p.StarSigma), Levels, false),
+				Time:   tm,
+			})
+			next++
+		}
+	}
+	return m, nil
+}
+
+// AttackParams describe the Fig 5 insertion: type-1 colluders bend a
+// fraction of existing ratings upward, type-2 colluders add new biased
+// ratings, both inside [AStart, AEnd].
+type AttackParams struct {
+	// AStart and AEnd delimit the attack (paper: days 212 and 272).
+	AStart, AEnd float64
+	// BiasShift1 and RecruitPower1 (paper: 0.2, 0.5).
+	BiasShift1, RecruitPower1 float64
+	// BiasShift2 and RecruitPower2 (paper: 0.25, 1 — type-2 arrival rate
+	// is RecruitPower2 times the trace's own mean daily rate inside the
+	// interval).
+	BiasShift2, RecruitPower2 float64
+	// BadVarScale scales the original ratings' variance to get the
+	// colluders' variance (paper: badVar = 0.25·goodVar).
+	BadVarScale float64
+}
+
+// DefaultAttack returns the Fig 5 insertion parameters.
+func DefaultAttack() AttackParams {
+	return AttackParams{
+		AStart:        212,
+		AEnd:          272,
+		BiasShift1:    0.2,
+		RecruitPower1: 0.5,
+		BiasShift2:    0.25,
+		RecruitPower2: 1,
+		BadVarScale:   0.25,
+	}
+}
+
+// Validate reports parameter errors.
+func (a AttackParams) Validate() error {
+	switch {
+	case a.AEnd < a.AStart:
+		return fmt.Errorf("netflix: attack interval [%g,%g]", a.AStart, a.AEnd)
+	case a.RecruitPower1 < 0 || a.RecruitPower1 > 1:
+		return fmt.Errorf("netflix: recruitPower1 %g", a.RecruitPower1)
+	case a.RecruitPower2 < 0:
+		return fmt.Errorf("netflix: recruitPower2 %g", a.RecruitPower2)
+	case a.BadVarScale < 0:
+		return fmt.Errorf("netflix: badVarScale %g", a.BadVarScale)
+	}
+	return nil
+}
+
+// InsertCollaborative returns the movie's ratings with the attack
+// inserted, as labeled ratings (original ratings keep Unfair == false;
+// bent type-1 copies and new type-2 ratings are marked unfair). The
+// movie itself is not modified.
+func InsertCollaborative(rng *randx.Rand, m *Movie, a AttackParams) ([]sim.LabeledRating, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	values := rating.Values(m.Ratings)
+	goodVar := stat.Variance(values)
+	mean := stat.Mean(values)
+	badVar := a.BadVarScale * goodVar
+
+	var out []sim.LabeledRating
+	for _, r := range m.Ratings {
+		l := sim.LabeledRating{Rating: r, Class: sim.Reliable}
+		if r.Time >= a.AStart && r.Time <= a.AEnd {
+			if rng.Bernoulli(a.RecruitPower1) {
+				l.Rating.Value = randx.Quantize(r.Value+a.BiasShift1, Levels, false)
+				l.Class = sim.Type1Collaborative
+				l.Unfair = true
+			}
+		}
+		out = append(out, l)
+	}
+
+	// Type-2 arrival rate: RecruitPower2 × the trace's own mean daily
+	// volume across the whole span.
+	span := m.Span()
+	if span > 0 && a.RecruitPower2 > 0 {
+		dailyRate := float64(len(m.Ratings)) / span
+		colluder := rating.RaterID(10_000_000)
+		for _, tm := range rng.PoissonProcess(dailyRate*a.RecruitPower2, a.AStart, math.Min(a.AEnd, span)) {
+			out = append(out, sim.LabeledRating{
+				Rating: rating.Rating{
+					Rater:  colluder,
+					Object: rating.ObjectID(m.ID),
+					Value:  randx.Quantize(rng.NormalVar(mean+a.BiasShift2, badVar), Levels, false),
+					Time:   tm,
+				},
+				Class:  sim.Type2Collaborative,
+				Unfair: true,
+			})
+			colluder++
+		}
+	}
+	sim.SortByTime(out)
+	return out, nil
+}

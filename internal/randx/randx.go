@@ -1,0 +1,189 @@
+// Package randx is the deterministic randomness substrate for the
+// library. Every stochastic component — rating generators, attack
+// models, Monte-Carlo experiment drivers — draws from an explicit
+// *Rand so that every table and figure is reproducible from a seed.
+//
+// It wraps math/rand (stdlib only) and adds the distributions the paper
+// needs: Gaussian ratings parameterized by variance, Poisson arrival
+// counts and arrival-time processes, Bernoulli trials, discrete rating
+// quantization, and sampling without replacement for recruiting
+// collaborative raters.
+package randx
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Rand is a deterministic random source. It is not safe for concurrent
+// use; create one per goroutine (Split derives independent streams).
+type Rand struct {
+	src *rand.Rand
+}
+
+// New returns a Rand seeded with seed.
+func New(seed int64) *Rand {
+	return &Rand{src: rand.New(rand.NewSource(seed))}
+}
+
+// Split derives a new, independently seeded stream from r. Experiments
+// use one split per Monte-Carlo run so runs stay independent while the
+// whole sweep remains a pure function of the top-level seed.
+func (r *Rand) Split() *Rand {
+	return New(r.src.Int63())
+}
+
+// Float64 returns a uniform sample from [0, 1).
+func (r *Rand) Float64() float64 { return r.src.Float64() }
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0, same
+// as math/rand.
+func (r *Rand) Intn(n int) int { return r.src.Intn(n) }
+
+// Int63 returns a non-negative 63-bit integer.
+func (r *Rand) Int63() int64 { return r.src.Int63() }
+
+// Uniform returns a uniform sample from [lo, hi).
+func (r *Rand) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.src.Float64()
+}
+
+// UniformInt returns a uniform integer in [lo, hi] inclusive.
+// It panics if hi < lo.
+func (r *Rand) UniformInt(lo, hi int) int {
+	if hi < lo {
+		panic(fmt.Sprintf("randx: UniformInt bounds [%d,%d]", lo, hi))
+	}
+	return lo + r.src.Intn(hi-lo+1)
+}
+
+// Bernoulli reports true with probability p (clamped to [0,1]).
+func (r *Rand) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.src.Float64() < p
+}
+
+// Normal returns a Gaussian sample with the given mean and standard
+// deviation.
+func (r *Rand) Normal(mean, stddev float64) float64 {
+	return mean + stddev*r.src.NormFloat64()
+}
+
+// NormalVar returns a Gaussian sample parameterized by variance, the
+// convention the paper uses ("variance being 0.2"). Negative variance
+// is treated as zero spread.
+func (r *Rand) NormalVar(mean, variance float64) float64 {
+	if variance <= 0 {
+		return mean
+	}
+	return r.Normal(mean, math.Sqrt(variance))
+}
+
+// Poisson returns a Poisson-distributed count with the given mean.
+// It uses Knuth's product method for small means and a Gaussian
+// approximation (rounded, floored at zero) for large means, which is
+// more than accurate enough for arrival counts.
+func (r *Rand) Poisson(mean float64) int {
+	switch {
+	case mean <= 0:
+		return 0
+	case mean < 30:
+		l := math.Exp(-mean)
+		k := 0
+		p := 1.0
+		for {
+			p *= r.src.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	default:
+		n := math.Round(r.Normal(mean, math.Sqrt(mean)))
+		if n < 0 {
+			return 0
+		}
+		return int(n)
+	}
+}
+
+// PoissonProcess returns event times of a homogeneous Poisson process
+// with the given rate (events per unit time) over [start, end), in
+// increasing order. A non-positive rate or empty interval yields no
+// events.
+func (r *Rand) PoissonProcess(rate, start, end float64) []float64 {
+	if rate <= 0 || end <= start {
+		return nil
+	}
+	var times []float64
+	t := start
+	for {
+		// Exponential inter-arrival gap.
+		t += -math.Log(1-r.src.Float64()) / rate
+		if t >= end {
+			return times
+		}
+		times = append(times, t)
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int { return r.src.Perm(n) }
+
+// SampleWithoutReplacement returns k distinct integers drawn uniformly
+// from [0, n). It returns all n when k >= n, and nil when k <= 0.
+func (r *Rand) SampleWithoutReplacement(n, k int) []int {
+	if k <= 0 || n <= 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	return r.src.Perm(n)[:k]
+}
+
+// Shuffle randomly permutes the first n elements using swap, mirroring
+// math/rand.Shuffle.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) { r.src.Shuffle(n, swap) }
+
+// Quantize maps v onto one of `levels` equally spaced rating scores and
+// clamps to the scale. The paper's scales are either
+//
+//	11 levels: 0, 0.1, ..., 1.0   (zeroBased = true,  §III.A.2)
+//	10 levels: 0.1, 0.2, ..., 1.0 (zeroBased = false, §IV.A)
+//
+// With zeroBased, the scores are i/(levels-1) for i in [0, levels-1];
+// without, they are i/levels for i in [1, levels].
+func Quantize(v float64, levels int, zeroBased bool) float64 {
+	if levels < 2 {
+		panic(fmt.Sprintf("randx: Quantize with %d levels", levels))
+	}
+	if zeroBased {
+		steps := float64(levels - 1)
+		i := math.Round(clamp01(v) * steps)
+		return i / steps
+	}
+	steps := float64(levels)
+	i := math.Round(clamp01(v) * steps)
+	if i < 1 {
+		i = 1
+	}
+	return i / steps
+}
+
+func clamp01(v float64) float64 {
+	switch {
+	case v < 0:
+		return 0
+	case v > 1:
+		return 1
+	default:
+		return v
+	}
+}

@@ -1,0 +1,272 @@
+package randx
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(1)
+	s1 := r.Split()
+	s2 := r.Split()
+	same := true
+	for i := 0; i < 20; i++ {
+		if s1.Float64() != s2.Float64() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("two splits produced identical streams")
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 1000; i++ {
+		v := r.Uniform(0.4, 0.6)
+		if v < 0.4 || v >= 0.6 {
+			t.Fatalf("Uniform(0.4,0.6) = %g out of range", v)
+		}
+	}
+}
+
+func TestUniformIntRange(t *testing.T) {
+	r := New(4)
+	seen := make(map[int]bool)
+	for i := 0; i < 2000; i++ {
+		v := r.UniformInt(1, 20)
+		if v < 1 || v > 20 {
+			t.Fatalf("UniformInt(1,20) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 20 {
+		t.Fatalf("expected all 20 values to occur, saw %d", len(seen))
+	}
+}
+
+func TestUniformIntPanicsOnBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for hi < lo")
+		}
+	}()
+	New(1).UniformInt(5, 4)
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 50; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	r := New(6)
+	const n, p = 20000, 0.3
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(p) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-p) > 0.02 {
+		t.Fatalf("Bernoulli(0.3) frequency = %g", got)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(7)
+	const n = 50000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.Normal(0.7, 0.2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-0.7) > 0.01 {
+		t.Fatalf("mean = %g, want 0.7", mean)
+	}
+	if math.Abs(variance-0.04) > 0.005 {
+		t.Fatalf("variance = %g, want 0.04", variance)
+	}
+}
+
+func TestNormalVarSemantics(t *testing.T) {
+	r := New(8)
+	const n = 50000
+	var sumSq, sum float64
+	for i := 0; i < n; i++ {
+		v := r.NormalVar(0, 0.2)
+		sum += v
+		sumSq += v * v
+	}
+	variance := sumSq/n - (sum/n)*(sum/n)
+	if math.Abs(variance-0.2) > 0.02 {
+		t.Fatalf("NormalVar variance = %g, want 0.2", variance)
+	}
+	if v := r.NormalVar(0.5, 0); v != 0.5 {
+		t.Fatalf("zero-variance sample = %g, want the mean", v)
+	}
+	if v := r.NormalVar(0.5, -1); v != 0.5 {
+		t.Fatalf("negative-variance sample = %g, want the mean", v)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := New(9)
+	for _, mean := range []float64{0.5, 3, 12, 80} {
+		const n = 20000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += float64(r.Poisson(mean))
+		}
+		got := sum / n
+		if math.Abs(got-mean) > 0.05*mean+0.05 {
+			t.Fatalf("Poisson(%g) mean = %g", mean, got)
+		}
+	}
+	if r.Poisson(0) != 0 || r.Poisson(-3) != 0 {
+		t.Fatal("non-positive mean must yield 0")
+	}
+}
+
+func TestPoissonProcess(t *testing.T) {
+	r := New(10)
+	const rate, start, end = 3.0, 0.0, 60.0
+	var total int
+	const runs = 300
+	for i := 0; i < runs; i++ {
+		times := r.PoissonProcess(rate, start, end)
+		if !sort.Float64sAreSorted(times) {
+			t.Fatal("arrival times not sorted")
+		}
+		for _, tm := range times {
+			if tm < start || tm >= end {
+				t.Fatalf("arrival %g outside [%g,%g)", tm, start, end)
+			}
+		}
+		total += len(times)
+	}
+	gotMean := float64(total) / runs
+	want := rate * (end - start)
+	if math.Abs(gotMean-want) > 0.05*want {
+		t.Fatalf("mean arrivals = %g, want about %g", gotMean, want)
+	}
+}
+
+func TestPoissonProcessEmpty(t *testing.T) {
+	r := New(11)
+	if got := r.PoissonProcess(0, 0, 10); got != nil {
+		t.Fatalf("rate 0 produced %v", got)
+	}
+	if got := r.PoissonProcess(5, 10, 10); got != nil {
+		t.Fatalf("empty interval produced %v", got)
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	r := New(12)
+	got := r.SampleWithoutReplacement(10, 4)
+	if len(got) != 4 {
+		t.Fatalf("len = %d, want 4", len(got))
+	}
+	seen := make(map[int]bool)
+	for _, v := range got {
+		if v < 0 || v >= 10 {
+			t.Fatalf("value %d out of range", v)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate value %d", v)
+		}
+		seen[v] = true
+	}
+	if got := r.SampleWithoutReplacement(3, 10); len(got) != 3 {
+		t.Fatalf("k > n: len = %d, want 3", len(got))
+	}
+	if got := r.SampleWithoutReplacement(3, 0); got != nil {
+		t.Fatalf("k = 0 produced %v", got)
+	}
+}
+
+func TestQuantizeElevenLevelsZeroBased(t *testing.T) {
+	// §III.A.2: ratings can be 0, 0.1, ..., 1.
+	cases := []struct{ in, want float64 }{
+		{0, 0}, {0.04, 0}, {0.06, 0.1}, {0.55, 0.6}, {1, 1}, {1.7, 1}, {-0.3, 0},
+	}
+	for _, c := range cases {
+		if got := Quantize(c.in, 11, true); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantize(%g, 11, true) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}
+
+func TestQuantizeTenLevelsOneBased(t *testing.T) {
+	// §IV.A: rating scores are 0.1, 0.2, ..., 1 — zero is not a score.
+	cases := []struct{ in, want float64 }{
+		{0, 0.1}, {0.02, 0.1}, {0.55, 0.6}, {0.96, 1}, {1, 1}, {-2, 0.1},
+	}
+	for _, c := range cases {
+		if got := Quantize(c.in, 10, false); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantize(%g, 10, false) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}
+
+func TestQuantizePanicsOnOneLevel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for < 2 levels")
+		}
+	}()
+	Quantize(0.5, 1, true)
+}
+
+// Property: quantized values are always valid scores on the scale.
+func TestQuantizeAlwaysOnScaleProperty(t *testing.T) {
+	prop := func(v float64, zeroBased bool) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		levels := 10
+		if zeroBased {
+			levels = 11
+		}
+		q := Quantize(v, levels, zeroBased)
+		if q < 0 || q > 1 {
+			return false
+		}
+		// Must land exactly on a grid point.
+		var steps float64
+		if zeroBased {
+			steps = float64(levels - 1)
+		} else {
+			steps = float64(levels)
+		}
+		i := q * steps
+		return math.Abs(i-math.Round(i)) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,220 @@
+// Package rating defines the core data model: a Rating is one score for
+// one object by one rater at one point in time, and the paper's central
+// move is to stop treating a batch of ratings as i.i.d. samples and
+// start treating the time-ordered sequence as a realization of a random
+// process (§III.A.1). Windowing — by time with overlap, or by rating
+// count — is therefore a first-class operation here.
+package rating
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// RaterID identifies a rater.
+type RaterID int
+
+// ObjectID identifies a rated object (product, movie, seller, ...).
+type ObjectID int
+
+// Rating is a single rating event. Value is on the [0, 1] scale the
+// paper uses throughout; Time is in days (fractional) from the start of
+// the observation period.
+type Rating struct {
+	Rater  RaterID
+	Object ObjectID
+	Value  float64
+	Time   float64
+}
+
+// Validate reports whether the rating is well-formed.
+func (r Rating) Validate() error {
+	if math.IsNaN(r.Value) || r.Value < 0 || r.Value > 1 {
+		return fmt.Errorf("rating: value %g outside [0,1]", r.Value)
+	}
+	if math.IsNaN(r.Time) || math.IsInf(r.Time, 0) {
+		return fmt.Errorf("rating: invalid time %g", r.Time)
+	}
+	return nil
+}
+
+// ErrUnknownObject is returned when a store has no ratings for the
+// requested object.
+var ErrUnknownObject = errors.New("rating: unknown object")
+
+// Store holds ratings grouped by object, kept sorted by time. The zero
+// value is not usable; call NewStore.
+type Store struct {
+	byObject map[ObjectID][]Rating
+	objects  []ObjectID
+	n        int
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{byObject: make(map[ObjectID][]Rating)}
+}
+
+// Add inserts a rating, maintaining per-object time order. It rejects
+// malformed ratings.
+func (s *Store) Add(r Rating) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	rs := s.byObject[r.Object]
+	if rs == nil {
+		s.objects = append(s.objects, r.Object)
+	}
+	// Insert keeping time order; appends are the common case because
+	// simulations emit chronologically.
+	i := len(rs)
+	for i > 0 && rs[i-1].Time > r.Time {
+		i--
+	}
+	rs = append(rs, Rating{})
+	copy(rs[i+1:], rs[i:])
+	rs[i] = r
+	s.byObject[r.Object] = rs
+	s.n++
+	return nil
+}
+
+// AddAll inserts every rating, stopping at the first invalid one.
+func (s *Store) AddAll(rs []Rating) error {
+	for i, r := range rs {
+		if err := s.Add(r); err != nil {
+			return fmt.Errorf("rating %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Len returns the total number of stored ratings.
+func (s *Store) Len() int { return s.n }
+
+// Objects returns the object IDs in first-seen order. The slice is a
+// copy.
+func (s *Store) Objects() []ObjectID {
+	return append([]ObjectID(nil), s.objects...)
+}
+
+// ForObject returns the ratings of one object in time order. The slice
+// is a copy, so callers may slice and mutate freely.
+func (s *Store) ForObject(id ObjectID) ([]Rating, error) {
+	rs, ok := s.byObject[id]
+	if !ok {
+		return nil, fmt.Errorf("object %d: %w", id, ErrUnknownObject)
+	}
+	return append([]Rating(nil), rs...), nil
+}
+
+// Values extracts the rating values of rs in order.
+func Values(rs []Rating) []float64 {
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = r.Value
+	}
+	return out
+}
+
+// Times extracts the rating times of rs in order.
+func Times(rs []Rating) []float64 {
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = r.Time
+	}
+	return out
+}
+
+// Raters returns the distinct raters appearing in rs, in first-seen
+// order.
+func Raters(rs []Rating) []RaterID {
+	seen := make(map[RaterID]bool, len(rs))
+	var out []RaterID
+	for _, r := range rs {
+		if !seen[r.Rater] {
+			seen[r.Rater] = true
+			out = append(out, r.Rater)
+		}
+	}
+	return out
+}
+
+// SortByTime sorts rs in place by time (stable, so equal-time ratings
+// keep their relative order).
+func SortByTime(rs []Rating) {
+	sort.SliceStable(rs, func(i, j int) bool { return rs[i].Time < rs[j].Time })
+}
+
+// Window is a contiguous run of ratings with its covering interval.
+type Window struct {
+	// Index is the window's ordinal (the k of Procedure 1).
+	Index int
+	// Start and End delimit the covered time interval [Start, End).
+	Start, End float64
+	// Lo and Hi are the half-open index range [Lo, Hi) of the member
+	// ratings within the slice the window was cut from, so callers can
+	// mark individual ratings across overlapping windows.
+	Lo, Hi int
+	// Ratings are the member ratings in time order. The slice aliases
+	// the input to the windowing function.
+	Ratings []Rating
+}
+
+// Values returns the member rating values.
+func (w Window) Values() []float64 { return Values(w.Ratings) }
+
+// CountWindows splits rs (which must be time-sorted) into windows of
+// exactly `size` ratings, advancing by `step` ratings, so adjacent
+// windows overlap by size−step. This is Fig 4's "50 ratings in each
+// window" mode. A trailing partial window is dropped, matching the
+// paper's fixed-size fits.
+func CountWindows(rs []Rating, size, step int) ([]Window, error) {
+	if size < 1 || step < 1 {
+		return nil, fmt.Errorf("rating: count windows size=%d step=%d", size, step)
+	}
+	var out []Window
+	for start := 0; start+size <= len(rs); start += step {
+		member := rs[start : start+size]
+		out = append(out, Window{
+			Index:   len(out),
+			Start:   member[0].Time,
+			End:     member[len(member)-1].Time,
+			Lo:      start,
+			Hi:      start + size,
+			Ratings: member,
+		})
+	}
+	return out, nil
+}
+
+// TimeWindows splits rs (time-sorted) into windows covering
+// [t0 + k·step, t0 + k·step + width) for k = 0.. until end. §IV uses
+// width 10 days with step 5 (50% overlap). Windows with no ratings are
+// still emitted (empty Ratings) so downstream indexing by time stays
+// regular; callers skip windows that are too small to model.
+func TimeWindows(rs []Rating, t0, end, width, step float64) ([]Window, error) {
+	if width <= 0 || step <= 0 {
+		return nil, fmt.Errorf("rating: time windows width=%g step=%g", width, step)
+	}
+	if end < t0 {
+		return nil, fmt.Errorf("rating: time windows end %g before start %g", end, t0)
+	}
+	var out []Window
+	for start := t0; start < end; start += step {
+		stop := start + width
+		lo := sort.Search(len(rs), func(i int) bool { return rs[i].Time >= start })
+		hi := sort.Search(len(rs), func(i int) bool { return rs[i].Time >= stop })
+		out = append(out, Window{
+			Index:   len(out),
+			Start:   start,
+			End:     stop,
+			Lo:      lo,
+			Hi:      hi,
+			Ratings: rs[lo:hi],
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,178 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Client is a typed HTTP client for a Server. The zero value is not
+// usable; call NewClient.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient builds a client for the service at base (e.g.
+// "http://localhost:8080"). hc may be nil, in which case
+// http.DefaultClient is used.
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: base, hc: hc}
+}
+
+// APIError is a non-2xx response from the service.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server: status %d: %s", e.Status, e.Message)
+}
+
+// Submit sends a batch of ratings and returns how many were accepted.
+func (c *Client) Submit(ctx context.Context, ratings []RatingPayload) (int, error) {
+	var resp SubmitResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/ratings", ratings, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Accepted, nil
+}
+
+// Process runs one maintenance window.
+func (c *Client) Process(ctx context.Context, start, end float64) (ProcessResponse, error) {
+	var resp ProcessResponse
+	err := c.do(ctx, http.MethodPost, "/v1/process", ProcessRequest{Start: start, End: end}, &resp)
+	return resp, err
+}
+
+// Aggregate fetches one object's trust-weighted aggregate.
+func (c *Client) Aggregate(ctx context.Context, object int) (AggregateResponse, error) {
+	var resp AggregateResponse
+	err := c.do(ctx, http.MethodGet, fmt.Sprintf("/v1/objects/%d/aggregate", object), nil, &resp)
+	return resp, err
+}
+
+// Trust fetches one rater's trust value.
+func (c *Client) Trust(ctx context.Context, rater int) (float64, error) {
+	var resp TrustResponse
+	if err := c.do(ctx, http.MethodGet, fmt.Sprintf("/v1/raters/%d/trust", rater), nil, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Trust, nil
+}
+
+// Malicious lists the raters currently flagged malicious.
+func (c *Client) Malicious(ctx context.Context) ([]int, error) {
+	var resp MaliciousResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/malicious", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Raters, nil
+}
+
+// Stats fetches the service's state summary.
+func (c *Client) Stats(ctx context.Context) (StatsResponse, error) {
+	var resp StatsResponse
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &resp)
+	return resp, err
+}
+
+// Snapshot streams the service's full state into w.
+func (c *Client) Snapshot(ctx context.Context, w io.Writer) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/snapshot", nil)
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	res, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		return decodeError(res)
+	}
+	if _, err := io.Copy(w, res.Body); err != nil {
+		return fmt.Errorf("server: snapshot copy: %w", err)
+	}
+	return nil
+}
+
+// Restore replaces the service's state with the snapshot read from r.
+func (c *Client) Restore(ctx context.Context, r io.Reader) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.base+"/v1/snapshot", r)
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	res, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusNoContent {
+		return decodeError(res)
+	}
+	return nil
+}
+
+// Healthy reports whether the service answers its liveness probe.
+func (c *Client) Healthy(ctx context.Context) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	res, err := c.hc.Do(req)
+	if err != nil {
+		return false
+	}
+	defer res.Body.Close()
+	return res.StatusCode == http.StatusOK
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var reader io.Reader
+	if body != nil {
+		payload, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("server: encode request: %w", err)
+		}
+		reader = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, reader)
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	res, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode/100 != 2 {
+		return decodeError(res)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(res.Body).Decode(out); err != nil {
+		return fmt.Errorf("server: decode response: %w", err)
+	}
+	return nil
+}
+
+func decodeError(res *http.Response) error {
+	var e ErrorResponse
+	if err := json.NewDecoder(res.Body).Decode(&e); err != nil || e.Error == "" {
+		return &APIError{Status: res.StatusCode, Message: res.Status}
+	}
+	return &APIError{Status: res.StatusCode, Message: e.Error}
+}

@@ -1,0 +1,264 @@
+// Package server exposes the trust-enhanced rating system as a small
+// JSON-over-HTTP service — the deployment shape a marketplace backend
+// would actually consume. It wraps a core.SafeSystem, so handlers are
+// safe under concurrent requests.
+//
+// Endpoints (v1):
+//
+//	POST /v1/ratings              submit one rating or an array of them
+//	POST /v1/process              run a maintenance window {start,end}
+//	GET  /v1/objects/{id}/aggregate   trust-weighted aggregate
+//	GET  /v1/raters/{id}/trust        rater trust value
+//	GET  /v1/malicious                raters below the trust threshold
+//	GET  /v1/snapshot                 download the full state
+//	PUT  /v1/snapshot                 replace the full state
+//	GET  /healthz                     liveness
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/rating"
+	"repro/internal/trust"
+)
+
+// Server is the HTTP facade over one rating system.
+type Server struct {
+	sys *core.SafeSystem
+	mux *http.ServeMux
+}
+
+// New builds a Server around cfg.
+func New(cfg core.Config) (*Server, error) {
+	sys, err := core.NewSafeSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{sys: sys, mux: http.NewServeMux()}
+	s.routes()
+	return s, nil
+}
+
+// System exposes the underlying system (for preloading state in tools
+// and tests).
+func (s *Server) System() *core.SafeSystem { return s.sys }
+
+var _ http.Handler = (*Server)(nil)
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/ratings", s.handleSubmit)
+	s.mux.HandleFunc("POST /v1/process", s.handleProcess)
+	s.mux.HandleFunc("GET /v1/objects/{id}/aggregate", s.handleAggregate)
+	s.mux.HandleFunc("GET /v1/raters/{id}/trust", s.handleTrust)
+	s.mux.HandleFunc("GET /v1/malicious", s.handleMalicious)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/snapshot", s.handleSnapshotGet)
+	s.mux.HandleFunc("PUT /v1/snapshot", s.handleSnapshotPut)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+}
+
+// RatingPayload is the wire form of one rating.
+type RatingPayload struct {
+	Rater  int     `json:"rater"`
+	Object int     `json:"object"`
+	Value  float64 `json:"value"`
+	Time   float64 `json:"time"`
+}
+
+func (p RatingPayload) toRating() rating.Rating {
+	return rating.Rating{
+		Rater:  rating.RaterID(p.Rater),
+		Object: rating.ObjectID(p.Object),
+		Value:  p.Value,
+		Time:   p.Time,
+	}
+}
+
+// SubmitResponse reports how many ratings were accepted.
+type SubmitResponse struct {
+	Accepted int `json:"accepted"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// The body is a JSON array of ratings; a single rating is a
+	// one-element array.
+	var batch []RatingPayload
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&batch); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode ratings: %w", err))
+		return
+	}
+	accepted := 0
+	for i, p := range batch {
+		if err := s.sys.Submit(p.toRating()); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("rating %d: %w", i, err))
+			return
+		}
+		accepted++
+	}
+	writeJSON(w, http.StatusOK, SubmitResponse{Accepted: accepted})
+}
+
+// ProcessRequest is the maintenance-window request body.
+type ProcessRequest struct {
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+}
+
+// ProcessResponse summarizes one maintenance pass.
+type ProcessResponse struct {
+	Objects      int `json:"objects"`
+	Observations int `json:"observations"`
+	Suspicious   int `json:"suspiciousWindows"`
+}
+
+func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) {
+	var req ProcessRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode process request: %w", err))
+		return
+	}
+	rep, err := s.sys.ProcessWindow(req.Start, req.End)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := ProcessResponse{
+		Objects:      len(rep.Objects),
+		Observations: len(rep.Observations),
+	}
+	for _, obj := range rep.Objects {
+		resp.Suspicious += len(obj.Detection.SuspiciousWindows())
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// AggregateResponse is the wire form of an aggregate.
+type AggregateResponse struct {
+	Object   int     `json:"object"`
+	Value    float64 `json:"value"`
+	Used     int     `json:"used"`
+	Filtered int     `json:"filtered"`
+	FellBack bool    `json:"fellBack"`
+}
+
+func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("object id: %w", err))
+		return
+	}
+	agg, err := s.sys.Aggregate(rating.ObjectID(id))
+	if err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, rating.ErrUnknownObject):
+			status = http.StatusNotFound
+		case errors.Is(err, trust.ErrNoTrustedRaters), errors.Is(err, trust.ErrNoRatings):
+			status = http.StatusConflict
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, AggregateResponse{
+		Object:   int(agg.Object),
+		Value:    agg.Value,
+		Used:     agg.Used,
+		Filtered: agg.Filtered,
+		FellBack: agg.FellBack,
+	})
+}
+
+// TrustResponse is the wire form of a rater's trust.
+type TrustResponse struct {
+	Rater int     `json:"rater"`
+	Trust float64 `json:"trust"`
+}
+
+func (s *Server) handleTrust(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("rater id: %w", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, TrustResponse{
+		Rater: id,
+		Trust: s.sys.TrustIn(rating.RaterID(id)),
+	})
+}
+
+// MaliciousResponse lists flagged raters.
+type MaliciousResponse struct {
+	Raters []int `json:"raters"`
+}
+
+func (s *Server) handleMalicious(w http.ResponseWriter, _ *http.Request) {
+	ids := s.sys.MaliciousRaters()
+	resp := MaliciousResponse{Raters: make([]int, 0, len(ids))}
+	for _, id := range ids {
+		resp.Raters = append(resp.Raters, int(id))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// StatsResponse summarizes the system's state.
+type StatsResponse struct {
+	Ratings   int `json:"ratings"`
+	Raters    int `json:"raters"`
+	Malicious int `json:"malicious"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Ratings:   s.sys.Len(),
+		Raters:    len(s.sys.TrustSnapshot()),
+		Malicious: len(s.sys.MaliciousRaters()),
+	})
+}
+
+func (s *Server) handleSnapshotGet(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.sys.WriteSnapshot(w); err != nil {
+		// Headers are already out; nothing better to do than log-level
+		// truncation, which the client sees as a broken body.
+		return
+	}
+}
+
+func (s *Server) handleSnapshotPut(w http.ResponseWriter, r *http.Request) {
+	if err := s.sys.LoadSnapshot(r.Body); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// ErrorResponse is the wire form of every error.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}

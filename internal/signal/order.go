@@ -1,0 +1,141 @@
+package signal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Criterion selects the model-order scoring rule.
+type Criterion int
+
+const (
+	// CriterionFPE is Akaike's Final Prediction Error:
+	// FPE(p) = e(p) · (N+p+1)/(N−p−1).
+	CriterionFPE Criterion = iota + 1
+	// CriterionAIC is the Akaike Information Criterion:
+	// AIC(p) = N·ln e(p) + 2p.
+	CriterionAIC
+	// CriterionMDL is Rissanen's Minimum Description Length:
+	// MDL(p) = N·ln e(p) + p·ln N.
+	CriterionMDL
+)
+
+// String names the criterion.
+func (c Criterion) String() string {
+	switch c {
+	case CriterionFPE:
+		return "fpe"
+	case CriterionAIC:
+		return "aic"
+	case CriterionMDL:
+		return "mdl"
+	default:
+		return fmt.Sprintf("criterion(%d)", int(c))
+	}
+}
+
+// OrderScore is one candidate order's outcome.
+type OrderScore struct {
+	Order int
+	Model Model
+	Score float64
+}
+
+// ErrNoValidOrder is returned when no candidate order could be fitted.
+var ErrNoValidOrder = errors.New("signal: no candidate order could be fitted")
+
+// SelectOrder fits orders 1..maxOrder and returns the order minimizing
+// the criterion, along with every candidate's score (for diagnostics).
+// Orders whose fit fails (window too short, degenerate data) are
+// skipped; ErrNoValidOrder is returned if none survive. The error-power
+// term uses the fit's ErrPower; zero error powers (perfectly
+// predictable windows) short-circuit to that order, since no criterion
+// can improve on zero residual.
+func SelectOrder(x []float64, maxOrder int, criterion Criterion, opts Options) (best OrderScore, all []OrderScore, err error) {
+	if maxOrder < 1 {
+		return OrderScore{}, nil, fmt.Errorf("signal: max order %d", maxOrder)
+	}
+	n := float64(len(x))
+	bestIdx := -1
+	for p := 1; p <= maxOrder; p++ {
+		model, ferr := Fit(x, p, opts)
+		if ferr != nil {
+			if errors.Is(ferr, ErrTooShort) {
+				break // higher orders only get worse
+			}
+			return OrderScore{}, nil, ferr
+		}
+		e := model.ErrPower
+		if model.Method == MethodCovariance {
+			// The covariance method's ErrPower is the residual SUM over
+			// the N−p prediction samples; the criteria need a per-sample
+			// power so orders stay comparable.
+			e /= n - float64(p)
+		}
+		if e <= 0 || (model.Energy > 0 && model.ErrPower/model.Energy < 1e-7) {
+			// (Numerically) perfect fit — the regularization ridge leaves
+			// a ~1e-9-relative residual on constant windows. Nothing
+			// beats zero residual, so stop here.
+			score := OrderScore{Order: p, Model: model, Score: math.Inf(-1)}
+			all = append(all, score)
+			return score, all, nil
+		}
+		var s float64
+		switch criterion {
+		case CriterionFPE:
+			fp := float64(p)
+			denom := n - fp - 1
+			if denom <= 0 {
+				continue
+			}
+			s = e * (n + fp + 1) / denom
+		case CriterionAIC:
+			s = n*math.Log(e) + 2*float64(p)
+		case CriterionMDL:
+			s = n*math.Log(e) + float64(p)*math.Log(n)
+		default:
+			return OrderScore{}, nil, fmt.Errorf("signal: unknown criterion %d", int(criterion))
+		}
+		all = append(all, OrderScore{Order: p, Model: model, Score: s})
+		if bestIdx == -1 || s < all[bestIdx].Score {
+			bestIdx = len(all) - 1
+		}
+	}
+	if bestIdx == -1 {
+		return OrderScore{}, all, ErrNoValidOrder
+	}
+	return all[bestIdx], all, nil
+}
+
+// PowerSpectrum evaluates the AR model's power spectral density at
+// nFreq equally spaced normalized frequencies in [0, 0.5] (cycles per
+// sample):
+//
+//	S(f) = σ² / |1 + Σ_k a(k) e^{−j2πfk}|²
+//
+// where σ² is the prediction-error power. Useful as a diagnostic for
+// what structure the detector locked onto inside a suspicious window.
+func (m Model) PowerSpectrum(nFreq int) (freqs, psd []float64, err error) {
+	if nFreq < 2 {
+		return nil, nil, fmt.Errorf("signal: %d frequencies", nFreq)
+	}
+	freqs = make([]float64, nFreq)
+	psd = make([]float64, nFreq)
+	for i := 0; i < nFreq; i++ {
+		f := 0.5 * float64(i) / float64(nFreq-1)
+		freqs[i] = f
+		var re, im float64 = 1, 0
+		for k, a := range m.Coeffs {
+			angle := -2 * math.Pi * f * float64(k+1)
+			re += a * math.Cos(angle)
+			im += a * math.Sin(angle)
+		}
+		mag := re*re + im*im
+		if mag < 1e-300 {
+			mag = 1e-300
+		}
+		psd[i] = m.ErrPower / mag
+	}
+	return freqs, psd, nil
+}

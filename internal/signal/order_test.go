@@ -1,0 +1,166 @@
+package signal
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/randx"
+)
+
+func TestCriterionString(t *testing.T) {
+	if CriterionFPE.String() != "fpe" || CriterionAIC.String() != "aic" || CriterionMDL.String() != "mdl" {
+		t.Fatal("criterion names")
+	}
+	if Criterion(9).String() != "criterion(9)" {
+		t.Fatal("unknown criterion name")
+	}
+}
+
+func TestSelectOrderRecoversAR2(t *testing.T) {
+	// A strong AR(2) process: all criteria should pick an order >= 2
+	// and close to 2.
+	rng := randx.New(1)
+	x := genAR2(rng, 400, -1.2, 0.6, 0.1)
+	for _, c := range []Criterion{CriterionFPE, CriterionAIC, CriterionMDL} {
+		best, all, err := SelectOrder(x, 8, c, Options{Demean: true})
+		if err != nil {
+			t.Fatalf("%v: %v", c, err)
+		}
+		if len(all) != 8 {
+			t.Fatalf("%v: %d candidates", c, len(all))
+		}
+		if best.Order < 2 || best.Order > 4 {
+			t.Errorf("%v picked order %d for an AR(2) process", c, best.Order)
+		}
+	}
+}
+
+func TestSelectOrderWhiteNoisePrefersSmall(t *testing.T) {
+	// For white noise the penalized criteria (MDL especially) should
+	// pick a small order.
+	rng := randx.New(2)
+	x := make([]float64, 300)
+	for i := range x {
+		x[i] = rng.Normal(0, 1)
+	}
+	best, _, err := SelectOrder(x, 10, CriterionMDL, Options{Demean: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Order > 3 {
+		t.Fatalf("MDL picked order %d on white noise", best.Order)
+	}
+}
+
+func TestSelectOrderPerfectFitShortCircuits(t *testing.T) {
+	// A constant raw window is perfectly predictable at order 1.
+	x := make([]float64, 60)
+	for i := range x {
+		x[i] = 0.8
+	}
+	best, all, err := SelectOrder(x, 6, CriterionAIC, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Order != 1 {
+		t.Fatalf("order %d, want 1", best.Order)
+	}
+	if !math.IsInf(best.Score, -1) {
+		t.Fatalf("score %g, want -inf sentinel", best.Score)
+	}
+	if len(all) != 1 {
+		t.Fatalf("%d candidates, want early stop", len(all))
+	}
+}
+
+func TestSelectOrderValidation(t *testing.T) {
+	if _, _, err := SelectOrder([]float64{1, 2, 3}, 0, CriterionAIC, Options{}); err == nil {
+		t.Fatal("max order 0 accepted")
+	}
+	if _, _, err := SelectOrder(genAR2(randx.New(3), 100, -1, 0.5, 0.1), 3, Criterion(99), Options{}); err == nil {
+		t.Fatal("unknown criterion accepted")
+	}
+	// Too short for even order 1: ErrNoValidOrder.
+	if _, _, err := SelectOrder([]float64{1, 2}, 4, CriterionAIC, Options{}); !errors.Is(err, ErrNoValidOrder) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSelectOrderSkipsTooHighOrders(t *testing.T) {
+	// 11 samples support covariance orders up to 5; candidates stop
+	// there instead of erroring.
+	rng := randx.New(4)
+	x := make([]float64, 11)
+	for i := range x {
+		x[i] = rng.Normal(0.5, 0.1)
+	}
+	_, all, err := SelectOrder(x, 10, CriterionAIC, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) == 0 || len(all) > 5 {
+		t.Fatalf("%d candidates", len(all))
+	}
+}
+
+func TestPowerSpectrumSinusoidPeak(t *testing.T) {
+	// AR fit of a 0.1-cycles/sample sinusoid: the PSD must peak there.
+	x := make([]float64, 300)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * 0.1 * float64(i))
+	}
+	m, err := Fit(x, 4, Options{Demean: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	freqs, psd, err := m.PowerSpectrum(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := 0
+	for i := range psd {
+		if psd[i] > psd[peak] {
+			peak = i
+		}
+	}
+	if math.Abs(freqs[peak]-0.1) > 0.01 {
+		t.Fatalf("PSD peak at %g, want 0.1", freqs[peak])
+	}
+}
+
+func TestPowerSpectrumValidation(t *testing.T) {
+	m := Model{Coeffs: []float64{-0.5}, ErrPower: 1}
+	if _, _, err := m.PowerSpectrum(1); err == nil {
+		t.Fatal("1 frequency accepted")
+	}
+	freqs, psd, err := m.PowerSpectrum(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(freqs) != 16 || len(psd) != 16 {
+		t.Fatal("lengths")
+	}
+	if freqs[0] != 0 || freqs[15] != 0.5 {
+		t.Fatalf("freq range [%g, %g]", freqs[0], freqs[15])
+	}
+	for _, v := range psd {
+		if v <= 0 || math.IsNaN(v) {
+			t.Fatalf("psd value %g", v)
+		}
+	}
+}
+
+func TestPowerSpectrumAR1Shape(t *testing.T) {
+	// x(n) = 0.8 x(n-1) + w(n) -> lowpass PSD: monotone decreasing.
+	m := Model{Coeffs: []float64{-0.8}, ErrPower: 1}
+	_, psd, err := m.PowerSpectrum(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(psd); i++ {
+		if psd[i] > psd[i-1]+1e-12 {
+			t.Fatalf("AR(1) lowpass PSD not monotone at %d", i)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package signal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/randx"
+)
+
+func TestStabilityEmpty(t *testing.T) {
+	stable, refl, err := Stability(nil)
+	if err != nil || !stable || refl != nil {
+		t.Fatalf("empty: %v %v %v", stable, refl, err)
+	}
+}
+
+func TestStabilityAR1(t *testing.T) {
+	// x(n) = 0.5 x(n-1): a = [-0.5], pole at 0.5 -> stable.
+	stable, refl, err := Stability([]float64{-0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stable || refl[0] != -0.5 {
+		t.Fatalf("stable=%v refl=%v", stable, refl)
+	}
+	// Pole at 1.5 -> unstable.
+	stable, _, err = Stability([]float64{-1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stable {
+		t.Fatal("pole outside unit circle reported stable")
+	}
+}
+
+func TestStabilityAR2KnownPoles(t *testing.T) {
+	// Poles at re^{±jθ}: a1 = -2r cosθ, a2 = r².
+	mk := func(r, theta float64) []float64 {
+		return []float64{-2 * r * math.Cos(theta), r * r}
+	}
+	stable, _, err := Stability(mk(0.9, 0.7))
+	if err != nil || !stable {
+		t.Fatalf("poles at r=0.9: stable=%v err=%v", stable, err)
+	}
+	stable, _, err = Stability(mk(1.1, 0.7))
+	if err != nil || stable {
+		t.Fatalf("poles at r=1.1: stable=%v err=%v", stable, err)
+	}
+}
+
+func TestStabilityNonFinite(t *testing.T) {
+	if _, _, err := Stability([]float64{math.NaN()}); err == nil {
+		t.Fatal("NaN accepted")
+	}
+	if _, _, err := Stability([]float64{math.Inf(1)}); err == nil {
+		t.Fatal("Inf accepted")
+	}
+}
+
+func TestStabilityUnstableMarksUndefinedReflections(t *testing.T) {
+	// Order-3 with |k3| >= 1: earlier reflections undefined (NaN).
+	_, refl, err := Stability([]float64{0.1, 0.1, 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(refl[0]) || !math.IsNaN(refl[1]) || refl[2] != 1.2 {
+		t.Fatalf("reflections = %v", refl)
+	}
+}
+
+// Property: models built from reflection coefficients with |k| < 1 via
+// the Levinson step-UP recursion are always reported stable, and the
+// step-down recovers the same k's.
+func TestStabilityInvertsLevinsonProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := randx.New(seed)
+		p := 1 + rng.Intn(6)
+		ks := make([]float64, p)
+		for i := range ks {
+			ks[i] = rng.Uniform(-0.95, 0.95)
+		}
+		// Step-up: build a(1..p) from the reflection sequence.
+		a := make([]float64, 0, p)
+		for m := 1; m <= p; m++ {
+			k := ks[m-1]
+			prev := append([]float64(nil), a...)
+			a = append(a, k)
+			for i := 1; i < m; i++ {
+				a[i-1] = prev[i-1] + k*prev[m-i-1]
+			}
+		}
+		stable, refl, err := Stability(a)
+		if err != nil || !stable {
+			return false
+		}
+		for i := range ks {
+			if math.Abs(refl[i]-ks[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Yule-Walker fits are always stable (a guarantee of the
+// autocorrelation method), and their step-down reflections match the
+// Levinson recursion's.
+func TestYuleWalkerAlwaysStableProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := randx.New(seed)
+		n := 30 + rng.Intn(100)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormalVar(0.5, 0.1)
+		}
+		m, err := Fit(x, 4, Options{Method: MethodYuleWalker})
+		if err != nil {
+			return false
+		}
+		stable, _, err := Stability(m.Coeffs)
+		return err == nil && stable
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/randx"
+	"repro/internal/rating"
+)
+
+// IllustrativeParams are the §III.A.2 generator parameters, named after
+// the paper's table. The zero value is not runnable; start from
+// DefaultIllustrative (the paper's simulated-data setting) and adjust.
+type IllustrativeParams struct {
+	// SimuTime is the simulation length in days (paper: 60).
+	SimuTime float64
+	// ArrivalRate is the honest Poisson arrival rate per day (paper: 3).
+	ArrivalRate float64
+	// RLevels is the number of rating levels, scores i/(RLevels−1)
+	// (paper: 11 → 0, 0.1, ..., 1).
+	RLevels int
+	// QualityStart and QualityEnd define the linear quality drift
+	// (paper: 0.7 → 0.8).
+	QualityStart, QualityEnd float64
+	// GoodVar is the honest rating variance around quality (paper: 0.2).
+	GoodVar float64
+	// AStart and AEnd delimit the attack interval in days
+	// (paper: 30 → 44).
+	AStart, AEnd float64
+	// BiasShift1 and RecruitPower1 describe type-1 colluders: each
+	// honest arrival inside the attack interval is converted with
+	// probability RecruitPower1 and its rating shifted by +BiasShift1
+	// (paper: 0.2, 0.3).
+	BiasShift1, RecruitPower1 float64
+	// BiasShift2, BadVar and RecruitPower2 describe type-2 colluders:
+	// Poisson arrivals at rate ArrivalRate·RecruitPower2 inside the
+	// attack interval rating N(quality+BiasShift2, BadVar)
+	// (paper: 0.15, 0.02, 1).
+	BiasShift2, BadVar, RecruitPower2 float64
+	// Attack enables the collaborative raters; with false the trace is
+	// honest-only (the "without CR" curves).
+	Attack bool
+	// Object is the rated object's ID (single object scenario).
+	Object rating.ObjectID
+}
+
+// DefaultIllustrative returns the paper's §III.A.2 parameters with the
+// attack enabled.
+func DefaultIllustrative() IllustrativeParams {
+	return IllustrativeParams{
+		SimuTime:      60,
+		ArrivalRate:   3,
+		RLevels:       11,
+		QualityStart:  0.7,
+		QualityEnd:    0.8,
+		GoodVar:       0.2,
+		AStart:        30,
+		AEnd:          44,
+		BiasShift1:    0.2,
+		RecruitPower1: 0.3,
+		BiasShift2:    0.15,
+		BadVar:        0.02,
+		RecruitPower2: 1,
+		Attack:        true,
+	}
+}
+
+// Validate reports parameter errors.
+func (p IllustrativeParams) Validate() error {
+	switch {
+	case p.SimuTime <= 0:
+		return fmt.Errorf("sim: simuTime %g", p.SimuTime)
+	case p.ArrivalRate <= 0:
+		return fmt.Errorf("sim: arrivalRate %g", p.ArrivalRate)
+	case p.RLevels < 2:
+		return fmt.Errorf("sim: rLevels %d", p.RLevels)
+	case p.QualityStart < 0 || p.QualityStart > 1 || p.QualityEnd < 0 || p.QualityEnd > 1:
+		return fmt.Errorf("sim: quality %g→%g outside [0,1]", p.QualityStart, p.QualityEnd)
+	case p.GoodVar < 0 || p.BadVar < 0:
+		return fmt.Errorf("sim: negative variance")
+	case p.Attack && (p.AStart < 0 || p.AEnd > p.SimuTime || p.AEnd < p.AStart):
+		return fmt.Errorf("sim: attack interval [%g,%g] outside [0,%g]", p.AStart, p.AEnd, p.SimuTime)
+	case p.RecruitPower1 < 0 || p.RecruitPower1 > 1:
+		return fmt.Errorf("sim: recruitPower1 %g outside [0,1]", p.RecruitPower1)
+	case p.RecruitPower2 < 0:
+		return fmt.Errorf("sim: recruitPower2 %g negative", p.RecruitPower2)
+	}
+	return nil
+}
+
+// Quality returns the object's true quality at time t: linear between
+// QualityStart and QualityEnd over the simulation.
+func (p IllustrativeParams) Quality(t float64) float64 {
+	if p.SimuTime <= 0 {
+		return p.QualityStart
+	}
+	frac := t / p.SimuTime
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return p.QualityStart + (p.QualityEnd-p.QualityStart)*frac
+}
+
+// InAttack reports whether time t lies in the attack interval.
+func (p IllustrativeParams) InAttack(t float64) bool {
+	return p.Attack && t >= p.AStart && t <= p.AEnd
+}
+
+// GenerateIllustrative synthesizes one trace. Every honest arrival gets
+// a fresh rater ID (the paper's "rater i wants to give rating ri at
+// time ti"); type-2 colluders get IDs from 100000 up so tests and
+// experiments can separate populations without consulting labels.
+func GenerateIllustrative(rng *randx.Rand, p IllustrativeParams) ([]LabeledRating, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	var out []LabeledRating
+	next := rating.RaterID(0)
+	for _, tm := range rng.PoissonProcess(p.ArrivalRate, 0, p.SimuTime) {
+		value := rng.NormalVar(p.Quality(tm), p.GoodVar)
+		class, unfair := Reliable, false
+		if p.InAttack(tm) && rng.Bernoulli(p.RecruitPower1) {
+			// Type-1: the owner bends an existing honest rating upward.
+			value += p.BiasShift1
+			class, unfair = Type1Collaborative, true
+		}
+		out = append(out, LabeledRating{
+			Rating: rating.Rating{
+				Rater:  next,
+				Object: p.Object,
+				Value:  randx.Quantize(value, p.RLevels, true),
+				Time:   tm,
+			},
+			Class:  class,
+			Unfair: unfair,
+		})
+		next++
+	}
+	if p.Attack && p.RecruitPower2 > 0 {
+		colluder := rating.RaterID(100000)
+		for _, tm := range rng.PoissonProcess(p.ArrivalRate*p.RecruitPower2, p.AStart, p.AEnd) {
+			value := rng.NormalVar(p.Quality(tm)+p.BiasShift2, p.BadVar)
+			out = append(out, LabeledRating{
+				Rating: rating.Rating{
+					Rater:  colluder,
+					Object: p.Object,
+					Value:  randx.Quantize(value, p.RLevels, true),
+					Time:   tm,
+				},
+				Class:  Type2Collaborative,
+				Unfair: true,
+			})
+			colluder++
+		}
+	}
+	SortByTime(out)
+	return out, nil
+}

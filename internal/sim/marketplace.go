@@ -1,0 +1,316 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/randx"
+	"repro/internal/rating"
+)
+
+// Product is one rated product in the marketplace scenario.
+type Product struct {
+	ID rating.ObjectID
+	// Month is the 0-based month in which the product receives ratings.
+	Month int
+	// Quality is the true quality, drawn uniformly from
+	// [QualityLo, QualityHi].
+	Quality float64
+	// Dishonest marks the product whose owner recruits collaborative
+	// raters.
+	Dishonest bool
+}
+
+// MarketplaceParams are the §IV.A simulation parameters. Paper-stated
+// values are noted; Prate, RecruitPower3 and the recruit window
+// placement are unspecified in the paper (see DESIGN.md) and default to
+// values that give each product enough ratings for the AR fit.
+type MarketplaceParams struct {
+	// Reliable, Careless and PC are the rater population sizes
+	// (paper: 400, 200, 200). Rater IDs are assigned contiguously:
+	// reliable first, then careless, then PC.
+	Reliable, Careless, PC int
+	// Months and DaysPerMonth span the simulation (paper: 12 × 30).
+	Months, DaysPerMonth int
+	// HonestPerMonth and DishonestPerMonth are products introduced each
+	// month (paper: 4 + 1).
+	HonestPerMonth, DishonestPerMonth int
+	// QualityLo and QualityHi bound product quality (paper: 0.4, 0.6).
+	QualityLo, QualityHi float64
+	// GoodVar and CarelessVar are rating variances (paper: 0.2, 0.3).
+	GoodVar, CarelessVar float64
+	// BiasShift2 and BadVar describe recruited type-2 behavior
+	// (paper: 0.15 or 0.2, and 0.02).
+	BiasShift2, BadVar float64
+	// RecruitPower3 is the fraction of PC raters a dishonest product
+	// recruits each month (unspecified; default 0.8).
+	RecruitPower3 float64
+	// RecruitDays is how many days per month the recruitment lasts
+	// (paper: 10; placed at the start of each month).
+	RecruitDays int
+	// PRate is the daily probability an honest rater rates (unspecified;
+	// default 0.025).
+	PRate float64
+	// A1 and A2 scale a PC rater's daily rating probability when
+	// recruited / not recruited (paper: 6 or 8, and 0.5).
+	A1, A2 float64
+	// Levels is the rating scale size, scores i/Levels for i in
+	// [1, Levels] (paper: 10 → 0.1..1).
+	Levels int
+}
+
+// DefaultMarketplace returns the §IV.A parameters with the
+// unspecified knobs at their documented defaults and a1 = 6 (the first
+// experiment's setting).
+func DefaultMarketplace() MarketplaceParams {
+	return MarketplaceParams{
+		Reliable:          400,
+		Careless:          200,
+		PC:                200,
+		Months:            12,
+		DaysPerMonth:      30,
+		HonestPerMonth:    4,
+		DishonestPerMonth: 1,
+		QualityLo:         0.4,
+		QualityHi:         0.6,
+		GoodVar:           0.2,
+		CarelessVar:       0.3,
+		BiasShift2:        0.15,
+		BadVar:            0.02,
+		RecruitPower3:     0.8,
+		RecruitDays:       10,
+		PRate:             0.025,
+		A1:                6,
+		A2:                0.5,
+		Levels:            10,
+	}
+}
+
+// Validate reports parameter errors.
+func (p MarketplaceParams) Validate() error {
+	switch {
+	case p.Reliable < 0 || p.Careless < 0 || p.PC < 0:
+		return fmt.Errorf("sim: negative population")
+	case p.Reliable+p.Careless+p.PC == 0:
+		return fmt.Errorf("sim: empty population")
+	case p.Months < 1 || p.DaysPerMonth < 1:
+		return fmt.Errorf("sim: months=%d daysPerMonth=%d", p.Months, p.DaysPerMonth)
+	case p.HonestPerMonth < 0 || p.DishonestPerMonth < 0 || p.HonestPerMonth+p.DishonestPerMonth == 0:
+		return fmt.Errorf("sim: products per month %d+%d", p.HonestPerMonth, p.DishonestPerMonth)
+	case p.QualityLo < 0 || p.QualityHi > 1 || p.QualityHi < p.QualityLo:
+		return fmt.Errorf("sim: quality range [%g,%g]", p.QualityLo, p.QualityHi)
+	case p.GoodVar < 0 || p.CarelessVar < 0 || p.BadVar < 0:
+		return fmt.Errorf("sim: negative variance")
+	case p.RecruitPower3 < 0 || p.RecruitPower3 > 1:
+		return fmt.Errorf("sim: recruitPower3 %g outside [0,1]", p.RecruitPower3)
+	case p.RecruitDays < 0 || p.RecruitDays > p.DaysPerMonth:
+		return fmt.Errorf("sim: recruitDays %d outside [0,%d]", p.RecruitDays, p.DaysPerMonth)
+	case p.PRate <= 0 || p.PRate > 1:
+		return fmt.Errorf("sim: pRate %g outside (0,1]", p.PRate)
+	case p.A1 < 1 || p.A1*p.PRate > 1:
+		return fmt.Errorf("sim: a1=%g must be >= 1 with a1*pRate <= 1", p.A1)
+	case p.A2 < 0 || p.A2 > 1:
+		return fmt.Errorf("sim: a2=%g outside [0,1]", p.A2)
+	case p.Levels < 2:
+		return fmt.Errorf("sim: levels %d", p.Levels)
+	}
+	return nil
+}
+
+// Population sizes and ID layout.
+
+// RaterClassOf returns the identity class of a rater ID under the
+// contiguous layout (reliable, careless, PC).
+func (p MarketplaceParams) RaterClassOf(id rating.RaterID) RaterClass {
+	switch {
+	case int(id) < p.Reliable:
+		return Reliable
+	case int(id) < p.Reliable+p.Careless:
+		return Careless
+	default:
+		return PotentialCollaborative
+	}
+}
+
+// TotalRaters returns the population size.
+func (p MarketplaceParams) TotalRaters() int { return p.Reliable + p.Careless + p.PC }
+
+// MarketplaceTrace is a generated §IV workload.
+type MarketplaceTrace struct {
+	Params   MarketplaceParams
+	Products []Product
+	// Ratings are all ratings, time-sorted.
+	Ratings []LabeledRating
+	// Recruited[month] is the set of PC raters recruited that month.
+	Recruited []map[rating.RaterID]bool
+}
+
+// ByProduct returns the trace's ratings for one product, time-sorted.
+func (t *MarketplaceTrace) ByProduct(id rating.ObjectID) []LabeledRating {
+	var out []LabeledRating
+	for _, l := range t.Ratings {
+		if l.Rating.Object == id {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// HonestProducts returns the honest products in ID order.
+func (t *MarketplaceTrace) HonestProducts() []Product { return t.products(false) }
+
+// DishonestProducts returns the dishonest products in ID order.
+func (t *MarketplaceTrace) DishonestProducts() []Product { return t.products(true) }
+
+func (t *MarketplaceTrace) products(dishonest bool) []Product {
+	var out []Product
+	for _, pr := range t.Products {
+		if pr.Dishonest == dishonest {
+			out = append(out, pr)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// GenerateMarketplace synthesizes a §IV trace. Determinism: the trace
+// is a pure function of rng's seed and the parameters.
+//
+// Mechanics per day d of month m:
+//   - each reliable/careless rater rates, with probability PRate, one
+//     uniformly chosen not-yet-rated product of the month, honestly
+//     (mean = quality, variance GoodVar or CarelessVar);
+//   - a recruited PC rater, during the month's first RecruitDays days,
+//     rates the month's dishonest product (once) with probability
+//     A1·PRate, biased: N(quality + BiasShift2, BadVar);
+//   - otherwise a PC rater behaves reliably but with probability
+//     A2·PRate.
+//
+// One rater rates a given product at most once.
+func GenerateMarketplace(rng *randx.Rand, p MarketplaceParams) (*MarketplaceTrace, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+
+	perMonth := p.HonestPerMonth + p.DishonestPerMonth
+	trace := &MarketplaceTrace{Params: p}
+	for m := 0; m < p.Months; m++ {
+		for k := 0; k < perMonth; k++ {
+			trace.Products = append(trace.Products, Product{
+				ID:        rating.ObjectID(m*perMonth + k + 1),
+				Month:     m,
+				Quality:   rng.Uniform(p.QualityLo, p.QualityHi),
+				Dishonest: k >= p.HonestPerMonth,
+			})
+		}
+	}
+
+	total := p.TotalRaters()
+	pcBase := p.Reliable + p.Careless
+	rated := make(map[rating.RaterID]map[rating.ObjectID]bool, total)
+	hasRated := func(r rating.RaterID, o rating.ObjectID) bool { return rated[r][o] }
+	markRated := func(r rating.RaterID, o rating.ObjectID) {
+		m, ok := rated[r]
+		if !ok {
+			m = make(map[rating.ObjectID]bool, 4)
+			rated[r] = m
+		}
+		m[o] = true
+	}
+
+	emitHonest := func(r rating.RaterID, pr Product, day float64, variance float64, class RaterClass) {
+		value := randx.Quantize(rng.NormalVar(pr.Quality, variance), p.Levels, false)
+		trace.Ratings = append(trace.Ratings, LabeledRating{
+			Rating: rating.Rating{Rater: r, Object: pr.ID, Value: value, Time: day},
+			Class:  class,
+		})
+		markRated(r, pr.ID)
+	}
+
+	for m := 0; m < p.Months; m++ {
+		active := trace.Products[m*perMonth : (m+1)*perMonth]
+		var dishonest []Product
+		for _, pr := range active {
+			if pr.Dishonest {
+				dishonest = append(dishonest, pr)
+			}
+		}
+		// Monthly recruitment by the dishonest product(s).
+		recruited := make(map[rating.RaterID]bool)
+		if len(dishonest) > 0 {
+			k := int(p.RecruitPower3 * float64(p.PC))
+			for _, idx := range rng.SampleWithoutReplacement(p.PC, k) {
+				recruited[rating.RaterID(pcBase+idx)] = true
+			}
+		}
+		trace.Recruited = append(trace.Recruited, recruited)
+
+		for d := 0; d < p.DaysPerMonth; d++ {
+			day := float64(m*p.DaysPerMonth + d)
+			// Sub-day jitter keeps rating times distinct enough for
+			// stable time-ordering without changing daily semantics.
+			inRecruitWindow := d < p.RecruitDays
+
+			for id := 0; id < total; id++ {
+				r := rating.RaterID(id)
+				class := p.RaterClassOf(r)
+				switch class {
+				case Reliable, Careless:
+					if !rng.Bernoulli(p.PRate) {
+						continue
+					}
+					variance := p.GoodVar
+					if class == Careless {
+						variance = p.CarelessVar
+					}
+					if pr, ok := pickUnrated(rng, active, r, hasRated); ok {
+						emitHonest(r, pr, day+rng.Float64(), variance, class)
+					}
+				default: // PotentialCollaborative
+					if recruited[r] && inRecruitWindow {
+						if !rng.Bernoulli(p.A1 * p.PRate) {
+							continue
+						}
+						pr := dishonest[rng.Intn(len(dishonest))]
+						if hasRated(r, pr.ID) {
+							continue
+						}
+						value := randx.Quantize(
+							rng.NormalVar(pr.Quality+p.BiasShift2, p.BadVar), p.Levels, false)
+						trace.Ratings = append(trace.Ratings, LabeledRating{
+							Rating: rating.Rating{Rater: r, Object: pr.ID, Value: value, Time: day + rng.Float64()},
+							Class:  Type2Collaborative,
+							Unfair: true,
+						})
+						markRated(r, pr.ID)
+						continue
+					}
+					if !rng.Bernoulli(p.A2 * p.PRate) {
+						continue
+					}
+					if pr, ok := pickUnrated(rng, active, r, hasRated); ok {
+						emitHonest(r, pr, day+rng.Float64(), p.GoodVar, Reliable)
+					}
+				}
+			}
+		}
+	}
+
+	SortByTime(trace.Ratings)
+	return trace, nil
+}
+
+// pickUnrated uniformly selects one of the active products the rater
+// has not yet rated.
+func pickUnrated(rng *randx.Rand, active []Product, r rating.RaterID, hasRated func(rating.RaterID, rating.ObjectID) bool) (Product, bool) {
+	candidates := make([]Product, 0, len(active))
+	for _, pr := range active {
+		if !hasRated(r, pr.ID) {
+			candidates = append(candidates, pr)
+		}
+	}
+	if len(candidates) == 0 {
+		return Product{}, false
+	}
+	return candidates[rng.Intn(len(candidates))], true
+}

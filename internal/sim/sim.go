@@ -1,0 +1,84 @@
+// Package sim is the rating-generation substrate: it synthesizes the
+// paper's two evaluation workloads — the single-object illustrative
+// scenario of §III.A.2 (Figs 2-4, the 500-run detection-rate study) and
+// the 800-rater/60-product/360-day marketplace of §IV (Figs 6-12) —
+// with ground-truth labels on every rating and rater so detection and
+// false-alarm ratios can be scored exactly.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rating"
+)
+
+// RaterClass is a rater's ground-truth behavioral class.
+type RaterClass int
+
+const (
+	// Reliable raters rate honestly with goodVar noise.
+	Reliable RaterClass = iota + 1
+	// Careless raters rate honestly but with larger carelessVar noise.
+	Careless
+	// PotentialCollaborative (PC) raters behave reliably until recruited
+	// by a dishonest product's owner, then emit type-2 biased ratings.
+	PotentialCollaborative
+	// Type1Collaborative is an honest rater whose rating the owner
+	// shifted by biasShift1 (§III.A.2's first recruitment channel).
+	Type1Collaborative
+	// Type2Collaborative is a rater recruited to produce entirely new
+	// biased ratings (the smart strategy the paper targets).
+	Type2Collaborative
+)
+
+// String names the class.
+func (c RaterClass) String() string {
+	switch c {
+	case Reliable:
+		return "reliable"
+	case Careless:
+		return "careless"
+	case PotentialCollaborative:
+		return "potential-collaborative"
+	case Type1Collaborative:
+		return "type1-collaborative"
+	case Type2Collaborative:
+		return "type2-collaborative"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// Honest reports whether the class rates honestly.
+func (c RaterClass) Honest() bool {
+	return c == Reliable || c == Careless || c == PotentialCollaborative
+}
+
+// LabeledRating is a rating with its ground truth attached.
+type LabeledRating struct {
+	Rating rating.Rating
+	// Class is the emitting rater's class at emission time (a PC rater
+	// emits Reliable-class ratings while unrecruited and
+	// Type2Collaborative ones while recruited).
+	Class RaterClass
+	// Unfair marks ratings that are biased by construction (type 1 or
+	// type 2).
+	Unfair bool
+}
+
+// Ratings strips labels, returning the plain time-sorted ratings.
+func Ratings(ls []LabeledRating) []rating.Rating {
+	out := make([]rating.Rating, len(ls))
+	for i, l := range ls {
+		out[i] = l.Rating
+	}
+	return out
+}
+
+// SortByTime sorts labeled ratings in place by time (stable).
+func SortByTime(ls []LabeledRating) {
+	sort.SliceStable(ls, func(i, j int) bool {
+		return ls[i].Rating.Time < ls[j].Rating.Time
+	})
+}

@@ -1,0 +1,409 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/randx"
+	"repro/internal/rating"
+	"repro/internal/stat"
+)
+
+func TestRaterClassString(t *testing.T) {
+	cases := map[RaterClass]string{
+		Reliable:               "reliable",
+		Careless:               "careless",
+		PotentialCollaborative: "potential-collaborative",
+		Type1Collaborative:     "type1-collaborative",
+		Type2Collaborative:     "type2-collaborative",
+		RaterClass(77):         "class(77)",
+	}
+	for c, want := range cases {
+		if c.String() != want {
+			t.Errorf("%d.String() = %s, want %s", int(c), c.String(), want)
+		}
+	}
+}
+
+func TestRaterClassHonest(t *testing.T) {
+	if !Reliable.Honest() || !Careless.Honest() || !PotentialCollaborative.Honest() {
+		t.Fatal("honest classes misreported")
+	}
+	if Type1Collaborative.Honest() || Type2Collaborative.Honest() {
+		t.Fatal("collaborative classes misreported")
+	}
+}
+
+func TestRatingsStripAndSort(t *testing.T) {
+	ls := []LabeledRating{
+		{Rating: rating.Rating{Rater: 1, Value: 0.5, Time: 9}},
+		{Rating: rating.Rating{Rater: 2, Value: 0.6, Time: 3}},
+	}
+	SortByTime(ls)
+	if ls[0].Rating.Rater != 2 {
+		t.Fatalf("sort failed: %+v", ls)
+	}
+	plain := Ratings(ls)
+	if len(plain) != 2 || plain[0].Time != 3 {
+		t.Fatalf("Ratings = %+v", plain)
+	}
+}
+
+func TestDefaultIllustrativeValid(t *testing.T) {
+	if err := DefaultIllustrative().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIllustrativeValidation(t *testing.T) {
+	mutations := []func(*IllustrativeParams){
+		func(p *IllustrativeParams) { p.SimuTime = 0 },
+		func(p *IllustrativeParams) { p.ArrivalRate = -1 },
+		func(p *IllustrativeParams) { p.RLevels = 1 },
+		func(p *IllustrativeParams) { p.QualityStart = 1.5 },
+		func(p *IllustrativeParams) { p.GoodVar = -0.1 },
+		func(p *IllustrativeParams) { p.AEnd = 99 },
+		func(p *IllustrativeParams) { p.AStart, p.AEnd = 40, 30 },
+		func(p *IllustrativeParams) { p.RecruitPower1 = 1.5 },
+		func(p *IllustrativeParams) { p.RecruitPower2 = -1 },
+	}
+	for i, mutate := range mutations {
+		p := DefaultIllustrative()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestIllustrativeQualityDrift(t *testing.T) {
+	p := DefaultIllustrative()
+	if q := p.Quality(0); q != 0.7 {
+		t.Fatalf("quality(0) = %g", q)
+	}
+	if q := p.Quality(60); math.Abs(q-0.8) > 1e-12 {
+		t.Fatalf("quality(60) = %g", q)
+	}
+	if q := p.Quality(30); math.Abs(q-0.75) > 1e-12 {
+		t.Fatalf("quality(30) = %g", q)
+	}
+	// Out of range clamps.
+	if q := p.Quality(-5); q != 0.7 {
+		t.Fatalf("quality(-5) = %g", q)
+	}
+	if q := p.Quality(100); math.Abs(q-0.8) > 1e-12 {
+		t.Fatalf("quality(100) = %g", q)
+	}
+}
+
+func TestGenerateIllustrativeStructure(t *testing.T) {
+	rng := randx.New(1)
+	ls, err := GenerateIllustrative(rng, DefaultIllustrative())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect roughly 3/day * 60 honest + 3/day * 14 type-2 ratings.
+	if len(ls) < 150 || len(ls) > 320 {
+		t.Fatalf("trace size %d outside plausible range", len(ls))
+	}
+	var type1, type2, honest int
+	for i, l := range ls {
+		if i > 0 && ls[i].Rating.Time < ls[i-1].Rating.Time {
+			t.Fatal("trace not time-sorted")
+		}
+		if err := l.Rating.Validate(); err != nil {
+			t.Fatalf("invalid rating: %v", err)
+		}
+		switch l.Class {
+		case Type1Collaborative:
+			type1++
+			if !l.Unfair {
+				t.Fatal("type-1 rating not marked unfair")
+			}
+			if !(DefaultIllustrative()).InAttack(l.Rating.Time) {
+				t.Fatal("type-1 rating outside attack interval")
+			}
+		case Type2Collaborative:
+			type2++
+			if !l.Unfair {
+				t.Fatal("type-2 rating not marked unfair")
+			}
+			if l.Rating.Rater < 100000 {
+				t.Fatal("type-2 rater ID not in reserved range")
+			}
+		default:
+			honest++
+			if l.Unfair {
+				t.Fatal("honest rating marked unfair")
+			}
+		}
+	}
+	if type1 == 0 || type2 == 0 || honest == 0 {
+		t.Fatalf("missing class: honest=%d type1=%d type2=%d", honest, type1, type2)
+	}
+}
+
+func TestGenerateIllustrativeNoAttack(t *testing.T) {
+	p := DefaultIllustrative()
+	p.Attack = false
+	ls, err := GenerateIllustrative(randx.New(2), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range ls {
+		if l.Unfair || l.Class != Reliable {
+			t.Fatalf("attack-free trace contains %+v", l)
+		}
+	}
+}
+
+func TestGenerateIllustrativeBiasRaisesMean(t *testing.T) {
+	// Mean rating in the attack interval must exceed the honest-only
+	// mean there (the collusion boosts the aggregate, Fig 4 upper).
+	var attacked, clean []float64
+	for seed := int64(0); seed < 20; seed++ {
+		p := DefaultIllustrative()
+		ls, err := GenerateIllustrative(randx.New(seed), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range ls {
+			if p.InAttack(l.Rating.Time) {
+				attacked = append(attacked, l.Rating.Value)
+			}
+		}
+		p.Attack = false
+		ls, err = GenerateIllustrative(randx.New(seed), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range ls {
+			if l.Rating.Time >= p.AStart && l.Rating.Time <= p.AEnd {
+				clean = append(clean, l.Rating.Value)
+			}
+		}
+	}
+	if stat.Mean(attacked) <= stat.Mean(clean)+0.03 {
+		t.Fatalf("attack mean %.3f not above clean mean %.3f",
+			stat.Mean(attacked), stat.Mean(clean))
+	}
+}
+
+func TestDefaultMarketplaceValid(t *testing.T) {
+	if err := DefaultMarketplace().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarketplaceValidation(t *testing.T) {
+	mutations := []func(*MarketplaceParams){
+		func(p *MarketplaceParams) { p.Reliable = -1 },
+		func(p *MarketplaceParams) { p.Reliable, p.Careless, p.PC = 0, 0, 0 },
+		func(p *MarketplaceParams) { p.Months = 0 },
+		func(p *MarketplaceParams) { p.HonestPerMonth, p.DishonestPerMonth = 0, 0 },
+		func(p *MarketplaceParams) { p.QualityHi = 0.2 },
+		func(p *MarketplaceParams) { p.BadVar = -1 },
+		func(p *MarketplaceParams) { p.RecruitPower3 = 2 },
+		func(p *MarketplaceParams) { p.RecruitDays = 99 },
+		func(p *MarketplaceParams) { p.PRate = 0 },
+		func(p *MarketplaceParams) { p.A1 = 0.5 },
+		func(p *MarketplaceParams) { p.A1 = 80 }, // a1*pRate > 1
+		func(p *MarketplaceParams) { p.A2 = 2 },
+		func(p *MarketplaceParams) { p.Levels = 1 },
+	}
+	for i, mutate := range mutations {
+		p := DefaultMarketplace()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestRaterClassOfLayout(t *testing.T) {
+	p := DefaultMarketplace()
+	if p.RaterClassOf(0) != Reliable || p.RaterClassOf(399) != Reliable {
+		t.Fatal("reliable range wrong")
+	}
+	if p.RaterClassOf(400) != Careless || p.RaterClassOf(599) != Careless {
+		t.Fatal("careless range wrong")
+	}
+	if p.RaterClassOf(600) != PotentialCollaborative || p.RaterClassOf(799) != PotentialCollaborative {
+		t.Fatal("PC range wrong")
+	}
+	if p.TotalRaters() != 800 {
+		t.Fatalf("total = %d", p.TotalRaters())
+	}
+}
+
+// smallMarketplace shrinks the scenario for fast tests while keeping
+// its structure.
+func smallMarketplace() MarketplaceParams {
+	p := DefaultMarketplace()
+	p.Reliable, p.Careless, p.PC = 60, 30, 30
+	p.Months = 3
+	p.PRate = 0.05
+	return p
+}
+
+func TestGenerateMarketplaceStructure(t *testing.T) {
+	tr, err := GenerateMarketplace(randx.New(1), smallMarketplace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tr.Params
+	if len(tr.Products) != 15 {
+		t.Fatalf("%d products, want 15", len(tr.Products))
+	}
+	if len(tr.HonestProducts()) != 12 || len(tr.DishonestProducts()) != 3 {
+		t.Fatalf("honest/dishonest split wrong")
+	}
+	if len(tr.Recruited) != 3 {
+		t.Fatalf("recruited months = %d", len(tr.Recruited))
+	}
+	for m, rec := range tr.Recruited {
+		want := int(p.RecruitPower3 * float64(p.PC))
+		if len(rec) != want {
+			t.Fatalf("month %d recruited %d, want %d", m, len(rec), want)
+		}
+		for id := range rec {
+			if p.RaterClassOf(id) != PotentialCollaborative {
+				t.Fatalf("recruited non-PC rater %d", id)
+			}
+		}
+	}
+	seen := make(map[rating.RaterID]map[rating.ObjectID]bool)
+	for i, l := range tr.Ratings {
+		if i > 0 && tr.Ratings[i].Rating.Time < tr.Ratings[i-1].Rating.Time {
+			t.Fatal("not time-sorted")
+		}
+		if err := l.Rating.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if l.Rating.Value < 0.1-1e-9 {
+			t.Fatalf("value %g below one-based scale floor", l.Rating.Value)
+		}
+		// One rating per rater per product.
+		if seen[l.Rating.Rater] == nil {
+			seen[l.Rating.Rater] = make(map[rating.ObjectID]bool)
+		}
+		if seen[l.Rating.Rater][l.Rating.Object] {
+			t.Fatalf("rater %d rated product %d twice", l.Rating.Rater, l.Rating.Object)
+		}
+		seen[l.Rating.Rater][l.Rating.Object] = true
+		// Ratings must land in the product's month.
+		pr := tr.Products[int(l.Rating.Object)-1]
+		monthStart := float64(pr.Month * p.DaysPerMonth)
+		if l.Rating.Time < monthStart || l.Rating.Time >= monthStart+float64(p.DaysPerMonth)+1 {
+			t.Fatalf("rating at %g for month-%d product", l.Rating.Time, pr.Month)
+		}
+	}
+}
+
+func TestMarketplaceUnfairOnlyOnDishonest(t *testing.T) {
+	tr, err := GenerateMarketplace(randx.New(2), smallMarketplace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dishonest := make(map[rating.ObjectID]bool)
+	for _, pr := range tr.DishonestProducts() {
+		dishonest[pr.ID] = true
+	}
+	var unfair int
+	for _, l := range tr.Ratings {
+		if l.Unfair {
+			unfair++
+			if !dishonest[l.Rating.Object] {
+				t.Fatalf("unfair rating on honest product %d", l.Rating.Object)
+			}
+			if l.Class != Type2Collaborative {
+				t.Fatalf("unfair rating with class %v", l.Class)
+			}
+			if tr.Params.RaterClassOf(l.Rating.Rater) != PotentialCollaborative {
+				t.Fatalf("unfair rating from non-PC rater %d", l.Rating.Rater)
+			}
+		}
+	}
+	if unfair == 0 {
+		t.Fatal("no unfair ratings generated")
+	}
+}
+
+func TestMarketplaceBiasVisibleOnDishonestProducts(t *testing.T) {
+	// Simple average over a dishonest product must exceed its quality by
+	// a noticeable margin (this is what Fig 11 plots for M1).
+	var diffs []float64
+	for seed := int64(0); seed < 5; seed++ {
+		tr, err := GenerateMarketplace(randx.New(seed), smallMarketplace())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pr := range tr.DishonestProducts() {
+			ls := tr.ByProduct(pr.ID)
+			if len(ls) == 0 {
+				continue
+			}
+			var sum float64
+			for _, l := range ls {
+				sum += l.Rating.Value
+			}
+			diffs = append(diffs, sum/float64(len(ls))-pr.Quality)
+		}
+	}
+	if stat.Mean(diffs) < 0.05 {
+		t.Fatalf("mean dishonest-product boost %.3f too small", stat.Mean(diffs))
+	}
+}
+
+func TestMarketplaceDeterminism(t *testing.T) {
+	a, err := GenerateMarketplace(randx.New(7), smallMarketplace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateMarketplace(randx.New(7), smallMarketplace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Ratings) != len(b.Ratings) {
+		t.Fatalf("sizes differ: %d vs %d", len(a.Ratings), len(b.Ratings))
+	}
+	for i := range a.Ratings {
+		if a.Ratings[i] != b.Ratings[i] {
+			t.Fatalf("rating %d differs", i)
+		}
+	}
+}
+
+// Property: the marketplace trace respects its invariants across
+// random parameterizations.
+func TestMarketplaceInvariantsProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := randx.New(seed)
+		p := smallMarketplace()
+		p.RecruitPower3 = rng.Float64()
+		p.BiasShift2 = rng.Uniform(0.05, 0.25)
+		p.A1 = rng.Uniform(2, 8)
+		tr, err := GenerateMarketplace(rng, p)
+		if err != nil {
+			return false
+		}
+		for _, pr := range tr.Products {
+			if pr.Quality < p.QualityLo || pr.Quality > p.QualityHi {
+				return false
+			}
+		}
+		for _, l := range tr.Ratings {
+			if l.Rating.Validate() != nil {
+				return false
+			}
+			if l.Unfair != (l.Class == Type2Collaborative) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

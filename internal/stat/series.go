@@ -1,0 +1,102 @@
+package stat
+
+import (
+	"fmt"
+
+	"repro/internal/mathx"
+)
+
+// MovingPoint is one point of a windowed series: the window's center
+// time (or index midpoint when no times are given) and the window mean.
+type MovingPoint struct {
+	Center float64
+	Mean   float64
+	N      int
+}
+
+// MovingAverage computes the mean of consecutive count-based windows of
+// `window` samples advancing by `step` samples — exactly the smoothing
+// of Fig 4's upper plot ("each window ... contains 20 ratings. The step
+// size for windows is 10 ratings"). times may be nil, in which case the
+// sample index is used as the time axis; otherwise times[i] must be the
+// time of values[i] and Center is the mean time inside the window.
+func MovingAverage(values, times []float64, window, step int) ([]MovingPoint, error) {
+	if window < 1 || step < 1 {
+		return nil, fmt.Errorf("stat: moving average window=%d step=%d", window, step)
+	}
+	if times != nil && len(times) != len(values) {
+		return nil, fmt.Errorf("stat: %d values but %d times", len(values), len(times))
+	}
+	var out []MovingPoint
+	for start := 0; start+window <= len(values); start += step {
+		seg := values[start : start+window]
+		p := MovingPoint{Mean: Mean(seg), N: window}
+		if times != nil {
+			p.Center = Mean(times[start : start+window])
+		} else {
+			p.Center = float64(start) + float64(window-1)/2
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// AutoCorrelation returns the biased autocorrelation estimates
+// r(0..maxLag) of xs: r(k) = (1/N) Σ x(n) x(n−k). The biased estimator
+// guarantees a positive semi-definite sequence, which Levinson-Durbin
+// requires. It does not demean; compose with Demean when the zero-mean
+// view is wanted.
+func AutoCorrelation(xs []float64, maxLag int) ([]float64, error) {
+	n := len(xs)
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	if maxLag < 0 || maxLag >= n {
+		return nil, fmt.Errorf("stat: maxLag %d for %d samples", maxLag, n)
+	}
+	r := make([]float64, maxLag+1)
+	for lag := 0; lag <= maxLag; lag++ {
+		var s float64
+		for i := lag; i < n; i++ {
+			s += xs[i] * xs[i-lag]
+		}
+		r[lag] = s / float64(n)
+	}
+	return r, nil
+}
+
+// LjungBox runs the Ljung-Box portmanteau test for whiteness on xs
+// using autocorrelations at lags 1..lags. It returns the Q statistic
+// and the p-value under the chi-squared(lags) null of white noise. A
+// small p-value rejects whiteness — i.e. flags structure of the kind
+// collaborative raters inject. The series is demeaned first.
+func LjungBox(xs []float64, lags int) (q, pValue float64, err error) {
+	n := len(xs)
+	if lags < 1 {
+		return 0, 0, fmt.Errorf("stat: ljung-box with %d lags", lags)
+	}
+	if n <= lags+1 {
+		return 0, 0, fmt.Errorf("stat: ljung-box needs more than %d samples, have %d", lags+1, n)
+	}
+	centered := Demean(xs)
+	r, err := AutoCorrelation(centered, lags)
+	if err != nil {
+		return 0, 0, err
+	}
+	if r[0] <= 1e-18 {
+		// (Numerically) constant series: no variance, vacuously "white".
+		// The threshold absorbs the float residue Demean leaves behind.
+		return 0, 1, nil
+	}
+	fn := float64(n)
+	for k := 1; k <= lags; k++ {
+		rho := r[k] / r[0]
+		q += rho * rho / (fn - float64(k))
+	}
+	q *= fn * (fn + 2)
+	pValue, err = mathx.ChiSquaredSurvival(q, lags)
+	if err != nil {
+		return 0, 0, err
+	}
+	return q, pValue, nil
+}

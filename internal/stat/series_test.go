@@ -1,0 +1,158 @@
+package stat
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMovingAveragePaperGeometry(t *testing.T) {
+	// 50 samples, window 20, step 10 -> windows at 0, 10, 20, 30.
+	values := make([]float64, 50)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	pts, err := MovingAverage(values, nil, 20, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("got %d windows, want 4", len(pts))
+	}
+	// First window covers 0..19: mean 9.5, center 9.5.
+	if pts[0].Mean != 9.5 || pts[0].Center != 9.5 || pts[0].N != 20 {
+		t.Fatalf("first point = %+v", pts[0])
+	}
+	if pts[3].Mean != 39.5 {
+		t.Fatalf("last point = %+v", pts[3])
+	}
+}
+
+func TestMovingAverageWithTimes(t *testing.T) {
+	values := []float64{1, 3, 5, 7}
+	times := []float64{10, 20, 30, 40}
+	pts, err := MovingAverage(values, times, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("%d windows", len(pts))
+	}
+	if pts[0].Center != 15 || pts[0].Mean != 2 {
+		t.Fatalf("first = %+v", pts[0])
+	}
+	if pts[1].Center != 35 || pts[1].Mean != 6 {
+		t.Fatalf("second = %+v", pts[1])
+	}
+}
+
+func TestMovingAverageErrors(t *testing.T) {
+	if _, err := MovingAverage([]float64{1}, nil, 0, 1); err == nil {
+		t.Fatal("window 0 accepted")
+	}
+	if _, err := MovingAverage([]float64{1}, nil, 1, 0); err == nil {
+		t.Fatal("step 0 accepted")
+	}
+	if _, err := MovingAverage([]float64{1, 2}, []float64{1}, 1, 1); err == nil {
+		t.Fatal("mismatched times accepted")
+	}
+	// Too few samples -> no windows, no error.
+	pts, err := MovingAverage([]float64{1}, nil, 5, 1)
+	if err != nil || pts != nil {
+		t.Fatalf("short input: %v, %v", pts, err)
+	}
+}
+
+func TestAutoCorrelation(t *testing.T) {
+	xs := []float64{1, -1, 1, -1}
+	r, err := AutoCorrelation(xs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// r(0) = 1, r(1) = -3/4, r(2) = 2/4.
+	want := []float64{1, -0.75, 0.5}
+	for i := range want {
+		if math.Abs(r[i]-want[i]) > 1e-12 {
+			t.Fatalf("r = %v, want %v", r, want)
+		}
+	}
+}
+
+func TestAutoCorrelationErrors(t *testing.T) {
+	if _, err := AutoCorrelation(nil, 0); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := AutoCorrelation([]float64{1, 2}, 2); err == nil {
+		t.Fatal("maxLag >= n accepted")
+	}
+	if _, err := AutoCorrelation([]float64{1, 2}, -1); err == nil {
+		t.Fatal("negative maxLag accepted")
+	}
+}
+
+func TestLjungBoxWhiteNoise(t *testing.T) {
+	// Average p-value on true white noise should be far from zero; count
+	// rejections at 1% across many seeds.
+	rejections := 0
+	const runs = 200
+	for seed := int64(0); seed < runs; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 200)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		_, p, err := LjungBox(xs, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < 0.01 {
+			rejections++
+		}
+	}
+	// Expect about 1% rejections; allow up to 5%.
+	if rejections > runs/20 {
+		t.Fatalf("white noise rejected %d/%d times", rejections, runs)
+	}
+}
+
+func TestLjungBoxDetectsCorrelation(t *testing.T) {
+	// Strong AR(1) signal must be rejected essentially always.
+	rng := rand.New(rand.NewSource(5))
+	xs := make([]float64, 300)
+	prev := 0.0
+	for i := range xs {
+		prev = 0.9*prev + 0.1*rng.NormFloat64()
+		xs[i] = prev
+	}
+	q, p, err := LjungBox(xs, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-6 {
+		t.Fatalf("AR(1) p-value = %g (Q=%g), want near 0", p, q)
+	}
+}
+
+func TestLjungBoxConstantSeries(t *testing.T) {
+	xs := make([]float64, 50)
+	for i := range xs {
+		xs[i] = 0.7
+	}
+	q, p, err := LjungBox(xs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != 0 || p != 1 {
+		t.Fatalf("constant series: q=%g p=%g", q, p)
+	}
+}
+
+func TestLjungBoxErrors(t *testing.T) {
+	if _, _, err := LjungBox([]float64{1, 2, 3}, 0); err == nil {
+		t.Fatal("0 lags accepted")
+	}
+	if _, _, err := LjungBox([]float64{1, 2, 3}, 5); err == nil {
+		t.Fatal("too few samples accepted")
+	}
+}

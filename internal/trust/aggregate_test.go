@@ -1,0 +1,266 @@
+package trust
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/randx"
+)
+
+func TestSimpleAverage(t *testing.T) {
+	got, err := SimpleAverage{}.Aggregate([]float64{0.2, 0.4, 0.6}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("M1 = %g, want 0.4", got)
+	}
+}
+
+func TestBetaAggregation(t *testing.T) {
+	// Single rating 1.0: S'=1, F'=0 -> (1+1)/(1+0+2) = 2/3.
+	got, err := BetaAggregation{}.Aggregate([]float64{1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("M2 = %g, want 2/3", got)
+	}
+	// Many ratings at 0.8 converge toward 0.8.
+	many := make([]float64, 200)
+	for i := range many {
+		many[i] = 0.8
+	}
+	got, err = BetaAggregation{}.Aggregate(many, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.8) > 0.01 {
+		t.Fatalf("M2 over many = %g, want about 0.8", got)
+	}
+}
+
+func TestModifiedWeightedAverage(t *testing.T) {
+	ratings := []float64{0.8, 0.4}
+	trusts := []float64{0.95, 0.6}
+	// Weights: 0.45, 0.1 -> (0.45*0.8 + 0.1*0.4)/0.55 = 0.7273.
+	got, err := ModifiedWeightedAverage{}.Aggregate(ratings, trusts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (0.45*0.8 + 0.1*0.4) / 0.55
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("M3 = %g, want %g", got, want)
+	}
+}
+
+func TestModifiedWeightedAverageIgnoresDistrusted(t *testing.T) {
+	// Trust 0.5 and below contribute nothing.
+	got, err := ModifiedWeightedAverage{}.Aggregate(
+		[]float64{0.9, 0.1, 0.1}, []float64{0.8, 0.5, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.9) > 1e-12 {
+		t.Fatalf("M3 = %g, want 0.9 (distrusted ignored)", got)
+	}
+}
+
+func TestModifiedWeightedAverageNoTrusted(t *testing.T) {
+	_, err := ModifiedWeightedAverage{}.Aggregate([]float64{0.9}, []float64{0.5})
+	if !errors.Is(err, ErrNoTrustedRaters) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestModifiedWeightedAverageCustomFloor(t *testing.T) {
+	got, err := ModifiedWeightedAverage{Floor: 0.7}.Aggregate(
+		[]float64{0.9, 0.1}, []float64{0.8, 0.65})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.9 {
+		t.Fatalf("floored M3 = %g, want 0.9", got)
+	}
+}
+
+func TestTrustWeightedBeta(t *testing.T) {
+	// S' = 0.95*0.8 + 0.6*0.4 = 1.0; total T = 1.55 -> (1+1)/(1.55+2).
+	got, err := TrustWeightedBeta{}.Aggregate([]float64{0.8, 0.4}, []float64{0.95, 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2.0 / 3.55
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("M4 = %g, want %g", got, want)
+	}
+}
+
+func TestPlainWeightedAverage(t *testing.T) {
+	got, err := PlainWeightedAverage{}.Aggregate([]float64{1, 0}, []float64{0.75, 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("plain weighted = %g, want 0.75", got)
+	}
+	if _, err := (PlainWeightedAverage{}).Aggregate([]float64{1}, []float64{0}); !errors.Is(err, ErrNoTrustedRaters) {
+		t.Fatalf("zero-trust err = %v", err)
+	}
+}
+
+func TestAggregatorInputValidation(t *testing.T) {
+	for _, agg := range Methods() {
+		if _, err := agg.Aggregate(nil, nil); !errors.Is(err, ErrNoRatings) {
+			t.Errorf("%s: empty err = %v", agg.Name(), err)
+		}
+		if _, err := agg.Aggregate([]float64{1.2}, []float64{0.9}); err == nil {
+			t.Errorf("%s: rating 1.2 accepted", agg.Name())
+		}
+	}
+	// Trust-requiring methods must reject length mismatch and bad trust.
+	for _, agg := range []Aggregator{ModifiedWeightedAverage{}, TrustWeightedBeta{}, PlainWeightedAverage{}} {
+		if _, err := agg.Aggregate([]float64{0.5}, nil); err == nil {
+			t.Errorf("%s: missing trust accepted", agg.Name())
+		}
+		if _, err := agg.Aggregate([]float64{0.5}, []float64{1.5}); err == nil {
+			t.Errorf("%s: trust 1.5 accepted", agg.Name())
+		}
+	}
+}
+
+func TestMethodsOrderAndNames(t *testing.T) {
+	ms := Methods()
+	if len(ms) != 4 {
+		t.Fatalf("%d methods", len(ms))
+	}
+	wantNames := []string{
+		"simple-average", "beta-aggregation",
+		"modified-weighted-average", "trust-weighted-beta",
+	}
+	for i, m := range ms {
+		if m.Name() != wantNames[i] {
+			t.Fatalf("method %d = %s, want %s", i, m.Name(), wantNames[i])
+		}
+	}
+}
+
+// TestCaseStudyShape reproduces the structure of the §III.B.2 table:
+// 10 honest raters (ratings ~N(0.8, σ 0.05), trust ~N(0.95, σ 0.05))
+// and 10 colluders (ratings ~N(0.4, σ 0.02), trust ~N(0.6, σ 0.1)); M3
+// must be the clear winner (closest to 0.8) and every other method must
+// be pulled well below it. The case study's tight spreads behave as
+// standard deviations (σ = 0.22 around a trust of 0.95 would be
+// meaningless); see DESIGN.md on variance semantics.
+func TestCaseStudyShape(t *testing.T) {
+	rng := randx.New(99)
+	sum := map[string]float64{}
+	const runs = 300
+	for run := 0; run < runs; run++ {
+		local := rng.Split()
+		var ratings, trusts []float64
+		for i := 0; i < 10; i++ {
+			ratings = append(ratings, clamp01(local.Normal(0.8, 0.05)))
+			trusts = append(trusts, clamp01(local.Normal(0.95, 0.05)))
+		}
+		for i := 0; i < 10; i++ {
+			ratings = append(ratings, clamp01(local.Normal(0.4, 0.02)))
+			trusts = append(trusts, clamp01(local.Normal(0.6, 0.1)))
+		}
+		for _, agg := range Methods() {
+			got, err := agg.Aggregate(ratings, trusts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum[agg.Name()] += got
+		}
+	}
+	m1 := sum["simple-average"] / runs
+	m2 := sum["beta-aggregation"] / runs
+	m3 := sum["modified-weighted-average"] / runs
+	m4 := sum["trust-weighted-beta"] / runs
+	if m3 <= m1 || m3 <= m2 || m3 <= m4 {
+		t.Fatalf("M3 %.4f not the winner (M1 %.4f M2 %.4f M4 %.4f)", m3, m1, m2, m4)
+	}
+	if m3 < 0.70 || m3 > 0.80 {
+		t.Fatalf("M3 = %.4f, want near the paper's 0.7445", m3)
+	}
+	for name, v := range map[string]float64{"M1": m1, "M2": m2, "M4": m4} {
+		avg := v
+		if avg < 0.55 || avg > 0.68 {
+			t.Fatalf("%s = %.4f, want in the paper's 0.59-0.64 band", name, avg)
+		}
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Property: every aggregator returns a value inside the convex hull of
+// its input ratings (expanded by the beta prior toward 0.5 for the
+// beta-based ones) and is deterministic.
+func TestAggregatorsBoundedProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := randx.New(seed)
+		n := 1 + rng.Intn(30)
+		ratings := make([]float64, n)
+		trusts := make([]float64, n)
+		for i := range ratings {
+			ratings[i] = rng.Float64()
+			trusts[i] = 0.51 + 0.49*rng.Float64() // keep everyone above floor
+		}
+		for _, agg := range Methods() {
+			v1, err := agg.Aggregate(ratings, trusts)
+			if err != nil {
+				return false
+			}
+			v2, err := agg.Aggregate(ratings, trusts)
+			if err != nil || v1 != v2 {
+				return false
+			}
+			if v1 < 0 || v1 > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: M3 with all-equal trust reduces to the simple average of
+// the ratings.
+func TestM3EqualTrustReducesToMeanProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := randx.New(seed)
+		n := 1 + rng.Intn(20)
+		ratings := make([]float64, n)
+		trusts := make([]float64, n)
+		for i := range ratings {
+			ratings[i] = rng.Float64()
+			trusts[i] = 0.9
+		}
+		m3, err := ModifiedWeightedAverage{}.Aggregate(ratings, trusts)
+		if err != nil {
+			return false
+		}
+		m1, err := SimpleAverage{}.Aggregate(ratings, nil)
+		if err != nil {
+			return false
+		}
+		return math.Abs(m3-m1) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,245 @@
+package trust
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/rating"
+)
+
+// Opinion is a subjective-logic opinion (Jøsang): belief, disbelief and
+// uncertainty summing to one, plus a base rate used when projecting to
+// a probability. The beta reputation system of [30] — the paper's
+// Method 2 and the backbone of Procedure 2 — is exactly the evidence
+// mapping of this algebra: S positive and F negative observations give
+//
+//	b = S/(S+F+2),  d = F/(S+F+2),  u = 2/(S+F+2)
+//
+// so the beta trust value (S+1)/(S+F+2) is the opinion's expectation at
+// base rate 1/2. The discount and consensus operators below are the
+// formal versions of "weigh a recommendation by trust in the
+// recommender" and "pool independent evidence" that the trust manager
+// uses informally.
+type Opinion struct {
+	B, D, U float64
+	// A is the base rate in [0, 1] (prior probability mass assigned to
+	// the uncertain part when projecting).
+	A float64
+}
+
+// ErrInvalidOpinion is returned for malformed opinions.
+var ErrInvalidOpinion = errors.New("trust: invalid opinion")
+
+// Validate reports whether the opinion is well-formed.
+func (o Opinion) Validate() error {
+	for _, v := range []float64{o.B, o.D, o.U, o.A} {
+		if math.IsNaN(v) || v < -1e-12 || v > 1+1e-12 {
+			return fmt.Errorf("component %g out of range: %w", v, ErrInvalidOpinion)
+		}
+	}
+	if s := o.B + o.D + o.U; math.Abs(s-1) > 1e-9 {
+		return fmt.Errorf("b+d+u = %g: %w", s, ErrInvalidOpinion)
+	}
+	return nil
+}
+
+// Expectation projects the opinion to a probability: b + a·u.
+func (o Opinion) Expectation() float64 { return o.B + o.A*o.U }
+
+// OpinionFromEvidence maps S positive and F negative observations to an
+// opinion with base rate 1/2. Negative evidence is rejected.
+func OpinionFromEvidence(s, f float64) (Opinion, error) {
+	if s < 0 || f < 0 || math.IsNaN(s) || math.IsNaN(f) {
+		return Opinion{}, fmt.Errorf("evidence S=%g F=%g: %w", s, f, ErrInvalidOpinion)
+	}
+	total := s + f + 2
+	return Opinion{B: s / total, D: f / total, U: 2 / total, A: 0.5}, nil
+}
+
+// OpinionFromRecord maps a trust record to an opinion; the record's
+// beta trust value equals the opinion's expectation.
+func OpinionFromRecord(r Record) (Opinion, error) {
+	return OpinionFromEvidence(r.S, r.F)
+}
+
+// Evidence inverts OpinionFromEvidence: S = 2b/u, F = 2d/u. A dogmatic
+// opinion (u = 0) has unbounded evidence and is rejected.
+func (o Opinion) Evidence() (s, f float64, err error) {
+	if err := o.Validate(); err != nil {
+		return 0, 0, err
+	}
+	if o.U <= 0 {
+		return 0, 0, fmt.Errorf("dogmatic opinion: %w", ErrInvalidOpinion)
+	}
+	return 2 * o.B / o.U, 2 * o.D / o.U, nil
+}
+
+// OpinionFromRating maps a single rating r in [0, 1] to the opinion of
+// one observation with r positive and 1−r negative mass — how Method 2
+// treats each rating as beta evidence.
+func OpinionFromRating(r float64) (Opinion, error) {
+	if r < 0 || r > 1 || math.IsNaN(r) {
+		return Opinion{}, fmt.Errorf("rating %g: %w", r, ErrInvalidOpinion)
+	}
+	return OpinionFromEvidence(r, 1-r)
+}
+
+// Discount is Jøsang's discounting operator ⊗: the caller's opinion
+// about the recommender (o) discounts the recommender's opinion about
+// the subject (x):
+//
+//	b = o.B·x.B,  d = o.B·x.D,  u = o.D + o.U + o.B·x.U
+//
+// A distrusted or uncertain recommender pushes the result toward full
+// uncertainty rather than toward disbelief.
+func Discount(o, x Opinion) (Opinion, error) {
+	if err := o.Validate(); err != nil {
+		return Opinion{}, fmt.Errorf("recommender: %w", err)
+	}
+	if err := x.Validate(); err != nil {
+		return Opinion{}, fmt.Errorf("subject: %w", err)
+	}
+	return Opinion{
+		B: o.B * x.B,
+		D: o.B * x.D,
+		U: o.D + o.U + o.B*x.U,
+		A: x.A,
+	}, nil
+}
+
+// Consensus is Jøsang's consensus operator ⊕, pooling two independent
+// opinions about the same subject:
+//
+//	k = u₁ + u₂ − u₁u₂
+//	b = (b₁u₂ + b₂u₁)/k,  d = (d₁u₂ + d₂u₁)/k,  u = u₁u₂/k
+//
+// Two dogmatic opinions (k = 0) average their beliefs.
+func Consensus(a, b Opinion) (Opinion, error) {
+	if err := a.Validate(); err != nil {
+		return Opinion{}, err
+	}
+	if err := b.Validate(); err != nil {
+		return Opinion{}, err
+	}
+	k := a.U + b.U - a.U*b.U
+	if k <= 1e-15 {
+		// Dogmatic limit: average the point masses.
+		return Opinion{
+			B: (a.B + b.B) / 2,
+			D: (a.D + b.D) / 2,
+			U: 0,
+			A: a.A,
+		}, nil
+	}
+	return Opinion{
+		B: (a.B*b.U + b.B*a.U) / k,
+		D: (a.D*b.U + b.D*a.U) / k,
+		U: a.U * b.U / k,
+		A: a.A,
+	}, nil
+}
+
+// IndirectTrustOpinion computes indirect trust in `about` with the full
+// opinion algebra instead of Manager.IndirectTrust's weighted average:
+// each recommendation becomes a one-observation opinion, discounted by
+// the recommender's record-derived opinion, and the discounted opinions
+// are consensus-pooled. The result is the pooled opinion (callers read
+// .Expectation() for a scalar). Recommendations about other subjects
+// are ignored; ErrNoRecommendations is returned when none apply.
+func (m *Manager) IndirectTrustOpinion(about rating.RaterID, recs []Recommendation) (Opinion, error) {
+	var pooled Opinion
+	havePooled := false
+	for _, rec := range recs {
+		if rec.About != about {
+			continue
+		}
+		x, err := OpinionFromRating(rec.Value)
+		if err != nil {
+			return Opinion{}, err
+		}
+		var recommender Opinion
+		if record, ok := m.Record(rec.From); ok {
+			recommender, err = OpinionFromRecord(record)
+		} else {
+			recommender, err = OpinionFromEvidence(m.cfg.InitialS, m.cfg.InitialF)
+		}
+		if err != nil {
+			return Opinion{}, err
+		}
+		discounted, err := Discount(recommender, x)
+		if err != nil {
+			return Opinion{}, err
+		}
+		if !havePooled {
+			pooled = discounted
+			havePooled = true
+			continue
+		}
+		pooled, err = Consensus(pooled, discounted)
+		if err != nil {
+			return Opinion{}, err
+		}
+	}
+	if !havePooled {
+		return Opinion{}, ErrNoRecommendations
+	}
+	return pooled, nil
+}
+
+// SubjectiveLogicAggregation is an extension aggregator (not one of the
+// paper's four): each rating becomes a one-observation opinion,
+// discounted by an opinion derived from the system's trust in the
+// rater, and all discounted opinions are consensus-pooled. The
+// aggregate is the pooled opinion's expectation. It behaves like a
+// principled version of Method 4 — and shares its weakness: discounting
+// shrinks influence but never excludes a mediocre-trust clique the way
+// Method 3's hard floor does (see the trust-floor ablation).
+type SubjectiveLogicAggregation struct {
+	// History is the pseudo-evidence count backing each trust value
+	// when converting it to a recommender opinion; 0 means 10.
+	History float64
+}
+
+var _ Aggregator = SubjectiveLogicAggregation{}
+
+// Name implements Aggregator.
+func (SubjectiveLogicAggregation) Name() string { return "subjective-logic" }
+
+// Aggregate implements Aggregator.
+func (s SubjectiveLogicAggregation) Aggregate(ratings, trusts []float64) (float64, error) {
+	if err := checkInputs(ratings, trusts, true); err != nil {
+		return 0, err
+	}
+	history := s.History
+	if history <= 0 {
+		history = 10
+	}
+	var pooled Opinion
+	havePooled := false
+	for i, r := range ratings {
+		x, err := OpinionFromRating(r)
+		if err != nil {
+			return 0, err
+		}
+		// Trust t backed by `history` observations: S = t·h, F = (1−t)·h.
+		rec, err := OpinionFromEvidence(trusts[i]*history, (1-trusts[i])*history)
+		if err != nil {
+			return 0, err
+		}
+		discounted, err := Discount(rec, x)
+		if err != nil {
+			return 0, err
+		}
+		if !havePooled {
+			pooled = discounted
+			havePooled = true
+			continue
+		}
+		pooled, err = Consensus(pooled, discounted)
+		if err != nil {
+			return 0, err
+		}
+	}
+	return pooled.Expectation(), nil
+}

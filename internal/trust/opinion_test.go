@@ -1,0 +1,269 @@
+package trust
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/randx"
+)
+
+func TestOpinionFromEvidence(t *testing.T) {
+	o, err := OpinionFromEvidence(8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(o.B-0.8) > 1e-12 || o.D != 0 || math.Abs(o.U-0.2) > 1e-12 {
+		t.Fatalf("opinion = %+v", o)
+	}
+	// Expectation equals the beta trust value.
+	if math.Abs(o.Expectation()-(Record{S: 8}).Trust()) > 1e-12 {
+		t.Fatal("expectation != beta trust")
+	}
+	if _, err := OpinionFromEvidence(-1, 0); err == nil {
+		t.Fatal("negative evidence accepted")
+	}
+}
+
+func TestOpinionFromRecord(t *testing.T) {
+	rec := Record{S: 3, F: 5}
+	o, err := OpinionFromRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(o.Expectation()-rec.Trust()) > 1e-12 {
+		t.Fatalf("expectation %g != trust %g", o.Expectation(), rec.Trust())
+	}
+}
+
+func TestOpinionEvidenceRoundTrip(t *testing.T) {
+	o, _ := OpinionFromEvidence(7, 3)
+	s, f, err := o.Evidence()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-7) > 1e-9 || math.Abs(f-3) > 1e-9 {
+		t.Fatalf("evidence = %g, %g", s, f)
+	}
+	dogmatic := Opinion{B: 1, A: 0.5}
+	if _, _, err := dogmatic.Evidence(); err == nil {
+		t.Fatal("dogmatic opinion accepted")
+	}
+}
+
+func TestOpinionValidate(t *testing.T) {
+	bad := []Opinion{
+		{B: 0.5, D: 0.5, U: 0.5, A: 0.5}, // sums to 1.5
+		{B: -0.1, D: 0.6, U: 0.5, A: 0.5},
+		{B: math.NaN(), D: 0.5, U: 0.5, A: 0.5},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("bad opinion %d accepted: %+v", i, o)
+		}
+	}
+}
+
+func TestOpinionFromRating(t *testing.T) {
+	o, err := OpinionFromRating(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One observation: u = 2/3.
+	if math.Abs(o.U-2.0/3) > 1e-12 {
+		t.Fatalf("u = %g", o.U)
+	}
+	if _, err := OpinionFromRating(1.5); err == nil {
+		t.Fatal("rating 1.5 accepted")
+	}
+}
+
+func TestDiscountTrustedRecommender(t *testing.T) {
+	full := Opinion{B: 1, A: 0.5} // dogmatic trust in the recommender
+	x, _ := OpinionFromEvidence(6, 2)
+	got, err := Discount(full, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.B-x.B) > 1e-12 || math.Abs(got.U-x.U) > 1e-12 {
+		t.Fatalf("full trust must pass the opinion through: %+v", got)
+	}
+}
+
+func TestDiscountDistrustedRecommenderUncertain(t *testing.T) {
+	distrust := Opinion{D: 1, A: 0.5}
+	x, _ := OpinionFromEvidence(10, 0)
+	got, err := Discount(distrust, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.U != 1 || got.B != 0 || got.D != 0 {
+		t.Fatalf("distrusted recommendation must become vacuous: %+v", got)
+	}
+}
+
+func TestConsensusPoolsEvidence(t *testing.T) {
+	// Consensus of evidence opinions equals the opinion of pooled
+	// evidence — the defining property of the beta mapping.
+	a, _ := OpinionFromEvidence(4, 1)
+	b, _ := OpinionFromEvidence(2, 3)
+	got, err := Consensus(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := OpinionFromEvidence(6, 4)
+	if math.Abs(got.B-want.B) > 1e-9 || math.Abs(got.U-want.U) > 1e-9 {
+		t.Fatalf("consensus = %+v, want %+v", got, want)
+	}
+}
+
+func TestConsensusDogmaticLimit(t *testing.T) {
+	a := Opinion{B: 1, A: 0.5}
+	b := Opinion{D: 1, A: 0.5}
+	got, err := Consensus(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.B != 0.5 || got.D != 0.5 {
+		t.Fatalf("dogmatic consensus = %+v", got)
+	}
+}
+
+// Property: both operators preserve well-formedness and consensus is
+// commutative.
+func TestOpinionOperatorsProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := randx.New(seed)
+		mk := func() Opinion {
+			o, err := OpinionFromEvidence(rng.Uniform(0, 30), rng.Uniform(0, 30))
+			if err != nil {
+				panic(err)
+			}
+			return o
+		}
+		a, b := mk(), mk()
+		d, err := Discount(a, b)
+		if err != nil || d.Validate() != nil {
+			return false
+		}
+		c1, err1 := Consensus(a, b)
+		c2, err2 := Consensus(b, a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if c1.Validate() != nil {
+			return false
+		}
+		return math.Abs(c1.B-c2.B) < 1e-9 && math.Abs(c1.U-c2.U) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubjectiveLogicAggregation(t *testing.T) {
+	agg := SubjectiveLogicAggregation{}
+	if agg.Name() != "subjective-logic" {
+		t.Fatal("name")
+	}
+	// Equal trust: expectation near the mean, shrunk toward 0.5 by
+	// residual uncertainty.
+	v, err := agg.Aggregate([]float64{0.9, 0.9, 0.9, 0.9}, []float64{0.9, 0.9, 0.9, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < 0.6 || v > 0.9 {
+		t.Fatalf("aggregate = %g", v)
+	}
+	// Trusted raters must dominate distrusted ones.
+	hi, err := agg.Aggregate([]float64{0.9, 0.1}, []float64{0.95, 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := agg.Aggregate([]float64{0.9, 0.1}, []float64{0.05, 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi <= lo {
+		t.Fatalf("trust weighting inverted: %g vs %g", hi, lo)
+	}
+	if _, err := agg.Aggregate(nil, nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := agg.Aggregate([]float64{0.5}, nil); err == nil {
+		t.Fatal("missing trusts accepted")
+	}
+}
+
+// TestSubjectiveLogicSharesM4Weakness pins the documented behavior: on
+// the tab2 case study the subjective-logic aggregator lands near the
+// M4/M1 cluster, well below Method 3.
+func TestSubjectiveLogicSharesM4Weakness(t *testing.T) {
+	rng := randx.New(42)
+	var slSum, m3Sum float64
+	const runs = 100
+	for i := 0; i < runs; i++ {
+		local := rng.Split()
+		var ratings, trusts []float64
+		for j := 0; j < 10; j++ {
+			ratings = append(ratings, clamp01(local.Normal(0.8, 0.05)))
+			trusts = append(trusts, clamp01(local.Normal(0.95, 0.05)))
+		}
+		for j := 0; j < 10; j++ {
+			ratings = append(ratings, clamp01(local.Normal(0.4, 0.02)))
+			trusts = append(trusts, clamp01(local.Normal(0.6, 0.1)))
+		}
+		sl, err := SubjectiveLogicAggregation{}.Aggregate(ratings, trusts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m3, err := ModifiedWeightedAverage{}.Aggregate(ratings, trusts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slSum += sl
+		m3Sum += m3
+	}
+	if slSum/runs >= m3Sum/runs {
+		t.Fatalf("subjective logic %.4f unexpectedly beats M3 %.4f under collusion",
+			slSum/runs, m3Sum/runs)
+	}
+}
+
+func TestIndirectTrustOpinion(t *testing.T) {
+	m, _ := NewManager(ManagerConfig{})
+	_ = m.Update(1, Observation{N: 20}, 1)               // trusted recommender
+	_ = m.Update(2, Observation{N: 20, Filtered: 18}, 1) // distrusted recommender
+	recs := []Recommendation{
+		{From: 1, About: 9, Value: 0.9},
+		{From: 2, About: 9, Value: 0.1},
+		{From: 3, About: 9, Value: 0.5}, // unknown recommender: prior opinion
+		{From: 1, About: 8, Value: 0.2}, // other subject: ignored
+	}
+	op, err := m.IndirectTrustOpinion(9, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := op.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The trusted 0.9 recommendation dominates: expectation above 0.5.
+	if op.Expectation() <= 0.5 {
+		t.Fatalf("expectation = %g", op.Expectation())
+	}
+	// Distrusted recommendations add mostly uncertainty, not disbelief.
+	if op.D > op.B {
+		t.Fatalf("disbelief %g above belief %g", op.D, op.B)
+	}
+}
+
+func TestIndirectTrustOpinionNoRecommendations(t *testing.T) {
+	m, _ := NewManager(ManagerConfig{})
+	if _, err := m.IndirectTrustOpinion(9, nil); !errors.Is(err, ErrNoRecommendations) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := m.IndirectTrustOpinion(9, []Recommendation{{From: 1, About: 9, Value: 2}}); err == nil {
+		t.Fatal("invalid recommendation accepted")
+	}
+}

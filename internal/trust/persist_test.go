@@ -1,0 +1,68 @@
+package trust
+
+import (
+	"math"
+	"repro/internal/rating"
+	"testing"
+)
+
+func TestRecordsReturnsCopies(t *testing.T) {
+	m, _ := NewManager(ManagerConfig{})
+	_ = m.Update(1, Observation{N: 5}, 1)
+	recs := m.Records()
+	if len(recs) != 1 {
+		t.Fatalf("%d records", len(recs))
+	}
+	rec := recs[1]
+	rec.S = 999
+	recs[1] = rec
+	if got, _ := m.Record(1); got.S == 999 {
+		t.Fatal("Records exposed internal state")
+	}
+}
+
+func TestRestoreRoundTrip(t *testing.T) {
+	src, _ := NewManager(ManagerConfig{})
+	_ = src.Update(1, Observation{N: 5}, 1)
+	_ = src.Update(2, Observation{N: 5, Filtered: 4}, 2)
+
+	dst, _ := NewManager(ManagerConfig{})
+	if err := dst.Restore(src.Records()); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != 2 {
+		t.Fatalf("Len = %d", dst.Len())
+	}
+	for _, id := range []int{1, 2} {
+		if dst.Trust(rating.RaterID(id)) != src.Trust(rating.RaterID(id)) {
+			t.Fatalf("rater %d trust diverged", id)
+		}
+	}
+}
+
+func TestRestoreRejectsInvalid(t *testing.T) {
+	m, _ := NewManager(ManagerConfig{})
+	bad := m.Records()
+	bad[7] = Record{S: -1}
+	if err := m.Restore(bad); err == nil {
+		t.Fatal("negative S accepted")
+	}
+	bad[7] = Record{F: math.NaN()}
+	if err := m.Restore(bad); err == nil {
+		t.Fatal("NaN F accepted")
+	}
+}
+
+func TestRestoreReplacesState(t *testing.T) {
+	m, _ := NewManager(ManagerConfig{})
+	_ = m.Update(9, Observation{N: 20}, 1)
+	if err := m.Restore(nil); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d after empty restore", m.Len())
+	}
+	if m.Trust(9) != 0.5 {
+		t.Fatal("old record survived restore")
+	}
+}

@@ -1,0 +1,79 @@
+package trust
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPriorConfigValidation(t *testing.T) {
+	if err := (ManagerConfig{InitialS: 1, InitialF: 2}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []ManagerConfig{
+		{InitialS: -1},
+		{InitialF: -1},
+		{InitialF: math.NaN()},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestSkepticalPriorStartsBelowNeutral(t *testing.T) {
+	m, err := NewManager(ManagerConfig{InitialF: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unknown raters report the prior, not 0.5.
+	want := 1.0 / 4 // (0+1)/(0+2+2)
+	if got := m.Trust(1); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("prior trust = %g, want %g", got, want)
+	}
+	// First real update builds on the prior.
+	if err := m.Update(1, Observation{N: 6}, 1); err != nil {
+		t.Fatal(err)
+	}
+	want = (6.0 + 1) / (6 + 2 + 2)
+	if got := m.Trust(1); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("post-update trust = %g, want %g", got, want)
+	}
+}
+
+func TestOptimisticPrior(t *testing.T) {
+	m, err := NewManager(ManagerConfig{InitialS: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Trust(9); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("prior trust = %g, want 0.8", got)
+	}
+}
+
+// TestSkepticalPriorBluntsSybil: a sybil identity with one suspicious
+// rating never rises above the aggregation floor when newcomers start
+// skeptical, while an honest rater still climbs past it with modest
+// history.
+func TestSkepticalPriorBluntsSybil(t *testing.T) {
+	m, err := NewManager(ManagerConfig{InitialF: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sybil: one rating, in a suspicious window.
+	if err := m.Update(1, Observation{N: 1, Suspicious: 1, SuspicionMass: 1}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if m.Trust(1) >= 0.5 {
+		t.Fatalf("sybil trust = %g", m.Trust(1))
+	}
+	// Honest newcomer: clears the floor after two clean months.
+	for month := 1; month <= 2; month++ {
+		if err := m.Update(2, Observation{N: 5}, float64(month*30)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Trust(2) <= 0.5 {
+		t.Fatalf("honest newcomer trust = %g after 2 months", m.Trust(2))
+	}
+}

@@ -1,0 +1,301 @@
+// Package trust implements the paper's Trust Manager (§III.B): beta-
+// function trust records per rater updated by Procedure 2, record
+// maintenance with forgetting, malicious-rater detection, the entropy
+// trust mapping of [8], indirect trust from recommendations, and the
+// four rating-aggregation methods compared in §III.B.2.
+package trust
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/rating"
+	"repro/internal/stat"
+)
+
+// Record is one rater's trust state: S successful (honest-looking) and
+// F failed (dishonest-looking) observation mass. Trust is the beta-
+// function estimate (S+1)/(S+F+2) of [30]; a fresh record therefore
+// starts at the neutral 0.5.
+type Record struct {
+	S, F float64
+	// LastUpdate is the time (days) the record was last maintained;
+	// used by the forgetting scheme.
+	LastUpdate float64
+}
+
+// Trust returns the beta-function trust value (S+1)/(S+F+2) in (0, 1).
+func (r Record) Trust() float64 {
+	return (r.S + 1) / (r.S + r.F + 2)
+}
+
+// EntropyTrust maps a probability p = Trust() to the entropy-based
+// trust value of [8]: 1−H(p) for p ≥ 0.5 and H(p)−1 otherwise, giving a
+// value in [−1, 1] where 0 is total uncertainty and negative values
+// mean distrust.
+func EntropyTrust(p float64) float64 {
+	if p >= 0.5 {
+		return 1 - stat.BinaryEntropy(p)
+	}
+	return stat.BinaryEntropy(p) - 1
+}
+
+// Observation is one maintenance interval's evidence about a rater, in
+// Procedure 2's notation.
+type Observation struct {
+	// N is n_i: ratings provided in the interval.
+	N int
+	// Filtered is f_i: ratings removed by the rating filter.
+	Filtered int
+	// Suspicious is s_i: ratings lying in at least one suspicious
+	// window.
+	Suspicious int
+	// SuspicionMass is C_i from Procedure 1.
+	SuspicionMass float64
+}
+
+// Validate reports malformed observations.
+func (o Observation) Validate() error {
+	if o.N < 0 || o.Filtered < 0 || o.Suspicious < 0 {
+		return fmt.Errorf("trust: negative observation %+v", o)
+	}
+	if o.Filtered+o.Suspicious > o.N {
+		return fmt.Errorf("trust: observation %+v has f+s > n", o)
+	}
+	if o.SuspicionMass < 0 || math.IsNaN(o.SuspicionMass) {
+		return fmt.Errorf("trust: suspicion mass %g", o.SuspicionMass)
+	}
+	return nil
+}
+
+// ManagerConfig parameterizes the trust manager.
+type ManagerConfig struct {
+	// B is Procedure 2's b in (0, 1]: the relative badness of a rating
+	// in a suspicious interval versus a filtered-out rating. §IV.A sets
+	// it to 1. Zero means 1.
+	B float64
+	// Forgetting is the per-day exponential decay λ applied to S and F
+	// before each update ([8]'s forgetting scheme; the Record
+	// Maintenance module). 1 disables forgetting. Zero means 1.
+	Forgetting float64
+	// MaliciousThreshold is the trust value below which a rater is
+	// declared malicious (§IV.B uses 0.5 — i.e. below neutral). Zero
+	// means 0.5.
+	MaliciousThreshold float64
+	// InitialS and InitialF are pseudo-evidence seeded into every fresh
+	// record — the "initialization of rater's trust" the Record
+	// Maintenance module owns (§III.B). Zero values give the paper's
+	// neutral start (S=F=0, trust 0.5); positive InitialF implements
+	// newcomer skepticism (fresh raters must earn their way above the
+	// aggregation floor), which blunts sybil identities at the cost of
+	// a slower honest cold start (see ablation-churn).
+	InitialS, InitialF float64
+}
+
+func (c ManagerConfig) withDefaults() ManagerConfig {
+	if c.B == 0 {
+		c.B = 1
+	}
+	if c.Forgetting == 0 {
+		c.Forgetting = 1
+	}
+	if c.MaliciousThreshold == 0 {
+		c.MaliciousThreshold = 0.5
+	}
+	return c
+}
+
+// Validate reports configuration errors after defaulting.
+func (c ManagerConfig) Validate() error {
+	c = c.withDefaults()
+	if c.B <= 0 || c.B > 1 {
+		return fmt.Errorf("trust: b=%g outside (0,1]", c.B)
+	}
+	if c.Forgetting <= 0 || c.Forgetting > 1 {
+		return fmt.Errorf("trust: forgetting=%g outside (0,1]", c.Forgetting)
+	}
+	if c.MaliciousThreshold <= 0 || c.MaliciousThreshold >= 1 {
+		return fmt.Errorf("trust: malicious threshold %g outside (0,1)", c.MaliciousThreshold)
+	}
+	if c.InitialS < 0 || c.InitialF < 0 || math.IsNaN(c.InitialS) || math.IsNaN(c.InitialF) {
+		return fmt.Errorf("trust: initial evidence S=%g F=%g", c.InitialS, c.InitialF)
+	}
+	return nil
+}
+
+// Manager maintains trust records for a rater population. It is not
+// safe for concurrent use.
+type Manager struct {
+	cfg     ManagerConfig
+	records map[rating.RaterID]*Record
+}
+
+// NewManager builds a manager; it returns an error on invalid config.
+func NewManager(cfg ManagerConfig) (*Manager, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Manager{
+		cfg:     cfg.withDefaults(),
+		records: make(map[rating.RaterID]*Record),
+	}, nil
+}
+
+// Update applies Procedure 2 step 6-7 for one rater at time now:
+// F += f + b·C and S += n − f − s, after the forgetting decay.
+// Invalid observations are rejected.
+func (m *Manager) Update(id rating.RaterID, obs Observation, now float64) error {
+	if err := obs.Validate(); err != nil {
+		return err
+	}
+	rec := m.record(id)
+	m.forget(rec, now)
+	rec.F += float64(obs.Filtered) + m.cfg.B*obs.SuspicionMass
+	rec.S += float64(obs.N - obs.Filtered - obs.Suspicious)
+	rec.LastUpdate = now
+	return nil
+}
+
+// UpdateBatch applies Update for every rater in obs.
+func (m *Manager) UpdateBatch(obs map[rating.RaterID]Observation, now float64) error {
+	// Deterministic order keeps error reporting stable.
+	ids := make([]rating.RaterID, 0, len(obs))
+	for id := range obs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if err := m.Update(id, obs[id], now); err != nil {
+			return fmt.Errorf("rater %d: %w", id, err)
+		}
+	}
+	return nil
+}
+
+func (m *Manager) record(id rating.RaterID) *Record {
+	rec, ok := m.records[id]
+	if !ok {
+		rec = &Record{S: m.cfg.InitialS, F: m.cfg.InitialF}
+		m.records[id] = rec
+	}
+	return rec
+}
+
+func (m *Manager) forget(rec *Record, now float64) {
+	if m.cfg.Forgetting >= 1 || now <= rec.LastUpdate {
+		return
+	}
+	decay := math.Pow(m.cfg.Forgetting, now-rec.LastUpdate)
+	rec.S *= decay
+	rec.F *= decay
+}
+
+// Trust returns the rater's current trust value; unknown raters get
+// the configured prior (the neutral 0.5 by default).
+func (m *Manager) Trust(id rating.RaterID) float64 {
+	rec, ok := m.records[id]
+	if !ok {
+		return (Record{S: m.cfg.InitialS, F: m.cfg.InitialF}).Trust()
+	}
+	return rec.Trust()
+}
+
+// Record returns a copy of the rater's record and whether it exists.
+func (m *Manager) Record(id rating.RaterID) (Record, bool) {
+	rec, ok := m.records[id]
+	if !ok {
+		return Record{}, false
+	}
+	return *rec, true
+}
+
+// Snapshot returns all raters' trust values.
+func (m *Manager) Snapshot() map[rating.RaterID]float64 {
+	out := make(map[rating.RaterID]float64, len(m.records))
+	for id, rec := range m.records {
+		out[id] = rec.Trust()
+	}
+	return out
+}
+
+// Malicious returns the raters whose trust is below the malicious
+// threshold, sorted by ID.
+func (m *Manager) Malicious() []rating.RaterID {
+	var out []rating.RaterID
+	for id, rec := range m.records {
+		if rec.Trust() < m.cfg.MaliciousThreshold {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len returns the number of tracked raters.
+func (m *Manager) Len() int { return len(m.records) }
+
+// Records returns a copy of every rater's record, for persistence.
+func (m *Manager) Records() map[rating.RaterID]Record {
+	out := make(map[rating.RaterID]Record, len(m.records))
+	for id, rec := range m.records {
+		out[id] = *rec
+	}
+	return out
+}
+
+// Restore replaces the manager's state with the given records
+// (copied). Records with negative evidence mass are rejected.
+func (m *Manager) Restore(records map[rating.RaterID]Record) error {
+	restored := make(map[rating.RaterID]*Record, len(records))
+	for id, rec := range records {
+		if rec.S < 0 || rec.F < 0 || math.IsNaN(rec.S) || math.IsNaN(rec.F) {
+			return fmt.Errorf("trust: restore rater %d: invalid record %+v", id, rec)
+		}
+		r := rec
+		restored[id] = &r
+	}
+	m.records = restored
+	return nil
+}
+
+// ErrNoRecommendations is returned by IndirectTrust when no usable
+// recommendation exists.
+var ErrNoRecommendations = errors.New("trust: no recommendations")
+
+// Recommendation is one rater's statement about another rater's
+// rating quality — the "was this review helpful" signal practical
+// systems collect (Fig 1's Recommendation Buffer). Value is in [0, 1].
+type Recommendation struct {
+	From  rating.RaterID
+	About rating.RaterID
+	Value float64
+}
+
+// IndirectTrust computes indirect trust in `about` by trust
+// propagation: each recommendation is weighted by the recommender's own
+// (recommendation) trust, mirroring the concatenation rule of the
+// generic framework [29] — recommendations from distrusted raters
+// (trust ≤ 0.5) are discarded.
+func (m *Manager) IndirectTrust(about rating.RaterID, recs []Recommendation) (float64, error) {
+	var num, den float64
+	for _, rec := range recs {
+		if rec.About != about {
+			continue
+		}
+		if rec.Value < 0 || rec.Value > 1 || math.IsNaN(rec.Value) {
+			return 0, fmt.Errorf("trust: recommendation value %g", rec.Value)
+		}
+		w := m.Trust(rec.From) - 0.5
+		if w <= 0 {
+			continue
+		}
+		num += w * rec.Value
+		den += w
+	}
+	if den == 0 {
+		return 0, ErrNoRecommendations
+	}
+	return num / den, nil
+}

@@ -1,0 +1,319 @@
+package trust
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/randx"
+	"repro/internal/rating"
+)
+
+func TestRecordTrust(t *testing.T) {
+	if got := (Record{}).Trust(); got != 0.5 {
+		t.Fatalf("fresh record trust = %g, want 0.5", got)
+	}
+	if got := (Record{S: 8, F: 0}).Trust(); got != 0.9 {
+		t.Fatalf("trust = %g, want 0.9", got)
+	}
+	if got := (Record{S: 0, F: 8}).Trust(); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("trust = %g, want 0.1", got)
+	}
+}
+
+func TestEntropyTrust(t *testing.T) {
+	if got := EntropyTrust(0.5); got != 0 {
+		t.Fatalf("EntropyTrust(0.5) = %g", got)
+	}
+	if got := EntropyTrust(1); got != 1 {
+		t.Fatalf("EntropyTrust(1) = %g", got)
+	}
+	if got := EntropyTrust(0); got != -1 {
+		t.Fatalf("EntropyTrust(0) = %g", got)
+	}
+	// Antisymmetric around 0.5.
+	if math.Abs(EntropyTrust(0.8)+EntropyTrust(0.2)) > 1e-12 {
+		t.Fatal("entropy trust not antisymmetric")
+	}
+	if EntropyTrust(0.9) <= EntropyTrust(0.6) {
+		t.Fatal("entropy trust not increasing above 0.5")
+	}
+}
+
+func TestObservationValidate(t *testing.T) {
+	good := Observation{N: 5, Filtered: 1, Suspicious: 2, SuspicionMass: 0.7}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Observation{
+		{N: -1},
+		{N: 2, Filtered: -1},
+		{N: 2, Suspicious: 3},
+		{N: 2, Filtered: 2, Suspicious: 1},
+		{N: 2, SuspicionMass: -1},
+		{N: 2, SuspicionMass: math.NaN()},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("bad observation %d accepted: %+v", i, o)
+		}
+	}
+}
+
+func TestManagerConfigValidate(t *testing.T) {
+	if err := (ManagerConfig{}).Validate(); err != nil {
+		t.Fatalf("defaults invalid: %v", err)
+	}
+	bad := []ManagerConfig{
+		{B: 1.5},
+		{B: -1},
+		{Forgetting: 1.2},
+		{Forgetting: -0.1},
+		{MaliciousThreshold: 1},
+		{MaliciousThreshold: -0.2},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, c)
+		}
+	}
+	if _, err := NewManager(ManagerConfig{B: 2}); err == nil {
+		t.Fatal("NewManager accepted bad config")
+	}
+}
+
+func TestProcedure2Update(t *testing.T) {
+	m, err := NewManager(ManagerConfig{B: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n=10, f=2, s=3, C=0.5 -> S += 5, F += 2.5.
+	obs := Observation{N: 10, Filtered: 2, Suspicious: 3, SuspicionMass: 0.5}
+	if err := m.Update(1, obs, 1); err != nil {
+		t.Fatal(err)
+	}
+	rec, ok := m.Record(1)
+	if !ok {
+		t.Fatal("record missing")
+	}
+	if rec.S != 5 || rec.F != 2.5 {
+		t.Fatalf("record = %+v, want S=5 F=2.5", rec)
+	}
+	want := (5.0 + 1) / (5 + 2.5 + 2)
+	if got := m.Trust(1); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("trust = %g, want %g", got, want)
+	}
+}
+
+func TestProcedure2BParameter(t *testing.T) {
+	// b = 0.5 halves the suspicion charge relative to filter rejections.
+	m, _ := NewManager(ManagerConfig{B: 0.5})
+	if err := m.Update(1, Observation{N: 4, SuspicionMass: 2}, 0); err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := m.Record(1)
+	if rec.F != 1 {
+		t.Fatalf("F = %g, want 1 (b·C = 0.5·2)", rec.F)
+	}
+}
+
+func TestUnknownRaterNeutral(t *testing.T) {
+	m, _ := NewManager(ManagerConfig{})
+	if got := m.Trust(99); got != 0.5 {
+		t.Fatalf("unknown rater trust = %g", got)
+	}
+	if _, ok := m.Record(99); ok {
+		t.Fatal("phantom record")
+	}
+}
+
+func TestHonestTrustRises(t *testing.T) {
+	m, _ := NewManager(ManagerConfig{})
+	for day := 1; day <= 12; day++ {
+		if err := m.Update(1, Observation{N: 10}, float64(day)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.Trust(1); got < 0.95 {
+		t.Fatalf("honest trust after 12 updates = %g", got)
+	}
+}
+
+func TestColluderTrustFalls(t *testing.T) {
+	m, _ := NewManager(ManagerConfig{})
+	for day := 1; day <= 12; day++ {
+		obs := Observation{N: 5, Suspicious: 5, SuspicionMass: 2}
+		if err := m.Update(2, obs, float64(day)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.Trust(2); got > 0.1 {
+		t.Fatalf("colluder trust after 12 updates = %g", got)
+	}
+}
+
+func TestForgetting(t *testing.T) {
+	// With aggressive forgetting, old evidence decays: a rater with a
+	// bad past who turns honest recovers faster than without.
+	build := func(forgetting float64) float64 {
+		m, _ := NewManager(ManagerConfig{Forgetting: forgetting})
+		if err := m.Update(1, Observation{N: 10, Filtered: 10}, 0); err != nil {
+			t.Fatal(err)
+		}
+		for day := 30; day <= 60; day += 30 {
+			if err := m.Update(1, Observation{N: 10}, float64(day)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return m.Trust(1)
+	}
+	withForgetting := build(0.9)
+	without := build(1)
+	if withForgetting <= without {
+		t.Fatalf("forgetting %g did not speed recovery over %g", withForgetting, without)
+	}
+}
+
+func TestForgettingNeverAppliedBackwards(t *testing.T) {
+	m, _ := NewManager(ManagerConfig{Forgetting: 0.5})
+	if err := m.Update(1, Observation{N: 4}, 10); err != nil {
+		t.Fatal(err)
+	}
+	// An update at an earlier time must not inflate via negative Δt.
+	if err := m.Update(1, Observation{N: 0}, 5); err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := m.Record(1)
+	if rec.S > 4+1e-9 {
+		t.Fatalf("S = %g grew from backwards time", rec.S)
+	}
+}
+
+func TestUpdateRejectsInvalid(t *testing.T) {
+	m, _ := NewManager(ManagerConfig{})
+	if err := m.Update(1, Observation{N: 1, Filtered: 2}, 0); err == nil {
+		t.Fatal("invalid observation accepted")
+	}
+}
+
+func TestUpdateBatchAndSnapshot(t *testing.T) {
+	m, _ := NewManager(ManagerConfig{})
+	obs := map[rating.RaterID]Observation{
+		1: {N: 10},
+		2: {N: 10, Filtered: 8},
+	}
+	if err := m.UpdateBatch(obs, 1); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot size %d", len(snap))
+	}
+	if snap[1] <= snap[2] {
+		t.Fatalf("honest %g not above filtered %g", snap[1], snap[2])
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestUpdateBatchPropagatesError(t *testing.T) {
+	m, _ := NewManager(ManagerConfig{})
+	obs := map[rating.RaterID]Observation{7: {N: 1, Suspicious: 5}}
+	if err := m.UpdateBatch(obs, 0); err == nil {
+		t.Fatal("invalid batch accepted")
+	}
+}
+
+func TestMalicious(t *testing.T) {
+	m, _ := NewManager(ManagerConfig{MaliciousThreshold: 0.5})
+	_ = m.Update(1, Observation{N: 10}, 1)
+	_ = m.Update(2, Observation{N: 10, Filtered: 9}, 1)
+	_ = m.Update(3, Observation{N: 10, Filtered: 10}, 1)
+	mal := m.Malicious()
+	if len(mal) != 2 || mal[0] != 2 || mal[1] != 3 {
+		t.Fatalf("malicious = %v", mal)
+	}
+}
+
+func TestIndirectTrust(t *testing.T) {
+	m, _ := NewManager(ManagerConfig{})
+	_ = m.Update(1, Observation{N: 20}, 1)               // trusted recommender
+	_ = m.Update(2, Observation{N: 20, Filtered: 18}, 1) // distrusted recommender
+	recs := []Recommendation{
+		{From: 1, About: 9, Value: 0.9},
+		{From: 2, About: 9, Value: 0.1}, // must be discarded
+		{From: 1, About: 8, Value: 0.2}, // other subject
+	}
+	got, err := m.IndirectTrust(9, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.9 {
+		t.Fatalf("indirect trust = %g, want 0.9", got)
+	}
+}
+
+func TestIndirectTrustErrors(t *testing.T) {
+	m, _ := NewManager(ManagerConfig{})
+	if _, err := m.IndirectTrust(9, nil); !errors.Is(err, ErrNoRecommendations) {
+		t.Fatalf("err = %v", err)
+	}
+	// Only distrusted recommenders: still no recommendation.
+	_ = m.Update(2, Observation{N: 20, Filtered: 18}, 1)
+	recs := []Recommendation{{From: 2, About: 9, Value: 0.4}}
+	if _, err := m.IndirectTrust(9, recs); !errors.Is(err, ErrNoRecommendations) {
+		t.Fatalf("err = %v", err)
+	}
+	_ = m.Update(1, Observation{N: 20}, 1)
+	bad := []Recommendation{{From: 1, About: 9, Value: 1.5}}
+	if _, err := m.IndirectTrust(9, bad); err == nil {
+		t.Fatal("bad recommendation value accepted")
+	}
+}
+
+// Property: trust always stays in (0, 1) and more honest evidence never
+// lowers trust.
+func TestTrustBoundsProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := randx.New(seed)
+		m, err := NewManager(ManagerConfig{
+			B:          0.1 + 0.9*rng.Float64(),
+			Forgetting: 0.5 + 0.5*rng.Float64(),
+		})
+		if err != nil {
+			return false
+		}
+		id := rating.RaterID(1)
+		prevTrust := m.Trust(id)
+		now := 0.0
+		for step := 0; step < 30; step++ {
+			now += rng.Uniform(0, 5)
+			n := rng.Intn(20)
+			f := 0
+			s := 0
+			if n > 0 {
+				f = rng.Intn(n + 1)
+				s = rng.Intn(n - f + 1)
+			}
+			obs := Observation{N: n, Filtered: f, Suspicious: s, SuspicionMass: rng.Uniform(0, 3)}
+			if err := m.Update(id, obs, now); err != nil {
+				return false
+			}
+			tr := m.Trust(id)
+			if tr <= 0 || tr >= 1 {
+				return false
+			}
+			// Purely honest evidence must not lower trust below neutral.
+			if f == 0 && s == 0 && obs.SuspicionMass == 0 && n > 0 && tr < prevTrust && tr < 0.5 {
+				return false
+			}
+			prevTrust = tr
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,199 @@
+package repro_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro"
+	"repro/internal/randx"
+	"repro/internal/sim"
+)
+
+// TestFacadeEndToEnd drives the public API exactly as the README's
+// quick start does: build a system, submit a trace containing a smart
+// collusion attack, run monthly maintenance, and confirm that trust
+// separates and the aggregate resists the attack.
+func TestFacadeEndToEnd(t *testing.T) {
+	sys, err := repro.NewSystem(repro.Config{
+		Detector: repro.DetectorConfig{Threshold: 0.05},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := sim.DefaultIllustrative()
+	p.BadVar = 0.002
+	ls, err := sim.GenerateIllustrative(randx.New(1), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range ls {
+		if err := sys.Submit(l.Rating); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, w := range [][2]float64{{0, 30}, {30, 60}} {
+		if _, err := sys.ProcessWindow(w[0], w[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	agg, err := sys.Aggregate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Value < 0 || agg.Value > 1 {
+		t.Fatalf("aggregate %g out of range", agg.Value)
+	}
+
+	var honest, colluder []float64
+	for id, tr := range sys.TrustSnapshot() {
+		if id >= 100000 {
+			colluder = append(colluder, tr)
+		} else {
+			honest = append(honest, tr)
+		}
+	}
+	if len(colluder) == 0 {
+		t.Fatal("no colluders tracked")
+	}
+	if mean(colluder) >= mean(honest) {
+		t.Fatalf("colluder trust %.3f not below honest %.3f", mean(colluder), mean(honest))
+	}
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+func TestFacadeDetect(t *testing.T) {
+	var rs []repro.Rating
+	for i := 0; i < 60; i++ {
+		rs = append(rs, repro.Rating{Rater: repro.RaterID(i), Value: 0.8, Time: float64(i)})
+	}
+	rep, err := repro.Detect(rs, repro.DetectorConfig{
+		Mode: repro.WindowByCount, Size: 20, Step: 10, Threshold: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.SuspiciousWindows()) == 0 {
+		t.Fatal("constant clique not flagged")
+	}
+	merged := repro.MergeDetections(rep, rep)
+	if merged[0].TotalRatings != 2 {
+		t.Fatalf("merge: %+v", merged[0])
+	}
+}
+
+func TestFacadeFitAR(t *testing.T) {
+	x := make([]float64, 100)
+	for i := range x {
+		x[i] = math.Sin(0.3 * float64(i))
+	}
+	for _, method := range []repro.ARMethod{repro.ARCovariance, repro.ARYuleWalker, repro.ARBurg} {
+		m, err := repro.FitAR(x, 4, repro.AROptions{Method: method})
+		if err != nil {
+			t.Fatalf("%v: %v", method, err)
+		}
+		if m.NormalizedError < 0 || m.NormalizedError > 1 {
+			t.Fatalf("%v: error %g", method, m.NormalizedError)
+		}
+	}
+}
+
+func TestFacadeAggregators(t *testing.T) {
+	methods := repro.AggregationMethods()
+	if len(methods) != 4 {
+		t.Fatalf("%d methods", len(methods))
+	}
+	ratings := []float64{0.8, 0.4}
+	trusts := []float64{0.95, 0.6}
+	for _, m := range methods {
+		v, err := m.Aggregate(ratings, trusts)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if v < 0 || v > 1 {
+			t.Fatalf("%s: %g", m.Name(), v)
+		}
+	}
+	if _, err := (repro.ModifiedWeightedAverage{}).Aggregate([]float64{0.5}, []float64{0.4}); !errors.Is(err, repro.ErrNoTrustedRaters) {
+		t.Fatalf("floor error = %v", err)
+	}
+	if _, err := (repro.SimpleAverage{}).Aggregate(nil, nil); !errors.Is(err, repro.ErrNoRatings) {
+		t.Fatalf("empty error = %v", err)
+	}
+}
+
+func TestFacadeTrustManager(t *testing.T) {
+	m, err := repro.NewTrustManager(repro.TrustConfig{B: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Update(1, repro.Observation{N: 10}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if m.Trust(1) <= 0.5 {
+		t.Fatalf("trust %g", m.Trust(1))
+	}
+	if got := repro.EntropyTrust(0.5); got != 0 {
+		t.Fatalf("EntropyTrust(0.5) = %g", got)
+	}
+}
+
+func TestFacadeFilters(t *testing.T) {
+	rs := []repro.Rating{
+		{Rater: 1, Value: 0.8, Time: 1},
+		{Rater: 2, Value: 0.81, Time: 2},
+		{Rater: 3, Value: 0.79, Time: 3},
+	}
+	var filters = []repro.Filter{
+		repro.NoopFilter{},
+		repro.BetaFilter{Q: 0.1},
+		repro.QuantileFilter{Q: 0.1},
+		repro.EntropyFilter{},
+		repro.EndorsementFilter{},
+		repro.ClusterFilter{},
+	}
+	for _, f := range filters {
+		res, err := f.Apply(rs)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name(), err)
+		}
+		if len(res.Accepted)+len(res.Rejected) != len(rs) {
+			t.Fatalf("%s: lost ratings", f.Name())
+		}
+	}
+}
+
+func TestFacadeUnknownObject(t *testing.T) {
+	sys, err := repro.NewSystem(repro.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Aggregate(1); !errors.Is(err, repro.ErrUnknownObject) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFacadeNoFallback(t *testing.T) {
+	sys, err := repro.NewSystem(repro.Config{
+		Filter:   repro.NoopFilter{},
+		Fallback: repro.NoFallback,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Submit(repro.Rating{Rater: 1, Object: 1, Value: 0.5, Time: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Aggregate(1); !errors.Is(err, repro.ErrNoTrustedRaters) {
+		t.Fatalf("err = %v", err)
+	}
+}
