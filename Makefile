@@ -1,0 +1,36 @@
+GO ?= go
+
+.PHONY: all build test race bench ci artifacts benchreport clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# ci is the gate every change must pass: static checks, a full build,
+# the test suite under the race detector, and a one-shot smoke run of
+# the tab1 macro benchmark (exercises the parallel Monte-Carlo path
+# end to end without benchmark-grade runtimes).
+ci:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+	$(GO) test -run=NONE -bench=BenchmarkTab1 -benchtime=1x .
+
+artifacts:
+	$(GO) run ./cmd/experiments -run all -mode full -csv artifacts/
+
+benchreport:
+	$(GO) run ./cmd/benchreport -out BENCH_1.json
+
+clean:
+	rm -rf artifacts/

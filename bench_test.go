@@ -1,11 +1,14 @@
 package repro_test
 
 import (
+	"runtime"
 	"testing"
 
 	"repro"
+	"repro/internal/detector"
 	"repro/internal/experiments"
 	"repro/internal/randx"
+	"repro/internal/signal"
 	"repro/internal/sim"
 )
 
@@ -27,15 +30,32 @@ func benchExperiment(b *testing.B, id string) {
 	}
 }
 
+// benchExperimentWorkers measures the same experiment with the
+// Monte-Carlo fan-out at full GOMAXPROCS width. Results are
+// bit-identical to the serial run; only wall time changes.
+func benchExperimentWorkers(b *testing.B, id string) {
+	b.Helper()
+	opt := experiments.Options{Workers: runtime.GOMAXPROCS(0)}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunWith(id, int64(i)+1, experiments.Quick, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchResult = res
+	}
+}
+
 // --- Paper artifacts (see DESIGN.md's per-experiment index) ---
 
 func BenchmarkFig2RawRatings(b *testing.B)               { benchExperiment(b, "fig2") }
 func BenchmarkFig3Histogram(b *testing.B)                { benchExperiment(b, "fig3") }
 func BenchmarkFig4ModelError(b *testing.B)               { benchExperiment(b, "fig4") }
 func BenchmarkTab1DetectionRates(b *testing.B)           { benchExperiment(b, "tab1") }
+func BenchmarkTab1DetectionRatesParallel(b *testing.B)   { benchExperimentWorkers(b, "tab1") }
 func BenchmarkFig5Netflix(b *testing.B)                  { benchExperiment(b, "fig5") }
 func BenchmarkTab2Aggregators(b *testing.B)              { benchExperiment(b, "tab2") }
 func BenchmarkFig6TrustEvolution(b *testing.B)           { benchExperiment(b, "fig6") }
+func BenchmarkFig6TrustEvolutionParallel(b *testing.B)   { benchExperimentWorkers(b, "fig6") }
 func BenchmarkFig7TrustMonth6(b *testing.B)              { benchExperiment(b, "fig7") }
 func BenchmarkFig8TrustMonth12(b *testing.B)             { benchExperiment(b, "fig8") }
 func BenchmarkFig9DetectionCapability(b *testing.B)      { benchExperiment(b, "fig9") }
@@ -88,6 +108,21 @@ func BenchmarkARCovarianceFit50(b *testing.B) {
 	}
 }
 
+func BenchmarkARCovarianceFitWS50(b *testing.B) {
+	// The zero-allocation path: one warm Workspace reused across fits,
+	// as the detector hot loop runs it.
+	x := benchWindow(50)
+	ws := signal.NewWorkspace()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := signal.FitWS(x, 4, signal.Options{Method: signal.MethodCovariance}, ws)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkModel = m
+	}
+}
+
 func BenchmarkARYuleWalkerFit50(b *testing.B) {
 	x := benchWindow(50)
 	b.ReportAllocs()
@@ -127,6 +162,22 @@ func BenchmarkDetectIllustrativeTrace(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rep, err := repro.Detect(rs, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkReport = rep
+	}
+}
+
+func BenchmarkDetectIllustrativeTraceWS(b *testing.B) {
+	// Detection with a warm reused Workspace — the steady-state cost a
+	// ProcessWindow worker pays per object.
+	rs := benchTrace(b)
+	cfg := repro.DetectorConfig{Mode: repro.WindowByCount, Size: 50, Step: 25, Threshold: 0.105}
+	ws := detector.NewWorkspace()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := detector.DetectWS(rs, cfg, ws)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,118 @@
+// Command benchreport runs registered experiments in Quick mode and
+// writes a machine-readable performance report: per-experiment wall
+// time and heap-allocation statistics (bytes and object counts from
+// runtime.MemStats deltas), plus environment metadata. The default
+// output name BENCH_1.json is the checked-in report format; bump the
+// number for later snapshots so history stays diffable.
+//
+//	benchreport                      # all experiments -> BENCH_1.json
+//	benchreport -run tab1 -out -     # one experiment  -> stdout
+//	benchreport -workers 4
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/parallel"
+)
+
+// Report is the top-level JSON document.
+type Report struct {
+	GoVersion   string            `json:"go_version"`
+	GOMAXPROCS  int               `json:"gomaxprocs"`
+	Workers     int               `json:"workers"`
+	Mode        string            `json:"mode"`
+	Seed        int64             `json:"seed"`
+	Experiments []ExperimentStats `json:"experiments"`
+	TotalWallNS int64             `json:"total_wall_ns"`
+}
+
+// ExperimentStats is one experiment's measurement.
+type ExperimentStats struct {
+	ID         string `json:"id"`
+	WallNS     int64  `json:"wall_ns"`
+	AllocBytes uint64 `json:"alloc_bytes"`
+	Allocs     uint64 `json:"allocs"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
+	var (
+		runID   = fs.String("run", "all", "experiment ID to measure, or \"all\"")
+		seed    = fs.Int64("seed", 1, "top-level random seed")
+		workers = fs.Int("workers", 0, "Monte-Carlo worker goroutines (0 = GOMAXPROCS)")
+		out     = fs.String("out", "BENCH_1.json", "output path, or \"-\" for stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ids := []string{*runID}
+	if *runID == "all" {
+		ids = experiments.IDs()
+	}
+
+	report := Report{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    parallel.Workers(*workers),
+		Mode:       "quick",
+		Seed:       *seed,
+	}
+	opt := experiments.Options{Workers: *workers}
+	for _, id := range ids {
+		stats, err := measure(id, *seed, opt)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		report.Experiments = append(report.Experiments, stats)
+		report.TotalWallNS += stats.WallNS
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		_, err := stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(*out, data, 0o644)
+}
+
+// measure runs one experiment and reports its wall time and the heap
+// traffic it caused. A GC fence before each side of the MemStats read
+// keeps other experiments' garbage out of the deltas; alloc counters in
+// MemStats are monotone, so the subtraction is exact.
+func measure(id string, seed int64, opt experiments.Options) (ExperimentStats, error) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	began := time.Now()
+	if _, err := experiments.RunWith(id, seed, experiments.Quick, opt); err != nil {
+		return ExperimentStats{}, err
+	}
+	wall := time.Since(began)
+	runtime.ReadMemStats(&after)
+	return ExperimentStats{
+		ID:         id,
+		WallNS:     wall.Nanoseconds(),
+		AllocBytes: after.TotalAlloc - before.TotalAlloc,
+		Allocs:     after.Mallocs - before.Mallocs,
+	}, nil
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestSingleExperimentToStdout(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-run", "tab2", "-out", "-"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal([]byte(buf.String()), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(rep.Experiments) != 1 || rep.Experiments[0].ID != "tab2" {
+		t.Fatalf("experiments: %+v", rep.Experiments)
+	}
+	e := rep.Experiments[0]
+	if e.WallNS <= 0 || e.Allocs == 0 || e.AllocBytes == 0 {
+		t.Fatalf("degenerate stats: %+v", e)
+	}
+	if rep.TotalWallNS != e.WallNS {
+		t.Fatalf("total %d != sum %d", rep.TotalWallNS, e.WallNS)
+	}
+	if rep.Workers < 1 || rep.GOMAXPROCS < 1 || rep.GoVersion == "" {
+		t.Fatalf("metadata: %+v", rep)
+	}
+}
+
+func TestWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := run([]string{"-run", "fig2", "-out", path, "-workers", "2"}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Workers != 2 {
+		t.Fatalf("workers = %d, want 2", rep.Workers)
+	}
+}
+
+func TestAllCoversRegistry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	var buf strings.Builder
+	if err := run([]string{"-out", "-"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal([]byte(buf.String()), &rep); err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[string]bool, len(rep.Experiments))
+	for _, e := range rep.Experiments {
+		got[e.ID] = true
+	}
+	for _, id := range experiments.IDs() {
+		if !got[id] {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-run", "fig99", "-out", "-"}, io.Discard); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

@@ -10,7 +10,7 @@ import (
 
 func TestListFlag(t *testing.T) {
 	var buf strings.Builder
-	if err := run([]string{"-list"}, &buf); err != nil {
+	if err := run([]string{"-list"}, &buf, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "fig4") || !strings.Contains(buf.String(), "tab2") {
@@ -20,7 +20,7 @@ func TestListFlag(t *testing.T) {
 
 func TestRunQuickSingle(t *testing.T) {
 	var buf strings.Builder
-	if err := run([]string{"-run", "tab2", "-mode", "quick"}, &buf); err != nil {
+	if err := run([]string{"-run", "tab2", "-mode", "quick"}, &buf, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "modified-weighted-average") {
@@ -30,7 +30,7 @@ func TestRunQuickSingle(t *testing.T) {
 
 func TestRunWritesCSV(t *testing.T) {
 	dir := t.TempDir()
-	if err := run([]string{"-run", "fig2", "-mode", "quick", "-csv", dir}, io.Discard); err != nil {
+	if err := run([]string{"-run", "fig2", "-mode", "quick", "-csv", dir}, io.Discard, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	entries, err := os.ReadDir(dir)
@@ -48,19 +48,48 @@ func TestRunWritesCSV(t *testing.T) {
 }
 
 func TestUnknownExperiment(t *testing.T) {
-	if err := run([]string{"-run", "fig99", "-mode", "quick"}, io.Discard); err == nil {
+	if err := run([]string{"-run", "fig99", "-mode", "quick"}, io.Discard, io.Discard); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
 
 func TestUnknownMode(t *testing.T) {
-	if err := run([]string{"-run", "tab2", "-mode", "turbo"}, io.Discard); err == nil {
+	if err := run([]string{"-run", "tab2", "-mode", "turbo"}, io.Discard, io.Discard); err == nil {
 		t.Fatal("unknown mode accepted")
 	}
 }
 
 func TestBadFlag(t *testing.T) {
-	if err := run([]string{"-nope"}, io.Discard); err == nil {
+	if err := run([]string{"-nope"}, io.Discard, io.Discard); err == nil {
 		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestWorkersFlagAndSummary(t *testing.T) {
+	var out, summary strings.Builder
+	if err := run([]string{"-run", "tab2", "-mode", "quick", "-workers", "3"}, &out, &summary); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(summary.String(), "workers: 3") {
+		t.Fatalf("summary missing worker count:\n%s", summary.String())
+	}
+	if !strings.Contains(summary.String(), "tab2") || !strings.Contains(summary.String(), "total") {
+		t.Fatalf("summary missing wall times:\n%s", summary.String())
+	}
+	if strings.Contains(out.String(), "workers:") {
+		t.Fatal("summary leaked into stdout")
+	}
+}
+
+func TestWorkersInvariance(t *testing.T) {
+	render := func(workers string) string {
+		var out strings.Builder
+		if err := run([]string{"-run", "tab1", "-mode", "quick", "-seed", "7", "-workers", workers}, &out, io.Discard); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	if render("1") != render("4") {
+		t.Fatal("tab1 output differs between 1 and 4 workers")
 	}
 }

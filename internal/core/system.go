@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/detector"
 	"repro/internal/filter"
+	"repro/internal/parallel"
 	"repro/internal/rating"
 	"repro/internal/trust"
 )
@@ -38,6 +39,12 @@ type Config struct {
 	// means the simple average. Set to NoFallback to propagate the
 	// error instead.
 	Fallback trust.Aggregator
+	// Workers bounds the per-object fan-out of ProcessWindow: each
+	// object's filter+detector pass is independent, so a maintenance
+	// window over many objects parallelizes cleanly. 0 or 1 means
+	// serial (the library default); reports are committed in object
+	// order either way, so results are bit-identical for any value.
+	Workers int
 }
 
 // NoFallback disables the aggregation fallback: Aggregate returns
@@ -174,58 +181,87 @@ func (s *System) ProcessWindow(start, end float64) (ProcessReport, error) {
 	objects := s.store.Objects()
 	sort.Slice(objects, func(i, j int) bool { return objects[i] < objects[j] })
 
-	for _, obj := range objects {
-		all, err := s.store.ForObject(obj)
-		if err != nil {
-			return ProcessReport{}, fmt.Errorf("core: %w", err)
-		}
-		var window []rating.Rating
-		for _, r := range all {
-			if r.Time >= start && r.Time < end {
-				window = append(window, r)
+	// Per-object scans are independent (the store is read-only during a
+	// maintenance pass), so they fan out over the worker pool; results
+	// are committed in object order, making the report bit-identical
+	// for any worker count. Each worker owns one detector workspace.
+	workers := s.cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	type objectScan struct {
+		report ObjectReport
+		window []rating.Rating
+		ok     bool
+	}
+	scans, err := parallel.MapLocal(len(objects), workers,
+		detector.NewWorkspace,
+		func(i int, ws *detector.Workspace) (objectScan, error) {
+			obj := objects[i]
+			all, err := s.store.ForObject(obj)
+			if err != nil {
+				return objectScan{}, fmt.Errorf("core: %w", err)
 			}
-		}
-		if len(window) == 0 {
+			var window []rating.Rating
+			for _, r := range all {
+				if r.Time >= start && r.Time < end {
+					window = append(window, r)
+				}
+			}
+			if len(window) == 0 {
+				return objectScan{}, nil
+			}
+
+			res, err := s.cfg.Filter.Apply(window)
+			if err != nil {
+				return objectScan{}, fmt.Errorf("core: filter object %d: %w", obj, err)
+			}
+
+			dcfg := s.cfg.Detector
+			dcfg.Mode = detector.WindowByTime
+			dcfg.T0 = start
+			dcfg.End = end
+			det, err := detector.DetectWS(res.Accepted, dcfg, ws)
+			if err != nil {
+				return objectScan{}, fmt.Errorf("core: detect object %d: %w", obj, err)
+			}
+			return objectScan{
+				report: ObjectReport{
+					Object:     obj,
+					Considered: len(window),
+					Filtered:   len(res.Rejected),
+					Accepted:   res.Accepted,
+					Rejected:   res.Rejected,
+					Detection:  det,
+				},
+				window: window,
+				ok:     true,
+			}, nil
+		})
+	if err != nil {
+		return ProcessReport{}, err
+	}
+
+	for _, scan := range scans {
+		if !scan.ok {
 			continue
 		}
-
-		res, err := s.cfg.Filter.Apply(window)
-		if err != nil {
-			return ProcessReport{}, fmt.Errorf("core: filter object %d: %w", obj, err)
-		}
-
-		dcfg := s.cfg.Detector
-		dcfg.Mode = detector.WindowByTime
-		dcfg.T0 = start
-		dcfg.End = end
-		det, err := detector.Detect(res.Accepted, dcfg)
-		if err != nil {
-			return ProcessReport{}, fmt.Errorf("core: detect object %d: %w", obj, err)
-		}
-
-		report.Objects = append(report.Objects, ObjectReport{
-			Object:     obj,
-			Considered: len(window),
-			Filtered:   len(res.Rejected),
-			Accepted:   res.Accepted,
-			Rejected:   res.Rejected,
-			Detection:  det,
-		})
+		report.Objects = append(report.Objects, scan.report)
 
 		// Procedure 2 inputs: n from the raw window, f from the filter,
 		// s and C from the detector (which only saw accepted ratings, so
 		// f + s <= n holds by construction).
-		for _, r := range window {
+		for _, r := range scan.window {
 			obs := report.Observations[r.Rater]
 			obs.N++
 			report.Observations[r.Rater] = obs
 		}
-		for _, r := range res.Rejected {
+		for _, r := range scan.report.Rejected {
 			obs := report.Observations[r.Rater]
 			obs.Filtered++
 			report.Observations[r.Rater] = obs
 		}
-		for id, stats := range det.PerRater {
+		for id, stats := range scan.report.Detection.PerRater {
 			obs := report.Observations[id]
 			obs.Suspicious += stats.SuspiciousRatings
 			obs.SuspicionMass += stats.Suspicion

@@ -296,3 +296,73 @@ func TestSystemBoundsProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestProcessWindowWorkerInvariance checks the Config.Workers contract:
+// the per-object fan-out must produce a report identical to the serial
+// scan — same object order, same detections, same observations.
+func TestProcessWindowWorkerInvariance(t *testing.T) {
+	p := sim.DefaultMarketplace()
+	p.Reliable, p.Careless, p.PC = 40, 20, 60
+	p.HonestPerMonth, p.DishonestPerMonth = 3, 2
+	p.Months = 2
+	trace, err := sim.GenerateMarketplace(randx.New(9), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	process := func(workers int) []ProcessReport {
+		s := newTestSystem(t, Config{
+			Filter:   filter.Beta{Q: 0.1},
+			Detector: detector.Config{Width: 10, TimeStep: 5, Order: 4, Threshold: 0.10, MinWindow: 25},
+			Trust:    trust.ManagerConfig{B: 1},
+			Workers:  workers,
+		})
+		if err := s.SubmitAll(sim.Ratings(trace.Ratings)); err != nil {
+			t.Fatal(err)
+		}
+		var reps []ProcessReport
+		for m := 0; m < p.Months; m++ {
+			start := float64(m * p.DaysPerMonth)
+			rep, err := s.ProcessWindow(start, start+float64(p.DaysPerMonth))
+			if err != nil {
+				t.Fatal(err)
+			}
+			reps = append(reps, rep)
+		}
+		return reps
+	}
+
+	serial := process(1)
+	for _, workers := range []int{0, 4, 16} {
+		got := process(workers)
+		for m := range serial {
+			a, b := serial[m], got[m]
+			if len(a.Objects) != len(b.Objects) {
+				t.Fatalf("workers=%d month %d: %d objects vs %d", workers, m, len(b.Objects), len(a.Objects))
+			}
+			for i := range a.Objects {
+				oa, ob := a.Objects[i], b.Objects[i]
+				if oa.Object != ob.Object || oa.Considered != ob.Considered || oa.Filtered != ob.Filtered {
+					t.Fatalf("workers=%d month %d object %d differs", workers, m, i)
+				}
+				if len(oa.Detection.Windows) != len(ob.Detection.Windows) {
+					t.Fatalf("workers=%d month %d object %d: window counts differ", workers, m, i)
+				}
+				for w := range oa.Detection.Windows {
+					if oa.Detection.Windows[w].Level != ob.Detection.Windows[w].Level ||
+						oa.Detection.Windows[w].Suspicious != ob.Detection.Windows[w].Suspicious {
+						t.Fatalf("workers=%d month %d object %d window %d differs", workers, m, i, w)
+					}
+				}
+			}
+			if len(a.Observations) != len(b.Observations) {
+				t.Fatalf("workers=%d month %d: observation sizes differ", workers, m)
+			}
+			for id, obs := range a.Observations {
+				if b.Observations[id] != obs {
+					t.Fatalf("workers=%d month %d rater %d: %+v vs %+v", workers, m, id, obs, b.Observations[id])
+				}
+			}
+		}
+	}
+}

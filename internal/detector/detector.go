@@ -174,24 +174,91 @@ func (r Report) ModelErrors() (centers, errs []float64) {
 	return centers, errs
 }
 
+// Workspace carries the reusable state of a detection run: the AR-fit
+// scratch (signal.Workspace), the per-window value buffer, Procedure 1's
+// L_latest map and suspicious-rating marks, plus a rater-count hint used
+// to pre-size each report's PerRater map. Reusing one Workspace across
+// the thousands of Detect calls a marketplace replay makes removes every
+// per-call map/slice rebuild except the returned Report itself.
+//
+// A Workspace is not safe for concurrent use: one Workspace per
+// goroutine, never shared (parallel.MapLocal builds exactly that).
+type Workspace struct {
+	sig          signal.Workspace
+	values       []float64
+	latest       map[rating.RaterID]float64
+	inSuspicious []bool
+	raterHint    int
+}
+
+// NewWorkspace returns an empty Workspace, ready for DetectWS.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// begin shapes the workspace for a run over rs and returns a report
+// with pre-sized maps.
+func (ws *Workspace) begin(rs []rating.Rating, windows int) Report {
+	if ws.latest == nil {
+		ws.latest = make(map[rating.RaterID]float64, ws.raterHint)
+	} else {
+		clear(ws.latest)
+	}
+	if cap(ws.inSuspicious) < len(rs) {
+		ws.inSuspicious = make([]bool, len(rs))
+	} else {
+		ws.inSuspicious = ws.inSuspicious[:len(rs)]
+		for i := range ws.inSuspicious {
+			ws.inSuspicious[i] = false
+		}
+	}
+	hint := ws.raterHint
+	if hint == 0 || hint > len(rs) {
+		hint = len(rs)
+	}
+	return Report{
+		Windows:  make([]WindowReport, 0, windows),
+		PerRater: make(map[rating.RaterID]RaterStats, hint),
+	}
+}
+
+// finish folds the suspicious-rating marks into the report and records
+// the rater count as the next run's pre-sizing hint.
+func (ws *Workspace) finish(report *Report, rs []rating.Rating) {
+	for idx, marked := range ws.inSuspicious {
+		if marked {
+			s := report.PerRater[rs[idx].Rater]
+			s.SuspiciousRatings++
+			report.PerRater[rs[idx].Rater] = s
+		}
+	}
+	ws.raterHint = len(report.PerRater)
+}
+
 // Detect runs Procedure 1 over the time-sorted ratings of one object.
 // Windows too short for the configured AR order are skipped (reported
 // with Fitted == false).
 func Detect(rs []rating.Rating, cfg Config) (Report, error) {
+	return DetectWS(rs, cfg, nil)
+}
+
+// DetectWS is Detect with an explicit scratch workspace, for callers
+// that scan many objects or maintenance windows in a loop. A nil ws
+// uses a transient workspace. The report produced is identical to
+// Detect's for any workspace history.
+func DetectWS(rs []rating.Rating, cfg Config, ws *Workspace) (Report, error) {
 	if err := cfg.Validate(); err != nil {
 		return Report{}, err
 	}
 	cfg = cfg.withDefaults()
+	if ws == nil {
+		ws = &Workspace{}
+	}
 
 	windows, err := buildWindows(rs, cfg)
 	if err != nil {
 		return Report{}, err
 	}
 
-	report := Report{
-		Windows:  make([]WindowReport, 0, len(windows)),
-		PerRater: make(map[rating.RaterID]RaterStats),
-	}
+	report := ws.begin(rs, len(windows))
 	for _, r := range rs {
 		s := report.PerRater[r.Rater]
 		s.TotalRatings++
@@ -202,13 +269,12 @@ func Detect(rs []rating.Rating, cfg Config) (Report, error) {
 	if cfg.MinWindow > minSamples {
 		minSamples = cfg.MinWindow
 	}
-	latest := make(map[rating.RaterID]float64) // Procedure 1's L_latest
-	inSuspicious := make([]bool, len(rs))      // rating index -> marked
 
 	for _, w := range windows {
 		wr := WindowReport{Window: w}
 		if len(w.Ratings) >= minSamples {
-			model, ferr := signal.Fit(w.Values(), cfg.Order, cfg.Signal)
+			ws.values = rating.AppendValues(ws.values[:0], w.Ratings)
+			model, ferr := signal.FitWS(ws.values, cfg.Order, cfg.Signal, &ws.sig)
 			if ferr != nil {
 				if !errors.Is(ferr, signal.ErrTooShort) {
 					return Report{}, fmt.Errorf("detector: window %d: %w", w.Index, ferr)
@@ -227,18 +293,12 @@ func Detect(rs []rating.Rating, cfg Config) (Report, error) {
 			// whose latest level already covers L(k) accrues only the
 			// increment, so overlapping suspicious windows count once at
 			// their maximum level.
-			accrue(&report, rs, w, wr.Level, latest, inSuspicious)
+			accrue(&report, rs, w, wr.Level, ws.latest, ws.inSuspicious)
 		}
 		report.Windows = append(report.Windows, wr)
 	}
 
-	for idx, marked := range inSuspicious {
-		if marked {
-			s := report.PerRater[rs[idx].Rater]
-			s.SuspiciousRatings++
-			report.PerRater[rs[idx].Rater] = s
-		}
-	}
+	ws.finish(&report, rs)
 	return report, nil
 }
 

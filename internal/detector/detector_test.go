@@ -452,3 +452,56 @@ func TestDetectorDeterministicProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestDetectWSMatchesDetect(t *testing.T) {
+	// A dirty, reused workspace must produce exactly Detect's report —
+	// same windows, same per-rater stats — across alternating attacked
+	// and honest traces.
+	cfg := Config{Size: 50, Step: 25, Order: 4, Threshold: 0.105}
+	ws := NewWorkspace()
+	for trial := 0; trial < 8; trial++ {
+		rs := genScenario(int64(trial+1), trial%2 == 0)
+		want, errWant := Detect(rs, cfg)
+		got, errGot := DetectWS(rs, cfg, ws)
+		if (errWant == nil) != (errGot == nil) {
+			t.Fatalf("trial %d: err %v vs %v", trial, errWant, errGot)
+		}
+		if errWant != nil {
+			continue
+		}
+		if len(got.Windows) != len(want.Windows) {
+			t.Fatalf("trial %d: %d windows vs %d", trial, len(got.Windows), len(want.Windows))
+		}
+		for i := range want.Windows {
+			a, b := want.Windows[i], got.Windows[i]
+			if a.Fitted != b.Fitted || a.Suspicious != b.Suspicious || a.Level != b.Level ||
+				a.Model.NormalizedError != b.Model.NormalizedError {
+				t.Fatalf("trial %d window %d differs: %+v vs %+v", trial, i, a, b)
+			}
+		}
+		if len(got.PerRater) != len(want.PerRater) {
+			t.Fatalf("trial %d: PerRater sizes %d vs %d", trial, len(got.PerRater), len(want.PerRater))
+		}
+		for id, s := range want.PerRater {
+			if got.PerRater[id] != s {
+				t.Fatalf("trial %d rater %d: %+v vs %+v", trial, id, s, got.PerRater[id])
+			}
+		}
+	}
+}
+
+func TestDetectWSNilWorkspace(t *testing.T) {
+	cfg := Config{Size: 50, Step: 25, Order: 4, Threshold: 0.105}
+	rs := genScenario(5, true)
+	want, err := Detect(rs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DetectWS(rs, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Windows) != len(want.Windows) || len(got.PerRater) != len(want.PerRater) {
+		t.Fatal("nil-workspace DetectWS differs from Detect")
+	}
+}

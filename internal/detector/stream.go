@@ -27,6 +27,11 @@ type Stream struct {
 	cfg        Config
 	minSamples int
 
+	// sig and values are the reusable AR-fit scratch: a Stream is
+	// single-goroutine by contract, so it owns one workspace for life.
+	sig    signal.Workspace
+	values []float64
+
 	buf []rating.Rating
 	// emitted counts windows already reported.
 	emitted int
@@ -120,7 +125,8 @@ func (s *Stream) fitWindow(member []rating.Rating, start int) (WindowReport, err
 	if len(member) < s.minSamples {
 		return wr, nil
 	}
-	model, err := signal.Fit(rating.Values(member), s.cfg.Order, s.cfg.Signal)
+	s.values = rating.AppendValues(s.values[:0], member)
+	model, err := signal.FitWS(s.values, s.cfg.Order, s.cfg.Signal, &s.sig)
 	if err != nil {
 		if errors.Is(err, signal.ErrTooShort) {
 			return wr, nil

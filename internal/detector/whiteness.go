@@ -69,10 +69,8 @@ func DetectWhiteness(rs []rating.Rating, cfg WhitenessConfig) (Report, error) {
 		return Report{}, err
 	}
 
-	report := Report{
-		Windows:  make([]WindowReport, 0, len(windows)),
-		PerRater: make(map[rating.RaterID]RaterStats),
-	}
+	ws := &Workspace{}
+	report := ws.begin(rs, len(windows))
 	for _, r := range rs {
 		s := report.PerRater[r.Rater]
 		s.TotalRatings++
@@ -83,13 +81,12 @@ func DetectWhiteness(rs []rating.Rating, cfg WhitenessConfig) (Report, error) {
 	if cfg.MinWindow > minSamples {
 		minSamples = cfg.MinWindow
 	}
-	latest := make(map[rating.RaterID]float64)
-	inSuspicious := make([]bool, len(rs))
 
 	for _, w := range windows {
 		wr := WindowReport{Window: w}
 		if len(w.Ratings) >= minSamples {
-			_, p, lerr := stat.LjungBox(w.Values(), cfg.Lags)
+			ws.values = rating.AppendValues(ws.values[:0], w.Ratings)
+			_, p, lerr := stat.LjungBox(ws.values, cfg.Lags)
 			if lerr != nil {
 				return Report{}, fmt.Errorf("detector: whiteness window %d: %w", w.Index, lerr)
 			}
@@ -101,18 +98,12 @@ func DetectWhiteness(rs []rating.Rating, cfg WhitenessConfig) (Report, error) {
 			}
 		}
 		if wr.Suspicious {
-			accrue(&report, rs, w, wr.Level, latest, inSuspicious)
+			accrue(&report, rs, w, wr.Level, ws.latest, ws.inSuspicious)
 		}
 		report.Windows = append(report.Windows, wr)
 	}
 
-	for idx, marked := range inSuspicious {
-		if marked {
-			s := report.PerRater[rs[idx].Rater]
-			s.SuspiciousRatings++
-			report.PerRater[rs[idx].Rater] = s
-		}
-	}
+	ws.finish(&report, rs)
 	return report, nil
 }
 

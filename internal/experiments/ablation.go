@@ -6,6 +6,7 @@ import (
 	"repro/internal/detector"
 	"repro/internal/mathx"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 	"repro/internal/randx"
 	"repro/internal/signal"
 	"repro/internal/sim"
@@ -27,60 +28,73 @@ type separation struct {
 
 // separationStudy measures how well a detector configuration separates
 // honest from attacked windows on the §III.A.2 workload.
-func separationStudy(seed int64, runs int, cfg detector.Config) (separation, error) {
+func separationStudy(seed int64, runs, workers int, cfg detector.Config) (separation, error) {
 	rng := randx.New(seed)
 	probe := cfg
 	probe.Threshold = 0.999
 
+	type runErrs struct {
+		honestErrs, attackErrs []float64
+		honestMin, attackMin   float64
+	}
+	seeds := rng.Seeds(runs)
+	perRun, err := parallel.MapLocal(runs, workers,
+		detector.NewWorkspace,
+		func(i int, ws *detector.Workspace) (runErrs, error) {
+			local := randx.New(seeds[i])
+			p := sim.DefaultIllustrative()
+			attacked, err := sim.GenerateIllustrative(local, p)
+			if err != nil {
+				return runErrs{}, err
+			}
+			repA, err := detector.DetectWS(sim.Ratings(attacked), probe, ws)
+			if err != nil {
+				return runErrs{}, err
+			}
+			pHonest := p
+			pHonest.Attack = false
+			honest, err := sim.GenerateIllustrative(local.Split(), pHonest)
+			if err != nil {
+				return runErrs{}, err
+			}
+			repH, err := detector.DetectWS(sim.Ratings(honest), probe, ws)
+			if err != nil {
+				return runErrs{}, err
+			}
+
+			out := runErrs{honestMin: 1.0, attackMin: 1.0}
+			for _, w := range repH.Windows {
+				if w.Fitted {
+					out.honestErrs = append(out.honestErrs, w.Model.NormalizedError)
+					if w.Model.NormalizedError < out.honestMin {
+						out.honestMin = w.Model.NormalizedError
+					}
+				}
+			}
+			for _, w := range repA.Windows {
+				if !w.Fitted {
+					continue
+				}
+				center := (w.Window.Start + w.Window.End) / 2
+				if center >= p.AStart && center <= p.AEnd {
+					out.attackErrs = append(out.attackErrs, w.Model.NormalizedError)
+					if w.Model.NormalizedError < out.attackMin {
+						out.attackMin = w.Model.NormalizedError
+					}
+				}
+			}
+			return out, nil
+		})
+	if err != nil {
+		return separation{}, err
+	}
 	var honestErrs, attackErrs, honestMins []float64
 	var attackMins []float64 // per attacked run: min error among in-attack windows
-	for i := 0; i < runs; i++ {
-		local := rng.Split()
-		p := sim.DefaultIllustrative()
-		attacked, err := sim.GenerateIllustrative(local, p)
-		if err != nil {
-			return separation{}, err
-		}
-		repA, err := detector.Detect(sim.Ratings(attacked), probe)
-		if err != nil {
-			return separation{}, err
-		}
-		pHonest := p
-		pHonest.Attack = false
-		honest, err := sim.GenerateIllustrative(local.Split(), pHonest)
-		if err != nil {
-			return separation{}, err
-		}
-		repH, err := detector.Detect(sim.Ratings(honest), probe)
-		if err != nil {
-			return separation{}, err
-		}
-
-		runMin := 1.0
-		for _, w := range repH.Windows {
-			if w.Fitted {
-				honestErrs = append(honestErrs, w.Model.NormalizedError)
-				if w.Model.NormalizedError < runMin {
-					runMin = w.Model.NormalizedError
-				}
-			}
-		}
-		honestMins = append(honestMins, runMin)
-
-		attackMin := 1.0
-		for _, w := range repA.Windows {
-			if !w.Fitted {
-				continue
-			}
-			center := (w.Window.Start + w.Window.End) / 2
-			if center >= p.AStart && center <= p.AEnd {
-				attackErrs = append(attackErrs, w.Model.NormalizedError)
-				if w.Model.NormalizedError < attackMin {
-					attackMin = w.Model.NormalizedError
-				}
-			}
-		}
-		attackMins = append(attackMins, attackMin)
+	for _, r := range perRun {
+		honestErrs = append(honestErrs, r.honestErrs...)
+		attackErrs = append(attackErrs, r.attackErrs...)
+		honestMins = append(honestMins, r.honestMin)
+		attackMins = append(attackMins, r.attackMin)
 	}
 
 	out := separation{
@@ -133,13 +147,14 @@ var separationColumns = []string{
 // Matlab covm pipeline) against demeaning first. Demeaning removes the
 // DC component the detector keys on, collapsing the separation — the
 // evidence for DESIGN.md's choice of raw fits.
-func AblationDemean(seed int64, mode Mode) (Result, error) {
+func AblationDemean(seed int64, mode Mode, opt Options) (Result, error) {
 	runs := runsFor(mode, 120, 20)
+	workers := parallel.Workers(opt.Workers)
 	table := Table{Title: "raw vs demeaned AR fits", Columns: separationColumns}
 	for _, demean := range []bool{false, true} {
 		cfg := illustrativeDetectorConfig()
 		cfg.Signal = signal.Options{Demean: demean}
-		s, err := separationStudy(seed, runs, cfg)
+		s, err := separationStudy(seed, runs, workers, cfg)
 		if err != nil {
 			return Result{}, err
 		}
@@ -159,13 +174,14 @@ func AblationDemean(seed int64, mode Mode) (Result, error) {
 
 // AblationARMethod compares the covariance method against Yule-Walker
 // and Burg estimators.
-func AblationARMethod(seed int64, mode Mode) (Result, error) {
+func AblationARMethod(seed int64, mode Mode, opt Options) (Result, error) {
 	runs := runsFor(mode, 120, 20)
+	workers := parallel.Workers(opt.Workers)
 	table := Table{Title: "AR estimator comparison", Columns: separationColumns}
 	for _, method := range []signal.Method{signal.MethodCovariance, signal.MethodYuleWalker, signal.MethodBurg} {
 		cfg := illustrativeDetectorConfig()
 		cfg.Signal = signal.Options{Method: method}
-		s, err := separationStudy(seed, runs, cfg)
+		s, err := separationStudy(seed, runs, workers, cfg)
 		if err != nil {
 			return Result{}, err
 		}
@@ -180,13 +196,14 @@ func AblationARMethod(seed int64, mode Mode) (Result, error) {
 }
 
 // AblationOrder sweeps the AR model order.
-func AblationOrder(seed int64, mode Mode) (Result, error) {
+func AblationOrder(seed int64, mode Mode, opt Options) (Result, error) {
 	runs := runsFor(mode, 120, 20)
+	workers := parallel.Workers(opt.Workers)
 	table := Table{Title: "AR model order sweep", Columns: separationColumns}
 	for _, order := range []int{2, 4, 6, 8, 12} {
 		cfg := illustrativeDetectorConfig()
 		cfg.Order = order
-		s, err := separationStudy(seed, runs, cfg)
+		s, err := separationStudy(seed, runs, workers, cfg)
 		if err != nil {
 			return Result{}, err
 		}
@@ -201,14 +218,15 @@ func AblationOrder(seed int64, mode Mode) (Result, error) {
 }
 
 // AblationWindow sweeps the detection window size (with 50% overlap).
-func AblationWindow(seed int64, mode Mode) (Result, error) {
+func AblationWindow(seed int64, mode Mode, opt Options) (Result, error) {
 	runs := runsFor(mode, 120, 20)
+	workers := parallel.Workers(opt.Workers)
 	table := Table{Title: "detector window sweep", Columns: separationColumns}
 	for _, size := range []int{30, 50, 70, 100} {
 		cfg := illustrativeDetectorConfig()
 		cfg.Size = size
 		cfg.Step = size / 2
-		s, err := separationStudy(seed, runs, cfg)
+		s, err := separationStudy(seed, runs, workers, cfg)
 		if err != nil {
 			return Result{}, err
 		}
@@ -224,7 +242,7 @@ func AblationWindow(seed int64, mode Mode) (Result, error) {
 
 // AblationThresholdROC sweeps the model-error threshold and reports the
 // resulting detection/false-alarm operating curve.
-func AblationThresholdROC(seed int64, mode Mode) (Result, error) {
+func AblationThresholdROC(seed int64, mode Mode, opt Options) (Result, error) {
 	runs := runsFor(mode, 120, 20)
 	rng := randx.New(seed)
 	probe := illustrativeDetectorConfig()
@@ -234,28 +252,33 @@ func AblationThresholdROC(seed int64, mode Mode) (Result, error) {
 		attacked, honest detector.Report
 		start, end       float64
 	}
-	pairs := make([]pair, 0, runs)
-	for i := 0; i < runs; i++ {
-		local := rng.Split()
-		p := sim.DefaultIllustrative()
-		attacked, err := sim.GenerateIllustrative(local, p)
-		if err != nil {
-			return Result{}, err
-		}
-		repA, err := detector.Detect(sim.Ratings(attacked), probe)
-		if err != nil {
-			return Result{}, err
-		}
-		p.Attack = false
-		honest, err := sim.GenerateIllustrative(local.Split(), p)
-		if err != nil {
-			return Result{}, err
-		}
-		repH, err := detector.Detect(sim.Ratings(honest), probe)
-		if err != nil {
-			return Result{}, err
-		}
-		pairs = append(pairs, pair{attacked: repA, honest: repH, start: 30, end: 44})
+	seeds := rng.Seeds(runs)
+	pairs, err := parallel.MapLocal(runs, parallel.Workers(opt.Workers),
+		detector.NewWorkspace,
+		func(i int, ws *detector.Workspace) (pair, error) {
+			local := randx.New(seeds[i])
+			p := sim.DefaultIllustrative()
+			attacked, err := sim.GenerateIllustrative(local, p)
+			if err != nil {
+				return pair{}, err
+			}
+			repA, err := detector.DetectWS(sim.Ratings(attacked), probe, ws)
+			if err != nil {
+				return pair{}, err
+			}
+			p.Attack = false
+			honest, err := sim.GenerateIllustrative(local.Split(), p)
+			if err != nil {
+				return pair{}, err
+			}
+			repH, err := detector.DetectWS(sim.Ratings(honest), probe, ws)
+			if err != nil {
+				return pair{}, err
+			}
+			return pair{attacked: repA, honest: repH, start: 30, end: 44}, nil
+		})
+	if err != nil {
+		return Result{}, err
 	}
 
 	det := Series{Name: "detection-ratio"}
@@ -319,7 +342,7 @@ func minWindowError(rep detector.Report, start, end float64) float64 {
 // AblationTrustFloor sweeps Method 3's trust floor on the tab2 case
 // study (floor 0.5 is the paper's "neutral" cut; floor 0 degenerates to
 // the plain trust-weighted average).
-func AblationTrustFloor(seed int64, mode Mode) (Result, error) {
+func AblationTrustFloor(seed int64, mode Mode, opt Options) (Result, error) {
 	runs := runsFor(mode, 500, 50)
 	rng := randx.New(seed)
 
@@ -333,26 +356,46 @@ func AblationTrustFloor(seed int64, mode Mode) (Result, error) {
 		{"floor 0.6", trust.ModifiedWeightedAverage{Floor: 0.6}},
 		{"floor 0.7", trust.ModifiedWeightedAverage{Floor: 0.7}},
 	}
+	type runVals struct {
+		vals []float64
+		fail []bool
+	}
+	seeds := rng.Seeds(runs)
+	perRun, err := parallel.Map(runs, parallel.Workers(opt.Workers),
+		func(i int) (runVals, error) {
+			local := randx.New(seeds[i])
+			var ratings, trusts []float64
+			for j := 0; j < 10; j++ {
+				ratings = append(ratings, mathx.Clamp(local.Normal(0.8, 0.05), 0, 1))
+				trusts = append(trusts, mathx.Clamp(local.Normal(0.95, 0.05), 0, 1))
+			}
+			for j := 0; j < 10; j++ {
+				ratings = append(ratings, mathx.Clamp(local.Normal(0.4, 0.02), 0, 1))
+				trusts = append(trusts, mathx.Clamp(local.Normal(0.6, 0.1), 0, 1))
+			}
+			out := runVals{vals: make([]float64, len(aggs)), fail: make([]bool, len(aggs))}
+			for k, a := range aggs {
+				v, err := a.agg.Aggregate(ratings, trusts)
+				if err != nil {
+					out.fail[k] = true
+					continue
+				}
+				out.vals[k] = v
+			}
+			return out, nil
+		})
+	if err != nil {
+		return Result{}, err
+	}
 	sums := make([]float64, len(aggs))
 	fails := make([]int, len(aggs))
-	for i := 0; i < runs; i++ {
-		local := rng.Split()
-		var ratings, trusts []float64
-		for j := 0; j < 10; j++ {
-			ratings = append(ratings, mathx.Clamp(local.Normal(0.8, 0.05), 0, 1))
-			trusts = append(trusts, mathx.Clamp(local.Normal(0.95, 0.05), 0, 1))
-		}
-		for j := 0; j < 10; j++ {
-			ratings = append(ratings, mathx.Clamp(local.Normal(0.4, 0.02), 0, 1))
-			trusts = append(trusts, mathx.Clamp(local.Normal(0.6, 0.1), 0, 1))
-		}
-		for k, a := range aggs {
-			v, err := a.agg.Aggregate(ratings, trusts)
-			if err != nil {
+	for _, r := range perRun {
+		for k := range aggs {
+			if r.fail[k] {
 				fails[k]++
-				continue
+			} else {
+				sums[k] += r.vals[k]
 			}
-			sums[k] += v
 		}
 	}
 	table := Table{

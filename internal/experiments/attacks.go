@@ -6,6 +6,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/core"
 	"repro/internal/detector"
+	"repro/internal/parallel"
 	"repro/internal/randx"
 	"repro/internal/rating"
 	"repro/internal/sim"
@@ -26,9 +27,11 @@ import (
 //     trace (same-pipeline baselining cancels the Beta filter's
 //     truncation bias, which raises any aggregate of wide honest noise);
 //   - residual damage: proposed / naive (lower = better defense).
-func AblationAttacks(seed int64, mode Mode) (Result, error) {
+func AblationAttacks(seed int64, mode Mode, opt Options) (Result, error) {
 	runs := runsFor(mode, 60, 10)
 	rng := randx.New(seed)
+	workers := parallel.Workers(opt.Workers)
+	strats := attack.All()
 
 	table := Table{
 		Title: "adaptive-attack robustness (illustrative workload)",
@@ -37,55 +40,76 @@ func AblationAttacks(seed int64, mode Mode) (Result, error) {
 		},
 	}
 
-	var notes []string
-	for _, strat := range attack.All() {
-		var detected int
-		var naiveDamage, proposedDamage []float64
-		for i := 0; i < runs; i++ {
-			local := rng.Split()
-			p := sim.DefaultIllustrative()
-			p.Attack = false
-			honest, err := sim.GenerateIllustrative(local, p)
-			if err != nil {
-				return Result{}, err
-			}
-			campaign, err := strat.Plan(local.Split(), attack.Params{
-				Object:   p.Object,
-				Start:    p.AStart,
-				End:      p.AEnd,
-				Rate:     p.ArrivalRate * p.RecruitPower2,
-				Bias:     p.BiasShift2,
-				Variance: p.BadVar,
-				Levels:   p.RLevels,
-			}, p.Quality)
-			if err != nil {
-				return Result{}, fmt.Errorf("%s: %w", strat.Name(), err)
-			}
-			combined := append(append([]sim.LabeledRating(nil), honest...), campaign...)
-			sim.SortByTime(combined)
-			rs := sim.Ratings(combined)
+	// The serial loop drew one stream seed per (strategy, run) in
+	// flat order, so all of them are pre-drawn at once.
+	seeds := rng.Seeds(len(strats) * runs)
+	type outcome struct {
+		detected               bool
+		naiveDamage, propDamage float64
+	}
 
-			rep, err := detector.Detect(rs, illustrativeDetectorConfig())
-			if err != nil {
-				return Result{}, err
-			}
-			if anySuspiciousOverlapping(rep, p.AStart, p.AEnd) {
+	var notes []string
+	for s, strat := range strats {
+		outs, err := parallel.MapLocal(runs, workers,
+			detector.NewWorkspace,
+			func(i int, ws *detector.Workspace) (outcome, error) {
+				local := randx.New(seeds[s*runs+i])
+				p := sim.DefaultIllustrative()
+				p.Attack = false
+				honest, err := sim.GenerateIllustrative(local, p)
+				if err != nil {
+					return outcome{}, err
+				}
+				campaign, err := strat.Plan(local.Split(), attack.Params{
+					Object:   p.Object,
+					Start:    p.AStart,
+					End:      p.AEnd,
+					Rate:     p.ArrivalRate * p.RecruitPower2,
+					Bias:     p.BiasShift2,
+					Variance: p.BadVar,
+					Levels:   p.RLevels,
+				}, p.Quality)
+				if err != nil {
+					return outcome{}, fmt.Errorf("%s: %w", strat.Name(), err)
+				}
+				combined := append(append([]sim.LabeledRating(nil), honest...), campaign...)
+				sim.SortByTime(combined)
+				rs := sim.Ratings(combined)
+
+				rep, err := detector.DetectWS(rs, illustrativeDetectorConfig(), ws)
+				if err != nil {
+					return outcome{}, err
+				}
+				var out outcome
+				out.detected = anySuspiciousOverlapping(rep, p.AStart, p.AEnd)
+
+				honestMean := stat.Mean(rating.Values(sim.Ratings(honest)))
+				naive := stat.Mean(rating.Values(rs))
+
+				attackedAgg, err := pipelineAggregate(rs, p.Object)
+				if err != nil {
+					return outcome{}, err
+				}
+				honestAgg, err := pipelineAggregate(sim.Ratings(honest), p.Object)
+				if err != nil {
+					return outcome{}, err
+				}
+				out.naiveDamage = naive - honestMean
+				out.propDamage = attackedAgg - honestAgg
+				return out, nil
+			})
+		if err != nil {
+			return Result{}, err
+		}
+		var detected int
+		naiveDamage := make([]float64, 0, runs)
+		proposedDamage := make([]float64, 0, runs)
+		for _, o := range outs {
+			if o.detected {
 				detected++
 			}
-
-			honestMean := stat.Mean(rating.Values(sim.Ratings(honest)))
-			naive := stat.Mean(rating.Values(rs))
-
-			attackedAgg, err := pipelineAggregate(rs, p.Object)
-			if err != nil {
-				return Result{}, err
-			}
-			honestAgg, err := pipelineAggregate(sim.Ratings(honest), p.Object)
-			if err != nil {
-				return Result{}, err
-			}
-			naiveDamage = append(naiveDamage, naive-honestMean)
-			proposedDamage = append(proposedDamage, attackedAgg-honestAgg)
+			naiveDamage = append(naiveDamage, o.naiveDamage)
+			proposedDamage = append(proposedDamage, o.propDamage)
 		}
 
 		nd := stat.Mean(naiveDamage)

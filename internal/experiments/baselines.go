@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/filter"
+	"repro/internal/parallel"
 	"repro/internal/rating"
 )
 
@@ -16,8 +17,8 @@ import (
 // fair ratings does it reject (false alarm)? The proposed AR pipeline
 // (filter rejections plus suspicious-window membership, as in fig9) is
 // the last row.
-func AblationBaselines(seed int64, mode Mode) (Result, error) {
-	run, err := runMarketplace(seed, paramsFor(mode, nil))
+func AblationBaselines(seed int64, mode Mode, opt Options) (Result, error) {
+	run, err := runMarketplace(seed, paramsFor(mode, nil), parallel.Workers(opt.Workers))
 	if err != nil {
 		return Result{}, err
 	}

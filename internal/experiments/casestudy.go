@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/mathx"
+	"repro/internal/parallel"
 	"repro/internal/randx"
 	"repro/internal/trust"
 )
@@ -17,30 +18,44 @@ import (
 //
 // The case study's tight spreads are treated as standard deviations
 // (see DESIGN.md, variance semantics).
-func Tab2Aggregators(seed int64, mode Mode) (Result, error) {
+func Tab2Aggregators(seed int64, mode Mode, opt Options) (Result, error) {
 	runs := runsFor(mode, 500, 50)
 	rng := randx.New(seed)
 
-	sums := make(map[string]float64)
 	methods := trust.Methods()
-	for i := 0; i < runs; i++ {
-		local := rng.Split()
-		ratings := make([]float64, 0, 20)
-		trusts := make([]float64, 0, 20)
-		for j := 0; j < 10; j++ {
-			ratings = append(ratings, mathx.Clamp(local.Normal(0.8, 0.05), 0, 1))
-			trusts = append(trusts, mathx.Clamp(local.Normal(0.95, 0.05), 0, 1))
-		}
-		for j := 0; j < 10; j++ {
-			ratings = append(ratings, mathx.Clamp(local.Normal(0.4, 0.02), 0, 1))
-			trusts = append(trusts, mathx.Clamp(local.Normal(0.6, 0.1), 0, 1))
-		}
-		for _, m := range methods {
-			v, err := m.Aggregate(ratings, trusts)
-			if err != nil {
-				return Result{}, fmt.Errorf("tab2 %s: %w", m.Name(), err)
+	seeds := rng.Seeds(runs)
+	perRun, err := parallel.Map(runs, parallel.Workers(opt.Workers),
+		func(i int) ([]float64, error) {
+			local := randx.New(seeds[i])
+			ratings := make([]float64, 0, 20)
+			trusts := make([]float64, 0, 20)
+			for j := 0; j < 10; j++ {
+				ratings = append(ratings, mathx.Clamp(local.Normal(0.8, 0.05), 0, 1))
+				trusts = append(trusts, mathx.Clamp(local.Normal(0.95, 0.05), 0, 1))
 			}
-			sums[m.Name()] += v
+			for j := 0; j < 10; j++ {
+				ratings = append(ratings, mathx.Clamp(local.Normal(0.4, 0.02), 0, 1))
+				trusts = append(trusts, mathx.Clamp(local.Normal(0.6, 0.1), 0, 1))
+			}
+			vals := make([]float64, len(methods))
+			for k, m := range methods {
+				v, err := m.Aggregate(ratings, trusts)
+				if err != nil {
+					return nil, fmt.Errorf("tab2 %s: %w", m.Name(), err)
+				}
+				vals[k] = v
+			}
+			return vals, nil
+		})
+	if err != nil {
+		return Result{}, err
+	}
+	// Summed in run order, so the floating-point totals match the
+	// serial loop exactly.
+	sums := make(map[string]float64)
+	for _, vals := range perRun {
+		for k, m := range methods {
+			sums[m.Name()] += vals[k]
 		}
 	}
 

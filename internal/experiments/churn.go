@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/parallel"
 	"repro/internal/randx"
 	"repro/internal/rating"
 )
@@ -25,7 +26,7 @@ import (
 // already lifts honest raters above the floor), while extreme churn
 // starves the trust-weighted path and degrades toward the naive
 // average.
-func AblationChurn(seed int64, mode Mode) (Result, error) {
+func AblationChurn(seed int64, mode Mode, opt Options) (Result, error) {
 	months := 12
 	population := 100
 	if mode == Quick {
@@ -44,11 +45,14 @@ func AblationChurn(seed int64, mode Mode) (Result, error) {
 	}
 
 	rng := randx.New(seed)
-	for _, churn := range churnRates {
-		local := rng.Split()
+	// One stream per churn rate; the whole sweep fans out.
+	seeds := rng.Seeds(len(churnRates))
+	rows, err := parallel.Map(len(churnRates), parallel.Workers(opt.Workers), func(ci int) ([]string, error) {
+		churn := churnRates[ci]
+		local := randx.New(seeds[ci])
 		sys, err := core.NewSystem(core.Config{})
 		if err != nil {
-			return Result{}, err
+			return nil, err
 		}
 
 		active := make([]rating.RaterID, population)
@@ -78,7 +82,7 @@ func AblationChurn(seed int64, mode Mode) (Result, error) {
 						Value:  v,
 						Time:   start + local.Uniform(0, daysPerMonth),
 					}); err != nil {
-						return Result{}, err
+						return nil, err
 					}
 				}
 			}
@@ -87,10 +91,10 @@ func AblationChurn(seed int64, mode Mode) (Result, error) {
 			// month's newcomers still sit at the neutral floor.
 			agg, err := sys.Aggregate(obj)
 			if err != nil {
-				return Result{}, err
+				return nil, err
 			}
 			if _, err := sys.ProcessWindow(start, start+daysPerMonth); err != nil {
-				return Result{}, err
+				return nil, err
 			}
 			aggregates++
 			if agg.FellBack {
@@ -103,13 +107,17 @@ func AblationChurn(seed int64, mode Mode) (Result, error) {
 		for _, id := range active {
 			trustSum += sys.TrustIn(id)
 		}
-		table.Rows = append(table.Rows, []string{
+		return []string{
 			fmt.Sprintf("%.0f%%", 100*churn),
 			f(trustSum / float64(population)),
 			f(float64(fallbacks) / float64(aggregates)),
 			f(math.Sqrt(sqErr / float64(aggregates))),
-		})
+		}, nil
+	})
+	if err != nil {
+		return Result{}, err
 	}
+	table.Rows = append(table.Rows, rows...)
 
 	return Result{
 		ID:    "ablation-churn",

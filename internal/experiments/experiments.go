@@ -3,6 +3,12 @@
 // DESIGN.md. Each runner is a pure function of (seed, mode) returning a
 // structured Result that cmd/experiments renders as text/CSV and the
 // root benchmarks execute.
+//
+// Monte-Carlo runners fan their independent iterations out over
+// internal/parallel. The per-iteration stream seeds are pre-drawn from
+// the base RNG in index order (randx.Rand.Seeds), so the Result is
+// bit-identical for every worker count — Options.Workers only changes
+// wall-clock time, never a number.
 package experiments
 
 import (
@@ -56,8 +62,16 @@ type Result struct {
 	Tables []Table
 }
 
+// Options carries cross-cutting execution knobs. The zero value is the
+// default configuration.
+type Options struct {
+	// Workers bounds the Monte-Carlo fan-out; <= 0 means GOMAXPROCS.
+	// Results are bit-identical for every value (see the package doc).
+	Workers int
+}
+
 // Runner executes one experiment.
-type Runner func(seed int64, mode Mode) (Result, error)
+type Runner func(seed int64, mode Mode, opt Options) (Result, error)
 
 // ErrUnknownExperiment is returned for unregistered IDs.
 var ErrUnknownExperiment = errors.New("experiments: unknown experiment")
@@ -107,13 +121,18 @@ func IDs() []string {
 	return out
 }
 
-// Run executes one experiment by ID.
+// Run executes one experiment by ID with default Options.
 func Run(id string, seed int64, mode Mode) (Result, error) {
+	return RunWith(id, seed, mode, Options{})
+}
+
+// RunWith executes one experiment by ID with explicit Options.
+func RunWith(id string, seed int64, mode Mode, opt Options) (Result, error) {
 	runner, ok := registry()[id]
 	if !ok {
 		return Result{}, fmt.Errorf("%q: %w", id, ErrUnknownExperiment)
 	}
-	return runner(seed, mode)
+	return runner(seed, mode, opt)
 }
 
 // RenderText writes a human-readable report of r.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strconv"
 	"strings"
 	"testing"
@@ -345,5 +346,53 @@ func TestFig12Shape(t *testing.T) {
 	// Simple average must be visibly boosted on dishonest products.
 	if devSimple < 0.05 {
 		t.Fatalf("simple-average deviation %.3f suspiciously small — attack missing?", devSimple)
+	}
+}
+
+// TestWorkerCountInvariance is the package's core determinism contract:
+// every registered experiment must produce a bit-identical Result no
+// matter how many workers the Monte-Carlo fan-out uses.
+func TestWorkerCountInvariance(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			ref, err := RunWith(id, 11, Quick, Options{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := RunWith(id, 11, Quick, Options{Workers: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(ref, got) {
+				var bufA, bufB bytes.Buffer
+				_ = RenderText(&bufA, ref)
+				_ = RenderText(&bufB, got)
+				t.Fatalf("workers=1 vs workers=3 differ:\n--- 1 ---\n%s\n--- 3 ---\n%s", bufA.String(), bufB.String())
+			}
+		})
+	}
+}
+
+// TestWorkerSweepTab1Fig6 deepens the invariance check on the two
+// benchmark-anchor experiments across a wider worker sweep.
+func TestWorkerSweepTab1Fig6(t *testing.T) {
+	for _, id := range []string{"tab1", "fig6"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			ref, err := RunWith(id, 5, Quick, Options{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{4, 16} {
+				got, err := RunWith(id, 5, Quick, Options{Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(ref, got) {
+					t.Fatalf("%s: workers=%d Result differs from workers=1", id, workers)
+				}
+			}
+		})
 	}
 }

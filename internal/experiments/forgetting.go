@@ -22,7 +22,7 @@ import (
 // Without forgetting (λ = 1) a long history dominates and both lags
 // blow up; aggressive forgetting shortens them at the cost of less
 // stable steady-state trust.
-func AblationForgetting(seed int64, mode Mode) (Result, error) {
+func AblationForgetting(seed int64, mode Mode, _ Options) (Result, error) {
 	_ = seed // fully deterministic scenario
 	const (
 		months     = 12

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/detector"
 	"repro/internal/filter"
+	"repro/internal/parallel"
 	"repro/internal/randx"
 	"repro/internal/rating"
 	"repro/internal/sim"
@@ -31,7 +32,7 @@ func illustrativeDetectorConfig() detector.Config {
 
 // Fig2RawRatings regenerates Fig 2: the raw rating scatter of the
 // illustrative scenario, one series per rater class.
-func Fig2RawRatings(seed int64, _ Mode) (Result, error) {
+func Fig2RawRatings(seed int64, _ Mode, _ Options) (Result, error) {
 	rng := randx.New(seed)
 	ls, err := sim.GenerateIllustrative(rng, sim.DefaultIllustrative())
 	if err != nil {
@@ -71,7 +72,7 @@ func Fig2RawRatings(seed int64, _ Mode) (Result, error) {
 // Fig3Histogram regenerates Fig 3: rating-score histograms with and
 // without collaborative raters, demonstrating that the histogram alone
 // cannot separate the populations.
-func Fig3Histogram(seed int64, _ Mode) (Result, error) {
+func Fig3Histogram(seed int64, _ Mode, _ Options) (Result, error) {
 	rng := randx.New(seed)
 	p := sim.DefaultIllustrative()
 	attacked, err := sim.GenerateIllustrative(rng, p)
@@ -148,7 +149,7 @@ func histogramOverlap(a, b []float64) float64 {
 // Fig4ModelError regenerates Fig 4: the moving average of ratings
 // (honest-only, with collaborative raters, and after beta filtering)
 // and the AR model error with/without collaborative raters.
-func Fig4ModelError(seed int64, _ Mode) (Result, error) {
+func Fig4ModelError(seed int64, _ Mode, _ Options) (Result, error) {
 	rng := randx.New(seed)
 	p := sim.DefaultIllustrative()
 	attacked, err := sim.GenerateIllustrative(rng, p)
@@ -246,36 +247,51 @@ func meanErrorIn(rep detector.Report, start, end float64) float64 {
 // suspicious window overlapping the attack interval (detection ratio)
 // and the fraction of honest traces with any suspicious window (false
 // alarm ratio). The paper reports 0.782 / 0.06 over 500 runs.
-func Tab1DetectionRates(seed int64, mode Mode) (Result, error) {
+func Tab1DetectionRates(seed int64, mode Mode, opt Options) (Result, error) {
 	runs := runsFor(mode, 500, 40)
 	rng := randx.New(seed)
 	cfg := illustrativeDetectorConfig()
 
+	// Per-run stream seeds are pre-drawn in index order, so the fan-out
+	// below reproduces the serial per-run Split draws exactly.
+	seeds := rng.Seeds(runs)
+	type outcome struct{ detected, falseAlarm bool }
+	outs, err := parallel.MapLocal(runs, parallel.Workers(opt.Workers),
+		detector.NewWorkspace,
+		func(i int, ws *detector.Workspace) (outcome, error) {
+			local := randx.New(seeds[i])
+			p := sim.DefaultIllustrative()
+			attacked, err := sim.GenerateIllustrative(local, p)
+			if err != nil {
+				return outcome{}, err
+			}
+			rep, err := detector.DetectWS(sim.Ratings(attacked), cfg, ws)
+			if err != nil {
+				return outcome{}, err
+			}
+			var out outcome
+			out.detected = anySuspiciousOverlapping(rep, p.AStart, p.AEnd)
+			p.Attack = false
+			honest, err := sim.GenerateIllustrative(local.Split(), p)
+			if err != nil {
+				return outcome{}, err
+			}
+			rep, err = detector.DetectWS(sim.Ratings(honest), cfg, ws)
+			if err != nil {
+				return outcome{}, err
+			}
+			out.falseAlarm = len(rep.SuspiciousWindows()) > 0
+			return out, nil
+		})
+	if err != nil {
+		return Result{}, err
+	}
 	var detected, falseAlarm int
-	for i := 0; i < runs; i++ {
-		local := rng.Split()
-		p := sim.DefaultIllustrative()
-		attacked, err := sim.GenerateIllustrative(local, p)
-		if err != nil {
-			return Result{}, err
-		}
-		rep, err := detector.Detect(sim.Ratings(attacked), cfg)
-		if err != nil {
-			return Result{}, err
-		}
-		if anySuspiciousOverlapping(rep, p.AStart, p.AEnd) {
+	for _, o := range outs {
+		if o.detected {
 			detected++
 		}
-		p.Attack = false
-		honest, err := sim.GenerateIllustrative(local.Split(), p)
-		if err != nil {
-			return Result{}, err
-		}
-		rep, err = detector.Detect(sim.Ratings(honest), cfg)
-		if err != nil {
-			return Result{}, err
-		}
-		if len(rep.SuspiciousWindows()) > 0 {
+		if o.falseAlarm {
 			falseAlarm++
 		}
 	}

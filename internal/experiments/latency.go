@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/detector"
+	"repro/internal/parallel"
 	"repro/internal/randx"
 	"repro/internal/sim"
 	"repro/internal/stat"
@@ -15,16 +16,21 @@ import (
 // the first suspicious window that overlaps it? Smaller window steps
 // trade extra AR fits for earlier alarms, so the sweep runs over step
 // sizes at a fixed 50-rating window.
-func AblationLatency(seed int64, mode Mode) (Result, error) {
+func AblationLatency(seed int64, mode Mode, opt Options) (Result, error) {
 	runs := runsFor(mode, 120, 20)
 	rng := randx.New(seed)
+	workers := parallel.Workers(opt.Workers)
 
 	table := Table{
 		Title:   "streaming detection latency (days after attack onset)",
 		Columns: []string{"window step", "detected", "mean", "median", "p90"},
 	}
 
-	for _, step := range []int{5, 10, 25, 50} {
+	steps := []int{5, 10, 25, 50}
+	// One stream seed per (step, run), pre-drawn in the serial loop's
+	// flat order.
+	seeds := rng.Seeds(len(steps) * runs)
+	for si, step := range steps {
 		cfg := detector.Config{
 			Mode:      detector.WindowByCount,
 			Size:      50,
@@ -33,25 +39,23 @@ func AblationLatency(seed int64, mode Mode) (Result, error) {
 			Threshold: illustrativeThreshold,
 			Scale:     1,
 		}
-		var latencies []float64
-		detected := 0
-		for i := 0; i < runs; i++ {
-			local := rng.Split()
+		alarms, err := parallel.Map(runs, workers, func(i int) (float64, error) {
+			local := randx.New(seeds[si*runs+i])
 			p := sim.DefaultIllustrative()
 			trace, err := sim.GenerateIllustrative(local, p)
 			if err != nil {
-				return Result{}, err
+				return 0, err
 			}
 			stream, err := detector.NewStream(cfg)
 			if err != nil {
-				return Result{}, err
+				return 0, err
 			}
 			alarm := -1.0
 		replay:
 			for _, l := range trace {
 				reports, err := stream.Push(l.Rating)
 				if err != nil {
-					return Result{}, err
+					return 0, err
 				}
 				for _, w := range reports {
 					if w.Suspicious && w.Window.End >= p.AStart && w.Window.Start <= p.AEnd {
@@ -60,9 +64,17 @@ func AblationLatency(seed int64, mode Mode) (Result, error) {
 					}
 				}
 			}
+			return alarm, nil
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		var latencies []float64
+		detected := 0
+		for _, alarm := range alarms {
 			if alarm >= 0 {
 				detected++
-				latency := alarm - p.AStart
+				latency := alarm - sim.DefaultIllustrative().AStart
 				if latency < 0 {
 					latency = 0
 				}

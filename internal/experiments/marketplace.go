@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/detector"
 	"repro/internal/filter"
+	"repro/internal/parallel"
 	"repro/internal/randx"
 	"repro/internal/rating"
 	"repro/internal/sim"
@@ -34,11 +35,12 @@ func marketplaceDetectorConfig() detector.Config {
 	}
 }
 
-func marketplaceSystemConfig() core.Config {
+func marketplaceSystemConfig(workers int) core.Config {
 	return core.Config{
 		Filter:   filter.Beta{Q: 0.1},
 		Detector: marketplaceDetectorConfig(),
 		Trust:    trust.ManagerConfig{B: 1},
+		Workers:  workers,
 	}
 }
 
@@ -97,13 +99,13 @@ type marketplaceRun struct {
 	reports   []core.ProcessReport
 }
 
-func runMarketplace(seed int64, p sim.MarketplaceParams) (*marketplaceRun, error) {
+func runMarketplace(seed int64, p sim.MarketplaceParams, workers int) (*marketplaceRun, error) {
 	rng := randx.New(seed)
 	trace, err := sim.GenerateMarketplace(rng, p)
 	if err != nil {
 		return nil, err
 	}
-	sys, err := core.NewSystem(marketplaceSystemConfig())
+	sys, err := core.NewSystem(marketplaceSystemConfig(workers))
 	if err != nil {
 		return nil, err
 	}
@@ -170,8 +172,8 @@ func (r *marketplaceRun) classRates(snapshot map[rating.RaterID]float64) map[sim
 
 // Fig6TrustEvolution regenerates Fig 6: mean trust of reliable,
 // careless and PC raters over the 12 months.
-func Fig6TrustEvolution(seed int64, mode Mode) (Result, error) {
-	run, err := runMarketplace(seed, paramsFor(mode, nil))
+func Fig6TrustEvolution(seed int64, mode Mode, opt Options) (Result, error) {
+	run, err := runMarketplace(seed, paramsFor(mode, nil), parallel.Workers(opt.Workers))
 	if err != nil {
 		return Result{}, err
 	}
@@ -202,12 +204,12 @@ func Fig6TrustEvolution(seed int64, mode Mode) (Result, error) {
 
 // trustAtMonth renders the per-rater trust snapshot of one month as a
 // figure plus detection/false-alarm notes (Figs 7 and 8).
-func trustAtMonth(id, title, claim string, month int, seed int64, mode Mode) (Result, error) {
+func trustAtMonth(id, title, claim string, month int, seed int64, mode Mode, opt Options) (Result, error) {
 	p := paramsFor(mode, nil)
 	if month > p.Months {
 		return Result{}, fmt.Errorf("experiments: month %d beyond %d-month run", month, p.Months)
 	}
-	run, err := runMarketplace(seed, p)
+	run, err := runMarketplace(seed, p, parallel.Workers(opt.Workers))
 	if err != nil {
 		return Result{}, err
 	}
@@ -235,24 +237,24 @@ func trustAtMonth(id, title, claim string, month int, seed int64, mode Mode) (Re
 }
 
 // Fig7TrustMonth6 regenerates Fig 7.
-func Fig7TrustMonth6(seed int64, mode Mode) (Result, error) {
+func Fig7TrustMonth6(seed int64, mode Mode, opt Options) (Result, error) {
 	return trustAtMonth("fig7", "Raters' trust in the 6th month",
-		"false alarm 1% (reliable) / 3% (careless); 72% of PC raters detected", 6, seed, mode)
+		"false alarm 1% (reliable) / 3% (careless); 72% of PC raters detected", 6, seed, mode, opt)
 }
 
 // Fig8TrustMonth12 regenerates Fig 8.
-func Fig8TrustMonth12(seed int64, mode Mode) (Result, error) {
+func Fig8TrustMonth12(seed int64, mode Mode, opt Options) (Result, error) {
 	return trustAtMonth("fig8", "Raters' trust in the 12th month",
-		"false alarm 0%; 87% of PC raters detected", 12, seed, mode)
+		"false alarm 0%; 87% of PC raters detected", 12, seed, mode, opt)
 }
 
 // Fig9DetectionCapability regenerates Fig 9: per-month rating-level
 // unfair-rating detection ratio and fair-rating false-alarm ratio. A
 // rating counts as detected when the filter rejected it or it lies in
 // at least one suspicious AR window.
-func Fig9DetectionCapability(seed int64, mode Mode) (Result, error) {
+func Fig9DetectionCapability(seed int64, mode Mode, opt Options) (Result, error) {
 	p := paramsFor(mode, nil)
-	run, err := runMarketplace(seed, p)
+	run, err := runMarketplace(seed, p, parallel.Workers(opt.Workers))
 	if err != nil {
 		return Result{}, err
 	}
@@ -327,12 +329,12 @@ func Fig9DetectionCapability(seed int64, mode Mode) (Result, error) {
 // product three ways (Figs 10-12): simple average, beta-function
 // aggregation, and the proposed filter+trust pipeline (Method 3 with
 // year-end trust).
-func productAggregation(seed int64, mode Mode, biasShift2 float64, dishonestOnly bool) ([]Series, *marketplaceRun, error) {
+func productAggregation(seed int64, mode Mode, opt Options, biasShift2 float64, dishonestOnly bool) ([]Series, *marketplaceRun, error) {
 	p := paramsFor(mode, func(p *sim.MarketplaceParams) {
 		p.A1 = 8
 		p.BiasShift2 = biasShift2
 	})
-	run, err := runMarketplace(seed, p)
+	run, err := runMarketplace(seed, p, parallel.Workers(opt.Workers))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -400,8 +402,8 @@ func maxAbsDiff(a, b Series) float64 {
 // Fig10HonestProducts regenerates Fig 10: aggregated ratings for the
 // honest products (biasShift2 = 0.15, a1 = 8) — all three schemes track
 // quality.
-func Fig10HonestProducts(seed int64, mode Mode) (Result, error) {
-	series, _, err := productAggregation(seed, mode, 0.15, false)
+func Fig10HonestProducts(seed int64, mode Mode, opt Options) (Result, error) {
+	series, _, err := productAggregation(seed, mode, opt, 0.15, false)
 	if err != nil {
 		return Result{}, err
 	}
@@ -418,21 +420,21 @@ func Fig10HonestProducts(seed int64, mode Mode) (Result, error) {
 }
 
 // Fig11DishonestProducts regenerates Fig 11 (bias 0.15).
-func Fig11DishonestProducts(seed int64, mode Mode) (Result, error) {
-	return dishonestFigure(seed, mode, "fig11", 0.15,
+func Fig11DishonestProducts(seed int64, mode Mode, opt Options) (Result, error) {
+	return dishonestFigure(seed, mode, opt, "fig11", 0.15,
 		"the proposed scheme stays near quality while simple/beta aggregates are boosted by the colluders")
 }
 
 // Fig12DishonestProductsBias02 regenerates Fig 12 (bias 0.2): the paper
 // reports a max deviation of only 0.02 for the proposed scheme versus
 // about 0.1 for the others.
-func Fig12DishonestProductsBias02(seed int64, mode Mode) (Result, error) {
-	return dishonestFigure(seed, mode, "fig12", 0.2,
+func Fig12DishonestProductsBias02(seed int64, mode Mode, opt Options) (Result, error) {
+	return dishonestFigure(seed, mode, opt, "fig12", 0.2,
 		"proposed max deviation ~0.02; simple/beta deviation ~0.1 — an order of magnitude higher")
 }
 
-func dishonestFigure(seed int64, mode Mode, id string, bias float64, claim string) (Result, error) {
-	series, _, err := productAggregation(seed, mode, bias, true)
+func dishonestFigure(seed int64, mode Mode, opt Options, id string, bias float64, claim string) (Result, error) {
+	series, _, err := productAggregation(seed, mode, opt, bias, true)
 	if err != nil {
 		return Result{}, err
 	}

@@ -16,7 +16,7 @@ import (
 // so the default trace is the synthetic substitute from
 // internal/netflix (see DESIGN.md). Drop-in of a real Netflix per-movie
 // file is supported by cmd/detect.
-func Fig5Netflix(seed int64, _ Mode) (Result, error) {
+func Fig5Netflix(seed int64, _ Mode, _ Options) (Result, error) {
 	rng := randx.New(seed)
 	movie, err := netflix.GenerateSynthetic(rng, netflix.SyntheticParams{})
 	if err != nil {

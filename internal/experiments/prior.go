@@ -6,6 +6,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/core"
 	"repro/internal/detector"
+	"repro/internal/parallel"
 	"repro/internal/randx"
 	"repro/internal/rating"
 	"repro/internal/sim"
@@ -22,9 +23,10 @@ import (
 // reports the sybil campaign's residual damage through the full
 // pipeline and how many clean months an honest newcomer needs to rise
 // above the floor.
-func AblationPrior(seed int64, mode Mode) (Result, error) {
+func AblationPrior(seed int64, mode Mode, opt Options) (Result, error) {
 	runs := runsFor(mode, 40, 8)
 	rng := randx.New(seed)
+	workers := parallel.Workers(opt.Workers)
 
 	table := Table{
 		Title:   "newcomer-prior sweep vs the sybil strategy",
@@ -32,41 +34,47 @@ func AblationPrior(seed int64, mode Mode) (Result, error) {
 	}
 
 	priors := []struct{ s, f float64 }{{0, 0}, {0, 1}, {0, 2}, {1, 2}}
-	for _, prior := range priors {
+	// One stream seed per (prior, run), pre-drawn in the serial loop's
+	// flat order.
+	seeds := rng.Seeds(len(priors) * runs)
+	for pi, prior := range priors {
 		trustCfg := trust.ManagerConfig{B: 1, InitialS: prior.s, InitialF: prior.f}
-		var damage []float64
-		for i := 0; i < runs; i++ {
-			local := rng.Split()
-			p := sim.DefaultIllustrative()
-			p.Attack = false
-			honest, err := sim.GenerateIllustrative(local, p)
-			if err != nil {
-				return Result{}, err
-			}
-			campaign, err := attack.Sybil{}.Plan(local.Split(), attack.Params{
-				Object:   p.Object,
-				Start:    p.AStart,
-				End:      p.AEnd,
-				Rate:     p.ArrivalRate,
-				Bias:     p.BiasShift2,
-				Variance: p.BadVar,
-				Levels:   p.RLevels,
-			}, p.Quality)
-			if err != nil {
-				return Result{}, err
-			}
-			combined := append(append([]sim.LabeledRating(nil), honest...), campaign...)
-			sim.SortByTime(combined)
+		damage, err := parallel.Map(runs, workers,
+			func(i int) (float64, error) {
+				local := randx.New(seeds[pi*runs+i])
+				p := sim.DefaultIllustrative()
+				p.Attack = false
+				honest, err := sim.GenerateIllustrative(local, p)
+				if err != nil {
+					return 0, err
+				}
+				campaign, err := attack.Sybil{}.Plan(local.Split(), attack.Params{
+					Object:   p.Object,
+					Start:    p.AStart,
+					End:      p.AEnd,
+					Rate:     p.ArrivalRate,
+					Bias:     p.BiasShift2,
+					Variance: p.BadVar,
+					Levels:   p.RLevels,
+				}, p.Quality)
+				if err != nil {
+					return 0, err
+				}
+				combined := append(append([]sim.LabeledRating(nil), honest...), campaign...)
+				sim.SortByTime(combined)
 
-			attacked, err := priorPipelineAggregate(sim.Ratings(combined), p.Object, trustCfg)
-			if err != nil {
-				return Result{}, err
-			}
-			clean, err := priorPipelineAggregate(sim.Ratings(honest), p.Object, trustCfg)
-			if err != nil {
-				return Result{}, err
-			}
-			damage = append(damage, attacked-clean)
+				attacked, err := priorPipelineAggregate(sim.Ratings(combined), p.Object, trustCfg)
+				if err != nil {
+					return 0, err
+				}
+				clean, err := priorPipelineAggregate(sim.Ratings(honest), p.Object, trustCfg)
+				if err != nil {
+					return 0, err
+				}
+				return attacked - clean, nil
+			})
+		if err != nil {
+			return Result{}, err
 		}
 
 		coldStart, err := honestColdStartMonths(trustCfg)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/detector"
+	"repro/internal/parallel"
 	"repro/internal/randx"
 	"repro/internal/sim"
 )
@@ -16,7 +17,7 @@ import (
 // barely disturb the autocorrelation sequence, so the whiteness test is
 // nearly blind to the smart attack, while the raw AR error keys on the
 // clique's variance collapse.
-func AblationWhiteness(seed int64, mode Mode) (Result, error) {
+func AblationWhiteness(seed int64, mode Mode, opt Options) (Result, error) {
 	runs := runsFor(mode, 120, 20)
 	rng := randx.New(seed)
 
@@ -27,49 +28,64 @@ func AblationWhiteness(seed int64, mode Mode) (Result, error) {
 		Alpha:  0.05,
 	}
 
+	seeds := rng.Seeds(runs)
+	type outcome struct{ arDet, arFA, wDet, wFA bool }
+	outs, err := parallel.MapLocal(runs, parallel.Workers(opt.Workers),
+		detector.NewWorkspace,
+		func(i int, ws *detector.Workspace) (outcome, error) {
+			local := randx.New(seeds[i])
+			p := sim.DefaultIllustrative()
+			attacked, err := sim.GenerateIllustrative(local, p)
+			if err != nil {
+				return outcome{}, err
+			}
+			p.Attack = false
+			honest, err := sim.GenerateIllustrative(local.Split(), p)
+			if err != nil {
+				return outcome{}, err
+			}
+			attackedRatings := sim.Ratings(attacked)
+			honestRatings := sim.Ratings(honest)
+
+			arA, err := detector.DetectWS(attackedRatings, arCfg, ws)
+			if err != nil {
+				return outcome{}, err
+			}
+			arH, err := detector.DetectWS(honestRatings, arCfg, ws)
+			if err != nil {
+				return outcome{}, err
+			}
+			wA, err := detector.DetectWhiteness(attackedRatings, wCfg)
+			if err != nil {
+				return outcome{}, err
+			}
+			wH, err := detector.DetectWhiteness(honestRatings, wCfg)
+			if err != nil {
+				return outcome{}, err
+			}
+
+			return outcome{
+				arDet: anySuspiciousOverlapping(arA, p.AStart, p.AEnd),
+				arFA:  len(arH.SuspiciousWindows()) > 0,
+				wDet:  anySuspiciousOverlapping(wA, p.AStart, p.AEnd),
+				wFA:   len(wH.SuspiciousWindows()) > 0,
+			}, nil
+		})
+	if err != nil {
+		return Result{}, err
+	}
 	var arDet, arFA, wDet, wFA int
-	for i := 0; i < runs; i++ {
-		local := rng.Split()
-		p := sim.DefaultIllustrative()
-		attacked, err := sim.GenerateIllustrative(local, p)
-		if err != nil {
-			return Result{}, err
-		}
-		p.Attack = false
-		honest, err := sim.GenerateIllustrative(local.Split(), p)
-		if err != nil {
-			return Result{}, err
-		}
-		attackedRatings := sim.Ratings(attacked)
-		honestRatings := sim.Ratings(honest)
-
-		arA, err := detector.Detect(attackedRatings, arCfg)
-		if err != nil {
-			return Result{}, err
-		}
-		arH, err := detector.Detect(honestRatings, arCfg)
-		if err != nil {
-			return Result{}, err
-		}
-		wA, err := detector.DetectWhiteness(attackedRatings, wCfg)
-		if err != nil {
-			return Result{}, err
-		}
-		wH, err := detector.DetectWhiteness(honestRatings, wCfg)
-		if err != nil {
-			return Result{}, err
-		}
-
-		if anySuspiciousOverlapping(arA, p.AStart, p.AEnd) {
+	for _, o := range outs {
+		if o.arDet {
 			arDet++
 		}
-		if len(arH.SuspiciousWindows()) > 0 {
+		if o.arFA {
 			arFA++
 		}
-		if anySuspiciousOverlapping(wA, p.AStart, p.AEnd) {
+		if o.wDet {
 			wDet++
 		}
-		if len(wH.SuspiciousWindows()) > 0 {
+		if o.wFA {
 			wFA++
 		}
 	}

@@ -192,9 +192,163 @@ func SymSolve(a [][]float64, b []float64) ([]float64, error) {
 // RidgeSymSolve solves (A + λI) x = b. A small ridge keeps the covariance
 // normal equations solvable on constant or near-constant rating windows.
 func RidgeSymSolve(a [][]float64, b []float64, lambda float64) ([]float64, error) {
-	m := CloneMatrix(a)
-	for i := range m {
-		m[i][i] += lambda
+	n := len(a)
+	x := make([]float64, n)
+	ws := NewSolveWorkspace(n)
+	if err := RidgeSymSolveInto(x, a, b, lambda, ws); err != nil {
+		return nil, err
 	}
-	return SymSolve(m, b)
+	return x, nil
+}
+
+// SolveWorkspace holds the scratch an in-place symmetric solve needs:
+// one n×n matrix and one length-n vector. One workspace serves any
+// system of order <= its capacity; it is not safe for concurrent use
+// (one workspace per goroutine, never shared).
+type SolveWorkspace struct {
+	order int
+	m     [][]float64
+	y     []float64
+	back  []float64
+}
+
+// NewSolveWorkspace allocates scratch for systems up to order n.
+func NewSolveWorkspace(n int) *SolveWorkspace {
+	ws := &SolveWorkspace{}
+	ws.ensure(n)
+	return ws
+}
+
+// ensure shapes the scratch for order n, allocating only when the order
+// actually changes (the detector fits thousands of same-order windows).
+func (ws *SolveWorkspace) ensure(n int) {
+	if ws.order == n && ws.m != nil {
+		return
+	}
+	if cap(ws.back) < n*n {
+		ws.back = make([]float64, n*n)
+	}
+	if cap(ws.y) < n {
+		ws.y = make([]float64, n)
+	}
+	ws.m = make([][]float64, n)
+	for i := range ws.m {
+		ws.m[i] = ws.back[i*n : (i+1)*n : (i+1)*n]
+	}
+	ws.y = ws.y[:n]
+	ws.order = n
+}
+
+// RidgeSymSolveInto solves (A + λI) x = b into x without allocating:
+// all scratch comes from ws (grown as needed). It prefers an in-place
+// Cholesky factorization and falls back to in-place pivoted LU when the
+// ridged matrix is not numerically positive definite. a and b are not
+// modified.
+func RidgeSymSolveInto(x []float64, a [][]float64, b []float64, lambda float64, ws *SolveWorkspace) error {
+	n := len(a)
+	if len(b) != n || len(x) != n {
+		return fmt.Errorf("ridge solve order %d with rhs %d into %d: %w", n, len(b), len(x), ErrDimension)
+	}
+	ws.ensure(n)
+	loadRidged := func() {
+		for i, row := range a {
+			copy(ws.m[i], row)
+			ws.m[i][i] += lambda
+		}
+	}
+	loadRidged()
+	if choleskyInPlace(ws.m) {
+		solveCholeskyInto(x, ws.m, b, ws.y)
+		return nil
+	}
+	loadRidged() // the failed factorization clobbered the lower triangle
+	return solveLUInPlace(x, ws.m, b)
+}
+
+// choleskyInPlace overwrites the lower triangle of m with its Cholesky
+// factor L (m = L Lᵀ), reading only the lower triangle. It reports
+// failure when m is not numerically positive definite, in which case
+// the lower triangle is partially overwritten.
+func choleskyInPlace(m [][]float64) bool {
+	n := len(m)
+	for j := 0; j < n; j++ {
+		d := m[j][j]
+		for k := 0; k < j; k++ {
+			d -= m[j][k] * m[j][k]
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return false
+		}
+		m[j][j] = math.Sqrt(d)
+		for i := j + 1; i < n; i++ {
+			s := m[i][j]
+			for k := 0; k < j; k++ {
+				s -= m[i][k] * m[j][k]
+			}
+			m[i][j] = s / m[j][j]
+		}
+	}
+	return true
+}
+
+// solveCholeskyInto solves A x = b given the in-place factor L, using y
+// as forward-substitution scratch.
+func solveCholeskyInto(x []float64, l [][]float64, b, y []float64) {
+	n := len(l)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l[i][k] * y[k]
+		}
+		y[i] = s / l[i][i]
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l[k][i] * x[k]
+		}
+		x[i] = s / l[i][i]
+	}
+}
+
+// solveLUInPlace is SolveLU operating destructively on m (already a
+// scratch copy), writing the solution into x.
+func solveLUInPlace(x []float64, m [][]float64, b []float64) error {
+	n := len(m)
+	copy(x, b)
+	for col := 0; col < n; col++ {
+		pivot, pivotAbs := col, math.Abs(m[col][col])
+		for r := col + 1; r < n; r++ {
+			if abs := math.Abs(m[r][col]); abs > pivotAbs {
+				pivot, pivotAbs = r, abs
+			}
+		}
+		if pivotAbs < 1e-300 || math.IsNaN(pivotAbs) {
+			return fmt.Errorf("pivot %d: %w", col, ErrSingular)
+		}
+		if pivot != col {
+			m[pivot], m[col] = m[col], m[pivot]
+			x[pivot], x[col] = x[col], x[pivot]
+		}
+		inv := 1 / m[col][col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			m[r][col] = 0
+			for c := col + 1; c < n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for k := i + 1; k < n; k++ {
+			s -= m[i][k] * x[k]
+		}
+		x[i] = s / m[i][i]
+	}
+	return nil
 }

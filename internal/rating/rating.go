@@ -112,11 +112,17 @@ func (s *Store) ForObject(id ObjectID) ([]Rating, error) {
 
 // Values extracts the rating values of rs in order.
 func Values(rs []Rating) []float64 {
-	out := make([]float64, len(rs))
-	for i, r := range rs {
-		out[i] = r.Value
+	return AppendValues(make([]float64, 0, len(rs)), rs)
+}
+
+// AppendValues appends the rating values of rs to dst and returns the
+// extended slice — the allocation-free form of Values for hot loops
+// that reuse a scratch buffer (dst[:0]).
+func AppendValues(dst []float64, rs []Rating) []float64 {
+	for _, r := range rs {
+		dst = append(dst, r.Value)
 	}
-	return out
+	return dst
 }
 
 // Times extracts the rating times of rs in order.

@@ -86,10 +86,83 @@ type Model struct {
 	Energy float64
 }
 
+// Workspace holds the scratch one AR fit needs — the covariance
+// normal-equation matrix, its right-hand side, the solver scratch, and
+// the demean/Burg residual buffers — so that a caller fitting thousands
+// of windows (the detector hot path) allocates only each fit's returned
+// coefficient slice. The zero value is ready to use; buffers grow on
+// first use and are reused afterwards.
+//
+// A Workspace is not safe for concurrent use: one Workspace per
+// goroutine, never shared (parallel.MapLocal builds exactly that).
+type Workspace struct {
+	order int
+	c     [][]float64 // (p+1)×(p+1) covariance entries c(j,k)
+	cback []float64
+	a     [][]float64 // p×p normal matrix
+	aback []float64
+	b, x  []float64 // RHS and solution
+	solve mathx.SolveWorkspace
+
+	demeaned []float64 // demean scratch
+	bf, bb   []float64 // Burg forward/backward residuals
+	bprev    []float64 // Burg previous-order coefficients
+	bcur     []float64 // Burg current-order coefficients
+}
+
+// NewWorkspace returns an empty Workspace (equivalent to new(Workspace);
+// provided for symmetry with the other packages' constructors).
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// ensureOrder shapes the order-dependent buffers, allocating only when
+// the model order changes.
+func (ws *Workspace) ensureOrder(p int) {
+	if ws.order == p && ws.c != nil {
+		return
+	}
+	ws.cback = growFloats(ws.cback, (p+1)*(p+1))
+	ws.c = shapeMatrix(ws.c, ws.cback, p+1)
+	ws.aback = growFloats(ws.aback, p*p)
+	ws.a = shapeMatrix(ws.a, ws.aback, p)
+	ws.b = growFloats(ws.b, p)
+	ws.x = growFloats(ws.x, p)
+	ws.order = p
+}
+
+// growFloats returns a length-n slice, reusing buf's backing array when
+// it is large enough.
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// shapeMatrix carves n rows of n columns out of back, reusing the row
+// header slice when possible.
+func shapeMatrix(rows [][]float64, back []float64, n int) [][]float64 {
+	if cap(rows) < n {
+		rows = make([][]float64, n)
+	}
+	rows = rows[:n]
+	for i := range rows {
+		rows[i] = back[i*n : (i+1)*n : (i+1)*n]
+	}
+	return rows
+}
+
 // Fit estimates an AR(p) model of x using opts. The window must contain
 // at least 2p+1 samples (covariance/Burg) or p+1 samples (Yule-Walker);
 // shorter windows return ErrTooShort.
 func Fit(x []float64, order int, opts Options) (Model, error) {
+	return FitWS(x, order, opts, nil)
+}
+
+// FitWS is Fit with an explicit scratch workspace: repeated fits through
+// the same Workspace allocate only each Model's coefficient slice. A nil
+// ws uses a transient workspace (exactly Fit's behavior). The numbers
+// produced are bit-identical to Fit's.
+func FitWS(x []float64, order int, opts Options, ws *Workspace) (Model, error) {
 	if order < 1 {
 		return Model{}, fmt.Errorf("signal: model order %d", order)
 	}
@@ -97,17 +170,25 @@ func Fit(x []float64, order int, opts Options) (Model, error) {
 	if method == 0 {
 		method = MethodCovariance
 	}
+	if ws == nil {
+		ws = &Workspace{}
+	}
 	work := x
 	if opts.Demean {
-		work = stat.Demean(x)
+		ws.demeaned = growFloats(ws.demeaned, len(x))
+		m := stat.Mean(x)
+		for i, v := range x {
+			ws.demeaned[i] = v - m
+		}
+		work = ws.demeaned
 	}
 	switch method {
 	case MethodCovariance:
-		return fitCovariance(work, order, opts.Ridge)
+		return fitCovariance(work, order, opts.Ridge, ws)
 	case MethodYuleWalker:
 		return fitYuleWalker(work, order)
 	case MethodBurg:
-		return fitBurg(work, order)
+		return fitBurg(work, order, ws)
 	default:
 		return Model{}, fmt.Errorf("signal: unknown method %d", int(method))
 	}
@@ -117,7 +198,7 @@ func Fit(x []float64, order int, opts Options) (Model, error) {
 // Σ_{n=p}^{N-1} (x(n) + Σ_k a(k) x(n−k))² exactly, by solving the
 // covariance normal equations Σ_k a(k) c(j,k) = −c(j,0), j = 1..p with
 // c(j,k) = Σ_{n=p}^{N-1} x(n−j) x(n−k).
-func fitCovariance(x []float64, p int, ridge float64) (Model, error) {
+func fitCovariance(x []float64, p int, ridge float64, ws *Workspace) (Model, error) {
 	n := len(x)
 	if n < 2*p+1 {
 		return Model{}, fmt.Errorf("covariance order %d with %d samples: %w", p, n, ErrTooShort)
@@ -125,9 +206,10 @@ func fitCovariance(x []float64, p int, ridge float64) (Model, error) {
 	if ridge <= 0 {
 		ridge = 1e-9
 	}
+	ws.ensureOrder(p)
 
 	// c[j][k] for j,k in 0..p.
-	c := mathx.NewMatrix(p+1, p+1)
+	c := ws.c
 	for j := 0; j <= p; j++ {
 		for k := j; k <= p; k++ {
 			var s float64
@@ -149,18 +231,17 @@ func fitCovariance(x []float64, p int, ridge float64) (Model, error) {
 		}, nil
 	}
 
-	a := mathx.NewMatrix(p, p)
-	b := make([]float64, p)
+	a, b := ws.a, ws.b
 	for j := 1; j <= p; j++ {
 		for k := 1; k <= p; k++ {
 			a[j-1][k-1] = c[j][k]
 		}
 		b[j-1] = -c[j][0]
 	}
-	coeffs, err := mathx.RidgeSymSolve(a, b, ridge*energy)
-	if err != nil {
+	if err := mathx.RidgeSymSolveInto(ws.x, a, b, ridge*energy, &ws.solve); err != nil {
 		return Model{}, fmt.Errorf("covariance normal equations: %w", err)
 	}
+	coeffs := append(make([]float64, 0, p), ws.x...)
 
 	errPower := energy
 	for k := 1; k <= p; k++ {
@@ -205,7 +286,7 @@ func fitYuleWalker(x []float64, p int) (Model, error) {
 	}, nil
 }
 
-func fitBurg(x []float64, p int) (Model, error) {
+func fitBurg(x []float64, p int, ws *Workspace) (Model, error) {
 	n := len(x)
 	if n < 2*p+1 {
 		return Model{}, fmt.Errorf("burg order %d with %d samples: %w", p, n, ErrTooShort)
@@ -218,9 +299,17 @@ func fitBurg(x []float64, p int) (Model, error) {
 		return Model{Method: MethodBurg, Order: p, Coeffs: make([]float64, p)}, nil
 	}
 
-	f := append([]float64(nil), x...)
-	b := append([]float64(nil), x...)
-	a := make([]float64, 0, p)
+	ws.bf = growFloats(ws.bf, n)
+	ws.bb = growFloats(ws.bb, n)
+	f := ws.bf
+	b := ws.bb
+	copy(f, x)
+	copy(b, x)
+	if cap(ws.bcur) < p {
+		ws.bcur = make([]float64, 0, p)
+		ws.bprev = make([]float64, 0, p)
+	}
+	a := ws.bcur[:0]
 	e := energy / float64(n)
 
 	for m := 1; m <= p; m++ {
@@ -234,7 +323,7 @@ func fitBurg(x []float64, p int) (Model, error) {
 			k = -2 * num / den
 		}
 		// a_new(i) = a(i) + k a(m−i), with a(m) = k.
-		prev := append([]float64(nil), a...)
+		prev := append(ws.bprev[:0], a...)
 		a = append(a, k)
 		for i := 1; i < m; i++ {
 			a[i-1] = prev[i-1] + k*prev[m-i-1]
@@ -248,11 +337,12 @@ func fitBurg(x []float64, p int) (Model, error) {
 		}
 		e *= 1 - k*k
 	}
+	ws.bcur = a[:0]
 	meanEnergy := energy / float64(n)
 	return Model{
 		Method:          MethodBurg,
 		Order:           p,
-		Coeffs:          a,
+		Coeffs:          append(make([]float64, 0, p), a...),
 		ErrPower:        e,
 		NormalizedError: mathx.Clamp(e/meanEnergy, 0, 1),
 		Energy:          meanEnergy,
@@ -263,19 +353,28 @@ func fitBurg(x []float64, p int) (Model, error) {
 // e(n) = x(n) + Σ_k a(k) x(n−k) for n in [p, len(x)). It errors when x
 // is shorter than order+1 samples.
 func Residuals(x, coeffs []float64) ([]float64, error) {
+	return ResidualsInto(nil, x, coeffs)
+}
+
+// ResidualsInto is Residuals appending into dst (which may be nil or a
+// reused scratch slice truncated to length zero); it returns the
+// extended slice, letting hot loops score windows without allocating.
+func ResidualsInto(dst, x, coeffs []float64) ([]float64, error) {
 	p := len(coeffs)
 	if len(x) <= p {
 		return nil, fmt.Errorf("residuals order %d with %d samples: %w", p, len(x), ErrTooShort)
 	}
-	out := make([]float64, 0, len(x)-p)
+	if dst == nil {
+		dst = make([]float64, 0, len(x)-p)
+	}
 	for n := p; n < len(x); n++ {
 		e := x[n]
 		for k := 1; k <= p; k++ {
 			e += coeffs[k-1] * x[n-k]
 		}
-		out = append(out, e)
+		dst = append(dst, e)
 	}
-	return out, nil
+	return dst, nil
 }
 
 // NormalizedPredictionError evaluates how well the coefficients predict

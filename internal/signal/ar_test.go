@@ -327,3 +327,91 @@ func TestAllMethodsBoundedProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestFitWSMatchesFitBitwise(t *testing.T) {
+	// A reused workspace must never change a single bit of the fit —
+	// across methods, orders, and demeaning, with the same workspace
+	// carried (dirty) from window to window.
+	rng := randx.New(99)
+	ws := NewWorkspace()
+	for trial := 0; trial < 30; trial++ {
+		n := 30 + rng.Intn(60)
+		x := genAR2(rng.Split(), n, -0.6, 0.3, 0.1)
+		for _, method := range []Method{MethodCovariance, MethodYuleWalker, MethodBurg} {
+			for _, order := range []int{2, 4, 7} {
+				for _, demean := range []bool{false, true} {
+					opts := Options{Method: method, Demean: demean}
+					want, errWant := Fit(x, order, opts)
+					got, errGot := FitWS(x, order, opts, ws)
+					if (errWant == nil) != (errGot == nil) {
+						t.Fatalf("%v order %d: err %v vs %v", method, order, errWant, errGot)
+					}
+					if errWant != nil {
+						continue
+					}
+					if want.NormalizedError != got.NormalizedError || want.ErrPower != got.ErrPower || want.Energy != got.Energy {
+						t.Fatalf("%v order %d demean=%v: scalars differ", method, order, demean)
+					}
+					for i := range want.Coeffs {
+						if want.Coeffs[i] != got.Coeffs[i] {
+							t.Fatalf("%v order %d demean=%v: coeff %d: %g != %g",
+								method, order, demean, i, want.Coeffs[i], got.Coeffs[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFitWSAllocs(t *testing.T) {
+	// With a warm workspace, the only per-fit allocation is the
+	// returned Coeffs slice (plus the Model escape analysis may add).
+	x := genAR2(randx.New(7), 50, -0.6, 0.3, 0.1)
+	ws := NewWorkspace()
+	if _, err := FitWS(x, 4, Options{}, ws); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := FitWS(x, 4, Options{}, ws); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Fatalf("FitWS allocates %.1f objects/op with a warm workspace, want <= 2", allocs)
+	}
+}
+
+func TestResidualsIntoReuse(t *testing.T) {
+	x := genAR2(randx.New(3), 60, -0.5, 0.2, 0.1)
+	m, err := Fit(x, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Residuals(x, m.Coeffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float64, 0, len(x))
+	got, err := ResidualsInto(buf, x, m.Coeffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("len %d != %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("residual %d: %g != %g", i, got[i], want[i])
+		}
+	}
+	// Second use must reuse the buffer, not allocate.
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := ResidualsInto(got[:0], x, m.Coeffs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ResidualsInto allocates %.1f/op with adequate buffer", allocs)
+	}
+}
