@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: all build test race bench ci artifacts benchreport clean
+.PHONY: all build test race bench chaos ci artifacts benchreport clean
+
+# Seeds per chaos sweep; each seed drives an independent
+# fault-injection schedule (short writes, sync errors, crashes).
+CHAOS_SEEDS ?= 64
 
 all: build
 
@@ -25,12 +29,22 @@ ci:
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(GO) test -run=NONE -bench=BenchmarkTab1 -benchtime=1x .
+	$(MAKE) chaos
+
+# chaos runs the fault-injection and crash-recovery suites under the
+# race detector with a dense seed sweep: every-boundary crash replay,
+# torn-tail truncation, and the seeded failpoint schedules in
+# internal/wal and internal/faultinject.
+chaos:
+	CHAOS_SEEDS=$(CHAOS_SEEDS) $(GO) test -race -count=1 \
+		-run 'Chaos|Crash|Torn|Recover|Fault|Inject|Durab' \
+		./internal/wal/ ./internal/faultinject/ ./cmd/ratingd/
 
 artifacts:
 	$(GO) run ./cmd/experiments -run all -mode full -csv artifacts/
 
 benchreport:
-	$(GO) run ./cmd/benchreport -out BENCH_1.json
+	$(GO) run ./cmd/benchreport -out BENCH_2.json
 
 clean:
 	rm -rf artifacts/

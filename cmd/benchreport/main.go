@@ -5,9 +5,14 @@
 // output name BENCH_1.json is the checked-in report format; bump the
 // number for later snapshots so history stays diffable.
 //
-//	benchreport                      # all experiments -> BENCH_1.json
+// The report also measures crash-recovery replay throughput: a
+// synthetic write-ahead log is generated, then recovered (full read,
+// CRC verification, decode) and replayed into a fresh system, timing
+// the path a restarting ratingd takes.
+//
+//	benchreport                      # all experiments -> BENCH_2.json
 //	benchreport -run tab1 -out -     # one experiment  -> stdout
-//	benchreport -workers 4
+//	benchreport -workers 4 -walrecords 100000
 package main
 
 import (
@@ -19,8 +24,12 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/parallel"
+	"repro/internal/randx"
+	"repro/internal/rating"
+	"repro/internal/wal"
 )
 
 // Report is the top-level JSON document.
@@ -31,7 +40,17 @@ type Report struct {
 	Mode        string            `json:"mode"`
 	Seed        int64             `json:"seed"`
 	Experiments []ExperimentStats `json:"experiments"`
+	WALReplay   *WALReplayStats   `json:"wal_replay,omitempty"`
 	TotalWallNS int64             `json:"total_wall_ns"`
+}
+
+// WALReplayStats measures crash-recovery throughput: how fast a
+// write-ahead log of accepted ratings is read back, checksum-verified,
+// decoded, and re-applied at startup.
+type WALReplayStats struct {
+	Records       int     `json:"records"`
+	WallNS        int64   `json:"wall_ns"`
+	RecordsPerSec float64 `json:"records_per_sec"`
 }
 
 // ExperimentStats is one experiment's measurement.
@@ -55,7 +74,8 @@ func run(args []string, stdout io.Writer) error {
 		runID   = fs.String("run", "all", "experiment ID to measure, or \"all\"")
 		seed    = fs.Int64("seed", 1, "top-level random seed")
 		workers = fs.Int("workers", 0, "Monte-Carlo worker goroutines (0 = GOMAXPROCS)")
-		out     = fs.String("out", "BENCH_1.json", "output path, or \"-\" for stdout")
+		out     = fs.String("out", "BENCH_2.json", "output path, or \"-\" for stdout")
+		walRecs = fs.Int("walrecords", 50000, "WAL records for the recovery-replay benchmark (0 skips it)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,6 +103,15 @@ func run(args []string, stdout io.Writer) error {
 		report.TotalWallNS += stats.WallNS
 	}
 
+	if *walRecs > 0 {
+		stats, err := measureWALReplay(*walRecs, *seed)
+		if err != nil {
+			return fmt.Errorf("wal replay: %w", err)
+		}
+		report.WALReplay = &stats
+		report.TotalWallNS += stats.WallNS
+	}
+
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -93,6 +122,79 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	return os.WriteFile(*out, data, 0o644)
+}
+
+// replaySink absorbs replayed WAL records into a real system store, so
+// the benchmark times the same apply path a restarting daemon runs.
+type replaySink struct{ sys *core.System }
+
+func (t replaySink) Submit(r rating.Rating) error { return t.sys.Submit(r) }
+
+func (t replaySink) Process(start, end float64) error {
+	_, err := t.sys.ProcessWindow(start, end)
+	return err
+}
+
+// measureWALReplay generates a synthetic log of n accepted ratings
+// (setup, untimed), then times recovery: open the log, verify and
+// decode every frame, and replay into a fresh system.
+func measureWALReplay(n int, seed int64) (WALReplayStats, error) {
+	dir, err := os.MkdirTemp("", "benchwal")
+	if err != nil {
+		return WALReplayStats{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	log, _, err := wal.Open(wal.Options{Dir: dir, Policy: wal.SyncNever})
+	if err != nil {
+		return WALReplayStats{}, err
+	}
+	rng := randx.New(seed)
+	const batch = 256
+	recs := make([]wal.Record, 0, batch)
+	for i := 0; i < n; i++ {
+		recs = append(recs, wal.RatingRecord(rating.Rating{
+			Rater:  rating.RaterID(rng.Intn(500)),
+			Object: rating.ObjectID(rng.Intn(50)),
+			Value:  rng.Float64(),
+			Time:   float64(i) * 1e-3,
+		}))
+		if len(recs) == batch {
+			if err := log.AppendAll(recs); err != nil {
+				return WALReplayStats{}, err
+			}
+			recs = recs[:0]
+		}
+	}
+	if err := log.AppendAll(recs); err != nil {
+		return WALReplayStats{}, err
+	}
+	if err := log.Close(); err != nil {
+		return WALReplayStats{}, err
+	}
+
+	sys, err := core.NewSystem(core.Config{})
+	if err != nil {
+		return WALReplayStats{}, err
+	}
+	began := time.Now()
+	reopened, rec, err := wal.Open(wal.Options{Dir: dir, Policy: wal.SyncNever})
+	if err != nil {
+		return WALReplayStats{}, err
+	}
+	applied := wal.Replay(replaySink{sys: sys}, rec.Records, nil)
+	wall := time.Since(began)
+	if err := reopened.Close(); err != nil {
+		return WALReplayStats{}, err
+	}
+	if applied != n {
+		return WALReplayStats{}, fmt.Errorf("replayed %d of %d records", applied, n)
+	}
+	return WALReplayStats{
+		Records:       n,
+		WallNS:        wall.Nanoseconds(),
+		RecordsPerSec: float64(n) / wall.Seconds(),
+	}, nil
 }
 
 // measure runs one experiment and reports its wall time and the heap

@@ -13,7 +13,7 @@ import (
 
 func TestSingleExperimentToStdout(t *testing.T) {
 	var buf strings.Builder
-	if err := run([]string{"-run", "tab2", "-out", "-"}, &buf); err != nil {
+	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "0"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	var rep Report
@@ -32,6 +32,27 @@ func TestSingleExperimentToStdout(t *testing.T) {
 	}
 	if rep.Workers < 1 || rep.GOMAXPROCS < 1 || rep.GoVersion == "" {
 		t.Fatalf("metadata: %+v", rep)
+	}
+}
+
+func TestWALReplayStats(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "2000"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal([]byte(buf.String()), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	w := rep.WALReplay
+	if w == nil {
+		t.Fatal("wal_replay missing from report")
+	}
+	if w.Records != 2000 || w.WallNS <= 0 || w.RecordsPerSec <= 0 {
+		t.Fatalf("degenerate WAL replay stats: %+v", w)
+	}
+	if rep.TotalWallNS != rep.Experiments[0].WallNS+w.WallNS {
+		t.Fatalf("total %d does not include replay %d", rep.TotalWallNS, w.WallNS)
 	}
 }
 

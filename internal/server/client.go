@@ -7,23 +7,107 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/randx"
 )
+
+// RetryPolicy configures idempotent retries. Retries fire only on
+// transport errors and 5xx responses — never on 4xx, whose meaning a
+// retry cannot change. Each logical call carries one X-Request-ID
+// across all its attempts, so the server's idempotency cache
+// deduplicates a re-sent mutation whose first response was lost.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries; values <= 1 disable
+	// retrying.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; it doubles
+	// each further retry. Zero means 100ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. Zero means 5s.
+	MaxDelay time.Duration
+	// Seed drives the deterministic jitter and the request-ID stream,
+	// keeping retry schedules reproducible in tests.
+	Seed int64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.BaseDelay == 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay == 0 {
+		p.MaxDelay = 5 * time.Second
+	}
+	return p
+}
+
+// ClientOption customizes a Client.
+type ClientOption func(*Client)
+
+// WithRetry enables idempotent retries under p.
+func WithRetry(p RetryPolicy) ClientOption {
+	return func(c *Client) {
+		c.retry = p.withDefaults()
+		c.rng = randx.New(p.Seed)
+	}
+}
 
 // Client is a typed HTTP client for a Server. The zero value is not
 // usable; call NewClient.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry RetryPolicy
+
+	mu  sync.Mutex
+	rng *randx.Rand // jitter + request IDs; nil when retries are off
 }
 
 // NewClient builds a client for the service at base (e.g.
 // "http://localhost:8080"). hc may be nil, in which case
 // http.DefaultClient is used.
-func NewClient(base string, hc *http.Client) *Client {
+func NewClient(base string, hc *http.Client, opts ...ClientOption) *Client {
 	if hc == nil {
 		hc = http.DefaultClient
 	}
-	return &Client{base: base, hc: hc}
+	c := &Client{base: base, hc: hc}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// nextRequestID draws a request ID from the seeded stream.
+func (c *Client) nextRequestID() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return fmt.Sprintf("%016x%016x", uint64(c.rng.Int63()), uint64(c.rng.Int63()))
+}
+
+// backoff returns the pre-attempt delay: exponential in the retry
+// count with deterministic jitter in [0.5, 1.0)× drawn from the
+// seeded stream.
+func (c *Client) backoff(retryN int) time.Duration {
+	d := c.retry.BaseDelay << (retryN - 1)
+	if d > c.retry.MaxDelay || d <= 0 {
+		d = c.retry.MaxDelay
+	}
+	c.mu.Lock()
+	jitter := 0.5 + 0.5*c.rng.Float64()
+	c.mu.Unlock()
+	return time.Duration(float64(d) * jitter)
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // APIError is a non-2xx response from the service.
@@ -137,36 +221,76 @@ func (c *Client) Healthy(ctx context.Context) bool {
 }
 
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
-	var reader io.Reader
+	var payload []byte
 	if body != nil {
-		payload, err := json.Marshal(body)
-		if err != nil {
+		var err error
+		if payload, err = json.Marshal(body); err != nil {
 			return fmt.Errorf("server: encode request: %w", err)
 		}
-		reader = bytes.NewReader(payload)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, reader)
-	if err != nil {
-		return fmt.Errorf("server: %w", err)
+	attempts := c.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
 	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
+	// One request ID spans every attempt of this logical call, so a
+	// retried mutation deduplicates server-side instead of
+	// double-applying.
+	reqID := ""
+	if c.rng != nil && method != http.MethodGet {
+		reqID = c.nextRequestID()
 	}
-	res, err := c.hc.Do(req)
-	if err != nil {
-		return fmt.Errorf("server: %w", err)
+
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if err := sleepCtx(ctx, c.backoff(attempt)); err != nil {
+				return fmt.Errorf("server: %w (last error: %v)", err, lastErr)
+			}
+		}
+		var reader io.Reader
+		if body != nil {
+			reader = bytes.NewReader(payload)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, reader)
+		if err != nil {
+			return fmt.Errorf("server: %w", err)
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		if reqID != "" {
+			req.Header.Set("X-Request-ID", reqID)
+		}
+		res, err := c.hc.Do(req)
+		if err != nil {
+			// Transport failure: retryable unless the context is done.
+			lastErr = fmt.Errorf("server: %w", err)
+			if ctx.Err() != nil {
+				return lastErr
+			}
+			continue
+		}
+		if res.StatusCode >= 500 {
+			lastErr = decodeError(res)
+			res.Body.Close()
+			continue
+		}
+		err = func() error {
+			defer res.Body.Close()
+			if res.StatusCode/100 != 2 {
+				return decodeError(res)
+			}
+			if out == nil {
+				return nil
+			}
+			if err := json.NewDecoder(res.Body).Decode(out); err != nil {
+				return fmt.Errorf("server: decode response: %w", err)
+			}
+			return nil
+		}()
+		return err
 	}
-	defer res.Body.Close()
-	if res.StatusCode/100 != 2 {
-		return decodeError(res)
-	}
-	if out == nil {
-		return nil
-	}
-	if err := json.NewDecoder(res.Body).Decode(out); err != nil {
-		return fmt.Errorf("server: decode response: %w", err)
-	}
-	return nil
+	return lastErr
 }
 
 func decodeError(res *http.Response) error {

@@ -19,29 +19,126 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/rating"
 	"repro/internal/trust"
 )
 
+// Journal orders durable logging against in-memory application: a
+// daemon that write-ahead-logs mutations implements it so that "append
+// to the log" and "apply to the system" happen atomically with respect
+// to snapshots (see cmd/ratingd). When a Journal is installed, the
+// mutating endpoints route through it instead of touching the
+// SafeSystem directly.
+type Journal interface {
+	// SubmitAll logs and applies a batch of pre-validated ratings.
+	SubmitAll(rs []rating.Rating) error
+	// ProcessWindow logs and runs one maintenance window.
+	ProcessWindow(start, end float64) (core.ProcessReport, error)
+	// Restore replaces the state with a snapshot and rebases the log.
+	Restore(r io.Reader) error
+}
+
 // Server is the HTTP facade over one rating system.
 type Server struct {
-	sys *core.SafeSystem
-	mux *http.ServeMux
+	sys     *core.SafeSystem
+	mux     *http.ServeMux
+	handler http.Handler
+
+	journal    Journal
+	dedupe     *dedupeCache
+	maxBody    int64
+	reqTimeout time.Duration
+}
+
+// Option customizes a Server.
+type Option func(*Server)
+
+// WithJournal routes mutations through j (write-ahead logging).
+func WithJournal(j Journal) Option { return func(s *Server) { s.journal = j } }
+
+// WithMaxBodyBytes caps request bodies; n <= 0 keeps the default
+// (8 MiB).
+func WithMaxBodyBytes(n int64) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxBody = n
+		}
+	}
+}
+
+// WithRequestTimeout bounds each request's handling time; 0 disables
+// the per-request timeout.
+func WithRequestTimeout(d time.Duration) Option {
+	return func(s *Server) { s.reqTimeout = d }
+}
+
+// WithDedupeCapacity sizes the idempotency cache (default 1024
+// request IDs).
+func WithDedupeCapacity(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.dedupe = newDedupeCache(n)
+		}
+	}
 }
 
 // New builds a Server around cfg.
-func New(cfg core.Config) (*Server, error) {
+func New(cfg core.Config, opts ...Option) (*Server, error) {
 	sys, err := core.NewSafeSystem(cfg)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{sys: sys, mux: http.NewServeMux()}
+	s := &Server{
+		sys:     sys,
+		mux:     http.NewServeMux(),
+		dedupe:  newDedupeCache(1024),
+		maxBody: 8 << 20,
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.routes()
+
+	// Middleware, outermost first: panic containment (a handler bug
+	// 500s one request instead of killing the daemon), body limits,
+	// then the per-request timeout.
+	h := http.Handler(s.mux)
+	if s.reqTimeout > 0 {
+		h = http.TimeoutHandler(h, s.reqTimeout, `{"error":"request timed out"}`)
+	}
+	limit := s.maxBody
+	inner := h
+	h = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, limit)
+		}
+		inner.ServeHTTP(w, r)
+	})
+	s.handler = recoverPanics(h)
 	return s, nil
+}
+
+// recoverPanics converts a handler panic into a 500 for that request,
+// keeping the daemon alive.
+func recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				if v == http.ErrAbortHandler { //nolint:errorlint // sentinel by identity
+					panic(v)
+				}
+				writeError(w, http.StatusInternalServerError,
+					fmt.Errorf("internal panic: %v", v))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 // System exposes the underlying system (for preloading state in tools
@@ -52,12 +149,12 @@ var _ http.Handler = (*Server)(nil)
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	s.handler.ServeHTTP(w, r)
 }
 
 func (s *Server) routes() {
-	s.mux.HandleFunc("POST /v1/ratings", s.handleSubmit)
-	s.mux.HandleFunc("POST /v1/process", s.handleProcess)
+	s.mux.HandleFunc("POST /v1/ratings", s.idempotent(s.handleSubmit))
+	s.mux.HandleFunc("POST /v1/process", s.idempotent(s.handleProcess))
 	s.mux.HandleFunc("GET /v1/objects/{id}/aggregate", s.handleAggregate)
 	s.mux.HandleFunc("GET /v1/raters/{id}/trust", s.handleTrust)
 	s.mux.HandleFunc("GET /v1/malicious", s.handleMalicious)
@@ -98,18 +195,32 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&batch); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode ratings: %w", err))
+		writeError(w, bodyErrStatus(err), fmt.Errorf("decode ratings: %w", err))
 		return
 	}
-	accepted := 0
+	// Validate up front so acceptance is all-or-nothing: nothing is
+	// journaled or applied unless the whole batch is well-formed.
+	rs := make([]rating.Rating, len(batch))
 	for i, p := range batch {
-		if err := s.sys.Submit(p.toRating()); err != nil {
+		rs[i] = p.toRating()
+		if err := rs[i].Validate(); err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("rating %d: %w", i, err))
 			return
 		}
-		accepted++
 	}
-	writeJSON(w, http.StatusOK, SubmitResponse{Accepted: accepted})
+	if s.journal != nil {
+		if err := s.journal.SubmitAll(rs); err != nil {
+			// Durability is unavailable; refuse the write so the
+			// client retries rather than accepting state a crash
+			// would silently lose.
+			writeError(w, http.StatusServiceUnavailable, fmt.Errorf("journal: %w", err))
+			return
+		}
+	} else if err := s.sys.SubmitAll(rs); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SubmitResponse{Accepted: len(rs)})
 }
 
 // ProcessRequest is the maintenance-window request body.
@@ -118,11 +229,14 @@ type ProcessRequest struct {
 	End   float64 `json:"end"`
 }
 
-// ProcessResponse summarizes one maintenance pass.
+// ProcessResponse summarizes one maintenance pass. Degraded counts
+// objects whose detector pass failed and fell back to filter-only
+// evidence.
 type ProcessResponse struct {
 	Objects      int `json:"objects"`
 	Observations int `json:"observations"`
 	Suspicious   int `json:"suspiciousWindows"`
+	Degraded     int `json:"degradedObjects"`
 }
 
 func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) {
@@ -130,17 +244,31 @@ func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode process request: %w", err))
+		writeError(w, bodyErrStatus(err), fmt.Errorf("decode process request: %w", err))
 		return
 	}
-	rep, err := s.sys.ProcessWindow(req.Start, req.End)
-	if err != nil {
+	if req.End <= req.Start {
+		// Reject before journaling so the WAL only sees windows that
+		// will replay successfully.
+		writeError(w, http.StatusBadRequest, fmt.Errorf("process window [%g,%g)", req.Start, req.End))
+		return
+	}
+	var rep core.ProcessReport
+	var err error
+	if s.journal != nil {
+		rep, err = s.journal.ProcessWindow(req.Start, req.End)
+		if err != nil {
+			writeError(w, http.StatusServiceUnavailable, fmt.Errorf("journal: %w", err))
+			return
+		}
+	} else if rep, err = s.sys.ProcessWindow(req.Start, req.End); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	resp := ProcessResponse{
 		Objects:      len(rep.Objects),
 		Observations: len(rep.Observations),
+		Degraded:     len(rep.DegradedObjects()),
 	}
 	for _, obj := range rep.Objects {
 		resp.Suspicious += len(obj.Detection.SuspiciousWindows())
@@ -241,8 +369,12 @@ func (s *Server) handleSnapshotGet(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleSnapshotPut(w http.ResponseWriter, r *http.Request) {
-	if err := s.sys.LoadSnapshot(r.Body); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	restore := s.sys.LoadSnapshot
+	if s.journal != nil {
+		restore = s.journal.Restore
+	}
+	if err := restore(r.Body); err != nil {
+		writeError(w, bodyErrStatus(err), err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -261,4 +393,14 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// bodyErrStatus distinguishes an over-limit body (413) from ordinary
+// malformed input (400).
+func bodyErrStatus(err error) int {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
 }
