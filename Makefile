@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: all build test race bench chaos ci artifacts benchreport clean
+.PHONY: all build test race bench fuzz chaos ci artifacts benchreport clean
+
+# Per-target budget for the fuzz sweep; go-fuzz corpora live in
+# testdata/fuzz and regressions found there replay in plain `go test`.
+FUZZTIME ?= 10s
 
 # Seeds per chaos sweep; each seed drives an independent
 # fault-injection schedule (short writes, sync errors, crashes).
@@ -19,6 +23,14 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# fuzz runs each fuzz target for FUZZTIME: WAL frame parsing and record
+# decoding (corrupt bytes must error, never panic) and the server's
+# rating-batch JSON decoder (hostile bodies must map to 4xx).
+fuzz:
+	$(GO) test -fuzz FuzzParseFrames -fuzztime $(FUZZTIME) ./internal/wal/
+	$(GO) test -fuzz FuzzDecodeRecord -fuzztime $(FUZZTIME) ./internal/wal/
+	$(GO) test -fuzz FuzzSubmitRatings -fuzztime $(FUZZTIME) ./internal/server/
 
 # ci is the gate every change must pass: static checks, a full build,
 # the test suite under the race detector, and a one-shot smoke run of
@@ -44,7 +56,7 @@ artifacts:
 	$(GO) run ./cmd/experiments -run all -mode full -csv artifacts/
 
 benchreport:
-	$(GO) run ./cmd/benchreport -out BENCH_2.json
+	$(GO) run ./cmd/benchreport -out BENCH_3.json
 
 clean:
 	rm -rf artifacts/

@@ -5,11 +5,13 @@ import (
 	"testing"
 
 	"repro"
+	"repro/internal/core"
 	"repro/internal/detector"
 	"repro/internal/experiments"
 	"repro/internal/randx"
 	"repro/internal/signal"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Every table and figure of the paper has a benchmark that regenerates
@@ -223,6 +225,87 @@ func BenchmarkSystemProcessWindow(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sys, err := repro.NewSystem(repro.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.SubmitAll(rs); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.ProcessWindow(0, 60); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Telemetry overhead (ISSUE 3) ---
+//
+// The paired enabled/disabled benchmarks quantify the cost of the
+// instrumentation layer itself; the instrumented ProcessWindow pair
+// quantifies what the hot path actually pays end to end (budget: <2%,
+// checked by cmd/benchreport).
+
+func BenchmarkTelemetryCounter(b *testing.B) {
+	c := telemetry.NewRegistry().Counter("bench_total", "bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkTelemetryCounterDisabled(b *testing.B) {
+	var r *telemetry.Registry // nil registry: the disabled path
+	c := r.Counter("bench_total", "bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkTelemetryHistogramObserve(b *testing.B) {
+	h := telemetry.NewRegistry().Histogram("bench_seconds", "bench", telemetry.DefLatencyBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.00042)
+	}
+}
+
+func BenchmarkTelemetryHistogramDisabled(b *testing.B) {
+	var r *telemetry.Registry
+	h := r.Histogram("bench_seconds", "bench", telemetry.DefLatencyBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.00042)
+	}
+}
+
+func BenchmarkTelemetrySpan(b *testing.B) {
+	h := telemetry.NewRegistry().Histogram("bench_span_seconds", "bench", telemetry.DefLatencyBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := h.Start()
+		sp.End()
+	}
+}
+
+func BenchmarkTelemetrySpanDisabled(b *testing.B) {
+	var r *telemetry.Registry
+	h := r.Histogram("bench_span_seconds", "bench", telemetry.DefLatencyBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := h.Start()
+		sp.End()
+	}
+}
+
+func BenchmarkSystemProcessWindowInstrumented(b *testing.B) {
+	// Identical workload to BenchmarkSystemProcessWindow, with the full
+	// per-stage span instrumentation live.
+	rs := benchTrace(b)
+	reg := telemetry.NewRegistry()
+	m := core.NewMetrics(reg)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sys, err := core.NewSystem(core.Config{Metrics: m})
 		if err != nil {
 			b.Fatal(err)
 		}

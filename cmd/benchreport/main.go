@@ -10,7 +10,12 @@
 // CRC verification, decode) and replayed into a fresh system, timing
 // the path a restarting ratingd takes.
 //
-//	benchreport                      # all experiments -> BENCH_2.json
+// Finally it measures the telemetry tax: the full ProcessWindow
+// pipeline is timed with per-stage span instrumentation live and
+// again with a nil registry (the no-op path), and the relative
+// overhead is reported. The budget is <2%.
+//
+//	benchreport                      # all experiments -> BENCH_3.json
 //	benchreport -run tab1 -out -     # one experiment  -> stdout
 //	benchreport -workers 4 -walrecords 100000
 package main
@@ -29,6 +34,8 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/randx"
 	"repro/internal/rating"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/wal"
 )
 
@@ -41,7 +48,17 @@ type Report struct {
 	Seed        int64             `json:"seed"`
 	Experiments []ExperimentStats `json:"experiments"`
 	WALReplay   *WALReplayStats   `json:"wal_replay,omitempty"`
+	Telemetry   *TelemetryStats   `json:"telemetry_overhead,omitempty"`
 	TotalWallNS int64             `json:"total_wall_ns"`
+}
+
+// TelemetryStats compares the instrumented ProcessWindow pipeline
+// against the no-op (nil registry) path on the same workload.
+type TelemetryStats struct {
+	Reps            int     `json:"reps"`
+	BaselineWallNS  int64   `json:"baseline_wall_ns"`
+	TelemetryWallNS int64   `json:"telemetry_wall_ns"`
+	OverheadPercent float64 `json:"overhead_percent"`
 }
 
 // WALReplayStats measures crash-recovery throughput: how fast a
@@ -74,8 +91,9 @@ func run(args []string, stdout io.Writer) error {
 		runID   = fs.String("run", "all", "experiment ID to measure, or \"all\"")
 		seed    = fs.Int64("seed", 1, "top-level random seed")
 		workers = fs.Int("workers", 0, "Monte-Carlo worker goroutines (0 = GOMAXPROCS)")
-		out     = fs.String("out", "BENCH_2.json", "output path, or \"-\" for stdout")
+		out     = fs.String("out", "BENCH_3.json", "output path, or \"-\" for stdout")
 		walRecs = fs.Int("walrecords", 50000, "WAL records for the recovery-replay benchmark (0 skips it)")
+		telReps = fs.Int("telemetryreps", 20, "ProcessWindow repetitions for the telemetry-overhead benchmark (0 skips it)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -110,6 +128,15 @@ func run(args []string, stdout io.Writer) error {
 		}
 		report.WALReplay = &stats
 		report.TotalWallNS += stats.WallNS
+	}
+
+	if *telReps > 0 {
+		stats, err := measureTelemetryOverhead(*telReps, *seed)
+		if err != nil {
+			return fmt.Errorf("telemetry overhead: %w", err)
+		}
+		report.Telemetry = &stats
+		report.TotalWallNS += stats.BaselineWallNS + stats.TelemetryWallNS
 	}
 
 	data, err := json.MarshalIndent(report, "", "  ")
@@ -194,6 +221,59 @@ func measureWALReplay(n int, seed int64) (WALReplayStats, error) {
 		Records:       n,
 		WallNS:        wall.Nanoseconds(),
 		RecordsPerSec: float64(n) / wall.Seconds(),
+	}, nil
+}
+
+// measureTelemetryOverhead times reps full ProcessWindow runs over the
+// paper's illustrative attacked trace, once with per-stage telemetry
+// live and once with a nil registry, interleaved to cancel thermal and
+// GC drift. It reports the relative wall-time overhead.
+func measureTelemetryOverhead(reps int, seed int64) (TelemetryStats, error) {
+	labeled, err := sim.GenerateIllustrative(randx.New(seed), sim.DefaultIllustrative())
+	if err != nil {
+		return TelemetryStats{}, err
+	}
+	rs := sim.Ratings(labeled)
+
+	metrics := core.NewMetrics(telemetry.NewRegistry())
+	once := func(m *core.Metrics) (time.Duration, error) {
+		sys, err := core.NewSystem(core.Config{Metrics: m})
+		if err != nil {
+			return 0, err
+		}
+		if err := sys.SubmitAll(rs); err != nil {
+			return 0, err
+		}
+		began := time.Now()
+		if _, err := sys.ProcessWindow(0, 60); err != nil {
+			return 0, err
+		}
+		return time.Since(began), nil
+	}
+	// Warm up both paths once before timing.
+	if _, err := once(nil); err != nil {
+		return TelemetryStats{}, err
+	}
+	if _, err := once(metrics); err != nil {
+		return TelemetryStats{}, err
+	}
+	var base, tel time.Duration
+	for i := 0; i < reps; i++ {
+		d, err := once(nil)
+		if err != nil {
+			return TelemetryStats{}, err
+		}
+		base += d
+		if d, err = once(metrics); err != nil {
+			return TelemetryStats{}, err
+		}
+		tel += d
+	}
+	return TelemetryStats{
+		Reps:            reps,
+		BaselineWallNS:  base.Nanoseconds(),
+		TelemetryWallNS: tel.Nanoseconds(),
+		OverheadPercent: 100 * (tel.Seconds() - base.Seconds()) / base.Seconds(),
 	}, nil
 }
 

@@ -13,7 +13,7 @@ import (
 
 func TestSingleExperimentToStdout(t *testing.T) {
 	var buf strings.Builder
-	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "0"}, &buf); err != nil {
+	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "0", "-telemetryreps", "0"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	var rep Report
@@ -37,7 +37,7 @@ func TestSingleExperimentToStdout(t *testing.T) {
 
 func TestWALReplayStats(t *testing.T) {
 	var buf strings.Builder
-	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "2000"}, &buf); err != nil {
+	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "2000", "-telemetryreps", "0"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	var rep Report
@@ -58,7 +58,7 @@ func TestWALReplayStats(t *testing.T) {
 
 func TestWritesFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_test.json")
-	if err := run([]string{"-run", "fig2", "-out", path, "-workers", "2"}, io.Discard); err != nil {
+	if err := run([]string{"-run", "fig2", "-out", path, "-workers", "2", "-telemetryreps", "0"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -100,5 +100,26 @@ func TestAllCoversRegistry(t *testing.T) {
 func TestUnknownExperiment(t *testing.T) {
 	if err := run([]string{"-run", "fig99", "-out", "-"}, io.Discard); err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestTelemetryOverheadStats(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-run", "fig2", "-out", "-", "-walrecords", "0", "-telemetryreps", "3"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal([]byte(buf.String()), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	tel := rep.Telemetry
+	if tel == nil {
+		t.Fatal("telemetry_overhead missing from report")
+	}
+	if tel.Reps != 3 || tel.BaselineWallNS <= 0 || tel.TelemetryWallNS <= 0 {
+		t.Fatalf("degenerate telemetry stats: %+v", tel)
+	}
+	if rep.TotalWallNS != rep.Experiments[0].WallNS+tel.BaselineWallNS+tel.TelemetryWallNS {
+		t.Fatalf("total %d does not include telemetry %+v", rep.TotalWallNS, tel)
 	}
 }

@@ -35,7 +35,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/detector"
 	"repro/internal/faultinject"
+	"repro/internal/parallel"
 	"repro/internal/server"
+	"repro/internal/telemetry"
 	"repro/internal/trust"
 	"repro/internal/wal"
 )
@@ -67,6 +69,9 @@ func run(args []string) (retErr error) {
 
 		reqTimeout = fs.Duration("request-timeout", 30*time.Second, "per-request handling timeout; 0 disables")
 		maxBody    = fs.Int64("max-body-bytes", 8<<20, "maximum request body size")
+
+		pprofOn           = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		telemetryInterval = fs.Duration("telemetry-interval", 0, "print a summary line to stderr at this cadence; 0 disables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -84,6 +89,12 @@ func run(args []string) (retErr error) {
 		return fmt.Errorf("unknown -fsync policy %q", *fsyncMode)
 	}
 
+	started := time.Now()
+	reg := telemetry.NewRegistry()
+	registerProcessMetrics(reg, started)
+	installParallelObserver(reg)
+	defer parallel.SetObserver(nil)
+
 	cfg := core.Config{
 		Detector: detector.Config{
 			Width:     *width,
@@ -91,7 +102,8 @@ func run(args []string) (retErr error) {
 			Order:     *order,
 			Threshold: *threshold,
 		},
-		Trust: trust.ManagerConfig{B: *b, Forgetting: *forget},
+		Trust:   trust.ManagerConfig{B: *b, Forgetting: *forget},
+		Metrics: core.NewMetrics(reg),
 	}
 
 	warnf := func(format string, a ...any) {
@@ -99,6 +111,7 @@ func run(args []string) (retErr error) {
 	}
 
 	// Open the WAL first: recovery decides the starting state.
+	walMetrics := wal.NewMetrics(reg)
 	var journal *walJournal
 	var rec *wal.Recovery
 	if *walDir != "" {
@@ -107,6 +120,7 @@ func run(args []string) (retErr error) {
 			Policy:       policy,
 			SegmentBytes: *segmentBytes,
 			Warnf:        warnf,
+			Metrics:      walMetrics,
 		})
 		if err != nil {
 			return fmt.Errorf("open wal: %w", err)
@@ -123,6 +137,7 @@ func run(args []string) (retErr error) {
 	opts := []server.Option{
 		server.WithMaxBodyBytes(*maxBody),
 		server.WithRequestTimeout(*reqTimeout),
+		server.WithTelemetry(reg),
 	}
 	if journal != nil {
 		opts = append(opts, server.WithJournal(journal))
@@ -131,6 +146,7 @@ func run(args []string) (retErr error) {
 	if err != nil {
 		return err
 	}
+	registerTrustMetrics(reg, srv.System())
 
 	// Recover: snapshot baseline + log-tail replay. Recovery is
 	// best-effort by design — a damaged snapshot or record is warned
@@ -143,6 +159,7 @@ func run(args []string) (retErr error) {
 			}
 		}
 		applied := wal.Replay(replayTarget{sys: srv.System()}, rec.Records, warnf)
+		walMetrics.ReplayedRecords.Add(uint64(applied))
 		if rec.Snapshot != nil || len(rec.Records) > 0 {
 			fmt.Printf("recovered %d ratings (%d/%d log records from %d segments)\n",
 				srv.System().Len(), applied, len(rec.Records), rec.Segments)
@@ -218,9 +235,13 @@ func run(args []string) (retErr error) {
 		}()
 	}
 
+	if *telemetryInterval > 0 {
+		go summaryLoop(bg, *telemetryInterval, reg, srv.System(), started)
+	}
+
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv,
+		Handler:           telemetryMux(srv, reg, *pprofOn),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       15 * time.Second,
 		WriteTimeout:      60 * time.Second,

@@ -1,0 +1,205 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/parallel"
+	"repro/internal/server"
+	"repro/internal/telemetry"
+	"repro/internal/wal"
+)
+
+// newInstrumentedStack wires the full daemon topology — registry, WAL,
+// instrumented system, instrumented server, observability mux — the
+// same way run() does, but against an in-memory filesystem and an
+// httptest listener.
+func newInstrumentedStack(t *testing.T, pprofOn bool) (*httptest.Server, *telemetry.Registry) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	registerProcessMetrics(reg, time.Now())
+	installParallelObserver(reg)
+	t.Cleanup(func() { parallel.SetObserver(nil) })
+
+	fs := faultinject.NewMemFS()
+	log, _, err := wal.Open(wal.Options{Dir: "wal", FS: fs, Metrics: wal.NewMetrics(reg)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { log.Close() })
+	journal := &walJournal{log: log}
+
+	srv, err := server.New(core.Config{Metrics: core.NewMetrics(reg)},
+		server.WithTelemetry(reg), server.WithJournal(journal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	journal.sys = srv.System()
+	registerTrustMetrics(reg, srv.System())
+
+	ts := httptest.NewServer(telemetryMux(srv, reg, pprofOn))
+	t.Cleanup(ts.Close)
+	return ts, reg
+}
+
+// TestMetricsEndpointCoversAllSubsystems is the acceptance check for
+// the telemetry layer: after real traffic, /metrics must return valid
+// Prometheus text exposing server, WAL, pipeline, trust, parallel, and
+// process metrics.
+func TestMetricsEndpointCoversAllSubsystems(t *testing.T) {
+	ts, _ := newInstrumentedStack(t, false)
+
+	// Drive traffic: submit ratings across two objects, run a window.
+	var body strings.Builder
+	body.WriteString("[")
+	for i := 0; i < 120; i++ {
+		if i > 0 {
+			body.WriteString(",")
+		}
+		sign := i % 2
+		body.WriteString(`{"rater":` + itoa(i%12) + `,"object":` + itoa(41+sign) +
+			`,"value":0.7,"time":` + itoa(i/4) + `}`)
+	}
+	body.WriteString("]")
+	resp, err := ts.Client().Post(ts.URL+"/v1/ratings", "application/json", strings.NewReader(body.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+	resp, err = ts.Client().Post(ts.URL+"/v1/process", "application/json", strings.NewReader(`{"start":0,"end":30}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("process = %d", resp.StatusCode)
+	}
+
+	resp, err = ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(raw)
+
+	for _, want := range []string{
+		// Server.
+		`http_requests_total{route="/v1/ratings",code="200"} 1`,
+		`http_requests_total{route="/v1/process",code="200"} 1`,
+		`http_request_seconds_bucket{route="/v1/process",le="+Inf"} 1`,
+		"http_inflight_requests 0",
+		// WAL: every rating is its own record, plus one process record.
+		"wal_appended_records_total 121",
+		"wal_fsync_seconds_count",
+		"wal_segment_seq 0",
+		// Pipeline.
+		"pipeline_windows_total 1",
+		`pipeline_stage_seconds_count{stage="ar_fit"} 2`,
+		"pipeline_ratings_considered_total 120",
+		// Trust: 12 raters all got records; last bin is cumulative-total.
+		"trust_raters 12",
+		`trust_records{le="1"} 12`,
+		// Parallel fan-out observed via the bridge.
+		"parallel_items_total 2",
+		"parallel_runs_total 1",
+		// Process gauges.
+		"process_uptime_seconds",
+		"process_goroutines",
+		"process_heap_bytes",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("full exposition:\n%s", out)
+	}
+
+	// Every sample line must parse: name{labels} value.
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if i := strings.LastIndexByte(line, ' '); i < 0 {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+}
+
+// TestDebugVarsIsValidJSON scrapes /debug/vars and decodes it.
+func TestDebugVarsIsValidJSON(t *testing.T) {
+	ts, _ := newInstrumentedStack(t, false)
+	resp, err := ts.Client().Get(ts.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/debug/vars = %d", resp.StatusCode)
+	}
+	var vars map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	for _, key := range []string{"http_inflight_requests", "process_goroutines", "wal_segment_seq"} {
+		if _, ok := vars[key]; !ok {
+			t.Errorf("/debug/vars missing %q", key)
+		}
+	}
+}
+
+// TestPprofGating checks /debug/pprof/ is only mounted behind -pprof.
+func TestPprofGating(t *testing.T) {
+	on, _ := newInstrumentedStack(t, true)
+	resp, err := on.Client().Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("pprof enabled but index = %d", resp.StatusCode)
+	}
+
+	off, _ := newInstrumentedStack(t, false)
+	resp, err = off.Client().Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == 200 {
+		t.Fatal("pprof reachable without -pprof")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

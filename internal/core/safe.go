@@ -92,6 +92,21 @@ func (s *SafeSystem) MaliciousRaters() []rating.RaterID {
 	return s.sys.MaliciousRaters()
 }
 
+// TrustDistribution bins every tracked rater's trust into the given
+// sorted upper bounds (cumulative counts; see trust.Manager).
+func (s *SafeSystem) TrustDistribution(bounds []float64) []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.TrustDistribution(bounds)
+}
+
+// RaterCount returns the number of tracked trust records.
+func (s *SafeSystem) RaterCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.RaterCount()
+}
+
 // RecordRecommendations computes indirect trust from recommendations.
 func (s *SafeSystem) RecordRecommendations(about rating.RaterID, recs []trust.Recommendation) (float64, error) {
 	s.mu.Lock()

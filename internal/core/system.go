@@ -45,6 +45,9 @@ type Config struct {
 	// serial (the library default); reports are committed in object
 	// order either way, so results are bit-identical for any value.
 	Workers int
+	// Metrics receives pipeline telemetry (stage spans, per-window
+	// gauges, degraded-object counts); nil disables instrumentation.
+	Metrics *Metrics
 }
 
 // NoFallback disables the aggregation fallback: Aggregate returns
@@ -190,6 +193,7 @@ func (s *System) ProcessWindow(start, end float64) (ProcessReport, error) {
 	if end <= start {
 		return ProcessReport{}, fmt.Errorf("core: window [%g,%g)", start, end)
 	}
+	winSpan := s.cfg.Metrics.startWindow()
 	report := ProcessReport{
 		Start:        start,
 		End:          end,
@@ -230,7 +234,9 @@ func (s *System) ProcessWindow(start, end float64) (ProcessReport, error) {
 				return objectScan{}, nil
 			}
 
+			filterSpan := s.cfg.Metrics.stage(StageFilter)
 			res, err := s.cfg.Filter.Apply(window)
+			filterSpan.End()
 			if err != nil {
 				return objectScan{}, fmt.Errorf("core: filter object %d: %w", obj, err)
 			}
@@ -246,7 +252,9 @@ func (s *System) ProcessWindow(start, end float64) (ProcessReport, error) {
 				Accepted:   res.Accepted,
 				Rejected:   res.Rejected,
 			}
+			fitSpan := s.cfg.Metrics.stage(StageARFit)
 			det, err := detector.DetectWS(res.Accepted, dcfg, ws)
+			fitSpan.End()
 			if err != nil {
 				// Graceful degradation: one object's failed fit (e.g.
 				// a singular AR system) must not fail the whole
@@ -263,6 +271,7 @@ func (s *System) ProcessWindow(start, end float64) (ProcessReport, error) {
 		return ProcessReport{}, err
 	}
 
+	chargeSpan := s.cfg.Metrics.stage(StageCharge)
 	for _, scan := range scans {
 		if !scan.ok {
 			continue
@@ -290,9 +299,15 @@ func (s *System) ProcessWindow(start, end float64) (ProcessReport, error) {
 		}
 	}
 
+	chargeSpan.End()
+
+	trustSpan := s.cfg.Metrics.stage(StageTrustUpdate)
 	if err := s.manager.UpdateBatch(report.Observations, end); err != nil {
 		return ProcessReport{}, fmt.Errorf("core: %w", err)
 	}
+	trustSpan.End()
+	winSpan.End()
+	s.cfg.Metrics.windowDone(&report)
 	return report, nil
 }
 
@@ -404,6 +419,15 @@ func (s *System) TrustIn(id rating.RaterID) float64 { return s.manager.Trust(id)
 
 // TrustSnapshot returns every tracked rater's trust.
 func (s *System) TrustSnapshot() map[rating.RaterID]float64 { return s.manager.Snapshot() }
+
+// TrustDistribution bins every tracked rater's trust into the given
+// sorted upper bounds (cumulative counts; see trust.Manager).
+func (s *System) TrustDistribution(bounds []float64) []int {
+	return s.manager.TrustDistribution(bounds)
+}
+
+// RaterCount returns the number of tracked trust records.
+func (s *System) RaterCount() int { return s.manager.Len() }
 
 // MaliciousRaters returns raters currently below the malicious-trust
 // threshold, sorted by ID.

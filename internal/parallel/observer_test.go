@@ -1,0 +1,77 @@
+package parallel
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestObserverReceivesReports installs an observer and checks the
+// serial and parallel paths both report items, workers and plausible
+// timings; results must be identical to the unobserved run.
+func TestObserverReceivesReports(t *testing.T) {
+	var mu sync.Mutex
+	var reports []Report
+	SetObserver(func(r Report) {
+		mu.Lock()
+		reports = append(reports, r)
+		mu.Unlock()
+	})
+	defer SetObserver(nil)
+
+	fn := func(i int) (int, error) {
+		time.Sleep(time.Millisecond)
+		return i * i, nil
+	}
+	for _, workers := range []int{1, 4} {
+		mu.Lock()
+		reports = nil
+		mu.Unlock()
+		out, err := Map(16, workers, fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+		mu.Lock()
+		got := append([]Report(nil), reports...)
+		mu.Unlock()
+		if len(got) != 1 {
+			t.Fatalf("workers=%d: %d reports, want 1", workers, len(got))
+		}
+		r := got[0]
+		if r.Items != 16 || r.Workers != workers {
+			t.Fatalf("workers=%d: report %+v", workers, r)
+		}
+		if r.Wall <= 0 || r.Busy <= 0 {
+			t.Fatalf("workers=%d: non-positive timings %+v", workers, r)
+		}
+		// Busy is summed across workers; it can never exceed wall time
+		// times the pool width (within scheduler jitter).
+		if r.Busy > r.Wall*time.Duration(workers)*2 {
+			t.Fatalf("workers=%d: busy %v exceeds wall %v x workers", workers, r.Busy, r.Wall)
+		}
+	}
+}
+
+// TestNoObserverMeansNoReports pins the default: uninstalled observer,
+// no callbacks, results unchanged.
+func TestNoObserverMeansNoReports(t *testing.T) {
+	SetObserver(nil)
+	called := false
+	SetObserver(func(Report) { called = true })
+	SetObserver(nil)
+	out, err := Map(8, 4, func(i int) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 8 {
+		t.Fatalf("len = %d", len(out))
+	}
+	if called {
+		t.Fatal("observer called after uninstall")
+	}
+}

@@ -23,7 +23,37 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
+
+// Report describes one completed Map/MapLocal/MapReduce call for an
+// Observer: how many items ran on how many workers, the call's wall
+// time, and the summed busy time across workers. Busy/(Wall·Workers)
+// is the pool's utilization; Items/Wall.Seconds() its throughput.
+type Report struct {
+	Items, Workers int
+	Wall, Busy     time.Duration
+}
+
+// observer holds the installed Observer; nil means no instrumentation
+// (and no clock reads at all on the fan-out path).
+var observer atomic.Pointer[Observer]
+
+// Observer receives one Report per completed fan-out call. It may be
+// called concurrently from different fan-outs and must be safe for
+// concurrent use.
+type Observer func(Report)
+
+// SetObserver installs fn as the process-wide fan-out observer
+// (telemetry wiring in cmd/ratingd); nil uninstalls it. Timing costs
+// are only paid while an observer is installed.
+func SetObserver(fn Observer) {
+	if fn == nil {
+		observer.Store(nil)
+		return
+	}
+	observer.Store(&fn)
+}
 
 // Workers resolves a requested worker count: n >= 1 is used as given,
 // anything else (0 or negative) means runtime.GOMAXPROCS(0).
@@ -61,6 +91,11 @@ func MapLocal[T, L any](n, workers int, newLocal func() L, fn func(i int, local 
 	if workers > n {
 		workers = n
 	}
+	obs := observer.Load()
+	var began time.Time
+	if obs != nil {
+		began = time.Now()
+	}
 	if workers == 1 {
 		// Serial fast path: no goroutines, same commit order.
 		local := newLocal()
@@ -71,16 +106,26 @@ func MapLocal[T, L any](n, workers int, newLocal func() L, fn func(i int, local 
 			}
 			out[i] = v
 		}
+		if obs != nil {
+			wall := time.Since(began)
+			(*obs)(Report{Items: n, Workers: 1, Wall: wall, Busy: wall})
+		}
 		return out, nil
 	}
 
 	errs := make([]error, n)
 	var next atomic.Int64
+	var busy atomic.Int64 // summed per-worker busy nanoseconds
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			var workerBegan time.Time
+			if obs != nil {
+				workerBegan = time.Now()
+				defer func() { busy.Add(int64(time.Since(workerBegan))) }()
+			}
 			local := newLocal()
 			for {
 				i := int(next.Add(1)) - 1
@@ -97,6 +142,14 @@ func MapLocal[T, L any](n, workers int, newLocal func() L, fn func(i int, local 
 		}()
 	}
 	wg.Wait()
+	if obs != nil {
+		(*obs)(Report{
+			Items:   n,
+			Workers: workers,
+			Wall:    time.Since(began),
+			Busy:    time.Duration(busy.Load()),
+		})
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

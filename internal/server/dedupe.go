@@ -112,6 +112,11 @@ func (s *Server) idempotent(h http.HandlerFunc) http.HandlerFunc {
 		}
 		w.Header().Set("X-Request-ID", id)
 		e, leader := s.dedupe.begin(id)
+		if leader {
+			s.metrics.dedupeMiss()
+		} else {
+			s.metrics.dedupeHit()
+		}
 		if !leader {
 			select {
 			case <-e.done:

@@ -1,0 +1,43 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// FuzzSubmitRatings throws arbitrary bodies at POST /v1/ratings. The
+// contract: malformed or hostile input must map to a 4xx status —
+// never a panic (the test binary would crash) and never a 5xx, which
+// would trip retry loops in the client.
+func FuzzSubmitRatings(f *testing.F) {
+	f.Add(`[{"rater":1,"object":42,"value":0.8,"time":3.5}]`)
+	f.Add(`{"rater":1,"object":42,"value":0.8,"time":3.5}`)
+	f.Add(`[]`)
+	f.Add(`[{"rater":1e999}]`)
+	f.Add(`[{"value":"NaN"}]`)
+	f.Add(`[{"rater":1,"object":2,"value":2.5,"time":-1}]`)
+	f.Add(`not json at all`)
+	f.Add("\x00\xff\xfe")
+	f.Add(`[[[[[[[[[[[[[[[[`)
+	f.Add(`[{"rater":9223372036854775807,"object":-9223372036854775808,"value":1,"time":0}]`)
+
+	srv, err := New(core.Config{}, WithMaxBodyBytes(1<<16))
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Fuzz(func(t *testing.T, body string) {
+		req := httptest.NewRequest("POST", "/v1/ratings", strings.NewReader(body))
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, req)
+		switch w.Code {
+		case http.StatusOK, http.StatusBadRequest, http.StatusRequestEntityTooLarge:
+		default:
+			t.Fatalf("status %d for body %q", w.Code, body)
+		}
+	})
+}

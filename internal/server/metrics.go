@@ -1,0 +1,92 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+
+	"repro/internal/telemetry"
+)
+
+// serverMetrics is the HTTP facade's telemetry surface: per-endpoint
+// request counts by status code, per-endpoint latency, in-flight
+// requests, and idempotency-cache effectiveness.
+type serverMetrics struct {
+	requests *telemetry.CounterVec   // labels: route, code
+	latency  *telemetry.HistogramVec // labels: route
+	inflight *telemetry.Gauge
+
+	dedupeHits   *telemetry.Counter // replayed from the idempotency cache
+	dedupeMisses *telemetry.Counter // executed as the leader
+}
+
+func newServerMetrics(r *telemetry.Registry) *serverMetrics {
+	if r == nil {
+		return nil
+	}
+	return &serverMetrics{
+		requests:     r.CounterVec("http_requests_total", "HTTP requests by endpoint and status code", "route", "code"),
+		latency:      r.HistogramVec("http_request_seconds", "HTTP request handling latency by endpoint", nil, "route"),
+		inflight:     r.Gauge("http_inflight_requests", "requests currently being handled"),
+		dedupeHits:   r.Counter("http_idempotency_hits_total", "requests answered from the idempotency cache"),
+		dedupeMisses: r.Counter("http_idempotency_misses_total", "idempotent requests that executed as leader"),
+	}
+}
+
+// statusWriter records the response status code written by a handler.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// observe wraps one route's handler with request counting and latency
+// timing. With telemetry disabled it returns the handler untouched, so
+// the uninstrumented request path is byte-for-byte what it was.
+func (s *Server) observe(route string, h http.HandlerFunc) http.HandlerFunc {
+	m := s.metrics
+	if m == nil {
+		return h
+	}
+	hist := m.latency.With(route)
+	return func(w http.ResponseWriter, r *http.Request) {
+		m.inflight.Add(1)
+		sp := hist.Start()
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		sp.End()
+		m.inflight.Add(-1)
+		code := sw.status
+		if code == 0 {
+			// Handler wrote nothing: net/http sends 200 on return.
+			code = http.StatusOK
+		}
+		m.requests.With(route, strconv.Itoa(code)).Inc()
+	}
+}
+
+// Nil-safe dedupe-cache counters for the idempotency middleware.
+
+func (m *serverMetrics) dedupeHit() {
+	if m != nil {
+		m.dedupeHits.Inc()
+	}
+}
+
+func (m *serverMetrics) dedupeMiss() {
+	if m != nil {
+		m.dedupeMisses.Inc()
+	}
+}

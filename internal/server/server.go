@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/rating"
+	"repro/internal/telemetry"
 	"repro/internal/trust"
 )
 
@@ -54,6 +55,7 @@ type Server struct {
 	dedupe     *dedupeCache
 	maxBody    int64
 	reqTimeout time.Duration
+	metrics    *serverMetrics
 }
 
 // Option customizes a Server.
@@ -61,6 +63,14 @@ type Option func(*Server)
 
 // WithJournal routes mutations through j (write-ahead logging).
 func WithJournal(j Journal) Option { return func(s *Server) { s.journal = j } }
+
+// WithTelemetry registers the server's HTTP metrics (per-endpoint
+// request counts, latencies, status codes, idempotency-cache hits) on
+// reg and enables per-request instrumentation. A nil registry leaves
+// the server uninstrumented.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(s *Server) { s.metrics = newServerMetrics(reg) }
+}
 
 // WithMaxBodyBytes caps request bodies; n <= 0 keeps the default
 // (8 MiB).
@@ -153,17 +163,19 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) routes() {
-	s.mux.HandleFunc("POST /v1/ratings", s.idempotent(s.handleSubmit))
-	s.mux.HandleFunc("POST /v1/process", s.idempotent(s.handleProcess))
-	s.mux.HandleFunc("GET /v1/objects/{id}/aggregate", s.handleAggregate)
-	s.mux.HandleFunc("GET /v1/raters/{id}/trust", s.handleTrust)
-	s.mux.HandleFunc("GET /v1/malicious", s.handleMalicious)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET /v1/snapshot", s.handleSnapshotGet)
-	s.mux.HandleFunc("PUT /v1/snapshot", s.handleSnapshotPut)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+	// Each route is wrapped with its own telemetry label; observe is
+	// the identity when no registry is installed.
+	s.mux.HandleFunc("POST /v1/ratings", s.observe("/v1/ratings", s.idempotent(s.handleSubmit)))
+	s.mux.HandleFunc("POST /v1/process", s.observe("/v1/process", s.idempotent(s.handleProcess)))
+	s.mux.HandleFunc("GET /v1/objects/{id}/aggregate", s.observe("/v1/objects/{id}/aggregate", s.handleAggregate))
+	s.mux.HandleFunc("GET /v1/raters/{id}/trust", s.observe("/v1/raters/{id}/trust", s.handleTrust))
+	s.mux.HandleFunc("GET /v1/malicious", s.observe("/v1/malicious", s.handleMalicious))
+	s.mux.HandleFunc("GET /v1/stats", s.observe("/v1/stats", s.handleStats))
+	s.mux.HandleFunc("GET /v1/snapshot", s.observe("/v1/snapshot", s.handleSnapshotGet))
+	s.mux.HandleFunc("PUT /v1/snapshot", s.observe("/v1/snapshot", s.handleSnapshotPut))
+	s.mux.HandleFunc("GET /healthz", s.observe("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	}))
 }
 
 // RatingPayload is the wire form of one rating.

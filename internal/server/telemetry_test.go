@@ -1,0 +1,99 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// TestTelemetryCountsRequests drives a handful of requests through an
+// instrumented server and checks the per-route counters, status
+// labels, latency histograms, and idempotency-cache counters.
+func TestTelemetryCountsRequests(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	srv, err := New(core.Config{}, WithTelemetry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	post := func(path, body string, requestID string) int {
+		req, err := http.NewRequest("POST", ts.URL+path, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if requestID != "" {
+			req.Header.Set("X-Request-ID", requestID)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if code := post("/v1/ratings", `[{"rater":1,"object":42,"value":0.8,"time":3.5}]`, "req-1"); code != 200 {
+		t.Fatalf("submit = %d", code)
+	}
+	// Same request ID again: served from the idempotency cache.
+	if code := post("/v1/ratings", `[{"rater":1,"object":42,"value":0.8,"time":3.5}]`, "req-1"); code != 200 {
+		t.Fatalf("replayed submit = %d", code)
+	}
+	if code := post("/v1/ratings", `not json`, ""); code != 400 {
+		t.Fatalf("bad submit = %d", code)
+	}
+	for i := 0; i < 3; i++ {
+		resp, err := ts.Client().Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`http_requests_total{route="/v1/ratings",code="200"} 2`,
+		`http_requests_total{route="/v1/ratings",code="400"} 1`,
+		`http_requests_total{route="/healthz",code="200"} 3`,
+		`http_request_seconds_count{route="/v1/ratings"} 3`,
+		"http_idempotency_hits_total 1",
+		"http_idempotency_misses_total 1",
+		"http_inflight_requests 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestUninstrumentedServerHasNoMetrics pins the disabled path: without
+// WithTelemetry the server must work and keep no metric state.
+func TestUninstrumentedServerHasNoMetrics(t *testing.T) {
+	srv, err := New(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.metrics != nil {
+		t.Fatal("metrics installed without WithTelemetry")
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,219 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// escapeHelp escapes a HELP string per the Prometheus text format.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// formatFloat renders a sample value the way Prometheus expects.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelString renders {a="x",b="y"} from parallel name/value slices,
+// optionally appending an extra pair (used for histogram "le").
+func labelString(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, n, escapeLabel(values[i]))
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, extraName, escapeLabel(extraValue))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// writeHistogram renders one histogram (possibly a vec child) in the
+// text format: cumulative _bucket series, then _sum and _count.
+func writeHistogram(w io.Writer, name string, labelNames, labelValues []string, s HistogramSnapshot) {
+	var cum uint64
+	for i, bound := range s.Bounds {
+		cum += s.Counts[i]
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name,
+			labelString(labelNames, labelValues, "le", formatFloat(bound)), cum)
+	}
+	cum += s.Counts[len(s.Bounds)]
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name,
+		labelString(labelNames, labelValues, "le", "+Inf"), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name,
+		labelString(labelNames, labelValues, "", ""), formatFloat(s.Sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", name,
+		labelString(labelNames, labelValues, "", ""), s.Count)
+}
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4), sorted by metric name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, e := range r.sortedEntries() {
+		fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s %s\n", e.name, escapeHelp(e.help), e.name, e.kind)
+		switch e.kind {
+		case kindCounter:
+			fmt.Fprintf(bw, "%s %d\n", e.name, e.counter.Value())
+		case kindGauge:
+			fmt.Fprintf(bw, "%s %s\n", e.name, formatFloat(e.gauge.Value()))
+		case kindGaugeFunc:
+			fmt.Fprintf(bw, "%s %s\n", e.name, formatFloat(e.gaugeFn()))
+		case kindGaugeVecFunc:
+			m := e.vecFn()
+			keys := make([]string, 0, len(m))
+			for k := range m {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(bw, "%s%s %s\n", e.name,
+					labelString([]string{e.vecFnLabel}, []string{k}, "", ""), formatFloat(m[k]))
+			}
+		case kindHistogram:
+			writeHistogram(bw, e.name, nil, nil, e.hist.Snapshot())
+		case kindCounterVec:
+			for _, ch := range e.counterVec.v.sorted() {
+				fmt.Fprintf(bw, "%s%s %d\n", e.name,
+					labelString(e.counterVec.v.labels, ch.values, "", ""), ch.m.Value())
+			}
+		case kindHistogramVec:
+			for _, ch := range e.histVec.v.sorted() {
+				writeHistogram(bw, e.name, e.histVec.v.labels, ch.values, ch.m.Snapshot())
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// histJSON is the JSON dump's histogram shape: totals plus quantile
+// estimates, which is what a human curling /debug/vars wants.
+type histJSON struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// jsonSafe maps NaN (empty histogram quantiles) to 0 so the dump stays
+// valid JSON.
+func jsonSafe(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
+func histToJSON(h *Histogram) histJSON {
+	j := histJSON{
+		Count: h.Count(),
+		Sum:   jsonSafe(h.Sum()),
+		P50:   jsonSafe(h.Quantile(0.50)),
+		P90:   jsonSafe(h.Quantile(0.90)),
+		P99:   jsonSafe(h.Quantile(0.99)),
+	}
+	if j.Count > 0 {
+		j.Mean = j.Sum / float64(j.Count)
+	}
+	return j
+}
+
+// WriteJSON renders an expvar-style dump: one top-level key per
+// metric; vecs become nested objects keyed by comma-joined label
+// values.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "{}\n")
+		return err
+	}
+	doc := make(map[string]any)
+	for _, e := range r.sortedEntries() {
+		switch e.kind {
+		case kindCounter:
+			doc[e.name] = e.counter.Value()
+		case kindGauge:
+			doc[e.name] = jsonSafe(e.gauge.Value())
+		case kindGaugeFunc:
+			doc[e.name] = jsonSafe(e.gaugeFn())
+		case kindGaugeVecFunc:
+			m := e.vecFn()
+			safe := make(map[string]float64, len(m))
+			for k, v := range m {
+				safe[k] = jsonSafe(v)
+			}
+			doc[e.name] = safe
+		case kindHistogram:
+			doc[e.name] = histToJSON(e.hist)
+		case kindCounterVec:
+			m := make(map[string]uint64)
+			for _, ch := range e.counterVec.v.sorted() {
+				m[strings.Join(ch.values, ",")] = ch.m.Value()
+			}
+			doc[e.name] = m
+		case kindHistogramVec:
+			m := make(map[string]histJSON)
+			for _, ch := range e.histVec.v.sorted() {
+				m[strings.Join(ch.values, ",")] = histToJSON(ch.m)
+			}
+			doc[e.name] = m
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// Handler serves the Prometheus text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// JSONHandler serves the /debug/vars-style JSON dump.
+func (r *Registry) JSONHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+}

@@ -1,0 +1,530 @@
+// Package telemetry is the runtime metrics substrate for the serving
+// stack: a stdlib-only registry of atomic counters, gauges and
+// fixed-bucket latency histograms (with quantile estimates), plus
+// labeled metric families and lightweight pipeline spans that time
+// named stages.
+//
+// Two exposition formats are provided (see expo.go): the Prometheus
+// text format served by ratingd's /metrics, and an expvar-style JSON
+// dump served by /debug/vars.
+//
+// Everything is safe for concurrent use, and the whole surface is
+// nil-tolerant by design: a nil *Registry hands out nil metrics, and
+// every method on a nil metric is a no-op. Code paths are therefore
+// instrumented unconditionally — when telemetry is disabled the cost
+// of an instrumented operation is a single predictable branch, and no
+// clock is ever read.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n. Negative deltas are a programming error; counters only
+// go up, so n is unsigned.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 metric that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add applies a delta (negative allowed) with a CAS loop.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// DefLatencyBuckets are the default histogram bounds for operation
+// latencies in seconds: 1µs to 10s in a 1-2.5-5 decade ladder, wide
+// enough to hold both an AR fit (~µs) and an fsync-bound snapshot.
+var DefLatencyBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram counts observations into fixed buckets (cumulative "le"
+// semantics like Prometheus) and tracks their sum, so rates, means and
+// quantile estimates can all be derived from one metric.
+type Histogram struct {
+	bounds  []float64 // sorted upper bounds; +Inf bucket is implicit
+	counts  []atomic.Uint64
+	sumBits atomic.Uint64
+	count   atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v; len(bounds) = overflow
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear
+// interpolation inside the bucket holding the target rank. Values in
+// the overflow bucket are reported as the largest bound. It returns
+// NaN when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	var cum float64
+	lower := 0.0
+	for i := range h.counts {
+		n := float64(h.counts[i].Load())
+		if cum+n >= rank && n > 0 {
+			if i == len(h.bounds) { // overflow bucket: no finite upper edge
+				return h.bounds[len(h.bounds)-1]
+			}
+			upper := h.bounds[i]
+			frac := (rank - cum) / n
+			return lower + frac*(upper-lower)
+		}
+		cum += n
+		if i < len(h.bounds) {
+			lower = h.bounds[i]
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// HistogramSnapshot is a consistent-enough copy of a histogram for
+// exposition (buckets are read without a global lock, so a snapshot
+// taken during writes may be off by in-flight observations).
+type HistogramSnapshot struct {
+	Bounds []float64 // upper bounds, same order as Counts[:len(Bounds)]
+	Counts []uint64  // per-bucket counts; last entry is the overflow bucket
+	Sum    float64
+	Count  uint64
+}
+
+// Snapshot copies the histogram's state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    h.Sum(),
+		Count:  h.Count(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Span times one operation into a histogram. The zero Span (from a nil
+// histogram) is a no-op and never reads the clock.
+type Span struct {
+	h     *Histogram
+	start time.Time
+}
+
+// Start begins timing an operation; call End to record it.
+func (h *Histogram) Start() Span {
+	if h == nil {
+		return Span{}
+	}
+	return Span{h: h, start: time.Now()}
+}
+
+// End records the elapsed time since Start.
+func (s Span) End() {
+	if s.h != nil {
+		s.h.Observe(time.Since(s.start).Seconds())
+	}
+}
+
+// Pipeline times named stages of a processing pipeline into one
+// histogram family labeled by stage.
+type Pipeline struct{ stages *HistogramVec }
+
+// NewPipeline registers a stage-labeled histogram family on r (nil r
+// gives a no-op pipeline).
+func NewPipeline(r *Registry, name, help string) *Pipeline {
+	if r == nil {
+		return nil
+	}
+	return &Pipeline{stages: r.HistogramVec(name, help, DefLatencyBuckets, "stage")}
+}
+
+// Start begins timing one stage.
+func (p *Pipeline) Start(stage string) Span {
+	if p == nil {
+		return Span{}
+	}
+	return p.stages.With(stage).Start()
+}
+
+// labelKey joins label values into a map key; \xff never appears in
+// sane label values, so the join is unambiguous.
+func labelKey(values []string) string { return strings.Join(values, "\xff") }
+
+// vecChild pairs a child metric with its label values for exposition.
+type vecChild[M any] struct {
+	values []string
+	m      M
+}
+
+// vec is the shared labeled-family machinery: a lazily populated map
+// of children keyed by label values, read-locked on the hot path.
+type vec[M any] struct {
+	mu       sync.RWMutex
+	labels   []string
+	children map[string]*vecChild[M]
+	newChild func() M
+}
+
+func newVec[M any](labels []string, newChild func() M) *vec[M] {
+	return &vec[M]{
+		labels:   labels,
+		children: make(map[string]*vecChild[M]),
+		newChild: newChild,
+	}
+}
+
+func (v *vec[M]) with(values ...string) M {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("telemetry: %d label values for %d labels", len(values), len(v.labels)))
+	}
+	key := labelKey(values)
+	v.mu.RLock()
+	c, ok := v.children[key]
+	v.mu.RUnlock()
+	if ok {
+		return c.m
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.children[key]; ok {
+		return c.m
+	}
+	c = &vecChild[M]{values: append([]string(nil), values...), m: v.newChild()}
+	v.children[key] = c
+	return c.m
+}
+
+// sorted returns the children in deterministic (label-value) order.
+func (v *vec[M]) sorted() []*vecChild[M] {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*vecChild[M], len(keys))
+	for i, k := range keys {
+		out[i] = v.children[k]
+	}
+	return out
+}
+
+// CounterVec is a family of counters distinguished by label values.
+type CounterVec struct{ v *vec[*Counter] }
+
+// With returns (creating on first use) the child for the given label
+// values, in registration label order.
+func (c *CounterVec) With(values ...string) *Counter {
+	if c == nil {
+		return nil
+	}
+	return c.v.with(values...)
+}
+
+// Total sums every child — handy for summary lines.
+func (c *CounterVec) Total() uint64 {
+	if c == nil {
+		return 0
+	}
+	var t uint64
+	for _, ch := range c.v.sorted() {
+		t += ch.m.Value()
+	}
+	return t
+}
+
+// HistogramVec is a family of histograms distinguished by label values.
+type HistogramVec struct {
+	v      *vec[*Histogram]
+	bounds []float64
+}
+
+// With returns (creating on first use) the child histogram for the
+// given label values.
+func (h *HistogramVec) With(values ...string) *Histogram {
+	if h == nil {
+		return nil
+	}
+	return h.v.with(values...)
+}
+
+// metricKind discriminates registry entries.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota + 1
+	kindGauge
+	kindGaugeFunc
+	kindGaugeVecFunc
+	kindHistogram
+	kindCounterVec
+	kindHistogramVec
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter, kindCounterVec:
+		return "counter"
+	case kindGauge, kindGaugeFunc, kindGaugeVecFunc:
+		return "gauge"
+	case kindHistogram, kindHistogramVec:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// entry is one registered metric.
+type entry struct {
+	name, help string
+	kind       metricKind
+
+	counter    *Counter
+	gauge      *Gauge
+	gaugeFn    func() float64
+	hist       *Histogram
+	counterVec *CounterVec
+	histVec    *HistogramVec
+
+	vecFnLabel string
+	vecFn      func() map[string]float64
+}
+
+// Registry holds named metrics and renders them (expo.go). The zero
+// value is NOT usable — call NewRegistry — but a nil *Registry is: it
+// hands out nil metrics whose operations are all no-ops, which is how
+// instrumented packages run with telemetry disabled.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+// register returns the existing entry for name (asserting its kind) or
+// installs the one built by mk. Re-registering a name is idempotent so
+// packages can be re-instantiated (tests, multiple servers) against
+// one registry; a kind clash is a programming error and panics.
+func (r *Registry) register(name, help string, kind metricKind, mk func() *entry) *entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("telemetry: %s re-registered as %s (was %s)", name, kind, e.kind))
+		}
+		return e
+	}
+	e := mk()
+	e.name, e.help, e.kind = name, help, kind
+	r.entries[name] = e
+	return e
+}
+
+// Counter registers (or returns the existing) counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, kindCounter, func() *entry {
+		return &entry{counter: &Counter{}}
+	}).counter
+}
+
+// Gauge registers (or returns the existing) gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, kindGauge, func() *entry {
+		return &entry{gauge: &Gauge{}}
+	}).gauge
+}
+
+// GaugeFunc registers a gauge computed by fn at exposition time (for
+// values that are cheaper to read than to track, e.g. goroutine
+// counts). Re-registering a name keeps the first function.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.register(name, help, kindGaugeFunc, func() *entry {
+		return &entry{gaugeFn: fn}
+	})
+}
+
+// GaugeVecFunc registers a labeled gauge family computed by fn at
+// exposition time: fn returns label value -> gauge value for the
+// single label named label. Used for scrape-time distributions such as
+// the trust-record histogram.
+func (r *Registry) GaugeVecFunc(name, help, label string, fn func() map[string]float64) {
+	if r == nil {
+		return
+	}
+	r.register(name, help, kindGaugeVecFunc, func() *entry {
+		return &entry{vecFnLabel: label, vecFn: fn}
+	})
+}
+
+// Histogram registers (or returns the existing) histogram. nil bounds
+// mean DefLatencyBuckets.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if bounds == nil {
+		bounds = DefLatencyBuckets
+	}
+	return r.register(name, help, kindHistogram, func() *entry {
+		return &entry{hist: newHistogram(bounds)}
+	}).hist
+}
+
+// CounterVec registers (or returns the existing) counter family with
+// the given label names.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, kindCounterVec, func() *entry {
+		return &entry{counterVec: &CounterVec{v: newVec(labels, func() *Counter { return &Counter{} })}}
+	}).counterVec
+}
+
+// HistogramVec registers (or returns the existing) histogram family.
+// nil bounds mean DefLatencyBuckets.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	if bounds == nil {
+		bounds = DefLatencyBuckets
+	}
+	return r.register(name, help, kindHistogramVec, func() *entry {
+		bs := append([]float64(nil), bounds...)
+		sort.Float64s(bs)
+		return &entry{histVec: &HistogramVec{
+			v:      newVec(labels, func() *Histogram { return newHistogram(bs) }),
+			bounds: bs,
+		}}
+	}).histVec
+}
+
+// sortedEntries returns the registered entries in name order.
+func (r *Registry) sortedEntries() []*entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.entries))
+	for n := range r.entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*entry, len(names))
+	for i, n := range names {
+		out[i] = r.entries[n]
+	}
+	return out
+}

@@ -1,0 +1,269 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "total requests")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("requests_total", "total requests"); again != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+
+	g := r.Gauge("depth", "queue depth")
+	g.Set(3)
+	g.Add(-1.5)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %g, want 1.5", got)
+	}
+}
+
+func TestNilRegistryIsNoop(t *testing.T) {
+	var r *Registry
+	c := r.Counter("a", "")
+	g := r.Gauge("b", "")
+	h := r.Histogram("c", "", nil)
+	cv := r.CounterVec("d", "", "l")
+	hv := r.HistogramVec("e", "", nil, "l")
+	r.GaugeFunc("f", "", func() float64 { return 1 })
+	r.GaugeVecFunc("g", "", "l", nil)
+	p := NewPipeline(r, "h", "")
+
+	// Every operation on the nil metrics must be a safe no-op.
+	c.Inc()
+	c.Add(2)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	cv.With("x").Inc()
+	hv.With("x").Observe(1)
+	sp := h.Start()
+	sp.End()
+	p.Start("stage").End()
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || cv.Total() != 0 {
+		t.Fatal("nil metrics accumulated state")
+	}
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("nil histogram quantile should be NaN")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "latency", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	if got := h.Sum(); got != 106.5 {
+		t.Fatalf("sum = %g, want 106.5", got)
+	}
+	s := h.Snapshot()
+	want := []uint64{1, 2, 1, 1} // le=1, le=2, le=4, +Inf
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (%+v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	// Median rank 2.5 lands in the (1,2] bucket; interpolation stays
+	// inside its bounds.
+	if q := h.Quantile(0.5); q < 1 || q > 2 {
+		t.Fatalf("p50 = %g, want within (1,2]", q)
+	}
+	// The 99th percentile rank is in the overflow bucket: clamped to
+	// the largest bound.
+	if q := h.Quantile(0.99); q != 4 {
+		t.Fatalf("p99 = %g, want 4", q)
+	}
+	if !math.IsNaN(r.Histogram("empty", "", []float64{1}).Quantile(0.5)) {
+		t.Fatal("empty histogram quantile should be NaN")
+	}
+}
+
+func TestVecChildren(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("http_requests_total", "", "route", "code")
+	cv.With("/v1/ratings", "200").Add(3)
+	cv.With("/v1/ratings", "400").Inc()
+	cv.With("/v1/process", "200").Inc()
+	if got := cv.Total(); got != 5 {
+		t.Fatalf("total = %d, want 5", got)
+	}
+	if c := cv.With("/v1/ratings", "200"); c.Value() != 3 {
+		t.Fatalf("child = %d, want 3", c.Value())
+	}
+
+	hv := r.HistogramVec("stage_seconds", "", []float64{1}, "stage")
+	hv.With("filter").Observe(0.5)
+	hv.With("fit").Observe(2)
+	if hv.With("filter").Count() != 1 || hv.With("fit").Count() != 1 {
+		t.Fatal("histogram vec children not isolated")
+	}
+}
+
+func TestRegisterKindClashPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind clash")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "counts a\nsecond line").Add(7)
+	r.Gauge("b", "a gauge").Set(2.5)
+	r.GaugeFunc("c", "computed", func() float64 { return 9 })
+	r.GaugeVecFunc("d", "dist", "le", func() map[string]float64 {
+		return map[string]float64{"0.5": 3, "1.0": 4}
+	})
+	r.CounterVec("e_total", "labeled", "route", "code").With(`/v1/x"y\z`, "200").Inc()
+	r.Histogram("f_seconds", "hist", []float64{1, 2}).Observe(1.5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP a_total counts a\\nsecond line\n# TYPE a_total counter\na_total 7\n",
+		"# TYPE b gauge\nb 2.5\n",
+		"c 9\n",
+		`d{le="0.5"} 3`,
+		`d{le="1.0"} 4`,
+		`e_total{route="/v1/x\"y\\z",code="200"} 1`,
+		`f_seconds_bucket{le="1"} 0`,
+		`f_seconds_bucket{le="2"} 1`,
+		`f_seconds_bucket{le="+Inf"} 1`,
+		"f_seconds_sum 1.5",
+		"f_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Text-format sanity: every non-comment line is "name[{labels}] value".
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+}
+
+func TestJSONExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a", "").Add(2)
+	h := r.Histogram("h", "", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`"a": 2`, `"count": 2`, `"p50":`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON dump missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpanAndPipeline(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("op_seconds", "", nil)
+	sp := h.Start()
+	sp.End()
+	if h.Count() != 1 {
+		t.Fatalf("span did not observe (count=%d)", h.Count())
+	}
+	p := NewPipeline(r, "pipeline_seconds", "stages")
+	p.Start("filter").End()
+	p.Start("filter").End()
+	p.Start("fit").End()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `pipeline_seconds_count{stage="filter"} 2`) {
+		t.Errorf("pipeline stage not exposed:\n%s", sb.String())
+	}
+}
+
+// TestConcurrentUse hammers every metric type from many goroutines
+// while a scraper renders both formats; run under -race this verifies
+// the registry's concurrency contract.
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", nil)
+	cv := r.CounterVec("cv", "", "l")
+	hv := r.HistogramVec("hv", "", nil, "l")
+	r.GaugeFunc("gf", "", func() float64 { return float64(c.Value()) })
+
+	const workers, iters = 8, 500
+	var wg sync.WaitGroup
+	wg.Add(workers + 1)
+	labels := []string{"a", "b", "c", "d"}
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%7) * 1e-4)
+				cv.With(labels[i%len(labels)]).Inc()
+				hv.With(labels[(i+w)%len(labels)]).Observe(1e-3)
+			}
+		}(w)
+	}
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			if err := r.WritePrometheus(&sb); err != nil {
+				t.Error(err)
+			}
+			if err := r.WriteJSON(&sb); err != nil {
+				t.Error(err)
+			}
+			_ = h.Quantile(0.9)
+		}
+	}()
+	wg.Wait()
+
+	if got := c.Value(); got != workers*iters {
+		t.Fatalf("counter = %d, want %d", got, workers*iters)
+	}
+	if got := cv.Total(); got != workers*iters {
+		t.Fatalf("counter vec total = %d, want %d", got, workers*iters)
+	}
+	if got := h.Count(); got != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", got, workers*iters)
+	}
+	if got := g.Value(); got != workers*iters {
+		t.Fatalf("gauge = %g, want %d", got, workers*iters)
+	}
+}

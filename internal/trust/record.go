@@ -236,6 +236,25 @@ func (m *Manager) Malicious() []rating.RaterID {
 // Len returns the number of tracked raters.
 func (m *Manager) Len() int { return len(m.records) }
 
+// TrustDistribution bins every tracked rater's current trust value
+// into the given sorted upper bounds (cumulative "le" semantics: out[i]
+// counts raters with trust <= bounds[i]; trust lies in (0,1), so the
+// last bound should be 1). It is the scrape-time gauge behind the
+// telemetry layer's trust-record histogram — a cheap O(raters) pass
+// over the live records, with no mutation and no forgetting applied.
+func (m *Manager) TrustDistribution(bounds []float64) []int {
+	out := make([]int, len(bounds))
+	for _, rec := range m.records {
+		t := rec.Trust()
+		for i, b := range bounds {
+			if t <= b {
+				out[i]++
+			}
+		}
+	}
+	return out
+}
+
 // Records returns a copy of every rater's record, for persistence.
 func (m *Manager) Records() map[rating.RaterID]Record {
 	out := make(map[rating.RaterID]Record, len(m.records))

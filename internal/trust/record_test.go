@@ -317,3 +317,43 @@ func TestTrustBoundsProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestTrustDistribution checks the cumulative "le" bin semantics: each
+// bin counts every live record whose trust is at or below its bound.
+func TestTrustDistribution(t *testing.T) {
+	m, err := NewManager(ManagerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rater 1: heavily suspicious; rater 2: honest; rater 3: untouched
+	// neutral record created by a lookup-free update with no evidence.
+	if err := m.Update(1, Observation{N: 10, Filtered: 5, Suspicious: 5, SuspicionMass: 8}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Update(2, Observation{N: 10}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Update(3, Observation{}, 0); err != nil {
+		t.Fatal(err)
+	}
+	bounds := []float64{0.25, 0.5, 0.75, 1}
+	got := m.TrustDistribution(bounds)
+	if len(got) != len(bounds) {
+		t.Fatalf("len = %d, want %d", len(got), len(bounds))
+	}
+	// Cumulative: each bin includes everything in the bins before it.
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("bins not cumulative: %v", got)
+		}
+	}
+	if got[len(got)-1] != m.Len() {
+		t.Fatalf("last bin = %d, want all %d records", got[len(got)-1], m.Len())
+	}
+	if got[0] < 1 {
+		t.Fatalf("suspicious rater not in lowest bin: %v (trust=%g)", got, m.Trust(1))
+	}
+	if got[1] < 2 {
+		t.Fatalf("neutral record above 0.5 bin: %v (trust=%g)", got, m.Trust(3))
+	}
+}

@@ -96,6 +96,9 @@ type Options struct {
 	SegmentBytes int64
 	// Warnf receives recovery and degradation warnings; nil discards.
 	Warnf func(format string, args ...any)
+	// Metrics receives telemetry (latency histograms, counters,
+	// segment gauges); nil disables instrumentation.
+	Metrics *Metrics
 }
 
 func (o Options) withDefaults() Options {
@@ -264,6 +267,8 @@ func Open(opts Options) (*Log, *Recovery, error) {
 	}
 	_ = fsys.SyncDir(opts.Dir)
 
+	opts.Metrics.recovered(len(rec.Records), len(rec.TornFiles))
+
 	l := &Log{opts: opts, seq: lastSeq, curSize: lastSize}
 	// Append into the last segment if it exists and has room,
 	// otherwise start a fresh one.
@@ -317,6 +322,7 @@ func (l *Log) openSegment() error {
 	l.cur = f
 	l.sealed = false
 	l.dirty = false
+	l.opts.Metrics.segment(l.seq, l.curSize)
 	return nil
 }
 
@@ -335,6 +341,7 @@ func (l *Log) rotate() error {
 	}
 	l.seq++
 	l.curSize = 0
+	l.opts.Metrics.rotated()
 	return l.openSegment()
 }
 
@@ -357,6 +364,7 @@ func (l *Log) Append(rec Record) error {
 		}
 	}
 	l.buf = appendFrame(l.buf[:0], rec)
+	sp := l.opts.Metrics.startAppend()
 	n, err := l.cur.Write(l.buf)
 	l.curSize += int64(n)
 	if err != nil {
@@ -369,12 +377,19 @@ func (l *Log) Append(rec Record) error {
 		} else {
 			l.sealed = true
 		}
+		l.opts.Metrics.appendFailed()
 		return fmt.Errorf("wal: append: %w", err)
 	}
+	sp.End()
 	l.dirty = true
+	l.opts.Metrics.segment(l.seq, l.curSize)
 	if l.opts.Policy == SyncAlways {
-		return l.syncLocked()
+		if err := l.syncLocked(); err != nil {
+			l.opts.Metrics.appendFailed()
+			return err
+		}
 	}
+	l.opts.Metrics.appended(1)
 	return nil
 }
 
@@ -401,6 +416,7 @@ func (l *Log) AppendAll(recs []Record) error {
 	for _, rec := range recs {
 		l.buf = appendFrame(l.buf, rec)
 	}
+	sp := l.opts.Metrics.startAppend()
 	n, err := l.cur.Write(l.buf)
 	l.curSize += int64(n)
 	if err != nil {
@@ -410,12 +426,19 @@ func (l *Log) AppendAll(recs []Record) error {
 		} else {
 			l.sealed = true
 		}
+		l.opts.Metrics.appendFailed()
 		return fmt.Errorf("wal: append batch: %w", err)
 	}
+	sp.End()
 	l.dirty = true
+	l.opts.Metrics.segment(l.seq, l.curSize)
 	if l.opts.Policy == SyncAlways {
-		return l.syncLocked()
+		if err := l.syncLocked(); err != nil {
+			l.opts.Metrics.appendFailed()
+			return err
+		}
 	}
+	l.opts.Metrics.appended(len(recs))
 	return nil
 }
 
@@ -433,9 +456,11 @@ func (l *Log) syncLocked() error {
 	if !l.dirty || l.cur == nil {
 		return nil
 	}
+	sp := l.opts.Metrics.startFsync()
 	if err := l.cur.Sync(); err != nil {
 		return fmt.Errorf("wal: sync: %w", err)
 	}
+	sp.End()
 	l.dirty = false
 	return nil
 }
@@ -455,6 +480,8 @@ func (l *Log) Snapshot(write func(io.Writer) error) error {
 	if l.closed {
 		return ErrClosed
 	}
+	sp := l.opts.Metrics.startSnapshot()
+	defer sp.End()
 	// Seal the tail so the snapshot covers segments < cover and the
 	// next append lands in segment `cover`.
 	if err := l.rotate(); err != nil {
