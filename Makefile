@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench fuzz chaos ci artifacts benchreport clean
+.PHONY: all build vet test race race-soak bench fuzz chaos ci artifacts benchreport clean
 
 # Per-target budget for the fuzz sweep; go-fuzz corpora live in
 # testdata/fuzz and regressions found there replay in plain `go test`.
@@ -15,11 +15,22 @@ all: build
 build:
 	$(GO) build ./...
 
+vet:
+	$(GO) vet ./...
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
+
+# race-soak replays the seeded concurrent workloads under the race
+# detector with fresh schedules (-count=1): router-fed sharded engines
+# cross-checked against the single-threaded oracle, shard-count
+# invariance, and the sharded daemon's journal round trips.
+race-soak:
+	$(GO) test -race -count=1 -run 'Soak|Invariance|Router|ShardDaemon|ShardJournal' \
+		./internal/shard/ ./cmd/ratingd/
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -31,15 +42,18 @@ fuzz:
 	$(GO) test -fuzz FuzzParseFrames -fuzztime $(FUZZTIME) ./internal/wal/
 	$(GO) test -fuzz FuzzDecodeRecord -fuzztime $(FUZZTIME) ./internal/wal/
 	$(GO) test -fuzz FuzzSubmitRatings -fuzztime $(FUZZTIME) ./internal/server/
+	$(GO) test -fuzz FuzzShardIndex -fuzztime $(FUZZTIME) ./internal/shard/
 
 # ci is the gate every change must pass: static checks, a full build,
-# the test suite under the race detector, and a one-shot smoke run of
-# the tab1 macro benchmark (exercises the parallel Monte-Carlo path
-# end to end without benchmark-grade runtimes).
+# the test suite under the race detector, a fresh-schedule soak of the
+# sharded engine, and a one-shot smoke run of the tab1 macro benchmark
+# (exercises the parallel Monte-Carlo path end to end without
+# benchmark-grade runtimes).
 ci:
-	$(GO) vet ./...
+	$(MAKE) vet
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(MAKE) race-soak
 	$(GO) test -run=NONE -bench=BenchmarkTab1 -benchtime=1x .
 	$(MAKE) chaos
 
@@ -56,7 +70,7 @@ artifacts:
 	$(GO) run ./cmd/experiments -run all -mode full -csv artifacts/
 
 benchreport:
-	$(GO) run ./cmd/benchreport -out BENCH_3.json
+	$(GO) run ./cmd/benchreport -out BENCH_4.json
 
 clean:
 	rm -rf artifacts/

@@ -10,12 +10,17 @@
 // CRC verification, decode) and replayed into a fresh system, timing
 // the path a restarting ratingd takes.
 //
-// Finally it measures the telemetry tax: the full ProcessWindow
+// It also measures the telemetry tax: the full ProcessWindow
 // pipeline is timed with per-stage span instrumentation live and
 // again with a nil registry (the no-op path), and the relative
 // overhead is reported. The budget is <2%.
 //
-//	benchreport                      # all experiments -> BENCH_3.json
+// Finally it measures shard scaling: the same out-of-order rating
+// stream is ingested through the batching router at 1, 2, 4, and 8
+// shards, and the report records the 4-shard speedup over the
+// single-shard baseline (target: at least 1.5x).
+//
+//	benchreport                      # all experiments -> BENCH_4.json
 //	benchreport -run tab1 -out -     # one experiment  -> stdout
 //	benchreport -workers 4 -walrecords 100000
 package main
@@ -27,6 +32,8 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -34,6 +41,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/randx"
 	"repro/internal/rating"
+	"repro/internal/shard"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/wal"
@@ -46,10 +54,35 @@ type Report struct {
 	Workers     int               `json:"workers"`
 	Mode        string            `json:"mode"`
 	Seed        int64             `json:"seed"`
-	Experiments []ExperimentStats `json:"experiments"`
-	WALReplay   *WALReplayStats   `json:"wal_replay,omitempty"`
-	Telemetry   *TelemetryStats   `json:"telemetry_overhead,omitempty"`
-	TotalWallNS int64             `json:"total_wall_ns"`
+	Experiments []ExperimentStats  `json:"experiments"`
+	WALReplay   *WALReplayStats    `json:"wal_replay,omitempty"`
+	Telemetry   *TelemetryStats    `json:"telemetry_overhead,omitempty"`
+	ShardScale  *ShardScalingStats `json:"shard_scaling,omitempty"`
+	TotalWallNS int64              `json:"total_wall_ns"`
+}
+
+// ShardScalingStats measures ingest throughput through the batching
+// router at increasing shard counts on one fixed out-of-order
+// workload. The win on a single CPU is batching amortization, not
+// parallelism: a shard's 256-rating batch covers a longer stretch of
+// the submission stream as shards grow, so each object's sorted
+// history is re-merged correspondingly fewer times.
+type ShardScalingStats struct {
+	Ratings     int                `json:"ratings"`
+	Objects     int                `json:"objects"`
+	BatchSize   int                `json:"batch_size"`
+	SubmitChunk int                `json:"submit_chunk"`
+	Submitters  int                `json:"submitters"`
+	Configs     []ShardConfigStats `json:"configs"`
+	SpeedupAt4  float64            `json:"speedup_at_4"`
+	WallNS      int64              `json:"wall_ns"`
+}
+
+// ShardConfigStats is one shard count's ingest measurement.
+type ShardConfigStats struct {
+	Shards        int     `json:"shards"`
+	WallNS        int64   `json:"wall_ns"`
+	RatingsPerSec float64 `json:"ratings_per_sec"`
 }
 
 // TelemetryStats compares the instrumented ProcessWindow pipeline
@@ -91,9 +124,10 @@ func run(args []string, stdout io.Writer) error {
 		runID   = fs.String("run", "all", "experiment ID to measure, or \"all\"")
 		seed    = fs.Int64("seed", 1, "top-level random seed")
 		workers = fs.Int("workers", 0, "Monte-Carlo worker goroutines (0 = GOMAXPROCS)")
-		out     = fs.String("out", "BENCH_3.json", "output path, or \"-\" for stdout")
-		walRecs = fs.Int("walrecords", 50000, "WAL records for the recovery-replay benchmark (0 skips it)")
-		telReps = fs.Int("telemetryreps", 20, "ProcessWindow repetitions for the telemetry-overhead benchmark (0 skips it)")
+		out       = fs.String("out", "BENCH_4.json", "output path, or \"-\" for stdout")
+		walRecs   = fs.Int("walrecords", 50000, "WAL records for the recovery-replay benchmark (0 skips it)")
+		telReps   = fs.Int("telemetryreps", 20, "ProcessWindow repetitions for the telemetry-overhead benchmark (0 skips it)")
+		shardRecs = fs.Int("shardratings", 60000, "ratings for the shard-scaling ingest benchmark (0 skips it)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -137,6 +171,15 @@ func run(args []string, stdout io.Writer) error {
 		}
 		report.Telemetry = &stats
 		report.TotalWallNS += stats.BaselineWallNS + stats.TelemetryWallNS
+	}
+
+	if *shardRecs > 0 {
+		stats, err := measureShardScaling(*shardRecs, *seed)
+		if err != nil {
+			return fmt.Errorf("shard scaling: %w", err)
+		}
+		report.ShardScale = &stats
+		report.TotalWallNS += stats.WallNS
 	}
 
 	data, err := json.MarshalIndent(report, "", "  ")
@@ -275,6 +318,105 @@ func measureTelemetryOverhead(reps int, seed int64) (TelemetryStats, error) {
 		TelemetryWallNS: tel.Nanoseconds(),
 		OverheadPercent: 100 * (tel.Seconds() - base.Seconds()) / base.Seconds(),
 	}, nil
+}
+
+// measureShardScaling times ingesting one fixed stream of
+// time-jittered ratings through the router at 1, 2, 4, and 8 shards.
+// Submissions arrive as small chunks from concurrent clients — the
+// shape under which per-shard group commit earns its keep — and every
+// configuration must ingest the identical stream completely.
+func measureShardScaling(n int, seed int64) (ShardScalingStats, error) {
+	const (
+		objects     = 48
+		raters      = 512
+		batchSize   = 256
+		submitChunk = 64
+		submitters  = 32
+	)
+	rng := randx.New(seed)
+	rs := make([]rating.Rating, n)
+	for i := range rs {
+		rs[i] = rating.Rating{
+			Rater:  rating.RaterID(rng.Intn(raters) + 1),
+			Object: rating.ObjectID(rng.Intn(objects)),
+			Value:  rng.Float64(),
+			// Arrival order deliberately scrambled relative to event
+			// time, so every flush merges into the middle of history.
+			Time: rng.Float64() * 365,
+		}
+	}
+	stats := ShardScalingStats{
+		Ratings: n, Objects: objects,
+		BatchSize: batchSize, SubmitChunk: submitChunk, Submitters: submitters,
+	}
+	var base time.Duration
+	for _, shards := range []int{1, 2, 4, 8} {
+		engine, err := shard.NewEngine(core.Config{}, shards)
+		if err != nil {
+			return stats, err
+		}
+		router, err := shard.NewRouter(shard.RouterConfig{
+			Shards:    shards,
+			BatchSize: batchSize,
+			Flush:     engine.SubmitShard,
+		})
+		if err != nil {
+			return stats, err
+		}
+		runtime.GC()
+		began := time.Now()
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		errs := make([]error, submitters)
+		for w := 0; w < submitters; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for {
+					lo := int(next.Add(submitChunk)) - submitChunk
+					if lo >= n {
+						return
+					}
+					hi := lo + submitChunk
+					if hi > n {
+						hi = n
+					}
+					if err := router.Submit(rs[lo:hi]); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		if err := router.Flush(); err != nil {
+			return stats, err
+		}
+		wall := time.Since(began)
+		if err := router.Close(); err != nil {
+			return stats, err
+		}
+		for _, err := range errs {
+			if err != nil {
+				return stats, err
+			}
+		}
+		if got := engine.Len(); got != n {
+			return stats, fmt.Errorf("%d shards: ingested %d of %d ratings", shards, got, n)
+		}
+		if shards == 1 {
+			base = wall
+		} else if shards == 4 && base > 0 {
+			stats.SpeedupAt4 = base.Seconds() / wall.Seconds()
+		}
+		stats.Configs = append(stats.Configs, ShardConfigStats{
+			Shards:        shards,
+			WallNS:        wall.Nanoseconds(),
+			RatingsPerSec: float64(n) / wall.Seconds(),
+		})
+		stats.WallNS += wall.Nanoseconds()
+	}
+	return stats, nil
 }
 
 // measure runs one experiment and reports its wall time and the heap

@@ -13,7 +13,7 @@ import (
 
 func TestSingleExperimentToStdout(t *testing.T) {
 	var buf strings.Builder
-	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "0", "-telemetryreps", "0"}, &buf); err != nil {
+	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "0", "-telemetryreps", "0", "-shardratings", "0"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	var rep Report
@@ -37,7 +37,7 @@ func TestSingleExperimentToStdout(t *testing.T) {
 
 func TestWALReplayStats(t *testing.T) {
 	var buf strings.Builder
-	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "2000", "-telemetryreps", "0"}, &buf); err != nil {
+	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "2000", "-telemetryreps", "0", "-shardratings", "0"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	var rep Report
@@ -58,7 +58,7 @@ func TestWALReplayStats(t *testing.T) {
 
 func TestWritesFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_test.json")
-	if err := run([]string{"-run", "fig2", "-out", path, "-workers", "2", "-telemetryreps", "0"}, io.Discard); err != nil {
+	if err := run([]string{"-run", "fig2", "-out", path, "-workers", "2", "-telemetryreps", "0", "-shardratings", "0"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -97,6 +97,38 @@ func TestAllCoversRegistry(t *testing.T) {
 	}
 }
 
+func TestShardScalingStats(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "0", "-telemetryreps", "0", "-shardratings", "4000"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal([]byte(buf.String()), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	s := rep.ShardScale
+	if s == nil {
+		t.Fatal("shard_scaling missing from report")
+	}
+	if s.Ratings != 4000 || len(s.Configs) != 4 {
+		t.Fatalf("degenerate shard scaling stats: %+v", s)
+	}
+	for i, want := range []int{1, 2, 4, 8} {
+		c := s.Configs[i]
+		if c.Shards != want || c.WallNS <= 0 || c.RatingsPerSec <= 0 {
+			t.Fatalf("config %d degenerate: %+v", i, c)
+		}
+	}
+	// The speedup ratio itself is asserted only for sanity here (the
+	// 1.5x target needs benchmark-size workloads, not test-size ones).
+	if s.SpeedupAt4 <= 0 {
+		t.Fatalf("speedup_at_4 = %v", s.SpeedupAt4)
+	}
+	if rep.TotalWallNS != rep.Experiments[0].WallNS+s.WallNS {
+		t.Fatalf("total %d does not include shard scaling %d", rep.TotalWallNS, s.WallNS)
+	}
+}
+
 func TestUnknownExperiment(t *testing.T) {
 	if err := run([]string{"-run", "fig99", "-out", "-"}, io.Discard); err == nil {
 		t.Fatal("unknown experiment accepted")
@@ -105,7 +137,7 @@ func TestUnknownExperiment(t *testing.T) {
 
 func TestTelemetryOverheadStats(t *testing.T) {
 	var buf strings.Builder
-	if err := run([]string{"-run", "fig2", "-out", "-", "-walrecords", "0", "-telemetryreps", "3"}, &buf); err != nil {
+	if err := run([]string{"-run", "fig2", "-out", "-", "-walrecords", "0", "-telemetryreps", "3", "-shardratings", "0"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	var rep Report

@@ -7,8 +7,20 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/rating"
+	"repro/internal/server"
 	"repro/internal/wal"
 )
+
+// daemonJournal is what run() needs from either journal flavor: the
+// server.Journal mutations plus the maintenance hooks the background
+// loops drive.
+type daemonJournal interface {
+	server.Journal
+	// Snapshot rebases the log(s) on the current state and compacts.
+	Snapshot() error
+	// Sync flushes buffered frames to disk (used under -fsync interval).
+	Sync() error
+}
 
 // walJournal implements server.Journal over a write-ahead log. Its
 // mutex makes [append to the log + apply to the system] atomic with
@@ -18,7 +30,7 @@ import (
 type walJournal struct {
 	mu  sync.Mutex
 	log *wal.Log
-	sys *core.SafeSystem
+	sys server.Backend
 }
 
 // SubmitAll logs the batch in one all-or-nothing write, then applies
@@ -72,8 +84,11 @@ func (j *walJournal) Snapshot() error {
 	return j.log.Snapshot(j.sys.WriteSnapshot)
 }
 
+// Sync flushes the log's buffered frames to disk.
+func (j *walJournal) Sync() error { return j.log.Sync() }
+
 // replayTarget adapts the system for wal.Replay.
-type replayTarget struct{ sys *core.SafeSystem }
+type replayTarget struct{ sys server.Backend }
 
 func (t replayTarget) Submit(r rating.Rating) error { return t.sys.Submit(r) }
 

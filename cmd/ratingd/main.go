@@ -37,6 +37,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/parallel"
 	"repro/internal/server"
+	"repro/internal/shard"
 	"repro/internal/telemetry"
 	"repro/internal/trust"
 	"repro/internal/wal"
@@ -60,6 +61,10 @@ func run(args []string) (retErr error) {
 		order     = fs.Int("order", 4, "AR model order")
 		b         = fs.Float64("b", 1, "Procedure 2's b (suspicion weight)")
 		forget    = fs.Float64("forget", 1, "per-day trust forgetting factor")
+
+		shards        = fs.Int("shards", 1, "shard workers partitioning state by object; 1 keeps the single-system engine")
+		batchSize     = fs.Int("batch", 256, "sharded mode: ratings coalesced per shard flush (group commit)")
+		batchInterval = fs.Duration("batch-interval", 2*time.Millisecond, "sharded mode: max wait before a partial batch flushes; negative flushes on size only")
 
 		walDir        = fs.String("wal", "", "write-ahead-log directory; empty disables the WAL")
 		fsyncMode     = fs.String("fsync", "always", "WAL fsync policy: always|interval|never")
@@ -110,28 +115,117 @@ func run(args []string) (retErr error) {
 		fmt.Fprintf(os.Stderr, "ratingd: "+format+"\n", a...)
 	}
 
-	// Open the WAL first: recovery decides the starting state.
+	// Build the backend and its journal. Recovery runs before the
+	// server exists: whatever the WAL holds decides the starting state.
 	walMetrics := wal.NewMetrics(reg)
-	var journal *walJournal
-	var rec *wal.Recovery
-	if *walDir != "" {
-		log, r, err := wal.Open(wal.Options{
-			Dir:          *walDir,
+	mkWALOpts := func(dir string) wal.Options {
+		return wal.Options{
+			Dir:          dir,
 			Policy:       policy,
 			SegmentBytes: *segmentBytes,
 			Warnf:        warnf,
 			Metrics:      walMetrics,
+		}
+	}
+	usingWAL := *walDir != ""
+
+	var (
+		backend   server.Backend
+		journal   daemonJournal
+		router    *shard.Router
+		recovered bool
+	)
+	if *shards > 1 {
+		engine, err := shard.NewEngine(cfg, *shards)
+		if err != nil {
+			return err
+		}
+		shardMetrics := shard.NewMetrics(reg, *shards)
+		engine.SetMetrics(shardMetrics)
+		backend = engine
+
+		sj := &shardJournal{engine: engine, seq: 1}
+		if usingWAL {
+			ws, err := openShardWALs(*walDir, *shards, engine, mkWALOpts, warnf)
+			if err != nil {
+				return err
+			}
+			defer func() {
+				for _, l := range ws.logs {
+					if err := l.Close(); err != nil && !errors.Is(err, wal.ErrClosed) {
+						retErr = errors.Join(retErr, fmt.Errorf("close shard wal: %w", err))
+					}
+				}
+			}()
+			sj.logs = ws.logs
+			sj.seq = ws.seq
+			recovered = ws.recovered
+		}
+		// The router fronts the journal even without a WAL: batching is
+		// what amortizes per-submission store merges across shards.
+		router, err = shard.NewRouter(shard.RouterConfig{
+			Shards:    *shards,
+			BatchSize: *batchSize,
+			Interval:  *batchInterval,
+			Flush:     sj.flush,
+			Metrics:   shardMetrics,
 		})
 		if err != nil {
-			return fmt.Errorf("open wal: %w", err)
+			return err
 		}
-		defer func() {
-			if err := log.Close(); err != nil && !errors.Is(err, wal.ErrClosed) {
-				retErr = errors.Join(retErr, fmt.Errorf("close wal: %w", err))
+		sj.router = router
+		journal = sj
+	} else {
+		if usingWAL {
+			// Refuse a directory the sharded layout owns: falling back to
+			// an empty root log would silently serve zero state.
+			if m, ok, err := readManifest(*walDir); err != nil {
+				return err
+			} else if ok {
+				return fmt.Errorf("wal dir %s is sharded (%d shards, epoch %d); rerun with -shards >= 2",
+					*walDir, m.Shards, m.Epoch)
 			}
-		}()
-		rec = r
-		journal = &walJournal{log: log}
+		}
+		sys, err := core.NewSafeSystem(cfg)
+		if err != nil {
+			return err
+		}
+		backend = sys
+
+		var rec *wal.Recovery
+		var wj *walJournal
+		if usingWAL {
+			log, r, err := wal.Open(mkWALOpts(*walDir))
+			if err != nil {
+				return fmt.Errorf("open wal: %w", err)
+			}
+			defer func() {
+				if err := log.Close(); err != nil && !errors.Is(err, wal.ErrClosed) {
+					retErr = errors.Join(retErr, fmt.Errorf("close wal: %w", err))
+				}
+			}()
+			rec = r
+			wj = &walJournal{log: log, sys: sys}
+			journal = wj
+		}
+
+		// Recover: snapshot baseline + log-tail replay. Recovery is
+		// best-effort by design — a damaged snapshot or record is warned
+		// about and skipped, never a refusal to start.
+		if wj != nil {
+			if rec.Snapshot != nil {
+				if err := sys.LoadSnapshot(bytes.NewReader(rec.Snapshot)); err != nil {
+					warnf("recovery: snapshot unusable, replaying log from scratch: %v", err)
+				}
+			}
+			applied := wal.Replay(replayTarget{sys: sys}, rec.Records, warnf)
+			walMetrics.ReplayedRecords.Add(uint64(applied))
+			if rec.Snapshot != nil || len(rec.Records) > 0 {
+				fmt.Printf("recovered %d ratings (%d/%d log records from %d segments)\n",
+					sys.Len(), applied, len(rec.Records), rec.Segments)
+			}
+			recovered = rec.Snapshot != nil || len(rec.Records) > 0
+		}
 	}
 
 	opts := []server.Option{
@@ -142,33 +236,14 @@ func run(args []string) (retErr error) {
 	if journal != nil {
 		opts = append(opts, server.WithJournal(journal))
 	}
-	srv, err := server.New(cfg, opts...)
+	srv, err := server.NewWith(backend, opts...)
 	if err != nil {
 		return err
 	}
 	registerTrustMetrics(reg, srv.System())
 
-	// Recover: snapshot baseline + log-tail replay. Recovery is
-	// best-effort by design — a damaged snapshot or record is warned
-	// about and skipped, never a refusal to start.
-	if journal != nil {
-		journal.sys = srv.System()
-		if rec.Snapshot != nil {
-			if err := srv.System().LoadSnapshot(bytes.NewReader(rec.Snapshot)); err != nil {
-				warnf("recovery: snapshot unusable, replaying log from scratch: %v", err)
-			}
-		}
-		applied := wal.Replay(replayTarget{sys: srv.System()}, rec.Records, warnf)
-		walMetrics.ReplayedRecords.Add(uint64(applied))
-		if rec.Snapshot != nil || len(rec.Records) > 0 {
-			fmt.Printf("recovered %d ratings (%d/%d log records from %d segments)\n",
-				srv.System().Len(), applied, len(rec.Records), rec.Segments)
-		}
-	}
-
 	// A -snapshot file seeds state only when the WAL recovered
 	// nothing (or the WAL is off); otherwise the WAL is authoritative.
-	recovered := rec != nil && (rec.Snapshot != nil || len(rec.Records) > 0)
 	if *snapshot != "" && !recovered {
 		if err := loadSnapshot(srv, *snapshot); err != nil {
 			return err
@@ -185,7 +260,7 @@ func run(args []string) (retErr error) {
 			fmt.Printf("state saved to %s\n", *snapshot)
 		}()
 	}
-	if journal != nil {
+	if usingWAL {
 		// Make the recovered + seeded state the log's baseline so a
 		// crash before the first background snapshot replays little.
 		defer func() {
@@ -202,7 +277,7 @@ func run(args []string) (retErr error) {
 	// snapshot+compaction.
 	bg := make(chan struct{})
 	defer close(bg)
-	if journal != nil && policy == wal.SyncInterval && *fsyncInterval > 0 {
+	if usingWAL && policy == wal.SyncInterval && *fsyncInterval > 0 {
 		go func() {
 			t := time.NewTicker(*fsyncInterval)
 			defer t.Stop()
@@ -211,14 +286,14 @@ func run(args []string) (retErr error) {
 				case <-bg:
 					return
 				case <-t.C:
-					if err := journal.log.Sync(); err != nil && !errors.Is(err, wal.ErrClosed) {
+					if err := journal.Sync(); err != nil && !errors.Is(err, wal.ErrClosed) {
 						warnf("background fsync: %v", err)
 					}
 				}
 			}
 		}()
 	}
-	if journal != nil && *snapEvery > 0 {
+	if usingWAL && *snapEvery > 0 {
 		go func() {
 			t := time.NewTicker(*snapEvery)
 			defer t.Stop()
@@ -231,6 +306,17 @@ func run(args []string) (retErr error) {
 						warnf("background snapshot: %v", err)
 					}
 				}
+			}
+		}()
+	}
+
+	if router != nil {
+		// Registered after every other cleanup so it runs first on
+		// shutdown: drain pending batches into the logs and engine
+		// before the final snapshot captures them.
+		defer func() {
+			if err := router.Close(); err != nil {
+				retErr = errors.Join(retErr, fmt.Errorf("close router: %w", err))
 			}
 		}()
 	}

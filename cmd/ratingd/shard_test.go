@@ -1,0 +1,280 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rating"
+	"repro/internal/server"
+	"repro/internal/shard"
+	"repro/internal/shard/shardtest"
+	"repro/internal/wal"
+)
+
+func testWALOpts(dir string) wal.Options {
+	return wal.Options{Dir: dir, Policy: wal.SyncNever}
+}
+
+// openShardDaemon wires the sharded pieces the way run() does: epoch
+// layout open + recovery, journal, batching router.
+func openShardDaemon(t *testing.T, dir string, shards int) (*shard.Engine, *shardJournal, *shardWALs) {
+	t.Helper()
+	engine, err := shard.NewEngine(core.Config{}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := openShardWALs(dir, shards, engine, testWALOpts, t.Logf)
+	if err != nil {
+		t.Fatalf("open shard wals: %v", err)
+	}
+	j := &shardJournal{engine: engine, logs: ws.logs, seq: ws.seq}
+	// BatchSize 1 so every Submit flushes immediately; the ticker is
+	// off to keep tests free of timing.
+	r, err := shard.NewRouter(shard.RouterConfig{
+		Shards: shards, BatchSize: 1, Interval: -1, Flush: j.flush,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.router = r
+	return engine, j, ws
+}
+
+func closeShardDaemon(t *testing.T, j *shardJournal, ws *shardWALs) {
+	t.Helper()
+	if err := j.router.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range ws.logs {
+		if err := l.Close(); err != nil && !errors.Is(err, wal.ErrClosed) {
+			t.Fatal(err)
+		}
+	}
+}
+
+func engineFingerprint(t *testing.T, e *shard.Engine, objects int) string {
+	t.Helper()
+	fp, err := shardtest.Fingerprint(e, objects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fp
+}
+
+// Ratings and windows accepted through the sharded journal survive an
+// abrupt stop with no final snapshot: per-shard tails plus barrier
+// records reconstruct the exact state.
+func TestShardDaemonRoundTrip(t *testing.T) {
+	w := shardtest.Workload{Seed: 31, Months: 2, PerMonth: 200}
+	months := w.Generate()
+	dir := t.TempDir()
+
+	_, j, ws := openShardDaemon(t, dir, 2)
+	engine := j.engine
+	for _, m := range months {
+		if err := j.SubmitAll(m.Ratings); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := j.ProcessWindow(m.Start, m.End); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := engineFingerprint(t, engine, 5)
+	closeShardDaemon(t, j, ws) // abrupt: no snapshot
+
+	engine2, j2, ws2 := openShardDaemon(t, dir, 2)
+	defer closeShardDaemon(t, j2, ws2)
+	if !ws2.recovered {
+		t.Fatal("no prior state recovered")
+	}
+	if got := engineFingerprint(t, engine2, 5); got != want {
+		t.Fatalf("recovered state diverges:\nwant %q\ngot  %q", want, got)
+	}
+}
+
+// Restarting with a different -shards value migrates the directory to
+// a new epoch: same state, new layout, old epoch retired.
+func TestShardDaemonShardCountMigration(t *testing.T) {
+	w := shardtest.Workload{Seed: 32, Months: 2, PerMonth: 200}
+	months := w.Generate()
+	dir := t.TempDir()
+
+	_, j, ws := openShardDaemon(t, dir, 2)
+	for _, m := range months {
+		if err := j.SubmitAll(m.Ratings); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := j.ProcessWindow(m.Start, m.End); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := engineFingerprint(t, j.engine, 5)
+	closeShardDaemon(t, j, ws)
+
+	engine2, j2, ws2 := openShardDaemon(t, dir, 3)
+	if !ws2.recovered {
+		t.Fatal("migration did not report recovered state")
+	}
+	if got := engineFingerprint(t, engine2, 5); got != want {
+		t.Fatalf("migrated state diverges:\nwant %q\ngot  %q", want, got)
+	}
+	m, ok, err := readManifest(dir)
+	if err != nil || !ok {
+		t.Fatalf("manifest after migration: ok=%v err=%v", ok, err)
+	}
+	if m.Epoch != 2 || m.Shards != 3 {
+		t.Fatalf("manifest = %+v, want epoch 2 shards 3", m)
+	}
+	if _, err := os.Stat(epochPath(dir, 1)); !os.IsNotExist(err) {
+		t.Fatalf("retired epoch 1 still present (err=%v)", err)
+	}
+	closeShardDaemon(t, j2, ws2)
+
+	// The migrated layout must itself recover cleanly.
+	engine3, j3, ws3 := openShardDaemon(t, dir, 3)
+	defer closeShardDaemon(t, j3, ws3)
+	if got := engineFingerprint(t, engine3, 5); got != want {
+		t.Fatalf("post-migration restart diverges:\nwant %q\ngot  %q", want, got)
+	}
+}
+
+// A pre-sharding WAL (segments directly in the root) migrates into
+// epoch 1 with its ratings and window effects intact, and a second
+// restart does not replay the legacy records again.
+func TestShardDaemonLegacyMigration(t *testing.T) {
+	dir := t.TempDir()
+	log, _, err := wal.Open(testWALOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := core.NewSystem(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		r := rating.Rating{Rater: rating.RaterID(i%5 + 1), Object: 7, Value: 0.8, Time: float64(i)}
+		if err := log.Append(wal.RatingRecord(r)); err != nil {
+			t.Fatal(err)
+		}
+		if err := oracle.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := log.Append(wal.ProcessRecord(0, 30)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := oracle.ProcessWindow(0, 30); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want, err := shardtest.Fingerprint(oracle, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	engine, j, ws := openShardDaemon(t, dir, 2)
+	if !ws.recovered {
+		t.Fatal("legacy state not recovered")
+	}
+	if got := engineFingerprint(t, engine, 8); got != want {
+		t.Fatalf("legacy migration diverges:\nwant %q\ngot  %q", want, got)
+	}
+	closeShardDaemon(t, j, ws)
+
+	// Restart: the manifest supersedes the legacy segments still on
+	// disk, so nothing replays twice.
+	engine2, j2, ws2 := openShardDaemon(t, dir, 2)
+	defer closeShardDaemon(t, j2, ws2)
+	if got := engine2.Len(); got != 25 {
+		t.Fatalf("after restart Len = %d, want 25 (legacy log replayed twice?)", got)
+	}
+	if got := engineFingerprint(t, engine2, 8); got != want {
+		t.Fatalf("post-migration restart diverges:\nwant %q\ngot  %q", want, got)
+	}
+}
+
+// A barrier broadcast that fails after reaching some logs wedges the
+// journal: accepting more writes would turn a recoverable torn
+// barrier into an unrecoverable mid-stream inconsistency.
+func TestShardJournalWedgesOnPartialBarrier(t *testing.T) {
+	dir := t.TempDir()
+	_, j, ws := openShardDaemon(t, dir, 2)
+	defer closeShardDaemon(t, j, ws)
+
+	if err := j.SubmitAll([]rating.Rating{{Rater: 1, Object: 0, Value: 0.5, Time: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	// Kill shard 1's log out from under the journal: the barrier lands
+	// in log 0, then fails — a partial broadcast.
+	if err := ws.logs[1].Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.ProcessWindow(0, 30); err == nil {
+		t.Fatal("partial barrier broadcast did not error")
+	}
+	if err := j.flush(0, []rating.Rating{{Rater: 2, Object: 0, Value: 0.6, Time: 2}}); !errors.Is(err, errJournalWedged) {
+		t.Fatalf("flush after partial barrier = %v, want errJournalWedged", err)
+	}
+	if _, err := j.ProcessWindow(0, 30); !errors.Is(err, errJournalWedged) {
+		t.Fatalf("window after partial barrier = %v, want errJournalWedged", err)
+	}
+}
+
+// The full HTTP surface works in front of the sharded engine: submit,
+// process, and reads all route through the journal and router.
+func TestShardDaemonServesHTTP(t *testing.T) {
+	dir := t.TempDir()
+	engine, j, ws := openShardDaemon(t, dir, 4)
+	defer closeShardDaemon(t, j, ws)
+	srv, err := server.NewWith(engine, server.WithJournal(j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := server.NewClient(ts.URL, ts.Client())
+	ctx := context.Background()
+
+	var batch []server.RatingPayload
+	for i := 0; i < 40; i++ {
+		batch = append(batch, server.RatingPayload{
+			Rater: i%8 + 1, Object: i % 5, Value: 0.8, Time: float64(i) / 2,
+		})
+	}
+	if _, err := client.Submit(ctx, batch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Process(ctx, 0, 30); err != nil {
+		t.Fatal(err)
+	}
+	if got := engine.Len(); got != 40 {
+		t.Fatalf("Len = %d, want 40", got)
+	}
+	agg, err := client.Aggregate(ctx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Value <= 0 {
+		t.Fatalf("aggregate for object 3 = %+v", agg)
+	}
+}
+
+// The legacy single-system path refuses a directory the sharded
+// layout owns rather than serving empty state beside it.
+func TestLegacyPathRefusesShardedDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := writeManifest(dir, walManifest{Version: manifestVersion, Epoch: 1, Shards: 4}); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-wal", dir, "-addr", "127.0.0.1:0"})
+	if err == nil || !strings.Contains(err.Error(), "sharded") {
+		t.Fatalf("run on sharded dir with -shards=1 = %v, want sharded-dir refusal", err)
+	}
+}

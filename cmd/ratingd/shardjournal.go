@@ -1,0 +1,149 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/rating"
+	"repro/internal/shard"
+	"repro/internal/wal"
+)
+
+// errJournalWedged is returned once a barrier broadcast partially
+// failed: some shard logs hold a window the others don't, and any
+// further append would turn recoverable crash damage into a
+// mid-stream inconsistency that recovery refuses to replay.
+var errJournalWedged = errors.New("shard journal wedged after partial barrier broadcast; restart to recover")
+
+// shardJournal implements server.Journal over one write-ahead log per
+// shard. Ratings fan out through the batching router and land in the
+// log of the shard that owns their object; maintenance windows are
+// broadcast to every log as sequence-numbered barrier records, which
+// is what lets recovery realign the independent per-shard histories
+// into one global order.
+//
+// Locking mirrors walJournal's invariant, split for concurrency:
+// rating flushes hold the read lock (different shards append in
+// parallel), while barriers, restores, and snapshots hold the write
+// lock so they observe no half-applied batch.
+type shardJournal struct {
+	mu     sync.RWMutex
+	engine *shard.Engine
+	router *shard.Router
+	logs   []*wal.Log // nil when the WAL is disabled
+	seq    uint64     // next barrier sequence number
+	broken bool
+}
+
+// flush is the router's FlushFunc: append one shard's coalesced batch
+// to that shard's log, then apply it to the engine. Runs on the
+// shard's batcher goroutine, so distinct shards log and apply
+// concurrently under the shared read lock.
+func (j *shardJournal) flush(i int, rs []rating.Rating) error {
+	j.mu.RLock()
+	defer j.mu.RUnlock()
+	if j.broken {
+		return errJournalWedged
+	}
+	if j.logs != nil {
+		recs := make([]wal.Record, len(rs))
+		for k, r := range rs {
+			recs[k] = wal.RatingRecord(r)
+		}
+		if err := j.logs[i].AppendAll(recs); err != nil {
+			return err
+		}
+	}
+	return j.engine.SubmitShard(i, rs)
+}
+
+// SubmitAll routes the batch through the router, blocking until every
+// shard's flush has logged and applied its slice.
+func (j *shardJournal) SubmitAll(rs []rating.Rating) error {
+	return j.router.Submit(rs)
+}
+
+// ProcessWindow broadcasts the window's barrier to every shard log,
+// then runs it. A failure before any log accepted the barrier is a
+// clean refusal; a failure after the first acceptance wedges the
+// journal — the histories have diverged and only a restart (which
+// drops the torn trailing barrier) can reconcile them.
+func (j *shardJournal) ProcessWindow(start, end float64) (core.ProcessReport, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.broken {
+		return core.ProcessReport{}, errJournalWedged
+	}
+	if j.logs != nil {
+		rec := wal.BarrierRecord(j.seq, start, end)
+		for i, l := range j.logs {
+			if err := l.Append(rec); err != nil {
+				if i > 0 {
+					j.broken = true
+					return core.ProcessReport{}, fmt.Errorf(
+						"barrier %d reached %d/%d shard logs: %w", j.seq, i, len(j.logs), err)
+				}
+				return core.ProcessReport{}, err
+			}
+		}
+	}
+	j.seq++
+	return j.engine.ProcessWindow(start, end)
+}
+
+// Restore replaces the engine state and rebases every shard log on a
+// snapshot of it, so stale segments can't replay over the restored
+// state after a crash.
+func (j *shardJournal) Restore(r io.Reader) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.broken {
+		return errJournalWedged
+	}
+	if err := j.engine.LoadSnapshot(r); err != nil {
+		return err
+	}
+	if err := j.snapshotLocked(); err != nil {
+		return fmt.Errorf("rebase shard logs after restore: %w", err)
+	}
+	return nil
+}
+
+// Snapshot captures the current per-shard state as each log's new
+// baseline and compacts covered segments. The write lock keeps every
+// shard's snapshot at the same barrier height.
+func (j *shardJournal) Snapshot() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.snapshotLocked()
+}
+
+func (j *shardJournal) snapshotLocked() error {
+	if j.logs == nil {
+		return nil
+	}
+	barrier := j.seq - 1 // last applied window
+	for i, l := range j.logs {
+		i := i
+		if err := l.Snapshot(func(w io.Writer) error {
+			return shard.WriteShardSnapshot(j.engine, i, barrier, w)
+		}); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Sync flushes every shard log's buffered frames to disk; used by the
+// background fsync loop under -fsync interval.
+func (j *shardJournal) Sync() error {
+	for i, l := range j.logs {
+		if err := l.Sync(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -8,8 +8,8 @@ import (
 	"runtime"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/parallel"
+	"repro/internal/server"
 	"repro/internal/telemetry"
 )
 
@@ -35,7 +35,7 @@ func registerProcessMetrics(reg *telemetry.Registry, started time.Time) {
 // registerTrustMetrics exposes the live trust state: rater count and a
 // cumulative distribution of trust values, both read under the
 // system's lock at scrape time.
-func registerTrustMetrics(reg *telemetry.Registry, sys *core.SafeSystem) {
+func registerTrustMetrics(reg *telemetry.Registry, sys server.Backend) {
 	reg.GaugeFunc("trust_raters", "raters with a live trust record",
 		func() float64 { return float64(sys.RaterCount()) })
 	reg.GaugeVecFunc("trust_records", "cumulative count of raters with trust <= le", "le",
@@ -89,7 +89,7 @@ func telemetryMux(api http.Handler, reg *telemetry.Registry, enablePprof bool) h
 
 // summaryLoop prints a one-line operational summary to stderr every
 // interval until done is closed.
-func summaryLoop(done <-chan struct{}, interval time.Duration, reg *telemetry.Registry, sys *core.SafeSystem, started time.Time) {
+func summaryLoop(done <-chan struct{}, interval time.Duration, reg *telemetry.Registry, sys server.Backend, started time.Time) {
 	requests := reg.CounterVec("http_requests_total", "requests by route and status", "route", "code")
 	windows := reg.Counter("pipeline_windows_total", "maintenance windows processed")
 	t := time.NewTicker(interval)

@@ -9,12 +9,25 @@ import (
 	"testing"
 
 	"repro/internal/randx"
+	"repro/internal/shard"
 	"repro/internal/sim"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite golden files instead of comparing")
 
-const goldenPath = "testdata/golden_pipeline.txt"
+const (
+	goldenPath        = "testdata/golden_pipeline.txt"
+	goldenShardedPath = "testdata/golden_pipeline_sharded.txt"
+)
+
+// goldenSystem is the slice of the system surface the golden trace
+// exercises; core.System and shard.Engine both satisfy it, which is
+// what lets one renderer pin both engines to the same bytes.
+type goldenSystem interface {
+	SubmitAll(rs []Rating) error
+	ProcessWindow(start, end float64) (ProcessReport, error)
+	MaliciousRaters() []RaterID
+}
 
 // renderGoldenTrace runs the full detector pipeline on the paper's
 // fixed-seed attacked stream and renders every numerically meaningful
@@ -24,7 +37,7 @@ const goldenPath = "testdata/golden_pipeline.txt"
 // printed with %.17g so the file round-trips bit-exactly; any change
 // to the filter, AR fit, suspicion charging, or trust update shows up
 // as a diff against the checked-in golden file.
-func renderGoldenTrace(t *testing.T) string {
+func renderGoldenTrace(t *testing.T, mkSys func(Config) (goldenSystem, error)) string {
 	t.Helper()
 	rng := randx.New(42)
 	labeled, err := sim.GenerateIllustrative(rng, sim.DefaultIllustrative())
@@ -69,7 +82,7 @@ func renderGoldenTrace(t *testing.T) string {
 	}
 
 	// End-to-end: the same stream through the full trust system.
-	sys, err := NewSystem(Config{Detector: cfg})
+	sys, err := mkSys(Config{Detector: cfg})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,23 +102,21 @@ func renderGoldenTrace(t *testing.T) string {
 	return b.String()
 }
 
-// TestGoldenPipeline locks the detector + trust pipeline to an exact
-// numerical trace. Regenerate deliberately with:
-//
-//	go test -run TestGoldenPipeline -update .
-func TestGoldenPipeline(t *testing.T) {
-	got := renderGoldenTrace(t)
+// checkGolden compares got against the file at path, rewriting the
+// file instead when -update is set.
+func checkGolden(t *testing.T, path, got string) {
+	t.Helper()
 	if *updateGolden {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)
 		}
-		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
 			t.Fatal(err)
 		}
-		t.Logf("rewrote %s (%d bytes)", goldenPath, len(got))
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
 		return
 	}
-	want, err := os.ReadFile(goldenPath)
+	want, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatalf("missing golden file (run with -update to create): %v", err)
 	}
@@ -132,11 +143,45 @@ func TestGoldenPipeline(t *testing.T) {
 	}
 }
 
+func singleSystem(cfg Config) (goldenSystem, error) { return NewSystem(cfg) }
+
+func shardedSystem(cfg Config) (goldenSystem, error) { return shard.NewEngine(cfg, 4) }
+
+// TestGoldenPipeline locks the detector + trust pipeline to an exact
+// numerical trace. Regenerate deliberately with:
+//
+//	go test -run TestGoldenPipeline -update .
+func TestGoldenPipeline(t *testing.T) {
+	checkGolden(t, goldenPath, renderGoldenTrace(t, singleSystem))
+}
+
+// TestGoldenPipelineSharded runs the identical trace through a 4-shard
+// engine. Its golden file must match the single-system one
+// byte-for-byte: sharding is a throughput layout, never a numerical
+// change.
+func TestGoldenPipelineSharded(t *testing.T) {
+	checkGolden(t, goldenShardedPath, renderGoldenTrace(t, shardedSystem))
+	if *updateGolden {
+		return
+	}
+	single, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := os.ReadFile(goldenShardedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(single) != string(sharded) {
+		t.Fatalf("%s and %s differ: the sharded engine changed the pipeline's numbers", goldenPath, goldenShardedPath)
+	}
+}
+
 // TestGoldenTraceIsDeterministic guards the golden test itself: two
 // fresh runs in the same process must render identical bytes, or the
 // golden comparison would flake.
 func TestGoldenTraceIsDeterministic(t *testing.T) {
-	if renderGoldenTrace(t) != renderGoldenTrace(t) {
+	if renderGoldenTrace(t, singleSystem) != renderGoldenTrace(t, singleSystem) {
 		t.Fatal("pipeline trace differs between identical runs")
 	}
 }

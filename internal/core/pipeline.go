@@ -1,0 +1,178 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/detector"
+	"repro/internal/rating"
+	"repro/internal/trust"
+)
+
+// Pipeline is the stateless per-object detection and aggregation
+// machinery of a System, factored out so a sharded engine can run the
+// exact same arithmetic per shard and still produce bit-identical
+// results: every float operation an object's maintenance scan or
+// aggregation performs lives here, and the callers only decide which
+// objects to scan and in which order to fold the evidence.
+type Pipeline struct {
+	cfg Config
+}
+
+// NewPipeline validates cfg and returns the pipeline. The same
+// defaulting rules as NewSystem apply.
+func NewPipeline(cfg Config) (*Pipeline, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Detector.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Pipeline{cfg: cfg}, nil
+}
+
+// Config returns the defaulted configuration the pipeline runs with.
+func (p *Pipeline) Config() Config { return p.cfg }
+
+// ObjectScan is one object's maintenance-window outcome: the report
+// plus the raw in-window ratings Procedure 2 charges n from. OK is
+// false when the object had no ratings in the window.
+type ObjectScan struct {
+	Report ObjectReport
+	Window []rating.Rating
+	OK     bool
+}
+
+// ScanObject runs one object's share of a maintenance window over
+// [start, end): restrict `all` (the object's time-sorted ratings) to
+// the window, split normal from abnormal with the filter, and scan the
+// normal ones with Procedure 1. A failed detector fit degrades the
+// object to filter-only evidence instead of failing the scan. ws may
+// be nil (a workspace is allocated per call).
+func (p *Pipeline) ScanObject(ws *detector.Workspace, obj rating.ObjectID, all []rating.Rating, start, end float64) (ObjectScan, error) {
+	var window []rating.Rating
+	for _, r := range all {
+		if r.Time >= start && r.Time < end {
+			window = append(window, r)
+		}
+	}
+	if len(window) == 0 {
+		return ObjectScan{}, nil
+	}
+
+	filterSpan := p.cfg.Metrics.stage(StageFilter)
+	res, err := p.cfg.Filter.Apply(window)
+	filterSpan.End()
+	if err != nil {
+		return ObjectScan{}, fmt.Errorf("core: filter object %d: %w", obj, err)
+	}
+
+	dcfg := p.cfg.Detector
+	dcfg.Mode = detector.WindowByTime
+	dcfg.T0 = start
+	dcfg.End = end
+	rep := ObjectReport{
+		Object:     obj,
+		Considered: len(window),
+		Filtered:   len(res.Rejected),
+		Accepted:   res.Accepted,
+		Rejected:   res.Rejected,
+	}
+	fitSpan := p.cfg.Metrics.stage(StageARFit)
+	det, err := detector.DetectWS(res.Accepted, dcfg, ws)
+	fitSpan.End()
+	if err != nil {
+		// Graceful degradation: one object's failed fit (e.g. a
+		// singular AR system) must not fail the whole maintenance
+		// window. The object keeps its filter evidence and contributes
+		// no suspicion.
+		rep.Degraded = true
+		rep.DetectorError = fmt.Sprintf("core: detect object %d: %v", obj, err)
+	} else {
+		rep.Detection = det
+	}
+	return ObjectScan{Report: rep, Window: window, OK: true}, nil
+}
+
+// Charge folds one object scan into the per-rater Procedure 2
+// observations: n from the raw window, f from the filter, s and C from
+// the detector (which only saw accepted ratings, so f + s <= n holds
+// by construction). Callers must fold scans in ascending object order
+// — suspicion mass is a float sum, so the fold order is part of the
+// bit-exact contract.
+func (p *Pipeline) Charge(obs map[rating.RaterID]trust.Observation, scan ObjectScan) {
+	for _, r := range scan.Window {
+		o := obs[r.Rater]
+		o.N++
+		obs[r.Rater] = o
+	}
+	for _, r := range scan.Report.Rejected {
+		o := obs[r.Rater]
+		o.Filtered++
+		obs[r.Rater] = o
+	}
+	for id, stats := range scan.Report.Detection.PerRater {
+		o := obs[id]
+		o.Suspicious += stats.SuspiciousRatings
+		o.SuspicionMass += stats.Suspicion
+		obs[id] = o
+	}
+}
+
+// AggregateRatings produces one object's trust-enhanced aggregate from
+// its candidate ratings (already restricted to any time window):
+// ratings from raters below the malicious-trust threshold are dropped,
+// the filter removes abnormal ratings, each remaining rater
+// contributes their latest rating, and the configured aggregator
+// weighs them by trust (falling back per the config). trustOf supplies
+// the current trust in a rater.
+func (p *Pipeline) AggregateRatings(obj rating.ObjectID, all []rating.Rating, trustOf func(rating.RaterID) float64) (AggregateResult, error) {
+	threshold := p.cfg.Trust.MaliciousThreshold
+	if threshold == 0 {
+		threshold = 0.5
+	}
+	kept := make([]rating.Rating, 0, len(all))
+	for _, r := range all {
+		if trustOf(r.Rater) >= threshold {
+			kept = append(kept, r)
+		}
+	}
+	if len(kept) == 0 {
+		// Every rater is distrusted; aggregate what exists rather than
+		// failing (the fallback aggregator owns this case).
+		kept = all
+	}
+	res, err := p.cfg.Filter.Apply(kept)
+	if err != nil {
+		return AggregateResult{}, fmt.Errorf("core: filter object %d: %w", obj, err)
+	}
+	// Latest rating per rater (input is time-sorted, so overwriting
+	// keeps the newest), then a deterministic rater order.
+	latest := make(map[rating.RaterID]float64)
+	for _, r := range res.Accepted {
+		latest[r.Rater] = r.Value
+	}
+	ids := make([]rating.RaterID, 0, len(latest))
+	for id := range latest {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	values := make([]float64, len(ids))
+	trusts := make([]float64, len(ids))
+	for i, id := range ids {
+		values[i] = latest[id]
+		trusts[i] = trustOf(id)
+	}
+
+	out := AggregateResult{Object: obj, Used: len(ids), Filtered: len(res.Rejected)}
+	v, err := p.cfg.Aggregator.Aggregate(values, trusts)
+	if errors.Is(err, trust.ErrNoTrustedRaters) {
+		out.FellBack = true
+		v, err = p.cfg.Fallback.Aggregate(values, trusts)
+	}
+	if err != nil {
+		return AggregateResult{}, fmt.Errorf("core: aggregate object %d: %w", obj, err)
+	}
+	out.Value = v
+	return out, nil
+}

@@ -114,11 +114,15 @@ func (s *SafeSystem) RecordRecommendations(about rating.RaterID, recs []trust.Re
 	return s.sys.RecordRecommendations(about, recs)
 }
 
-// WriteSnapshot serializes the state while holding the lock.
+// WriteSnapshot serializes the state. The lock is held only while a
+// point-in-time copy of the state is captured; the (much slower) JSON
+// encoding runs outside the critical section, so snapshots and WAL
+// compaction don't stall ingest for the duration of serialization.
 func (s *SafeSystem) WriteSnapshot(w io.Writer) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.sys.WriteSnapshot(w)
+	view := s.sys.View()
+	s.mu.Unlock()
+	return view.Encode(w)
 }
 
 // LoadSnapshot replaces the state while holding the lock.

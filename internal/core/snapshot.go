@@ -42,25 +42,44 @@ type snapshotRecord struct {
 	LastUpdate float64 `json:"lastUpdate"`
 }
 
-// WriteSnapshot serializes the system's full state (ratings + trust
-// records) as JSON.
-func (s *System) WriteSnapshot(w io.Writer) error {
-	snap := snapshot{Version: snapshotVersion}
+// StateView is a point-in-time copy of a system's persistent state:
+// every stored rating plus every trust record. Capturing a view is a
+// plain memory copy, so a concurrent wrapper can take it under a
+// short critical section and serialize outside the lock — snapshots
+// then cost ingest only the copy, not the encoding.
+type StateView struct {
+	Ratings []rating.Rating
+	Records map[rating.RaterID]trust.Record
+}
+
+// View captures the system's current state as a copy. The ratings are
+// emitted per object in the store's first-seen object order, each
+// object's ratings time-sorted — the same order WriteSnapshot has
+// always serialized.
+func (s *System) View() StateView {
+	v := StateView{Records: s.manager.Records()}
 	for _, obj := range s.store.Objects() {
 		rs, err := s.store.ForObject(obj)
 		if err != nil {
-			return fmt.Errorf("core: snapshot: %w", err)
+			continue // unreachable: Objects() only lists known objects
 		}
-		for _, r := range rs {
-			snap.Ratings = append(snap.Ratings, snapshotRating{
-				Rater:  int(r.Rater),
-				Object: int(r.Object),
-				Value:  r.Value,
-				Time:   r.Time,
-			})
-		}
+		v.Ratings = append(v.Ratings, rs...)
 	}
-	for id, rec := range s.manager.Records() {
+	return v
+}
+
+// Encode serializes the view in the snapshot wire format.
+func (v StateView) Encode(w io.Writer) error {
+	snap := snapshot{Version: snapshotVersion}
+	for _, r := range v.Ratings {
+		snap.Ratings = append(snap.Ratings, snapshotRating{
+			Rater:  int(r.Rater),
+			Object: int(r.Object),
+			Value:  r.Value,
+			Time:   r.Time,
+		})
+	}
+	for id, rec := range v.Records {
 		snap.Records = append(snap.Records, snapshotRecord{
 			Rater:      int(id),
 			S:          rec.S,
@@ -75,43 +94,66 @@ func (s *System) WriteSnapshot(w io.Writer) error {
 	return nil
 }
 
-// LoadSnapshot replaces the system's state with a snapshot previously
-// produced by WriteSnapshot. The system's configuration is kept. On
-// error the system's previous state is preserved.
-func (s *System) LoadSnapshot(r io.Reader) error {
+// DecodeSnapshot parses a snapshot previously produced by Encode (or
+// WriteSnapshot) back into a state view, validating the format
+// version. The ratings keep their serialized order.
+func DecodeSnapshot(r io.Reader) (StateView, error) {
 	var snap snapshot
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&snap); err != nil {
-		return fmt.Errorf("core: snapshot decode: %w", err)
+		return StateView{}, fmt.Errorf("core: snapshot decode: %w", err)
 	}
 	if snap.Version != snapshotVersion {
-		return fmt.Errorf("core: snapshot version %d: %w", snap.Version, ErrSnapshotVersion)
+		return StateView{}, fmt.Errorf("core: snapshot version %d: %w", snap.Version, ErrSnapshotVersion)
 	}
-
-	store := rating.NewStore()
+	v := StateView{Records: make(map[rating.RaterID]trust.Record, len(snap.Records))}
+	if len(snap.Ratings) > 0 {
+		v.Ratings = make([]rating.Rating, len(snap.Ratings))
+	}
 	for i, sr := range snap.Ratings {
-		if err := store.Add(rating.Rating{
+		v.Ratings[i] = rating.Rating{
 			Rater:  rating.RaterID(sr.Rater),
 			Object: rating.ObjectID(sr.Object),
 			Value:  sr.Value,
 			Time:   sr.Time,
-		}); err != nil {
-			return fmt.Errorf("core: snapshot rating %d: %w", i, err)
 		}
 	}
-	records := make(map[rating.RaterID]trust.Record, len(snap.Records))
 	for _, rec := range snap.Records {
-		records[rating.RaterID(rec.Rater)] = trust.Record{
+		v.Records[rating.RaterID(rec.Rater)] = trust.Record{
 			S:          rec.S,
 			F:          rec.F,
 			LastUpdate: rec.LastUpdate,
+		}
+	}
+	return v, nil
+}
+
+// WriteSnapshot serializes the system's full state (ratings + trust
+// records) as JSON.
+func (s *System) WriteSnapshot(w io.Writer) error {
+	return s.View().Encode(w)
+}
+
+// LoadSnapshot replaces the system's state with a snapshot previously
+// produced by WriteSnapshot. The system's configuration is kept. On
+// error the system's previous state is preserved.
+func (s *System) LoadSnapshot(r io.Reader) error {
+	v, err := DecodeSnapshot(r)
+	if err != nil {
+		return err
+	}
+
+	store := rating.NewStore()
+	for i, sr := range v.Ratings {
+		if err := store.Add(sr); err != nil {
+			return fmt.Errorf("core: snapshot rating %d: %w", i, err)
 		}
 	}
 	manager, err := trust.NewManager(s.cfg.Trust)
 	if err != nil {
 		return fmt.Errorf("core: snapshot: %w", err)
 	}
-	if err := manager.Restore(records); err != nil {
+	if err := manager.Restore(v.Records); err != nil {
 		return fmt.Errorf("core: snapshot: %w", err)
 	}
 

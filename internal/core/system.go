@@ -9,7 +9,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 
@@ -77,7 +76,11 @@ func (c Config) withDefaults() Config {
 // System is the assembled trust-enhanced rating system. It is not safe
 // for concurrent use.
 type System struct {
-	cfg     Config
+	// cfg aliases the pipeline's defaulted configuration, so in-place
+	// tuning (tests flip detector knobs after construction) reaches
+	// the scans the pipeline runs.
+	cfg     *Config
+	pipe    *Pipeline
 	store   *rating.Store
 	manager *trust.Manager
 }
@@ -85,15 +88,15 @@ type System struct {
 // NewSystem builds a System; it returns an error on invalid
 // sub-configuration.
 func NewSystem(cfg Config) (*System, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.Detector.Validate(); err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+	pipe, err := NewPipeline(cfg)
+	if err != nil {
+		return nil, err
 	}
-	manager, err := trust.NewManager(cfg.Trust)
+	manager, err := trust.NewManager(pipe.cfg.Trust)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	return &System{cfg: cfg, store: rating.NewStore(), manager: manager}, nil
+	return &System{cfg: &pipe.cfg, pipe: pipe, store: rating.NewStore(), manager: manager}, nil
 }
 
 // Submit records one raw rating.
@@ -211,61 +214,15 @@ func (s *System) ProcessWindow(start, end float64) (ProcessReport, error) {
 	if workers < 1 {
 		workers = 1
 	}
-	type objectScan struct {
-		report ObjectReport
-		window []rating.Rating
-		ok     bool
-	}
 	scans, err := parallel.MapLocal(len(objects), workers,
 		detector.NewWorkspace,
-		func(i int, ws *detector.Workspace) (objectScan, error) {
+		func(i int, ws *detector.Workspace) (ObjectScan, error) {
 			obj := objects[i]
 			all, err := s.store.ForObject(obj)
 			if err != nil {
-				return objectScan{}, fmt.Errorf("core: %w", err)
+				return ObjectScan{}, fmt.Errorf("core: %w", err)
 			}
-			var window []rating.Rating
-			for _, r := range all {
-				if r.Time >= start && r.Time < end {
-					window = append(window, r)
-				}
-			}
-			if len(window) == 0 {
-				return objectScan{}, nil
-			}
-
-			filterSpan := s.cfg.Metrics.stage(StageFilter)
-			res, err := s.cfg.Filter.Apply(window)
-			filterSpan.End()
-			if err != nil {
-				return objectScan{}, fmt.Errorf("core: filter object %d: %w", obj, err)
-			}
-
-			dcfg := s.cfg.Detector
-			dcfg.Mode = detector.WindowByTime
-			dcfg.T0 = start
-			dcfg.End = end
-			rep := ObjectReport{
-				Object:     obj,
-				Considered: len(window),
-				Filtered:   len(res.Rejected),
-				Accepted:   res.Accepted,
-				Rejected:   res.Rejected,
-			}
-			fitSpan := s.cfg.Metrics.stage(StageARFit)
-			det, err := detector.DetectWS(res.Accepted, dcfg, ws)
-			fitSpan.End()
-			if err != nil {
-				// Graceful degradation: one object's failed fit (e.g.
-				// a singular AR system) must not fail the whole
-				// maintenance window. The object keeps its filter
-				// evidence and contributes no suspicion.
-				rep.Degraded = true
-				rep.DetectorError = fmt.Sprintf("core: detect object %d: %v", obj, err)
-			} else {
-				rep.Detection = det
-			}
-			return objectScan{report: rep, window: window, ok: true}, nil
+			return s.pipe.ScanObject(ws, obj, all, start, end)
 		})
 	if err != nil {
 		return ProcessReport{}, err
@@ -273,32 +230,12 @@ func (s *System) ProcessWindow(start, end float64) (ProcessReport, error) {
 
 	chargeSpan := s.cfg.Metrics.stage(StageCharge)
 	for _, scan := range scans {
-		if !scan.ok {
+		if !scan.OK {
 			continue
 		}
-		report.Objects = append(report.Objects, scan.report)
-
-		// Procedure 2 inputs: n from the raw window, f from the filter,
-		// s and C from the detector (which only saw accepted ratings, so
-		// f + s <= n holds by construction).
-		for _, r := range scan.window {
-			obs := report.Observations[r.Rater]
-			obs.N++
-			report.Observations[r.Rater] = obs
-		}
-		for _, r := range scan.report.Rejected {
-			obs := report.Observations[r.Rater]
-			obs.Filtered++
-			report.Observations[r.Rater] = obs
-		}
-		for id, stats := range scan.report.Detection.PerRater {
-			obs := report.Observations[id]
-			obs.Suspicious += stats.SuspiciousRatings
-			obs.SuspicionMass += stats.Suspicion
-			report.Observations[id] = obs
-		}
+		report.Objects = append(report.Objects, scan.Report)
+		s.pipe.Charge(report.Observations, scan)
 	}
-
 	chargeSpan.End()
 
 	trustSpan := s.cfg.Metrics.stage(StageTrustUpdate)
@@ -362,55 +299,7 @@ func (s *System) aggregate(obj rating.ObjectID, include func(rating.Rating) bool
 			all = append(all, r)
 		}
 	}
-	threshold := s.cfg.Trust.MaliciousThreshold
-	if threshold == 0 {
-		threshold = 0.5
-	}
-	kept := make([]rating.Rating, 0, len(all))
-	for _, r := range all {
-		if s.manager.Trust(r.Rater) >= threshold {
-			kept = append(kept, r)
-		}
-	}
-	if len(kept) == 0 {
-		// Every rater is distrusted; aggregate what exists rather than
-		// failing (the fallback aggregator owns this case).
-		kept = all
-	}
-	res, err := s.cfg.Filter.Apply(kept)
-	if err != nil {
-		return AggregateResult{}, fmt.Errorf("core: filter object %d: %w", obj, err)
-	}
-	// Latest rating per rater (input is time-sorted, so overwriting
-	// keeps the newest), then a deterministic rater order.
-	latest := make(map[rating.RaterID]float64)
-	for _, r := range res.Accepted {
-		latest[r.Rater] = r.Value
-	}
-	ids := make([]rating.RaterID, 0, len(latest))
-	for id := range latest {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-
-	values := make([]float64, len(ids))
-	trusts := make([]float64, len(ids))
-	for i, id := range ids {
-		values[i] = latest[id]
-		trusts[i] = s.manager.Trust(id)
-	}
-
-	out := AggregateResult{Object: obj, Used: len(ids), Filtered: len(res.Rejected)}
-	v, err := s.cfg.Aggregator.Aggregate(values, trusts)
-	if errors.Is(err, trust.ErrNoTrustedRaters) {
-		out.FellBack = true
-		v, err = s.cfg.Fallback.Aggregate(values, trusts)
-	}
-	if err != nil {
-		return AggregateResult{}, fmt.Errorf("core: aggregate object %d: %w", obj, err)
-	}
-	out.Value = v
-	return out, nil
+	return s.pipe.AggregateRatings(obj, all, s.manager.Trust)
 }
 
 // TrustIn returns the system's current trust in a rater (0.5 for

@@ -81,6 +81,78 @@ func (s *Store) Add(r Rating) error {
 	return nil
 }
 
+// AddBatch inserts a batch of ratings in one pass per object: the
+// batch is stably sorted by (object, time) and each object's group is
+// merged into its existing slice with a single linear merge, instead
+// of one ordered insert (worst case O(len(slice)) memmove) per
+// rating. Acceptance is all-or-nothing: the batch is validated up
+// front and an invalid rating rejects the whole batch untouched.
+//
+// AddBatch is equivalent to calling Add for each rating in order:
+// ties on time keep existing ratings before batch ratings and batch
+// ratings in submission order, exactly like repeated Add.
+func (s *Store) AddBatch(rs []Rating) error {
+	for i, r := range rs {
+		if err := r.Validate(); err != nil {
+			return fmt.Errorf("rating %d: %w", i, err)
+		}
+	}
+	// Register unseen objects in submission order, so first-seen object
+	// order matches sequential Add (groups below merge in sorted-object
+	// order, which would otherwise leak into Objects()).
+	for _, r := range rs {
+		if _, ok := s.byObject[r.Object]; !ok {
+			s.byObject[r.Object] = nil
+			s.objects = append(s.objects, r.Object)
+		}
+	}
+	sorted := append([]Rating(nil), rs...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Object != sorted[j].Object {
+			return sorted[i].Object < sorted[j].Object
+		}
+		return sorted[i].Time < sorted[j].Time
+	})
+	for lo := 0; lo < len(sorted); {
+		hi := lo + 1
+		for hi < len(sorted) && sorted[hi].Object == sorted[lo].Object {
+			hi++
+		}
+		s.mergeObject(sorted[lo].Object, sorted[lo:hi])
+		lo = hi
+	}
+	s.n += len(rs)
+	return nil
+}
+
+// mergeObject merges the time-sorted group `add` (all for object id)
+// into the object's existing time-sorted slice.
+func (s *Store) mergeObject(id ObjectID, add []Rating) {
+	old := s.byObject[id]
+	// Fast path: the whole group lands at or after the current tail
+	// (chronological ingest), so it is a plain append.
+	if len(old) == 0 || old[len(old)-1].Time <= add[0].Time {
+		s.byObject[id] = append(old, add...)
+		return
+	}
+	merged := make([]Rating, 0, len(old)+len(add))
+	i, j := 0, 0
+	for i < len(old) && j < len(add) {
+		// <= keeps existing ratings ahead of equal-time batch ratings,
+		// matching Add's insertion rule.
+		if old[i].Time <= add[j].Time {
+			merged = append(merged, old[i])
+			i++
+		} else {
+			merged = append(merged, add[j])
+			j++
+		}
+	}
+	merged = append(merged, old[i:]...)
+	merged = append(merged, add[j:]...)
+	s.byObject[id] = merged
+}
+
 // AddAll inserts every rating, stopping at the first invalid one.
 func (s *Store) AddAll(rs []Rating) error {
 	for i, r := range rs {

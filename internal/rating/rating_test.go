@@ -315,3 +315,103 @@ func TestStoreSortedProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Property: AddBatch is observably identical to calling Add for each
+// rating in order — same object order, same per-object sequences
+// (including equal-time tie order), same length.
+func TestAddBatchEquivalentToSequentialAdd(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := randx.New(seed)
+		seq, bat := NewStore(), NewStore()
+		// Pre-load both stores so batches merge into existing state.
+		pre := 1 + rng.Intn(40)
+		for i := 0; i < pre; i++ {
+			r := Rating{
+				Rater:  RaterID(rng.Intn(8)),
+				Object: ObjectID(rng.Intn(4)),
+				Value:  rng.Float64(),
+				// Quantized times force equal-time ties.
+				Time: float64(rng.Intn(20)),
+			}
+			if err := seq.Add(r); err != nil {
+				return false
+			}
+			if err := bat.Add(r); err != nil {
+				return false
+			}
+		}
+		batch := make([]Rating, 1+rng.Intn(60))
+		for i := range batch {
+			batch[i] = Rating{
+				Rater:  RaterID(rng.Intn(8)),
+				Object: ObjectID(rng.Intn(4)),
+				Value:  rng.Float64(),
+				Time:   float64(rng.Intn(20)),
+			}
+		}
+		for _, r := range batch {
+			if err := seq.Add(r); err != nil {
+				return false
+			}
+		}
+		if err := bat.AddBatch(batch); err != nil {
+			return false
+		}
+		if seq.Len() != bat.Len() {
+			return false
+		}
+		so, bo := seq.Objects(), bat.Objects()
+		if len(so) != len(bo) {
+			return false
+		}
+		for i := range so {
+			if so[i] != bo[i] {
+				return false
+			}
+		}
+		for _, obj := range so {
+			a, err := seq.ForObject(obj)
+			if err != nil {
+				return false
+			}
+			b, err := bat.ForObject(obj)
+			if err != nil {
+				return false
+			}
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// AddBatch rejects the whole batch when any rating is invalid, leaving
+// the store untouched.
+func TestAddBatchAllOrNothing(t *testing.T) {
+	s := NewStore()
+	if err := s.Add(Rating{Rater: 1, Object: 1, Value: 0.5, Time: 1}); err != nil {
+		t.Fatal(err)
+	}
+	batch := []Rating{
+		{Rater: 2, Object: 1, Value: 0.6, Time: 2},
+		{Rater: 3, Object: 2, Value: math.NaN(), Time: 3},
+	}
+	if err := s.AddBatch(batch); err == nil {
+		t.Fatal("want error for invalid batch rating")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("store mutated by rejected batch: len=%d", s.Len())
+	}
+	if len(s.Objects()) != 1 {
+		t.Fatalf("objects mutated by rejected batch: %v", s.Objects())
+	}
+}

@@ -242,7 +242,7 @@ type scriptedJournal struct {
 	failFirst int
 	panicNext bool
 	delay     time.Duration
-	sys       *core.SafeSystem
+	sys       Backend
 }
 
 func (j *scriptedJournal) SubmitAll(rs []rating.Rating) error {

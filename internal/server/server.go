@@ -30,6 +30,25 @@ import (
 	"repro/internal/trust"
 )
 
+// Backend is the state engine a Server fronts: the single-lock
+// core.SafeSystem or the sharded shard.Engine. Handlers only need
+// this surface, so the wire format and routes are identical for both
+// deployment shapes.
+type Backend interface {
+	Submit(r rating.Rating) error
+	SubmitAll(rs []rating.Rating) error
+	Len() int
+	ProcessWindow(start, end float64) (core.ProcessReport, error)
+	Aggregate(obj rating.ObjectID) (core.AggregateResult, error)
+	TrustIn(id rating.RaterID) float64
+	TrustSnapshot() map[rating.RaterID]float64
+	TrustDistribution(bounds []float64) []int
+	RaterCount() int
+	MaliciousRaters() []rating.RaterID
+	WriteSnapshot(w io.Writer) error
+	LoadSnapshot(r io.Reader) error
+}
+
 // Journal orders durable logging against in-memory application: a
 // daemon that write-ahead-logs mutations implements it so that "append
 // to the log" and "apply to the system" happen atomically with respect
@@ -47,7 +66,7 @@ type Journal interface {
 
 // Server is the HTTP facade over one rating system.
 type Server struct {
-	sys     *core.SafeSystem
+	sys     Backend
 	mux     *http.ServeMux
 	handler http.Handler
 
@@ -98,14 +117,23 @@ func WithDedupeCapacity(n int) Option {
 	}
 }
 
-// New builds a Server around cfg.
+// New builds a Server around cfg with a core.SafeSystem backend.
 func New(cfg core.Config, opts ...Option) (*Server, error) {
 	sys, err := core.NewSafeSystem(cfg)
 	if err != nil {
 		return nil, err
 	}
+	return NewWith(sys, opts...)
+}
+
+// NewWith builds a Server around an existing backend — the way a
+// sharded deployment fronts a shard.Engine.
+func NewWith(backend Backend, opts ...Option) (*Server, error) {
+	if backend == nil {
+		return nil, errors.New("server: nil backend")
+	}
 	s := &Server{
-		sys:     sys,
+		sys:     backend,
 		mux:     http.NewServeMux(),
 		dedupe:  newDedupeCache(1024),
 		maxBody: 8 << 20,
@@ -151,9 +179,9 @@ func recoverPanics(next http.Handler) http.Handler {
 	})
 }
 
-// System exposes the underlying system (for preloading state in tools
-// and tests).
-func (s *Server) System() *core.SafeSystem { return s.sys }
+// System exposes the underlying backend (for preloading state in
+// tools and tests).
+func (s *Server) System() Backend { return s.sys }
 
 var _ http.Handler = (*Server)(nil)
 

@@ -1,0 +1,395 @@
+package shard
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/parallel"
+	"repro/internal/rating"
+	"repro/internal/trust"
+)
+
+// Engine is the sharded counterpart of core.System: per-object state
+// (the rating store) is partitioned across N shards, each behind its
+// own mutex, while the trust manager stays global behind a
+// reader-writer lock (raters span shards). All per-object arithmetic
+// runs through the same core.Pipeline a single-shard System uses, and
+// maintenance windows fold shard evidence in ascending object order —
+// the canonical order a System charges in — so trust records,
+// aggregates and detector verdicts are bit-identical for any shard
+// count.
+//
+// Locking: mutators and readers take mu.RLock plus the per-shard (or
+// trust) lock they touch; ProcessWindow and snapshot load/capture take
+// mu.Lock, so a window sees a frozen cross-shard state.
+type Engine struct {
+	cfg  core.Config
+	pipe *core.Pipeline
+
+	mu     sync.RWMutex
+	states []*shardState
+
+	trustMu sync.RWMutex
+	manager *trust.Manager
+
+	metrics *Metrics
+}
+
+type shardState struct {
+	mu    sync.Mutex
+	store *rating.Store
+}
+
+// NewEngine builds an engine with the given shard count. The same
+// configuration defaulting and validation as core.NewSystem applies.
+func NewEngine(cfg core.Config, shards int) (*Engine, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("shard: shard count %d", shards)
+	}
+	pipe, err := core.NewPipeline(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg = pipe.Config()
+	manager, err := trust.NewManager(cfg.Trust)
+	if err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	states := make([]*shardState, shards)
+	for i := range states {
+		states[i] = &shardState{store: rating.NewStore()}
+	}
+	return &Engine{cfg: cfg, pipe: pipe, states: states, manager: manager}, nil
+}
+
+// SetMetrics attaches per-shard telemetry; nil disables it. Call
+// before serving traffic.
+func (e *Engine) SetMetrics(m *Metrics) { e.metrics = m }
+
+// Shards returns the shard count.
+func (e *Engine) Shards() int { return len(e.states) }
+
+// ShardFor returns the shard an object routes to.
+func (e *Engine) ShardFor(obj rating.ObjectID) int { return ShardFor(obj, len(e.states)) }
+
+// Submit records one raw rating in its object's shard.
+func (e *Engine) Submit(r rating.Rating) error {
+	return e.SubmitShard(e.ShardFor(r.Object), []rating.Rating{r})
+}
+
+// SubmitAll splits the batch by object shard and applies each group
+// with one merge pass per shard. Validation is all-or-nothing per
+// shard group; a rejected group leaves other shards' groups applied
+// (callers wanting atomicity validate upfront, as the Router does).
+func (e *Engine) SubmitAll(rs []rating.Rating) error {
+	if len(rs) == 0 {
+		return nil
+	}
+	n := len(e.states)
+	groups := make(map[int][]rating.Rating, n)
+	for _, r := range rs {
+		s := ShardFor(r.Object, n)
+		groups[s] = append(groups[s], r)
+	}
+	shards := make([]int, 0, len(groups))
+	for s := range groups {
+		shards = append(shards, s)
+	}
+	sort.Ints(shards)
+	for _, s := range shards {
+		if err := e.SubmitShard(s, groups[s]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SubmitShard applies one shard's batch with a single merge pass. All
+// ratings must route to shard i; misrouted ratings are rejected
+// before anything is applied (recovery relies on placement being a
+// pure function of the object ID).
+func (e *Engine) SubmitShard(i int, rs []rating.Rating) error {
+	if i < 0 || i >= len(e.states) {
+		return fmt.Errorf("shard: shard %d of %d", i, len(e.states))
+	}
+	for _, r := range rs {
+		if want := e.ShardFor(r.Object); want != i {
+			return fmt.Errorf("shard: object %d routes to shard %d, not %d", r.Object, want, i)
+		}
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	st := e.states[i]
+	st.mu.Lock()
+	err := st.store.AddBatch(rs)
+	st.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("shard: %w", err)
+	}
+	e.metrics.ingested(i, len(rs))
+	return nil
+}
+
+// Len returns the total number of stored ratings across shards.
+func (e *Engine) Len() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	total := 0
+	for _, st := range e.states {
+		st.mu.Lock()
+		total += st.store.Len()
+		st.mu.Unlock()
+	}
+	return total
+}
+
+// ShardLen returns shard i's rating count.
+func (e *Engine) ShardLen(i int) int {
+	if i < 0 || i >= len(e.states) {
+		return 0
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	st := e.states[i]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.store.Len()
+}
+
+// ProcessWindow runs one maintenance pass over every shard's objects
+// with time in [start, end), then applies the combined Procedure 2
+// evidence to the global trust manager. Objects are scanned and
+// charged in ascending object ID order across all shards — exactly
+// the fold a single-shard System performs — so the resulting trust
+// records are bit-identical for any shard count.
+func (e *Engine) ProcessWindow(start, end float64) (core.ProcessReport, error) {
+	if end <= start {
+		return core.ProcessReport{}, fmt.Errorf("shard: window [%g,%g)", start, end)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	var objects []rating.ObjectID
+	byObject := make(map[rating.ObjectID]*shardState)
+	for _, st := range e.states {
+		for _, obj := range st.store.Objects() {
+			objects = append(objects, obj)
+			byObject[obj] = st
+		}
+	}
+	sort.Slice(objects, func(i, j int) bool { return objects[i] < objects[j] })
+
+	workers := e.cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	scans, err := parallel.MapLocal(len(objects), workers,
+		detector.NewWorkspace,
+		func(i int, ws *detector.Workspace) (core.ObjectScan, error) {
+			obj := objects[i]
+			all, err := byObject[obj].store.ForObject(obj)
+			if err != nil {
+				return core.ObjectScan{}, fmt.Errorf("shard: %w", err)
+			}
+			return e.pipe.ScanObject(ws, obj, all, start, end)
+		})
+	if err != nil {
+		return core.ProcessReport{}, err
+	}
+
+	report := core.ProcessReport{
+		Start:        start,
+		End:          end,
+		Observations: make(map[rating.RaterID]trust.Observation),
+	}
+	for _, scan := range scans {
+		if !scan.OK {
+			continue
+		}
+		report.Objects = append(report.Objects, scan.Report)
+		e.pipe.Charge(report.Observations, scan)
+	}
+
+	e.trustMu.Lock()
+	err = e.manager.UpdateBatch(report.Observations, end)
+	e.trustMu.Unlock()
+	if err != nil {
+		return core.ProcessReport{}, fmt.Errorf("shard: %w", err)
+	}
+	e.metrics.windowDone(len(report.Objects))
+	return report, nil
+}
+
+// Aggregate returns the object's trust-enhanced aggregate.
+func (e *Engine) Aggregate(obj rating.ObjectID) (core.AggregateResult, error) {
+	return e.aggregate(obj, func(rating.Rating) bool { return true })
+}
+
+// AggregateWindow returns the aggregate over ratings in [start, end).
+func (e *Engine) AggregateWindow(obj rating.ObjectID, start, end float64) (core.AggregateResult, error) {
+	if end <= start {
+		return core.AggregateResult{}, fmt.Errorf("shard: aggregate window [%g,%g)", start, end)
+	}
+	return e.aggregate(obj, func(r rating.Rating) bool {
+		return r.Time >= start && r.Time < end
+	})
+}
+
+func (e *Engine) aggregate(obj rating.ObjectID, include func(rating.Rating) bool) (core.AggregateResult, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	st := e.states[e.ShardFor(obj)]
+	st.mu.Lock()
+	stored, err := st.store.ForObject(obj)
+	st.mu.Unlock()
+	if err != nil {
+		return core.AggregateResult{}, fmt.Errorf("shard: %w", err)
+	}
+	all := make([]rating.Rating, 0, len(stored))
+	for _, r := range stored {
+		if include(r) {
+			all = append(all, r)
+		}
+	}
+	e.trustMu.RLock()
+	defer e.trustMu.RUnlock()
+	return e.pipe.AggregateRatings(obj, all, e.manager.Trust)
+}
+
+// TrustIn returns the system's current trust in a rater.
+func (e *Engine) TrustIn(id rating.RaterID) float64 {
+	e.trustMu.RLock()
+	defer e.trustMu.RUnlock()
+	return e.manager.Trust(id)
+}
+
+// TrustSnapshot returns every tracked rater's trust.
+func (e *Engine) TrustSnapshot() map[rating.RaterID]float64 {
+	e.trustMu.RLock()
+	defer e.trustMu.RUnlock()
+	return e.manager.Snapshot()
+}
+
+// TrustDistribution bins every tracked rater's trust into the given
+// sorted upper bounds (cumulative counts; see trust.Manager).
+func (e *Engine) TrustDistribution(bounds []float64) []int {
+	e.trustMu.RLock()
+	defer e.trustMu.RUnlock()
+	return e.manager.TrustDistribution(bounds)
+}
+
+// RaterCount returns the number of tracked trust records.
+func (e *Engine) RaterCount() int {
+	e.trustMu.RLock()
+	defer e.trustMu.RUnlock()
+	return e.manager.Len()
+}
+
+// MaliciousRaters returns raters below the malicious-trust threshold.
+func (e *Engine) MaliciousRaters() []rating.RaterID {
+	e.trustMu.RLock()
+	defer e.trustMu.RUnlock()
+	return e.manager.Malicious()
+}
+
+// RecordRecommendations computes indirect trust from recommendations.
+func (e *Engine) RecordRecommendations(about rating.RaterID, recs []trust.Recommendation) (float64, error) {
+	e.trustMu.RLock()
+	defer e.trustMu.RUnlock()
+	v, err := e.manager.IndirectTrust(about, recs)
+	if err != nil {
+		return 0, fmt.Errorf("shard: %w", err)
+	}
+	return v, nil
+}
+
+// View captures the engine's full state as a copy: every shard's
+// ratings in shard order (each shard's objects in first-seen order),
+// plus every trust record.
+func (e *Engine) View() core.StateView {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.viewLocked()
+}
+
+func (e *Engine) viewLocked() core.StateView {
+	e.trustMu.RLock()
+	v := core.StateView{Records: e.manager.Records()}
+	e.trustMu.RUnlock()
+	for _, st := range e.states {
+		appendStoreRatings(&v, st.store)
+	}
+	return v
+}
+
+// shardView captures one shard's ratings plus the full (global) trust
+// record set — every shard snapshot is a self-sufficient carrier of
+// the trust state, so recovery can take the records from whichever
+// shard snapshot is newest.
+func (e *Engine) shardView(i int) core.StateView {
+	e.trustMu.RLock()
+	v := core.StateView{Records: e.manager.Records()}
+	e.trustMu.RUnlock()
+	st := e.states[i]
+	st.mu.Lock()
+	appendStoreRatings(&v, st.store)
+	st.mu.Unlock()
+	return v
+}
+
+func appendStoreRatings(v *core.StateView, store *rating.Store) {
+	for _, obj := range store.Objects() {
+		rs, err := store.ForObject(obj)
+		if err != nil {
+			continue // unreachable: Objects() only lists known objects
+		}
+		v.Ratings = append(v.Ratings, rs...)
+	}
+}
+
+// WriteSnapshot serializes the full engine state in the core snapshot
+// format. The locks are held only while the state is copied; encoding
+// runs outside the critical section.
+func (e *Engine) WriteSnapshot(w io.Writer) error {
+	return e.View().Encode(w)
+}
+
+// LoadSnapshot replaces the engine's state with a core snapshot,
+// rerouting every rating to its shard under the current shard count.
+// On error the previous state is preserved.
+func (e *Engine) LoadSnapshot(r io.Reader) error {
+	v, err := core.DecodeSnapshot(r)
+	if err != nil {
+		return err
+	}
+	stores := make([]*rating.Store, len(e.states))
+	for i := range stores {
+		stores[i] = rating.NewStore()
+	}
+	for i, sr := range v.Ratings {
+		if err := stores[ShardFor(sr.Object, len(stores))].Add(sr); err != nil {
+			return fmt.Errorf("shard: snapshot rating %d: %w", i, err)
+		}
+	}
+	manager, err := trust.NewManager(e.cfg.Trust)
+	if err != nil {
+		return fmt.Errorf("shard: snapshot: %w", err)
+	}
+	if err := manager.Restore(v.Records); err != nil {
+		return fmt.Errorf("shard: snapshot: %w", err)
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i := range e.states {
+		e.states[i].store = stores[i]
+	}
+	e.trustMu.Lock()
+	e.manager = manager
+	e.trustMu.Unlock()
+	return nil
+}

@@ -1,0 +1,86 @@
+package shard
+
+import (
+	"strconv"
+
+	"repro/internal/telemetry"
+)
+
+// Metrics is the sharded engine's telemetry: per-shard ingest counters
+// keyed by a "shard" label, batch-size distribution, flush outcomes
+// and window counts. A nil *Metrics disables instrumentation (every
+// method is nil-safe), matching the repo's other metric structs.
+type Metrics struct {
+	// RatingsTotal counts ratings applied per shard.
+	RatingsTotal *telemetry.CounterVec
+	// BatchesTotal counts router flushes per shard.
+	BatchesTotal *telemetry.CounterVec
+	// FlushErrorsTotal counts failed router flushes per shard.
+	FlushErrorsTotal *telemetry.CounterVec
+	// BatchSize observes the number of ratings per flushed batch.
+	BatchSize *telemetry.HistogramVec
+	// WindowsTotal counts maintenance windows processed.
+	WindowsTotal *telemetry.Counter
+	// WindowObjects observes objects scanned per window.
+	WindowObjects *telemetry.Histogram
+
+	// labels[i] is the precomputed label value for shard i, so hot
+	// paths don't re-format integers.
+	labels []string
+}
+
+// NewMetrics registers the shard metric families for an engine with
+// the given shard count.
+func NewMetrics(r *telemetry.Registry, shards int) *Metrics {
+	m := &Metrics{
+		RatingsTotal:     r.CounterVec("shard_ratings_total", "ratings applied per shard", "shard"),
+		BatchesTotal:     r.CounterVec("shard_batches_total", "router batch flushes per shard", "shard"),
+		FlushErrorsTotal: r.CounterVec("shard_flush_errors_total", "failed router flushes per shard", "shard"),
+		BatchSize:        r.HistogramVec("shard_batch_size", "ratings per flushed batch", []float64{1, 4, 16, 64, 256, 1024}, "shard"),
+		WindowsTotal:     r.Counter("shard_windows_total", "maintenance windows processed"),
+		WindowObjects:    r.Histogram("shard_window_objects", "objects scanned per maintenance window", nil),
+		labels:           make([]string, shards),
+	}
+	for i := range m.labels {
+		m.labels[i] = strconv.Itoa(i)
+	}
+	return m
+}
+
+func (m *Metrics) label(shard int) string {
+	if shard >= 0 && shard < len(m.labels) {
+		return m.labels[shard]
+	}
+	return strconv.Itoa(shard)
+}
+
+func (m *Metrics) ingested(shard, n int) {
+	if m == nil {
+		return
+	}
+	m.RatingsTotal.With(m.label(shard)).Add(uint64(n))
+}
+
+func (m *Metrics) flushed(shard, n int) {
+	if m == nil {
+		return
+	}
+	l := m.label(shard)
+	m.BatchesTotal.With(l).Inc()
+	m.BatchSize.With(l).Observe(float64(n))
+}
+
+func (m *Metrics) flushFailed(shard int) {
+	if m == nil {
+		return
+	}
+	m.FlushErrorsTotal.With(m.label(shard)).Inc()
+}
+
+func (m *Metrics) windowDone(objects int) {
+	if m == nil {
+		return
+	}
+	m.WindowsTotal.Inc()
+	m.WindowObjects.Observe(float64(objects))
+}

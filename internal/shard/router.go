@@ -1,0 +1,256 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/rating"
+)
+
+// FlushFunc applies one shard's coalesced batch. The router guarantees
+// every rating in rs routes to the given shard. In-process engines
+// pass Engine.SubmitShard; ratingd wraps it with a WAL append so the
+// batch is durable before it is applied.
+type FlushFunc func(shard int, rs []rating.Rating) error
+
+// ErrRouterClosed is returned by submissions to a closed router.
+var ErrRouterClosed = errors.New("shard: router closed")
+
+// RouterConfig configures NewRouter.
+type RouterConfig struct {
+	// Shards is the shard count; must match the engine behind Flush.
+	Shards int
+	// BatchSize flushes a shard's pending batch once it reaches this
+	// many ratings. Zero means 256.
+	BatchSize int
+	// Interval flushes non-empty pending batches on this cadence, so a
+	// trickle of submissions is never stranded waiting for a full
+	// batch. Zero means 2ms; negative disables the ticker (flushes
+	// happen only on size, Flush or Close).
+	Interval time.Duration
+	// Flush applies one shard's batch.
+	Flush FlushFunc
+	// Metrics receives per-shard flush telemetry; nil disables.
+	Metrics *Metrics
+}
+
+func (c RouterConfig) withDefaults() RouterConfig {
+	if c.BatchSize == 0 {
+		c.BatchSize = 256
+	}
+	if c.Interval == 0 {
+		c.Interval = 2 * time.Millisecond
+	}
+	return c
+}
+
+// Router is the batching front of a sharded engine: submissions are
+// split by object shard, coalesced into per-shard batches, and
+// flushed by a per-shard worker when the batch fills or the interval
+// elapses (group commit). Submit blocks until every batch holding the
+// caller's ratings has been flushed, so acknowledgement still means
+// applied — and, when Flush appends to a WAL, durable.
+//
+// The coalescing is what makes sharding pay on a single core: a
+// shard's flush applies its whole batch with one sorted merge per
+// object (Store.AddBatch), so per-rating insertion cost drops with
+// the batch size the shard accumulates.
+type Router struct {
+	cfg      RouterConfig
+	batchers []*shardBatcher
+	stop     chan struct{}
+	wg       sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+type shardBatcher struct {
+	shard int
+
+	mu      sync.Mutex
+	pending []rating.Rating
+	waiters []chan error
+
+	kick chan struct{}
+}
+
+// NewRouter builds and starts the router's per-shard workers.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("shard: router shard count %d", cfg.Shards)
+	}
+	if cfg.Flush == nil {
+		return nil, errors.New("shard: router needs a flush function")
+	}
+	cfg = cfg.withDefaults()
+	r := &Router{cfg: cfg, stop: make(chan struct{})}
+	r.batchers = make([]*shardBatcher, cfg.Shards)
+	for i := range r.batchers {
+		b := &shardBatcher{shard: i, kick: make(chan struct{}, 1)}
+		r.batchers[i] = b
+		r.wg.Add(1)
+		go r.run(b)
+	}
+	return r, nil
+}
+
+func (r *Router) run(b *shardBatcher) {
+	defer r.wg.Done()
+	var tick <-chan time.Time
+	if r.cfg.Interval > 0 {
+		t := time.NewTicker(r.cfg.Interval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-b.kick:
+			r.flush(b)
+		case <-tick:
+			r.flush(b)
+		case <-r.stop:
+			// Drain whatever is pending so Close never strands a
+			// blocked submitter.
+			r.flush(b)
+			return
+		}
+	}
+}
+
+// flush applies the batcher's pending batch and wakes its waiters.
+func (r *Router) flush(b *shardBatcher) {
+	b.mu.Lock()
+	batch := b.pending
+	waiters := b.waiters
+	b.pending = nil
+	b.waiters = nil
+	b.mu.Unlock()
+	if len(batch) == 0 && len(waiters) == 0 {
+		return
+	}
+	var err error
+	if len(batch) > 0 {
+		err = r.cfg.Flush(b.shard, batch)
+		if err != nil {
+			r.cfg.Metrics.flushFailed(b.shard)
+		} else {
+			r.cfg.Metrics.flushed(b.shard, len(batch))
+		}
+	}
+	for _, w := range waiters {
+		w <- err
+	}
+}
+
+// Submit routes the batch and blocks until every shard batch holding
+// one of its ratings has flushed. Ratings are validated upfront so a
+// malformed rating rejects only this submission, never a coalesced
+// batch containing other callers' ratings. The first flush error is
+// returned; the submission's ratings must then be treated as not
+// applied on the failed shard.
+func (r *Router) Submit(rs []rating.Rating) error {
+	if len(rs) == 0 {
+		return nil
+	}
+	for i, rt := range rs {
+		if err := rt.Validate(); err != nil {
+			return fmt.Errorf("shard: rating %d: %w", i, err)
+		}
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrRouterClosed
+	}
+	n := len(r.batchers)
+	groups := make(map[int][]rating.Rating)
+	for _, rt := range rs {
+		s := ShardFor(rt.Object, n)
+		groups[s] = append(groups[s], rt)
+	}
+	waits := make([]chan error, 0, len(groups))
+	for s, group := range groups {
+		waits = append(waits, r.enqueue(r.batchers[s], group))
+	}
+	r.mu.Unlock()
+
+	var first error
+	for _, w := range waits {
+		if err := <-w; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// SubmitOne routes a single rating.
+func (r *Router) SubmitOne(rt rating.Rating) error {
+	return r.Submit([]rating.Rating{rt})
+}
+
+// enqueue appends group to the batcher and registers a waiter; a full
+// batch kicks an immediate flush. Called with r.mu held, so a closing
+// router cannot race past a submission without draining it.
+func (r *Router) enqueue(b *shardBatcher, group []rating.Rating) chan error {
+	w := make(chan error, 1)
+	b.mu.Lock()
+	b.pending = append(b.pending, group...)
+	b.waiters = append(b.waiters, w)
+	full := len(b.pending) >= r.cfg.BatchSize
+	b.mu.Unlock()
+	if full {
+		select {
+		case b.kick <- struct{}{}:
+		default:
+		}
+	}
+	return w
+}
+
+// Flush forces every shard's pending batch out and blocks until the
+// flushes complete, returning the first error. Call before reading
+// engine state that must reflect all acknowledged-pending traffic
+// (e.g. before a maintenance window).
+func (r *Router) Flush() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrRouterClosed
+	}
+	waits := make([]chan error, len(r.batchers))
+	for i, b := range r.batchers {
+		waits[i] = r.enqueue(b, nil)
+	}
+	r.mu.Unlock()
+	for _, b := range r.batchers {
+		select {
+		case b.kick <- struct{}{}:
+		default:
+		}
+	}
+	var first error
+	for _, w := range waits {
+		if err := <-w; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Close drains pending batches, stops the workers and rejects further
+// submissions.
+func (r *Router) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	r.mu.Unlock()
+	close(r.stop)
+	r.wg.Wait()
+	return nil
+}

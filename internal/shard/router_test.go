@@ -1,0 +1,206 @@
+package shard_test
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rating"
+	"repro/internal/shard"
+)
+
+func mk(obj, i int) rating.Rating {
+	return rating.Rating{
+		Rater:  rating.RaterID(i % 7),
+		Object: rating.ObjectID(obj),
+		Value:  0.5,
+		Time:   float64(i),
+	}
+}
+
+// A full batch flushes immediately and coalesces many submissions
+// into few AddBatch merges.
+func TestRouterCoalescesBySize(t *testing.T) {
+	var flushes, ratings atomic.Int64
+	r, err := shard.NewRouter(shard.RouterConfig{
+		Shards:    2,
+		BatchSize: 8,
+		Interval:  -1, // size-only, so the count below is deterministic
+		Flush: func(s int, rs []rating.Rating) error {
+			flushes.Add(1)
+			ratings.Add(int64(len(rs)))
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// All to one object, so one shard fills fast.
+			if err := r.SubmitOne(mk(1, i)); err != nil {
+				t.Errorf("submit %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ratings.Load(); got != n {
+		t.Fatalf("flushed %d ratings, want %d", got, n)
+	}
+	// 64 ratings at batch size 8 cannot take more than 64/8 + 1 tail
+	// flushes if coalescing works at all; without coalescing it would
+	// be 64.
+	if got := flushes.Load(); got > n/8+1 {
+		t.Fatalf("%d flushes for %d ratings at batch size 8 — no coalescing", got, n)
+	}
+}
+
+// The interval flushes a trickle that never fills a batch.
+func TestRouterFlushesOnInterval(t *testing.T) {
+	var ratings atomic.Int64
+	r, err := shard.NewRouter(shard.RouterConfig{
+		Shards:    2,
+		BatchSize: 1 << 20,
+		Interval:  time.Millisecond,
+		Flush: func(s int, rs []rating.Rating) error {
+			ratings.Add(int64(len(rs)))
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.SubmitOne(mk(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// Submit returned, so the interval flush already ran.
+	if got := ratings.Load(); got != 1 {
+		t.Fatalf("flushed %d ratings, want 1", got)
+	}
+}
+
+// Flush errors propagate to every blocked submitter of the batch.
+func TestRouterPropagatesFlushErrors(t *testing.T) {
+	boom := errors.New("disk on fire")
+	r, err := shard.NewRouter(shard.RouterConfig{
+		Shards:    2,
+		BatchSize: 4,
+		Interval:  -1,
+		Flush:     func(int, []rating.Rating) error { return boom },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = r.SubmitOne(mk(1, i))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, boom) {
+			t.Fatalf("submitter %d: %v, want flush error", i, err)
+		}
+	}
+}
+
+// Malformed ratings are rejected before they can poison a coalesced
+// batch.
+func TestRouterValidatesUpfront(t *testing.T) {
+	r, err := shard.NewRouter(shard.RouterConfig{
+		Shards: 2,
+		Flush:  func(int, []rating.Rating) error { return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	bad := rating.Rating{Object: 1, Value: 7}
+	if err := r.SubmitOne(bad); err == nil {
+		t.Fatal("invalid rating accepted")
+	}
+}
+
+// Close never strands a blocked submitter: every accepted submission
+// is flushed, every late one is rejected with ErrRouterClosed, and
+// the flushed count matches the accepted count exactly.
+func TestRouterCloseDrains(t *testing.T) {
+	var ratings atomic.Int64
+	r, err := shard.NewRouter(shard.RouterConfig{
+		Shards:    2,
+		BatchSize: 1 << 20,
+		Interval:  -1, // nothing flushes until Close
+		Flush: func(s int, rs []rating.Rating) error {
+			ratings.Add(int64(len(rs)))
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = r.SubmitOne(mk(1, i))
+		}(i)
+	}
+	time.Sleep(5 * time.Millisecond) // let submitters block on the flush
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	accepted := 0
+	for i, err := range errs {
+		switch {
+		case err == nil:
+			accepted++
+		case errors.Is(err, shard.ErrRouterClosed):
+			// Lost the race to Close; must not have been applied.
+		default:
+			t.Fatalf("submitter %d: %v", i, err)
+		}
+	}
+	if got := ratings.Load(); got != int64(accepted) {
+		t.Fatalf("flushed %d ratings, %d submissions were accepted", got, accepted)
+	}
+	if err := r.SubmitOne(mk(1, 99)); !errors.Is(err, shard.ErrRouterClosed) {
+		t.Fatalf("submit after close: %v", err)
+	}
+}
+
+// SubmitShard rejects misrouted ratings — recovery depends on
+// placement being a pure function of the object ID.
+func TestEngineRejectsMisroutedBatch(t *testing.T) {
+	e, err := shard.NewEngine(core.Config{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := mk(1, 0)
+	wrong := (e.ShardFor(r.Object) + 1) % 4
+	if err := e.SubmitShard(wrong, []rating.Rating{r}); err == nil {
+		t.Fatal("misrouted batch accepted")
+	}
+	if e.Len() != 0 {
+		t.Fatalf("misrouted batch mutated state: len=%d", e.Len())
+	}
+}

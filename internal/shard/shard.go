@@ -1,0 +1,55 @@
+// Package shard partitions the rating engine's per-object state across
+// N independent shard workers. Objects are the unit of placement — a
+// stable hash of the object ID picks the shard, so one object's
+// time-sorted rating sequence (the signal the detector models) always
+// lives whole in exactly one shard. Trust is global: raters span
+// shards, so Procedure 2's records are folded across shards in a
+// canonical order that keeps results bit-identical for any shard
+// count.
+package shard
+
+import (
+	"fmt"
+
+	"repro/internal/rating"
+)
+
+// fnv64Offset and fnv64Prime are the FNV-1a 64-bit parameters.
+const (
+	fnv64Offset uint64 = 14695981039346656037
+	fnv64Prime  uint64 = 1099511628211
+)
+
+// Hash64 is the stable FNV-1a 64-bit hash of key. It is the only hash
+// the router uses, so shard placement never changes across runs,
+// builds or platforms — recovery depends on replaying ratings into
+// the same shard that logged them.
+func Hash64(key []byte) uint64 {
+	h := fnv64Offset
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= fnv64Prime
+	}
+	return h
+}
+
+// Index maps key to a shard in [0, n). n must be positive; Index
+// panics otherwise (the router validates its shard count at
+// construction, so a panic here is a programming error, not input).
+func Index(key []byte, n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("shard: non-positive shard count %d", n))
+	}
+	return int(Hash64(key) % uint64(n))
+}
+
+// ShardFor places an object: the object ID's 8-byte little-endian
+// encoding hashed into [0, n).
+func ShardFor(obj rating.ObjectID, n int) int {
+	v := uint64(int64(obj))
+	var key [8]byte
+	for i := 0; i < 8; i++ {
+		key[i] = byte(v >> (8 * i))
+	}
+	return Index(key[:], n)
+}

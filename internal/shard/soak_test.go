@@ -1,0 +1,175 @@
+package shard_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rating"
+	"repro/internal/shard"
+	"repro/internal/shard/shardtest"
+)
+
+// The soak: hammer a sharded engine through its batching router from
+// many goroutines in seeded but nondeterministic arrival order, then
+// cross-check every observable — trust, aggregates, detector-driven
+// malicious set — against a single-threaded core.System oracle fed
+// the same ratings sequentially. Run under -race this doubles as the
+// engine's and router's data-race gate (`make race-soak`).
+func TestConcurrentSoakMatchesOracle(t *testing.T) {
+	const writers = 8
+	w := shardtest.Workload{Seed: 99, Months: 3, PerMonth: 600}
+	months := w.Generate()
+
+	oracle, err := core.NewSystem(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := shard.NewEngine(core.Config{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	router, err := shard.NewRouter(shard.RouterConfig{
+		Shards:    4,
+		BatchSize: 64,
+		Flush:     e.SubmitShard,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+
+	for m, month := range months {
+		// Oracle: sequential ingestion.
+		if err := oracle.SubmitAll(month.Ratings); err != nil {
+			t.Fatal(err)
+		}
+
+		// Engine: the month's ratings split across concurrent writers
+		// submitting interleaved slices through the router. Every
+		// rating has a distinct per-object time, so arrival order
+		// cannot change the stored sequences.
+		var wg sync.WaitGroup
+		errs := make([]error, writers)
+		for g := 0; g < writers; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := g; i < len(month.Ratings); i += writers {
+					hi := i + 1
+					if err := router.Submit(month.Ratings[i:hi]); err != nil {
+						errs[g] = err
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		for g, err := range errs {
+			if err != nil {
+				t.Fatalf("month %d writer %d: %v", m, g, err)
+			}
+		}
+		// Quiesce the router before the maintenance window, so the
+		// window sees every acknowledged rating.
+		if err := router.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if e.Len() != oracle.Len() {
+			t.Fatalf("month %d: engine has %d ratings, oracle %d", m, e.Len(), oracle.Len())
+		}
+
+		wantRep, err := oracle.ProcessWindow(month.Start, month.End)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotRep, err := e.ProcessWindow(month.Start, month.End)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(gotRep.Objects) != len(wantRep.Objects) {
+			t.Fatalf("month %d: %d objects scanned, oracle %d",
+				m, len(gotRep.Objects), len(wantRep.Objects))
+		}
+		for id, want := range wantRep.Observations {
+			if got := gotRep.Observations[id]; got != want {
+				t.Fatalf("month %d rater %d: observation %+v, oracle %+v", m, id, got, want)
+			}
+		}
+	}
+
+	want, err := shardtest.Fingerprint(oracle, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := shardtest.Fingerprint(e, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("soak fingerprint diverges from oracle:\n%s", firstDiff(want, got))
+	}
+}
+
+// Concurrent readers during ingest must never trip the race detector
+// or observe torn state: aggregates, trust reads and snapshots run
+// while writers are streaming.
+func TestSoakReadersDuringIngest(t *testing.T) {
+	w := shardtest.Workload{Seed: 5, Months: 1, PerMonth: 400}
+	month := w.Generate()[0]
+
+	e, err := shard.NewEngine(core.Config{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	router, err := shard.NewRouter(shard.RouterConfig{Shards: 4, BatchSize: 32, Flush: e.SubmitShard})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	var readers sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-done:
+					return
+				case <-time.After(200 * time.Microsecond):
+					// Paced, so the readers probe concurrently without
+					// starving the writers on a single-core box.
+				}
+				_ = e.Len()
+				_ = e.TrustSnapshot()
+				_, _ = e.Aggregate(rating.ObjectID(0))
+				_ = e.MaliciousRaters()
+			}
+		}()
+	}
+
+	var writers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			for i := g; i < len(month.Ratings); i += 4 {
+				if err := router.Submit(month.Ratings[i : i+1]); err != nil {
+					t.Errorf("writer %d: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	writers.Wait()
+	close(done)
+	readers.Wait()
+	if err := router.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Len() != len(month.Ratings) {
+		t.Fatalf("engine has %d ratings, want %d", e.Len(), len(month.Ratings))
+	}
+}

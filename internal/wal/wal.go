@@ -49,13 +49,20 @@ const (
 	TypeRating RecordType = 1
 	// TypeProcess is one maintenance window [Start, End).
 	TypeProcess RecordType = 2
+	// TypeBarrier is a maintenance window broadcast to every shard log
+	// of a sharded deployment. The sequence number is the cross-log
+	// alignment point: recovery merges per-shard tails by pairing
+	// barriers with equal Seq, so a crash mid-broadcast (a barrier
+	// present in some logs but not others) is detectable.
+	TypeBarrier RecordType = 3
 )
 
 // Record is one logical log entry.
 type Record struct {
 	Type       RecordType
 	Rating     rating.Rating // valid when Type == TypeRating
-	Start, End float64       // valid when Type == TypeProcess
+	Start, End float64       // valid when Type == TypeProcess or TypeBarrier
+	Seq        uint64        // valid when Type == TypeBarrier
 }
 
 // RatingRecord wraps a rating as a log record.
@@ -66,6 +73,12 @@ func RatingRecord(r rating.Rating) Record {
 // ProcessRecord wraps a maintenance window as a log record.
 func ProcessRecord(start, end float64) Record {
 	return Record{Type: TypeProcess, Start: start, End: end}
+}
+
+// BarrierRecord wraps a maintenance window as a shard-log barrier with
+// its cross-log sequence number.
+func BarrierRecord(seq uint64, start, end float64) Record {
+	return Record{Type: TypeBarrier, Seq: seq, Start: start, End: end}
 }
 
 // SyncPolicy selects when appends are fsynced.
@@ -586,6 +599,10 @@ func appendFrame(buf []byte, rec Record) []byte {
 	case TypeProcess:
 		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(rec.Start))
 		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(rec.End))
+	case TypeBarrier:
+		buf = binary.LittleEndian.AppendUint64(buf, rec.Seq)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(rec.Start))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(rec.End))
 	default:
 		panic(fmt.Sprintf("wal: unknown record type %d", rec.Type))
 	}
@@ -654,6 +671,16 @@ func decodeRecord(payload []byte) (Record, error) {
 			Start: math.Float64frombits(binary.LittleEndian.Uint64(payload[1:])),
 			End:   math.Float64frombits(binary.LittleEndian.Uint64(payload[9:])),
 		}, nil
+	case TypeBarrier:
+		if len(payload) != 1+3*8 {
+			return Record{}, fmt.Errorf("barrier record length %d", len(payload))
+		}
+		return Record{
+			Type:  TypeBarrier,
+			Seq:   binary.LittleEndian.Uint64(payload[1:]),
+			Start: math.Float64frombits(binary.LittleEndian.Uint64(payload[9:])),
+			End:   math.Float64frombits(binary.LittleEndian.Uint64(payload[17:])),
+		}, nil
 	default:
 		return Record{}, fmt.Errorf("unknown record type %d", payload[0])
 	}
@@ -690,6 +717,10 @@ func Replay(t Target, recs []Record, warnf func(format string, args ...any)) int
 		case TypeRating:
 			err = t.Submit(rec.Rating)
 		case TypeProcess:
+			err = t.Process(rec.Start, rec.End)
+		case TypeBarrier:
+			// A lone shard log replays its barriers as plain windows;
+			// multi-log alignment is the shard recovery's job.
 			err = t.Process(rec.Start, rec.End)
 		default:
 			err = fmt.Errorf("unknown record type %d", rec.Type)

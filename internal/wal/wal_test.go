@@ -302,6 +302,8 @@ func TestRecordEncodingExhaustive(t *testing.T) {
 		RatingRecord(rating.Rating{Rater: -1, Object: 1 << 40, Value: 0.123456789, Time: -7.5}),
 		ProcessRecord(0, 30),
 		ProcessRecord(-1e300, 1e300),
+		BarrierRecord(0, 0, 30),
+		BarrierRecord(1<<63, -7.25, 1e300),
 	}
 	for _, want := range cases {
 		frame := appendFrame(nil, want)
