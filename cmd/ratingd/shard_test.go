@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"errors"
+	"io"
 	"net/http/httptest"
 	"os"
 	"strings"
@@ -197,6 +198,97 @@ func TestShardDaemonLegacyMigration(t *testing.T) {
 	}
 	if got := engineFingerprint(t, engine2, 8); got != want {
 		t.Fatalf("post-migration restart diverges:\nwant %q\ngot  %q", want, got)
+	}
+}
+
+// A crash during the legacy migration — epoch-0001 created, SOME
+// shard snapshots written, manifest not yet committed — must not be
+// adopted as a complete epoch: that would silently drop every shard
+// whose snapshot was never written. The legacy log in the root is
+// still authoritative, so the migration re-runs from scratch.
+func TestShardDaemonInterruptedLegacyMigrationRetries(t *testing.T) {
+	dir := t.TempDir()
+	log, _, err := wal.Open(testWALOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := core.NewSystem(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ratings []rating.Rating
+	for i := 0; i < 40; i++ {
+		// Objects spread over both shards so a dropped shard is visible.
+		r := rating.Rating{Rater: rating.RaterID(i%8 + 1), Object: rating.ObjectID(i % 5), Value: 0.8, Time: float64(i) / 2}
+		ratings = append(ratings, r)
+		if err := log.Append(wal.RatingRecord(r)); err != nil {
+			t.Fatal(err)
+		}
+		if err := oracle.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := log.Append(wal.ProcessRecord(0, 30)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := oracle.ProcessWindow(0, 30); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want, err := shardtest.Fingerprint(oracle, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reproduce the crash window: the migration replayed the legacy log
+	// into the engine and wrote shard 0's snapshot into epoch-0001, then
+	// died before shard 1's snapshot and the manifest commit.
+	partial, err := shard.NewEngine(core.Config{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := partial.SubmitAll(ratings); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := partial.ProcessWindow(0, 30); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		el, _, err := wal.Open(testWALOpts(shardWALPath(dir, 1, i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			if err := el.Snapshot(func(w io.Writer) error {
+				return shard.WriteShardSnapshot(partial, 0, 0, w)
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := el.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	engine, j, ws := openShardDaemon(t, dir, 2)
+	defer closeShardDaemon(t, j, ws)
+	if !ws.recovered {
+		t.Fatal("legacy state not recovered")
+	}
+	if got := engine.Len(); got != 40 {
+		t.Fatalf("after interrupted migration Len = %d, want 40 (half-written epoch adopted?)", got)
+	}
+	if got := engineFingerprint(t, engine, 5); got != want {
+		t.Fatalf("re-run migration diverges:\nwant %q\ngot  %q", want, got)
+	}
+	m, ok, err := readManifest(dir)
+	if err != nil || !ok {
+		t.Fatalf("manifest after re-run migration: ok=%v err=%v", ok, err)
+	}
+	if m.Epoch != 1 || m.Shards != 2 {
+		t.Fatalf("manifest = %+v, want epoch 1 shards 2", m)
 	}
 }
 

@@ -246,16 +246,34 @@ func openShardWALs(root string, shards int, engine *shard.Engine,
 		return nil, err
 	}
 	if !ok {
-		// No manifest. Either a genuinely fresh directory, a legacy
-		// unsharded log, or a crash before the very first manifest
-		// commit (epoch dirs exist, manifest doesn't — the epoch's
-		// content is at most a replayable prefix of what the manifest
-		// would have committed, so adopting it loses nothing).
+		// No manifest. Legacy segments in the root take precedence over
+		// any epoch directory: the legacy migration writes per-shard
+		// snapshots before its manifest commit, so an epoch without a
+		// manifest beside legacy files is an interrupted migration whose
+		// snapshots may cover only some shards — adopting it would
+		// silently drop every shard not yet snapshotted. Re-running the
+		// migration from the legacy log (which is still complete) starts
+		// over cleanly; migrateToEpoch deletes the half-written epoch.
+		legacy, err := hasLegacyWAL(root)
+		if err != nil {
+			return nil, err
+		}
 		epochs, err := scanEpochs(root)
 		if err != nil {
 			return nil, err
 		}
+		if legacy {
+			if len(epochs) > 0 {
+				warnf("wal: legacy log plus uncommitted %s: re-running interrupted migration",
+					epochDirName(epochs[len(epochs)-1]))
+			}
+			return migrateLegacyWAL(root, shards, engine, mkOpts, warnf)
+		}
 		if len(epochs) > 0 {
+			// No legacy log, so this epoch can only be a crash before the
+			// very first manifest commit of a fresh directory — its
+			// content is at most a replayable prefix of what the manifest
+			// would have committed, so adopting it loses nothing.
 			epoch := epochs[len(epochs)-1]
 			n, err := countShardDirs(root, epoch)
 			if err != nil {
@@ -269,10 +287,6 @@ func openShardWALs(root string, shards int, engine *shard.Engine,
 			if err := writeManifest(root, m); err != nil {
 				return nil, err
 			}
-		} else if legacy, err := hasLegacyWAL(root); err != nil {
-			return nil, err
-		} else if legacy {
-			return migrateLegacyWAL(root, shards, engine, mkOpts, warnf)
 		}
 	}
 

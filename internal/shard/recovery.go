@@ -122,10 +122,14 @@ type RecoverStats struct {
 // then merge the log tails into one history — ratings interleave
 // freely between barriers, barriers align across every log by
 // sequence number — replaying each aligned barrier as a maintenance
-// window. A barrier present in only some logs is accepted only as the
-// very last event (a torn broadcast) and dropped with a warning; any
-// earlier divergence returns a ConsistencyError and leaves e
-// untouched beyond what was already applied.
+// window. Barriers at or below the seeding snapshot's height are
+// already reflected in its trust records and are consumed per log
+// without alignment (an interrupted snapshot pass leaves logs
+// rebased at different heights); alignment is enforced only for
+// barriers above it. A live barrier present in only some logs is
+// accepted only as the very last event (a torn broadcast) and dropped
+// with a warning; any earlier divergence returns a ConsistencyError
+// and leaves e untouched beyond what was already applied.
 //
 // The number of recovered logs does not need to match e's shard
 // count: placement is a pure function of object ID and shard count,
@@ -187,26 +191,38 @@ func Recover(e *Engine, shards []RecoveredShard, warnf func(format string, args 
 	stats.NextSeq = trustBase + 1
 
 	// Merge the log tails round by round: apply every shard's ratings
-	// up to its next barrier, then require the barriers to agree
-	// before replaying the window they announce.
+	// up to its next live barrier, then require the live barriers to
+	// agree before replaying the window they announce.
 	cursors := make([]int, len(shards))
 	for {
-		// Phase 1: drain rating records up to the next barrier.
+		// Phase 1: drain rating records up to the next live barrier.
+		// Barriers already folded into the seeding snapshot (Seq <=
+		// trustBase) are consumed per log WITHOUT cross-log alignment:
+		// snapshots are written one log at a time, so a crash partway
+		// through the pass legitimately leaves a rebased log's tail
+		// empty while a lagging log still carries barriers below the
+		// newest snapshot's height. Their windows are already reflected
+		// in the seeded trust records; the ratings around them are not,
+		// and still apply.
 		for i, sh := range shards {
-			var batch []wal.Record
-			for cursors[i] < len(sh.Records) && sh.Records[cursors[i]].Type != wal.TypeBarrier {
-				batch = append(batch, sh.Records[cursors[i]])
+			for cursors[i] < len(sh.Records) {
+				rec := sh.Records[cursors[i]]
+				if rec.Type == wal.TypeBarrier {
+					if rec.Seq > trustBase {
+						break
+					}
+					cursors[i]++
+					continue
+				}
 				cursors[i]++
-			}
-			for _, rec := range batch {
 				switch rec.Type {
 				case wal.TypeRating:
 					if err := e.Submit(rec.Rating); err != nil {
 						warnf("shard: replay log %d rating: %v", i, err)
 						stats.Skipped++
-						continue
+					} else {
+						stats.Applied++
 					}
-					stats.Applied++
 				default:
 					// TypeProcess never appears in shard logs (windows
 					// are barriers there); tolerate it as a window on
@@ -260,13 +276,11 @@ func Recover(e *Engine, shards []RecoveredShard, warnf func(format string, args 
 			stats.Dropped++
 			break
 		}
-		// All logs agree on the barrier; consume it everywhere.
+		// All logs agree on the barrier; consume it everywhere. Phase 1
+		// already consumed everything at or below trustBase, so this
+		// window is not yet reflected in the seeded trust records.
 		for i := range shards {
 			cursors[i]++
-		}
-		if barrier.Seq <= trustBase {
-			// Already folded into the seeding snapshot's trust records.
-			continue
 		}
 		if _, err := e.ProcessWindow(barrier.Start, barrier.End); err != nil {
 			return stats, fmt.Errorf("shard: replay barrier %d: %w", barrier.Seq, err)

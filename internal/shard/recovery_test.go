@@ -203,6 +203,114 @@ func TestRecoverDropsTornTrailingBarrier(t *testing.T) {
 	}
 }
 
+// A crash partway through the one-log-at-a-time snapshot pass leaves
+// shard snapshots at different barrier heights: the rebased log's
+// tail is empty while a lagging log still carries ratings and
+// barriers at or below the newest snapshot's height. All data is
+// intact, so recovery must merge it cleanly — stale barriers consume
+// per log without cross-log alignment — not refuse with a
+// ConsistencyError.
+func TestRecoverMisalignedSnapshotHeights(t *testing.T) {
+	w := shardtest.Workload{Seed: 25, Months: 3, PerMonth: 200}
+	months := w.Generate()
+	dir := t.TempDir()
+
+	logs, _ := openLogs(t, dir, 2)
+	live, err := shard.NewEngine(core.Config{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apply := func(m shardtest.Month, seq uint64) {
+		logMonth(t, logs, m, seq)
+		if err := live.SubmitAll(m.Ratings); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := live.ProcessWindow(m.Start, m.End); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snapshotShard := func(i int, barrier uint64) {
+		if err := logs[i].Snapshot(func(w io.Writer) error {
+			return shard.WriteShardSnapshot(live, i, barrier, w)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	apply(months[0], 1)
+	// A complete snapshot pass at barrier 1...
+	snapshotShard(0, 1)
+	snapshotShard(1, 1)
+	apply(months[1], 2)
+	// ...then a pass that crashes after rebasing only log 0: log 0's
+	// tail is now empty at height 2 while log 1 still holds month 2's
+	// ratings and its barrier.
+	snapshotShard(0, 2)
+	// Month 3 lands after the interrupted pass.
+	apply(months[2], 3)
+	closeLogs(t, logs)
+
+	_, recovered := openLogs(t, dir, 2)
+	e, stats := recoverEngine(t, recovered, 2)
+	if stats.Windows != 1 || stats.Dropped != 0 || stats.NextSeq != 4 {
+		t.Fatalf("stats %+v", stats)
+	}
+	got, err := shardtest.Fingerprint(e, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := oracleFingerprint(t, months, 5); got != want {
+		t.Fatalf("misaligned-snapshot recovery diverges:\n%s", firstDiff(want, got))
+	}
+}
+
+// The extreme misalignment: only one log ever got a snapshot. The
+// never-snapshotted log replays its entire tail, including barriers
+// the snapshotted log already folded into its trust records.
+func TestRecoverSnapshotSubsetOfLogs(t *testing.T) {
+	w := shardtest.Workload{Seed: 26, Months: 2, PerMonth: 200}
+	months := w.Generate()
+	dir := t.TempDir()
+
+	logs, _ := openLogs(t, dir, 2)
+	live, err := shard.NewEngine(core.Config{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m, month := range months {
+		logMonth(t, logs, month, uint64(m+1))
+		if err := live.SubmitAll(month.Ratings); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := live.ProcessWindow(month.Start, month.End); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The snapshot pass dies after log 0.
+	if err := logs[0].Snapshot(func(w io.Writer) error {
+		return shard.WriteShardSnapshot(live, 0, 2, w)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	closeLogs(t, logs)
+
+	_, recovered := openLogs(t, dir, 2)
+	if recovered[0].Snapshot == nil || recovered[1].Snapshot != nil {
+		t.Fatalf("want a snapshot on log 0 only")
+	}
+	e, stats := recoverEngine(t, recovered, 2)
+	if stats.Windows != 0 || stats.Dropped != 0 || stats.NextSeq != 3 {
+		t.Fatalf("stats %+v", stats)
+	}
+	got, err := shardtest.Fingerprint(e, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := oracleFingerprint(t, months, 5); got != want {
+		t.Fatalf("subset-snapshot recovery diverges:\n%s", firstDiff(want, got))
+	}
+}
+
 // A barrier missing from one log while another log CONTINUES past it
 // cannot be crash damage — recovery must fail loudly, not serve trust
 // computed from a diverged history.
