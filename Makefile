@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-soak bench fuzz chaos ci artifacts benchreport clean
+.PHONY: all build vet test race race-soak bench fuzz chaos contract ci artifacts benchreport clean
 
 # Per-target budget for the fuzz sweep; go-fuzz corpora live in
 # testdata/fuzz and regressions found there replay in plain `go test`.
@@ -36,12 +36,17 @@ bench:
 	$(GO) test -bench=. -benchmem .
 
 # fuzz runs each fuzz target for FUZZTIME: WAL frame parsing and record
-# decoding (corrupt bytes must error, never panic) and the server's
-# rating-batch JSON decoder (hostile bodies must map to 4xx).
+# decoding (corrupt bytes must error, never panic), the server's
+# rating-batch JSON decoder (hostile bodies must map to 4xx), the
+# NDJSON stream framing (hostile streams must keep the in-band error
+# protocol intact), and the stream fast-path parser (differential
+# against the strict decoder, bit-identical or bail).
 fuzz:
 	$(GO) test -fuzz FuzzParseFrames -fuzztime $(FUZZTIME) ./internal/wal/
 	$(GO) test -fuzz FuzzDecodeRecord -fuzztime $(FUZZTIME) ./internal/wal/
 	$(GO) test -fuzz FuzzSubmitRatings -fuzztime $(FUZZTIME) ./internal/server/
+	$(GO) test -fuzz FuzzStreamNDJSON -fuzztime $(FUZZTIME) ./internal/server/
+	$(GO) test -fuzz FuzzParseRatingLine -fuzztime $(FUZZTIME) ./internal/server/
 	$(GO) test -fuzz FuzzShardIndex -fuzztime $(FUZZTIME) ./internal/shard/
 
 # ci is the gate every change must pass: static checks, a full build,
@@ -54,23 +59,33 @@ ci:
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(MAKE) race-soak
+	$(MAKE) contract
 	$(GO) test -run=NONE -bench=BenchmarkTab1 -benchtime=1x .
 	$(MAKE) chaos
 
+# contract replays the checked-in wire-contract fixtures: every v1
+# endpoint's golden response, every error code in the catalogue, and
+# the envelope validity of each non-2xx body. Regenerate intentional
+# contract changes with:  go test ./internal/server -run TestWireContract -update
+contract:
+	$(GO) test -count=1 -run 'TestWireContract|TestContractFixtures' ./internal/server/
+
 # chaos runs the fault-injection and crash-recovery suites under the
 # race detector with a dense seed sweep: every-boundary crash replay,
-# torn-tail truncation, and the seeded failpoint schedules in
-# internal/wal and internal/faultinject.
+# torn-tail truncation, the seeded failpoint schedules in internal/wal
+# and internal/faultinject, and the admission-control overload soak
+# (4x capacity; sheds must be typed 429s and the server must drain
+# back to baseline).
 chaos:
 	CHAOS_SEEDS=$(CHAOS_SEEDS) $(GO) test -race -count=1 \
-		-run 'Chaos|Crash|Torn|Recover|Fault|Inject|Durab' \
-		./internal/wal/ ./internal/faultinject/ ./cmd/ratingd/
+		-run 'Chaos|Crash|Torn|Recover|Fault|Inject|Durab|Overload' \
+		./internal/wal/ ./internal/faultinject/ ./cmd/ratingd/ ./internal/server/
 
 artifacts:
 	$(GO) run ./cmd/experiments -run all -mode full -csv artifacts/
 
 benchreport:
-	$(GO) run ./cmd/benchreport -out BENCH_4.json
+	$(GO) run ./cmd/benchreport -out BENCH_5.json
 
 clean:
 	rm -rf artifacts/

@@ -15,12 +15,17 @@
 // again with a nil registry (the no-op path), and the relative
 // overhead is reported. The budget is <2%.
 //
-// Finally it measures shard scaling: the same out-of-order rating
+// It also measures shard scaling: the same out-of-order rating
 // stream is ingested through the batching router at 1, 2, 4, and 8
 // shards, and the report records the 4-shard speedup over the
 // single-shard baseline (target: at least 1.5x).
 //
-//	benchreport                      # all experiments -> BENCH_4.json
+// Finally it measures the HTTP serving layer: NDJSON streaming ingest
+// against chunked unary POSTs at 4 shards (target: at least 2x), and
+// the read cache against aggregate recomputation (target: at least
+// 5x, with a byte-identical conformance gate before timing).
+//
+//	benchreport                      # all experiments -> BENCH_5.json
 //	benchreport -run tab1 -out -     # one experiment  -> stdout
 //	benchreport -workers 4 -walrecords 100000
 package main
@@ -58,6 +63,7 @@ type Report struct {
 	WALReplay   *WALReplayStats    `json:"wal_replay,omitempty"`
 	Telemetry   *TelemetryStats    `json:"telemetry_overhead,omitempty"`
 	ShardScale  *ShardScalingStats `json:"shard_scaling,omitempty"`
+	Serving     *ServingStats      `json:"serving,omitempty"`
 	TotalWallNS int64              `json:"total_wall_ns"`
 }
 
@@ -124,10 +130,11 @@ func run(args []string, stdout io.Writer) error {
 		runID   = fs.String("run", "all", "experiment ID to measure, or \"all\"")
 		seed    = fs.Int64("seed", 1, "top-level random seed")
 		workers = fs.Int("workers", 0, "Monte-Carlo worker goroutines (0 = GOMAXPROCS)")
-		out       = fs.String("out", "BENCH_4.json", "output path, or \"-\" for stdout")
+		out       = fs.String("out", "BENCH_5.json", "output path, or \"-\" for stdout")
 		walRecs   = fs.Int("walrecords", 50000, "WAL records for the recovery-replay benchmark (0 skips it)")
 		telReps   = fs.Int("telemetryreps", 20, "ProcessWindow repetitions for the telemetry-overhead benchmark (0 skips it)")
 		shardRecs = fs.Int("shardratings", 60000, "ratings for the shard-scaling ingest benchmark (0 skips it)")
+		serveRecs = fs.Int("servingratings", 60000, "ratings for the HTTP serving benchmark (0 skips it)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -179,6 +186,15 @@ func run(args []string, stdout io.Writer) error {
 			return fmt.Errorf("shard scaling: %w", err)
 		}
 		report.ShardScale = &stats
+		report.TotalWallNS += stats.WallNS
+	}
+
+	if *serveRecs > 0 {
+		stats, err := measureServing(*serveRecs, *seed)
+		if err != nil {
+			return fmt.Errorf("serving: %w", err)
+		}
+		report.Serving = &stats
 		report.TotalWallNS += stats.WallNS
 	}
 

@@ -13,7 +13,7 @@ import (
 
 func TestSingleExperimentToStdout(t *testing.T) {
 	var buf strings.Builder
-	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "0", "-telemetryreps", "0", "-shardratings", "0"}, &buf); err != nil {
+	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "0", "-telemetryreps", "0", "-shardratings", "0", "-servingratings", "0"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	var rep Report
@@ -37,7 +37,7 @@ func TestSingleExperimentToStdout(t *testing.T) {
 
 func TestWALReplayStats(t *testing.T) {
 	var buf strings.Builder
-	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "2000", "-telemetryreps", "0", "-shardratings", "0"}, &buf); err != nil {
+	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "2000", "-telemetryreps", "0", "-shardratings", "0", "-servingratings", "0"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	var rep Report
@@ -58,7 +58,7 @@ func TestWALReplayStats(t *testing.T) {
 
 func TestWritesFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_test.json")
-	if err := run([]string{"-run", "fig2", "-out", path, "-workers", "2", "-telemetryreps", "0", "-shardratings", "0"}, io.Discard); err != nil {
+	if err := run([]string{"-run", "fig2", "-out", path, "-workers", "2", "-telemetryreps", "0", "-shardratings", "0", "-servingratings", "0"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -99,7 +99,7 @@ func TestAllCoversRegistry(t *testing.T) {
 
 func TestShardScalingStats(t *testing.T) {
 	var buf strings.Builder
-	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "0", "-telemetryreps", "0", "-shardratings", "4000"}, &buf); err != nil {
+	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "0", "-telemetryreps", "0", "-shardratings", "4000", "-servingratings", "0"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	var rep Report
@@ -129,6 +129,35 @@ func TestShardScalingStats(t *testing.T) {
 	}
 }
 
+func TestServingStats(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "0", "-telemetryreps", "0", "-shardratings", "0", "-servingratings", "600"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal([]byte(buf.String()), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	s := rep.Serving
+	if s == nil {
+		t.Fatal("serving missing from report")
+	}
+	if s.Ratings != 600 || s.UnaryWallNS <= 0 || s.StreamWallNS <= 0 || s.StreamSpeedup <= 0 {
+		t.Fatalf("degenerate ingest stats: %+v", s)
+	}
+	if s.UncachedReads <= 0 || s.CachedReads <= 0 || s.CacheSpeedup <= 0 {
+		t.Fatalf("degenerate read stats: %+v", s)
+	}
+	// The speedup targets need benchmark-size workloads; here only the
+	// conformance gate is load-bearing.
+	if !s.CacheConformant {
+		t.Fatal("cached reads diverged from uncached")
+	}
+	if rep.TotalWallNS != rep.Experiments[0].WallNS+s.WallNS {
+		t.Fatalf("total %d does not include serving %d", rep.TotalWallNS, s.WallNS)
+	}
+}
+
 func TestUnknownExperiment(t *testing.T) {
 	if err := run([]string{"-run", "fig99", "-out", "-"}, io.Discard); err == nil {
 		t.Fatal("unknown experiment accepted")
@@ -137,7 +166,7 @@ func TestUnknownExperiment(t *testing.T) {
 
 func TestTelemetryOverheadStats(t *testing.T) {
 	var buf strings.Builder
-	if err := run([]string{"-run", "fig2", "-out", "-", "-walrecords", "0", "-telemetryreps", "3", "-shardratings", "0"}, &buf); err != nil {
+	if err := run([]string{"-run", "fig2", "-out", "-", "-walrecords", "0", "-telemetryreps", "3", "-shardratings", "0", "-servingratings", "0"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	var rep Report

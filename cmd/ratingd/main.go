@@ -10,13 +10,19 @@
 // replaying the log tail — tolerating a torn final record from a
 // crash. Periodic snapshots compact the log in the background.
 //
-// Endpoints are documented in internal/server. Example session:
+// Endpoints are documented in internal/server (wire types in
+// internal/api). Example session:
 //
 //	curl -X POST localhost:8080/v1/ratings -d '[{"rater":1,"object":42,"value":0.8,"time":3.5}]'
+//	curl -X POST localhost:8080/v1/ratings:stream --data-binary @ratings.ndjson
 //	curl -X POST localhost:8080/v1/process -d '{"start":0,"end":30}'
 //	curl localhost:8080/v1/objects/42/aggregate
 //	curl localhost:8080/v1/raters/1/trust
-//	curl localhost:8080/v1/malicious
+//	curl 'localhost:8080/v1/malicious?offset=0&limit=100'
+//
+// Reads are served from a precisely-invalidated cache (-read-cache);
+// mutating routes can shed under overload with typed 429s once
+// -admit-max is set.
 package main
 
 import (
@@ -74,6 +80,13 @@ func run(args []string) (retErr error) {
 
 		reqTimeout = fs.Duration("request-timeout", 30*time.Second, "per-request handling timeout; 0 disables")
 		maxBody    = fs.Int64("max-body-bytes", 8<<20, "maximum request body size")
+
+		readCache   = fs.Int("read-cache", 0, "read-cache capacity in objects; 0 uses the default (4096), negative disables caching")
+		streamBatch = fs.Int("stream-batch", 512, "ratings coalesced per group-commit submit on /v1/ratings:stream")
+		admitMax    = fs.Int("admit-max", 0, "mutating requests allowed to execute at once; 0 disables admission control")
+		admitQueue  = fs.Int("admit-queue", 0, "mutating requests that may queue for a slot beyond -admit-max")
+		admitWait   = fs.Duration("admit-wait", 250*time.Millisecond, "longest a queued mutating request waits for a slot before a 429 shed")
+		admitRetry  = fs.Duration("admit-retry-after", 0, "Retry-After hint on shed responses; 0 derives it from -admit-wait")
 
 		pprofOn           = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 		telemetryInterval = fs.Duration("telemetry-interval", 0, "print a summary line to stderr at this cadence; 0 disables")
@@ -232,6 +245,16 @@ func run(args []string) (retErr error) {
 		server.WithMaxBodyBytes(*maxBody),
 		server.WithRequestTimeout(*reqTimeout),
 		server.WithTelemetry(reg),
+		server.WithReadCache(*readCache),
+		server.WithStreamBatch(*streamBatch),
+	}
+	if *admitMax > 0 {
+		opts = append(opts, server.WithAdmission(server.AdmissionConfig{
+			MaxConcurrent: *admitMax,
+			MaxQueue:      *admitQueue,
+			MaxWait:       *admitWait,
+			RetryAfter:    *admitRetry,
+		}))
 	}
 	if journal != nil {
 		opts = append(opts, server.WithJournal(journal))

@@ -66,6 +66,14 @@ func (j *shardJournal) SubmitAll(rs []rating.Rating) error {
 	return j.router.Submit(rs)
 }
 
+// SubmitAsync implements server.AsyncSubmitter: the streaming ingest
+// endpoint enqueues a batch and keeps decoding while the router's
+// group commit logs and applies it. The returned wait reports the
+// flush outcome; the caller's slice is copied before return.
+func (j *shardJournal) SubmitAsync(rs []rating.Rating) (func() error, error) {
+	return j.router.SubmitAsync(rs)
+}
+
 // ProcessWindow broadcasts the window's barrier to every shard log,
 // then runs it. A failure before any log accepted the barrier is a
 // clean refusal; a failure after the first acceptance wedges the

@@ -1,0 +1,141 @@
+// Package api is the versioned v1 wire contract of the rating
+// service: every request and response struct the HTTP handlers emit
+// and the typed client consumes, plus the error envelope all non-2xx
+// responses share. Handlers and client import these shapes from here
+// — never declare ad-hoc per-handler structs — so a field rename is a
+// single, reviewable change that the wire-contract golden tests
+// (internal/server/contract_test.go) will flag loudly.
+//
+// Compatibility rules for v1:
+//
+//   - Existing fields keep their JSON names and types.
+//   - New fields are additive and either optional in requests or
+//     omitted-when-absent in responses (so default responses are
+//     byte-identical across releases).
+//   - Every non-2xx response body is an Error envelope.
+package api
+
+import "repro/internal/rating"
+
+// RatingPayload is the wire form of one rating, used both in the
+// unary submit batch (a JSON array of these) and as one NDJSON line
+// of the streaming ingest endpoint.
+type RatingPayload struct {
+	Rater  int     `json:"rater"`
+	Object int     `json:"object"`
+	Value  float64 `json:"value"`
+	Time   float64 `json:"time"`
+}
+
+// Rating converts the payload to the engine's rating type.
+func (p RatingPayload) Rating() rating.Rating {
+	return rating.Rating{
+		Rater:  rating.RaterID(p.Rater),
+		Object: rating.ObjectID(p.Object),
+		Value:  p.Value,
+		Time:   p.Time,
+	}
+}
+
+// SubmitResponse reports how many ratings a unary submit accepted.
+type SubmitResponse struct {
+	Accepted int `json:"accepted"`
+}
+
+// ProcessRequest is the maintenance-window request body.
+type ProcessRequest struct {
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+}
+
+// ProcessResponse summarizes one maintenance pass. Degraded counts
+// objects whose detector pass failed and fell back to filter-only
+// evidence.
+type ProcessResponse struct {
+	Objects      int `json:"objects"`
+	Observations int `json:"observations"`
+	Suspicious   int `json:"suspiciousWindows"`
+	Degraded     int `json:"degradedObjects"`
+}
+
+// AggregateResponse is the wire form of an object's trust-weighted
+// aggregate.
+type AggregateResponse struct {
+	Object   int     `json:"object"`
+	Value    float64 `json:"value"`
+	Used     int     `json:"used"`
+	Filtered int     `json:"filtered"`
+	FellBack bool    `json:"fellBack"`
+}
+
+// TrustResponse is the wire form of a rater's trust.
+type TrustResponse struct {
+	Rater int     `json:"rater"`
+	Trust float64 `json:"trust"`
+}
+
+// Page describes the slice of a paginated collection a response
+// holds. It is present only when the request asked for pagination
+// (limit or offset), so unpaginated responses keep their original
+// shape.
+type Page struct {
+	// Total is the collection size before pagination.
+	Total int `json:"total"`
+	// Offset is the number of leading entries skipped.
+	Offset int `json:"offset"`
+	// Limit echoes the requested page size; 0 means unlimited.
+	Limit int `json:"limit"`
+}
+
+// MaliciousResponse lists flagged raters in ascending ID order. Page
+// is set only on paginated requests.
+type MaliciousResponse struct {
+	Raters []int `json:"raters"`
+	Page   *Page `json:"page,omitempty"`
+}
+
+// TrustDistribution bins every tracked rater's trust into the
+// requested sorted upper bounds. Counts are cumulative ("le"
+// semantics): Counts[i] is the number of raters with trust <=
+// Bounds[i].
+type TrustDistribution struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int     `json:"counts"`
+}
+
+// StatsResponse summarizes the system's state. Distribution is set
+// only when the request carried a bounds parameter.
+type StatsResponse struct {
+	Ratings      int                `json:"ratings"`
+	Raters       int                `json:"raters"`
+	Malicious    int                `json:"malicious"`
+	Distribution *TrustDistribution `json:"trust_distribution,omitempty"`
+}
+
+// StreamLineError is one rejected line of a streaming ingest: the
+// 1-based line number, the error code (an Error code), and a message.
+// Accepted lines produce no output — a bulk stream's response traffic
+// is proportional to its failures, not its size.
+type StreamLineError struct {
+	Line    int    `json:"line"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// StreamSummary is the final NDJSON line of a streaming ingest
+// response. When the stream was cut short (a submit failure after
+// acceptance started, or an oversized line), Code and Message carry
+// the terminal error; clients must treat lines after Lines as never
+// examined.
+type StreamSummary struct {
+	Accepted int    `json:"accepted"`
+	Rejected int    `json:"rejected"`
+	Lines    int    `json:"lines"`
+	Code     string `json:"code,omitempty"`
+	Message  string `json:"message,omitempty"`
+}
+
+// HealthResponse is the liveness probe's body.
+type HealthResponse struct {
+	Status string `json:"status"`
+}

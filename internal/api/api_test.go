@@ -1,0 +1,73 @@
+package api
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+func TestErrorValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		e    Error
+		ok   bool
+	}{
+		{"valid", Error{Code: CodeBadRequest, Message: "decode ratings: EOF"}, true},
+		{"retry hint", Error{Code: CodeOverloaded, Message: "shed", RetryAfter: 0.25}, true},
+		{"unknown code", Error{Code: "nope", Message: "x"}, false},
+		{"empty code", Error{Message: "x"}, false},
+		{"empty message", Error{Code: CodeInternal}, false},
+		{"negative retry", Error{Code: CodeOverloaded, Message: "x", RetryAfter: -1}, false},
+	}
+	for _, tc := range cases {
+		if err := tc.e.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestCodeForStatusCoversCatalogue(t *testing.T) {
+	for _, status := range []int{
+		http.StatusBadRequest, http.StatusNotFound, http.StatusConflict,
+		http.StatusRequestEntityTooLarge, http.StatusTooManyRequests,
+		http.StatusServiceUnavailable, http.StatusInternalServerError,
+	} {
+		if code := CodeForStatus(status); !KnownCode(code) {
+			t.Errorf("status %d maps to unknown code %q", status, code)
+		}
+	}
+}
+
+// The envelope's wire shape is load-bearing: retry_after must vanish
+// when unset so non-shed errors keep their two-field body.
+func TestErrorWireShape(t *testing.T) {
+	b, err := json.Marshal(&Error{Code: CodeNotFound, Message: "unknown object 9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"code":"not_found","message":"unknown object 9"}`
+	if string(b) != want {
+		t.Fatalf("envelope = %s, want %s", b, want)
+	}
+	b, err = json.Marshal(&Error{Code: CodeOverloaded, Message: "shed", RetryAfter: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = `{"code":"overloaded","message":"shed","retry_after":0.5}`
+	if string(b) != want {
+		t.Fatalf("envelope = %s, want %s", b, want)
+	}
+}
+
+// Optional response sections must be omitted when absent, keeping
+// default responses byte-identical to the pre-pagination contract.
+func TestOptionalSectionsOmitted(t *testing.T) {
+	b, _ := json.Marshal(MaliciousResponse{Raters: []int{}})
+	if string(b) != `{"raters":[]}` {
+		t.Fatalf("unpaginated malicious = %s", b)
+	}
+	b, _ = json.Marshal(StatsResponse{Ratings: 1, Raters: 2, Malicious: 0})
+	if string(b) != `{"ratings":1,"raters":2,"malicious":0}` {
+		t.Fatalf("default stats = %s", b)
+	}
+}

@@ -1,0 +1,102 @@
+package api
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// Error codes of the v1 surface. The catalogue is closed: handlers
+// must pick one of these, and the contract tests reject envelopes
+// carrying a code outside it. Clients switch on Code, never on the
+// human-readable Message.
+const (
+	// CodeBadRequest: the request is malformed — undecodable body,
+	// invalid rating, bad path or query parameter. Retrying cannot
+	// help.
+	CodeBadRequest = "bad_request"
+	// CodeNotFound: the referenced object or resource does not exist.
+	CodeNotFound = "not_found"
+	// CodeConflict: the state cannot answer the request (e.g. an
+	// aggregate over an object with no usable ratings).
+	CodeConflict = "conflict"
+	// CodePayloadTooLarge: the request body exceeded the server's
+	// size limit.
+	CodePayloadTooLarge = "payload_too_large"
+	// CodeOverloaded: admission control shed the request; retry after
+	// RetryAfter seconds.
+	CodeOverloaded = "overloaded"
+	// CodeTimeout: the request exceeded the server's per-request
+	// handling deadline.
+	CodeTimeout = "timeout"
+	// CodeUnavailable: a dependency (journal, leader execution) was
+	// unavailable; the mutation was not applied and a retry is safe.
+	CodeUnavailable = "unavailable"
+	// CodeInternal: a handler bug; the request's effect is unknown.
+	CodeInternal = "internal"
+)
+
+// knownCodes is the closed catalogue.
+var knownCodes = map[string]bool{
+	CodeBadRequest:      true,
+	CodeNotFound:        true,
+	CodeConflict:        true,
+	CodePayloadTooLarge: true,
+	CodeOverloaded:      true,
+	CodeTimeout:         true,
+	CodeUnavailable:     true,
+	CodeInternal:        true,
+}
+
+// KnownCode reports whether code is in the v1 catalogue.
+func KnownCode(code string) bool { return knownCodes[code] }
+
+// Error is the envelope every non-2xx response carries. RetryAfter,
+// when positive, is the server's backoff hint in seconds (fractional
+// allowed); it accompanies the HTTP Retry-After header on shed (429)
+// responses.
+type Error struct {
+	Code       string  `json:"code"`
+	Message    string  `json:"message"`
+	RetryAfter float64 `json:"retry_after,omitempty"`
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s: %s", e.Code, e.Message)
+}
+
+// Validate checks the envelope against the contract: a known code and
+// a non-empty message, with a non-negative retry hint.
+func (e *Error) Validate() error {
+	if !KnownCode(e.Code) {
+		return fmt.Errorf("api: unknown error code %q", e.Code)
+	}
+	if e.Message == "" {
+		return fmt.Errorf("api: %s envelope with empty message", e.Code)
+	}
+	if e.RetryAfter < 0 {
+		return fmt.Errorf("api: negative retry_after %g", e.RetryAfter)
+	}
+	return nil
+}
+
+// CodeForStatus maps an HTTP status to the default error code, for
+// paths that know the status but not a more specific cause.
+func CodeForStatus(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return CodeBadRequest
+	case http.StatusNotFound:
+		return CodeNotFound
+	case http.StatusConflict:
+		return CodeConflict
+	case http.StatusRequestEntityTooLarge:
+		return CodePayloadTooLarge
+	case http.StatusTooManyRequests:
+		return CodeOverloaded
+	case http.StatusServiceUnavailable:
+		return CodeUnavailable
+	default:
+		return CodeInternal
+	}
+}

@@ -1,15 +1,20 @@
 package server
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/randx"
 )
 
@@ -110,14 +115,23 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 	}
 }
 
-// APIError is a non-2xx response from the service.
+// APIError is a non-2xx response from the service, carrying the typed
+// code from the api.Error envelope so callers branch on Code, not on
+// message text or raw status.
 type APIError struct {
 	Status  int
+	Code    string // api.Code* constant; empty for pre-envelope peers
 	Message string
+	// RetryAfter is the server's backoff hint on shed (429) responses;
+	// zero when the server sent none.
+	RetryAfter time.Duration
 }
 
 // Error implements error.
 func (e *APIError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("server: status %d (%s): %s", e.Status, e.Code, e.Message)
+	}
 	return fmt.Sprintf("server: status %d: %s", e.Status, e.Message)
 }
 
@@ -162,11 +176,101 @@ func (c *Client) Malicious(ctx context.Context) ([]int, error) {
 	return resp.Raters, nil
 }
 
+// MaliciousPage lists one page of the flagged raters (ascending ID
+// order). limit <= 0 means "from offset to the end". The response's
+// Page field reports the pre-pagination total.
+func (c *Client) MaliciousPage(ctx context.Context, offset, limit int) (MaliciousResponse, error) {
+	q := url.Values{}
+	q.Set("offset", strconv.Itoa(offset))
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	var resp MaliciousResponse
+	err := c.do(ctx, http.MethodGet, "/v1/malicious?"+q.Encode(), nil, &resp)
+	return resp, err
+}
+
 // Stats fetches the service's state summary.
 func (c *Client) Stats(ctx context.Context) (StatsResponse, error) {
 	var resp StatsResponse
 	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &resp)
 	return resp, err
+}
+
+// StatsWithBounds fetches the state summary plus a trust distribution
+// binned into the given ascending upper bounds (cumulative counts).
+func (c *Client) StatsWithBounds(ctx context.Context, bounds []float64) (StatsResponse, error) {
+	parts := make([]string, len(bounds))
+	for i, b := range bounds {
+		parts[i] = strconv.FormatFloat(b, 'g', -1, 64)
+	}
+	q := url.Values{}
+	q.Set("bounds", strings.Join(parts, ","))
+	var resp StatsResponse
+	err := c.do(ctx, http.MethodGet, "/v1/stats?"+q.Encode(), nil, &resp)
+	return resp, err
+}
+
+// SubmitStream bulk-ingests NDJSON-framed ratings from body (one
+// RatingPayload object per line) and returns the server's terminal
+// summary plus any per-line rejections. The stream is not retried or
+// deduplicated — body is consumed once — so callers resume from
+// summary.Lines after a failure rather than re-sending blindly. A
+// summary carrying a terminal Code is surfaced as an *APIError
+// alongside the partial results.
+func (c *Client) SubmitStream(ctx context.Context, body io.Reader) (api.StreamSummary, []api.StreamLineError, error) {
+	var summary api.StreamSummary
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/ratings:stream", body)
+	if err != nil {
+		return summary, nil, fmt.Errorf("server: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	res, err := c.hc.Do(req)
+	if err != nil {
+		return summary, nil, fmt.Errorf("server: %w", err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		return summary, nil, decodeError(res)
+	}
+
+	// The response is NDJSON: zero or more line errors, then exactly
+	// one summary (the line without a "line" field).
+	var rejects []api.StreamLineError
+	sawSummary := false
+	sc := bufio.NewScanner(res.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var probe struct {
+			Line int `json:"line"`
+		}
+		if json.Unmarshal(line, &probe) == nil && probe.Line > 0 {
+			var le api.StreamLineError
+			if err := json.Unmarshal(line, &le); err != nil {
+				return summary, rejects, fmt.Errorf("server: decode stream line error: %w", err)
+			}
+			rejects = append(rejects, le)
+			continue
+		}
+		if err := json.Unmarshal(line, &summary); err != nil {
+			return summary, rejects, fmt.Errorf("server: decode stream summary: %w", err)
+		}
+		sawSummary = true
+	}
+	if err := sc.Err(); err != nil {
+		return summary, rejects, fmt.Errorf("server: read stream response: %w", err)
+	}
+	if !sawSummary {
+		return summary, rejects, fmt.Errorf("server: stream response ended without a summary")
+	}
+	if summary.Code != "" {
+		return summary, rejects, &APIError{Status: res.StatusCode, Code: summary.Code, Message: summary.Message}
+	}
+	return summary, rejects, nil
 }
 
 // Snapshot streams the service's full state into w.
@@ -241,9 +345,17 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	}
 
 	var lastErr error
+	var hint time.Duration // server's Retry-After from the last shed
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
-			if err := sleepCtx(ctx, c.backoff(attempt)); err != nil {
+			delay := c.backoff(attempt)
+			// A shed server knows its own recovery horizon better than
+			// our exponential schedule: never retry before its hint.
+			if hint > delay {
+				delay = hint
+			}
+			hint = 0
+			if err := sleepCtx(ctx, delay); err != nil {
 				return fmt.Errorf("server: %w (last error: %v)", err, lastErr)
 			}
 		}
@@ -270,9 +382,13 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 			}
 			continue
 		}
-		if res.StatusCode >= 500 {
-			lastErr = decodeError(res)
+		// 5xx and 429 are the retryable failures: the request never
+		// took effect (or deduplicates via the request ID if it did).
+		if res.StatusCode >= 500 || res.StatusCode == http.StatusTooManyRequests {
+			apiErr := decodeError(res)
 			res.Body.Close()
+			lastErr = apiErr
+			hint = apiErr.RetryAfter
 			continue
 		}
 		err = func() error {
@@ -293,10 +409,46 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	return lastErr
 }
 
-func decodeError(res *http.Response) error {
-	var e ErrorResponse
-	if err := json.NewDecoder(res.Body).Decode(&e); err != nil || e.Error == "" {
-		return &APIError{Status: res.StatusCode, Message: res.Status}
+// decodeError turns a non-2xx response into an *APIError. The body is
+// expected to be an api.Error envelope; a legacy `{"error": "..."}`
+// body (pre-envelope peers, fault-injecting test proxies) degrades to
+// a code-less APIError, and anything else falls back to the status
+// line.
+func decodeError(res *http.Response) *APIError {
+	body, _ := io.ReadAll(io.LimitReader(res.Body, 1<<20))
+	var env api.Error
+	if json.Unmarshal(body, &env) == nil && env.Code != "" {
+		e := &APIError{
+			Status:     res.StatusCode,
+			Code:       env.Code,
+			Message:    env.Message,
+			RetryAfter: time.Duration(env.RetryAfter * float64(time.Second)),
+		}
+		if e.RetryAfter == 0 {
+			e.RetryAfter = retryAfterHeader(res)
+		}
+		return e
 	}
-	return &APIError{Status: res.StatusCode, Message: e.Error}
+	var legacy struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &legacy) == nil && legacy.Error != "" {
+		return &APIError{Status: res.StatusCode, Message: legacy.Error}
+	}
+	return &APIError{Status: res.StatusCode, Message: res.Status}
+}
+
+// retryAfterHeader parses a whole-seconds Retry-After header; HTTP
+// dates (the header's other legal form) are not produced by this
+// service and parse as zero.
+func retryAfterHeader(res *http.Response) time.Duration {
+	v := res.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }

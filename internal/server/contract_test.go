@@ -1,0 +1,377 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/rating"
+	"repro/internal/trust"
+)
+
+var updateContract = flag.Bool("update", false, "rewrite contract fixtures instead of comparing")
+
+// contractFixture is what each checked-in fixture holds: the status,
+// the contract-relevant headers, and every JSON value in the body (one
+// for ordinary responses, several for NDJSON streams). Bodies are
+// stored re-indented, so a fixture diff reads as a field-level wire
+// change.
+type contractFixture struct {
+	Status  int               `json:"status"`
+	Headers map[string]string `json:"headers,omitempty"`
+	Body    []json.RawMessage `json:"body"`
+}
+
+// faultBackend wraps the real backend with deterministic failure
+// injection for the error-path fixtures.
+type faultBackend struct {
+	Backend
+	aggregateErr error
+	panicMsg     string
+}
+
+func (f *faultBackend) Aggregate(obj rating.ObjectID) (core.AggregateResult, error) {
+	if f.panicMsg != "" {
+		panic(f.panicMsg)
+	}
+	if f.aggregateErr != nil {
+		return core.AggregateResult{}, f.aggregateErr
+	}
+	return f.Backend.Aggregate(obj)
+}
+
+// failingJournal refuses every mutation, producing the 503 envelope.
+type failingJournal struct{}
+
+func (failingJournal) SubmitAll([]rating.Rating) error { return errors.New("wal: no space left") }
+func (failingJournal) ProcessWindow(float64, float64) (core.ProcessReport, error) {
+	return core.ProcessReport{}, errors.New("wal: no space left")
+}
+func (failingJournal) Restore(io.Reader) error { return errors.New("wal: no space left") }
+
+// contractSeed loads a fixed, deterministic state: a handful of honest
+// ratings plus one constant-rating clique that the maintenance pass
+// flags, so /v1/malicious and the trust distribution are non-trivial.
+func contractSeed(t *testing.T, b Backend) {
+	t.Helper()
+	var rs []rating.Rating
+	for i := 0; i < 10; i++ {
+		rs = append(rs, rating.Rating{
+			Rater: rating.RaterID(i + 1), Object: 1,
+			Value: 0.4 + 0.02*float64(i), Time: float64(i),
+		})
+	}
+	for i := 0; i < 20; i++ {
+		rs = append(rs, rating.Rating{
+			Rater: rating.RaterID(100 + i), Object: 2,
+			Value: 0.95, Time: float64(i),
+		})
+	}
+	if err := b.SubmitAll(rs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.ProcessWindow(0, 30); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// checkFixture canonicalizes a live response against its checked-in
+// fixture, and — for every non-2xx single-JSON body — validates the
+// envelope against the api.Error contract.
+func checkFixture(t *testing.T, name string, res *http.Response) {
+	t.Helper()
+	raw, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fix := contractFixture{Status: res.StatusCode}
+	if ra := res.Header.Get("Retry-After"); ra != "" {
+		fix.Headers = map[string]string{"Retry-After": ra}
+	}
+	for _, line := range bytes.Split(raw, []byte("\n")) {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		var v json.RawMessage
+		if err := json.Unmarshal(line, &v); err != nil {
+			t.Fatalf("%s: response line is not JSON: %q (%v)", name, line, err)
+		}
+		fix.Body = append(fix.Body, v)
+	}
+
+	// Envelope validation: every non-2xx body must be a closed-catalogue
+	// api.Error.
+	if res.StatusCode/100 != 2 {
+		if len(fix.Body) != 1 {
+			t.Fatalf("%s: error response carries %d JSON values", name, len(fix.Body))
+		}
+		var env api.Error
+		dec := json.NewDecoder(bytes.NewReader(fix.Body[0]))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&env); err != nil {
+			t.Fatalf("%s: error body is not an api.Error envelope: %v", name, err)
+		}
+		if err := env.Validate(); err != nil {
+			t.Fatalf("%s: envelope invalid: %v (%+v)", name, err, env)
+		}
+	}
+
+	got, err := json.MarshalIndent(fix, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	path := filepath.Join("testdata", "contract", name+".json")
+	if *updateContract {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%s: %v (run `go test ./internal/server -run TestWireContract -update` after intentional wire changes)", name, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: wire contract drift.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestWireContract pins the v1 wire surface — success and every error
+// code — to checked-in fixtures. A field rename, a dropped field, or a
+// code change fails here before any client notices in production.
+func TestWireContract(t *testing.T) {
+	srv, err := New(core.Config{Detector: detector.Config{Threshold: 0.05}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	contractSeed(t, srv.System())
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	get := func(path string) *http.Response {
+		res, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	post := func(path, body string) *http.Response {
+		res, err := ts.Client().Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	checkFixture(t, "health", get("/healthz"))
+	checkFixture(t, "submit_ok", post("/v1/ratings", `[{"rater":500,"object":1,"value":0.5,"time":40}]`))
+	checkFixture(t, "submit_bad_request", post("/v1/ratings", `[{"rater":1,"object":1,"value":7,"time":0}]`))
+	checkFixture(t, "process_ok", post("/v1/process", `{"start":0,"end":41}`))
+	checkFixture(t, "process_bad_request", post("/v1/process", `{"start":10,"end":5}`))
+	checkFixture(t, "aggregate_ok", get("/v1/objects/1/aggregate"))
+	checkFixture(t, "aggregate_not_found", get("/v1/objects/404/aggregate"))
+	checkFixture(t, "trust_ok", get("/v1/raters/1/trust"))
+	checkFixture(t, "malicious_ok", get("/v1/malicious"))
+	checkFixture(t, "malicious_page", get("/v1/malicious?offset=2&limit=3"))
+	checkFixture(t, "malicious_bad_request", get("/v1/malicious?limit=-1"))
+	checkFixture(t, "stats_ok", get("/v1/stats"))
+	checkFixture(t, "stats_bounds", get("/v1/stats?bounds=0.25,0.5,0.75,1"))
+	checkFixture(t, "stats_bad_request", get("/v1/stats?bounds=0.9,0.1"))
+	checkFixture(t, "stream_reject", post("/v1/ratings:stream",
+		"{\"rater\":600,\"object\":1,\"value\":0.5,\"time\":50}\n{\"rater\":601,\"object\":1,\"value\":9,\"time\":50}\n"))
+
+	restoreReq, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/snapshot", strings.NewReader("not a snapshot"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	restoreRes, err := ts.Client().Do(restoreReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFixture(t, "restore_bad_request", restoreRes)
+}
+
+// TestWireContractErrorPaths covers the envelopes that need induced
+// faults: payload caps, journal refusal, overload shedding, handler
+// panics, conflicts, and the timeout handler's static body.
+func TestWireContractErrorPaths(t *testing.T) {
+	t.Run("payload_too_large", func(t *testing.T) {
+		srv, err := New(core.Config{Detector: detector.Config{Threshold: 0.05}}, WithMaxBodyBytes(64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv)
+		t.Cleanup(ts.Close)
+		big := `[{"rater":1,"object":1,"value":0.5,"time":1},{"rater":2,"object":1,"value":0.5,"time":1}]`
+		res, err := ts.Client().Post(ts.URL+"/v1/ratings", "application/json", strings.NewReader(big))
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkFixture(t, "submit_payload_too_large", res)
+	})
+
+	t.Run("unavailable", func(t *testing.T) {
+		srv, err := New(core.Config{Detector: detector.Config{Threshold: 0.05}}, WithJournal(failingJournal{}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv)
+		t.Cleanup(ts.Close)
+		res, err := ts.Client().Post(ts.URL+"/v1/ratings", "application/json",
+			strings.NewReader(`[{"rater":1,"object":1,"value":0.5,"time":1}]`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkFixture(t, "submit_unavailable", res)
+	})
+
+	t.Run("overloaded", func(t *testing.T) {
+		srv, err := New(core.Config{Detector: detector.Config{Threshold: 0.05}},
+			WithAdmission(AdmissionConfig{MaxConcurrent: 1, MaxWait: 5 * time.Millisecond, RetryAfter: 2 * time.Second}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv)
+		t.Cleanup(ts.Close)
+		<-srv.admission.tokens // saturate the only slot deterministically
+		res, err := ts.Client().Post(ts.URL+"/v1/ratings", "application/json",
+			strings.NewReader(`[{"rater":1,"object":1,"value":0.5,"time":1}]`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkFixture(t, "submit_overloaded", res)
+	})
+
+	t.Run("conflict", func(t *testing.T) {
+		base, err := core.NewSafeSystem(core.Config{Detector: detector.Config{Threshold: 0.05}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := NewWith(&faultBackend{Backend: base, aggregateErr: trust.ErrNoTrustedRaters})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv)
+		t.Cleanup(ts.Close)
+		res, err := ts.Client().Get(ts.URL + "/v1/objects/1/aggregate")
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkFixture(t, "aggregate_conflict", res)
+	})
+
+	t.Run("internal", func(t *testing.T) {
+		base, err := core.NewSafeSystem(core.Config{Detector: detector.Config{Threshold: 0.05}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := NewWith(&faultBackend{Backend: base, panicMsg: "induced contract-test panic"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv)
+		t.Cleanup(ts.Close)
+		res, err := ts.Client().Get(ts.URL + "/v1/objects/1/aggregate")
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkFixture(t, "aggregate_internal", res)
+	})
+
+	t.Run("timeout", func(t *testing.T) {
+		// http.TimeoutHandler writes a static string; require it to be a
+		// valid envelope and pin its bytes.
+		var env api.Error
+		dec := json.NewDecoder(strings.NewReader(timeoutBody))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&env); err != nil {
+			t.Fatalf("timeoutBody is not an envelope: %v", err)
+		}
+		if err := env.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if env.Code != api.CodeTimeout {
+			t.Fatalf("timeoutBody code = %q", env.Code)
+		}
+
+		// End to end: a handler slower than the budget yields 503 with
+		// that exact body.
+		base, err := core.NewSafeSystem(core.Config{Detector: detector.Config{Threshold: 0.05}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow := &slowJournal{sys: base, delay: 200 * time.Millisecond}
+		srv, err := NewWith(base, WithJournal(slow), WithRequestTimeout(20*time.Millisecond))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv)
+		t.Cleanup(ts.Close)
+		res, err := ts.Client().Post(ts.URL+"/v1/ratings", "application/json",
+			strings.NewReader(`[{"rater":1,"object":1,"value":0.5,"time":1}]`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkFixture(t, "submit_timeout", res)
+	})
+}
+
+// TestContractFixturesCoverCatalogue fails when an error code exists
+// with no fixture pinning its wire shape, so new codes cannot ship
+// untested.
+func TestContractFixturesCoverCatalogue(t *testing.T) {
+	if *updateContract {
+		t.Skip("fixtures being rewritten")
+	}
+	covered := map[string]bool{}
+	dir := filepath.Join("testdata", "contract")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fix contractFixture
+		if err := json.Unmarshal(raw, &fix); err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		for _, body := range fix.Body {
+			var env api.Error
+			if json.Unmarshal(body, &env) == nil && env.Code != "" {
+				covered[env.Code] = true
+			}
+		}
+	}
+	for _, code := range []string{
+		api.CodeBadRequest, api.CodeNotFound, api.CodeConflict,
+		api.CodePayloadTooLarge, api.CodeOverloaded, api.CodeTimeout,
+		api.CodeUnavailable, api.CodeInternal,
+	} {
+		if !covered[code] {
+			t.Errorf("error code %q has no contract fixture", code)
+		}
+	}
+}

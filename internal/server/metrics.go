@@ -3,6 +3,7 @@ package server
 import (
 	"net/http"
 	"strconv"
+	"time"
 
 	"repro/internal/telemetry"
 )
@@ -17,6 +18,14 @@ type serverMetrics struct {
 
 	dedupeHits   *telemetry.Counter // replayed from the idempotency cache
 	dedupeMisses *telemetry.Counter // executed as the leader
+
+	readCache  *telemetry.CounterVec // labels: kind (aggregate|malicious), result (hit|miss)
+	admissions *telemetry.CounterVec // labels: result (admitted|queue_full|wait_timeout|deadline)
+	queueWait  *telemetry.Histogram  // seconds spent waiting for an admission slot
+
+	streamLines    *telemetry.Counter // NDJSON lines examined
+	streamRejected *telemetry.Counter // lines rejected per-line
+	streamBatches  *telemetry.Counter // group-commit batches submitted
 }
 
 func newServerMetrics(r *telemetry.Registry) *serverMetrics {
@@ -24,11 +33,17 @@ func newServerMetrics(r *telemetry.Registry) *serverMetrics {
 		return nil
 	}
 	return &serverMetrics{
-		requests:     r.CounterVec("http_requests_total", "HTTP requests by endpoint and status code", "route", "code"),
-		latency:      r.HistogramVec("http_request_seconds", "HTTP request handling latency by endpoint", nil, "route"),
-		inflight:     r.Gauge("http_inflight_requests", "requests currently being handled"),
-		dedupeHits:   r.Counter("http_idempotency_hits_total", "requests answered from the idempotency cache"),
-		dedupeMisses: r.Counter("http_idempotency_misses_total", "idempotent requests that executed as leader"),
+		requests:       r.CounterVec("http_requests_total", "HTTP requests by endpoint and status code", "route", "code"),
+		latency:        r.HistogramVec("http_request_seconds", "HTTP request handling latency by endpoint", nil, "route"),
+		inflight:       r.Gauge("http_inflight_requests", "requests currently being handled"),
+		dedupeHits:     r.Counter("http_idempotency_hits_total", "requests answered from the idempotency cache"),
+		dedupeMisses:   r.Counter("http_idempotency_misses_total", "idempotent requests that executed as leader"),
+		readCache:      r.CounterVec("http_read_cache_total", "read-cache lookups by kind and result", "kind", "result"),
+		admissions:     r.CounterVec("http_admission_total", "admission-control decisions on mutating routes", "result"),
+		queueWait:      r.Histogram("http_admission_queue_seconds", "time spent queued for an admission slot", nil),
+		streamLines:    r.Counter("http_stream_lines_total", "NDJSON ingest lines examined"),
+		streamRejected: r.Counter("http_stream_rejected_total", "NDJSON ingest lines rejected per-line"),
+		streamBatches:  r.Counter("http_stream_batches_total", "NDJSON ingest group-commit batches submitted"),
 	}
 }
 
@@ -88,5 +103,49 @@ func (m *serverMetrics) dedupeHit() {
 func (m *serverMetrics) dedupeMiss() {
 	if m != nil {
 		m.dedupeMisses.Inc()
+	}
+}
+
+// Nil-safe read-cache and admission counters.
+
+func (m *serverMetrics) cacheHit(kind string) {
+	if m != nil {
+		m.readCache.With(kind, "hit").Inc()
+	}
+}
+
+func (m *serverMetrics) cacheMiss(kind string) {
+	if m != nil {
+		m.readCache.With(kind, "miss").Inc()
+	}
+}
+
+func (m *serverMetrics) admission(result string, waited time.Duration) {
+	if m == nil {
+		return
+	}
+	m.admissions.With(result).Inc()
+	if waited > 0 {
+		m.queueWait.ObserveDuration(waited)
+	}
+}
+
+// Nil-safe stream-ingest counters.
+
+func (m *serverMetrics) streamLine() {
+	if m != nil {
+		m.streamLines.Inc()
+	}
+}
+
+func (m *serverMetrics) streamReject() {
+	if m != nil {
+		m.streamRejected.Inc()
+	}
+}
+
+func (m *serverMetrics) streamBatch() {
+	if m != nil {
+		m.streamBatches.Inc()
 	}
 }

@@ -1,0 +1,203 @@
+package server
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/rating"
+)
+
+// defaultReadCacheObjects bounds the aggregate cache; past it an
+// arbitrary entry is evicted per insert.
+const defaultReadCacheObjects = 4096
+
+// readCache memoizes the two read-path answers that are expensive to
+// recompute and cheap to invalidate precisely: per-object aggregates
+// and the malicious-rater list. Correctness contract: a cached answer
+// is bit-identical to what the backend would produce right now. That
+// holds because every mutation that could change an answer
+// invalidates it before the mutating request is acknowledged:
+//
+//   - submitting ratings for object X drops X's aggregate (trust is
+//     untouched by a submit, so other objects and the malicious list
+//     keep their entries);
+//   - a maintenance window or snapshot restore rewrites trust, which
+//     feeds every aggregate and the malicious list: the whole cache
+//     drops.
+//
+// Fills race with invalidation: a reader may compute an aggregate,
+// lose the CPU, and try to store it after a submit invalidated that
+// object. Generation numbers close the hole — a fill records the
+// object's (global, per-object) generation before computing and the
+// store is discarded unless both still match.
+//
+// A nil *readCache is valid and disables caching (every lookup
+// misses, every store is dropped).
+type readCache struct {
+	mu  sync.Mutex
+	cap int
+
+	globalGen uint64 // bumped by invalidateAll
+	objGen    map[rating.ObjectID]uint64
+	agg       map[rating.ObjectID]core.AggregateResult
+
+	mal      []rating.RaterID
+	malValid bool
+}
+
+// cacheGen is a fill's pre-computation snapshot of the generations it
+// must match at store time.
+type cacheGen struct {
+	global uint64
+	obj    uint64
+}
+
+func newReadCache(capacity int) *readCache {
+	return &readCache{
+		cap:    capacity,
+		objGen: make(map[rating.ObjectID]uint64),
+		agg:    make(map[rating.ObjectID]core.AggregateResult),
+	}
+}
+
+// aggregate looks up obj's cached aggregate.
+func (c *readCache) aggregate(obj rating.ObjectID, m *serverMetrics) (core.AggregateResult, bool) {
+	if c == nil {
+		return core.AggregateResult{}, false
+	}
+	c.mu.Lock()
+	res, ok := c.agg[obj]
+	c.mu.Unlock()
+	if ok {
+		m.cacheHit("aggregate")
+	} else {
+		m.cacheMiss("aggregate")
+	}
+	return res, ok
+}
+
+// snapshotGen records the generations a fill for obj must match.
+func (c *readCache) snapshotGen(obj rating.ObjectID) cacheGen {
+	if c == nil {
+		return cacheGen{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return cacheGen{global: c.globalGen, obj: c.objGen[obj]}
+}
+
+// storeAggregate caches a computed aggregate unless obj was
+// invalidated since gen was snapshotted.
+func (c *readCache) storeAggregate(obj rating.ObjectID, res core.AggregateResult, gen cacheGen) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen.global != c.globalGen || gen.obj != c.objGen[obj] {
+		return // stale fill: a mutation landed mid-computation
+	}
+	if len(c.agg) >= c.cap {
+		for evict := range c.agg {
+			delete(c.agg, evict)
+			break
+		}
+	}
+	c.agg[obj] = res
+}
+
+// malicious returns the cached malicious-rater list. Callers must not
+// mutate the returned slice.
+func (c *readCache) malicious(m *serverMetrics) ([]rating.RaterID, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	ids, ok := c.mal, c.malValid
+	c.mu.Unlock()
+	if ok {
+		m.cacheHit("malicious")
+	} else {
+		m.cacheMiss("malicious")
+	}
+	return ids, ok
+}
+
+// snapshotGlobalGen records the generation a malicious-list fill must
+// match (the list depends only on trust, so the global generation
+// covers it).
+func (c *readCache) snapshotGlobalGen() cacheGen {
+	if c == nil {
+		return cacheGen{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return cacheGen{global: c.globalGen}
+}
+
+// storeMalicious caches the computed list unless trust changed since
+// gen was snapshotted.
+func (c *readCache) storeMalicious(ids []rating.RaterID, gen cacheGen) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen.global != c.globalGen {
+		return
+	}
+	c.mal, c.malValid = ids, true
+}
+
+// invalidateRatings drops the aggregates of exactly the objects the
+// accepted batch touched. Trust is unchanged by a submit, so the
+// malicious list and other objects' aggregates stay cached.
+func (c *readCache) invalidateRatings(rs []rating.Rating) {
+	if c == nil || len(rs) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, r := range rs {
+		c.bumpLocked(r.Object)
+	}
+}
+
+// invalidateObjects is invalidateRatings for a pre-collected object
+// set (the stream path tracks objects per batch).
+func (c *readCache) invalidateObjects(objs map[rating.ObjectID]struct{}) {
+	if c == nil || len(objs) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for obj := range objs {
+		c.bumpLocked(obj)
+	}
+}
+
+func (c *readCache) bumpLocked(obj rating.ObjectID) {
+	delete(c.agg, obj)
+	c.objGen[obj]++
+	// The per-object generation map tracks every object ever
+	// invalidated; past a multiple of the cache cap, fold it into one
+	// global bump instead of growing forever.
+	if len(c.objGen) > 4*c.cap {
+		c.globalGen++
+		c.objGen = make(map[rating.ObjectID]uint64)
+	}
+}
+
+// invalidateAll drops everything: maintenance windows and snapshot
+// restores rewrite trust, which every cached answer depends on.
+func (c *readCache) invalidateAll() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.globalGen++
+	clear(c.agg)
+	c.objGen = make(map[rating.ObjectID]uint64)
+	c.mal, c.malValid = nil, false
+}

@@ -3,16 +3,21 @@
 // would actually consume. It wraps a core.SafeSystem, so handlers are
 // safe under concurrent requests.
 //
-// Endpoints (v1):
+// Endpoints (v1) — request/response shapes live in internal/api:
 //
-//	POST /v1/ratings              submit one rating or an array of them
+//	POST /v1/ratings              submit one rating batch (JSON array)
+//	POST /v1/ratings:stream       bulk NDJSON ingest, streamed results
 //	POST /v1/process              run a maintenance window {start,end}
 //	GET  /v1/objects/{id}/aggregate   trust-weighted aggregate
 //	GET  /v1/raters/{id}/trust        rater trust value
-//	GET  /v1/malicious                raters below the trust threshold
+//	GET  /v1/malicious[?limit=&offset=]  raters below the trust threshold
+//	GET  /v1/stats[?bounds=...]       state summary (+trust distribution)
 //	GET  /v1/snapshot                 download the full state
 //	PUT  /v1/snapshot                 replace the full state
 //	GET  /healthz                     liveness
+//
+// Every non-2xx response is an api.Error envelope {code, message,
+// retry_after?}; the code catalogue is documented in internal/api.
 package server
 
 import (
@@ -22,12 +27,36 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/rating"
 	"repro/internal/telemetry"
 	"repro/internal/trust"
+)
+
+// Wire-contract aliases: the DTOs moved to internal/api so the server
+// and the typed client share one versioned surface; these names stay
+// for existing callers (repro facade, daemon tests).
+type (
+	// RatingPayload is the wire form of one rating.
+	RatingPayload = api.RatingPayload
+	// SubmitResponse reports how many ratings were accepted.
+	SubmitResponse = api.SubmitResponse
+	// ProcessRequest is the maintenance-window request body.
+	ProcessRequest = api.ProcessRequest
+	// ProcessResponse summarizes one maintenance pass.
+	ProcessResponse = api.ProcessResponse
+	// AggregateResponse is the wire form of an aggregate.
+	AggregateResponse = api.AggregateResponse
+	// TrustResponse is the wire form of a rater's trust.
+	TrustResponse = api.TrustResponse
+	// MaliciousResponse lists flagged raters.
+	MaliciousResponse = api.MaliciousResponse
+	// StatsResponse summarizes the system's state.
+	StatsResponse = api.StatsResponse
 )
 
 // Backend is the state engine a Server fronts: the single-lock
@@ -64,6 +93,22 @@ type Journal interface {
 	Restore(r io.Reader) error
 }
 
+// AsyncSubmitter is the optional streaming extension of a Journal: a
+// submit that returns once the batch is enqueued (values copied) plus
+// a wait for its durable flush. The stream endpoint uses it to decode
+// the next NDJSON batch while the previous one group-commits; the
+// sharded journal implements it over the Router.
+type AsyncSubmitter interface {
+	// SubmitAsync enqueues the batch and returns a wait function that
+	// blocks until the batch is logged and applied. The slice may be
+	// reused once SubmitAsync returns.
+	SubmitAsync(rs []rating.Rating) (wait func() error, err error)
+}
+
+// streamPath is the bulk-ingest route; exempt from the whole-body
+// size cap (streams are bounded per line instead — see stream.go).
+const streamPath = "/v1/ratings:stream"
+
 // Server is the HTTP facade over one rating system.
 type Server struct {
 	sys     Backend
@@ -72,9 +117,13 @@ type Server struct {
 
 	journal    Journal
 	dedupe     *dedupeCache
+	cache      *readCache
+	admission  *admission
 	maxBody    int64
 	reqTimeout time.Duration
 	metrics    *serverMetrics
+
+	streamBatch int // ratings per group-commit batch on the stream path
 }
 
 // Option customizes a Server.
@@ -84,15 +133,17 @@ type Option func(*Server)
 func WithJournal(j Journal) Option { return func(s *Server) { s.journal = j } }
 
 // WithTelemetry registers the server's HTTP metrics (per-endpoint
-// request counts, latencies, status codes, idempotency-cache hits) on
-// reg and enables per-request instrumentation. A nil registry leaves
-// the server uninstrumented.
+// request counts, latencies, status codes, idempotency-cache hits,
+// read-cache hit/miss families, admission counters) on reg and
+// enables per-request instrumentation. A nil registry leaves the
+// server uninstrumented.
 func WithTelemetry(reg *telemetry.Registry) Option {
 	return func(s *Server) { s.metrics = newServerMetrics(reg) }
 }
 
 // WithMaxBodyBytes caps request bodies; n <= 0 keeps the default
-// (8 MiB).
+// (8 MiB). The streaming ingest route is exempt (it is bounded per
+// line, not per body).
 func WithMaxBodyBytes(n int64) Option {
 	return func(s *Server) {
 		if n > 0 {
@@ -117,6 +168,39 @@ func WithDedupeCapacity(n int) Option {
 	}
 }
 
+// WithReadCache sizes the aggregate/malicious read cache (default
+// 4096 objects). n < 0 disables caching entirely; cached responses
+// are bit-identical to uncached ones (see readcache.go), so this is a
+// memory/latency trade only.
+func WithReadCache(n int) Option {
+	return func(s *Server) {
+		if n < 0 {
+			s.cache = nil
+			return
+		}
+		if n == 0 {
+			n = defaultReadCacheObjects
+		}
+		s.cache = newReadCache(n)
+	}
+}
+
+// WithAdmission installs admission control on the mutating routes
+// (see AdmissionConfig). A zero MaxConcurrent disables it.
+func WithAdmission(cfg AdmissionConfig) Option {
+	return func(s *Server) { s.admission = newAdmission(cfg) }
+}
+
+// WithStreamBatch sets how many ratings the stream endpoint coalesces
+// per group-commit submit (default 512).
+func WithStreamBatch(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.streamBatch = n
+		}
+	}
+}
+
 // New builds a Server around cfg with a core.SafeSystem backend.
 func New(cfg core.Config, opts ...Option) (*Server, error) {
 	sys, err := core.NewSafeSystem(cfg)
@@ -133,10 +217,12 @@ func NewWith(backend Backend, opts ...Option) (*Server, error) {
 		return nil, errors.New("server: nil backend")
 	}
 	s := &Server{
-		sys:     backend,
-		mux:     http.NewServeMux(),
-		dedupe:  newDedupeCache(1024),
-		maxBody: 8 << 20,
+		sys:         backend,
+		mux:         http.NewServeMux(),
+		dedupe:      newDedupeCache(1024),
+		cache:       newReadCache(defaultReadCacheObjects),
+		maxBody:     8 << 20,
+		streamBatch: 512,
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -148,12 +234,12 @@ func NewWith(backend Backend, opts ...Option) (*Server, error) {
 	// then the per-request timeout.
 	h := http.Handler(s.mux)
 	if s.reqTimeout > 0 {
-		h = http.TimeoutHandler(h, s.reqTimeout, `{"error":"request timed out"}`)
+		h = http.TimeoutHandler(h, s.reqTimeout, timeoutBody)
 	}
 	limit := s.maxBody
 	inner := h
 	h = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.Body != nil {
+		if r.Body != nil && r.URL.Path != streamPath {
 			r.Body = http.MaxBytesReader(w, r.Body, limit)
 		}
 		inner.ServeHTTP(w, r)
@@ -161,6 +247,10 @@ func NewWith(backend Backend, opts ...Option) (*Server, error) {
 	s.handler = recoverPanics(h)
 	return s, nil
 }
+
+// timeoutBody is the envelope http.TimeoutHandler writes on a 503 cut
+// — a static string by necessity, kept in the api.Error shape.
+const timeoutBody = `{"code":"timeout","message":"request timed out"}`
 
 // recoverPanics converts a handler panic into a 500 for that request,
 // keeping the daemon alive.
@@ -171,7 +261,7 @@ func recoverPanics(next http.Handler) http.Handler {
 				if v == http.ErrAbortHandler { //nolint:errorlint // sentinel by identity
 					panic(v)
 				}
-				writeError(w, http.StatusInternalServerError,
+				writeErrorCode(w, http.StatusInternalServerError, api.CodeInternal,
 					fmt.Errorf("internal panic: %v", v))
 			}
 		}()
@@ -192,46 +282,27 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) routes() {
 	// Each route is wrapped with its own telemetry label; observe is
-	// the identity when no registry is installed.
-	s.mux.HandleFunc("POST /v1/ratings", s.observe("/v1/ratings", s.idempotent(s.handleSubmit)))
-	s.mux.HandleFunc("POST /v1/process", s.observe("/v1/process", s.idempotent(s.handleProcess)))
+	// the identity when no registry is installed. Mutating routes pass
+	// admission control before touching the idempotency cache, so an
+	// overloaded server sheds without consuming dedupe slots.
+	s.mux.HandleFunc("POST /v1/ratings", s.observe("/v1/ratings", s.admit(s.idempotent(s.handleSubmit))))
+	s.mux.HandleFunc("POST "+streamPath, s.observe(streamPath, s.admit(s.handleSubmitStream)))
+	s.mux.HandleFunc("POST /v1/process", s.observe("/v1/process", s.admit(s.idempotent(s.handleProcess))))
 	s.mux.HandleFunc("GET /v1/objects/{id}/aggregate", s.observe("/v1/objects/{id}/aggregate", s.handleAggregate))
 	s.mux.HandleFunc("GET /v1/raters/{id}/trust", s.observe("/v1/raters/{id}/trust", s.handleTrust))
 	s.mux.HandleFunc("GET /v1/malicious", s.observe("/v1/malicious", s.handleMalicious))
 	s.mux.HandleFunc("GET /v1/stats", s.observe("/v1/stats", s.handleStats))
 	s.mux.HandleFunc("GET /v1/snapshot", s.observe("/v1/snapshot", s.handleSnapshotGet))
-	s.mux.HandleFunc("PUT /v1/snapshot", s.observe("/v1/snapshot", s.handleSnapshotPut))
+	s.mux.HandleFunc("PUT /v1/snapshot", s.observe("/v1/snapshot", s.admit(s.handleSnapshotPut)))
 	s.mux.HandleFunc("GET /healthz", s.observe("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		writeJSON(w, http.StatusOK, api.HealthResponse{Status: "ok"})
 	}))
-}
-
-// RatingPayload is the wire form of one rating.
-type RatingPayload struct {
-	Rater  int     `json:"rater"`
-	Object int     `json:"object"`
-	Value  float64 `json:"value"`
-	Time   float64 `json:"time"`
-}
-
-func (p RatingPayload) toRating() rating.Rating {
-	return rating.Rating{
-		Rater:  rating.RaterID(p.Rater),
-		Object: rating.ObjectID(p.Object),
-		Value:  p.Value,
-		Time:   p.Time,
-	}
-}
-
-// SubmitResponse reports how many ratings were accepted.
-type SubmitResponse struct {
-	Accepted int `json:"accepted"`
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// The body is a JSON array of ratings; a single rating is a
 	// one-element array.
-	var batch []RatingPayload
+	var batch []api.RatingPayload
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&batch); err != nil {
@@ -242,7 +313,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// journaled or applied unless the whole batch is well-formed.
 	rs := make([]rating.Rating, len(batch))
 	for i, p := range batch {
-		rs[i] = p.toRating()
+		rs[i] = p.Rating()
 		if err := rs[i].Validate(); err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("rating %d: %w", i, err))
 			return
@@ -260,27 +331,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, SubmitResponse{Accepted: len(rs)})
-}
-
-// ProcessRequest is the maintenance-window request body.
-type ProcessRequest struct {
-	Start float64 `json:"start"`
-	End   float64 `json:"end"`
-}
-
-// ProcessResponse summarizes one maintenance pass. Degraded counts
-// objects whose detector pass failed and fell back to filter-only
-// evidence.
-type ProcessResponse struct {
-	Objects      int `json:"objects"`
-	Observations int `json:"observations"`
-	Suspicious   int `json:"suspiciousWindows"`
-	Degraded     int `json:"degradedObjects"`
+	s.cache.invalidateRatings(rs)
+	writeJSON(w, http.StatusOK, api.SubmitResponse{Accepted: len(rs)})
 }
 
 func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) {
-	var req ProcessRequest
+	var req api.ProcessRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
@@ -305,7 +361,10 @@ func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	resp := ProcessResponse{
+	// A window rewrites trust, which feeds every aggregate and the
+	// malicious list: drop the whole read cache.
+	s.cache.invalidateAll()
+	resp := api.ProcessResponse{
 		Objects:      len(rep.Objects),
 		Observations: len(rep.Observations),
 		Degraded:     len(rep.DegradedObjects()),
@@ -316,34 +375,31 @@ func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// AggregateResponse is the wire form of an aggregate.
-type AggregateResponse struct {
-	Object   int     `json:"object"`
-	Value    float64 `json:"value"`
-	Used     int     `json:"used"`
-	Filtered int     `json:"filtered"`
-	FellBack bool    `json:"fellBack"`
-}
-
 func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("object id: %w", err))
 		return
 	}
-	agg, err := s.sys.Aggregate(rating.ObjectID(id))
-	if err != nil {
-		status := http.StatusInternalServerError
-		switch {
-		case errors.Is(err, rating.ErrUnknownObject):
-			status = http.StatusNotFound
-		case errors.Is(err, trust.ErrNoTrustedRaters), errors.Is(err, trust.ErrNoRatings):
-			status = http.StatusConflict
+	obj := rating.ObjectID(id)
+	agg, ok := s.cache.aggregate(obj, s.metrics)
+	if !ok {
+		gen := s.cache.snapshotGen(obj)
+		agg, err = s.sys.Aggregate(obj)
+		if err != nil {
+			status := http.StatusInternalServerError
+			switch {
+			case errors.Is(err, rating.ErrUnknownObject):
+				status = http.StatusNotFound
+			case errors.Is(err, trust.ErrNoTrustedRaters), errors.Is(err, trust.ErrNoRatings):
+				status = http.StatusConflict
+			}
+			writeError(w, status, err)
+			return
 		}
-		writeError(w, status, err)
-		return
+		s.cache.storeAggregate(obj, agg, gen)
 	}
-	writeJSON(w, http.StatusOK, AggregateResponse{
+	writeJSON(w, http.StatusOK, api.AggregateResponse{
 		Object:   int(agg.Object),
 		Value:    agg.Value,
 		Used:     agg.Used,
@@ -352,51 +408,106 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// TrustResponse is the wire form of a rater's trust.
-type TrustResponse struct {
-	Rater int     `json:"rater"`
-	Trust float64 `json:"trust"`
-}
-
 func (s *Server) handleTrust(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("rater id: %w", err))
 		return
 	}
-	writeJSON(w, http.StatusOK, TrustResponse{
+	writeJSON(w, http.StatusOK, api.TrustResponse{
 		Rater: id,
 		Trust: s.sys.TrustIn(rating.RaterID(id)),
 	})
 }
 
-// MaliciousResponse lists flagged raters.
-type MaliciousResponse struct {
-	Raters []int `json:"raters"`
-}
+func (s *Server) handleMalicious(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	limitS, offsetS := q.Get("limit"), q.Get("offset")
+	paginated := limitS != "" || offsetS != ""
+	limit, offset := 0, 0
+	var err error
+	if limitS != "" {
+		if limit, err = strconv.Atoi(limitS); err != nil || limit < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("limit %q: must be a non-negative integer", limitS))
+			return
+		}
+	}
+	if offsetS != "" {
+		if offset, err = strconv.Atoi(offsetS); err != nil || offset < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("offset %q: must be a non-negative integer", offsetS))
+			return
+		}
+	}
 
-func (s *Server) handleMalicious(w http.ResponseWriter, _ *http.Request) {
-	ids := s.sys.MaliciousRaters()
-	resp := MaliciousResponse{Raters: make([]int, 0, len(ids))}
-	for _, id := range ids {
+	ids, ok := s.cache.malicious(s.metrics)
+	if !ok {
+		gen := s.cache.snapshotGlobalGen()
+		ids = s.sys.MaliciousRaters()
+		s.cache.storeMalicious(ids, gen)
+	}
+	total := len(ids)
+	// The IDs are sorted ascending (trust.Manager.Malicious), so a
+	// page is a stable window of the collection between mutations.
+	page := ids
+	if paginated {
+		if offset > len(page) {
+			page = nil
+		} else {
+			page = page[offset:]
+		}
+		if limit > 0 && limit < len(page) {
+			page = page[:limit]
+		}
+	}
+	resp := api.MaliciousResponse{Raters: make([]int, 0, len(page))}
+	for _, id := range page {
 		resp.Raters = append(resp.Raters, int(id))
+	}
+	if paginated {
+		resp.Page = &api.Page{Total: total, Offset: offset, Limit: limit}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// StatsResponse summarizes the system's state.
-type StatsResponse struct {
-	Ratings   int `json:"ratings"`
-	Raters    int `json:"raters"`
-	Malicious int `json:"malicious"`
+// parseBounds parses the stats endpoint's bounds parameter: a
+// comma-separated, strictly increasing list of trust upper bounds in
+// (0, 1].
+func parseBounds(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	bounds := make([]float64, 0, len(parts))
+	prev := 0.0
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bounds %q: %w", s, err)
+		}
+		if v <= prev || v > 1 {
+			return nil, fmt.Errorf("bounds %q: values must be strictly increasing in (0,1]", s)
+		}
+		bounds = append(bounds, v)
+		prev = v
+	}
+	return bounds, nil
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, StatsResponse{
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := api.StatsResponse{
 		Ratings:   s.sys.Len(),
-		Raters:    len(s.sys.TrustSnapshot()),
+		Raters:    s.sys.RaterCount(),
 		Malicious: len(s.sys.MaliciousRaters()),
-	})
+	}
+	if boundsS := r.URL.Query().Get("bounds"); boundsS != "" {
+		bounds, err := parseBounds(boundsS)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		resp.Distribution = &api.TrustDistribution{
+			Bounds: bounds,
+			Counts: s.sys.TrustDistribution(bounds),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleSnapshotGet(w http.ResponseWriter, _ *http.Request) {
@@ -417,12 +528,9 @@ func (s *Server) handleSnapshotPut(w http.ResponseWriter, r *http.Request) {
 		writeError(w, bodyErrStatus(err), err)
 		return
 	}
+	// The restored state shares nothing with the cached one.
+	s.cache.invalidateAll()
 	w.WriteHeader(http.StatusNoContent)
-}
-
-// ErrorResponse is the wire form of every error.
-type ErrorResponse struct {
-	Error string `json:"error"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -431,8 +539,14 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// writeError emits the envelope with the status's default code.
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+	writeErrorCode(w, status, api.CodeForStatus(status), err)
+}
+
+// writeErrorCode emits the api.Error envelope for this failure.
+func writeErrorCode(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, &api.Error{Code: code, Message: err.Error()})
 }
 
 // bodyErrStatus distinguishes an over-limit body (413) from ordinary

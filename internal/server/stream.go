@@ -1,0 +1,290 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"repro/internal/api"
+	"repro/internal/rating"
+)
+
+// maxStreamLineBytes bounds one NDJSON line. The stream body as a
+// whole is unbounded (that is the point of bulk ingest); the per-line
+// cap is what keeps a hostile stream from ballooning the read buffer.
+const maxStreamLineBytes = 1 << 20
+
+// maxStreamPending bounds how many group-commit batches may be in
+// flight behind the decoder on the async (Router) path: enough to
+// overlap decode with WAL fsync + apply, small enough that a submit
+// failure is noticed within two batches.
+const maxStreamPending = 2
+
+// streamState is the pooled per-request scratch of the stream
+// endpoint: the read buffer, the coalesced batch, and the per-batch
+// object set for cache invalidation. Steady state, an accepted line
+// costs zero heap allocations — the buffers below are reused across
+// requests and the fast-path line parser (parseRatingLine) allocates
+// nothing.
+type streamState struct {
+	buf   []byte          // read buffer; r, w index the unconsumed window
+	batch []rating.Rating // current group-commit batch
+	objs  []rating.ObjectID
+}
+
+var streamPool = sync.Pool{
+	New: func() any {
+		return &streamState{
+			buf:   make([]byte, 64<<10),
+			batch: make([]rating.Rating, 0, 1024),
+			objs:  make([]rating.ObjectID, 0, 64),
+		}
+	},
+}
+
+// pendingBatch is one async-submitted batch awaiting its group
+// commit: the wait handle plus the objects to invalidate on success.
+type pendingBatch struct {
+	wait  func() error
+	objs  []rating.ObjectID
+	count int
+}
+
+// lineReader yields newline-delimited lines from an io.Reader through
+// one reusable buffer, growing it only up to the per-line cap.
+type lineReader struct {
+	src io.Reader
+	buf []byte
+	r   int // next unread byte
+	w   int // end of buffered data
+	eof bool
+}
+
+var errLineTooLong = errors.New("line exceeds 1 MiB limit")
+
+// next returns the next line (without the trailing newline). A final
+// unterminated line is returned before io.EOF. The returned slice
+// aliases the internal buffer and is valid until the next call.
+func (l *lineReader) next() ([]byte, error) {
+	for {
+		if i := bytes.IndexByte(l.buf[l.r:l.w], '\n'); i >= 0 {
+			line := l.buf[l.r : l.r+i]
+			l.r += i + 1
+			return line, nil
+		}
+		if l.eof {
+			if l.r == l.w {
+				return nil, io.EOF
+			}
+			line := l.buf[l.r:l.w]
+			l.r = l.w
+			return line, nil
+		}
+		// Compact, then grow if the partial line fills the buffer.
+		if l.r > 0 {
+			copy(l.buf, l.buf[l.r:l.w])
+			l.w -= l.r
+			l.r = 0
+		}
+		if l.w == len(l.buf) {
+			if len(l.buf) >= maxStreamLineBytes {
+				return nil, errLineTooLong
+			}
+			grown := make([]byte, min(len(l.buf)*2, maxStreamLineBytes))
+			copy(grown, l.buf[:l.w])
+			l.buf = grown
+		}
+		n, err := l.src.Read(l.buf[l.w:])
+		l.w += n
+		if err == io.EOF {
+			l.eof = true
+		} else if err != nil {
+			return nil, err
+		}
+	}
+}
+
+// handleSubmitStream is POST /v1/ratings:stream: one rating per NDJSON
+// line in, a streamed NDJSON result out. Valid lines coalesce into
+// group-commit batches fed to the Journal (per-batch WAL AppendAll on
+// the durable path); invalid lines are rejected individually with an
+// api.StreamLineError, and the response always ends with one
+// api.StreamSummary line. The endpoint deliberately skips the
+// idempotency cache — a bulk stream is not replayable from a buffered
+// response — so clients must not blindly re-send a whole stream after
+// a cut; the summary's Lines field tells them where to resume.
+func (s *Server) handleSubmitStream(w http.ResponseWriter, r *http.Request) {
+	st := streamPool.Get().(*streamState)
+	defer func() {
+		st.batch = st.batch[:0]
+		st.objs = st.objs[:0]
+		streamPool.Put(st)
+	}()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+
+	async, _ := s.journal.(AsyncSubmitter)
+	lr := &lineReader{src: r.Body, buf: st.buf}
+	defer func() { st.buf = lr.buf }() // keep a grown buffer pooled
+
+	var (
+		lines, accepted, rejected int
+		pending                   []pendingBatch
+		terminal                  *api.Error // first fatal error; ends the stream
+	)
+
+	// confirm settles the oldest pending batches until at most keep
+	// remain, folding successes into accepted and cache invalidation.
+	confirm := func(keep int) {
+		for len(pending) > keep && terminal == nil {
+			p := pending[0]
+			pending = pending[1:]
+			if err := p.wait(); err != nil {
+				terminal = &api.Error{Code: api.CodeUnavailable, Message: fmt.Sprintf("journal: %v", err)}
+				return
+			}
+			accepted += p.count
+			s.cache.invalidateObjectList(p.objs)
+		}
+	}
+
+	flush := func() {
+		if len(st.batch) == 0 || terminal != nil {
+			return
+		}
+		s.metrics.streamBatch()
+		if async != nil {
+			wait, err := async.SubmitAsync(st.batch)
+			if err != nil {
+				terminal = &api.Error{Code: api.CodeUnavailable, Message: fmt.Sprintf("journal: %v", err)}
+				return
+			}
+			pending = append(pending, pendingBatch{
+				wait:  wait,
+				objs:  append([]rating.ObjectID(nil), st.objs...),
+				count: len(st.batch),
+			})
+			st.batch, st.objs = st.batch[:0], st.objs[:0]
+			confirm(maxStreamPending)
+			return
+		}
+		var err error
+		if s.journal != nil {
+			err = s.journal.SubmitAll(st.batch)
+		} else {
+			err = s.sys.SubmitAll(st.batch)
+		}
+		if err != nil {
+			terminal = &api.Error{Code: api.CodeUnavailable, Message: fmt.Sprintf("journal: %v", err)}
+			return
+		}
+		accepted += len(st.batch)
+		s.cache.invalidateObjectList(st.objs)
+		st.batch, st.objs = st.batch[:0], st.objs[:0]
+	}
+
+	enc := json.NewEncoder(w)
+	rejectLine := func(n int, msg string) {
+		rejected++
+		s.metrics.streamReject()
+		_ = enc.Encode(api.StreamLineError{Line: n, Code: api.CodeBadRequest, Message: msg})
+	}
+
+	for terminal == nil {
+		line, err := lr.next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			code := api.CodeBadRequest
+			if !errors.Is(err, errLineTooLong) {
+				code = api.CodeUnavailable // transport failure mid-stream
+			}
+			terminal = &api.Error{Code: code, Message: fmt.Sprintf("read stream: %v", err)}
+			break
+		}
+		// Tolerate CRLF framing and skip blank lines (trailing
+		// newlines at end of a stream are not ratings).
+		if n := len(line); n > 0 && line[n-1] == '\r' {
+			line = line[:n-1]
+		}
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		lines++
+		s.metrics.streamLine()
+
+		p, ok := parseRatingLine(line)
+		if !ok {
+			// Slow path: the strict decoder agrees on what is valid and
+			// produces the authoritative error message.
+			if err := decodeStrict(line, &p); err != nil {
+				rejectLine(lines, fmt.Sprintf("decode rating: %v", err))
+				continue
+			}
+		}
+		rt := p.Rating()
+		if err := rt.Validate(); err != nil {
+			rejectLine(lines, err.Error())
+			continue
+		}
+		st.batch = append(st.batch, rt)
+		st.objs = appendObject(st.objs, rt.Object)
+		if len(st.batch) >= s.streamBatch {
+			flush()
+		}
+	}
+	flush()
+	confirm(0)
+
+	summary := api.StreamSummary{Accepted: accepted, Rejected: rejected, Lines: lines}
+	if terminal != nil {
+		summary.Code, summary.Message = terminal.Code, terminal.Message
+	}
+	_ = enc.Encode(summary)
+}
+
+// appendObject adds obj to the batch's object set. The set is a small
+// slice scanned linearly: batches hold at most a few hundred ratings
+// over (typically) far fewer distinct objects, and a slice keeps the
+// steady-state path allocation-free where a map would not.
+func appendObject(objs []rating.ObjectID, obj rating.ObjectID) []rating.ObjectID {
+	for _, o := range objs {
+		if o == obj {
+			return objs
+		}
+	}
+	return append(objs, obj)
+}
+
+// invalidateObjectList is invalidateRatings over a pre-deduplicated
+// object list.
+func (c *readCache) invalidateObjectList(objs []rating.ObjectID) {
+	if c == nil || len(objs) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, obj := range objs {
+		c.bumpLocked(obj)
+	}
+}
+
+// decodeStrict is the unary endpoint's decoding contract applied to
+// one line: unknown fields are errors, trailing garbage is an error.
+func decodeStrict(line []byte, p *api.RatingPayload) error {
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(p); err != nil {
+		return err
+	}
+	// A second token means trailing content after the object.
+	if _, err := dec.Token(); err != io.EOF {
+		return errors.New("trailing data after rating object")
+	}
+	return nil
+}

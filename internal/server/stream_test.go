@@ -1,0 +1,349 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/randx"
+	"repro/internal/rating"
+)
+
+// streamBody renders payloads as NDJSON.
+func streamBody(payloads []RatingPayload) string {
+	var b strings.Builder
+	enc := json.NewEncoder(&b)
+	for _, p := range payloads {
+		_ = enc.Encode(p)
+	}
+	return b.String()
+}
+
+func seededPayloads(n int, seed int64) []RatingPayload {
+	rng := randx.New(seed)
+	ps := make([]RatingPayload, n)
+	for i := range ps {
+		ps[i] = RatingPayload{
+			Rater:  rng.Intn(40) + 1,
+			Object: rng.Intn(8),
+			Value:  math.Round(rng.Float64()*1000) / 1000,
+			Time:   float64(i) / 10,
+		}
+	}
+	return ps
+}
+
+func TestStreamAcceptsAll(t *testing.T) {
+	_, ts, client := newTestServer(t)
+	_ = ts
+	payloads := seededPayloads(1000, 7)
+	sum, rejects, err := client.SubmitStream(context.Background(), strings.NewReader(streamBody(payloads)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rejects) != 0 {
+		t.Fatalf("rejects = %v", rejects)
+	}
+	if sum.Accepted != 1000 || sum.Rejected != 0 || sum.Lines != 1000 {
+		t.Fatalf("summary = %+v", sum)
+	}
+}
+
+// TestStreamConformance proves the streaming path leaves the backend in
+// the exact state the unary path does: same ratings in, bit-identical
+// aggregates, trust values, and malicious list out.
+func TestStreamConformance(t *testing.T) {
+	payloads := seededPayloads(2000, 42)
+
+	_, _, unary := newTestServer(t)
+	_, _, stream := newTestServer(t)
+	ctx := context.Background()
+
+	if _, err := unary.Submit(ctx, payloads); err != nil {
+		t.Fatal(err)
+	}
+	sum, _, err := stream.SubmitStream(ctx, strings.NewReader(streamBody(payloads)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Accepted != len(payloads) {
+		t.Fatalf("stream accepted %d of %d", sum.Accepted, len(payloads))
+	}
+
+	if _, err := unary.Process(ctx, 0, 300); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stream.Process(ctx, 0, 300); err != nil {
+		t.Fatal(err)
+	}
+
+	for obj := 0; obj < 8; obj++ {
+		a, errA := unary.Aggregate(ctx, obj)
+		b, errB := stream.Aggregate(ctx, obj)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("object %d: unary err %v, stream err %v", obj, errA, errB)
+		}
+		if errA != nil {
+			continue
+		}
+		if a != b || math.Float64bits(a.Value) != math.Float64bits(b.Value) {
+			t.Fatalf("object %d: unary %+v != stream %+v", obj, a, b)
+		}
+	}
+	for rater := 1; rater <= 40; rater++ {
+		a, _ := unary.Trust(ctx, rater)
+		b, _ := stream.Trust(ctx, rater)
+		if math.Float64bits(a) != math.Float64bits(b) {
+			t.Fatalf("rater %d: trust %g != %g", rater, a, b)
+		}
+	}
+	ma, _ := unary.Malicious(ctx)
+	mb, _ := stream.Malicious(ctx)
+	if fmt.Sprint(ma) != fmt.Sprint(mb) {
+		t.Fatalf("malicious: unary %v != stream %v", ma, mb)
+	}
+}
+
+func TestStreamRejectsBadLinesIndividually(t *testing.T) {
+	srv, _, client := newTestServer(t)
+	body := strings.Join([]string{
+		`{"rater":1,"object":1,"value":0.5,"time":1}`,
+		`{"rater":2,"object":1,"value":7,"time":1}`, // out of range
+		`not json at all`,
+		``, // blank: skipped, not counted
+		`{"rater":3,"object":1,"value":0.25,"time":2}`,
+		`{"rater":4,"object":1,"value":0.5,"time":3,"extra":true}`, // unknown field
+	}, "\n")
+	sum, rejects, err := client.SubmitStream(context.Background(), strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Lines != 5 || sum.Accepted != 2 || sum.Rejected != 3 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	wantLines := []int{2, 3, 5}
+	if len(rejects) != len(wantLines) {
+		t.Fatalf("rejects = %+v", rejects)
+	}
+	for i, re := range rejects {
+		if re.Line != wantLines[i] || re.Code != api.CodeBadRequest || re.Message == "" {
+			t.Fatalf("reject %d = %+v", i, re)
+		}
+	}
+	if got := srv.System().Len(); got != 2 {
+		t.Fatalf("backend holds %d ratings, want 2", got)
+	}
+}
+
+func TestStreamCRLFAndTrailingNewline(t *testing.T) {
+	_, _, client := newTestServer(t)
+	body := "{\"rater\":1,\"object\":1,\"value\":0.5,\"time\":1}\r\n" +
+		"{\"rater\":2,\"object\":1,\"value\":0.6,\"time\":2}\n\n"
+	sum, rejects, err := client.SubmitStream(context.Background(), strings.NewReader(body))
+	if err != nil || len(rejects) != 0 {
+		t.Fatalf("err=%v rejects=%v", err, rejects)
+	}
+	if sum.Accepted != 2 || sum.Lines != 2 {
+		t.Fatalf("summary = %+v", sum)
+	}
+}
+
+func TestStreamOversizeLineTerminates(t *testing.T) {
+	_, _, client := newTestServer(t)
+	body := `{"rater":1,"object":1,"value":0.5,"time":1}` + "\n" +
+		`{"rater":2,"object":1,"value":0.5,"padding":"` + strings.Repeat("x", maxStreamLineBytes+16) + `"}`
+	sum, _, err := client.SubmitStream(context.Background(), strings.NewReader(body))
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != api.CodeBadRequest {
+		t.Fatalf("err = %v", err)
+	}
+	// The valid first line was already examined; the summary says so.
+	if sum.Lines != 1 || sum.Code != api.CodeBadRequest {
+		t.Fatalf("summary = %+v", sum)
+	}
+}
+
+// asyncJournal implements Journal + AsyncSubmitter and checks the
+// caller honors the "slice reusable after return" contract by stashing
+// a fingerprint of every batch at enqueue time.
+type asyncJournal struct {
+	sys Backend
+
+	mu      sync.Mutex
+	batches [][]rating.Rating
+	waits   int
+	fail    error
+}
+
+func (j *asyncJournal) SubmitAll(rs []rating.Rating) error { return j.sys.SubmitAll(rs) }
+
+func (j *asyncJournal) ProcessWindow(start, end float64) (core.ProcessReport, error) {
+	return j.sys.ProcessWindow(start, end)
+}
+
+func (j *asyncJournal) Restore(r io.Reader) error { return j.sys.LoadSnapshot(r) }
+
+func (j *asyncJournal) SubmitAsync(rs []rating.Rating) (func() error, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.fail != nil {
+		return nil, j.fail
+	}
+	batch := append([]rating.Rating(nil), rs...)
+	j.batches = append(j.batches, batch)
+	return func() error {
+		j.mu.Lock()
+		j.waits++
+		j.mu.Unlock()
+		return j.sys.SubmitAll(batch)
+	}, nil
+}
+
+func newAsyncServer(t *testing.T, j *asyncJournal, opts ...Option) (*Server, *Client) {
+	t.Helper()
+	srv, err := New(core.Config{Detector: detector.Config{Threshold: 0.05}},
+		append([]Option{WithJournal(j)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.sys = srv.System()
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, NewClient(ts.URL, ts.Client())
+}
+
+func TestStreamUsesAsyncJournal(t *testing.T) {
+	j := &asyncJournal{}
+	srv, client := newAsyncServer(t, j, WithStreamBatch(64))
+	payloads := seededPayloads(300, 3)
+	sum, _, err := client.SubmitStream(context.Background(), strings.NewReader(streamBody(payloads)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Accepted != 300 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	j.mu.Lock()
+	batches, waits := len(j.batches), j.waits
+	total := 0
+	for _, b := range j.batches {
+		total += len(b)
+	}
+	j.mu.Unlock()
+	if batches != (300+63)/64 || waits != batches || total != 300 {
+		t.Fatalf("batches=%d waits=%d total=%d", batches, waits, total)
+	}
+	if srv.System().Len() != 300 {
+		t.Fatalf("backend holds %d", srv.System().Len())
+	}
+}
+
+func TestStreamAsyncSubmitFailureIsTerminal(t *testing.T) {
+	j := &asyncJournal{fail: errors.New("wal down")}
+	_, client := newAsyncServer(t, j, WithStreamBatch(8))
+	payloads := seededPayloads(64, 5)
+	sum, _, err := client.SubmitStream(context.Background(), strings.NewReader(streamBody(payloads)))
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != api.CodeUnavailable {
+		t.Fatalf("err = %v", err)
+	}
+	if sum.Accepted != 0 || sum.Code != api.CodeUnavailable {
+		t.Fatalf("summary = %+v", sum)
+	}
+}
+
+// TestParseRatingLineMatchesStrictDecoder cross-checks the fast path
+// against the strict encoding/json decoder: whenever the fast path
+// claims a line, the strict decoder must accept it too and every field
+// must match bit-for-bit.
+func TestParseRatingLineMatchesStrictDecoder(t *testing.T) {
+	lines := []string{
+		`{"rater":1,"object":2,"value":0.5,"time":3}`,
+		`{"rater":-4,"object":0,"value":0.125,"time":0.5}`,
+		`{"value":0.1,"time":0.2}`,
+		`{"rater":7,"object":9,"value":1,"time":1e3}`,
+		`{"rater":7,"object":9,"value":0.333,"time":2.5E2}`,
+		`{"rater":7,"object":9,"value":1e-3,"time":-0}`,
+		`{"rater":7,"object":9,"value":0.000125,"time":12345.6789}`,
+		`{"rater":7,"object":9,"value":9.999999999999e-5,"time":4e22}`,
+		`  { "rater" : 1 , "object" : 2 , "value" : 0.25 , "time" : 8 }  `,
+		`{}`,
+		`{"time":1.5,"value":0.75,"object":3,"rater":2}`,
+		// Lines the fast path must either bail on or agree about:
+		`{"rater":1,"object":1,"value":0.12345678901234567,"time":1}`, // 17 digits
+		`{"rater":1,"object":1,"value":1e-30,"time":1}`,               // exp out of exact range
+		`{"rater":1,"object":1,"value":5e22,"time":1}`,
+		`{"rater":1,"object":1,"value":0.1,"time":1.7976931348623157e308}`,
+	}
+	for _, line := range lines {
+		fast, ok := parseRatingLine([]byte(line))
+		var strict RatingPayload
+		strictErr := decodeStrict([]byte(line), &strict)
+		if !ok {
+			continue // bailed to the fallback: always correct
+		}
+		if strictErr != nil {
+			t.Fatalf("fast path accepted %q but strict decoder rejects: %v", line, strictErr)
+		}
+		if fast.Rater != strict.Rater || fast.Object != strict.Object ||
+			math.Float64bits(fast.Value) != math.Float64bits(strict.Value) ||
+			math.Float64bits(fast.Time) != math.Float64bits(strict.Time) {
+			t.Fatalf("line %q: fast %+v != strict %+v", line, fast, strict)
+		}
+	}
+}
+
+// TestParseRatingLineRejects ensures clearly invalid shapes never pass
+// the fast path as accepted values.
+func TestParseRatingLineRejects(t *testing.T) {
+	for _, line := range []string{
+		``,
+		`[]`,
+		`{"rater":01,"object":1,"value":0.5,"time":1}`,
+		`{"rater":1,"object":1,"value":00.5,"time":1}`,
+		`{"rater":1,"object":1,"value":.5,"time":1}`,
+		`{"rater":1,"object":1,"value":0.5,"time":1} trailing`,
+		`{"rater":1,"object":1,"value":0.5,"time":1`,
+		`{"unknown":1}`,
+		`{"rater":"1","object":1,"value":0.5,"time":1}`,
+		`{"rater":1.5,"object":1,"value":0.5,"time":1}`,
+		`{"rater":1e2,"object":1,"value":0.5,"time":1}`,
+		`{"rater":9223372036854775808,"object":1,"value":0.5,"time":1}`,
+	} {
+		if p, ok := parseRatingLine([]byte(line)); ok {
+			// Acceptance is only a bug if the strict decoder disagrees.
+			var strict RatingPayload
+			if err := decodeStrict([]byte(line), &strict); err != nil {
+				t.Fatalf("fast path accepted %q as %+v; strict decoder: %v", line, p, err)
+			}
+		}
+	}
+}
+
+// TestStreamHotLoopAllocations pins the zero-steady-state-allocation
+// claim: parsing and batching an already-buffered line must not
+// allocate.
+func TestStreamHotLoopAllocations(t *testing.T) {
+	line := []byte(`{"rater":17,"object":4,"value":0.875,"time":123.25}`)
+	batch := make([]rating.Rating, 0, 1024)
+	allocs := testing.AllocsPerRun(1000, func() {
+		p, ok := parseRatingLine(line)
+		if !ok {
+			t.Fatal("fast path bailed")
+		}
+		batch = append(batch[:0], p.Rating())
+	})
+	if allocs != 0 {
+		t.Fatalf("hot loop allocates %.1f per line", allocs)
+	}
+}

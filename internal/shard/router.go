@@ -152,18 +152,34 @@ func (r *Router) flush(b *shardBatcher) {
 // returned; the submission's ratings must then be treated as not
 // applied on the failed shard.
 func (r *Router) Submit(rs []rating.Rating) error {
+	wait, err := r.SubmitAsync(rs)
+	if err != nil {
+		return err
+	}
+	return wait()
+}
+
+// SubmitAsync routes the batch like Submit but returns immediately
+// after enqueueing, handing back a wait function that blocks until
+// every shard batch holding one of the caller's ratings has flushed
+// and returns the first flush error. The caller's slice is not
+// retained — its values are copied into per-shard groups before
+// SubmitAsync returns — so the caller may reuse it at once, pipelining
+// the decode of the next batch against this batch's group commit.
+// Each returned wait must be called exactly once.
+func (r *Router) SubmitAsync(rs []rating.Rating) (func() error, error) {
 	if len(rs) == 0 {
-		return nil
+		return func() error { return nil }, nil
 	}
 	for i, rt := range rs {
 		if err := rt.Validate(); err != nil {
-			return fmt.Errorf("shard: rating %d: %w", i, err)
+			return nil, fmt.Errorf("shard: rating %d: %w", i, err)
 		}
 	}
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
-		return ErrRouterClosed
+		return nil, ErrRouterClosed
 	}
 	n := len(r.batchers)
 	groups := make(map[int][]rating.Rating)
@@ -177,13 +193,15 @@ func (r *Router) Submit(rs []rating.Rating) error {
 	}
 	r.mu.Unlock()
 
-	var first error
-	for _, w := range waits {
-		if err := <-w; err != nil && first == nil {
-			first = err
+	return func() error {
+		var first error
+		for _, w := range waits {
+			if err := <-w; err != nil && first == nil {
+				first = err
+			}
 		}
-	}
-	return first
+		return first
+	}, nil
 }
 
 // SubmitOne routes a single rating.

@@ -204,3 +204,101 @@ func TestEngineRejectsMisroutedBatch(t *testing.T) {
 		t.Fatalf("misrouted batch mutated state: len=%d", e.Len())
 	}
 }
+
+// SubmitAsync must copy the caller's values before returning, so the
+// slice can be truncated and refilled while the batch group-commits —
+// the contract the streaming ingest endpoint's pooled buffers rely on.
+func TestRouterSubmitAsyncCopiesAndPipelines(t *testing.T) {
+	var applied atomic.Int64
+	gate := make(chan struct{})
+	r, err := shard.NewRouter(shard.RouterConfig{
+		Shards:    2,
+		BatchSize: 4,
+		Interval:  time.Millisecond,
+		Flush: func(s int, rs []rating.Rating) error {
+			<-gate // hold the flush so waits are observably pending
+			for _, rt := range rs {
+				if rt.Value != 0.5 {
+					t.Errorf("flush saw clobbered rating %+v", rt)
+				}
+			}
+			applied.Add(int64(len(rs)))
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	buf := make([]rating.Rating, 0, 4)
+	waits := make([]func() error, 0, 4)
+	for b := 0; b < 4; b++ {
+		buf = buf[:0]
+		for i := 0; i < 4; i++ {
+			buf = append(buf, mk(b, b*4+i))
+		}
+		wait, err := r.SubmitAsync(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waits = append(waits, wait)
+		// Clobber the shared buffer immediately: if the router aliased
+		// it, the held-back flush above would observe garbage.
+		for i := range buf {
+			buf[i].Value = -1
+		}
+	}
+	if got := applied.Load(); got != 0 {
+		t.Fatalf("flushes ran before release: %d", got)
+	}
+	close(gate)
+	for i, wait := range waits {
+		if err := wait(); err != nil {
+			t.Fatalf("wait %d: %v", i, err)
+		}
+	}
+	if got := applied.Load(); got != 16 {
+		t.Fatalf("applied %d, want 16", got)
+	}
+}
+
+// An async submit's wait surfaces the flush error of its own batch.
+func TestRouterSubmitAsyncReportsFlushError(t *testing.T) {
+	boom := errors.New("disk gone")
+	r, err := shard.NewRouter(shard.RouterConfig{
+		Shards:   1,
+		Interval: time.Millisecond,
+		Flush: func(s int, rs []rating.Rating) error {
+			return boom
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	wait, err := r.SubmitAsync([]rating.Rating{mk(1, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wait(); !errors.Is(err, boom) {
+		t.Fatalf("wait err = %v", err)
+	}
+}
+
+// SubmitAsync after Close refuses rather than stranding a waiter.
+func TestRouterSubmitAsyncClosed(t *testing.T) {
+	r, err := shard.NewRouter(shard.RouterConfig{
+		Shards: 1,
+		Flush:  func(int, []rating.Rating) error { return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.SubmitAsync([]rating.Rating{mk(1, 1)}); !errors.Is(err, shard.ErrRouterClosed) {
+		t.Fatalf("err = %v", err)
+	}
+}
