@@ -123,16 +123,21 @@ type StreamLineError struct {
 }
 
 // StreamSummary is the final NDJSON line of a streaming ingest
-// response. When the stream was cut short (a submit failure after
-// acceptance started, or an oversized line), Code and Message carry
-// the terminal error; clients must treat lines after Lines as never
+// response. Lines counts physical input lines examined — blank lines
+// included — so it maps 1:1 to the client's own framing and a client
+// resumes an interrupted stream at line Lines+1. When the stream was
+// cut short (a submit failure after acceptance started, an oversized
+// line, or overload shedding), Code and Message carry the terminal
+// error — with the backoff hint in RetryAfter seconds when Code is
+// "overloaded" — and clients must treat lines after Lines as never
 // examined.
 type StreamSummary struct {
-	Accepted int    `json:"accepted"`
-	Rejected int    `json:"rejected"`
-	Lines    int    `json:"lines"`
-	Code     string `json:"code,omitempty"`
-	Message  string `json:"message,omitempty"`
+	Accepted   int     `json:"accepted"`
+	Rejected   int     `json:"rejected"`
+	Lines      int     `json:"lines"`
+	Code       string  `json:"code,omitempty"`
+	Message    string  `json:"message,omitempty"`
+	RetryAfter float64 `json:"retry_after,omitempty"`
 }
 
 // HealthResponse is the liveness probe's body.

@@ -268,7 +268,12 @@ func (c *Client) SubmitStream(ctx context.Context, body io.Reader) (api.StreamSu
 		return summary, rejects, fmt.Errorf("server: stream response ended without a summary")
 	}
 	if summary.Code != "" {
-		return summary, rejects, &APIError{Status: res.StatusCode, Code: summary.Code, Message: summary.Message}
+		return summary, rejects, &APIError{
+			Status:     res.StatusCode,
+			Code:       summary.Code,
+			Message:    summary.Message,
+			RetryAfter: time.Duration(summary.RetryAfter * float64(time.Second)),
+		}
 	}
 	return summary, rejects, nil
 }

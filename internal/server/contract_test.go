@@ -262,6 +262,27 @@ func TestWireContractErrorPaths(t *testing.T) {
 		checkFixture(t, "submit_overloaded", res)
 	})
 
+	t.Run("stream_overloaded", func(t *testing.T) {
+		// Per-batch admission on the stream route: a saturated limiter
+		// sheds the first flush, ending the stream with an overloaded
+		// summary that carries the retry hint in-band (the response is
+		// already streaming, so there is no 429 status to put it on).
+		srv, err := New(core.Config{Detector: detector.Config{Threshold: 0.05}},
+			WithAdmission(AdmissionConfig{MaxConcurrent: 1, MaxWait: 5 * time.Millisecond, RetryAfter: 2 * time.Second}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv)
+		t.Cleanup(ts.Close)
+		<-srv.admission.tokens // saturate the only slot deterministically
+		res, err := ts.Client().Post(ts.URL+"/v1/ratings:stream", "application/x-ndjson",
+			strings.NewReader("{\"rater\":1,\"object\":1,\"value\":0.5,\"time\":1}\n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkFixture(t, "stream_overloaded", res)
+	})
+
 	t.Run("conflict", func(t *testing.T) {
 		base, err := core.NewSafeSystem(core.Config{Detector: detector.Config{Threshold: 0.05}})
 		if err != nil {

@@ -67,6 +67,11 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	return w.ResponseWriter.Write(p)
 }
 
+// Unwrap exposes the wrapped writer to http.ResponseController, so
+// the stream handler's per-read deadline control reaches the real
+// connection through the telemetry wrapper.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 // observe wraps one route's handler with request counting and latency
 // timing. With telemetry disabled it returns the handler untouched, so
 // the uninstrumented request path is byte-for-byte what it was.

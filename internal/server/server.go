@@ -106,7 +106,8 @@ type AsyncSubmitter interface {
 }
 
 // streamPath is the bulk-ingest route; exempt from the whole-body
-// size cap (streams are bounded per line instead — see stream.go).
+// size cap and the whole-request timeout (streams are bounded per
+// line and per read instead — see stream.go).
 const streamPath = "/v1/ratings:stream"
 
 // Server is the HTTP facade over one rating system.
@@ -230,16 +231,24 @@ func NewWith(backend Backend, opts ...Option) (*Server, error) {
 	s.routes()
 
 	// Middleware, outermost first: panic containment (a handler bug
-	// 500s one request instead of killing the daemon), body limits,
-	// then the per-request timeout.
-	h := http.Handler(s.mux)
+	// 500s one request instead of killing the daemon), then — for every
+	// route but the stream — body limits and the per-request timeout.
+	// Bulk ingest is legitimately long-lived and bounded per line (size
+	// cap) and per read (idle deadline) instead, so it bypasses both: a
+	// whole-request timeout would buffer the streamed response and cut
+	// any ingest longer than the budget with a static 503, making the
+	// resume-from-Lines protocol impossible (see stream.go).
+	var inner http.Handler = s.mux
 	if s.reqTimeout > 0 {
-		h = http.TimeoutHandler(h, s.reqTimeout, timeoutBody)
+		inner = http.TimeoutHandler(inner, s.reqTimeout, timeoutBody)
 	}
 	limit := s.maxBody
-	inner := h
-	h = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.Body != nil && r.URL.Path != streamPath {
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == streamPath {
+			s.mux.ServeHTTP(w, r)
+			return
+		}
+		if r.Body != nil {
 			r.Body = http.MaxBytesReader(w, r.Body, limit)
 		}
 		inner.ServeHTTP(w, r)
@@ -286,7 +295,11 @@ func (s *Server) routes() {
 	// admission control before touching the idempotency cache, so an
 	// overloaded server sheds without consuming dedupe slots.
 	s.mux.HandleFunc("POST /v1/ratings", s.observe("/v1/ratings", s.admit(s.idempotent(s.handleSubmit))))
-	s.mux.HandleFunc("POST "+streamPath, s.observe(streamPath, s.admit(s.handleSubmitStream)))
+	// The stream route is not wrapped in admit: one token held for the
+	// whole lifetime of a bulk stream would starve unary mutations.
+	// The handler acquires and releases a token per flushed batch
+	// instead (see handleSubmitStream).
+	s.mux.HandleFunc("POST "+streamPath, s.observe(streamPath, s.handleSubmitStream))
 	s.mux.HandleFunc("POST /v1/process", s.observe("/v1/process", s.admit(s.idempotent(s.handleProcess))))
 	s.mux.HandleFunc("GET /v1/objects/{id}/aggregate", s.observe("/v1/objects/{id}/aggregate", s.handleAggregate))
 	s.mux.HandleFunc("GET /v1/raters/{id}/trust", s.observe("/v1/raters/{id}/trust", s.handleTrust))

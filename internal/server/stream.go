@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"time"
 
 	"repro/internal/api"
 	"repro/internal/rating"
@@ -47,11 +48,13 @@ var streamPool = sync.Pool{
 }
 
 // pendingBatch is one async-submitted batch awaiting its group
-// commit: the wait handle plus the objects to invalidate on success.
+// commit: the wait handle, the admission token to return once it
+// settles, and the objects to invalidate when it does.
 type pendingBatch struct {
-	wait  func() error
-	objs  []rating.ObjectID
-	count int
+	wait    func() error
+	release func() // admission-token return; nil without a limiter
+	objs    []rating.ObjectID
+	count   int
 }
 
 // lineReader yields newline-delimited lines from an io.Reader through
@@ -108,6 +111,29 @@ func (l *lineReader) next() ([]byte, error) {
 	}
 }
 
+// idleDeadlineReader arms a rolling read/write deadline on the
+// underlying connection before each body read. The stream route is
+// exempt from the whole-request timeout — a bulk ingest legitimately
+// runs for minutes — so its bound is per unit of progress instead:
+// every read must complete within idle, and the response (per-line
+// rejections, the summary) stays writable on the same cadence. The
+// deadlines override the http.Server's connection-wide
+// ReadTimeout/WriteTimeout; set errors are ignored so transports
+// without deadline support (test recorders) degrade to unbounded
+// reads.
+type idleDeadlineReader struct {
+	src  io.Reader
+	rc   *http.ResponseController
+	idle time.Duration
+}
+
+func (d *idleDeadlineReader) Read(p []byte) (int, error) {
+	dl := time.Now().Add(d.idle)
+	_ = d.rc.SetReadDeadline(dl)
+	_ = d.rc.SetWriteDeadline(dl)
+	return d.src.Read(p)
+}
+
 // handleSubmitStream is POST /v1/ratings:stream: one rating per NDJSON
 // line in, a streamed NDJSON result out. Valid lines coalesce into
 // group-commit batches fed to the Journal (per-batch WAL AppendAll on
@@ -117,6 +143,13 @@ func (l *lineReader) next() ([]byte, error) {
 // idempotency cache — a bulk stream is not replayable from a buffered
 // response — so clients must not blindly re-send a whole stream after
 // a cut; the summary's Lines field tells them where to resume.
+//
+// Admission control is per flushed batch, not per request: a stream
+// holds a token only while one of its batches is actually submitting
+// (or, on the async path, awaiting its group commit), so a
+// long-running ingest does not pin mutation capacity away from unary
+// traffic between batches. A shed batch ends the stream with an
+// overloaded summary carrying the retry hint.
 func (s *Server) handleSubmitStream(w http.ResponseWriter, r *http.Request) {
 	st := streamPool.Get().(*streamState)
 	defer func() {
@@ -128,8 +161,29 @@ func (s *Server) handleSubmitStream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 
 	async, _ := s.journal.(AsyncSubmitter)
-	lr := &lineReader{src: r.Body, buf: st.buf}
+	body := io.Reader(r.Body)
+	if s.reqTimeout > 0 {
+		body = &idleDeadlineReader{src: r.Body, rc: http.NewResponseController(w), idle: s.reqTimeout}
+	} else {
+		// Timeouts disabled: clear any server-wide connection deadlines
+		// so a long ingest is not cut mid-body.
+		rc := http.NewResponseController(w)
+		_ = rc.SetReadDeadline(time.Time{})
+		_ = rc.SetWriteDeadline(time.Time{})
+	}
+	lr := &lineReader{src: body, buf: st.buf}
 	defer func() { st.buf = lr.buf }() // keep a grown buffer pooled
+
+	adm := s.admission
+	// Async pipelining depth: at most maxStreamPending batches in
+	// flight, but never more than the limiter's whole capacity — each
+	// in-flight batch holds one admission token and settling runs on
+	// this goroutine, so holding every token while waiting for another
+	// would deadlock the stream against itself.
+	depth := maxStreamPending
+	if adm != nil && adm.cfg.MaxConcurrent < depth {
+		depth = adm.cfg.MaxConcurrent
+	}
 
 	var (
 		lines, accepted, rejected int
@@ -137,18 +191,37 @@ func (s *Server) handleSubmitStream(w http.ResponseWriter, r *http.Request) {
 		terminal                  *api.Error // first fatal error; ends the stream
 	)
 
-	// confirm settles the oldest pending batches until at most keep
-	// remain, folding successes into accepted and cache invalidation.
-	confirm := func(keep int) {
-		for len(pending) > keep && terminal == nil {
-			p := pending[0]
-			pending = pending[1:]
-			if err := p.wait(); err != nil {
+	// settle waits out the oldest pending batch and folds its outcome.
+	// The batch was already enqueued, so whatever wait reports, the
+	// router may have flushed it — on a multi-shard journal even a
+	// failed flush can have applied on some shards. Its objects are
+	// therefore invalidated unconditionally; skipping that would leave
+	// cached aggregates stale forever, breaking the readCache contract
+	// that cached answers are bit-identical to the backend.
+	settle := func() {
+		p := pending[0]
+		pending = pending[1:]
+		err := p.wait()
+		if p.release != nil {
+			p.release()
+		}
+		s.cache.invalidateObjectList(p.objs)
+		if err != nil {
+			if terminal == nil {
 				terminal = &api.Error{Code: api.CodeUnavailable, Message: fmt.Sprintf("journal: %v", err)}
-				return
 			}
-			accepted += p.count
-			s.cache.invalidateObjectList(p.objs)
+			return
+		}
+		accepted += p.count
+	}
+
+	// confirm settles the oldest pending batches until at most keep
+	// remain. It keeps draining after a terminal error: enqueued
+	// batches commit in the background whether or not the stream
+	// survived, so their waits and cache invalidations must still run.
+	confirm := func(keep int) {
+		for len(pending) > keep {
+			settle()
 		}
 	}
 
@@ -156,20 +229,45 @@ func (s *Server) handleSubmitStream(w http.ResponseWriter, r *http.Request) {
 		if len(st.batch) == 0 || terminal != nil {
 			return
 		}
+		if async != nil {
+			// Make room in the pipeline (and, under a small limiter,
+			// return a token) before admitting the next batch.
+			confirm(depth - 1)
+			if terminal != nil {
+				return
+			}
+		}
+		var release func()
+		if adm != nil {
+			result, waited := adm.acquire(r)
+			s.metrics.admission(string(result), waited)
+			if result != admitted {
+				terminal = &api.Error{
+					Code:       api.CodeOverloaded,
+					Message:    fmt.Sprintf("overloaded: stream batch shed (%s)", result),
+					RetryAfter: adm.cfg.RetryAfter.Seconds(),
+				}
+				return
+			}
+			release = adm.release
+		}
 		s.metrics.streamBatch()
 		if async != nil {
 			wait, err := async.SubmitAsync(st.batch)
 			if err != nil {
+				if release != nil {
+					release()
+				}
 				terminal = &api.Error{Code: api.CodeUnavailable, Message: fmt.Sprintf("journal: %v", err)}
 				return
 			}
 			pending = append(pending, pendingBatch{
-				wait:  wait,
-				objs:  append([]rating.ObjectID(nil), st.objs...),
-				count: len(st.batch),
+				wait:    wait,
+				release: release,
+				objs:    append([]rating.ObjectID(nil), st.objs...),
+				count:   len(st.batch),
 			})
 			st.batch, st.objs = st.batch[:0], st.objs[:0]
-			confirm(maxStreamPending)
 			return
 		}
 		var err error
@@ -178,12 +276,17 @@ func (s *Server) handleSubmitStream(w http.ResponseWriter, r *http.Request) {
 		} else {
 			err = s.sys.SubmitAll(st.batch)
 		}
+		if release != nil {
+			release()
+		}
+		// Invalidate even on error: a failed multi-shard submit may
+		// still have applied on some shards.
+		s.cache.invalidateObjectList(st.objs)
 		if err != nil {
 			terminal = &api.Error{Code: api.CodeUnavailable, Message: fmt.Sprintf("journal: %v", err)}
 			return
 		}
 		accepted += len(st.batch)
-		s.cache.invalidateObjectList(st.objs)
 		st.batch, st.objs = st.batch[:0], st.objs[:0]
 	}
 
@@ -207,6 +310,10 @@ func (s *Server) handleSubmitStream(w http.ResponseWriter, r *http.Request) {
 			terminal = &api.Error{Code: code, Message: fmt.Sprintf("read stream: %v", err)}
 			break
 		}
+		// Every physical line counts, blank or not: Lines maps 1:1 to
+		// the client's input framing so resume-from-Lines is exact.
+		lines++
+		s.metrics.streamLine()
 		// Tolerate CRLF framing and skip blank lines (trailing
 		// newlines at end of a stream are not ratings).
 		if n := len(line); n > 0 && line[n-1] == '\r' {
@@ -215,8 +322,6 @@ func (s *Server) handleSubmitStream(w http.ResponseWriter, r *http.Request) {
 		if len(bytes.TrimSpace(line)) == 0 {
 			continue
 		}
-		lines++
-		s.metrics.streamLine()
 
 		p, ok := parseRatingLine(line)
 		if !ok {
@@ -239,11 +344,15 @@ func (s *Server) handleSubmitStream(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	flush()
+	// Drain every pending batch on every exit path — terminal error
+	// included — so no enqueued batch escapes its wait and cache
+	// invalidation.
 	confirm(0)
 
 	summary := api.StreamSummary{Accepted: accepted, Rejected: rejected, Lines: lines}
 	if terminal != nil {
 		summary.Code, summary.Message = terminal.Code, terminal.Message
+		summary.RetryAfter = terminal.RetryAfter
 	}
 	_ = enc.Encode(summary)
 }

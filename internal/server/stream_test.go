@@ -11,12 +11,14 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/detector"
 	"repro/internal/randx"
 	"repro/internal/rating"
+	"repro/internal/telemetry"
 )
 
 // streamBody renders payloads as NDJSON.
@@ -120,7 +122,7 @@ func TestStreamRejectsBadLinesIndividually(t *testing.T) {
 		`{"rater":1,"object":1,"value":0.5,"time":1}`,
 		`{"rater":2,"object":1,"value":7,"time":1}`, // out of range
 		`not json at all`,
-		``, // blank: skipped, not counted
+		``, // blank: not a rating, but still a counted physical line
 		`{"rater":3,"object":1,"value":0.25,"time":2}`,
 		`{"rater":4,"object":1,"value":0.5,"time":3,"extra":true}`, // unknown field
 	}, "\n")
@@ -128,10 +130,10 @@ func TestStreamRejectsBadLinesIndividually(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sum.Lines != 5 || sum.Accepted != 2 || sum.Rejected != 3 {
+	if sum.Lines != 6 || sum.Accepted != 2 || sum.Rejected != 3 {
 		t.Fatalf("summary = %+v", sum)
 	}
-	wantLines := []int{2, 3, 5}
+	wantLines := []int{2, 3, 6}
 	if len(rejects) != len(wantLines) {
 		t.Fatalf("rejects = %+v", rejects)
 	}
@@ -153,7 +155,9 @@ func TestStreamCRLFAndTrailingNewline(t *testing.T) {
 	if err != nil || len(rejects) != 0 {
 		t.Fatalf("err=%v rejects=%v", err, rejects)
 	}
-	if sum.Accepted != 2 || sum.Lines != 2 {
+	// Lines counts physical framing: two ratings plus the blank line
+	// the trailing "\n\n" produces.
+	if sum.Accepted != 2 || sum.Lines != 3 {
 		t.Fatalf("summary = %+v", sum)
 	}
 }
@@ -182,7 +186,8 @@ type asyncJournal struct {
 	mu      sync.Mutex
 	batches [][]rating.Rating
 	waits   int
-	fail    error
+	fail    error // SubmitAsync refuses to enqueue
+	waitErr error // wait applies the batch, then reports failure
 }
 
 func (j *asyncJournal) SubmitAll(rs []rating.Rating) error { return j.sys.SubmitAll(rs) }
@@ -204,8 +209,14 @@ func (j *asyncJournal) SubmitAsync(rs []rating.Rating) (func() error, error) {
 	return func() error {
 		j.mu.Lock()
 		j.waits++
+		we := j.waitErr
 		j.mu.Unlock()
-		return j.sys.SubmitAll(batch)
+		if err := j.sys.SubmitAll(batch); err != nil {
+			return err
+		}
+		// A waitErr batch is applied anyway, simulating a multi-shard
+		// flush that failed on one shard after landing on others.
+		return we
 	}, nil
 }
 
@@ -258,6 +269,255 @@ func TestStreamAsyncSubmitFailureIsTerminal(t *testing.T) {
 		t.Fatalf("err = %v", err)
 	}
 	if sum.Accepted != 0 || sum.Code != api.CodeUnavailable {
+		t.Fatalf("summary = %+v", sum)
+	}
+}
+
+// errAfterReader yields data, then fails — a client disconnecting
+// mid-stream as the server's body reader sees it.
+type errAfterReader struct {
+	data []byte
+	err  error
+}
+
+func (r *errAfterReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, r.err
+	}
+	n := copy(p, r.data)
+	r.data = r.data[n:]
+	return n, nil
+}
+
+// streamDirect drives the stream endpoint through ServeHTTP with an
+// arbitrary body reader and returns the parsed summary.
+func streamDirect(t *testing.T, srv *Server, body io.Reader) api.StreamSummary {
+	t.Helper()
+	req := httptest.NewRequest("POST", "/v1/ratings:stream", body)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	lines := strings.Split(strings.TrimSpace(rec.Body.String()), "\n")
+	var sum api.StreamSummary
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &sum); err != nil {
+		t.Fatalf("summary %q: %v", lines[len(lines)-1], err)
+	}
+	return sum
+}
+
+// primeAggregate seeds object 1, runs a window, and fills the read
+// cache with its aggregate.
+func primeAggregate(t *testing.T, client *Client) AggregateResponse {
+	t.Helper()
+	ctx := context.Background()
+	seed := make([]RatingPayload, 10)
+	for i := range seed {
+		seed[i] = RatingPayload{Rater: i + 1, Object: 1, Value: 0.4 + 0.01*float64(i), Time: float64(i)}
+	}
+	if _, err := client.Submit(ctx, seed); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Process(ctx, 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	agg, err := client.Aggregate(ctx, 1) // miss: fills the cache
+	if err != nil {
+		t.Fatal(err)
+	}
+	return agg
+}
+
+// TestStreamTerminalDrainsPendingAndInvalidatesCache pins the fix for
+// abandoned async batches: when a stream dies mid-flight (here the
+// body reader fails, as on a client disconnect), batches already
+// enqueued via SubmitAsync still commit — so their waits must still be
+// awaited and their objects' cached aggregates dropped. Before the
+// fix, confirm was a no-op once terminal was set and the cache served
+// the pre-stream aggregate forever.
+func TestStreamTerminalDrainsPendingAndInvalidatesCache(t *testing.T) {
+	j := &asyncJournal{}
+	srv, client := newAsyncServer(t, j, WithStreamBatch(4))
+	before := primeAggregate(t, client)
+
+	var b strings.Builder
+	for i := 0; i < 8; i++ {
+		fmt.Fprintf(&b, `{"rater":%d,"object":1,"value":0.9,"time":%d}`+"\n", 50+i, 20+i)
+	}
+	sum := streamDirect(t, srv, &errAfterReader{data: []byte(b.String()), err: errors.New("connection reset")})
+	if sum.Code != api.CodeUnavailable {
+		t.Fatalf("summary = %+v", sum)
+	}
+	// Both batches were enqueued before the cut; both must have been
+	// awaited and counted.
+	j.mu.Lock()
+	batches, waits := len(j.batches), j.waits
+	j.mu.Unlock()
+	if batches != 2 || waits != 2 || sum.Accepted != 8 {
+		t.Fatalf("batches=%d waits=%d summary=%+v", batches, waits, sum)
+	}
+
+	// The served aggregate must be the backend's truth, not the cached
+	// pre-stream answer.
+	requireServedMatchesBackend(t, srv, client, before)
+}
+
+// requireServedMatchesBackend asserts the HTTP-served aggregate of
+// object 1 is bit-identical to the backend's recompute AND that the
+// recompute actually differs from the pre-stream cached answer (so
+// the equality is not vacuous: a stale cache would serve `before`).
+func requireServedMatchesBackend(t *testing.T, srv *Server, client *Client, before AggregateResponse) {
+	t.Helper()
+	after, err := client.Aggregate(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := srv.System().Aggregate(rating.ObjectID(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(after.Value) != math.Float64bits(direct.Value) ||
+		after.Used != direct.Used || after.Filtered != direct.Filtered || after.FellBack != direct.FellBack {
+		t.Fatalf("served %+v, backend %+v", after, direct)
+	}
+	if after.Used+after.Filtered == before.Used+before.Filtered {
+		t.Fatalf("aggregate unchanged by the stream (before %+v, after %+v): test proves nothing", before, after)
+	}
+}
+
+// TestStreamWaitFailureStillInvalidates covers the error leg of the
+// same fix: a batch whose group-commit wait fails may still have been
+// applied (partially, on some shards), so its objects are invalidated
+// regardless of the wait's outcome.
+func TestStreamWaitFailureStillInvalidates(t *testing.T) {
+	j := &asyncJournal{waitErr: errors.New("shard 2: wal torn")}
+	srv, client := newAsyncServer(t, j, WithStreamBatch(4))
+	before := primeAggregate(t, client)
+
+	var b strings.Builder
+	for i := 0; i < 4; i++ {
+		fmt.Fprintf(&b, `{"rater":%d,"object":1,"value":0.9,"time":%d}`+"\n", 70+i, 30+i)
+	}
+	sum := streamDirect(t, srv, strings.NewReader(b.String()))
+	if sum.Code != api.CodeUnavailable || sum.Accepted != 0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	requireServedMatchesBackend(t, srv, client, before)
+}
+
+// TestStreamShedsPerBatchWhenOverloaded: with the limiter saturated, a
+// stream's first flush is shed and the stream ends with an overloaded
+// summary carrying the retry hint (surfaced on the client's APIError).
+func TestStreamShedsPerBatchWhenOverloaded(t *testing.T) {
+	srv, err := New(core.Config{Detector: detector.Config{Threshold: 0.05}},
+		WithAdmission(AdmissionConfig{MaxConcurrent: 1, MaxQueue: 0, MaxWait: 5 * time.Millisecond, RetryAfter: 3 * time.Second}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	client := NewClient(ts.URL, ts.Client())
+
+	<-srv.admission.tokens // saturate the only slot deterministically
+	defer func() { srv.admission.tokens <- struct{}{} }()
+
+	body := "{\"rater\":1,\"object\":1,\"value\":0.5,\"time\":1}\n"
+	sum, _, err := client.SubmitStream(context.Background(), strings.NewReader(body))
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != api.CodeOverloaded {
+		t.Fatalf("err = %v", err)
+	}
+	if apiErr.RetryAfter != 3*time.Second {
+		t.Fatalf("RetryAfter = %v", apiErr.RetryAfter)
+	}
+	if sum.Code != api.CodeOverloaded || sum.RetryAfter != 3 || sum.Accepted != 0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+}
+
+// TestStreamAdmissionPerBatchNotPerRequest: under a single-slot
+// limiter a multi-batch async stream still completes — each batch
+// takes and returns the token — and every token is back in the
+// limiter afterwards. A stream-lifetime token would deadlock here
+// (batch 2 waiting on the token batch 1's flush still holds).
+func TestStreamAdmissionPerBatchNotPerRequest(t *testing.T) {
+	j := &asyncJournal{}
+	srv, client := newAsyncServer(t, j,
+		WithStreamBatch(8),
+		WithAdmission(AdmissionConfig{MaxConcurrent: 1, MaxQueue: 1, MaxWait: time.Second}))
+	payloads := seededPayloads(64, 11)
+	sum, _, err := client.SubmitStream(context.Background(), strings.NewReader(streamBody(payloads)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Accepted != 64 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	j.mu.Lock()
+	batches, waits := len(j.batches), j.waits
+	j.mu.Unlock()
+	if batches != 8 || waits != 8 {
+		t.Fatalf("batches=%d waits=%d", batches, waits)
+	}
+	if f := srv.admission.inflightCount(); f != 0 {
+		t.Fatalf("inflight %d after stream", f)
+	}
+}
+
+// slowLineReader emits one NDJSON line per interval, so the whole
+// stream takes far longer than the server's per-request timeout while
+// every individual read stays prompt.
+type slowLineReader struct {
+	lines    []string
+	interval time.Duration
+}
+
+func (r *slowLineReader) Read(p []byte) (int, error) {
+	if len(r.lines) == 0 {
+		return 0, io.EOF
+	}
+	time.Sleep(r.interval)
+	line := r.lines[0] + "\n"
+	r.lines = r.lines[1:]
+	return copy(p, line), nil
+}
+
+// TestStreamOutlivesRequestTimeout: the stream route is exempt from
+// the whole-request timeout (it is bounded per read instead), so a
+// bulk ingest taking several times the budget still completes with a
+// summary instead of being cut to the TimeoutHandler's static 503.
+// The test runs the full production chain — telemetry's statusWriter
+// wrapper plus connection-level Read/WriteTimeout like the daemon's —
+// so it also pins that the per-read deadline override reaches the
+// real connection through the middleware wrappers.
+func TestStreamOutlivesRequestTimeout(t *testing.T) {
+	srv, err := New(core.Config{Detector: detector.Config{Threshold: 0.05}},
+		WithRequestTimeout(300*time.Millisecond),
+		WithTelemetry(telemetry.NewRegistry()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewUnstartedServer(srv)
+	ts.Config.ReadTimeout = 100 * time.Millisecond
+	ts.Config.WriteTimeout = 100 * time.Millisecond
+	ts.Start()
+	t.Cleanup(ts.Close)
+	client := NewClient(ts.URL, ts.Client())
+
+	lines := make([]string, 8)
+	for i := range lines {
+		lines[i] = fmt.Sprintf(`{"rater":%d,"object":1,"value":0.5,"time":%d}`, i+1, i)
+	}
+	// 8 lines at 20ms apart ≈ 160ms of body: past both the 100ms
+	// connection deadlines and half the 300ms request budget, while
+	// each individual read stays well inside the idle bound.
+	sum, rejects, err := client.SubmitStream(context.Background(),
+		&slowLineReader{lines: lines, interval: 20 * time.Millisecond})
+	if err != nil || len(rejects) != 0 {
+		t.Fatalf("err=%v rejects=%v", err, rejects)
+	}
+	if sum.Accepted != 8 || sum.Lines != 8 || sum.Code != "" {
 		t.Fatalf("summary = %+v", sum)
 	}
 }
