@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: all build vet test race race-soak bench fuzz chaos contract ci artifacts benchreport clean
+.PHONY: all build vet test race race-soak bench bench-quick allocs profile fuzz chaos contract ci artifacts benchreport clean
+
+# Committed shard-scaling floor for `make bench-quick`: the 4-shard
+# batching win measured for BENCH_6 sits at ~4x on the reference box;
+# 3.0 leaves noise headroom while still catching any real regression
+# of the lock-free ingest path.
+MIN_SPEEDUP4 ?= 3.0
 
 # Per-target budget for the fuzz sweep; go-fuzz corpora live in
 # testdata/fuzz and regressions found there replay in plain `go test`.
@@ -35,6 +41,26 @@ race-soak:
 bench:
 	$(GO) test -bench=. -benchmem .
 
+# bench-quick is the ingest-perf smoke: just the shard-scaling section
+# of the benchreport, gated on the committed speedup floor. It fails —
+# and so fails `make ci` — if the lock-free ingest path's 4-shard win
+# regresses below MIN_SPEEDUP4.
+bench-quick:
+	$(GO) run ./cmd/benchreport -run tab1 -walrecords 0 -telemetryreps 0 \
+		-servingratings 0 -minspeedup4 $(MIN_SPEEDUP4) -out /dev/null
+
+# allocs runs the steady-state allocation pins (testing.AllocsPerRun),
+# which only exist in non-race builds — the race runtime's bookkeeping
+# would drown the counts — so ci needs this plain pass on top of its
+# race pass.
+allocs:
+	$(GO) test -count=1 -run 'Allocs' ./internal/shard/
+
+# profile writes CPU and heap profiles of the full benchreport run;
+# inspect with `go tool pprof cpu.prof` / `go tool pprof mem.prof`.
+profile:
+	$(GO) run ./cmd/benchreport -out /dev/null -cpuprofile cpu.prof -memprofile mem.prof
+
 # fuzz runs each fuzz target for FUZZTIME: WAL frame parsing and record
 # decoding (corrupt bytes must error, never panic), the server's
 # rating-batch JSON decoder (hostile bodies must map to 4xx), the
@@ -50,18 +76,21 @@ fuzz:
 	$(GO) test -fuzz FuzzShardIndex -fuzztime $(FUZZTIME) ./internal/shard/
 
 # ci is the gate every change must pass: static checks, a full build,
-# the test suite under the race detector, a fresh-schedule soak of the
-# sharded engine, and a one-shot smoke run of the tab1 macro benchmark
-# (exercises the parallel Monte-Carlo path end to end without
-# benchmark-grade runtimes).
+# the test suite under the race detector, the non-race allocation
+# pins, a fresh-schedule soak of the sharded engine, a one-shot smoke
+# run of the tab1 macro benchmark (exercises the parallel Monte-Carlo
+# path end to end without benchmark-grade runtimes), the chaos sweep,
+# and the shard-scaling floor check.
 ci:
 	$(MAKE) vet
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(MAKE) allocs
 	$(MAKE) race-soak
 	$(MAKE) contract
 	$(GO) test -run=NONE -bench=BenchmarkTab1 -benchtime=1x .
 	$(MAKE) chaos
+	$(MAKE) bench-quick
 
 # contract replays the checked-in wire-contract fixtures: every v1
 # endpoint's golden response, every error code in the catalogue, and
@@ -85,7 +114,7 @@ artifacts:
 	$(GO) run ./cmd/experiments -run all -mode full -csv artifacts/
 
 benchreport:
-	$(GO) run ./cmd/benchreport -out BENCH_5.json
+	$(GO) run ./cmd/benchreport -out BENCH_6.json
 
 clean:
 	rm -rf artifacts/

@@ -37,6 +37,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -72,13 +73,16 @@ type Report struct {
 // workload. The win on a single CPU is batching amortization, not
 // parallelism: a shard's 256-rating batch covers a longer stretch of
 // the submission stream as shards grow, so each object's sorted
-// history is re-merged correspondingly fewer times.
+// history is re-merged correspondingly fewer times. The section runs
+// at GOMAXPROCS = NumCPU (recorded per section) so multi-core boxes
+// also measure the parallel win.
 type ShardScalingStats struct {
 	Ratings     int                `json:"ratings"`
 	Objects     int                `json:"objects"`
 	BatchSize   int                `json:"batch_size"`
 	SubmitChunk int                `json:"submit_chunk"`
 	Submitters  int                `json:"submitters"`
+	GOMAXPROCS  int                `json:"gomaxprocs"`
 	Configs     []ShardConfigStats `json:"configs"`
 	SpeedupAt4  float64            `json:"speedup_at_4"`
 	WallNS      int64              `json:"wall_ns"`
@@ -130,14 +134,43 @@ func run(args []string, stdout io.Writer) error {
 		runID   = fs.String("run", "all", "experiment ID to measure, or \"all\"")
 		seed    = fs.Int64("seed", 1, "top-level random seed")
 		workers = fs.Int("workers", 0, "Monte-Carlo worker goroutines (0 = GOMAXPROCS)")
-		out       = fs.String("out", "BENCH_5.json", "output path, or \"-\" for stdout")
-		walRecs   = fs.Int("walrecords", 50000, "WAL records for the recovery-replay benchmark (0 skips it)")
-		telReps   = fs.Int("telemetryreps", 20, "ProcessWindow repetitions for the telemetry-overhead benchmark (0 skips it)")
-		shardRecs = fs.Int("shardratings", 60000, "ratings for the shard-scaling ingest benchmark (0 skips it)")
-		serveRecs = fs.Int("servingratings", 60000, "ratings for the HTTP serving benchmark (0 skips it)")
+		out        = fs.String("out", "BENCH_6.json", "output path, or \"-\" for stdout")
+		walRecs    = fs.Int("walrecords", 50000, "WAL records for the recovery-replay benchmark (0 skips it)")
+		telReps    = fs.Int("telemetryreps", 20, "ProcessWindow repetitions for the telemetry-overhead benchmark (0 skips it)")
+		shardRecs  = fs.Int("shardratings", 480000, "ratings for the shard-scaling ingest benchmark (0 skips it)")
+		serveRecs  = fs.Int("servingratings", 240000, "ratings for the HTTP serving benchmark (0 skips it)")
+		minSpeed4  = fs.Float64("minspeedup4", 0, "fail unless shard_scaling.speedup_at_4 reaches this floor (0 disables)")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the measured sections to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile (after a final GC) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchreport: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "benchreport: memprofile:", err)
+			}
+		}()
 	}
 
 	ids := []string{*runID}
@@ -180,22 +213,42 @@ func run(args []string, stdout io.Writer) error {
 		report.TotalWallNS += stats.BaselineWallNS + stats.TelemetryWallNS
 	}
 
+	// The ingest-path sections run at GOMAXPROCS = NumCPU (restored
+	// afterwards) so multi-core boxes measure the parallel win too; the
+	// setting used is recorded per section.
 	if *shardRecs > 0 {
-		stats, err := measureShardScaling(*shardRecs, *seed)
-		if err != nil {
-			return fmt.Errorf("shard scaling: %w", err)
+		if err := atNumCPU(func() error {
+			stats, err := measureShardScaling(*shardRecs, *seed)
+			if err != nil {
+				return fmt.Errorf("shard scaling: %w", err)
+			}
+			report.ShardScale = &stats
+			report.TotalWallNS += stats.WallNS
+			return nil
+		}); err != nil {
+			return err
 		}
-		report.ShardScale = &stats
-		report.TotalWallNS += stats.WallNS
+		// The committed regression floor (see `make bench-quick`): a
+		// change that drags the 4-shard batching win below it fails the
+		// run outright instead of silently shipping a slower report.
+		if *minSpeed4 > 0 && report.ShardScale.SpeedupAt4 < *minSpeed4 {
+			return fmt.Errorf("shard scaling: speedup_at_4 %.2f below committed floor %.2f",
+				report.ShardScale.SpeedupAt4, *minSpeed4)
+		}
 	}
 
 	if *serveRecs > 0 {
-		stats, err := measureServing(*serveRecs, *seed)
-		if err != nil {
-			return fmt.Errorf("serving: %w", err)
+		if err := atNumCPU(func() error {
+			stats, err := measureServing(*serveRecs, *seed)
+			if err != nil {
+				return fmt.Errorf("serving: %w", err)
+			}
+			report.Serving = &stats
+			report.TotalWallNS += stats.WallNS
+			return nil
+		}); err != nil {
+			return err
 		}
-		report.Serving = &stats
-		report.TotalWallNS += stats.WallNS
 	}
 
 	data, err := json.MarshalIndent(report, "", "  ")
@@ -208,6 +261,14 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	return os.WriteFile(*out, data, 0o644)
+}
+
+// atNumCPU runs f with GOMAXPROCS raised to the machine's CPU count
+// and restores the previous setting afterwards.
+func atNumCPU(f func() error) error {
+	prev := runtime.GOMAXPROCS(runtime.NumCPU())
+	defer runtime.GOMAXPROCS(prev)
+	return f()
 }
 
 // replaySink absorbs replayed WAL records into a real system store, so
@@ -346,7 +407,7 @@ func measureShardScaling(n int, seed int64) (ShardScalingStats, error) {
 		objects     = 48
 		raters      = 512
 		batchSize   = 256
-		submitChunk = 64
+		submitChunk = 256
 		submitters  = 32
 	)
 	rng := randx.New(seed)
@@ -364,6 +425,7 @@ func measureShardScaling(n int, seed int64) (ShardScalingStats, error) {
 	stats := ShardScalingStats{
 		Ratings: n, Objects: objects,
 		BatchSize: batchSize, SubmitChunk: submitChunk, Submitters: submitters,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 	var base time.Duration
 	for _, shards := range []int{1, 2, 4, 8} {

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http/httptest"
 	"runtime"
 	"sync"
@@ -33,6 +34,7 @@ type ServingStats struct {
 	StreamConns int `json:"stream_conns"`
 	UnaryChunk  int `json:"unary_chunk"`
 	Submitters  int `json:"submitters"`
+	GOMAXPROCS  int `json:"gomaxprocs"`
 
 	UnaryWallNS   int64   `json:"unary_wall_ns"`
 	UnaryPerSec   float64 `json:"unary_ratings_per_sec"`
@@ -113,15 +115,20 @@ func measureServing(n int, seed int64) (ServingStats, error) {
 	stats := ServingStats{
 		Ratings: n, Objects: objects, Shards: shards,
 		StreamConns: streamConns, UnaryChunk: unaryChunk, Submitters: submitters,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 	rng := randx.New(seed)
 	rs := make([]rating.Rating, n)
 	for i := range rs {
+		// Client-shaped precision: scores on a millistep grid and times
+		// at microday (~0.1s) granularity, the decimal widths real
+		// submitters produce — not the 17-significant-digit artifacts of
+		// a raw Float64, which no rating client emits.
 		rs[i] = rating.Rating{
 			Rater:  rating.RaterID(rng.Intn(raters) + 1),
 			Object: rating.ObjectID(rng.Intn(objects)),
-			Value:  rng.Float64(),
-			Time:   rng.Float64() * 365,
+			Value:  math.Round(rng.Float64()*1000) / 1000,
+			Time:   math.Round(rng.Float64()*365*1e6) / 1e6,
 		}
 	}
 	ctx := context.Background()

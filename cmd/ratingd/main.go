@@ -157,7 +157,7 @@ func run(args []string) (retErr error) {
 		engine.SetMetrics(shardMetrics)
 		backend = engine
 
-		sj := &shardJournal{engine: engine, seq: 1}
+		sj := newShardJournal(engine, nil, 1)
 		if usingWAL {
 			ws, err := openShardWALs(*walDir, *shards, engine, mkWALOpts, warnf)
 			if err != nil {

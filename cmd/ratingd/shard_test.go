@@ -33,7 +33,7 @@ func openShardDaemon(t *testing.T, dir string, shards int) (*shard.Engine, *shar
 	if err != nil {
 		t.Fatalf("open shard wals: %v", err)
 	}
-	j := &shardJournal{engine: engine, logs: ws.logs, seq: ws.seq}
+	j := newShardJournal(engine, ws.logs, ws.seq)
 	// BatchSize 1 so every Submit flushes immediately; the ticker is
 	// off to keep tests free of timing.
 	r, err := shard.NewRouter(shard.RouterConfig{

@@ -36,12 +36,32 @@ type shardJournal struct {
 	logs   []*wal.Log // nil when the WAL is disabled
 	seq    uint64     // next barrier sequence number
 	broken bool
+
+	// recs[i] is shard i's reusable WAL record buffer. Shard i's flush
+	// runs only on its router worker goroutine, so the buffer is
+	// single-writer and the steady-state log path allocates nothing.
+	recs [][]wal.Record
+}
+
+// newShardJournal wires a journal to its engine, per-shard logs (nil
+// when the WAL is disabled) and next barrier sequence.
+func newShardJournal(engine *shard.Engine, logs []*wal.Log, seq uint64) *shardJournal {
+	return &shardJournal{
+		engine: engine,
+		logs:   logs,
+		seq:    seq,
+		recs:   make([][]wal.Record, engine.Shards()),
+	}
 }
 
 // flush is the router's FlushFunc: append one shard's coalesced batch
 // to that shard's log, then apply it to the engine. Runs on the
-// shard's batcher goroutine, so distinct shards log and apply
-// concurrently under the shared read lock.
+// shard's worker goroutine, so distinct shards log and apply
+// concurrently under the shared read lock. The append is buffered and
+// made durable by an explicit group commit: the write and the fsync
+// are split so one leader fsync can cover every batch written before
+// it (wal.Commit), collapsing the per-batch fsync tax when flushes
+// pile up behind a slow disk.
 func (j *shardJournal) flush(i int, rs []rating.Rating) error {
 	j.mu.RLock()
 	defer j.mu.RUnlock()
@@ -49,11 +69,16 @@ func (j *shardJournal) flush(i int, rs []rating.Rating) error {
 		return errJournalWedged
 	}
 	if j.logs != nil {
-		recs := make([]wal.Record, len(rs))
-		for k, r := range rs {
-			recs[k] = wal.RatingRecord(r)
+		recs := j.recs[i][:0]
+		for _, r := range rs {
+			recs = append(recs, wal.RatingRecord(r))
 		}
-		if err := j.logs[i].AppendAll(recs); err != nil {
+		j.recs[i] = recs
+		token, err := j.logs[i].AppendAllBuffered(recs)
+		if err != nil {
+			return err
+		}
+		if err := j.logs[i].Commit(token); err != nil {
 			return err
 		}
 	}

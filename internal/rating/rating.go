@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -50,6 +51,15 @@ type Store struct {
 	byObject map[ObjectID][]Rating
 	objects  []ObjectID
 	n        int
+
+	// groups and groupOf are AddBatch's reusable per-object bucket
+	// state: instead of a full (object, time) comparison sort of the
+	// batch, ratings are scattered into per-object buckets in one map-
+	// lookup pass and only each (small) bucket is sorted by time. Both
+	// are reused across batches so the steady-state ingest path
+	// allocates nothing once they have grown to the widest batch seen.
+	groups  [][]Rating
+	groupOf map[ObjectID]int
 }
 
 // NewStore returns an empty store.
@@ -97,36 +107,84 @@ func (s *Store) AddBatch(rs []Rating) error {
 			return fmt.Errorf("rating %d: %w", i, err)
 		}
 	}
-	// Register unseen objects in submission order, so first-seen object
-	// order matches sequential Add (groups below merge in sorted-object
-	// order, which would otherwise leak into Objects()).
-	for _, r := range rs {
-		if _, ok := s.byObject[r.Object]; !ok {
-			s.byObject[r.Object] = nil
-			s.objects = append(s.objects, r.Object)
-		}
-	}
-	sorted := append([]Rating(nil), rs...)
-	sort.SliceStable(sorted, func(i, j int) bool {
-		if sorted[i].Object != sorted[j].Object {
-			return sorted[i].Object < sorted[j].Object
-		}
-		return sorted[i].Time < sorted[j].Time
-	})
-	for lo := 0; lo < len(sorted); {
-		hi := lo + 1
-		for hi < len(sorted) && sorted[hi].Object == sorted[lo].Object {
-			hi++
-		}
-		s.mergeObject(sorted[lo].Object, sorted[lo:hi])
-		lo = hi
-	}
-	s.n += len(rs)
+	s.AddBatchValidated(rs)
 	return nil
 }
 
+// AddBatchValidated is AddBatch without the validation pre-scan: the
+// caller guarantees every rating passes Validate (the sharded engine
+// fuses validation with its shard-placement check in one pass, and
+// the router validates at the submission edge). Passing an invalid
+// rating corrupts no invariants here but stores a value downstream
+// consumers were promised never to see — so only trusted ingest paths
+// may call this.
+func (s *Store) AddBatchValidated(rs []Rating) {
+	if len(rs) == 0 {
+		return
+	}
+	// Scatter the batch into per-object buckets: one map lookup per
+	// rating instead of a comparison sort of the whole batch. Unseen
+	// objects register in submission order (first-seen order is
+	// observable through Objects()), and within a bucket submission
+	// order is preserved, so equal-time ratings keep Add's ordering.
+	if s.groupOf == nil {
+		s.groupOf = make(map[ObjectID]int, 64)
+	}
+	clear(s.groupOf)
+	used := 0
+	for _, r := range rs {
+		gi, ok := s.groupOf[r.Object]
+		if !ok {
+			if _, seen := s.byObject[r.Object]; !seen {
+				s.byObject[r.Object] = nil
+				s.objects = append(s.objects, r.Object)
+			}
+			if used == len(s.groups) {
+				s.groups = append(s.groups, nil)
+			}
+			gi = used
+			s.groupOf[r.Object] = gi
+			s.groups[gi] = s.groups[gi][:0]
+			used++
+		}
+		s.groups[gi] = append(s.groups[gi], r)
+	}
+	for _, g := range s.groups[:used] {
+		sortGroupByTime(g)
+		s.mergeObject(g[0].Object, g)
+	}
+	s.n += len(rs)
+}
+
+// sortGroupByTime stably sorts one object's bucket by time. Buckets
+// are small and chronological feeds arrive nearly sorted, so straight
+// insertion sort wins below a crossover; big disordered buckets fall
+// back to the library's stable sort.
+func sortGroupByTime(g []Rating) {
+	if len(g) <= 32 {
+		for i := 1; i < len(g); i++ {
+			for j := i; j > 0 && g[j-1].Time > g[j].Time; j-- {
+				g[j-1], g[j] = g[j], g[j-1]
+			}
+		}
+		return
+	}
+	slices.SortStableFunc(g, func(a, b Rating) int {
+		if a.Time < b.Time {
+			return -1
+		}
+		if a.Time > b.Time {
+			return 1
+		}
+		return 0
+	})
+}
+
 // mergeObject merges the time-sorted group `add` (all for object id)
-// into the object's existing time-sorted slice.
+// into the object's existing time-sorted slice. The merge runs in
+// place (backward, inside the existing slice's capacity) whenever it
+// can, so steady-state ingest only allocates on amortized slice
+// growth.
 func (s *Store) mergeObject(id ObjectID, add []Rating) {
 	old := s.byObject[id]
 	// Fast path: the whole group lands at or after the current tail
@@ -135,22 +193,35 @@ func (s *Store) mergeObject(id ObjectID, add []Rating) {
 		s.byObject[id] = append(old, add...)
 		return
 	}
-	merged := make([]Rating, 0, len(old)+len(add))
-	i, j := 0, 0
-	for i < len(old) && j < len(add) {
-		// <= keeps existing ratings ahead of equal-time batch ratings,
-		// matching Add's insertion rule.
-		if old[i].Time <= add[j].Time {
-			merged = append(merged, old[i])
-			i++
+	need := len(old) + len(add)
+	dst := old
+	if cap(dst) < need {
+		// Grow like append does so merge-into-the-middle ingest keeps
+		// amortized O(1) allocations per rating.
+		newCap := 2 * cap(dst)
+		if newCap < need {
+			newCap = need
+		}
+		dst = make([]Rating, len(old), newCap)
+		copy(dst, old)
+	}
+	dst = dst[:need]
+	// Backward merge: write position k never catches the unread old
+	// tail (k = i+j+1 > i while batch ratings remain), so merging into
+	// the slice being read is safe. On time ties the batch rating is
+	// placed later, keeping existing ratings ahead of equal-time batch
+	// ratings — Add's insertion rule.
+	i, j := len(old)-1, len(add)-1
+	for k := need - 1; j >= 0; k-- {
+		if i >= 0 && dst[i].Time > add[j].Time {
+			dst[k] = dst[i]
+			i--
 		} else {
-			merged = append(merged, add[j])
-			j++
+			dst[k] = add[j]
+			j--
 		}
 	}
-	merged = append(merged, old[i:]...)
-	merged = append(merged, add[j:]...)
-	s.byObject[id] = merged
+	s.byObject[id] = dst
 }
 
 // AddAll inserts every rating, stopping at the first invalid one.

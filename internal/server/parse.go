@@ -1,23 +1,29 @@
 package server
 
-import "repro/internal/api"
+import (
+	"strconv"
+	"unsafe"
+
+	"repro/internal/api"
+)
 
 // parseRatingLine is the streaming ingest's fast path: a hand-rolled
 // parser for the overwhelmingly common line shape — a flat JSON object
 // whose keys are exactly the RatingPayload fields and whose values are
 // plain numbers. It allocates nothing and returns ok=false for
 // anything it is not certain about (escaped keys, nested values,
-// unusual number forms), in which case the caller re-parses the line
+// malformed numbers), in which case the caller re-parses the line
 // with the strict encoding/json decoder, which is authoritative for
 // both acceptance and error text.
 //
 // Certainty is the contract: the fast path must never accept a line
 // the strict decoder would reject, and every float it produces must be
 // bit-identical to encoding/json's. The latter holds because
-// parseFloatFast implements exactly the strconv fast path (exact
+// parseFloatFast either takes exactly the strconv fast path (exact
 // uint64 mantissa of at most 15 digits, decimal exponent within the
-// exactly-representable power-of-ten range) and bails to the fallback
-// otherwise.
+// exactly-representable power-of-ten range) or delegates the
+// delimited number bytes to strconv.ParseFloat — the conversion
+// encoding/json itself performs.
 func parseRatingLine(line []byte) (api.RatingPayload, bool) {
 	var p api.RatingPayload
 	i, n := skipSpace(line, 0), len(line)
@@ -188,13 +194,17 @@ var pow10 = [...]float64{
 	1e12, 1e13, 1e14, 1e15, 1e16, 1e17, 1e18, 1e19, 1e20, 1e21, 1e22,
 }
 
-// parseFloatFast reads a JSON number and converts it exactly when the
-// decimal mantissa has at most 15 significant digits and the decimal
-// exponent keeps the value within one exact power-of-ten multiply or
-// divide — the same conditions under which strconv.ParseFloat takes
-// its exact fast path, so the result is bit-identical to what
-// encoding/json would produce. Everything else returns ok=false.
+// parseFloatFast reads a JSON number. When the decimal mantissa has
+// at most 15 significant digits and the decimal exponent keeps the
+// value within one exact power-of-ten multiply or divide it converts
+// inline — the same conditions under which strconv.ParseFloat takes
+// its exact fast path. Otherwise it hands the already-delimited number
+// bytes to strconv.ParseFloat itself, which is the exact conversion
+// encoding/json performs, so either way the result is bit-identical
+// to the strict decoder's. Only syntax the strict decoder would also
+// reject returns ok=false.
 func parseFloatFast(b []byte, i int) (float64, int, bool) {
+	numStart := i
 	neg := false
 	if i < len(b) && b[i] == '-' {
 		neg = true
@@ -204,7 +214,8 @@ func parseFloatFast(b []byte, i int) (float64, int, bool) {
 	// Integer part (JSON: one leading zero, or a nonzero-led run).
 	start := i
 	var mant uint64
-	digits := 0 // significant digits accumulated into mant
+	digits := 0   // significant digits accumulated into mant
+	exact := true // mantissa (so far) fits 15 digits: inline convert OK
 	for i < len(b) && b[i] >= '0' && b[i] <= '9' {
 		if digits == 0 && b[i] == '0' && mant == 0 {
 			// Leading zeros contribute nothing; JSON validity of "00"
@@ -213,10 +224,11 @@ func parseFloatFast(b []byte, i int) (float64, int, bool) {
 			continue
 		}
 		if digits >= 15 {
-			return 0, i, false // mantissa would truncate: not exact
+			exact = false // mantissa would truncate: defer to strconv
+		} else {
+			mant = mant*10 + uint64(b[i]-'0')
+			digits++
 		}
-		mant = mant*10 + uint64(b[i]-'0')
-		digits++
 		i++
 	}
 	intDigits := i - start
@@ -240,11 +252,12 @@ func parseFloatFast(b []byte, i int) (float64, int, bool) {
 				continue
 			}
 			if digits >= 15 {
-				return 0, i, false
+				exact = false
+			} else {
+				mant = mant*10 + uint64(b[i]-'0')
+				digits++
+				exp--
 			}
-			mant = mant*10 + uint64(b[i]-'0')
-			digits++
-			exp--
 			i++
 		}
 		if i == fracStart {
@@ -263,14 +276,16 @@ func parseFloatFast(b []byte, i int) (float64, int, bool) {
 		eStart := i
 		e := 0
 		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
-			if e > 10000 {
-				return 0, i, false
+			if e <= 10000 {
+				e = e*10 + int(b[i]-'0')
 			}
-			e = e*10 + int(b[i]-'0')
 			i++
 		}
 		if i == eStart {
 			return 0, i, false
+		}
+		if e > 10000 {
+			exact = false // far out of range: strconv's ErrRange decides
 		}
 		if eneg {
 			exp -= e
@@ -279,30 +294,45 @@ func parseFloatFast(b []byte, i int) (float64, int, bool) {
 		}
 	}
 
-	// Exact conversion, mirroring strconv's fast path: the mantissa
-	// must fit the 52-bit significand and the power of ten must be one
-	// exact multiply or divide away.
-	if mant>>52 != 0 {
+	// Exact inline conversion, mirroring strconv's fast path: the
+	// mantissa must fit the 52-bit significand and the power of ten
+	// must be one exact multiply or divide away.
+	if exact && mant>>52 == 0 {
+		f := float64(mant)
+		if neg {
+			f = -f
+		}
+		switch {
+		case exp == 0:
+			return f, i, true
+		case exp > 0 && exp <= 15+22:
+			g := f
+			e := exp
+			if e > 22 {
+				g *= pow10[e-22]
+				e = 22
+			}
+			if g <= 1e15 && g >= -1e15 {
+				return g * pow10[e], i, true
+			}
+			// Rounded multiply: fall through to strconv.
+		case exp < 0 && exp >= -22:
+			return f / pow10[-exp], i, true
+		}
+	}
+
+	// High-precision tail: the number's syntax is already delimited, so
+	// hand exactly its bytes to strconv.ParseFloat — the conversion
+	// encoding/json itself uses — for a bit-identical result without
+	// re-decoding the whole line. The unsafe.String view is read-only
+	// and does not outlive the call, and the slice is non-empty (at
+	// least one digit was consumed above). A conversion error (e.g.
+	// ErrRange on a huge exponent) bails to the strict decoder, which
+	// owns the authoritative error text.
+	num := b[numStart:i]
+	f, err := strconv.ParseFloat(unsafe.String(unsafe.SliceData(num), len(num)), 64)
+	if err != nil {
 		return 0, i, false
 	}
-	f := float64(mant)
-	if neg {
-		f = -f
-	}
-	switch {
-	case exp == 0:
-		return f, i, true
-	case exp > 0 && exp <= 15+22:
-		if exp > 22 {
-			f *= pow10[exp-22]
-			exp = 22
-		}
-		if f > 1e15 || f < -1e15 {
-			return 0, i, false // rounded multiply: not exact
-		}
-		return f * pow10[exp], i, true
-	case exp < 0 && exp >= -22:
-		return f / pow10[-exp], i, true
-	}
-	return 0, i, false
+	return f, i, true
 }

@@ -1,0 +1,100 @@
+//go:build !race
+
+// The allocation budget is measured only in non-race builds: the race
+// runtime instruments allocations and would make the counts
+// meaningless. `make ci` runs the plain test pass, so the pin still
+// gates every change.
+
+package shard_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rating"
+	"repro/internal/shard"
+)
+
+// TestSubmitPathAllocsPerRating pins the whole submit path — Submit →
+// ring publish → worker drain → Engine.SubmitShard → Store merge — to
+// zero allocations per rating in steady state. Everything on the path
+// is pooled (submissions, ring slots, worker batches, store sort
+// scratch), so the only allocations left are the amortized growth of
+// per-object rating slices; the threshold leaves room for exactly
+// that and nothing more. A change that adds even one real allocation
+// per rating lands at ≥1.0 and fails loudly.
+func TestSubmitPathAllocsPerRating(t *testing.T) {
+	const (
+		shards    = 4
+		perShard  = 64
+		batchSize = perShard
+		objsPer   = 12
+		total     = shards * perShard
+	)
+	e, err := shard.NewEngine(core.Config{}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	router, err := shard.NewRouter(shard.RouterConfig{
+		Shards:    shards,
+		BatchSize: batchSize,
+		Interval:  -1, // deterministic: flushes only on size
+		Flush:     e.SubmitShard,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+
+	// Pick objsPer objects per shard so every submission delivers
+	// exactly batchSize ratings to each shard and flushes are
+	// deterministic with the ticker off.
+	objs := make([][]rating.ObjectID, shards)
+	picked := 0
+	for obj := 0; picked < shards*objsPer; obj++ {
+		s := shard.ShardFor(rating.ObjectID(obj), shards)
+		if len(objs[s]) < objsPer {
+			objs[s] = append(objs[s], rating.ObjectID(obj))
+			picked++
+		}
+	}
+
+	rs := make([]rating.Rating, total)
+	tick := 0.0
+	fill := func() {
+		k := 0
+		for s := 0; s < shards; s++ {
+			for i := 0; i < perShard; i++ {
+				tick += 1e-4
+				rs[k] = rating.Rating{
+					Rater:  rating.RaterID(k % 17),
+					Object: objs[s][i%objsPer],
+					Value:  0.5,
+					Time:   tick,
+				}
+				k++
+			}
+		}
+	}
+
+	// Warm the pools, rings, worker batches and store slices.
+	for i := 0; i < 50; i++ {
+		fill()
+		if err := router.Submit(rs); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	avg := testing.AllocsPerRun(100, func() {
+		fill()
+		if err := router.Submit(rs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perRating := avg / total
+	t.Logf("submit path: %.2f allocs/batch of %d = %.4f allocs/rating", avg, total, perRating)
+	if perRating > 0.03 {
+		t.Fatalf("submit path allocates %.4f/rating (%.1f/batch); steady state must be ~0",
+			perRating, avg)
+	}
+}

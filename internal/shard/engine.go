@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/detector"
@@ -23,15 +24,22 @@ import (
 // aggregates and detector verdicts are bit-identical for any shard
 // count.
 //
-// Locking: mutators and readers take mu.RLock plus the per-shard (or
-// trust) lock they touch; ProcessWindow and snapshot load/capture take
-// mu.Lock, so a window sees a frozen cross-shard state.
+// Locking: there is no engine-wide lock on the ingest path. The
+// states slice is immutable after construction — a snapshot pointer
+// readers load without coordination — and each shard's store is
+// guarded only by that shard's mutex (the store pointer itself swaps
+// only under it, in LoadSnapshot). Cross-shard operations that need a
+// frozen view (ProcessWindow, View, LoadSnapshot) take every shard
+// lock in ascending index order, so a window still sees a consistent
+// cross-shard state while distinct shards ingest fully in parallel
+// the rest of the time. Per-shard rating counts are mirrored in
+// atomic counters so Len/ShardLen (stats, telemetry) never touch a
+// shard lock while ingest runs.
 type Engine struct {
 	cfg  core.Config
 	pipe *core.Pipeline
 
-	mu     sync.RWMutex
-	states []*shardState
+	states []*shardState // immutable after NewEngine
 
 	trustMu sync.RWMutex
 	manager *trust.Manager
@@ -42,6 +50,7 @@ type Engine struct {
 type shardState struct {
 	mu    sync.Mutex
 	store *rating.Store
+	count atomic.Int64 // mirrors store.Len() for lock-free reads
 }
 
 // NewEngine builds an engine with the given shard count. The same
@@ -109,55 +118,66 @@ func (e *Engine) SubmitAll(rs []rating.Rating) error {
 }
 
 // SubmitShard applies one shard's batch with a single merge pass. All
-// ratings must route to shard i; misrouted ratings are rejected
-// before anything is applied (recovery relies on placement being a
-// pure function of the object ID).
+// ratings must route to shard i; misrouted or malformed ratings are
+// rejected before anything is applied (recovery relies on placement
+// being a pure function of the object ID). Validation and the
+// placement check run fused in one scan of the batch — the only
+// pre-pass on the hot path — and the store merge skips revalidation.
 func (e *Engine) SubmitShard(i int, rs []rating.Rating) error {
 	if i < 0 || i >= len(e.states) {
 		return fmt.Errorf("shard: shard %d of %d", i, len(e.states))
 	}
-	for _, r := range rs {
-		if want := e.ShardFor(r.Object); want != i {
+	n := len(e.states)
+	for k, r := range rs {
+		if err := r.Validate(); err != nil {
+			return fmt.Errorf("shard: rating %d: %w", k, err)
+		}
+		if want := ShardFor(r.Object, n); want != i {
 			return fmt.Errorf("shard: object %d routes to shard %d, not %d", r.Object, want, i)
 		}
 	}
-	e.mu.RLock()
-	defer e.mu.RUnlock()
 	st := e.states[i]
 	st.mu.Lock()
-	err := st.store.AddBatch(rs)
+	st.store.AddBatchValidated(rs)
+	st.count.Store(int64(st.store.Len()))
 	st.mu.Unlock()
-	if err != nil {
-		return fmt.Errorf("shard: %w", err)
-	}
 	e.metrics.ingested(i, len(rs))
 	return nil
 }
 
-// Len returns the total number of stored ratings across shards.
+// Len returns the total number of stored ratings across shards. It
+// reads the per-shard atomic counters, so it is safe to call from
+// stats and telemetry at any frequency while ingest runs without
+// touching a shard lock.
 func (e *Engine) Len() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	total := 0
+	total := int64(0)
 	for _, st := range e.states {
-		st.mu.Lock()
-		total += st.store.Len()
-		st.mu.Unlock()
+		total += st.count.Load()
 	}
-	return total
+	return int(total)
 }
 
-// ShardLen returns shard i's rating count.
+// ShardLen returns shard i's rating count (lock-free; see Len).
 func (e *Engine) ShardLen(i int) int {
 	if i < 0 || i >= len(e.states) {
 		return 0
 	}
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	st := e.states[i]
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	return st.store.Len()
+	return int(e.states[i].count.Load())
+}
+
+// lockAll acquires every shard lock in ascending index order — the
+// canonical order every multi-shard locker uses, so cross-shard
+// freezes never deadlock against each other.
+func (e *Engine) lockAll() {
+	for _, st := range e.states {
+		st.mu.Lock()
+	}
+}
+
+func (e *Engine) unlockAll() {
+	for _, st := range e.states {
+		st.mu.Unlock()
+	}
 }
 
 // ProcessWindow runs one maintenance pass over every shard's objects
@@ -170,8 +190,8 @@ func (e *Engine) ProcessWindow(start, end float64) (core.ProcessReport, error) {
 	if end <= start {
 		return core.ProcessReport{}, fmt.Errorf("shard: window [%g,%g)", start, end)
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.lockAll()
+	defer e.unlockAll()
 
 	var objects []rating.ObjectID
 	byObject := make(map[rating.ObjectID]*shardState)
@@ -240,8 +260,6 @@ func (e *Engine) AggregateWindow(obj rating.ObjectID, start, end float64) (core.
 }
 
 func (e *Engine) aggregate(obj rating.ObjectID, include func(rating.Rating) bool) (core.AggregateResult, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
 	st := e.states[e.ShardFor(obj)]
 	st.mu.Lock()
 	stored, err := st.store.ForObject(obj)
@@ -311,8 +329,8 @@ func (e *Engine) RecordRecommendations(about rating.RaterID, recs []trust.Recomm
 // ratings in shard order (each shard's objects in first-seen order),
 // plus every trust record.
 func (e *Engine) View() core.StateView {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.lockAll()
+	defer e.unlockAll()
 	return e.viewLocked()
 }
 
@@ -383,10 +401,11 @@ func (e *Engine) LoadSnapshot(r io.Reader) error {
 		return fmt.Errorf("shard: snapshot: %w", err)
 	}
 
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.lockAll()
+	defer e.unlockAll()
 	for i := range e.states {
 		e.states[i].store = stores[i]
+		e.states[i].count.Store(int64(stores[i].Len()))
 	}
 	e.trustMu.Lock()
 	e.manager = manager

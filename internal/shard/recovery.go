@@ -34,9 +34,7 @@ func WriteShardSnapshot(e *Engine, i int, barrierSeq uint64, w io.Writer) error 
 	if i < 0 || i >= len(e.states) {
 		return fmt.Errorf("shard: snapshot shard %d of %d", i, len(e.states))
 	}
-	e.mu.RLock()
 	view := e.shardView(i)
-	e.mu.RUnlock()
 	var state bytes.Buffer
 	if err := view.Encode(&state); err != nil {
 		return fmt.Errorf("shard: %w", err)

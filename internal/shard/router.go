@@ -3,16 +3,21 @@ package shard
 import (
 	"errors"
 	"fmt"
+	"math/bits"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/rating"
 )
 
 // FlushFunc applies one shard's coalesced batch. The router guarantees
-// every rating in rs routes to the given shard. In-process engines
-// pass Engine.SubmitShard; ratingd wraps it with a WAL append so the
-// batch is durable before it is applied.
+// every rating in rs routes to the given shard. The slice is the shard
+// worker's reusable batch buffer: it is valid only for the duration of
+// the call and must not be retained. In-process engines pass
+// Engine.SubmitShard; ratingd wraps it with a WAL append so the batch
+// is durable before it is applied.
 type FlushFunc func(shard int, rs []rating.Rating) error
 
 // ErrRouterClosed is returned by submissions to a closed router.
@@ -30,6 +35,11 @@ type RouterConfig struct {
 	// batch. Zero means 2ms; negative disables the ticker (flushes
 	// happen only on size, Flush or Close).
 	Interval time.Duration
+	// QueueDepth is the capacity, in ratings, of each shard's ingest
+	// ring (rounded up to a power of two). A full ring is backpressure:
+	// submitters park until the shard worker drains. Zero picks
+	// 4×BatchSize clamped to [1024, 65536].
+	QueueDepth int
 	// Flush applies one shard's batch.
 	Flush FlushFunc
 	// Metrics receives per-shard flush telemetry; nil disables.
@@ -43,38 +53,91 @@ func (c RouterConfig) withDefaults() RouterConfig {
 	if c.Interval == 0 {
 		c.Interval = 2 * time.Millisecond
 	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 4 * c.BatchSize
+		if c.QueueDepth < 1024 {
+			c.QueueDepth = 1024
+		}
+		if c.QueueDepth > 65536 {
+			c.QueueDepth = 65536
+		}
+	}
 	return c
 }
 
-// Router is the batching front of a sharded engine: submissions are
-// split by object shard, coalesced into per-shard batches, and
-// flushed by a per-shard worker when the batch fills or the interval
-// elapses (group commit). Submit blocks until every batch holding the
-// caller's ratings has been flushed, so acknowledgement still means
-// applied — and, when Flush appends to a WAL, durable.
+// Router is the batching front of a sharded engine: submitters write
+// each rating straight into its shard's lock-free ingest ring, and a
+// dedicated per-shard worker drains the ring into a reusable batch
+// that it flushes when the batch fills or the interval elapses (group
+// commit). Submit blocks until every shard batch holding the caller's
+// ratings has been flushed, so acknowledgement still means applied —
+// and, when Flush appends to a WAL, durable.
 //
-// The coalescing is what makes sharding pay on a single core: a
-// shard's flush applies its whole batch with one sorted merge per
-// object (Store.AddBatch), so per-rating insertion cost drops with
-// the batch size the shard accumulates.
+// There is no lock anywhere on the submit path: producers claim ring
+// slots with one CAS per rating, wake workers through a buffered
+// doorbell channel, and block only when a ring is full (backpressure)
+// or on their submission's acknowledgement. The coalescing is what
+// makes sharding pay on a single core: a shard's flush applies its
+// whole batch with one sorted merge per object (Store.AddBatch), so
+// per-rating insertion cost drops with the batch size the shard
+// accumulates.
 type Router struct {
-	cfg      RouterConfig
-	batchers []*shardBatcher
-	stop     chan struct{}
-	wg       sync.WaitGroup
+	cfg     RouterConfig
+	workers []*shardWorker
+	wg      sync.WaitGroup
 
-	mu     sync.Mutex
-	closed bool
+	// stopc is closed by Close once no producer is mid-submit, telling
+	// workers to drain their ring one final time and exit; stopped is
+	// closed after they have, releasing any Flush caller racing Close.
+	stopc   chan struct{}
+	stopped chan struct{}
+
+	// closed rejects new submissions; active counts producers inside
+	// submit. Close flips closed first, then spins until active drops
+	// to zero, so every accepted submission's ratings are in a ring —
+	// and therefore drained and acknowledged — before stopc closes.
+	closed atomic.Bool
+	active atomic.Int64
 }
 
-type shardBatcher struct {
+// submission is one Submit/SubmitAsync call's acknowledgement state:
+// pending counts ratings not yet flushed, errp latches the first flush
+// error, and done delivers the group-commit result when the last
+// rating's flush completes. Submissions are pooled; wait recycles.
+type submission struct {
+	pending atomic.Int64
+	errp    atomic.Pointer[error]
+	done    chan error
+}
+
+var submissionPool = sync.Pool{
+	New: func() any { return &submission{done: make(chan error, 1)} },
+}
+
+func (s *submission) wait() error {
+	err := <-s.done
+	submissionPool.Put(s)
+	return err
+}
+
+// shardWorker owns one shard's ingest ring and batch buffer. Only the
+// worker goroutine touches batch/subs; producers communicate through
+// the ring and the two signal channels.
+type shardWorker struct {
 	shard int
+	q     *ring
+	// bell wakes the worker to drain (capacity 1, non-blocking sends:
+	// a pending token already guarantees a wakeup).
+	bell chan struct{}
+	// space wakes one producer parked on a full ring after the worker
+	// drains (capacity 1, non-blocking sends).
+	space chan struct{}
+	// flushc carries Flush requests; the worker drains, flushes and
+	// replies with that flush's error.
+	flushc chan chan error
 
-	mu      sync.Mutex
-	pending []rating.Rating
-	waiters []chan error
-
-	kick chan struct{}
+	batch []rating.Rating
+	subs  []*submission
 }
 
 // NewRouter builds and starts the router's per-shard workers.
@@ -86,18 +149,34 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		return nil, errors.New("shard: router needs a flush function")
 	}
 	cfg = cfg.withDefaults()
-	r := &Router{cfg: cfg, stop: make(chan struct{})}
-	r.batchers = make([]*shardBatcher, cfg.Shards)
-	for i := range r.batchers {
-		b := &shardBatcher{shard: i, kick: make(chan struct{}, 1)}
-		r.batchers[i] = b
+	r := &Router{
+		cfg:     cfg,
+		stopc:   make(chan struct{}),
+		stopped: make(chan struct{}),
+	}
+	batchCap := cfg.BatchSize
+	if batchCap > 4096 {
+		batchCap = 4096
+	}
+	r.workers = make([]*shardWorker, cfg.Shards)
+	for i := range r.workers {
+		w := &shardWorker{
+			shard:  i,
+			q:      newRing(cfg.QueueDepth),
+			bell:   make(chan struct{}, 1),
+			space:  make(chan struct{}, 1),
+			flushc: make(chan chan error),
+			batch:  make([]rating.Rating, 0, batchCap),
+			subs:   make([]*submission, 0, batchCap),
+		}
+		r.workers[i] = w
 		r.wg.Add(1)
-		go r.run(b)
+		go r.runWorker(w)
 	}
 	return r, nil
 }
 
-func (r *Router) run(b *shardBatcher) {
+func (r *Router) runWorker(w *shardWorker) {
 	defer r.wg.Done()
 	var tick <-chan time.Time
 	if r.cfg.Interval > 0 {
@@ -107,42 +186,89 @@ func (r *Router) run(b *shardBatcher) {
 	}
 	for {
 		select {
-		case <-b.kick:
-			r.flush(b)
+		case <-w.bell:
+			w.drain()
+			if len(w.batch) >= r.cfg.BatchSize {
+				r.flushWorker(w)
+			}
 		case <-tick:
-			r.flush(b)
-		case <-r.stop:
-			// Drain whatever is pending so Close never strands a
-			// blocked submitter.
-			r.flush(b)
+			w.drain()
+			r.flushWorker(w)
+		case reply := <-w.flushc:
+			w.drain()
+			reply <- r.flushWorker(w)
+		case <-r.stopc:
+			// Producers have quiesced (Close waits for them before
+			// closing stopc), so one final drain empties the ring and
+			// the flush acknowledges every accepted submission.
+			w.drain()
+			r.flushWorker(w)
 			return
 		}
 	}
 }
 
-// flush applies the batcher's pending batch and wakes its waiters.
-func (r *Router) flush(b *shardBatcher) {
-	b.mu.Lock()
-	batch := b.pending
-	waiters := b.waiters
-	b.pending = nil
-	b.waiters = nil
-	b.mu.Unlock()
-	if len(batch) == 0 && len(waiters) == 0 {
-		return
+// drain moves every published ring slot into the worker's batch and,
+// if anything moved, wakes one producer that may be parked on a full
+// ring.
+func (w *shardWorker) drain() {
+	q := w.q
+	drained := false
+	for {
+		s := &q.slots[q.tail&q.mask]
+		if s.seq.Load() != q.tail+1 {
+			break
+		}
+		w.batch = append(w.batch, s.r)
+		w.subs = append(w.subs, s.sub)
+		s.sub = nil
+		s.seq.Store(q.tail + q.size)
+		q.tail++
+		drained = true
 	}
-	var err error
-	if len(batch) > 0 {
-		err = r.cfg.Flush(b.shard, batch)
-		if err != nil {
-			r.cfg.Metrics.flushFailed(b.shard)
-		} else {
-			r.cfg.Metrics.flushed(b.shard, len(batch))
+	if drained {
+		select {
+		case w.space <- struct{}{}:
+		default:
 		}
 	}
-	for _, w := range waiters {
-		w <- err
+}
+
+// flushWorker applies the worker's accumulated batch and settles each
+// member rating's submission: the first flush error is latched, and
+// whichever shard worker retires a submission's last rating delivers
+// the group-commit acknowledgement.
+func (r *Router) flushWorker(w *shardWorker) error {
+	if len(w.batch) == 0 {
+		return nil
 	}
+	err := r.cfg.Flush(w.shard, w.batch)
+	if err != nil {
+		r.cfg.Metrics.flushFailed(w.shard)
+	} else {
+		r.cfg.Metrics.flushed(w.shard, len(w.batch))
+	}
+	var box *error
+	if err != nil {
+		e := err
+		box = &e
+	}
+	for i, sub := range w.subs {
+		w.subs[i] = nil
+		if box != nil {
+			sub.errp.CompareAndSwap(nil, box)
+		}
+		if sub.pending.Add(-1) == 0 {
+			var final error
+			if p := sub.errp.Load(); p != nil {
+				final = *p
+			}
+			sub.done <- final
+		}
+	}
+	w.batch = w.batch[:0]
+	w.subs = w.subs[:0]
+	return err
 }
 
 // Submit routes the batch and blocks until every shard batch holding
@@ -152,18 +278,21 @@ func (r *Router) flush(b *shardBatcher) {
 // returned; the submission's ratings must then be treated as not
 // applied on the failed shard.
 func (r *Router) Submit(rs []rating.Rating) error {
-	wait, err := r.SubmitAsync(rs)
+	if len(rs) == 0 {
+		return nil
+	}
+	sub, err := r.submit(rs)
 	if err != nil {
 		return err
 	}
-	return wait()
+	return sub.wait()
 }
 
 // SubmitAsync routes the batch like Submit but returns immediately
 // after enqueueing, handing back a wait function that blocks until
 // every shard batch holding one of the caller's ratings has flushed
 // and returns the first flush error. The caller's slice is not
-// retained — its values are copied into per-shard groups before
+// retained — its values are copied into the shard rings before
 // SubmitAsync returns — so the caller may reuse it at once, pipelining
 // the decode of the next batch against this batch's group commit.
 // Each returned wait must be called exactly once.
@@ -171,37 +300,11 @@ func (r *Router) SubmitAsync(rs []rating.Rating) (func() error, error) {
 	if len(rs) == 0 {
 		return func() error { return nil }, nil
 	}
-	for i, rt := range rs {
-		if err := rt.Validate(); err != nil {
-			return nil, fmt.Errorf("shard: rating %d: %w", i, err)
-		}
+	sub, err := r.submit(rs)
+	if err != nil {
+		return nil, err
 	}
-	r.mu.Lock()
-	if r.closed {
-		r.mu.Unlock()
-		return nil, ErrRouterClosed
-	}
-	n := len(r.batchers)
-	groups := make(map[int][]rating.Rating)
-	for _, rt := range rs {
-		s := ShardFor(rt.Object, n)
-		groups[s] = append(groups[s], rt)
-	}
-	waits := make([]chan error, 0, len(groups))
-	for s, group := range groups {
-		waits = append(waits, r.enqueue(r.batchers[s], group))
-	}
-	r.mu.Unlock()
-
-	return func() error {
-		var first error
-		for _, w := range waits {
-			if err := <-w; err != nil && first == nil {
-				first = err
-			}
-		}
-		return first
-	}, nil
+	return sub.wait, nil
 }
 
 // SubmitOne routes a single rating.
@@ -209,23 +312,74 @@ func (r *Router) SubmitOne(rt rating.Rating) error {
 	return r.Submit([]rating.Rating{rt})
 }
 
-// enqueue appends group to the batcher and registers a waiter; a full
-// batch kicks an immediate flush. Called with r.mu held, so a closing
-// router cannot race past a submission without draining it.
-func (r *Router) enqueue(b *shardBatcher, group []rating.Rating) chan error {
-	w := make(chan error, 1)
-	b.mu.Lock()
-	b.pending = append(b.pending, group...)
-	b.waiters = append(b.waiters, w)
-	full := len(b.pending) >= r.cfg.BatchSize
-	b.mu.Unlock()
-	if full {
-		select {
-		case b.kick <- struct{}{}:
-		default:
+// submit validates rs, publishes every rating into its shard's ring
+// under a pooled submission, and rings each touched shard's doorbell.
+// The active counter brackets the ring writes so Close can wait for
+// in-flight submissions before stopping the workers: once submit
+// returns nil error, the submission's acknowledgement is guaranteed.
+func (r *Router) submit(rs []rating.Rating) (*submission, error) {
+	for i, rt := range rs {
+		if err := rt.Validate(); err != nil {
+			return nil, fmt.Errorf("shard: rating %d: %w", i, err)
 		}
 	}
-	return w
+	r.active.Add(1)
+	if r.closed.Load() {
+		r.active.Add(-1)
+		return nil, ErrRouterClosed
+	}
+	sub := submissionPool.Get().(*submission)
+	sub.errp.Store(nil)
+	sub.pending.Store(int64(len(rs)))
+	n := len(r.workers)
+	switch {
+	case n == 1:
+		w := r.workers[0]
+		for _, rt := range rs {
+			r.push(w, rt, sub)
+		}
+		ringBell(w)
+	case n <= 64:
+		// Defer doorbells to one per touched shard: a non-blocking
+		// channel send per rating would dominate the per-rating cost.
+		var touched uint64
+		for _, rt := range rs {
+			s := ShardFor(rt.Object, n)
+			r.push(r.workers[s], rt, sub)
+			touched |= 1 << uint(s)
+		}
+		for touched != 0 {
+			s := bits.TrailingZeros64(touched)
+			touched &^= 1 << uint(s)
+			ringBell(r.workers[s])
+		}
+	default:
+		for _, rt := range rs {
+			w := r.workers[ShardFor(rt.Object, n)]
+			r.push(w, rt, sub)
+			ringBell(w)
+		}
+	}
+	r.active.Add(-1)
+	return sub, nil
+}
+
+// push publishes one rating, parking on the worker's space channel
+// when the ring is full. The doorbell before parking guarantees the
+// worker will drain; the worker stays alive for as long as any
+// producer is mid-submit, so the park always resolves.
+func (r *Router) push(w *shardWorker, rt rating.Rating, sub *submission) {
+	for !w.q.push(rt, sub) {
+		ringBell(w)
+		<-w.space
+	}
+}
+
+func ringBell(w *shardWorker) {
+	select {
+	case w.bell <- struct{}{}:
+	default:
+	}
 }
 
 // Flush forces every shard's pending batch out and blocks until the
@@ -233,25 +387,24 @@ func (r *Router) enqueue(b *shardBatcher, group []rating.Rating) chan error {
 // engine state that must reflect all acknowledged-pending traffic
 // (e.g. before a maintenance window).
 func (r *Router) Flush() error {
-	r.mu.Lock()
-	if r.closed {
-		r.mu.Unlock()
+	if r.closed.Load() {
 		return ErrRouterClosed
 	}
-	waits := make([]chan error, len(r.batchers))
-	for i, b := range r.batchers {
-		waits[i] = r.enqueue(b, nil)
-	}
-	r.mu.Unlock()
-	for _, b := range r.batchers {
+	replies := make([]chan error, 0, len(r.workers))
+	for _, w := range r.workers {
+		reply := make(chan error, 1)
 		select {
-		case b.kick <- struct{}{}:
-		default:
+		case w.flushc <- reply:
+			replies = append(replies, reply)
+		case <-r.stopped:
+			// Lost the race with Close; its final drain has already
+			// flushed everything pending.
+			return ErrRouterClosed
 		}
 	}
 	var first error
-	for _, w := range waits {
-		if err := <-w; err != nil && first == nil {
+	for _, reply := range replies {
+		if err := <-reply; err != nil && first == nil {
 			first = err
 		}
 	}
@@ -261,14 +414,18 @@ func (r *Router) Flush() error {
 // Close drains pending batches, stops the workers and rejects further
 // submissions.
 func (r *Router) Close() error {
-	r.mu.Lock()
-	if r.closed {
-		r.mu.Unlock()
+	if !r.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	r.closed = true
-	r.mu.Unlock()
-	close(r.stop)
+	// Wait for in-flight submissions to finish their ring writes; the
+	// workers are still draining, so a producer parked on a full ring
+	// makes progress. Then stop the workers, whose final drain
+	// acknowledges everything accepted.
+	for r.active.Load() > 0 {
+		runtime.Gosched()
+	}
+	close(r.stopc)
 	r.wg.Wait()
+	close(r.stopped)
 	return nil
 }

@@ -112,6 +112,97 @@ func TestConcurrentSoakMatchesOracle(t *testing.T) {
 	}
 }
 
+// The shard-count sweep: the same seeded workload, submitted by
+// concurrent writers in multi-rating chunks (so single submissions
+// fan out across shards and ride different group commits), must
+// fingerprint identically to the sequential oracle at every shard
+// count. This is the lock-free ingest path's numerical-invisibility
+// gate: ring queues, per-shard workers and atomic counters may change
+// timing freely, never results.
+func TestConcurrentSoakAcrossShardCounts(t *testing.T) {
+	const (
+		writers = 6
+		chunk   = 3
+	)
+	w := shardtest.Workload{Seed: 1234, Months: 2, PerMonth: 500}
+	months := w.Generate()
+
+	oracle, err := core.NewSystem(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, month := range months {
+		if err := oracle.SubmitAll(month.Ratings); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := oracle.ProcessWindow(month.Start, month.End); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := shardtest.Fingerprint(oracle, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, shards := range []int{1, 2, 4, 8} {
+		e, err := shard.NewEngine(core.Config{}, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		router, err := shard.NewRouter(shard.RouterConfig{
+			Shards:    shards,
+			BatchSize: 48,
+			Flush:     e.SubmitShard,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for m, month := range months {
+			var wg sync.WaitGroup
+			errs := make([]error, writers)
+			for g := 0; g < writers; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := g * chunk; i < len(month.Ratings); i += writers * chunk {
+						hi := i + chunk
+						if hi > len(month.Ratings) {
+							hi = len(month.Ratings)
+						}
+						if err := router.Submit(month.Ratings[i:hi]); err != nil {
+							errs[g] = err
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			for g, err := range errs {
+				if err != nil {
+					t.Fatalf("%d shards month %d writer %d: %v", shards, m, g, err)
+				}
+			}
+			if err := router.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.ProcessWindow(month.Start, month.End); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := router.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := shardtest.Fingerprint(e, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("%d shards: concurrent soak diverges from oracle:\n%s",
+				shards, firstDiff(want, got))
+		}
+	}
+}
+
 // Concurrent readers during ingest must never trip the race detector
 // or observe torn state: aggregates, trust reads and snapshots run
 // while writers are streaming.

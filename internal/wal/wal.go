@@ -36,6 +36,7 @@ import (
 	"os"
 	"path"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/faultinject"
 	"repro/internal/rating"
@@ -148,14 +149,25 @@ type Recovery struct {
 type Log struct {
 	opts Options
 
-	mu      sync.Mutex
-	seq     int // current segment index
-	cur     faultinject.File
-	curSize int64
-	dirty   bool // bytes written since the last successful sync
-	sealed  bool // current segment had a failed append; rotate before reuse
-	closed  bool
-	buf     []byte
+	mu       sync.Mutex
+	seq      int // current segment index
+	cur      faultinject.File
+	curSize  int64
+	dirty    bool // bytes written since the last successful sync
+	sealed   bool // current segment had a failed append; rotate before reuse
+	closed   bool
+	buf      []byte
+	writeGen uint64 // generation of the latest buffered append (under mu)
+
+	// Group-commit state for AppendAllBuffered/Commit. syncMu elects
+	// one fsync leader at a time; syncedGen is the highest write
+	// generation known durable (so followers whose generation a
+	// leader's fsync already covered return without touching the file);
+	// failedGen marks generations that may have been lost when a
+	// rotation's best-effort sync of the outgoing segment failed.
+	syncMu    sync.Mutex
+	syncedGen atomic.Uint64
+	failedGen atomic.Uint64
 }
 
 const (
@@ -344,7 +356,13 @@ func (l *Log) rotate() error {
 	if l.cur != nil {
 		if l.dirty {
 			if err := l.cur.Sync(); err != nil {
+				// The outgoing segment's unsynced tail may be lost. For
+				// the synchronous append paths nothing was acknowledged
+				// yet, but buffered appends awaiting Commit must learn
+				// their records are gone: poison every generation
+				// written so far.
 				l.opts.Warnf("wal: sync on rotate: %v", err)
+				l.failedGen.Store(l.writeGen)
 			} else {
 				l.dirty = false
 			}
@@ -452,6 +470,104 @@ func (l *Log) AppendAll(recs []Record) error {
 		}
 	}
 	l.opts.Metrics.appended(len(recs))
+	return nil
+}
+
+// SyncToken identifies a buffered append for Commit. The zero token
+// commits trivially.
+type SyncToken struct {
+	gen uint64
+}
+
+// AppendAllBuffered frames every record and writes them in a single
+// Write like AppendAll, but never fsyncs — even under SyncAlways —
+// and instead returns a token for Commit. Splitting the write from
+// the sync is what enables group commit: several batches can be
+// written back to back and made durable by one fsync, whoever's
+// Commit runs first acting as the leader for all of them. On error
+// none of the records may be treated as logged.
+func (l *Log) AppendAllBuffered(recs []Record) (SyncToken, error) {
+	if len(recs) == 0 {
+		return SyncToken{}, nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return SyncToken{}, ErrClosed
+	}
+	if l.cur == nil || l.sealed || l.curSize >= l.opts.SegmentBytes {
+		if err := l.rotate(); err != nil {
+			return SyncToken{}, err
+		}
+	}
+	l.buf = l.buf[:0]
+	for _, rec := range recs {
+		l.buf = appendFrame(l.buf, rec)
+	}
+	sp := l.opts.Metrics.startAppend()
+	n, err := l.cur.Write(l.buf)
+	l.curSize += int64(n)
+	if err != nil {
+		want := l.curSize - int64(n)
+		if terr := l.cur.Truncate(want); terr == nil {
+			l.curSize = want
+		} else {
+			l.sealed = true
+		}
+		l.opts.Metrics.appendFailed()
+		return SyncToken{}, fmt.Errorf("wal: append batch: %w", err)
+	}
+	sp.End()
+	l.dirty = true
+	l.writeGen++
+	l.opts.Metrics.segment(l.seq, l.curSize)
+	l.opts.Metrics.appended(len(recs))
+	return SyncToken{gen: l.writeGen}, nil
+}
+
+// Commit makes a buffered append durable under SyncAlways: a nil
+// return means the token's records are on stable storage. Under
+// SyncInterval and SyncNever it is a no-op, preserving those
+// policies' loss windows. Concurrent commits elect one fsync leader;
+// the leader's single fsync covers every write that preceded it, and
+// the followers observe that and return without touching the file.
+func (l *Log) Commit(t SyncToken) error {
+	if t.gen == 0 || l.opts.Policy != SyncAlways {
+		return nil
+	}
+	// Fast path: a leader's fsync already covered this generation.
+	// Lost generations are checked first so they stay errors even
+	// after syncedGen advances past them.
+	if l.failedGen.Load() >= t.gen {
+		return fmt.Errorf("wal: commit: records lost in failed rotation sync")
+	}
+	if l.syncedGen.Load() >= t.gen {
+		return nil
+	}
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	if l.failedGen.Load() >= t.gen {
+		return fmt.Errorf("wal: commit: records lost in failed rotation sync")
+	}
+	if l.syncedGen.Load() >= t.gen {
+		return nil
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	cover := l.writeGen
+	failed := l.failedGen.Load()
+	err := l.syncLocked()
+	l.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if failed >= t.gen {
+		return fmt.Errorf("wal: commit: records lost in failed rotation sync")
+	}
+	l.syncedGen.Store(cover)
 	return nil
 }
 
