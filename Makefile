@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-soak bench bench-quick allocs profile fuzz chaos contract ci artifacts benchreport clean
+.PHONY: all build vet test race race-soak bench bench-quick allocs profile fuzz chaos chaos-repl contract ci artifacts benchreport clean
 
 # Committed shard-scaling floor for `make bench-quick`: the 4-shard
 # batching win measured for BENCH_6 sits at ~4x on the reference box;
@@ -47,7 +47,7 @@ bench:
 # regresses below MIN_SPEEDUP4.
 bench-quick:
 	$(GO) run ./cmd/benchreport -run tab1 -walrecords 0 -telemetryreps 0 \
-		-servingratings 0 -minspeedup4 $(MIN_SPEEDUP4) -out /dev/null
+		-servingratings 0 -replratings 0 -minspeedup4 $(MIN_SPEEDUP4) -out /dev/null
 
 # allocs runs the steady-state allocation pins (testing.AllocsPerRun),
 # which only exist in non-race builds — the race runtime's bookkeeping
@@ -90,6 +90,7 @@ ci:
 	$(MAKE) contract
 	$(GO) test -run=NONE -bench=BenchmarkTab1 -benchtime=1x .
 	$(MAKE) chaos
+	$(MAKE) chaos-repl
 	$(MAKE) bench-quick
 
 # contract replays the checked-in wire-contract fixtures: every v1
@@ -110,11 +111,22 @@ chaos:
 		-run 'Chaos|Crash|Torn|Recover|Fault|Inject|Durab|Overload' \
 		./internal/wal/ ./internal/faultinject/ ./cmd/ratingd/ ./internal/server/
 
+# chaos-repl soaks the replication path under the race detector:
+# primary killed mid-batch (promotion must lose zero acked records),
+# follower killed mid-snapshot-bootstrap (partial snapshot must never
+# touch the engine; the re-bootstrap must converge), a flapping stream
+# proxy (>= 20 severs/garbles; every flap must re-converge to lag 0
+# with resyncs observed), plus the daemon-level failover wiring
+# (replica gate, manual and primary-death promotion).
+chaos-repl:
+	$(GO) test -race -count=1 -run 'TestChaosRepl|TestTwoNodeConformance|TestFollowerBootstrap' ./internal/repl/
+	$(GO) test -race -count=1 -run 'TestDaemonFollower|TestDaemonAutoPromote' ./cmd/ratingd/
+
 artifacts:
 	$(GO) run ./cmd/experiments -run all -mode full -csv artifacts/
 
 benchreport:
-	$(GO) run ./cmd/benchreport -out BENCH_6.json
+	$(GO) run ./cmd/benchreport -out BENCH_7.json
 
 clean:
 	rm -rf artifacts/

@@ -20,10 +20,15 @@
 // shards, and the report records the 4-shard speedup over the
 // single-shard baseline (target: at least 1.5x).
 //
-// Finally it measures the HTTP serving layer: NDJSON streaming ingest
+// It also measures the HTTP serving layer: NDJSON streaming ingest
 // against chunked unary POSTs at 4 shards (target: at least 2x), and
 // the read cache against aggregate recomputation (target: at least
 // 5x, with a byte-identical conformance gate before timing).
+//
+// Finally it measures WAL replication: a live follower's catch-up
+// throughput over the long-poll NDJSON stream, and its steady-state
+// lag percentiles (records and seconds) while the primary ingests
+// paced batches.
 //
 //	benchreport                      # all experiments -> BENCH_5.json
 //	benchreport -run tab1 -out -     # one experiment  -> stdout
@@ -55,16 +60,17 @@ import (
 
 // Report is the top-level JSON document.
 type Report struct {
-	GoVersion   string            `json:"go_version"`
-	GOMAXPROCS  int               `json:"gomaxprocs"`
-	Workers     int               `json:"workers"`
-	Mode        string            `json:"mode"`
-	Seed        int64             `json:"seed"`
+	GoVersion   string             `json:"go_version"`
+	GOMAXPROCS  int                `json:"gomaxprocs"`
+	Workers     int                `json:"workers"`
+	Mode        string             `json:"mode"`
+	Seed        int64              `json:"seed"`
 	Experiments []ExperimentStats  `json:"experiments"`
 	WALReplay   *WALReplayStats    `json:"wal_replay,omitempty"`
 	Telemetry   *TelemetryStats    `json:"telemetry_overhead,omitempty"`
 	ShardScale  *ShardScalingStats `json:"shard_scaling,omitempty"`
 	Serving     *ServingStats      `json:"serving,omitempty"`
+	Replication *ReplicationStats  `json:"replication,omitempty"`
 	TotalWallNS int64              `json:"total_wall_ns"`
 }
 
@@ -131,14 +137,15 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
 	var (
-		runID   = fs.String("run", "all", "experiment ID to measure, or \"all\"")
-		seed    = fs.Int64("seed", 1, "top-level random seed")
-		workers = fs.Int("workers", 0, "Monte-Carlo worker goroutines (0 = GOMAXPROCS)")
+		runID      = fs.String("run", "all", "experiment ID to measure, or \"all\"")
+		seed       = fs.Int64("seed", 1, "top-level random seed")
+		workers    = fs.Int("workers", 0, "Monte-Carlo worker goroutines (0 = GOMAXPROCS)")
 		out        = fs.String("out", "BENCH_6.json", "output path, or \"-\" for stdout")
 		walRecs    = fs.Int("walrecords", 50000, "WAL records for the recovery-replay benchmark (0 skips it)")
 		telReps    = fs.Int("telemetryreps", 20, "ProcessWindow repetitions for the telemetry-overhead benchmark (0 skips it)")
 		shardRecs  = fs.Int("shardratings", 480000, "ratings for the shard-scaling ingest benchmark (0 skips it)")
 		serveRecs  = fs.Int("servingratings", 240000, "ratings for the HTTP serving benchmark (0 skips it)")
+		replRecs   = fs.Int("replratings", 120000, "ratings for the replication catch-up/lag benchmark (0 skips it)")
 		minSpeed4  = fs.Float64("minspeedup4", 0, "fail unless shard_scaling.speedup_at_4 reaches this floor (0 disables)")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the measured sections to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile (after a final GC) to this file")
@@ -244,6 +251,20 @@ func run(args []string, stdout io.Writer) error {
 				return fmt.Errorf("serving: %w", err)
 			}
 			report.Serving = &stats
+			report.TotalWallNS += stats.WallNS
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+
+	if *replRecs > 0 {
+		if err := atNumCPU(func() error {
+			stats, err := measureReplication(*replRecs, *seed)
+			if err != nil {
+				return fmt.Errorf("replication: %w", err)
+			}
+			report.Replication = &stats
 			report.TotalWallNS += stats.WallNS
 			return nil
 		}); err != nil {

@@ -13,7 +13,7 @@ import (
 
 func TestSingleExperimentToStdout(t *testing.T) {
 	var buf strings.Builder
-	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "0", "-telemetryreps", "0", "-shardratings", "0", "-servingratings", "0"}, &buf); err != nil {
+	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "0", "-telemetryreps", "0", "-shardratings", "0", "-servingratings", "0", "-replratings", "0"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	var rep Report
@@ -37,7 +37,7 @@ func TestSingleExperimentToStdout(t *testing.T) {
 
 func TestWALReplayStats(t *testing.T) {
 	var buf strings.Builder
-	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "2000", "-telemetryreps", "0", "-shardratings", "0", "-servingratings", "0"}, &buf); err != nil {
+	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "2000", "-telemetryreps", "0", "-shardratings", "0", "-servingratings", "0", "-replratings", "0"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	var rep Report
@@ -58,7 +58,7 @@ func TestWALReplayStats(t *testing.T) {
 
 func TestWritesFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_test.json")
-	if err := run([]string{"-run", "fig2", "-out", path, "-workers", "2", "-telemetryreps", "0", "-shardratings", "0", "-servingratings", "0"}, io.Discard); err != nil {
+	if err := run([]string{"-run", "fig2", "-out", path, "-workers", "2", "-telemetryreps", "0", "-shardratings", "0", "-servingratings", "0", "-replratings", "0"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -99,7 +99,7 @@ func TestAllCoversRegistry(t *testing.T) {
 
 func TestShardScalingStats(t *testing.T) {
 	var buf strings.Builder
-	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "0", "-telemetryreps", "0", "-shardratings", "4000", "-servingratings", "0"}, &buf); err != nil {
+	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "0", "-telemetryreps", "0", "-shardratings", "4000", "-servingratings", "0", "-replratings", "0"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	var rep Report
@@ -131,7 +131,7 @@ func TestShardScalingStats(t *testing.T) {
 
 func TestServingStats(t *testing.T) {
 	var buf strings.Builder
-	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "0", "-telemetryreps", "0", "-shardratings", "0", "-servingratings", "600"}, &buf); err != nil {
+	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "0", "-telemetryreps", "0", "-shardratings", "0", "-servingratings", "600", "-replratings", "0"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	var rep Report
@@ -158,6 +158,33 @@ func TestServingStats(t *testing.T) {
 	}
 }
 
+func TestReplicationStats(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "0", "-telemetryreps", "0", "-shardratings", "0", "-servingratings", "0", "-replratings", "800"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal([]byte(buf.String()), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	r := rep.Replication
+	if r == nil {
+		t.Fatal("replication missing from report")
+	}
+	if r.Ratings != 800 || r.Shards <= 0 || r.CatchupWallNS <= 0 || r.CatchupRecsPerSec <= 0 {
+		t.Fatalf("degenerate catch-up stats: %+v", r)
+	}
+	// Throughput targets need benchmark-size workloads; here the
+	// load-bearing assertions are that the follower really converged
+	// (measureReplication fails otherwise) and that lag was sampled.
+	if r.SteadyLagSamples <= 0 {
+		t.Fatalf("no steady-state lag samples: %+v", r)
+	}
+	if rep.TotalWallNS != rep.Experiments[0].WallNS+r.WallNS {
+		t.Fatalf("total %d does not include replication %d", rep.TotalWallNS, r.WallNS)
+	}
+}
+
 func TestUnknownExperiment(t *testing.T) {
 	if err := run([]string{"-run", "fig99", "-out", "-"}, io.Discard); err == nil {
 		t.Fatal("unknown experiment accepted")
@@ -166,7 +193,7 @@ func TestUnknownExperiment(t *testing.T) {
 
 func TestTelemetryOverheadStats(t *testing.T) {
 	var buf strings.Builder
-	if err := run([]string{"-run", "fig2", "-out", "-", "-walrecords", "0", "-telemetryreps", "3", "-shardratings", "0", "-servingratings", "0"}, &buf); err != nil {
+	if err := run([]string{"-run", "fig2", "-out", "-", "-walrecords", "0", "-telemetryreps", "3", "-shardratings", "0", "-servingratings", "0", "-replratings", "0"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	var rep Report

@@ -35,6 +35,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -42,6 +43,7 @@ import (
 	"repro/internal/detector"
 	"repro/internal/faultinject"
 	"repro/internal/parallel"
+	"repro/internal/repl"
 	"repro/internal/server"
 	"repro/internal/shard"
 	"repro/internal/telemetry"
@@ -88,11 +90,21 @@ func run(args []string) (retErr error) {
 		admitWait   = fs.Duration("admit-wait", 250*time.Millisecond, "longest a queued mutating request waits for a slot before a 429 shed")
 		admitRetry  = fs.Duration("admit-retry-after", 0, "Retry-After hint on shed responses; 0 derives it from -admit-wait")
 
+		follow        = fs.String("follow", "", "run as a bounded-staleness read replica of this primary base URL")
+		maxLag        = fs.Duration("max-lag", 0, "replica: refuse reads (typed 503 replica_stale) once replicated state is older than this; 0 disables")
+		maxLagRecords = fs.Uint64("max-lag-records", 0, "replica: refuse reads once this many records behind the primary; 0 disables")
+		promoteAfter  = fs.Duration("promote-after", 0, "replica: self-promote to primary once the primary has been silent this long; 0 disables")
+		promoteURL    = fs.String("promote", "", "one-shot: promote the ratingd follower at this base URL to primary, then exit")
+		replSeed      = fs.Int64("repl-seed", 0, "replica: reconnect-jitter seed; 0 derives one from the clock so identically-launched followers still diverge")
+
 		pprofOn           = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 		telemetryInterval = fs.Duration("telemetry-interval", 0, "print a summary line to stderr at this cadence; 0 disables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *promoteURL != "" {
+		return promoteRemote(*promoteURL)
 	}
 
 	var policy wal.SyncPolicy
@@ -143,17 +155,51 @@ func run(args []string) (retErr error) {
 	usingWAL := *walDir != ""
 
 	var (
-		backend   server.Backend
-		journal   daemonJournal
-		router    *shard.Router
-		recovered bool
+		backend      server.Backend
+		journal      daemonJournal
+		router       *shard.Router
+		recovered    bool
+		followEngine *shard.Engine  // non-nil in -follow mode
+		shardMetrics *shard.Metrics // non-nil whenever the engine backend is used
+		walEpoch     int            // live manifest epoch in sharded-WAL mode
+		walLogs      []*wal.Log     // per-shard logs in sharded-WAL mode
 	)
-	if *shards > 1 {
+	shardEngineBackend, err := useShardEngine(*shards, *walDir)
+	if err != nil {
+		return err
+	}
+	if *follow != "" {
+		// Follower: the primary is authoritative, so nothing local is
+		// recovered and no journal is installed — the replica gate
+		// refuses mutations before they could want one. The engine
+		// backend is used at any -shards count (shard.Recover remaps
+		// replicated state by hash, so the counts need not match the
+		// primary's).
+		if *snapshot != "" {
+			return fmt.Errorf("-snapshot cannot seed a follower; state replicates from %s", *follow)
+		}
 		engine, err := shard.NewEngine(cfg, *shards)
 		if err != nil {
 			return err
 		}
-		shardMetrics := shard.NewMetrics(reg, *shards)
+		shardMetrics = shard.NewMetrics(reg, *shards)
+		engine.SetMetrics(shardMetrics)
+		backend = engine
+		followEngine = engine
+		if usingWAL {
+			if m, ok, err := readManifest(*walDir); err != nil {
+				return err
+			} else if ok {
+				warnf("wal: %s holds epoch %d (%d shards); it stays untouched while following %s and is superseded at promotion",
+					*walDir, m.Epoch, m.Shards, *follow)
+			}
+		}
+	} else if shardEngineBackend {
+		engine, err := shard.NewEngine(cfg, *shards)
+		if err != nil {
+			return err
+		}
+		shardMetrics = shard.NewMetrics(reg, *shards)
 		engine.SetMetrics(shardMetrics)
 		backend = engine
 
@@ -173,6 +219,8 @@ func run(args []string) (retErr error) {
 			sj.logs = ws.logs
 			sj.seq = ws.seq
 			recovered = ws.recovered
+			walEpoch = ws.epoch
+			walLogs = ws.logs
 		}
 		// The router fronts the journal even without a WAL: batching is
 		// what amortizes per-submission store merges across shards.
@@ -265,6 +313,61 @@ func run(args []string) (retErr error) {
 	}
 	registerTrustMetrics(reg, srv.System())
 
+	// Replication wiring: either a follower node (replica gate plus
+	// in-place promotion) or, on a sharded-WAL primary, the
+	// stream/snapshot/status endpoints followers replicate from.
+	var (
+		node        *replNode
+		replPrimary *repl.Primary
+	)
+	if *follow != "" {
+		replMetrics := repl.NewMetrics(reg)
+		seed := *replSeed
+		if seed == 0 {
+			seed = time.Now().UnixNano()
+		}
+		primaryURL := strings.TrimRight(*follow, "/")
+		follower := repl.NewFollower(repl.FollowerConfig{
+			PrimaryURL: primaryURL,
+			Engine:     followEngine,
+			Metrics:    replMetrics,
+			Seed:       seed,
+			OnApply:    srv.InvalidateRatings,
+			OnWindow:   srv.InvalidateAll,
+			Warnf:      warnf,
+		})
+		node = newReplNode(replNodeConfig{
+			Follower:      follower,
+			Server:        srv,
+			Engine:        followEngine,
+			Metrics:       replMetrics,
+			PrimaryURL:    primaryURL,
+			WALDir:        *walDir,
+			MkOpts:        mkWALOpts,
+			BatchSize:     *batchSize,
+			BatchInterval: *batchInterval,
+			ShardMetrics:  shardMetrics,
+			MaxLagRecords: *maxLagRecords,
+			MaxLagSeconds: maxLag.Seconds(),
+			Warnf:         warnf,
+		})
+		srv.SetReplica(node.replicaInfo())
+		go func() { _ = follower.Run(context.Background()) }()
+		defer func() {
+			if err := node.close(); err != nil {
+				retErr = errors.Join(retErr, err)
+			}
+		}()
+		fmt.Printf("following %s (max lag: %d records / %s)\n", primaryURL, *maxLagRecords, *maxLag)
+	} else if *shards > 1 && usingWAL {
+		replPrimary = repl.NewPrimary(repl.PrimaryConfig{
+			Epoch:   walEpoch,
+			Logs:    walLogs,
+			Journal: journal.(*shardJournal),
+			Metrics: repl.NewMetrics(reg),
+		})
+	}
+
 	// A -snapshot file seeds state only when the WAL recovered
 	// nothing (or the WAL is off); otherwise the WAL is authoritative.
 	if *snapshot != "" && !recovered {
@@ -283,7 +386,7 @@ func run(args []string) (retErr error) {
 			fmt.Printf("state saved to %s\n", *snapshot)
 		}()
 	}
-	if usingWAL {
+	if usingWAL && journal != nil {
 		// Make the recovered + seeded state the log's baseline so a
 		// crash before the first background snapshot replays little.
 		defer func() {
@@ -300,7 +403,10 @@ func run(args []string) (retErr error) {
 	// snapshot+compaction.
 	bg := make(chan struct{})
 	defer close(bg)
-	if usingWAL && policy == wal.SyncInterval && *fsyncInterval > 0 {
+	if node != nil && *promoteAfter > 0 {
+		go node.deathWatch(bg, *promoteAfter)
+	}
+	if usingWAL && journal != nil && policy == wal.SyncInterval && *fsyncInterval > 0 {
 		go func() {
 			t := time.NewTicker(*fsyncInterval)
 			defer t.Stop()
@@ -316,7 +422,7 @@ func run(args []string) (retErr error) {
 			}
 		}()
 	}
-	if usingWAL && *snapEvery > 0 {
+	if usingWAL && journal != nil && *snapEvery > 0 {
 		go func() {
 			t := time.NewTicker(*snapEvery)
 			defer t.Stop()
@@ -348,9 +454,17 @@ func run(args []string) (retErr error) {
 		go summaryLoop(bg, *telemetryInterval, reg, srv.System(), started)
 	}
 
+	var mountRepl func(*http.ServeMux)
+	switch {
+	case node != nil:
+		mountRepl = node.routes
+	case replPrimary != nil:
+		mountRepl = replPrimary.Routes
+	}
+
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           telemetryMux(srv, reg, *pprofOn),
+		Handler:           telemetryMux(srv, reg, *pprofOn, mountRepl),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       15 * time.Second,
 		WriteTimeout:      60 * time.Second,

@@ -1,0 +1,326 @@
+package main
+
+// Replication role wiring. A -follow daemon starts as a
+// bounded-staleness read replica of its primary and can flip — once,
+// in place, without restarting — into a primary: on demand (POST
+// /v1/repl/promote, or the `ratingd -promote <url>` one-shot) or
+// automatically when the primary has been silent past -promote-after.
+// Promotion truncates to the follower's last complete barrier (the
+// follower drops pending barriers rather than half-applying them) and
+// commits that state as a fresh WAL epoch through the same manifest
+// machinery shard-count migrations use, so the new primary can
+// immediately serve bootstraps and streams to surviving followers.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/repl"
+	"repro/internal/server"
+	"repro/internal/shard"
+	"repro/internal/wal"
+)
+
+// replNodeConfig carries everything promotion needs from run()'s flag
+// set, captured up front so the flip never blocks on missing wiring.
+type replNodeConfig struct {
+	Follower   *repl.Follower
+	Server     *server.Server
+	Engine     *shard.Engine
+	Metrics    *repl.Metrics
+	PrimaryURL string
+	// WALDir is where promotion commits the new epoch; empty promotes
+	// without durability (and without serving replication onward).
+	WALDir string
+	MkOpts func(dir string) wal.Options
+	// Router shape for the promoted journal, mirroring primary mode.
+	BatchSize     int
+	BatchInterval time.Duration
+	ShardMetrics  *shard.Metrics
+	// Staleness bounds enforced by the server's replica gate.
+	MaxLagRecords uint64
+	MaxLagSeconds float64
+	Warnf         func(string, ...any)
+}
+
+// replNode owns the daemon's replication role and its /v1/repl routes.
+type replNode struct {
+	cfg replNodeConfig
+
+	mu       sync.Mutex
+	promoted bool
+	epoch    int
+	journal  *shardJournal
+	router   *shard.Router
+	primMux  *http.ServeMux // promoted primary's repl routes; nil without a WAL
+}
+
+func newReplNode(cfg replNodeConfig) *replNode {
+	if cfg.Warnf == nil {
+		cfg.Warnf = func(string, ...any) {}
+	}
+	return &replNode{cfg: cfg}
+}
+
+// replicaInfo is the server's per-request staleness sample while the
+// node serves as a replica; promotion clears the marker so this stops
+// being consulted.
+func (n *replNode) replicaInfo() func() server.ReplicaInfo {
+	return func() server.ReplicaInfo {
+		records, seconds, ok := n.cfg.Follower.Lag()
+		return server.ReplicaInfo{
+			Primary:       n.cfg.PrimaryURL,
+			Ready:         ok,
+			LagRecords:    records,
+			LagSeconds:    seconds,
+			MaxLagRecords: n.cfg.MaxLagRecords,
+			MaxLagSeconds: n.cfg.MaxLagSeconds,
+		}
+	}
+}
+
+// routes mounts the follower-role replication endpoints on the daemon
+// mux. Stream and snapshot answer not_primary until promotion, then
+// delegate to the promoted primary's handlers.
+func (n *replNode) routes(mux *http.ServeMux) {
+	mux.HandleFunc("GET /v1/repl/status", n.handleStatus)
+	mux.HandleFunc("GET /v1/repl/stream", n.handleReplicated)
+	mux.HandleFunc("GET /v1/repl/snapshot", n.handleReplicated)
+	mux.HandleFunc("POST /v1/repl/promote", n.handlePromote)
+}
+
+func (n *replNode) handleStatus(w http.ResponseWriter, r *http.Request) {
+	n.mu.Lock()
+	promoted, primMux := n.promoted, n.primMux
+	n.mu.Unlock()
+	if !promoted {
+		writeJSON(w, http.StatusOK, n.cfg.Follower.Status())
+		return
+	}
+	if primMux != nil {
+		primMux.ServeHTTP(w, r)
+		return
+	}
+	n.mu.Lock()
+	st := n.statusLocked()
+	n.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (n *replNode) handleReplicated(w http.ResponseWriter, r *http.Request) {
+	n.mu.Lock()
+	promoted, primMux := n.promoted, n.primMux
+	n.mu.Unlock()
+	if primMux != nil {
+		primMux.ServeHTTP(w, r)
+		return
+	}
+	if promoted {
+		writeJSON(w, http.StatusServiceUnavailable, &api.Error{
+			Code:    api.CodeUnavailable,
+			Message: "promoted without -wal; this primary cannot serve replication",
+		})
+		return
+	}
+	writeJSON(w, http.StatusMisdirectedRequest, &api.Error{
+		Code:    api.CodeNotPrimary,
+		Message: "this node is a follower; replicate from the primary",
+		Primary: n.cfg.PrimaryURL,
+	})
+}
+
+func (n *replNode) handlePromote(w http.ResponseWriter, r *http.Request) {
+	st, err := n.promote("requested via POST /v1/repl/promote")
+	if err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, &api.Error{
+			Code: api.CodeUnavailable, Message: err.Error(),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// statusLocked reports the promoted role; before promotion the
+// follower's own Status is authoritative.
+func (n *replNode) statusLocked() api.ReplStatusResponse {
+	st := api.ReplStatusResponse{
+		Role:       api.RolePrimary,
+		Epoch:      n.epoch,
+		Shards:     n.cfg.Engine.Shards(),
+		BarrierSeq: n.journal.NextBarrierSeq() - 1,
+	}
+	for i, l := range n.journal.logs {
+		tail := l.Tail()
+		st.Cursors = append(st.Cursors, api.ReplCursor{
+			Shard: i, Seg: tail.Seg, Off: tail.Off, Records: l.AppendedRecords(),
+		})
+	}
+	return st
+}
+
+func (n *replNode) isPromoted() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.promoted
+}
+
+// promote flips the node into a primary. Idempotent: a second call
+// (operator race, death watch firing behind a manual promote) returns
+// the promoted status without re-running the flip.
+func (n *replNode) promote(why string) (api.ReplStatusResponse, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.promoted {
+		return n.statusLocked(), nil
+	}
+	n.cfg.Warnf("repl: promoting to primary: %s", why)
+
+	// Stop replication; the engine is left at the last complete
+	// barrier plus fully-applied batches, never a half-applied window.
+	seq := n.cfg.Follower.Promote()
+	epoch := n.cfg.Follower.Epoch() + 1
+
+	sj := newShardJournal(n.cfg.Engine, nil, seq)
+	if n.cfg.WALDir != "" {
+		if err := os.MkdirAll(n.cfg.WALDir, 0o755); err != nil {
+			return api.ReplStatusResponse{}, err
+		}
+		// Never reuse an epoch a stale local manifest already names —
+		// a follower re-pointed here before promotion may have left one.
+		if m, ok, err := readManifest(n.cfg.WALDir); err == nil && ok && m.Epoch >= epoch {
+			epoch = m.Epoch + 1
+		}
+		w, err := migrateToEpoch(n.cfg.WALDir, epoch, n.cfg.Engine.Shards(), n.cfg.Engine, seq, n.cfg.MkOpts)
+		if err != nil {
+			return api.ReplStatusResponse{}, fmt.Errorf("commit promoted epoch %d: %w", epoch, err)
+		}
+		sj.logs = w.logs
+	}
+	router, err := shard.NewRouter(shard.RouterConfig{
+		Shards:    n.cfg.Engine.Shards(),
+		BatchSize: n.cfg.BatchSize,
+		Interval:  n.cfg.BatchInterval,
+		Flush:     sj.flush,
+		Metrics:   n.cfg.ShardMetrics,
+	})
+	if err != nil {
+		closeLogSet(sj.logs)
+		return api.ReplStatusResponse{}, err
+	}
+	sj.router = router
+	n.journal, n.router, n.epoch = sj, router, epoch
+	if sj.logs != nil {
+		p := repl.NewPrimary(repl.PrimaryConfig{
+			Epoch: epoch, Logs: sj.logs, Journal: sj, Metrics: n.cfg.Metrics,
+		})
+		n.primMux = http.NewServeMux()
+		p.Routes(n.primMux)
+	}
+	// Flip the serving layer: install the journal first so the very
+	// next request admitted past the cleared gate writes through it.
+	n.cfg.Server.SetJournal(sj)
+	n.cfg.Server.SetReplica(nil)
+	n.promoted = true
+	n.cfg.Warnf("repl: promoted to primary (epoch %d, next barrier %d)", epoch, seq)
+	return n.statusLocked(), nil
+}
+
+// deathWatch promotes the node once the primary has been silent past
+// `after`. It only fires on a bootstrapped follower — promoting a
+// replica that never reached its primary would crown an empty store.
+func (n *replNode) deathWatch(done <-chan struct{}, after time.Duration) {
+	tick := after / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-t.C:
+			if n.isPromoted() {
+				return
+			}
+			lc := n.cfg.Follower.LastContact()
+			if lc.IsZero() || time.Since(lc) < after {
+				continue
+			}
+			if _, err := n.promote(fmt.Sprintf("primary silent %s, past -promote-after %s",
+				time.Since(lc).Round(time.Millisecond), after)); err != nil {
+				n.cfg.Warnf("repl: auto-promotion failed: %v", err)
+			}
+			return
+		}
+	}
+}
+
+// close stops replication — or, on a promoted node, drains the
+// promoted journal, rebases its logs, and closes them — at shutdown.
+func (n *replNode) close() error {
+	n.cfg.Follower.Stop()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.promoted {
+		return nil
+	}
+	var errs []error
+	if err := n.router.Close(); err != nil {
+		errs = append(errs, fmt.Errorf("close promoted router: %w", err))
+	}
+	if n.journal.logs != nil {
+		if err := n.journal.Snapshot(); err != nil {
+			errs = append(errs, fmt.Errorf("final promoted snapshot: %w", err))
+		}
+		for i, l := range n.journal.logs {
+			if err := l.Close(); err != nil && !errors.Is(err, wal.ErrClosed) {
+				errs = append(errs, fmt.Errorf("close promoted shard %d wal: %w", i, err))
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// promoteRemote is the `ratingd -promote <url>` one-shot: ask the
+// daemon at base to promote, print the resulting role, exit.
+func promoteRemote(base string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimRight(base, "/")+"/v1/repl/promote", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 2048))
+		return fmt.Errorf("promote %s: status %d: %s", base, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	var st api.ReplStatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return fmt.Errorf("promote %s: decode response: %w", base, err)
+	}
+	fmt.Printf("promoted: role=%s epoch=%d shards=%d barrier=%d\n",
+		st.Role, st.Epoch, st.Shards, st.BarrierSeq)
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

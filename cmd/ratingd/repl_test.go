@@ -1,0 +1,274 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/repl"
+	"repro/internal/server"
+	"repro/internal/shard"
+	"repro/internal/telemetry"
+)
+
+// primaryDaemon assembles the primary exactly the way run() does:
+// engine + sharded WAL + shardJournal + router + server, with the
+// replication endpoints mounted on the daemon mux.
+type primaryDaemon struct {
+	ts      *httptest.Server
+	journal *shardJournal
+}
+
+func startPrimaryDaemon(t *testing.T, shards int) *primaryDaemon {
+	t.Helper()
+	engine, err := shard.NewEngine(core.Config{}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := openShardWALs(t.TempDir(), shards, engine, testWALOpts, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { closeLogSet(ws.logs) })
+	sj := newShardJournal(engine, ws.logs, ws.seq)
+	router, err := shard.NewRouter(shard.RouterConfig{
+		Shards: shards, BatchSize: 64, Interval: time.Millisecond, Flush: sj.flush,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { router.Close() })
+	sj.router = router
+	srv, err := server.NewWith(engine, server.WithJournal(sj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := repl.NewPrimary(repl.PrimaryConfig{
+		Epoch: ws.epoch, Logs: ws.logs, Journal: sj,
+		LongPoll: time.Second, Poll: time.Millisecond, Heartbeat: 20 * time.Millisecond,
+	})
+	ts := httptest.NewServer(telemetryMux(srv, telemetry.NewRegistry(), false, p.Routes))
+	t.Cleanup(ts.Close)
+	return &primaryDaemon{ts: ts, journal: sj}
+}
+
+// followerDaemon assembles the follower the way run() does in -follow
+// mode: engine backend, no journal, replica gate sampling the
+// follower's lag, and the replNode routes on the daemon mux.
+type followerDaemon struct {
+	ts     *httptest.Server
+	node   *replNode
+	walDir string
+}
+
+func startFollowerDaemon(t *testing.T, primaryURL string, shards int) *followerDaemon {
+	t.Helper()
+	engine, err := shard.NewEngine(core.Config{}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.NewWith(engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	follower := repl.NewFollower(repl.FollowerConfig{
+		PrimaryURL:   primaryURL,
+		Engine:       engine,
+		Seed:         7,
+		ReconnectMin: 2 * time.Millisecond,
+		ReconnectMax: 50 * time.Millisecond,
+		FrameTimeout: 2 * time.Second,
+		OnApply:      srv.InvalidateRatings,
+		OnWindow:     func() { srv.InvalidateAll() },
+		Warnf:        t.Logf,
+	})
+	walDir := t.TempDir()
+	node := newReplNode(replNodeConfig{
+		Follower:      follower,
+		Server:        srv,
+		Engine:        engine,
+		PrimaryURL:    primaryURL,
+		WALDir:        walDir,
+		MkOpts:        testWALOpts,
+		BatchSize:     64,
+		BatchInterval: time.Millisecond,
+		MaxLagRecords: 10_000,
+		Warnf:         t.Logf,
+	})
+	srv.SetReplica(node.replicaInfo())
+	runDone := make(chan struct{})
+	go func() { defer close(runDone); _ = follower.Run(context.Background()) }()
+	t.Cleanup(func() {
+		if err := node.close(); err != nil {
+			t.Errorf("node close: %v", err)
+		}
+		<-runDone
+	})
+	ts := httptest.NewServer(telemetryMux(srv, telemetry.NewRegistry(), false, node.routes))
+	t.Cleanup(ts.Close)
+	return &followerDaemon{ts: ts, node: node, walDir: walDir}
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	res, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	return res, data
+}
+
+func getBody(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	res, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	return res, data
+}
+
+func replStatus(t *testing.T, base string) api.ReplStatusResponse {
+	t.Helper()
+	res, data := getBody(t, base+"/v1/repl/status")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("repl status: %d %s", res.StatusCode, data)
+	}
+	var st api.ReplStatusResponse
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatalf("repl status decode: %v (%s)", err, data)
+	}
+	return st
+}
+
+func waitDaemon(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// The full daemon story end to end: a follower replicates a sharded-
+// WAL primary, serves byte-identical lag-stamped reads, refuses writes
+// with a redirect to the primary, and — promoted via the one-shot
+// client — commits a fresh WAL epoch and starts accepting writes.
+func TestDaemonFollowerServesAndPromotes(t *testing.T) {
+	p := startPrimaryDaemon(t, 2)
+
+	var batch []string
+	for i := 0; i < 20; i++ {
+		batch = append(batch, fmt.Sprintf(`{"rater":%d,"object":%d,"value":%g,"time":%g}`,
+			i%5+1, i%3+1, 0.2+float64(i%4)*0.2, float64(i)))
+	}
+	if res, data := postJSON(t, p.ts.URL+"/v1/ratings", "["+strings.Join(batch, ",")+"]"); res.StatusCode != http.StatusOK {
+		t.Fatalf("primary submit: %d %s", res.StatusCode, data)
+	}
+	if res, data := postJSON(t, p.ts.URL+"/v1/process", `{"start":0,"end":30}`); res.StatusCode != http.StatusOK {
+		t.Fatalf("primary process: %d %s", res.StatusCode, data)
+	}
+
+	f := startFollowerDaemon(t, p.ts.URL, 2)
+	waitDaemon(t, 10*time.Second, "follower convergence", func() bool {
+		st := replStatus(t, f.ts.URL)
+		return st.Role == api.RoleFollower && st.BarrierSeq == 1 && st.LagRecords == 0
+	})
+
+	// Reads: byte-identical to the primary, stamped with the lag header.
+	for _, path := range []string{"/v1/stats", "/v1/objects/1/aggregate", "/v1/raters/1/trust"} {
+		resP, bodyP := getBody(t, p.ts.URL+path)
+		resF, bodyF := getBody(t, f.ts.URL+path)
+		if resP.StatusCode != resF.StatusCode || string(bodyP) != string(bodyF) {
+			t.Fatalf("%s: replica differs: %d %s vs %d %s", path, resP.StatusCode, bodyP, resF.StatusCode, bodyF)
+		}
+		if resF.Header.Get(server.ReplicaLagHeader) == "" {
+			t.Fatalf("%s: replica read missing %s", path, server.ReplicaLagHeader)
+		}
+	}
+
+	// Writes redirect to the primary; so does a replication request.
+	res, data := postJSON(t, f.ts.URL+"/v1/ratings", `[{"rater":9,"object":1,"value":0.5,"time":3}]`)
+	var env api.Error
+	if json.Unmarshal(data, &env); res.StatusCode != http.StatusMisdirectedRequest ||
+		env.Code != api.CodeNotPrimary || env.Primary != p.ts.URL {
+		t.Fatalf("follower write: %d %s", res.StatusCode, data)
+	}
+	if res, data := getBody(t, f.ts.URL+"/v1/repl/snapshot"); res.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("follower bootstrap-serve: %d %s", res.StatusCode, data)
+	}
+
+	// Promote through the `ratingd -promote <url>` one-shot path.
+	if err := promoteRemote(f.ts.URL); err != nil {
+		t.Fatal(err)
+	}
+	st := replStatus(t, f.ts.URL)
+	if st.Role != api.RolePrimary || st.Epoch != 2 || st.BarrierSeq != 1 {
+		t.Fatalf("promoted status: %+v", st)
+	}
+	if m, ok, err := readManifest(f.walDir); err != nil || !ok || m.Epoch != 2 || m.Shards != 2 {
+		t.Fatalf("promoted manifest: %+v ok=%v err=%v", m, ok, err)
+	}
+
+	// The promoted node accepts writes and windows through its new WAL.
+	if res, data := postJSON(t, f.ts.URL+"/v1/ratings", `[{"rater":9,"object":1,"value":0.5,"time":3}]`); res.StatusCode != http.StatusOK {
+		t.Fatalf("promoted submit: %d %s", res.StatusCode, data)
+	}
+	if res, data := postJSON(t, f.ts.URL+"/v1/process", `{"start":0,"end":30}`); res.StatusCode != http.StatusOK {
+		t.Fatalf("promoted process: %d %s", res.StatusCode, data)
+	}
+	if res, _ := getBody(t, f.ts.URL+"/v1/stats"); res.Header.Get(server.ReplicaLagHeader) != "" {
+		t.Fatal("promoted node still stamps replica lag")
+	}
+	if got := replStatus(t, f.ts.URL); got.BarrierSeq != 2 {
+		t.Fatalf("promoted barrier height: %+v", got)
+	}
+
+	// Promotion is idempotent.
+	if res, data := postJSON(t, f.ts.URL+"/v1/repl/promote", ""); res.StatusCode != http.StatusOK {
+		t.Fatalf("re-promote: %d %s", res.StatusCode, data)
+	}
+}
+
+// With -promote-after, a bootstrapped follower crowns itself once the
+// primary goes silent past the deadline.
+func TestDaemonAutoPromoteOnPrimaryDeath(t *testing.T) {
+	p := startPrimaryDaemon(t, 1)
+	if res, data := postJSON(t, p.ts.URL+"/v1/ratings", `[{"rater":1,"object":1,"value":0.5,"time":1}]`); res.StatusCode != http.StatusOK {
+		t.Fatalf("primary submit: %d %s", res.StatusCode, data)
+	}
+
+	f := startFollowerDaemon(t, p.ts.URL, 1)
+	waitDaemon(t, 10*time.Second, "follower convergence", func() bool {
+		return replStatus(t, f.ts.URL).LagRecords == 0 && f.node.cfg.Follower.LastContact() != (time.Time{})
+	})
+
+	done := make(chan struct{})
+	defer close(done)
+	go f.node.deathWatch(done, 150*time.Millisecond)
+
+	p.ts.CloseClientConnections()
+	p.ts.Close()
+
+	waitDaemon(t, 10*time.Second, "auto-promotion", func() bool { return f.node.isPromoted() })
+	if st := replStatus(t, f.ts.URL); st.Role != api.RolePrimary {
+		t.Fatalf("post-death status: %+v", st)
+	}
+	if res, data := postJSON(t, f.ts.URL+"/v1/ratings", `[{"rater":2,"object":1,"value":0.7,"time":2}]`); res.StatusCode != http.StatusOK {
+		t.Fatalf("post-death submit: %d %s", res.StatusCode, data)
+	}
+}

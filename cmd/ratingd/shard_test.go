@@ -370,3 +370,46 @@ func TestLegacyPathRefusesShardedDir(t *testing.T) {
 		t.Fatalf("run on sharded dir with -shards=1 = %v, want sharded-dir refusal", err)
 	}
 }
+
+// A promoted single-shard follower leaves a sharded WAL directory with
+// shards=1; restarting against it at the default -shards 1 must open
+// the sharded layout and recover, not refuse (regression: the legacy
+// path's sharded-dir guard used to reject its own manifest).
+func TestShardedDirAtOneShardReopens(t *testing.T) {
+	dir := t.TempDir()
+	engine, err := shard.NewEngine(core.Config{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		r := rating.Rating{Rater: rating.RaterID(i%4 + 1), Object: rating.ObjectID(i % 3), Value: 0.6, Time: float64(i)}
+		if err := engine.Submit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The shape promotion writes: a fresh fully-snapshotted 1-shard
+	// epoch committed by the manifest flip.
+	if _, err := migrateToEpoch(dir, 2, 1, engine, 1, testWALOpts); err != nil {
+		t.Fatal(err)
+	}
+
+	if ok, err := useShardEngine(1, dir); err != nil || !ok {
+		t.Fatalf("useShardEngine(1, promoted dir) = %v, %v; want true", ok, err)
+	}
+	if ok, err := useShardEngine(1, t.TempDir()); err != nil || ok {
+		t.Fatalf("useShardEngine(1, empty dir) = %v, %v; want false", ok, err)
+	}
+
+	reopened, err := shard.NewEngine(core.Config{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := openShardWALs(dir, 1, reopened, testWALOpts, t.Logf)
+	if err != nil {
+		t.Fatalf("reopen promoted 1-shard dir: %v", err)
+	}
+	defer closeLogSet(ws.logs)
+	if !ws.recovered || ws.epoch != 2 || reopened.Len() != 12 {
+		t.Fatalf("recovered=%v epoch=%d len=%d, want true/2/12", ws.recovered, ws.epoch, reopened.Len())
+	}
+}

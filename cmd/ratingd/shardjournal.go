@@ -127,6 +127,15 @@ func (j *shardJournal) ProcessWindow(start, end float64) (core.ProcessReport, er
 	return j.engine.ProcessWindow(start, end)
 }
 
+// NextBarrierSeq reports the sequence number the next maintenance
+// barrier will carry; the replication primary (repl.Journal) serves
+// NextBarrierSeq()-1 as its barrier height.
+func (j *shardJournal) NextBarrierSeq() uint64 {
+	j.mu.RLock()
+	defer j.mu.RUnlock()
+	return j.seq
+}
+
 // Restore replaces the engine state and rebases every shard log on a
 // snapshot of it, so stale segments can't replay over the restored
 // state after a crash.

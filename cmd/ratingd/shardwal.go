@@ -43,9 +43,9 @@ type walManifest struct {
 	Shards  int `json:"shards"`
 }
 
-func epochDirName(epoch int) string      { return fmt.Sprintf("%s%04d", epochPrefix, epoch) }
-func shardSubdirName(i int) string       { return fmt.Sprintf("%s%04d", shardPrefix, i) }
-func manifestPath(root string) string    { return filepath.Join(root, manifestName) }
+func epochDirName(epoch int) string       { return fmt.Sprintf("%s%04d", epochPrefix, epoch) }
+func shardSubdirName(i int) string        { return fmt.Sprintf("%s%04d", shardPrefix, i) }
+func manifestPath(root string) string     { return filepath.Join(root, manifestName) }
 func epochPath(root string, e int) string { return filepath.Join(root, epochDirName(e)) }
 
 func shardWALPath(root string, epoch, i int) string {
@@ -170,6 +170,7 @@ func hasLegacyWAL(root string) (bool, error) {
 type shardWALs struct {
 	logs      []*wal.Log
 	seq       uint64
+	epoch     int
 	recovered bool
 }
 
@@ -303,7 +304,7 @@ func openShardWALs(root string, shards int, engine *shard.Engine,
 			closeLogSet(logs)
 			return nil, err
 		}
-		return &shardWALs{logs: logs, seq: 1}, nil
+		return &shardWALs{logs: logs, seq: 1, epoch: 1}, nil
 	}
 
 	// Best-effort cleanup of epochs the manifest has superseded (a
@@ -334,7 +335,7 @@ func openShardWALs(root string, shards int, engine *shard.Engine,
 			fmt.Printf("recovered %d ratings, %d windows across %d shards (epoch %d)\n",
 				engine.Len(), stats.Windows, shards, m.Epoch)
 		}
-		return &shardWALs{logs: logs, seq: stats.NextSeq, recovered: recovered}, nil
+		return &shardWALs{logs: logs, seq: stats.NextSeq, epoch: m.Epoch, recovered: recovered}, nil
 	}
 
 	// Shard count changed: recover the old epoch (Recover remaps every
@@ -384,7 +385,7 @@ func migrateToEpoch(root string, epoch, shards int, engine *shard.Engine, seq ui
 		closeLogSet(logs)
 		return nil, fmt.Errorf("commit epoch %d: %w", epoch, err)
 	}
-	return &shardWALs{logs: logs, seq: seq}, nil
+	return &shardWALs{logs: logs, seq: seq, epoch: epoch}, nil
 }
 
 // migrateLegacyWAL replays a pre-sharding single log into the engine
@@ -416,4 +417,25 @@ func migrateLegacyWAL(root string, shards int, engine *shard.Engine,
 	}
 	w.recovered = rec.Snapshot != nil || len(rec.Records) > 0
 	return w, nil
+}
+
+// useShardEngine reports whether the daemon should serve through the
+// engine-backed sharded path: always above one shard, and at exactly
+// one shard when the WAL directory's manifest says the layout is
+// sharded at one — the restart shape a promoted single-shard follower
+// leaves behind. A manifest with MORE shards than requested stays on
+// the legacy path, whose guard refuses it rather than silently serving
+// empty state beside it.
+func useShardEngine(shards int, walDir string) (bool, error) {
+	if shards > 1 {
+		return true, nil
+	}
+	if walDir == "" {
+		return false, nil
+	}
+	m, ok, err := readManifest(walDir)
+	if err != nil {
+		return false, err
+	}
+	return ok && m.Shards == 1, nil
 }

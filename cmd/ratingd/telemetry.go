@@ -72,7 +72,9 @@ func installParallelObserver(reg *telemetry.Registry) {
 // telemetryMux mounts the observability endpoints next to the API:
 // Prometheus text at /metrics, an expvar-style JSON dump at
 // /debug/vars, and — only when enabled — the pprof profile handlers.
-func telemetryMux(api http.Handler, reg *telemetry.Registry, enablePprof bool) http.Handler {
+// extra, when non-nil, mounts additional daemon-level routes (the
+// replication endpoints) ahead of the API catch-all.
+func telemetryMux(api http.Handler, reg *telemetry.Registry, enablePprof bool, extra func(*http.ServeMux)) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.Handler())
 	mux.Handle("/debug/vars", reg.JSONHandler())
@@ -82,6 +84,9 @@ func telemetryMux(api http.Handler, reg *telemetry.Registry, enablePprof bool) h
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	if extra != nil {
+		extra(mux)
 	}
 	mux.Handle("/", api)
 	return mux

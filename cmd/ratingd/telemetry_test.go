@@ -43,7 +43,7 @@ func newInstrumentedStack(t *testing.T, pprofOn bool) (*httptest.Server, *teleme
 	journal.sys = srv.System()
 	registerTrustMetrics(reg, srv.System())
 
-	ts := httptest.NewServer(telemetryMux(srv, reg, pprofOn))
+	ts := httptest.NewServer(telemetryMux(srv, reg, pprofOn, nil))
 	t.Cleanup(ts.Close)
 	return ts, reg
 }

@@ -33,6 +33,14 @@ const (
 	CodeUnavailable = "unavailable"
 	// CodeInternal: a handler bug; the request's effect is unknown.
 	CodeInternal = "internal"
+	// CodeReplicaStale: the node is a read replica whose lag exceeds
+	// its -max-lag bound; reads here could be arbitrarily stale. Retry
+	// here later or read from the primary.
+	CodeReplicaStale = "replica_stale"
+	// CodeNotPrimary: the node is a read replica and cannot accept
+	// mutations; the envelope's Primary field carries the primary's
+	// URL when known. Re-issue the request there.
+	CodeNotPrimary = "not_primary"
 )
 
 // knownCodes is the closed catalogue.
@@ -45,6 +53,8 @@ var knownCodes = map[string]bool{
 	CodeTimeout:         true,
 	CodeUnavailable:     true,
 	CodeInternal:        true,
+	CodeReplicaStale:    true,
+	CodeNotPrimary:      true,
 }
 
 // KnownCode reports whether code is in the v1 catalogue.
@@ -58,6 +68,9 @@ type Error struct {
 	Code       string  `json:"code"`
 	Message    string  `json:"message"`
 	RetryAfter float64 `json:"retry_after,omitempty"`
+	// Primary is the primary's base URL, set on not_primary envelopes
+	// so a redirected client knows where mutations go.
+	Primary string `json:"primary,omitempty"`
 }
 
 // Error implements error.
@@ -94,6 +107,8 @@ func CodeForStatus(status int) string {
 		return CodePayloadTooLarge
 	case http.StatusTooManyRequests:
 		return CodeOverloaded
+	case http.StatusMisdirectedRequest:
+		return CodeNotPrimary
 	case http.StatusServiceUnavailable:
 		return CodeUnavailable
 	default:

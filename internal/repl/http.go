@@ -1,0 +1,44 @@
+package repl
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"repro/internal/api"
+	"repro/internal/wal"
+)
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, &api.Error{Code: code, Message: msg})
+}
+
+func isSegmentGone(err error) bool { return errors.Is(err, wal.ErrSegmentGone) }
+
+// frameWriter writes NDJSON frames and flushes each one, so a
+// long-poll client sees frames as they happen rather than at the
+// response's end.
+type frameWriter struct {
+	enc     *json.Encoder
+	flusher http.Flusher
+}
+
+func newFrameWriter(w http.ResponseWriter, f http.Flusher) *frameWriter {
+	return &frameWriter{enc: json.NewEncoder(w), flusher: f}
+}
+
+func (fw *frameWriter) write(frame api.ReplFrame) error {
+	if err := fw.enc.Encode(frame); err != nil {
+		return err
+	}
+	if fw.flusher != nil {
+		fw.flusher.Flush()
+	}
+	return nil
+}

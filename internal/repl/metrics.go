@@ -1,0 +1,55 @@
+package repl
+
+import "repro/internal/telemetry"
+
+// Metrics is the replication telemetry surface. All fields are
+// nil-tolerant (telemetry's no-op behavior), so a nil *Metrics or a
+// nil registry disables instrumentation without branches.
+type Metrics struct {
+	// Follower side.
+	LagRecords *telemetry.Gauge   // repl_lag_records
+	LagSeconds *telemetry.Gauge   // repl_lag_seconds
+	Frames     *telemetry.Counter // repl_frames_total
+	Resyncs    *telemetry.Counter // repl_resyncs_total
+	Reconnects *telemetry.Counter // repl_reconnects_total
+	Bootstraps *telemetry.Counter // repl_bootstraps_total
+
+	// Primary side.
+	Streams       *telemetry.Counter // repl_streams_total
+	StreamRecords *telemetry.Counter // repl_stream_records_total
+	SnapshotsSent *telemetry.Counter // repl_snapshots_sent_total
+}
+
+// NewMetrics registers the replication metrics on reg (nil reg means
+// a fully no-op Metrics).
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	return &Metrics{
+		LagRecords: reg.Gauge("repl_lag_records",
+			"Follower replication lag in records behind the primary."),
+		LagSeconds: reg.Gauge("repl_lag_seconds",
+			"Wall-clock age in seconds of the primary state this follower reflects."),
+		Frames: reg.Counter("repl_frames_total",
+			"Replication stream frames applied by this follower."),
+		Resyncs: reg.Counter("repl_resyncs_total",
+			"Torn-frame or decode resyncs: the follower dropped a stream and re-requested from its last verified cursor."),
+		Reconnects: reg.Counter("repl_reconnects_total",
+			"Replication stream connections established after the first."),
+		Bootstraps: reg.Counter("repl_bootstraps_total",
+			"Full snapshot bootstraps performed by this follower."),
+		Streams: reg.Counter("repl_streams_total",
+			"Replication stream requests served by this primary."),
+		StreamRecords: reg.Counter("repl_stream_records_total",
+			"WAL records shipped to followers by this primary."),
+		SnapshotsSent: reg.Counter("repl_snapshots_sent_total",
+			"Bootstrap snapshots served to followers by this primary."),
+	}
+}
+
+// orNoop turns a nil *Metrics into a zero one whose nil counters and
+// gauges are telemetry's no-ops, so callers never branch.
+func (m *Metrics) orNoop() *Metrics {
+	if m == nil {
+		return &Metrics{}
+	}
+	return m
+}

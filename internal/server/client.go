@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/api"
@@ -27,13 +28,17 @@ type RetryPolicy struct {
 	// MaxAttempts is the total number of tries; values <= 1 disable
 	// retrying.
 	MaxAttempts int
-	// BaseDelay is the backoff before the first retry; it doubles
-	// each further retry. Zero means 100ms.
+	// BaseDelay is the minimum backoff before a retry; the
+	// decorrelated-jitter schedule grows from it. Zero means 100ms.
 	BaseDelay time.Duration
 	// MaxDelay caps the backoff. Zero means 5s.
 	MaxDelay time.Duration
-	// Seed drives the deterministic jitter and the request-ID stream,
-	// keeping retry schedules reproducible in tests.
+	// Seed drives the jitter and the request-ID stream. Each Client
+	// mixes a process-wide instance counter into it, so N clients
+	// built from the same literal policy — a fleet of followers with
+	// one config file — draw divergent schedules and never stampede a
+	// recovering server in lockstep, while any single client remains
+	// deterministic in (Seed, construction order).
 	Seed int64
 }
 
@@ -50,11 +55,17 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 // ClientOption customizes a Client.
 type ClientOption func(*Client)
 
+// clientInstance numbers Clients process-wide; WithRetry derives each
+// client's RNG from (policy seed, instance number) so same-seed
+// clients don't share a jitter stream (or a request-ID stream, which
+// would collide in the server's idempotency cache).
+var clientInstance atomic.Int64
+
 // WithRetry enables idempotent retries under p.
 func WithRetry(p RetryPolicy) ClientOption {
 	return func(c *Client) {
 		c.retry = p.withDefaults()
-		c.rng = randx.New(p.Seed)
+		c.rng = randx.New(randx.Derive(p.Seed, int(clientInstance.Add(1))))
 	}
 }
 
@@ -65,8 +76,9 @@ type Client struct {
 	hc    *http.Client
 	retry RetryPolicy
 
-	mu  sync.Mutex
-	rng *randx.Rand // jitter + request IDs; nil when retries are off
+	mu        sync.Mutex
+	rng       *randx.Rand   // jitter + request IDs; nil when retries are off
+	prevDelay time.Duration // decorrelated-jitter state (guarded by mu)
 }
 
 // NewClient builds a client for the service at base (e.g.
@@ -90,18 +102,29 @@ func (c *Client) nextRequestID() string {
 	return fmt.Sprintf("%016x%016x", uint64(c.rng.Int63()), uint64(c.rng.Int63()))
 }
 
-// backoff returns the pre-attempt delay: exponential in the retry
-// count with deterministic jitter in [0.5, 1.0)× drawn from the
-// seeded stream.
+// backoff returns the pre-attempt delay: decorrelated jitter, each
+// delay uniform in [BaseDelay, 3×previous] capped at MaxDelay. Unlike
+// truncated exponential backoff, consecutive draws share no fixed
+// grid, so clients that failed together spread out instead of
+// re-colliding on the 2^n marks. retryN == 1 resets the schedule for
+// a fresh logical call.
 func (c *Client) backoff(retryN int) time.Duration {
-	d := c.retry.BaseDelay << (retryN - 1)
-	if d > c.retry.MaxDelay || d <= 0 {
-		d = c.retry.MaxDelay
-	}
 	c.mu.Lock()
-	jitter := 0.5 + 0.5*c.rng.Float64()
-	c.mu.Unlock()
-	return time.Duration(float64(d) * jitter)
+	defer c.mu.Unlock()
+	prev := c.prevDelay
+	if retryN == 1 || prev < c.retry.BaseDelay {
+		prev = c.retry.BaseDelay
+	}
+	hi := 3 * prev
+	if hi > c.retry.MaxDelay || hi <= 0 {
+		hi = c.retry.MaxDelay
+	}
+	d := c.retry.BaseDelay
+	if hi > d {
+		d = time.Duration(c.rng.Uniform(float64(d), float64(hi)))
+	}
+	c.prevDelay = d
+	return d
 }
 
 func sleepCtx(ctx context.Context, d time.Duration) error {

@@ -18,7 +18,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/detector"
 	"repro/internal/rating"
+	"repro/internal/repl"
 	"repro/internal/trust"
+	"repro/internal/wal"
 )
 
 var updateContract = flag.Bool("update", false, "rewrite contract fixtures instead of comparing")
@@ -101,6 +103,12 @@ func checkFixture(t *testing.T, name string, res *http.Response) {
 	fix := contractFixture{Status: res.StatusCode}
 	if ra := res.Header.Get("Retry-After"); ra != "" {
 		fix.Headers = map[string]string{"Retry-After": ra}
+	}
+	if rl := res.Header.Get(ReplicaLagHeader); rl != "" {
+		if fix.Headers == nil {
+			fix.Headers = map[string]string{}
+		}
+		fix.Headers[ReplicaLagHeader] = rl
 	}
 	for _, line := range bytes.Split(raw, []byte("\n")) {
 		line = bytes.TrimSpace(line)
@@ -357,6 +365,73 @@ func TestWireContractErrorPaths(t *testing.T) {
 	})
 }
 
+// contractReplJournal is the minimal primary-side journal for the
+// /v1/repl/status fixture: a fresh daemon at barrier height zero.
+type contractReplJournal struct{}
+
+func (contractReplJournal) Snapshot() error        { return nil }
+func (contractReplJournal) NextBarrierSeq() uint64 { return 1 }
+
+// TestWireContractReplica pins the replication serving surface: the
+// not_primary write refusal, the replica_stale staleness refusal, the
+// X-Replica-Lag header on fresh reads, and the primary's
+// /v1/repl/status document.
+func TestWireContractReplica(t *testing.T) {
+	stale := ReplicaInfo{
+		Primary: "http://primary.example:8080", Ready: true,
+		LagRecords: 1200, LagSeconds: 9.25,
+		MaxLagRecords: 1000, MaxLagSeconds: 30,
+	}
+	srv, err := New(core.Config{Detector: detector.Config{Threshold: 0.05}},
+		WithReplica(func() ReplicaInfo { return stale }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	res, err := ts.Client().Post(ts.URL+"/v1/ratings", "application/json",
+		strings.NewReader(`[{"rater":1,"object":1,"value":0.5,"time":1}]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFixture(t, "repl_not_primary", res)
+
+	res, err = ts.Client().Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFixture(t, "repl_replica_stale", res)
+
+	// Within bounds, reads serve normally and still advertise their lag.
+	fresh := stale
+	fresh.LagRecords, fresh.LagSeconds = 0, 0.042
+	srv.SetReplica(func() ReplicaInfo { return fresh })
+	res, err = ts.Client().Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFixture(t, "repl_read_fresh", res)
+
+	// The primary's replication status document.
+	log, _, err := wal.Open(wal.Options{Dir: filepath.Join(t.TempDir(), "wal"), Policy: wal.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { log.Close() })
+	mux := http.NewServeMux()
+	repl.NewPrimary(repl.PrimaryConfig{
+		Epoch: 1, Logs: []*wal.Log{log}, Journal: contractReplJournal{},
+	}).Routes(mux)
+	tsRepl := httptest.NewServer(mux)
+	t.Cleanup(tsRepl.Close)
+	res, err = tsRepl.Client().Get(tsRepl.URL + "/v1/repl/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFixture(t, "repl_status", res)
+}
+
 // TestContractFixturesCoverCatalogue fails when an error code exists
 // with no fixture pinning its wire shape, so new codes cannot ship
 // untested.
@@ -390,6 +465,7 @@ func TestContractFixturesCoverCatalogue(t *testing.T) {
 		api.CodeBadRequest, api.CodeNotFound, api.CodeConflict,
 		api.CodePayloadTooLarge, api.CodeOverloaded, api.CodeTimeout,
 		api.CodeUnavailable, api.CodeInternal,
+		api.CodeReplicaStale, api.CodeNotPrimary,
 	} {
 		if !covered[code] {
 			t.Errorf("error code %q has no contract fixture", code)

@@ -147,19 +147,49 @@ func TestRetryHonorsContextCancellation(t *testing.T) {
 	}
 }
 
-// Retry schedules are deterministic in the seed: two clients with the
-// same policy draw identical request IDs and jitter.
-func TestRetryDeterministicInSeed(t *testing.T) {
-	p := RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, Seed: 7}
+// Retry schedules must DIVERGE across clients built from the same
+// policy: a fleet of followers sharing one config seed must not
+// stampede a recovering primary in lockstep, and must not draw
+// colliding request IDs (which the idempotency cache would wrongly
+// deduplicate across clients). Each client mixes a process-wide
+// instance counter into the seed, so identical policies yield
+// distinct jitter and ID streams.
+func TestRetryDivergenceUnderFixedSeed(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: time.Second, Seed: 7}
 	a := NewClient("http://unused", nil, WithRetry(p))
 	b := NewClient("http://unused", nil, WithRetry(p))
-	for i := 0; i < 4; i++ {
-		if ida, idb := a.nextRequestID(), b.nextRequestID(); ida != idb {
-			t.Fatalf("draw %d: %s != %s", i, ida, idb)
+
+	idCollisions, delayCollisions := 0, 0
+	for i := 0; i < 16; i++ {
+		if a.nextRequestID() == b.nextRequestID() {
+			idCollisions++
 		}
-		if da, db := a.backoff(1), b.backoff(1); da != db {
-			t.Fatalf("draw %d: backoff %v != %v", i, da, db)
+		// Same retryN on both sides: the worst case for lockstep.
+		n := i%2 + 1
+		if a.backoff(n) == b.backoff(n) {
+			delayCollisions++
 		}
+	}
+	if idCollisions > 0 {
+		t.Fatalf("%d request-ID collisions between same-seed clients", idCollisions)
+	}
+	if delayCollisions > 4 {
+		t.Fatalf("%d/16 identical backoff draws between same-seed clients: schedules are synchronized", delayCollisions)
+	}
+
+	// The schedule stays decorrelated but bounded: every draw within
+	// [BaseDelay, MaxDelay], growth from one draw never exceeds 3x.
+	c := NewClient("http://unused", nil, WithRetry(p))
+	prev := time.Duration(0)
+	for n := 1; n <= 10; n++ {
+		d := c.backoff(n)
+		if d < p.BaseDelay || d > p.MaxDelay {
+			t.Fatalf("draw %d: backoff %v outside [%v, %v]", n, d, p.BaseDelay, p.MaxDelay)
+		}
+		if prev > 0 && d > 3*prev {
+			t.Fatalf("draw %d: backoff %v > 3x previous %v", n, d, prev)
+		}
+		prev = d
 	}
 }
 

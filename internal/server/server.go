@@ -28,6 +28,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/api"
@@ -116,7 +117,12 @@ type Server struct {
 	mux     *http.ServeMux
 	handler http.Handler
 
-	journal    Journal
+	// journal and replica can be swapped at runtime (promotion flips a
+	// follower into a primary on a live server); jmu guards both.
+	jmu     sync.RWMutex
+	journal Journal
+	replica func() ReplicaInfo
+
 	dedupe     *dedupeCache
 	cache      *readCache
 	admission  *admission
@@ -253,7 +259,10 @@ func NewWith(backend Backend, opts ...Option) (*Server, error) {
 		}
 		inner.ServeHTTP(w, r)
 	})
-	s.handler = recoverPanics(h)
+	// The replica gate sits outside the body/timeout stack (it answers
+	// from sampled lag without reading the body) but inside panic
+	// containment.
+	s.handler = recoverPanics(s.replicaGate(h))
 	return s, nil
 }
 
@@ -332,8 +341,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	if s.journal != nil {
-		if err := s.journal.SubmitAll(rs); err != nil {
+	if journal := s.getJournal(); journal != nil {
+		if err := journal.SubmitAll(rs); err != nil {
 			// Durability is unavailable; refuse the write so the
 			// client retries rather than accepting state a crash
 			// would silently lose.
@@ -364,8 +373,8 @@ func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) {
 	}
 	var rep core.ProcessReport
 	var err error
-	if s.journal != nil {
-		rep, err = s.journal.ProcessWindow(req.Start, req.End)
+	if journal := s.getJournal(); journal != nil {
+		rep, err = journal.ProcessWindow(req.Start, req.End)
 		if err != nil {
 			writeError(w, http.StatusServiceUnavailable, fmt.Errorf("journal: %w", err))
 			return
@@ -534,8 +543,8 @@ func (s *Server) handleSnapshotGet(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleSnapshotPut(w http.ResponseWriter, r *http.Request) {
 	restore := s.sys.LoadSnapshot
-	if s.journal != nil {
-		restore = s.journal.Restore
+	if journal := s.getJournal(); journal != nil {
+		restore = journal.Restore
 	}
 	if err := restore(r.Body); err != nil {
 		writeError(w, bodyErrStatus(err), err)

@@ -160,7 +160,8 @@ func (s *Server) handleSubmitStream(w http.ResponseWriter, r *http.Request) {
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 
-	async, _ := s.journal.(AsyncSubmitter)
+	journal := s.getJournal()
+	async, _ := journal.(AsyncSubmitter)
 	body := io.Reader(r.Body)
 	if s.reqTimeout > 0 {
 		body = &idleDeadlineReader{src: r.Body, rc: http.NewResponseController(w), idle: s.reqTimeout}
@@ -271,8 +272,8 @@ func (s *Server) handleSubmitStream(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		var err error
-		if s.journal != nil {
-			err = s.journal.SubmitAll(st.batch)
+		if journal != nil {
+			err = journal.SubmitAll(st.batch)
 		} else {
 			err = s.sys.SubmitAll(st.batch)
 		}

@@ -15,8 +15,8 @@ import (
 	"strings"
 
 	"repro/internal/core"
-	"repro/internal/rating"
 	"repro/internal/randx"
+	"repro/internal/rating"
 )
 
 // System is the surface the harness drives. *core.System,
@@ -144,6 +144,16 @@ func clamp01(v float64) float64 {
 // trace: per-window observations and object verdicts, then the final
 // fingerprint.
 func Run(sys System, w Workload) (string, error) {
+	return RunWithCheckpoints(sys, w, nil)
+}
+
+// RunWithCheckpoints is Run plus a hook invoked after each month's
+// window. It turns the harness into a multi-node oracle: the
+// two-node replication conformance test, for example, waits in the
+// checkpoint for its follower to align at the month's barrier and
+// requires its fingerprint to be byte-identical to the oracle's. A
+// checkpoint error aborts the run.
+func RunWithCheckpoints(sys System, w Workload, checkpoint func(month int) error) (string, error) {
 	w = w.withDefaults()
 	var b strings.Builder
 	for m, month := range w.Generate() {
@@ -155,6 +165,11 @@ func Run(sys System, w Workload) (string, error) {
 			return "", fmt.Errorf("month %d: %w", m, err)
 		}
 		renderReport(&b, m, rep)
+		if checkpoint != nil {
+			if err := checkpoint(m); err != nil {
+				return "", fmt.Errorf("month %d checkpoint: %w", m, err)
+			}
+		}
 	}
 	fp, err := Fingerprint(sys, w.Objects)
 	if err != nil {

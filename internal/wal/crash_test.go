@@ -320,7 +320,7 @@ func runChaos(t *testing.T, seed int64) {
 		t.Fatalf("clean open failed: %v", err)
 	}
 
-	var acked []float64      // ids of acknowledged appends
+	var acked []float64       // ids of acknowledged appends
 	var ackedAtSnap []float64 // baseline state at the last successful snapshot
 	rng := randx.New(seed)
 	fs.SetInjector(faultinject.NewSeededInjector(rng.Int63(), density))

@@ -28,9 +28,9 @@ func fuzzSeedFrames() [][]byte {
 func FuzzParseFrames(f *testing.F) {
 	for _, seed := range fuzzSeedFrames() {
 		f.Add(seed)
-		f.Add(seed[:len(seed)-3])             // torn tail
-		f.Add(append([]byte{0xff}, seed...))  // garbage prefix
-		bad := append([]byte(nil), seed...)   // flipped payload bit
+		f.Add(seed[:len(seed)-3])            // torn tail
+		f.Add(append([]byte{0xff}, seed...)) // garbage prefix
+		bad := append([]byte(nil), seed...)  // flipped payload bit
 		bad[len(bad)-1] ^= 0x40
 		f.Add(bad)
 	}

@@ -168,6 +168,11 @@ type Log struct {
 	syncMu    sync.Mutex
 	syncedGen atomic.Uint64
 	failedGen atomic.Uint64
+
+	// appended counts records written by this process (recovery replay
+	// excluded). Snapshot footers record it as the follower lag
+	// baseline, so it is only comparable within one log lifetime.
+	appended atomic.Uint64
 }
 
 const (
@@ -247,7 +252,15 @@ func Open(opts Options) (*Log, *Recovery, error) {
 				snapName(snapSeqs[i]), err, len(data))
 			continue
 		}
-		rec.Snapshot = data
+		content, _, _, ferr := SplitSnapshotFooter(data)
+		if ferr != nil || len(content) == 0 {
+			// A corrupt footer means the content can't be trusted either
+			// — the CRC binds them together. Fall back like a torn write.
+			opts.Warnf("wal: snapshot %s failed verification (%v); falling back",
+				snapName(snapSeqs[i]), ferr)
+			continue
+		}
+		rec.Snapshot = content
 		snapSeq = snapSeqs[i]
 		break
 	}
@@ -413,6 +426,7 @@ func (l *Log) Append(rec Record) error {
 	}
 	sp.End()
 	l.dirty = true
+	l.appended.Add(1)
 	l.opts.Metrics.segment(l.seq, l.curSize)
 	if l.opts.Policy == SyncAlways {
 		if err := l.syncLocked(); err != nil {
@@ -462,6 +476,7 @@ func (l *Log) AppendAll(recs []Record) error {
 	}
 	sp.End()
 	l.dirty = true
+	l.appended.Add(uint64(len(recs)))
 	l.opts.Metrics.segment(l.seq, l.curSize)
 	if l.opts.Policy == SyncAlways {
 		if err := l.syncLocked(); err != nil {
@@ -520,6 +535,7 @@ func (l *Log) AppendAllBuffered(recs []Record) (SyncToken, error) {
 	sp.End()
 	l.dirty = true
 	l.writeGen++
+	l.appended.Add(uint64(len(recs)))
 	l.opts.Metrics.segment(l.seq, l.curSize)
 	l.opts.Metrics.appended(len(recs))
 	return SyncToken{gen: l.writeGen}, nil
@@ -625,10 +641,17 @@ func (l *Log) Snapshot(write func(io.Writer) error) error {
 	if err != nil {
 		return fmt.Errorf("wal: snapshot temp: %w", err)
 	}
-	if err := write(f); err != nil {
+	cw := &crcCountWriter{w: f}
+	if err := write(cw); err != nil {
 		f.Close()
 		_ = fsys.Remove(tmp)
 		return fmt.Errorf("wal: snapshot write: %w", err)
+	}
+	ft := makeSnapshotFooter(uint64(cw.n), l.appended.Load(), cw.crc)
+	if _, err := f.Write(ft[:]); err != nil {
+		f.Close()
+		_ = fsys.Remove(tmp)
+		return fmt.Errorf("wal: snapshot footer: %w", err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
@@ -701,6 +724,61 @@ func (l *Log) SegmentSeq() int {
 	return l.seq
 }
 
+// AppendedRecords returns the count of records appended by this
+// process (recovery replay excluded). Together with a snapshot
+// footer's Records baseline it measures replication lag; the counts
+// are only comparable within one log lifetime.
+func (l *Log) AppendedRecords() uint64 { return l.appended.Load() }
+
+// Tail returns the cursor one past the last written frame — where the
+// next append will land.
+func (l *Log) Tail() Cursor {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Cursor{Seg: l.seq, Off: l.curSize}
+}
+
+// LatestSnapshot returns the newest snapshot file's raw bytes —
+// footer included, so a remote reader can verify them with
+// SplitSnapshotFooter — along with the cursor where the log tail past
+// it begins and the verified footer. Snapshots without a footer are
+// refused: a replication bootstrap takes a fresh Snapshot first, so
+// it always reads one this process wrote.
+func (l *Log) LatestSnapshot() ([]byte, Cursor, SnapshotFooter, error) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil, Cursor{}, SnapshotFooter{}, ErrClosed
+	}
+	fsys, dir := l.opts.FS, l.opts.Dir
+	l.mu.Unlock()
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, Cursor{}, SnapshotFooter{}, fmt.Errorf("wal: latest snapshot: %w", err)
+	}
+	best := -1
+	for _, name := range names {
+		if seq, ok := parseSeq(name, snapPrefix, snapSuffix); ok && seq > best {
+			best = seq
+		}
+	}
+	if best < 0 {
+		return nil, Cursor{}, SnapshotFooter{}, errors.New("wal: no snapshot")
+	}
+	data, err := readFile(fsys, path.Join(dir, snapName(best)))
+	if err != nil {
+		return nil, Cursor{}, SnapshotFooter{}, fmt.Errorf("wal: latest snapshot: %w", err)
+	}
+	_, ft, present, err := SplitSnapshotFooter(data)
+	if err != nil {
+		return nil, Cursor{}, SnapshotFooter{}, err
+	}
+	if !present {
+		return nil, Cursor{}, SnapshotFooter{}, errors.New("wal: snapshot has no verification footer")
+	}
+	return data, Cursor{Seg: best}, ft, nil
+}
+
 // appendFrame appends rec's wire frame to buf.
 func appendFrame(buf []byte, rec Record) []byte {
 	start := len(buf)
@@ -735,27 +813,12 @@ func appendFrame(buf []byte, rec Record) []byte {
 func parseFrames(data []byte) (recs []Record, good int, err error) {
 	off := 0
 	for off < len(data) {
-		if len(data)-off < frameHeader {
-			return recs, off, fmt.Errorf("torn frame header (%d trailing bytes)", len(data)-off)
-		}
-		n := int(binary.LittleEndian.Uint32(data[off:]))
-		crc := binary.LittleEndian.Uint32(data[off+4:])
-		if n == 0 || n > maxPayload {
-			return recs, off, fmt.Errorf("implausible frame length %d", n)
-		}
-		if len(data)-off-frameHeader < n {
-			return recs, off, fmt.Errorf("torn frame payload (want %d, have %d)", n, len(data)-off-frameHeader)
-		}
-		payload := data[off+frameHeader : off+frameHeader+n]
-		if crc32.Checksum(payload, crcTable) != crc {
-			return recs, off, errors.New("frame checksum mismatch")
-		}
-		rec, derr := decodeRecord(payload)
-		if derr != nil {
-			return recs, off, derr
+		rec, next, perr := parseFrame(data, off)
+		if perr != nil {
+			return recs, off, perr
 		}
 		recs = append(recs, rec)
-		off += frameHeader + n
+		off = next
 	}
 	return recs, off, nil
 }
