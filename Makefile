@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-soak bench bench-quick allocs profile fuzz chaos chaos-repl contract ci artifacts benchreport clean
+.PHONY: all build vet test race race-soak bench bench-quick allocs profile fuzz chaos chaos-repl contract matrix ci artifacts benchreport clean
 
 # Committed shard-scaling floor for `make bench-quick`: the 4-shard
 # batching win measured for BENCH_6 sits at ~4x on the reference box;
@@ -47,7 +47,8 @@ bench:
 # regresses below MIN_SPEEDUP4.
 bench-quick:
 	$(GO) run ./cmd/benchreport -run tab1 -walrecords 0 -telemetryreps 0 \
-		-servingratings 0 -replratings 0 -minspeedup4 $(MIN_SPEEDUP4) -out /dev/null
+		-servingratings 0 -replratings 0 -detection "" \
+		-minspeedup4 $(MIN_SPEEDUP4) -out /dev/null
 
 # allocs runs the steady-state allocation pins (testing.AllocsPerRun),
 # which only exist in non-race builds — the race runtime's bookkeeping
@@ -74,13 +75,14 @@ fuzz:
 	$(GO) test -fuzz FuzzStreamNDJSON -fuzztime $(FUZZTIME) ./internal/server/
 	$(GO) test -fuzz FuzzParseRatingLine -fuzztime $(FUZZTIME) ./internal/server/
 	$(GO) test -fuzz FuzzShardIndex -fuzztime $(FUZZTIME) ./internal/shard/
+	$(GO) test -fuzz FuzzCollusionGraph -fuzztime $(FUZZTIME) ./internal/collusion/
 
 # ci is the gate every change must pass: static checks, a full build,
 # the test suite under the race detector, the non-race allocation
 # pins, a fresh-schedule soak of the sharded engine, a one-shot smoke
 # run of the tab1 macro benchmark (exercises the parallel Monte-Carlo
 # path end to end without benchmark-grade runtimes), the chaos sweep,
-# and the shard-scaling floor check.
+# the detector×attack matrix grid, and the shard-scaling floor check.
 ci:
 	$(MAKE) vet
 	$(GO) build ./...
@@ -91,7 +93,18 @@ ci:
 	$(GO) test -run=NONE -bench=BenchmarkTab1 -benchtime=1x .
 	$(MAKE) chaos
 	$(MAKE) chaos-repl
+	$(MAKE) matrix
 	$(MAKE) bench-quick
+
+# matrix prints the detector×attack benchmark grid: every detector
+# stack (AR charging, collusion graph, iterative filtering, combined)
+# against every adversary-zoo strategy, scored by AUC, detection rate,
+# detection latency, and aggregation error. The grid is bit-identical
+# at any -workers count; the checked-in regression pin is
+# testdata/golden_matrix.txt (regenerate deliberately with
+# `go test -run TestGoldenMatrix -update .`).
+matrix:
+	$(GO) run ./cmd/experiments -exp matrix -mode quick
 
 # contract replays the checked-in wire-contract fixtures: every v1
 # endpoint's golden response, every error code in the catalogue, and
@@ -126,7 +139,7 @@ artifacts:
 	$(GO) run ./cmd/experiments -run all -mode full -csv artifacts/
 
 benchreport:
-	$(GO) run ./cmd/benchreport -out BENCH_7.json
+	$(GO) run ./cmd/benchreport -out BENCH_8.json
 
 clean:
 	rm -rf artifacts/

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// DetectionStats embeds the detector×attack benchmark matrix in the
+// report: per-cell ranking quality (AUC over 1-trust scores), detection
+// rate, detection latency in days after campaign start, and aggregation
+// error on attacked objects. Unlike the other sections this one records
+// result numbers, not just wall time — the grid is the PR's scored
+// artifact, and keeping it in BENCH history makes detector regressions
+// diffable the same way perf regressions are.
+type DetectionStats struct {
+	Mode      string                   `json:"mode"`
+	Runs      int                      `json:"runs"`
+	Detectors []string                 `json:"detectors"`
+	Attacks   []string                 `json:"attacks"`
+	Cells     []experiments.MatrixCell `json:"cells"`
+	WallNS    int64                    `json:"wall_ns"`
+}
+
+// measureDetection runs the matrix grid at the requested fidelity. The
+// grid is bit-identical at every worker count, so opt.Workers only
+// moves WallNS.
+func measureDetection(mode string, seed int64, opt experiments.Options) (DetectionStats, error) {
+	var m experiments.Mode
+	switch mode {
+	case "quick":
+		m = experiments.Quick
+	case "full":
+		m = experiments.Full
+	default:
+		return DetectionStats{}, fmt.Errorf("unknown detection mode %q (want quick or full)", mode)
+	}
+	began := time.Now()
+	res, err := experiments.RunMatrix(seed, m, opt)
+	if err != nil {
+		return DetectionStats{}, err
+	}
+	return DetectionStats{
+		Mode:      mode,
+		Runs:      res.Runs,
+		Detectors: res.Detectors,
+		Attacks:   res.Attacks,
+		Cells:     res.Cells,
+		WallNS:    time.Since(began).Nanoseconds(),
+	}, nil
+}

@@ -25,12 +25,16 @@
 // the read cache against aggregate recomputation (target: at least
 // 5x, with a byte-identical conformance gate before timing).
 //
-// Finally it measures WAL replication: a live follower's catch-up
+// It also measures WAL replication: a live follower's catch-up
 // throughput over the long-poll NDJSON stream, and its steady-state
 // lag percentiles (records and seconds) while the primary ingests
 // paced batches.
 //
-//	benchreport                      # all experiments -> BENCH_5.json
+// Finally it records the detector×attack benchmark matrix (AUC,
+// detection rate, latency, aggregation error per cell) so detector
+// regressions show up in BENCH history alongside perf regressions.
+//
+//	benchreport                      # all experiments -> BENCH_8.json
 //	benchreport -run tab1 -out -     # one experiment  -> stdout
 //	benchreport -workers 4 -walrecords 100000
 package main
@@ -71,6 +75,7 @@ type Report struct {
 	ShardScale  *ShardScalingStats `json:"shard_scaling,omitempty"`
 	Serving     *ServingStats      `json:"serving,omitempty"`
 	Replication *ReplicationStats  `json:"replication,omitempty"`
+	Detection   *DetectionStats    `json:"detection,omitempty"`
 	TotalWallNS int64              `json:"total_wall_ns"`
 }
 
@@ -140,12 +145,13 @@ func run(args []string, stdout io.Writer) error {
 		runID      = fs.String("run", "all", "experiment ID to measure, or \"all\"")
 		seed       = fs.Int64("seed", 1, "top-level random seed")
 		workers    = fs.Int("workers", 0, "Monte-Carlo worker goroutines (0 = GOMAXPROCS)")
-		out        = fs.String("out", "BENCH_6.json", "output path, or \"-\" for stdout")
+		out        = fs.String("out", "BENCH_8.json", "output path, or \"-\" for stdout")
 		walRecs    = fs.Int("walrecords", 50000, "WAL records for the recovery-replay benchmark (0 skips it)")
 		telReps    = fs.Int("telemetryreps", 20, "ProcessWindow repetitions for the telemetry-overhead benchmark (0 skips it)")
 		shardRecs  = fs.Int("shardratings", 480000, "ratings for the shard-scaling ingest benchmark (0 skips it)")
 		serveRecs  = fs.Int("servingratings", 240000, "ratings for the HTTP serving benchmark (0 skips it)")
 		replRecs   = fs.Int("replratings", 120000, "ratings for the replication catch-up/lag benchmark (0 skips it)")
+		detMode    = fs.String("detection", "quick", "detector×attack matrix fidelity: quick or full (empty skips it)")
 		minSpeed4  = fs.Float64("minspeedup4", 0, "fail unless shard_scaling.speedup_at_4 reaches this floor (0 disables)")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the measured sections to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile (after a final GC) to this file")
@@ -270,6 +276,15 @@ func run(args []string, stdout io.Writer) error {
 		}); err != nil {
 			return err
 		}
+	}
+
+	if *detMode != "" {
+		stats, err := measureDetection(*detMode, *seed, opt)
+		if err != nil {
+			return fmt.Errorf("detection: %w", err)
+		}
+		report.Detection = &stats
+		report.TotalWallNS += stats.WallNS
 	}
 
 	data, err := json.MarshalIndent(report, "", "  ")

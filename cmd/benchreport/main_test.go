@@ -13,7 +13,7 @@ import (
 
 func TestSingleExperimentToStdout(t *testing.T) {
 	var buf strings.Builder
-	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "0", "-telemetryreps", "0", "-shardratings", "0", "-servingratings", "0", "-replratings", "0"}, &buf); err != nil {
+	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "0", "-telemetryreps", "0", "-shardratings", "0", "-servingratings", "0", "-replratings", "0", "-detection", ""}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	var rep Report
@@ -37,7 +37,7 @@ func TestSingleExperimentToStdout(t *testing.T) {
 
 func TestWALReplayStats(t *testing.T) {
 	var buf strings.Builder
-	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "2000", "-telemetryreps", "0", "-shardratings", "0", "-servingratings", "0", "-replratings", "0"}, &buf); err != nil {
+	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "2000", "-telemetryreps", "0", "-shardratings", "0", "-servingratings", "0", "-replratings", "0", "-detection", ""}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	var rep Report
@@ -58,7 +58,7 @@ func TestWALReplayStats(t *testing.T) {
 
 func TestWritesFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_test.json")
-	if err := run([]string{"-run", "fig2", "-out", path, "-workers", "2", "-telemetryreps", "0", "-shardratings", "0", "-servingratings", "0", "-replratings", "0"}, io.Discard); err != nil {
+	if err := run([]string{"-run", "fig2", "-out", path, "-workers", "2", "-telemetryreps", "0", "-shardratings", "0", "-servingratings", "0", "-replratings", "0", "-detection", ""}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -99,7 +99,7 @@ func TestAllCoversRegistry(t *testing.T) {
 
 func TestShardScalingStats(t *testing.T) {
 	var buf strings.Builder
-	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "0", "-telemetryreps", "0", "-shardratings", "4000", "-servingratings", "0", "-replratings", "0"}, &buf); err != nil {
+	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "0", "-telemetryreps", "0", "-shardratings", "4000", "-servingratings", "0", "-replratings", "0", "-detection", ""}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	var rep Report
@@ -131,7 +131,7 @@ func TestShardScalingStats(t *testing.T) {
 
 func TestServingStats(t *testing.T) {
 	var buf strings.Builder
-	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "0", "-telemetryreps", "0", "-shardratings", "0", "-servingratings", "600", "-replratings", "0"}, &buf); err != nil {
+	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "0", "-telemetryreps", "0", "-shardratings", "0", "-servingratings", "600", "-replratings", "0", "-detection", ""}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	var rep Report
@@ -160,7 +160,7 @@ func TestServingStats(t *testing.T) {
 
 func TestReplicationStats(t *testing.T) {
 	var buf strings.Builder
-	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "0", "-telemetryreps", "0", "-shardratings", "0", "-servingratings", "0", "-replratings", "800"}, &buf); err != nil {
+	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "0", "-telemetryreps", "0", "-shardratings", "0", "-servingratings", "0", "-replratings", "800", "-detection", ""}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	var rep Report
@@ -185,6 +185,36 @@ func TestReplicationStats(t *testing.T) {
 	}
 }
 
+func TestDetectionStats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full detector×attack grid")
+	}
+	var buf strings.Builder
+	if err := run([]string{"-run", "fig2", "-out", "-", "-walrecords", "0", "-telemetryreps", "0", "-shardratings", "0", "-servingratings", "0", "-replratings", "0", "-detection", "quick"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal([]byte(buf.String()), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	d := rep.Detection
+	if d == nil {
+		t.Fatal("detection missing from report")
+	}
+	if d.Mode != "quick" || d.Runs <= 0 || d.WallNS <= 0 {
+		t.Fatalf("degenerate detection stats: mode=%q runs=%d wall=%d", d.Mode, d.Runs, d.WallNS)
+	}
+	if len(d.Detectors) < 3 || len(d.Attacks) < 5 {
+		t.Fatalf("grid too small: %d detectors x %d attacks", len(d.Detectors), len(d.Attacks))
+	}
+	if want := len(d.Detectors) * len(d.Attacks); len(d.Cells) != want {
+		t.Fatalf("%d cells, want %d", len(d.Cells), want)
+	}
+	if rep.TotalWallNS != rep.Experiments[0].WallNS+d.WallNS {
+		t.Fatalf("total %d does not include detection %d", rep.TotalWallNS, d.WallNS)
+	}
+}
+
 func TestUnknownExperiment(t *testing.T) {
 	if err := run([]string{"-run", "fig99", "-out", "-"}, io.Discard); err == nil {
 		t.Fatal("unknown experiment accepted")
@@ -193,7 +223,7 @@ func TestUnknownExperiment(t *testing.T) {
 
 func TestTelemetryOverheadStats(t *testing.T) {
 	var buf strings.Builder
-	if err := run([]string{"-run", "fig2", "-out", "-", "-walrecords", "0", "-telemetryreps", "3", "-shardratings", "0", "-servingratings", "0", "-replratings", "0"}, &buf); err != nil {
+	if err := run([]string{"-run", "fig2", "-out", "-", "-walrecords", "0", "-telemetryreps", "3", "-shardratings", "0", "-servingratings", "0", "-replratings", "0", "-detection", ""}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	var rep Report

@@ -55,7 +55,7 @@ func oneRun(rng *randx.Rand, strat repro.AttackStrategy) (detected bool, naive, 
 	if err != nil {
 		return false, 0, 0, err
 	}
-	campaign, err := strat.Plan(rng.Split(), repro.AttackParams{
+	campaign, err := strat.Plan(rng.Int63(), repro.AttackParams{
 		Object:   p.Object,
 		Start:    p.AStart,
 		End:      p.AEnd,
@@ -63,7 +63,7 @@ func oneRun(rng *randx.Rand, strat repro.AttackStrategy) (detected bool, naive, 
 		Bias:     p.BiasShift2,
 		Variance: p.BadVar,
 		Levels:   p.RLevels,
-	}, p.Quality)
+	}, attack.FlatQuality(p.Quality))
 	if err != nil {
 		return false, 0, 0, err
 	}

@@ -105,13 +105,13 @@ func TestFacadeSelectAROrder(t *testing.T) {
 
 func TestFacadeAttackStrategies(t *testing.T) {
 	strategies := repro.AttackStrategies()
-	if len(strategies) != 6 {
+	if len(strategies) != 9 {
 		t.Fatalf("%d strategies", len(strategies))
 	}
-	rng := randx.New(2)
 	params := repro.AttackParams{Start: 0, End: 10, Rate: 5, Bias: 0.2, Variance: 0.01}
-	for _, s := range strategies {
-		ls, err := s.Plan(rng.Split(), params, func(float64) float64 { return 0.5 })
+	quality := repro.AttackQuality(func(repro.ObjectID, float64) float64 { return 0.5 })
+	for i, s := range strategies {
+		ls, err := s.Plan(randx.Derive(2, i), params, quality)
 		if err != nil {
 			t.Fatalf("%s: %v", s.Name(), err)
 		}

@@ -1,0 +1,44 @@
+package repro
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+const goldenMatrixPath = "testdata/golden_matrix.txt"
+
+// renderGoldenMatrix runs the quick detector×attack grid and renders
+// every cell with %.17g so the file round-trips bit-exactly. Any change
+// to the adversary zoo, the collusion graph, the iterative filter, the
+// AR charging path, or the seed-derivation scheme shows up as a diff
+// against the checked-in fixture.
+func renderGoldenMatrix(t *testing.T) string {
+	t.Helper()
+	m, err := experiments.RunMatrix(1, experiments.Quick, experiments.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# golden detector×attack matrix: seed=1 quick mode, %d runs per cell\n", m.Runs)
+	fmt.Fprintf(&b, "detectors %s\n", strings.Join(m.Detectors, " "))
+	fmt.Fprintf(&b, "attacks %s\n", strings.Join(m.Attacks, " "))
+	for _, c := range m.Cells {
+		fmt.Fprintf(&b, "cell %s %s auc %.17g detect %.17g latency %.17g aggerr %.17g\n",
+			c.Detector, c.Attack, c.AUC, c.DetectRate, c.LatencyDays, c.AggError)
+	}
+	return b.String()
+}
+
+// TestGoldenMatrix locks the detector×attack benchmark matrix to an
+// exact numerical grid. Regenerate deliberately with:
+//
+//	go test -run TestGoldenMatrix -update .
+func TestGoldenMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full detector×attack grid")
+	}
+	checkGolden(t, goldenMatrixPath, renderGoldenMatrix(t))
+}

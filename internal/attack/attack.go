@@ -1,10 +1,11 @@
-// Package attack implements adaptive collusion strategies against the
-// trust-enhanced rating system — the paper's stated future work ("we
-// will study the possible attacks to the proposed solutions"). Each
-// Strategy plans a campaign of unfair ratings for one object on top of
-// an honest background stream; the robustness experiment
-// (ablation-attacks) scores the detector and the aggregation pipeline
-// against every strategy.
+// Package attack is the adversary zoo: adaptive collusion strategies
+// against the trust-enhanced rating system — the paper's stated future
+// work ("we will study the possible attacks to the proposed
+// solutions"). Each Strategy plans a campaign of unfair ratings on top
+// of an honest background stream from an explicit seed, so a campaign
+// is a pure function of (seed, params) and the detector×attack matrix
+// experiment can derive per-cell seeds the same way internal/parallel
+// derives per-item streams (randx.Derive).
 //
 // Strategies are deliberately stronger than the paper's type-1/type-2
 // raters:
@@ -21,6 +22,17 @@
 //     of the modified weighted average.
 //   - Sybil: each unfair rating comes from a fresh identity, so
 //     per-rater suspicion never accumulates across windows or objects.
+//   - Whitewash: sybil with re-registration pacing — an identity is
+//     retired after a few ratings and replaced by a fresh one, staying
+//     below any per-rater evidence threshold without paying sybil's
+//     one-rating-per-identity cost.
+//   - RotatingTarget: the clique rotates its campaign across a pool of
+//     target objects window by window, so no single object's window
+//     accumulates a clean clique signature — but the group co-rates
+//     the same objects at the same times, the signature the collusion
+//     graph mines.
+//   - Oscillate: identities alternate honest and malicious phases,
+//     rebuilding trust between strikes — trust-then-burn, repeated.
 package attack
 
 import (
@@ -31,10 +43,24 @@ import (
 	"repro/internal/sim"
 )
 
+// Quality maps (object, time) to the object's true quality. Strategies
+// track it so campaigns stay a fixed bias above a drifting target, as
+// the paper's colluders do.
+type Quality func(obj rating.ObjectID, t float64) float64
+
+// FlatQuality lifts a single-object quality curve to a Quality that
+// ignores the object — the single-target campaigns' common case.
+func FlatQuality(q func(float64) float64) Quality {
+	return func(_ rating.ObjectID, t float64) float64 { return q(t) }
+}
+
 // Params shape a collusion campaign.
 type Params struct {
-	// Object is the target object.
+	// Object is the primary target object.
 	Object rating.ObjectID
+	// Targets is the target pool for multi-object strategies
+	// (RotatingTarget); empty means just Object.
+	Targets []rating.ObjectID
 	// Start and End delimit the campaign in days.
 	Start, End float64
 	// Rate is the unfair-rating arrival rate per day.
@@ -68,6 +94,9 @@ func (p Params) withDefaults() Params {
 		}
 		p.Colluders = n
 	}
+	if len(p.Targets) == 0 {
+		p.Targets = []rating.ObjectID{p.Object}
+	}
 	return p
 }
 
@@ -86,18 +115,20 @@ func (p Params) Validate() error {
 	return nil
 }
 
-// Strategy plans a campaign. Quality maps a time to the object's true
-// quality (so strategies can track drifting targets, as the paper's
-// colluders do).
+// Strategy plans a campaign. Plan is a pure function of (seed, p): the
+// same seed replans the identical campaign, which is what lets the
+// matrix experiment fan cells out over workers without a shared
+// stream.
 type Strategy interface {
 	// Name identifies the strategy in reports.
 	Name() string
 	// Plan returns the campaign's unfair ratings, labeled. The returned
 	// slice need not be sorted.
-	Plan(rng *randx.Rand, p Params, quality func(float64) float64) ([]sim.LabeledRating, error)
+	Plan(seed int64, p Params, quality Quality) ([]sim.LabeledRating, error)
 }
 
-// All returns every implemented strategy, baseline first.
+// All returns every implemented strategy, baseline first — the
+// adversary zoo the detector×attack matrix scores against.
 func All() []Strategy {
 	return []Strategy{
 		Constant{},
@@ -106,15 +137,18 @@ func All() []Strategy {
 		Ramp{},
 		TrustThenStrike{BuildRatio: 0.5},
 		Sybil{},
+		Whitewash{IdentityRatings: 3},
+		RotatingTarget{},
+		Oscillate{HonestDays: 4, AttackDays: 4},
 	}
 }
 
-// emit quantizes and labels one unfair rating.
-func emit(p Params, id rating.RaterID, value, tm float64) sim.LabeledRating {
+// emit quantizes and labels one unfair rating against obj.
+func emit(p Params, id rating.RaterID, obj rating.ObjectID, value, tm float64) sim.LabeledRating {
 	return sim.LabeledRating{
 		Rating: rating.Rating{
 			Rater:  id,
-			Object: p.Object,
+			Object: obj,
 			Value:  randx.Quantize(value, p.Levels, true),
 			Time:   tm,
 		},
@@ -133,15 +167,16 @@ var _ Strategy = Constant{}
 func (Constant) Name() string { return "constant" }
 
 // Plan implements Strategy.
-func (Constant) Plan(rng *randx.Rand, p Params, quality func(float64) float64) ([]sim.LabeledRating, error) {
+func (Constant) Plan(seed int64, p Params, quality Quality) ([]sim.LabeledRating, error) {
 	p = p.withDefaults()
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	rng := randx.New(seed)
 	var out []sim.LabeledRating
 	for i, tm := range rng.PoissonProcess(p.Rate, p.Start, p.End) {
 		id := p.FirstRater + rating.RaterID(i%p.Colluders)
-		out = append(out, emit(p, id, rng.NormalVar(quality(tm)+p.Bias, p.Variance), tm))
+		out = append(out, emit(p, id, p.Object, rng.NormalVar(quality(p.Object, tm)+p.Bias, p.Variance), tm))
 	}
 	return out, nil
 }
@@ -159,7 +194,7 @@ var _ Strategy = Camouflage{}
 func (Camouflage) Name() string { return "camouflage" }
 
 // Plan implements Strategy.
-func (c Camouflage) Plan(rng *randx.Rand, p Params, quality func(float64) float64) ([]sim.LabeledRating, error) {
+func (c Camouflage) Plan(seed int64, p Params, quality Quality) ([]sim.LabeledRating, error) {
 	p = p.withDefaults()
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -168,10 +203,11 @@ func (c Camouflage) Plan(rng *randx.Rand, p Params, quality func(float64) float6
 	if variance <= 0 {
 		variance = 0.2
 	}
+	rng := randx.New(seed)
 	var out []sim.LabeledRating
 	for i, tm := range rng.PoissonProcess(p.Rate, p.Start, p.End) {
 		id := p.FirstRater + rating.RaterID(i%p.Colluders)
-		out = append(out, emit(p, id, rng.NormalVar(quality(tm)+p.Bias, variance), tm))
+		out = append(out, emit(p, id, p.Object, rng.NormalVar(quality(p.Object, tm)+p.Bias, variance), tm))
 	}
 	return out, nil
 }
@@ -188,7 +224,7 @@ var _ Strategy = OnOff{}
 func (OnOff) Name() string { return "on-off" }
 
 // Plan implements Strategy.
-func (o OnOff) Plan(rng *randx.Rand, p Params, quality func(float64) float64) ([]sim.LabeledRating, error) {
+func (o OnOff) Plan(seed int64, p Params, quality Quality) ([]sim.LabeledRating, error) {
 	p = p.withDefaults()
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -200,6 +236,7 @@ func (o OnOff) Plan(rng *randx.Rand, p Params, quality func(float64) float64) ([
 	if sleep <= 0 {
 		sleep = 3
 	}
+	rng := randx.New(seed)
 	var out []sim.LabeledRating
 	i := 0
 	for start := p.Start; start < p.End; start += burst + sleep {
@@ -211,7 +248,7 @@ func (o OnOff) Plan(rng *randx.Rand, p Params, quality func(float64) float64) ([
 		// sustained campaign with the same Params.Rate.
 		for _, tm := range rng.PoissonProcess(2*p.Rate, start, end) {
 			id := p.FirstRater + rating.RaterID(i%p.Colluders)
-			out = append(out, emit(p, id, rng.NormalVar(quality(tm)+p.Bias, p.Variance), tm))
+			out = append(out, emit(p, id, p.Object, rng.NormalVar(quality(p.Object, tm)+p.Bias, p.Variance), tm))
 			i++
 		}
 	}
@@ -228,12 +265,13 @@ var _ Strategy = Ramp{}
 func (Ramp) Name() string { return "ramp" }
 
 // Plan implements Strategy.
-func (Ramp) Plan(rng *randx.Rand, p Params, quality func(float64) float64) ([]sim.LabeledRating, error) {
+func (Ramp) Plan(seed int64, p Params, quality Quality) ([]sim.LabeledRating, error) {
 	p = p.withDefaults()
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	span := p.End - p.Start
+	rng := randx.New(seed)
 	var out []sim.LabeledRating
 	for i, tm := range rng.PoissonProcess(p.Rate, p.Start, p.End) {
 		frac := 0.0
@@ -241,7 +279,7 @@ func (Ramp) Plan(rng *randx.Rand, p Params, quality func(float64) float64) ([]si
 			frac = (tm - p.Start) / span
 		}
 		id := p.FirstRater + rating.RaterID(i%p.Colluders)
-		out = append(out, emit(p, id, rng.NormalVar(quality(tm)+p.Bias*frac, p.Variance), tm))
+		out = append(out, emit(p, id, p.Object, rng.NormalVar(quality(p.Object, tm)+p.Bias*frac, p.Variance), tm))
 	}
 	return out, nil
 }
@@ -264,7 +302,7 @@ var _ Strategy = TrustThenStrike{}
 func (TrustThenStrike) Name() string { return "trust-then-strike" }
 
 // Plan implements Strategy.
-func (t TrustThenStrike) Plan(rng *randx.Rand, p Params, quality func(float64) float64) ([]sim.LabeledRating, error) {
+func (t TrustThenStrike) Plan(seed int64, p Params, quality Quality) ([]sim.LabeledRating, error) {
 	ratio := t.BuildRatio
 	if ratio <= 0 || ratio >= 1 {
 		ratio = 0.5
@@ -287,19 +325,20 @@ func (t TrustThenStrike) Plan(rng *randx.Rand, p Params, quality func(float64) f
 		honestVar = 0.2
 	}
 	pivot := p.Start + ratio*(p.End-p.Start)
+	rng := randx.New(seed)
 	var out []sim.LabeledRating
 	for i, tm := range rng.PoissonProcess(p.Rate, p.Start, p.End) {
 		id := p.FirstRater + rating.RaterID(i%p.Colluders)
 		if tm < pivot {
 			// Trust-building phase: honest-looking ratings. Still from
 			// colluder identities, but not unfair — label accordingly.
-			l := emit(p, id, rng.NormalVar(quality(tm), honestVar), tm)
+			l := emit(p, id, p.Object, rng.NormalVar(quality(p.Object, tm), honestVar), tm)
 			l.Unfair = false
 			l.Class = sim.PotentialCollaborative
 			out = append(out, l)
 			continue
 		}
-		out = append(out, emit(p, id, rng.NormalVar(quality(tm)+p.Bias, p.Variance), tm))
+		out = append(out, emit(p, id, p.Object, rng.NormalVar(quality(p.Object, tm)+p.Bias, p.Variance), tm))
 	}
 	return out, nil
 }
@@ -314,16 +353,152 @@ var _ Strategy = Sybil{}
 func (Sybil) Name() string { return "sybil" }
 
 // Plan implements Strategy.
-func (Sybil) Plan(rng *randx.Rand, p Params, quality func(float64) float64) ([]sim.LabeledRating, error) {
+func (Sybil) Plan(seed int64, p Params, quality Quality) ([]sim.LabeledRating, error) {
 	p = p.withDefaults()
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	rng := randx.New(seed)
 	var out []sim.LabeledRating
 	next := p.FirstRater
 	for _, tm := range rng.PoissonProcess(p.Rate, p.Start, p.End) {
-		out = append(out, emit(p, next, rng.NormalVar(quality(tm)+p.Bias, p.Variance), tm))
+		out = append(out, emit(p, next, p.Object, rng.NormalVar(quality(p.Object, tm)+p.Bias, p.Variance), tm))
 		next++
+	}
+	return out, nil
+}
+
+// Whitewash models re-registration: an identity submits a handful of
+// unfair ratings, is abandoned before per-rater evidence can pile up,
+// and the attacker re-registers under a fresh ID. It sits between
+// Constant (one stable clique, maximal per-rater evidence) and Sybil
+// (one rating per identity, maximal registration cost).
+type Whitewash struct {
+	// IdentityRatings is how many ratings an identity submits before
+	// re-registering; zero means 3.
+	IdentityRatings int
+}
+
+var _ Strategy = Whitewash{}
+
+// Name implements Strategy.
+func (Whitewash) Name() string { return "whitewash" }
+
+// Plan implements Strategy.
+func (w Whitewash) Plan(seed int64, p Params, quality Quality) ([]sim.LabeledRating, error) {
+	p = p.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	life := w.IdentityRatings
+	if life <= 0 {
+		life = 3
+	}
+	rng := randx.New(seed)
+	var out []sim.LabeledRating
+	id := p.FirstRater
+	used := 0
+	for _, tm := range rng.PoissonProcess(p.Rate, p.Start, p.End) {
+		if used == life {
+			id++
+			used = 0
+		}
+		out = append(out, emit(p, id, p.Object, rng.NormalVar(quality(p.Object, tm)+p.Bias, p.Variance), tm))
+		used++
+	}
+	return out, nil
+}
+
+// RotatingTarget rotates the clique's campaign across the target pool:
+// during rotation slot k the whole clique rates Targets[k mod len].
+// Each object sees the clique only every len(Targets) slots — too
+// thin for a per-object window signature — but the clique co-rates
+// the same objects at the same times, which is exactly the co-rating
+// correlation a collusion graph mines.
+type RotatingTarget struct {
+	// RotateDays is the rotation slot length; zero means 10 (the §IV
+	// detector window width, so each visit spans about one window).
+	RotateDays float64
+}
+
+var _ Strategy = RotatingTarget{}
+
+// Name implements Strategy.
+func (RotatingTarget) Name() string { return "rotating" }
+
+// Plan implements Strategy.
+func (r RotatingTarget) Plan(seed int64, p Params, quality Quality) ([]sim.LabeledRating, error) {
+	p = p.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rotate := r.RotateDays
+	if rotate <= 0 {
+		rotate = 10
+	}
+	rng := randx.New(seed)
+	var out []sim.LabeledRating
+	for i, tm := range rng.PoissonProcess(p.Rate, p.Start, p.End) {
+		slot := int((tm - p.Start) / rotate)
+		obj := p.Targets[slot%len(p.Targets)]
+		id := p.FirstRater + rating.RaterID(i%p.Colluders)
+		out = append(out, emit(p, id, obj, rng.NormalVar(quality(obj, tm)+p.Bias, p.Variance), tm))
+	}
+	return out, nil
+}
+
+// Oscillate alternates honest and malicious phases per the duty cycle:
+// the clique rebuilds trust with honest ratings between strikes, so
+// the beta record's S keeps pace with the F the strikes accrue —
+// trust-then-burn, repeated for the whole campaign.
+type Oscillate struct {
+	// HonestDays and AttackDays set the duty cycle; zero values mean
+	// 4/4.
+	HonestDays, AttackDays float64
+	// HonestVariance is the variance of the trust-rebuilding ratings;
+	// zero means 0.2.
+	HonestVariance float64
+}
+
+var _ Strategy = Oscillate{}
+
+// Name implements Strategy.
+func (Oscillate) Name() string { return "oscillate" }
+
+// Plan implements Strategy.
+func (o Oscillate) Plan(seed int64, p Params, quality Quality) ([]sim.LabeledRating, error) {
+	p = p.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	honestDays, attackDays := o.HonestDays, o.AttackDays
+	if honestDays <= 0 {
+		honestDays = 4
+	}
+	if attackDays <= 0 {
+		attackDays = 4
+	}
+	honestVar := o.HonestVariance
+	if honestVar <= 0 {
+		honestVar = 0.2
+	}
+	period := honestDays + attackDays
+	rng := randx.New(seed)
+	var out []sim.LabeledRating
+	for i, tm := range rng.PoissonProcess(p.Rate, p.Start, p.End) {
+		id := p.FirstRater + rating.RaterID(i%p.Colluders)
+		phase := tm - p.Start
+		for phase >= period {
+			phase -= period
+		}
+		if phase < honestDays {
+			l := emit(p, id, p.Object, rng.NormalVar(quality(p.Object, tm), honestVar), tm)
+			l.Unfair = false
+			l.Class = sim.PotentialCollaborative
+			out = append(out, l)
+			continue
+		}
+		out = append(out, emit(p, id, p.Object, rng.NormalVar(quality(p.Object, tm)+p.Bias, p.Variance), tm))
 	}
 	return out, nil
 }

@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/randx"
+	"repro/internal/rating"
 	"repro/internal/sim"
 	"repro/internal/stat"
 )
@@ -20,7 +21,7 @@ func testParams() Params {
 	}
 }
 
-func flatQuality(float64) float64 { return 0.7 }
+var flatQuality = FlatQuality(func(float64) float64 { return 0.7 })
 
 func TestParamsDefaults(t *testing.T) {
 	p := testParams().withDefaults()
@@ -32,6 +33,9 @@ func TestParamsDefaults(t *testing.T) {
 	}
 	if p.Colluders != 42 { // 3/day * 14 days
 		t.Fatalf("colluders = %d", p.Colluders)
+	}
+	if len(p.Targets) != 1 || p.Targets[0] != 1 {
+		t.Fatalf("targets = %v", p.Targets)
 	}
 }
 
@@ -53,8 +57,7 @@ func TestAllStrategiesBasicContract(t *testing.T) {
 	for _, s := range All() {
 		s := s
 		t.Run(s.Name(), func(t *testing.T) {
-			rng := randx.New(1)
-			ls, err := s.Plan(rng, testParams(), flatQuality)
+			ls, err := s.Plan(1, testParams(), flatQuality)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -91,16 +94,15 @@ func TestStrategyNamesUnique(t *testing.T) {
 		}
 		seen[s.Name()] = true
 	}
-	if len(seen) != 6 {
+	if len(seen) != 9 {
 		t.Fatalf("%d strategies", len(seen))
 	}
 }
 
 func TestConstantBiasAndVariance(t *testing.T) {
-	rng := randx.New(2)
 	p := testParams()
 	p.Rate = 50 // plenty of samples
-	ls, err := Constant{}.Plan(rng, p, flatQuality)
+	ls, err := Constant{}.Plan(2, p, flatQuality)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,10 +119,9 @@ func TestConstantBiasAndVariance(t *testing.T) {
 }
 
 func TestCamouflageMatchesHonestVariance(t *testing.T) {
-	rng := randx.New(3)
 	p := testParams()
 	p.Rate = 50
-	ls, err := Camouflage{HonestVariance: 0.2}.Plan(rng, p, flatQuality)
+	ls, err := Camouflage{HonestVariance: 0.2}.Plan(3, p, flatQuality)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,11 +137,10 @@ func TestCamouflageMatchesHonestVariance(t *testing.T) {
 }
 
 func TestOnOffLeavesGaps(t *testing.T) {
-	rng := randx.New(4)
 	p := testParams()
 	p.Start, p.End = 0, 30
 	p.Rate = 10
-	ls, err := OnOff{BurstDays: 3, SleepDays: 3}.Plan(rng, p, flatQuality)
+	ls, err := OnOff{BurstDays: 3, SleepDays: 3}.Plan(4, p, flatQuality)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,12 +154,11 @@ func TestOnOffLeavesGaps(t *testing.T) {
 }
 
 func TestRampGrowsBias(t *testing.T) {
-	rng := randx.New(5)
 	p := testParams()
 	p.Start, p.End = 0, 40
 	p.Rate = 20
 	p.Variance = 0.001
-	ls, err := Ramp{}.Plan(rng, p, flatQuality)
+	ls, err := Ramp{}.Plan(5, p, flatQuality)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,11 +177,10 @@ func TestRampGrowsBias(t *testing.T) {
 }
 
 func TestTrustThenStrikePhases(t *testing.T) {
-	rng := randx.New(6)
 	p := testParams()
 	p.Start, p.End = 0, 40
 	p.Rate = 10
-	ls, err := TrustThenStrike{BuildRatio: 0.5}.Plan(rng, p, flatQuality)
+	ls, err := TrustThenStrike{BuildRatio: 0.5}.Plan(6, p, flatQuality)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,8 +214,7 @@ func TestTrustThenStrikePhases(t *testing.T) {
 }
 
 func TestSybilFreshIdentities(t *testing.T) {
-	rng := randx.New(7)
-	ls, err := Sybil{}.Plan(rng, testParams(), flatQuality)
+	ls, err := Sybil{}.Plan(7, testParams(), flatQuality)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,11 +227,85 @@ func TestSybilFreshIdentities(t *testing.T) {
 	}
 }
 
+func TestWhitewashRetiresIdentities(t *testing.T) {
+	p := testParams()
+	p.Rate = 10
+	ls, err := Whitewash{IdentityRatings: 3}.Plan(10, p, flatQuality)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, l := range ls {
+		counts[int(l.Rating.Rater)]++
+	}
+	if len(counts) < 2 {
+		t.Fatalf("whitewash used only %d identities", len(counts))
+	}
+	for id, n := range counts {
+		if n > 3 {
+			t.Fatalf("identity %d submitted %d ratings, want <= 3", id, n)
+		}
+	}
+}
+
+func TestRotatingTargetCoversPool(t *testing.T) {
+	p := testParams()
+	p.Start, p.End = 0, 40
+	p.Rate = 10
+	p.Targets = []rating.ObjectID{1, 2, 3}
+	ls, err := RotatingTarget{RotateDays: 10}.Plan(11, p, flatQuality)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[rating.ObjectID]bool{}
+	for _, l := range ls {
+		seen[l.Rating.Object] = true
+		// Slot k attacks target k mod 3.
+		slot := int(l.Rating.Time / 10)
+		if want := p.Targets[slot%3]; l.Rating.Object != want {
+			t.Fatalf("rating at %g on object %d, want %d", l.Rating.Time, l.Rating.Object, want)
+		}
+	}
+	if len(seen) < 3 {
+		t.Fatalf("rotation covered %d of 3 targets", len(seen))
+	}
+}
+
+func TestOscillatePhases(t *testing.T) {
+	p := testParams()
+	p.Start, p.End = 0, 40
+	p.Rate = 10
+	ls, err := Oscillate{HonestDays: 4, AttackDays: 4}.Plan(12, p, flatQuality)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var honest, unfair int
+	for _, l := range ls {
+		phase := l.Rating.Time
+		for phase >= 8 {
+			phase -= 8
+		}
+		if phase < 4 {
+			if l.Unfair {
+				t.Fatalf("unfair rating at %g inside an honest phase", l.Rating.Time)
+			}
+			honest++
+		} else {
+			if !l.Unfair {
+				t.Fatalf("honest rating at %g inside an attack phase", l.Rating.Time)
+			}
+			unfair++
+		}
+	}
+	if honest == 0 || unfair == 0 {
+		t.Fatalf("oscillate phases missing: %d honest, %d unfair", honest, unfair)
+	}
+}
+
 func TestColludersBoundIdentities(t *testing.T) {
-	rng := randx.New(8)
 	p := testParams()
 	p.Colluders = 5
-	ls, err := Constant{}.Plan(rng, p, flatQuality)
+	ls, err := Constant{}.Plan(8, p, flatQuality)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,8 +325,8 @@ func TestStrategiesDeterministicProperty(t *testing.T) {
 		strategies := All()
 		s := strategies[int(idx)%len(strategies)]
 		p := testParams()
-		a, err1 := s.Plan(randx.New(seed), p, flatQuality)
-		b, err2 := s.Plan(randx.New(seed), p, flatQuality)
+		a, err1 := s.Plan(seed, p, flatQuality)
+		b, err2 := s.Plan(seed, p, flatQuality)
 		if err1 != nil || err2 != nil || len(a) != len(b) {
 			return false
 		}
@@ -284,7 +355,7 @@ func TestStrategiesComposeWithHonestStream(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, s := range All() {
-		ls, err := s.Plan(rng.Split(), testParams(), flatQuality)
+		ls, err := s.Plan(rng.Int63(), testParams(), flatQuality)
 		if err != nil {
 			t.Fatalf("%s: %v", s.Name(), err)
 		}

@@ -1,0 +1,206 @@
+package collusion
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/randx"
+	"repro/internal/rating"
+)
+
+// colludedWorkload builds a stream where honest raters track per-object
+// quality with independent noise while a clique pushes the same +bias
+// on the same objects at the same times.
+func colludedWorkload(seed int64) ([]rating.Rating, []rating.RaterID) {
+	rng := randx.New(seed)
+	quality := []float64{0.3, 0.5, 0.7, 0.6}
+	var rs []rating.Rating
+	// 12 honest raters, each rating every object in every 10-day bucket.
+	for id := 0; id < 12; id++ {
+		for bucket := 0; bucket < 4; bucket++ {
+			for obj := range quality {
+				rs = append(rs, rating.Rating{
+					Rater:  rating.RaterID(id),
+					Object: rating.ObjectID(obj),
+					Value:  clamp01(quality[obj] + rng.Normal(0, 0.15)),
+					Time:   float64(bucket*10) + rng.Uniform(0, 10),
+				})
+			}
+		}
+	}
+	// A 4-rater clique co-rating the same objects with a shared bias
+	// profile: +0.3 on even buckets, -0.3 on odd ones, so residuals
+	// correlate strongly pairwise.
+	clique := []rating.RaterID{100, 101, 102, 103}
+	for _, id := range clique {
+		for bucket := 0; bucket < 4; bucket++ {
+			bias := 0.3
+			if bucket%2 == 1 {
+				bias = -0.3
+			}
+			for obj := range quality {
+				rs = append(rs, rating.Rating{
+					Rater:  id,
+					Object: rating.ObjectID(obj),
+					Value:  clamp01(quality[obj] + bias + rng.Normal(0, 0.02)),
+					Time:   float64(bucket*10) + rng.Uniform(0, 10),
+				})
+			}
+		}
+	}
+	return rs, clique
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func TestDetectFindsClique(t *testing.T) {
+	rs, clique := colludedWorkload(1)
+	rep, err := Detect(rs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Groups) == 0 {
+		t.Fatal("no groups mined")
+	}
+	grouped := map[rating.RaterID]bool{}
+	for _, g := range rep.Groups {
+		for _, id := range g.Members {
+			grouped[id] = true
+		}
+	}
+	for _, id := range clique {
+		if !grouped[id] {
+			t.Fatalf("clique member %d not mined (groups %v)", id, rep.Groups)
+		}
+		s, ok := rep.Suspicion[id]
+		if !ok || s < 0.5 {
+			t.Fatalf("clique member %d suspicion %g, want >= 0.5", id, s)
+		}
+	}
+	// Honest raters deviate independently; none should carry high
+	// suspicion.
+	for id, s := range rep.Suspicion {
+		if id < 100 && s > 0.9 {
+			t.Fatalf("honest rater %d suspicion %g", id, s)
+		}
+	}
+}
+
+func TestDetectHonestOnlyStaysQuiet(t *testing.T) {
+	rs, _ := colludedWorkload(2)
+	honest := rs[:0:0]
+	for _, r := range rs {
+		if r.Rater < 100 {
+			honest = append(honest, r)
+		}
+	}
+	rep, err := Detect(honest, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Independent noise makes high-similarity triples rare; allow a
+	// stray pair edge but no mined group of colluder-grade cohesion.
+	for _, g := range rep.Groups {
+		if g.Cohesion > 0.95 && len(g.Members) >= 4 {
+			t.Fatalf("honest workload mined a tight group: %+v", g)
+		}
+	}
+}
+
+func TestDetectDeterministic(t *testing.T) {
+	rs, _ := colludedWorkload(3)
+	a, err := Detect(rs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A different (reversed) input order must not change the report:
+	// profiles and pairs are canonicalized internally.
+	rev := make([]rating.Rating, len(rs))
+	for i, r := range rs {
+		rev[len(rs)-1-i] = r
+	}
+	b, err := Detect(rev, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Edges) != len(b.Edges) || len(a.Groups) != len(b.Groups) {
+		t.Fatalf("order-dependent report: %d/%d edges, %d/%d groups",
+			len(a.Edges), len(b.Edges), len(a.Groups), len(b.Groups))
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, a.Edges[i], b.Edges[i])
+		}
+	}
+	for id, s := range a.Suspicion {
+		if b.Suspicion[id] != s {
+			t.Fatalf("suspicion for %d differs: %g vs %g", id, s, b.Suspicion[id])
+		}
+	}
+}
+
+func TestDetectIgnoresMalformedRatings(t *testing.T) {
+	rs := []rating.Rating{
+		{Rater: 1, Object: 1, Value: math.NaN(), Time: 1},
+		{Rater: 2, Object: 1, Value: 0.5, Time: math.Inf(1)},
+		{Rater: 3, Object: 1, Value: 0.5, Time: 1},
+	}
+	rep, err := Detect(rs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Edges) != 0 || len(rep.Groups) != 0 {
+		t.Fatalf("malformed ratings produced edges: %+v", rep)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Metric: 9},
+		{BucketDays: -1},
+		{BucketDays: math.NaN()},
+		{MinCoRatings: 1},
+		{MinSimilarity: 1.5},
+		{MinSimilarity: -0.1},
+		{MinGroupSize: 1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("zero config rejected: %v", err)
+	}
+}
+
+func TestCosineMetric(t *testing.T) {
+	rs, clique := colludedWorkload(4)
+	rep, err := Detect(rs, Config{Metric: MetricCosine, MinSimilarity: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grouped := map[rating.RaterID]bool{}
+	for _, g := range rep.Groups {
+		for _, id := range g.Members {
+			grouped[id] = true
+		}
+	}
+	found := 0
+	for _, id := range clique {
+		if grouped[id] {
+			found++
+		}
+	}
+	if found < 3 {
+		t.Fatalf("cosine metric mined %d of 4 clique members", found)
+	}
+}

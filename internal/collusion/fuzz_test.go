@@ -1,0 +1,96 @@
+package collusion
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"repro/internal/rating"
+)
+
+// FuzzCollusionGraph feeds arbitrary bytes through Detect: the first
+// four bytes pick a (possibly invalid) Config, the rest decode into
+// ratings whose value/time are raw float64 bit patterns, so NaN, Inf,
+// subnormals and huge magnitudes all occur. Whatever the input, Detect
+// must never panic, and any report it does return must have suspicion
+// masses inside [0, 1] with edges and groups internally consistent.
+func FuzzCollusionGraph(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	// One valid-looking record.
+	rec := make([]byte, 4+18)
+	rec[4], rec[5] = 7, 2
+	binary.LittleEndian.PutUint64(rec[6:], math.Float64bits(0.5))
+	binary.LittleEndian.PutUint64(rec[14:], math.Float64bits(12.0))
+	f.Add(rec)
+	// A NaN value and an Inf time.
+	bad := make([]byte, 4+36)
+	binary.LittleEndian.PutUint64(bad[6:], math.Float64bits(math.NaN()))
+	binary.LittleEndian.PutUint64(bad[14:], math.Float64bits(3.0))
+	bad[22], bad[23] = 9, 1
+	binary.LittleEndian.PutUint64(bad[24:], math.Float64bits(0.25))
+	binary.LittleEndian.PutUint64(bad[32:], math.Float64bits(math.Inf(1)))
+	f.Add(bad)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, rs := decodeFuzzInput(data)
+		rep, err := Detect(rs, cfg)
+		if err != nil {
+			// Invalid configs are rejected, never panicked on.
+			return
+		}
+		for id, s := range rep.Suspicion {
+			if math.IsNaN(s) || s < 0 || s > 1 {
+				t.Fatalf("rater %d suspicion %g outside [0,1]", id, s)
+			}
+		}
+		for _, e := range rep.Edges {
+			if e.A >= e.B {
+				t.Fatalf("edge not canonical: %+v", e)
+			}
+			if math.IsNaN(e.Similarity) || e.Similarity < -1 || e.Similarity > 1 {
+				t.Fatalf("edge similarity %g outside [-1,1]", e.Similarity)
+			}
+		}
+		for _, g := range rep.Groups {
+			if len(g.Members) < 2 {
+				t.Fatalf("group with %d members", len(g.Members))
+			}
+			if math.IsNaN(g.Cohesion) {
+				t.Fatalf("NaN cohesion: %+v", g)
+			}
+			for _, id := range g.Members {
+				if _, ok := rep.Suspicion[id]; !ok {
+					t.Fatalf("grouped rater %d has no suspicion mass", id)
+				}
+			}
+		}
+	})
+}
+
+// decodeFuzzInput maps bytes onto a Config (first 4 bytes) and ratings
+// (18-byte records: rater, object, value bits, time bits). Small
+// moduli keep raters and objects colliding so the graph actually forms.
+func decodeFuzzInput(data []byte) (Config, []rating.Rating) {
+	var cfg Config
+	if len(data) >= 4 {
+		cfg = Config{
+			Metric:       Metric(data[0] % 4),
+			BucketDays:   float64(data[1] % 32),
+			MinCoRatings: int(data[2] % 6),
+			MinGroupSize: int(data[3] % 6),
+		}
+		data = data[4:]
+	}
+	var rs []rating.Rating
+	for len(data) >= 18 {
+		rs = append(rs, rating.Rating{
+			Rater:  rating.RaterID(data[0] % 16),
+			Object: rating.ObjectID(data[1] % 8),
+			Value:  math.Float64frombits(binary.LittleEndian.Uint64(data[2:10])),
+			Time:   math.Float64frombits(binary.LittleEndian.Uint64(data[10:18])),
+		})
+		data = data[18:]
+	}
+	return cfg, rs
+}

@@ -1,0 +1,79 @@
+// Package collusion implements co-rating collusion-graph detection in
+// the spirit of Allahbakhsh et al. ("Detecting, Representing and
+// Querying Collusion in Online Rating Systems"): pairwise rater
+// similarity indicators over co-rated (object, time-bucket) cells, a
+// thresholded collusion graph over raters, and group mining that emits
+// suspected cliques with a per-rater suspicion mass in [0, 1]
+// compatible with Procedure 2's charging (Observation.SuspicionMass).
+//
+// Similarity is computed on residuals — each rating minus its cell's
+// mean — so honest raters who all track an object's true quality stay
+// uncorrelated while a clique pushing the same bias direction lights
+// up. The whole pass is deterministic: cells, raters and pairs are
+// always visited in sorted order, so the report is a pure function of
+// the input ratings and the config.
+package collusion
+
+import "math"
+
+// Pearson returns the Pearson correlation coefficient of the paired
+// samples x and y. It is NaN-free by construction: mismatched or
+// too-short inputs and constant vectors (zero variance on either side)
+// return 0, and float drift is clamped so the result always lies in
+// [-1, 1].
+func Pearson(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) < 2 {
+		return 0
+	}
+	n := float64(len(x))
+	var mx, my float64
+	for i := range x {
+		mx += x[i]
+		my += y[i]
+	}
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 || math.IsNaN(sxy) || math.IsInf(sxy, 0) {
+		return 0
+	}
+	return clampUnit(sxy / math.Sqrt(sxx*syy))
+}
+
+// Cosine returns the cosine similarity of the paired samples x and y.
+// Like Pearson it is NaN-free: mismatched or empty inputs and
+// zero-norm vectors return 0, and the result is clamped to [-1, 1].
+func Cosine(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) == 0 {
+		return 0
+	}
+	var dot, nx, ny float64
+	for i := range x {
+		dot += x[i] * y[i]
+		nx += x[i] * x[i]
+		ny += y[i] * y[i]
+	}
+	if nx == 0 || ny == 0 || math.IsNaN(dot) || math.IsInf(dot, 0) {
+		return 0
+	}
+	return clampUnit(dot / math.Sqrt(nx*ny))
+}
+
+func clampUnit(v float64) float64 {
+	switch {
+	case math.IsNaN(v):
+		return 0
+	case v > 1:
+		return 1
+	case v < -1:
+		return -1
+	default:
+		return v
+	}
+}

@@ -1,0 +1,113 @@
+package collusion
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// Property tests (testing/quick) for the similarity indicators: both
+// must be bounded in [-1, 1], symmetric under swapping the raters,
+// invariant under permuting the co-rating order, and NaN-free even on
+// constant vectors.
+
+type pairedVectors struct {
+	X, Y []float64
+}
+
+// Generate produces equal-length vectors of finite values in a rating-
+// like range, occasionally constant to hit the zero-variance branch.
+func (pairedVectors) Generate(r *rand.Rand, size int) reflect.Value {
+	n := r.Intn(size%16+2) + 2
+	x := make([]float64, n)
+	y := make([]float64, n)
+	if r.Intn(5) == 0 {
+		c := r.Float64()
+		for i := range x {
+			x[i] = c
+			y[i] = r.Float64()
+		}
+	} else {
+		for i := range x {
+			x[i] = r.Float64()*2 - 1
+			y[i] = r.Float64()*2 - 1
+		}
+	}
+	return reflect.ValueOf(pairedVectors{X: x, Y: y})
+}
+
+func TestIndicatorsBoundedAndFinite(t *testing.T) {
+	prop := func(v pairedVectors) bool {
+		for _, s := range []float64{Pearson(v.X, v.Y), Cosine(v.X, v.Y)} {
+			if math.IsNaN(s) || s < -1 || s > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndicatorsSymmetric(t *testing.T) {
+	prop := func(v pairedVectors) bool {
+		return Pearson(v.X, v.Y) == Pearson(v.Y, v.X) &&
+			Cosine(v.X, v.Y) == Cosine(v.Y, v.X)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndicatorsPermutationInvariant(t *testing.T) {
+	prop := func(v pairedVectors, seed int64) bool {
+		perm := rand.New(rand.NewSource(seed)).Perm(len(v.X))
+		px := make([]float64, len(v.X))
+		py := make([]float64, len(v.Y))
+		for i, j := range perm {
+			px[i], py[i] = v.X[j], v.Y[j]
+		}
+		// Permuting co-rating positions reorders the same sum terms;
+		// allow float-fold slack but no more.
+		const tol = 1e-9
+		return math.Abs(Pearson(px, py)-Pearson(v.X, v.Y)) < tol &&
+			math.Abs(Cosine(px, py)-Cosine(v.X, v.Y)) < tol
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndicatorsConstantVectorsNaNFree(t *testing.T) {
+	prop := func(c float64, n uint8) bool {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			c = 0.5
+		}
+		x := make([]float64, int(n%16)+2)
+		for i := range x {
+			x[i] = c
+		}
+		p, cs := Pearson(x, x), Cosine(x, x)
+		if math.IsNaN(p) || math.IsNaN(cs) {
+			return false
+		}
+		// Constant vectors carry no correlation signal: Pearson must
+		// refuse to call them similar.
+		return p == 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndicatorsMismatchedLengths(t *testing.T) {
+	if Pearson([]float64{1, 2}, []float64{1}) != 0 {
+		t.Fatal("Pearson on mismatched lengths")
+	}
+	if Cosine([]float64{1, 2}, []float64{1}) != 0 {
+		t.Fatal("Cosine on mismatched lengths")
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/collusion"
+	"repro/internal/detector"
+	"repro/internal/randx"
+	"repro/internal/rating"
+)
+
+// auxWorkload: persistent honest raters tracking true quality per
+// object plus a clique pushing an alternating shared bias — the shape
+// the collusion graph is built to catch.
+func auxWorkload(seed int64) ([]rating.Rating, []rating.RaterID) {
+	rng := randx.New(seed)
+	quality := []float64{0.3, 0.6, 0.8}
+	var rs []rating.Rating
+	for id := 0; id < 10; id++ {
+		for day := 0; day < 30; day += 5 {
+			for obj, q := range quality {
+				rs = append(rs, rating.Rating{
+					Rater:  rating.RaterID(id),
+					Object: rating.ObjectID(obj),
+					Value:  clamp01(q + rng.Normal(0, 0.1)),
+					Time:   float64(day) + rng.Uniform(0, 5),
+				})
+			}
+		}
+	}
+	clique := []rating.RaterID{100, 101, 102}
+	for _, id := range clique {
+		for day := 0; day < 30; day += 5 {
+			bias := 0.35
+			if (day/10)%2 == 1 {
+				bias = -0.35
+			}
+			for obj, q := range quality {
+				rs = append(rs, rating.Rating{
+					Rater:  id,
+					Object: rating.ObjectID(obj),
+					Value:  clamp01(q + bias + rng.Normal(0, 0.02)),
+					Time:   float64(day) + rng.Uniform(0, 5),
+				})
+			}
+		}
+	}
+	return rs, clique
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func TestChargeWindowChargesClique(t *testing.T) {
+	rs, clique := auxWorkload(9)
+	sys, err := NewSystem(Config{
+		Collusion: &collusion.Config{MinCoRatings: 2, MinGroupSize: 3},
+		Iterative: &detector.IterativeConfig{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SubmitAll(rs); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.ProcessWindow(0, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range clique {
+		o := rep.Observations[id]
+		if o.SuspicionMass == 0 {
+			t.Fatalf("clique rater %d got no suspicion mass: %+v", id, o)
+		}
+		if o.Suspicious == 0 {
+			t.Fatalf("clique rater %d got no suspicious count: %+v", id, o)
+		}
+		if o.Filtered+o.Suspicious > o.N {
+			t.Fatalf("clique rater %d violates f+s<=n: %+v", id, o)
+		}
+		if sys.TrustIn(id) >= sys.TrustIn(0) {
+			t.Fatalf("clique rater %d trust %g not below honest %g",
+				id, sys.TrustIn(id), sys.TrustIn(0))
+		}
+	}
+}
+
+func TestChargeWindowDisabledIsNoOp(t *testing.T) {
+	rs, _ := auxWorkload(10)
+	base, err := NewSystem(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := base.SubmitAll(rs); err != nil {
+		t.Fatal(err)
+	}
+	want, err := base.ProcessWindow(0, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: the baseline config (nil aux detectors) must produce the
+	// exact observations the pre-aux pipeline did — here approximated by
+	// ChargeWindow being a strict no-op on the same scans.
+	pipe, err := NewPipeline(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obsCopy := make(map[rating.RaterID]float64, len(want.Observations))
+	for id, o := range want.Observations {
+		obsCopy[id] = o.SuspicionMass
+	}
+	if err := pipe.ChargeWindow(want.Observations, nil); err != nil {
+		t.Fatal(err)
+	}
+	for id, o := range want.Observations {
+		if o.SuspicionMass != obsCopy[id] {
+			t.Fatalf("no-op ChargeWindow moved rater %d mass", id)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/collusion"
 	"repro/internal/detector"
 	"repro/internal/rating"
 	"repro/internal/trust"
@@ -26,6 +27,16 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Detector.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
+	}
+	if cfg.Collusion != nil {
+		if err := cfg.Collusion.Validate(); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	if cfg.Iterative != nil {
+		if err := cfg.Iterative.Validate(); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
 	}
 	return &Pipeline{cfg: cfg}, nil
 }
@@ -116,6 +127,84 @@ func (p *Pipeline) Charge(obs map[rating.RaterID]trust.Observation, scan ObjectS
 		o.SuspicionMass += stats.Suspicion
 		obs[id] = o
 	}
+}
+
+// ChargeWindow runs the configured window-level detectors — the
+// collusion graph and the iterative filter, both of which need the
+// whole window's cross-object evidence rather than one object's — over
+// the accepted ratings of every scan and folds their suspicion into
+// obs. It must be called after every per-object Charge fold: the
+// clamping below relies on each rater's n and f already being final.
+// A no-op when neither detector is configured, so the paper's baseline
+// pipeline (and its golden fixtures) are untouched.
+//
+// Both callers (System and the sharded engine) pass scans in ascending
+// object order and the detectors canonicalize internally, so the added
+// mass is a pure function of the window's ratings — part of the
+// bit-exact contract.
+func (p *Pipeline) ChargeWindow(obs map[rating.RaterID]trust.Observation, scans []ObjectScan) error {
+	if p.cfg.Collusion == nil && p.cfg.Iterative == nil {
+		return nil
+	}
+	var accepted []rating.Rating
+	counts := make(map[rating.RaterID]int)
+	for _, scan := range scans {
+		if !scan.OK {
+			continue
+		}
+		for _, r := range scan.Report.Accepted {
+			accepted = append(accepted, r)
+			counts[r.Rater]++
+		}
+	}
+	if len(accepted) == 0 {
+		return nil
+	}
+
+	mass := make(map[rating.RaterID]float64)
+	if p.cfg.Collusion != nil {
+		rep, err := collusion.Detect(accepted, *p.cfg.Collusion)
+		if err != nil {
+			return fmt.Errorf("core: collusion: %w", err)
+		}
+		for id, s := range rep.Suspicion {
+			mass[id] += s
+		}
+	}
+	if p.cfg.Iterative != nil {
+		res, err := detector.IterativeFilter(accepted, *p.cfg.Iterative)
+		if err != nil {
+			return fmt.Errorf("core: iterative: %w", err)
+		}
+		for id, s := range res.Suspicion {
+			mass[id] += s
+		}
+	}
+	if len(mass) == 0 {
+		return nil
+	}
+
+	ids := make([]rating.RaterID, 0, len(mass))
+	for id := range mass {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		o := obs[id]
+		o.SuspicionMass += mass[id]
+		// Mark the rater's accepted in-window ratings suspicious, but
+		// never past Observation.Validate's f + s <= n invariant (the AR
+		// detector may have claimed some already).
+		inc := counts[id]
+		if room := o.N - o.Filtered - o.Suspicious; inc > room {
+			inc = room
+		}
+		if inc > 0 {
+			o.Suspicious += inc
+		}
+		obs[id] = o
+	}
+	return nil
 }
 
 // AggregateRatings produces one object's trust-enhanced aggregate from

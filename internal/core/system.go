@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/collusion"
 	"repro/internal/detector"
 	"repro/internal/filter"
 	"repro/internal/parallel"
@@ -31,6 +32,16 @@ type Config struct {
 	Detector detector.Config
 	// Trust configures Procedure 2 and record maintenance.
 	Trust trust.ManagerConfig
+	// Collusion, when non-nil, runs the collusion-graph detector over
+	// each maintenance window's accepted ratings and charges grouped
+	// raters' suspicion mass into Procedure 2 alongside the AR
+	// detector's. Nil disables it (the paper's baseline pipeline).
+	Collusion *collusion.Config
+	// Iterative, when non-nil, runs the iterative-filtering baseline
+	// (de Kerchove & Van Dooren) over each maintenance window's
+	// accepted ratings and charges low-weight raters the same way. Nil
+	// disables it.
+	Iterative *detector.IterativeConfig
 	// Aggregator combines filtered ratings with trust; nil means the
 	// modified weighted average (Method 3).
 	Aggregator trust.Aggregator
@@ -235,6 +246,9 @@ func (s *System) ProcessWindow(start, end float64) (ProcessReport, error) {
 		}
 		report.Objects = append(report.Objects, scan.Report)
 		s.pipe.Charge(report.Observations, scan)
+	}
+	if err := s.pipe.ChargeWindow(report.Observations, scans); err != nil {
+		return ProcessReport{}, err
 	}
 	chargeSpan.End()
 

@@ -1,0 +1,285 @@
+package detector
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/rating"
+)
+
+// IterativeConfig parameterizes the iterative-filtering baseline in the
+// style of de Kerchove & Van Dooren ("Iterative filtering in reputation
+// systems"): object reputations are the weight-averaged ratings, rater
+// weights are inversely proportional to each rater's squared distance
+// from the reputations, and the two are iterated to a fixed point.
+// Raters whose converged (normalized) weight falls below
+// WeightThreshold are flagged with suspicion 1 - weight.
+type IterativeConfig struct {
+	// MaxIter bounds the fixed-point iteration. Zero means 50.
+	MaxIter int
+	// Tol is the convergence tolerance on the max reputation change
+	// between iterations. Zero means 1e-10.
+	Tol float64
+	// Epsilon regularizes the inverse-distance weight so perfectly
+	// agreeing raters do not get infinite weight, and damps the spread
+	// between honest raters whose residual noise differs by luck. Zero
+	// means 1e-3 (squared-distance scale for unit-interval ratings).
+	Epsilon float64
+	// WeightThreshold flags raters whose normalized weight (median
+	// rater = 1, clamped) ends below it. Zero means 0.25; must lie in
+	// (0, 1].
+	WeightThreshold float64
+}
+
+func (c IterativeConfig) withDefaults() IterativeConfig {
+	if c.MaxIter == 0 {
+		c.MaxIter = 50
+	}
+	if c.Tol == 0 {
+		c.Tol = 1e-10
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = 1e-3
+	}
+	if c.WeightThreshold == 0 {
+		c.WeightThreshold = 0.25
+	}
+	return c
+}
+
+// Validate reports configuration errors after defaulting.
+func (c IterativeConfig) Validate() error {
+	c = c.withDefaults()
+	if c.MaxIter < 1 {
+		return fmt.Errorf("iterative: max iterations %d", c.MaxIter)
+	}
+	if c.Tol <= 0 || math.IsNaN(c.Tol) || math.IsInf(c.Tol, 0) {
+		return fmt.Errorf("iterative: tolerance %g", c.Tol)
+	}
+	if c.Epsilon <= 0 || math.IsNaN(c.Epsilon) || math.IsInf(c.Epsilon, 0) {
+		return fmt.Errorf("iterative: epsilon %g", c.Epsilon)
+	}
+	if c.WeightThreshold <= 0 || c.WeightThreshold > 1 || math.IsNaN(c.WeightThreshold) {
+		return fmt.Errorf("iterative: weight threshold %g outside (0,1]", c.WeightThreshold)
+	}
+	return nil
+}
+
+// IterativeResult is the converged state of one filtering pass.
+type IterativeResult struct {
+	// Reputation is the weight-averaged value per object.
+	Reputation map[rating.ObjectID]float64
+	// Weights maps each rater to its converged weight, normalized so
+	// the median rater has weight 1 and clamped to [0, 1]. The median
+	// anchor is robust: one rater with near-zero residual cannot crush
+	// everyone else's normalized weight the way a max anchor would.
+	Weights map[rating.RaterID]float64
+	// Suspicion maps each rater whose normalized weight fell below
+	// WeightThreshold to 1 - weight, in [0, 1]. Heavier raters are
+	// absent.
+	Suspicion map[rating.RaterID]float64
+	// Iterations is how many fixed-point rounds ran.
+	Iterations int
+	// Converged reports whether the loop hit Tol before MaxIter.
+	Converged bool
+}
+
+// IterativeFilter runs reputation/weight fixed-point iteration over rs.
+// Malformed records (NaN/Inf values or times) are dropped, mirroring
+// collusion.Detect. The pass is deterministic: raters and objects are
+// processed in ascending ID order, so the result is a pure function of
+// the rating multiset and the config.
+func IterativeFilter(rs []rating.Rating, cfg IterativeConfig) (IterativeResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return IterativeResult{}, err
+	}
+	cfg = cfg.withDefaults()
+
+	// Fold each rater's ratings per object to a mean, dropping
+	// malformed records. Accumulation in (rater, object, time, value)
+	// order keeps float folds input-order independent.
+	type key struct {
+		rater  rating.RaterID
+		object rating.ObjectID
+	}
+	clean := make([]rating.Rating, 0, len(rs))
+	for _, r := range rs {
+		if math.IsNaN(r.Value) || math.IsInf(r.Value, 0) ||
+			math.IsNaN(r.Time) || math.IsInf(r.Time, 0) {
+			continue
+		}
+		clean = append(clean, r)
+	}
+	sort.Slice(clean, func(i, j int) bool {
+		a, b := clean[i], clean[j]
+		if a.Rater != b.Rater {
+			return a.Rater < b.Rater
+		}
+		if a.Object != b.Object {
+			return a.Object < b.Object
+		}
+		if a.Time != b.Time {
+			return a.Time < b.Time
+		}
+		return a.Value < b.Value
+	})
+	sums := make(map[key]*struct {
+		sum float64
+		n   int
+	})
+	for _, r := range clean {
+		k := key{r.Rater, r.Object}
+		agg := sums[k]
+		if agg == nil {
+			agg = &struct {
+				sum float64
+				n   int
+			}{}
+			sums[k] = agg
+		}
+		agg.sum += r.Value
+		agg.n++
+	}
+	if len(sums) == 0 {
+		return IterativeResult{
+			Reputation: map[rating.ObjectID]float64{},
+			Weights:    map[rating.RaterID]float64{},
+			Suspicion:  map[rating.RaterID]float64{},
+			Converged:  true,
+		}, nil
+	}
+
+	// Index raters and objects in ascending order.
+	raterSet := make(map[rating.RaterID]bool)
+	objectSet := make(map[rating.ObjectID]bool)
+	for k := range sums {
+		raterSet[k.rater] = true
+		objectSet[k.object] = true
+	}
+	raters := make([]rating.RaterID, 0, len(raterSet))
+	for id := range raterSet {
+		raters = append(raters, id)
+	}
+	sort.Slice(raters, func(i, j int) bool { return raters[i] < raters[j] })
+	objects := make([]rating.ObjectID, 0, len(objectSet))
+	for id := range objectSet {
+		objects = append(objects, id)
+	}
+	sort.Slice(objects, func(i, j int) bool { return objects[i] < objects[j] })
+	objIndex := make(map[rating.ObjectID]int, len(objects))
+	for i, id := range objects {
+		objIndex[id] = i
+	}
+
+	// Per-rater dense-ish view: (object index, mean value) ascending.
+	type entry struct {
+		obj int
+		val float64
+	}
+	byRater := make([][]entry, len(raters))
+	for i, id := range raters {
+		var es []entry
+		for _, obj := range objects {
+			if agg, ok := sums[key{id, obj}]; ok {
+				es = append(es, entry{objIndex[obj], agg.sum / float64(agg.n)})
+			}
+		}
+		byRater[i] = es
+	}
+
+	// Fixed point: r_j = sum_i w_i x_ij / sum_i w_i over raters who
+	// rated j; d_i = mean_j (x_ij - r_j)^2; w_i = 1 / (d_i + eps).
+	weights := make([]float64, len(raters))
+	for i := range weights {
+		weights[i] = 1
+	}
+	rep := make([]float64, len(objects))
+	prev := make([]float64, len(objects))
+	var iter int
+	converged := false
+	for iter = 1; iter <= cfg.MaxIter; iter++ {
+		num := make([]float64, len(objects))
+		den := make([]float64, len(objects))
+		for i, es := range byRater {
+			w := weights[i]
+			for _, e := range es {
+				num[e.obj] += w * e.val
+				den[e.obj] += w
+			}
+		}
+		for j := range rep {
+			if den[j] > 0 {
+				rep[j] = num[j] / den[j]
+			}
+		}
+		for i, es := range byRater {
+			var d float64
+			for _, e := range es {
+				diff := e.val - rep[e.obj]
+				d += diff * diff
+			}
+			if len(es) > 0 {
+				d /= float64(len(es))
+			}
+			weights[i] = 1 / (d + cfg.Epsilon)
+		}
+		var delta float64
+		for j := range rep {
+			if diff := math.Abs(rep[j] - prev[j]); diff > delta {
+				delta = diff
+			}
+		}
+		copy(prev, rep)
+		if iter > 1 && delta < cfg.Tol {
+			converged = true
+			break
+		}
+	}
+	if iter > cfg.MaxIter {
+		iter = cfg.MaxIter
+	}
+
+	// Normalize weights so the median rater sits at 1 (clamped): the
+	// bulk of raters are presumed honest, so "suspicious" means "far
+	// below the typical weight", not "below the single best".
+	sortedW := append([]float64(nil), weights...)
+	sort.Float64s(sortedW)
+	var wmed float64
+	if n := len(sortedW); n%2 == 1 {
+		wmed = sortedW[n/2]
+	} else {
+		wmed = (sortedW[n/2-1] + sortedW[n/2]) / 2
+	}
+	result := IterativeResult{
+		Reputation: make(map[rating.ObjectID]float64, len(objects)),
+		Weights:    make(map[rating.RaterID]float64, len(raters)),
+		Suspicion:  make(map[rating.RaterID]float64),
+		Iterations: iter,
+		Converged:  converged,
+	}
+	for j, obj := range objects {
+		result.Reputation[obj] = rep[j]
+	}
+	for i, id := range raters {
+		w := weights[i]
+		if wmed > 0 {
+			w /= wmed
+		}
+		if w > 1 {
+			w = 1
+		}
+		result.Weights[id] = w
+		if w < cfg.WeightThreshold {
+			s := 1 - w
+			if s < 0 {
+				s = 0
+			}
+			if s > 1 {
+				s = 1
+			}
+			result.Suspicion[id] = s
+		}
+	}
+	return result, nil
+}

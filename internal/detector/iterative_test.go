@@ -1,0 +1,164 @@
+package detector
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/randx"
+	"repro/internal/rating"
+)
+
+// iterativeWorkload: honest raters rate every object near its true
+// quality; outliers push a flat +bias everywhere.
+func iterativeWorkload(seed int64) ([]rating.Rating, []rating.RaterID) {
+	rng := randx.New(seed)
+	quality := []float64{0.2, 0.5, 0.8}
+	var rs []rating.Rating
+	for id := 0; id < 10; id++ {
+		for obj, q := range quality {
+			for k := 0; k < 3; k++ {
+				rs = append(rs, rating.Rating{
+					Rater:  rating.RaterID(id),
+					Object: rating.ObjectID(obj),
+					Value:  q + rng.Normal(0, 0.05),
+					Time:   float64(k * 10),
+				})
+			}
+		}
+	}
+	bad := []rating.RaterID{50, 51}
+	for _, id := range bad {
+		for obj := range quality {
+			for k := 0; k < 3; k++ {
+				rs = append(rs, rating.Rating{
+					Rater:  id,
+					Object: rating.ObjectID(obj),
+					Value:  0.95,
+					Time:   float64(k * 10),
+				})
+			}
+		}
+	}
+	return rs, bad
+}
+
+func TestIterativeFilterDownweightsOutliers(t *testing.T) {
+	rs, bad := iterativeWorkload(1)
+	res, err := IterativeFilter(rs, IterativeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge in %d iterations", res.Iterations)
+	}
+	for _, id := range bad {
+		s, ok := res.Suspicion[id]
+		if !ok {
+			t.Fatalf("outlier %d not flagged (weights %v)", id, res.Weights)
+		}
+		if s < 0.5 || s > 1 {
+			t.Fatalf("outlier %d suspicion %g", id, s)
+		}
+	}
+	for id, w := range res.Weights {
+		if id < 50 && w < 0.2 {
+			t.Fatalf("honest rater %d weight %g collapsed", id, w)
+		}
+	}
+	// The filtered reputation of object 0 (true quality 0.2) must sit
+	// much closer to the truth than the naive mean, which the 0.95
+	// outliers drag upward.
+	if r := res.Reputation[0]; math.Abs(r-0.2) > 0.1 {
+		t.Fatalf("object 0 reputation %g, want near 0.2", r)
+	}
+}
+
+func TestIterativeFilterDeterministic(t *testing.T) {
+	rs, _ := iterativeWorkload(2)
+	a, err := IterativeFilter(rs, IterativeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev := make([]rating.Rating, len(rs))
+	for i, r := range rs {
+		rev[len(rs)-1-i] = r
+	}
+	b, err := IterativeFilter(rev, IterativeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for obj, r := range a.Reputation {
+		if b.Reputation[obj] != r {
+			t.Fatalf("reputation for %d differs: %g vs %g", obj, r, b.Reputation[obj])
+		}
+	}
+	for id, w := range a.Weights {
+		if b.Weights[id] != w {
+			t.Fatalf("weight for %d differs: %g vs %g", id, w, b.Weights[id])
+		}
+	}
+}
+
+func TestIterativeFilterEmptyAndMalformed(t *testing.T) {
+	res, err := IterativeFilter(nil, IterativeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Weights) != 0 || !res.Converged {
+		t.Fatalf("empty input: %+v", res)
+	}
+	res, err = IterativeFilter([]rating.Rating{
+		{Rater: 1, Object: 1, Value: math.NaN(), Time: 0},
+		{Rater: 2, Object: 1, Value: 0.5, Time: math.Inf(-1)},
+	}, IterativeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Weights) != 0 {
+		t.Fatalf("malformed input produced weights: %+v", res)
+	}
+}
+
+func TestIterativeConfigValidate(t *testing.T) {
+	bad := []IterativeConfig{
+		{MaxIter: -1},
+		{Tol: -1},
+		{Tol: math.NaN()},
+		{Epsilon: -1},
+		{WeightThreshold: 1.5},
+		{WeightThreshold: -0.1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+	if err := (IterativeConfig{}).Validate(); err != nil {
+		t.Fatalf("zero config rejected: %v", err)
+	}
+}
+
+func TestIterativeFilterAllAgree(t *testing.T) {
+	// Unanimous raters must all keep weight 1 and flag nobody.
+	var rs []rating.Rating
+	for id := 0; id < 5; id++ {
+		rs = append(rs, rating.Rating{
+			Rater: rating.RaterID(id), Object: 1, Value: 0.6, Time: 1,
+		})
+	}
+	res, err := IterativeFilter(rs, IterativeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Suspicion) != 0 {
+		t.Fatalf("unanimous raters flagged: %+v", res.Suspicion)
+	}
+	for id, w := range res.Weights {
+		if w != 1 {
+			t.Fatalf("rater %d weight %g, want 1", id, w)
+		}
+	}
+	if res.Reputation[1] != 0.6 {
+		t.Fatalf("reputation %g, want 0.6", res.Reputation[1])
+	}
+}

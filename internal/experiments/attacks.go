@@ -60,7 +60,9 @@ func AblationAttacks(seed int64, mode Mode, opt Options) (Result, error) {
 				if err != nil {
 					return outcome{}, err
 				}
-				campaign, err := strat.Plan(local.Split(), attack.Params{
+				// local.Int63() is the seed local.Split() would have
+				// consumed, so the planned campaigns are unchanged.
+				campaign, err := strat.Plan(local.Int63(), attack.Params{
 					Object:   p.Object,
 					Start:    p.AStart,
 					End:      p.AEnd,
@@ -68,7 +70,7 @@ func AblationAttacks(seed int64, mode Mode, opt Options) (Result, error) {
 					Bias:     p.BiasShift2,
 					Variance: p.BadVar,
 					Levels:   p.RLevels,
-				}, p.Quality)
+				}, attack.FlatQuality(p.Quality))
 				if err != nil {
 					return outcome{}, fmt.Errorf("%s: %w", strat.Name(), err)
 				}

@@ -101,6 +101,7 @@ func registry() map[string]Runner {
 		"ablation-churn":      AblationChurn,
 		"ablation-latency":    AblationLatency,
 		"ablation-prior":      AblationPrior,
+		"matrix":              Matrix,
 		"ablation-demean":     AblationDemean,
 		"ablation-armethod":   AblationARMethod,
 		"ablation-order":      AblationOrder,

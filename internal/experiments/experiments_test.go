@@ -19,6 +19,7 @@ func TestIDsRegistered(t *testing.T) {
 		"ablation-demean", "ablation-armethod", "ablation-order",
 		"ablation-window", "ablation-threshold", "ablation-floor",
 		"ablation-attacks", "ablation-whiteness", "ablation-forgetting", "ablation-baselines", "ablation-churn", "ablation-latency", "ablation-prior",
+		"matrix",
 	}
 	if len(ids) != len(want) {
 		t.Fatalf("%d experiments registered, want %d: %v", len(ids), len(want), ids)

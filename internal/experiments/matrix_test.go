@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The matrix's determinism contract: the full grid is bit-identical at
+// any worker count, because per-(cell, run) seeds are derived with
+// randx.Derive rather than drawn from a shared stream.
+func TestMatrixWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix grid in -short mode")
+	}
+	want, err := RunMatrix(1, Quick, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		got, err := RunMatrix(1, Quick, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("matrix differs between 1 and %d workers", workers)
+		}
+	}
+}
+
+func TestMatrixGridShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix grid in -short mode")
+	}
+	m, err := RunMatrix(2, Quick, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Detectors) < 3 {
+		t.Fatalf("%d detectors, want >= 3", len(m.Detectors))
+	}
+	if len(m.Attacks) < 5 {
+		t.Fatalf("%d attacks, want >= 5", len(m.Attacks))
+	}
+	if want := len(m.Detectors) * len(m.Attacks); len(m.Cells) != want {
+		t.Fatalf("%d cells, want %d", len(m.Cells), want)
+	}
+	horizon := float64(zooWindows*zooWindowDays) - zooAStart
+	for _, c := range m.Cells {
+		if c.AUC < 0 || c.AUC > 1 {
+			t.Fatalf("cell %s/%s AUC %g", c.Detector, c.Attack, c.AUC)
+		}
+		if c.DetectRate < 0 || c.DetectRate > 1 {
+			t.Fatalf("cell %s/%s detect rate %g", c.Detector, c.Attack, c.DetectRate)
+		}
+		if c.LatencyDays <= 0 || c.LatencyDays > horizon {
+			t.Fatalf("cell %s/%s latency %g outside (0,%g]", c.Detector, c.Attack, c.LatencyDays, horizon)
+		}
+		if c.AggError < 0 {
+			t.Fatalf("cell %s/%s negative agg error", c.Detector, c.Attack)
+		}
+	}
+	// The combined detector must flag the baseline clique reliably —
+	// if this regresses, the whole charging path broke.
+	c, ok := m.Cell("combined", "constant")
+	if !ok {
+		t.Fatal("no combined/constant cell")
+	}
+	if c.DetectRate < 1 {
+		t.Fatalf("combined detector missed the constant clique: %+v", c)
+	}
+}
+
+func TestMatrixRegistered(t *testing.T) {
+	if _, ok := registry()["matrix"]; !ok {
+		t.Fatal("matrix not registered")
+	}
+}

@@ -48,7 +48,7 @@ func AblationPrior(seed int64, mode Mode, opt Options) (Result, error) {
 				if err != nil {
 					return 0, err
 				}
-				campaign, err := attack.Sybil{}.Plan(local.Split(), attack.Params{
+				campaign, err := attack.Sybil{}.Plan(local.Int63(), attack.Params{
 					Object:   p.Object,
 					Start:    p.AStart,
 					End:      p.AEnd,
@@ -56,7 +56,7 @@ func AblationPrior(seed int64, mode Mode, opt Options) (Result, error) {
 					Bias:     p.BiasShift2,
 					Variance: p.BadVar,
 					Levels:   p.RLevels,
-				}, p.Quality)
+				}, attack.FlatQuality(p.Quality))
 				if err != nil {
 					return 0, err
 				}

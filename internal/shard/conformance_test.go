@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"testing"
 
+	"repro/internal/collusion"
 	"repro/internal/core"
+	"repro/internal/detector"
 	"repro/internal/shard"
 	"repro/internal/shard/shardtest"
 )
@@ -38,6 +40,47 @@ func TestShardCountInvariance(t *testing.T) {
 			}
 			if got != want {
 				t.Fatalf("seed %d: %d-shard trace diverges from oracle:\n%s",
+					seed, shards, firstDiff(want, got))
+			}
+		}
+	}
+}
+
+// The same contract with the window-level detectors switched on: the
+// collusion graph and the iterative filter run over the whole window's
+// accepted ratings, gathered across shards, so they are the natural
+// place for a shard-count dependence to sneak in. Traces must stay
+// byte-identical to the core.System oracle at 1, 2, 4 and 8 shards.
+func TestShardAuxDetectorInvariance(t *testing.T) {
+	cfg := func() core.Config {
+		return core.Config{
+			Collusion: &collusion.Config{MinSimilarity: 0.6, MinCoRatings: 2, MinGroupSize: 2},
+			Iterative: &detector.IterativeConfig{},
+		}
+	}
+	for _, seed := range []int64{5, 21} {
+		w := shardtest.Workload{Seed: seed}
+
+		oracle, err := core.NewSystem(cfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := shardtest.Run(oracle, w)
+		if err != nil {
+			t.Fatalf("seed %d: oracle: %v", seed, err)
+		}
+
+		for _, shards := range []int{1, 2, 4, 8} {
+			e, err := shard.NewEngine(cfg(), shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := shardtest.Run(e, w)
+			if err != nil {
+				t.Fatalf("seed %d shards %d: %v", seed, shards, err)
+			}
+			if got != want {
+				t.Fatalf("seed %d: %d-shard trace with aux detectors diverges:\n%s",
 					seed, shards, firstDiff(want, got))
 			}
 		}

@@ -233,6 +233,9 @@ func (e *Engine) ProcessWindow(start, end float64) (core.ProcessReport, error) {
 		report.Objects = append(report.Objects, scan.Report)
 		e.pipe.Charge(report.Observations, scan)
 	}
+	if err := e.pipe.ChargeWindow(report.Observations, scans); err != nil {
+		return core.ProcessReport{}, err
+	}
 
 	e.trustMu.Lock()
 	err = e.manager.UpdateBatch(report.Observations, end)

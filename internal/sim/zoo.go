@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/randx"
+	"repro/internal/rating"
+)
+
+// ZooParams parameterize the adversary-zoo background workload: a
+// small marketplace of long-lived objects with static true qualities,
+// rated by a fixed population of persistent honest raters. Unlike the
+// §III.A.2 illustrative trace (fresh rater ID per arrival), raters
+// here keep their identity for the whole run, which is what gives the
+// collusion graph co-rating profiles and the iterative filter weight
+// histories to work with. Attack campaigns from the attack package are
+// overlaid on top of this background by the matrix experiment.
+type ZooParams struct {
+	// SimuTime is the simulation length in days. Zero means 60.
+	SimuTime float64
+	// Objects is how many objects exist, IDs 1..Objects. Zero means 6.
+	Objects int
+	// Raters is the honest population size, IDs 0..Raters-1. Zero
+	// means 40.
+	Raters int
+	// PRate is the daily probability that a rater rates (one uniformly
+	// chosen object). Zero means 0.8.
+	PRate float64
+	// GoodVar is the honest rating variance around an object's quality.
+	// Zero means 0.05 (persistent raters track quality closely, so a
+	// coordinated bias stands out).
+	GoodVar float64
+	// QualityLo and QualityHi bound the per-object static qualities,
+	// drawn uniformly. Zeros mean [0.3, 0.85].
+	QualityLo, QualityHi float64
+	// RLevels is the rating scale size, scores i/(RLevels-1). Zero
+	// means 11 (the §III.A.2 scale).
+	RLevels int
+}
+
+// DefaultZoo returns the zoo background defaults.
+func DefaultZoo() ZooParams {
+	return ZooParams{
+		SimuTime:  60,
+		Objects:   6,
+		Raters:    40,
+		PRate:     0.8,
+		GoodVar:   0.05,
+		QualityLo: 0.3,
+		QualityHi: 0.85,
+		RLevels:   11,
+	}
+}
+
+func (p ZooParams) withDefaults() ZooParams {
+	d := DefaultZoo()
+	if p.SimuTime == 0 {
+		p.SimuTime = d.SimuTime
+	}
+	if p.Objects == 0 {
+		p.Objects = d.Objects
+	}
+	if p.Raters == 0 {
+		p.Raters = d.Raters
+	}
+	if p.PRate == 0 {
+		p.PRate = d.PRate
+	}
+	if p.GoodVar == 0 {
+		p.GoodVar = d.GoodVar
+	}
+	if p.QualityLo == 0 && p.QualityHi == 0 {
+		p.QualityLo, p.QualityHi = d.QualityLo, d.QualityHi
+	}
+	if p.RLevels == 0 {
+		p.RLevels = d.RLevels
+	}
+	return p
+}
+
+// Validate reports parameter errors after defaulting.
+func (p ZooParams) Validate() error {
+	p = p.withDefaults()
+	switch {
+	case p.SimuTime <= 0:
+		return fmt.Errorf("sim: zoo simuTime %g", p.SimuTime)
+	case p.Objects < 1:
+		return fmt.Errorf("sim: zoo objects %d", p.Objects)
+	case p.Raters < 1:
+		return fmt.Errorf("sim: zoo raters %d", p.Raters)
+	case p.PRate <= 0 || p.PRate > 1:
+		return fmt.Errorf("sim: zoo pRate %g outside (0,1]", p.PRate)
+	case p.GoodVar < 0:
+		return fmt.Errorf("sim: zoo negative variance")
+	case p.QualityLo < 0 || p.QualityHi > 1 || p.QualityHi < p.QualityLo:
+		return fmt.Errorf("sim: zoo quality range [%g,%g]", p.QualityLo, p.QualityHi)
+	case p.RLevels < 2:
+		return fmt.Errorf("sim: zoo rLevels %d", p.RLevels)
+	}
+	return nil
+}
+
+// ZooTrace is a generated zoo background.
+type ZooTrace struct {
+	Params ZooParams
+	// Quality[i] is the static true quality of object i+1.
+	Quality []float64
+	// Ratings are the honest background ratings, time-sorted.
+	Ratings []LabeledRating
+}
+
+// ObjectIDs returns the trace's object IDs, ascending.
+func (t *ZooTrace) ObjectIDs() []rating.ObjectID {
+	out := make([]rating.ObjectID, len(t.Quality))
+	for i := range out {
+		out[i] = rating.ObjectID(i + 1)
+	}
+	return out
+}
+
+// QualityOf is the trace's quality function in the attack package's
+// Quality shape (object, time) — qualities are static, so time is
+// ignored. Unknown objects read as 0.5.
+func (t *ZooTrace) QualityOf(obj rating.ObjectID, _ float64) float64 {
+	i := int(obj) - 1
+	if i < 0 || i >= len(t.Quality) {
+		return 0.5
+	}
+	return t.Quality[i]
+}
+
+// GenerateZoo synthesizes one zoo background: per-object qualities
+// first (one uniform draw each, in object order), then day by day each
+// rater flips PRate and, on success, rates one uniformly chosen object
+// honestly at a jittered time. The trace is a pure function of rng's
+// seed and the parameters.
+func GenerateZoo(rng *randx.Rand, p ZooParams) (*ZooTrace, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	p = p.withDefaults()
+
+	trace := &ZooTrace{Params: p, Quality: make([]float64, p.Objects)}
+	for i := range trace.Quality {
+		trace.Quality[i] = rng.Uniform(p.QualityLo, p.QualityHi)
+	}
+
+	days := int(p.SimuTime)
+	for d := 0; d < days; d++ {
+		for id := 0; id < p.Raters; id++ {
+			if !rng.Bernoulli(p.PRate) {
+				continue
+			}
+			obj := rating.ObjectID(rng.Intn(p.Objects) + 1)
+			value := rng.NormalVar(trace.QualityOf(obj, 0), p.GoodVar)
+			trace.Ratings = append(trace.Ratings, LabeledRating{
+				Rating: rating.Rating{
+					Rater:  rating.RaterID(id),
+					Object: obj,
+					Value:  randx.Quantize(value, p.RLevels, true),
+					Time:   float64(d) + rng.Float64(),
+				},
+				Class: Reliable,
+			})
+		}
+	}
+	SortByTime(trace.Ratings)
+	return trace, nil
+}

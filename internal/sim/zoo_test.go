@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/randx"
+	"repro/internal/rating"
+)
+
+func TestGenerateZooShape(t *testing.T) {
+	trace, err := GenerateZoo(randx.New(1), ZooParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := trace.Params
+	if len(trace.Quality) != p.Objects {
+		t.Fatalf("%d qualities for %d objects", len(trace.Quality), p.Objects)
+	}
+	for i, q := range trace.Quality {
+		if q < p.QualityLo || q > p.QualityHi {
+			t.Fatalf("object %d quality %g outside [%g,%g]", i+1, q, p.QualityLo, p.QualityHi)
+		}
+	}
+	// Expected volume: Raters * days * PRate, within a loose band.
+	expect := float64(p.Raters) * p.SimuTime * p.PRate
+	if n := float64(len(trace.Ratings)); n < 0.8*expect || n > 1.2*expect {
+		t.Fatalf("%g ratings, expected near %g", n, expect)
+	}
+	seen := map[rating.RaterID]int{}
+	for i, l := range trace.Ratings {
+		if l.Unfair || l.Class != Reliable {
+			t.Fatalf("zoo background emitted non-honest rating %+v", l)
+		}
+		r := l.Rating
+		if r.Object < 1 || int(r.Object) > p.Objects {
+			t.Fatalf("object %d out of range", r.Object)
+		}
+		if r.Time < 0 || r.Time > p.SimuTime {
+			t.Fatalf("time %g out of range", r.Time)
+		}
+		if i > 0 && trace.Ratings[i-1].Rating.Time > r.Time {
+			t.Fatal("ratings not time-sorted")
+		}
+		seen[r.Rater]++
+	}
+	// Persistent identities: nearly every rater appears many times.
+	if len(seen) != p.Raters {
+		t.Fatalf("%d distinct raters, want %d", len(seen), p.Raters)
+	}
+	for id, n := range seen {
+		if n < 10 {
+			t.Fatalf("rater %d has only %d ratings; zoo raters are persistent", id, n)
+		}
+	}
+}
+
+func TestGenerateZooDeterministic(t *testing.T) {
+	a, err := GenerateZoo(randx.New(7), ZooParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateZoo(randx.New(7), ZooParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Ratings) != len(b.Ratings) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Ratings), len(b.Ratings))
+	}
+	for i := range a.Ratings {
+		if a.Ratings[i] != b.Ratings[i] {
+			t.Fatalf("rating %d differs", i)
+		}
+	}
+}
+
+func TestZooQualityOf(t *testing.T) {
+	trace, err := GenerateZoo(randx.New(2), ZooParams{Objects: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := trace.QualityOf(2, 10); got != trace.Quality[1] {
+		t.Fatalf("QualityOf(2) = %g, want %g", got, trace.Quality[1])
+	}
+	if got := trace.QualityOf(99, 0); got != 0.5 {
+		t.Fatalf("unknown object quality %g, want 0.5", got)
+	}
+	if got, want := len(trace.ObjectIDs()), 3; got != want {
+		t.Fatalf("%d object IDs, want %d", got, want)
+	}
+}
+
+func TestZooValidate(t *testing.T) {
+	bad := []ZooParams{
+		{SimuTime: -1},
+		{Objects: -1},
+		{Raters: -2},
+		{PRate: 1.5},
+		{QualityLo: 0.9, QualityHi: 0.1},
+		{RLevels: 1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad params %d accepted: %+v", i, p)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package stat
+
+import "sort"
+
+// AUC returns the area under the ROC curve for scores against binary
+// labels, computed as the Mann-Whitney rank statistic with averaged
+// tie ranks: the probability that a uniformly drawn positive outscores
+// a uniformly drawn negative (ties count half). It returns 0.5 — the
+// chance-level diagonal — when either class is empty, so degenerate
+// detector×attack cells stay comparable instead of poisoning a mean.
+func AUC(scores []float64, labels []bool) float64 {
+	if len(scores) != len(labels) {
+		return 0.5
+	}
+	var pos, neg int
+	for _, l := range labels {
+		if l {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return 0.5
+	}
+
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+
+	// Sum the positives' ranks, averaging ranks across tied scores.
+	var rankSum float64
+	for i := 0; i < len(idx); {
+		j := i
+		for j < len(idx) && scores[idx[j]] == scores[idx[i]] {
+			j++
+		}
+		// 1-based ranks i+1..j share the average rank.
+		avg := float64(i+1+j) / 2
+		for k := i; k < j; k++ {
+			if labels[idx[k]] {
+				rankSum += avg
+			}
+		}
+		i = j
+	}
+	u := rankSum - float64(pos)*float64(pos+1)/2
+	return u / (float64(pos) * float64(neg))
+}

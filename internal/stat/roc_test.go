@@ -1,0 +1,74 @@
+package stat
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAUCPerfectSeparation(t *testing.T) {
+	scores := []float64{0.1, 0.2, 0.8, 0.9}
+	labels := []bool{false, false, true, true}
+	if got := AUC(scores, labels); got != 1 {
+		t.Fatalf("AUC = %g, want 1", got)
+	}
+	inverted := []bool{true, true, false, false}
+	if got := AUC(scores, inverted); got != 0 {
+		t.Fatalf("inverted AUC = %g, want 0", got)
+	}
+}
+
+func TestAUCAllTied(t *testing.T) {
+	scores := []float64{0.5, 0.5, 0.5, 0.5}
+	labels := []bool{true, false, true, false}
+	if got := AUC(scores, labels); got != 0.5 {
+		t.Fatalf("all-tied AUC = %g, want 0.5", got)
+	}
+}
+
+func TestAUCDegenerateClasses(t *testing.T) {
+	if got := AUC([]float64{1, 2}, []bool{true, true}); got != 0.5 {
+		t.Fatalf("no-negatives AUC = %g, want 0.5", got)
+	}
+	if got := AUC([]float64{1, 2}, []bool{false, false}); got != 0.5 {
+		t.Fatalf("no-positives AUC = %g, want 0.5", got)
+	}
+	if got := AUC(nil, nil); got != 0.5 {
+		t.Fatalf("empty AUC = %g, want 0.5", got)
+	}
+	if got := AUC([]float64{1}, []bool{true, false}); got != 0.5 {
+		t.Fatalf("mismatched AUC = %g, want 0.5", got)
+	}
+}
+
+func TestAUCHandComputed(t *testing.T) {
+	// Positives {0.9, 0.4}, negatives {0.6, 0.2}: pairs won = (0.9>0.6),
+	// (0.9>0.2), (0.4>0.2) = 3 of 4.
+	scores := []float64{0.9, 0.4, 0.6, 0.2}
+	labels := []bool{true, true, false, false}
+	if got := AUC(scores, labels); math.Abs(got-0.75) > 1e-15 {
+		t.Fatalf("AUC = %g, want 0.75", got)
+	}
+	// A tie across classes counts half: positive {0.5}, negatives
+	// {0.5, 0.3} -> (tie = 0.5) + (win = 1) over 2 pairs = 0.75.
+	scores = []float64{0.5, 0.5, 0.3}
+	labels = []bool{true, false, false}
+	if got := AUC(scores, labels); math.Abs(got-0.75) > 1e-15 {
+		t.Fatalf("tied AUC = %g, want 0.75", got)
+	}
+}
+
+func TestAUCOrderInvariant(t *testing.T) {
+	scores := []float64{0.9, 0.4, 0.6, 0.2, 0.5, 0.5}
+	labels := []bool{true, true, false, false, true, false}
+	want := AUC(scores, labels)
+	// Reverse both in lockstep; the statistic must not move.
+	n := len(scores)
+	rs := make([]float64, n)
+	rl := make([]bool, n)
+	for i := 0; i < n; i++ {
+		rs[i], rl[i] = scores[n-1-i], labels[n-1-i]
+	}
+	if got := AUC(rs, rl); got != want {
+		t.Fatalf("reversed AUC = %g, want %g", got, want)
+	}
+}

@@ -232,6 +232,9 @@ type (
 	AttackStrategy = attack.Strategy
 	// AttackParams shape a campaign.
 	AttackParams = attack.Params
+	// AttackQuality answers an object's true quality at a time, so
+	// camouflage phases can rate honestly.
+	AttackQuality = attack.Quality
 )
 
 // AttackStrategies returns every implemented strategy, the paper's
