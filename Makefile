@@ -1,12 +1,19 @@
 GO ?= go
 
-.PHONY: all build vet test race race-soak bench bench-quick allocs profile fuzz chaos chaos-repl contract matrix ci artifacts benchreport clean
+.PHONY: all build vet test race race-soak bench bench-quick allocs profile fuzz chaos chaos-repl contract matrix stream-conformance ci artifacts benchreport clean
 
 # Committed shard-scaling floor for `make bench-quick`: the 4-shard
 # batching win measured for BENCH_6 sits at ~4x on the reference box;
 # 3.0 leaves noise headroom while still catching any real regression
 # of the lock-free ingest path.
 MIN_SPEEDUP4 ?= 3.0
+
+# Committed streaming detection-latency floor for `make bench-quick`:
+# the online path's worst detected-attack latency in the deterministic
+# zoo comparison sits at ~8.7 rating-days; 12 leaves headroom while
+# still failing if streaming ever slips past it on an attack it
+# catches, or loses an attack the batch path catches.
+MAX_STREAM_LATENCY ?= 12
 
 # Per-target budget for the fuzz sweep; go-fuzz corpora live in
 # testdata/fuzz and regressions found there replay in plain `go test`.
@@ -47,8 +54,9 @@ bench:
 # regresses below MIN_SPEEDUP4.
 bench-quick:
 	$(GO) run ./cmd/benchreport -run tab1 -walrecords 0 -telemetryreps 0 \
-		-servingratings 0 -replratings 0 -detection "" \
-		-minspeedup4 $(MIN_SPEEDUP4) -out /dev/null
+		-servingratings 0 -replratings 0 -detection "" -streamratings 0 \
+		-minspeedup4 $(MIN_SPEEDUP4) -maxstreamlatency $(MAX_STREAM_LATENCY) \
+		-out /dev/null
 
 # allocs runs the steady-state allocation pins (testing.AllocsPerRun),
 # which only exist in non-race builds — the race runtime's bookkeeping
@@ -89,6 +97,7 @@ ci:
 	$(GO) test -race ./...
 	$(MAKE) allocs
 	$(MAKE) race-soak
+	$(MAKE) stream-conformance
 	$(MAKE) contract
 	$(GO) test -run=NONE -bench=BenchmarkTab1 -benchtime=1x .
 	$(MAKE) chaos
@@ -105,6 +114,17 @@ ci:
 # `go test -run TestGoldenMatrix -update .`).
 matrix:
 	$(GO) run ./cmd/experiments -exp matrix -mode quick
+
+# stream-conformance pins the streaming detection path to the batch
+# oracle under the race detector: byte-identical fingerprints across
+# shard counts with the aux detectors live, the incremental collusion
+# accumulator's property equivalence with batch Detect, and the
+# mid-window crash — recovery must replay to the exact suspicion and
+# trust state of a run that never died.
+stream-conformance:
+	$(GO) test -race -count=1 -run 'TestStream' ./internal/shard/
+	$(GO) test -race -count=1 -run 'TestAccumulator' ./internal/collusion/
+	$(GO) test -race -count=1 -run 'TestStreamChaosMidWindowCrash' ./cmd/ratingd/
 
 # contract replays the checked-in wire-contract fixtures: every v1
 # endpoint's golden response, every error code in the catalogue, and
@@ -139,7 +159,7 @@ artifacts:
 	$(GO) run ./cmd/experiments -run all -mode full -csv artifacts/
 
 benchreport:
-	$(GO) run ./cmd/benchreport -out BENCH_8.json
+	$(GO) run ./cmd/benchreport -out BENCH_9.json
 
 clean:
 	rm -rf artifacts/

@@ -30,11 +30,16 @@
 // lag percentiles (records and seconds) while the primary ingests
 // paced batches.
 //
+// It also measures the streaming detection path (-stream-detect):
+// per-attack detection latency of online stream alerts versus batch
+// maintenance windows on the adversary-zoo workload, and the ingest
+// throughput cost of keeping streaming on at 4 shards.
+//
 // Finally it records the detector×attack benchmark matrix (AUC,
 // detection rate, latency, aggregation error per cell) so detector
 // regressions show up in BENCH history alongside perf regressions.
 //
-//	benchreport                      # all experiments -> BENCH_8.json
+//	benchreport                      # all experiments -> BENCH_9.json
 //	benchreport -run tab1 -out -     # one experiment  -> stdout
 //	benchreport -workers 4 -walrecords 100000
 package main
@@ -47,6 +52,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -75,6 +81,7 @@ type Report struct {
 	ShardScale  *ShardScalingStats `json:"shard_scaling,omitempty"`
 	Serving     *ServingStats      `json:"serving,omitempty"`
 	Replication *ReplicationStats  `json:"replication,omitempty"`
+	Streaming   *StreamingStats    `json:"streaming,omitempty"`
 	Detection   *DetectionStats    `json:"detection,omitempty"`
 	TotalWallNS int64              `json:"total_wall_ns"`
 }
@@ -145,14 +152,18 @@ func run(args []string, stdout io.Writer) error {
 		runID      = fs.String("run", "all", "experiment ID to measure, or \"all\"")
 		seed       = fs.Int64("seed", 1, "top-level random seed")
 		workers    = fs.Int("workers", 0, "Monte-Carlo worker goroutines (0 = GOMAXPROCS)")
-		out        = fs.String("out", "BENCH_8.json", "output path, or \"-\" for stdout")
+		out        = fs.String("out", "BENCH_9.json", "output path, or \"-\" for stdout")
 		walRecs    = fs.Int("walrecords", 50000, "WAL records for the recovery-replay benchmark (0 skips it)")
 		telReps    = fs.Int("telemetryreps", 20, "ProcessWindow repetitions for the telemetry-overhead benchmark (0 skips it)")
 		shardRecs  = fs.Int("shardratings", 480000, "ratings for the shard-scaling ingest benchmark (0 skips it)")
 		serveRecs  = fs.Int("servingratings", 240000, "ratings for the HTTP serving benchmark (0 skips it)")
 		replRecs   = fs.Int("replratings", 120000, "ratings for the replication catch-up/lag benchmark (0 skips it)")
 		detMode    = fs.String("detection", "quick", "detector×attack matrix fidelity: quick or full (empty skips it)")
+		streamAtt  = fs.String("streamattacks", "constant,camouflage,on-off,ramp,trust-then-strike,sybil,whitewash,rotating,oscillate", "comma-separated zoo attacks for the streaming detection-latency benchmark (empty skips it)")
+		streamRecs = fs.Int("streamratings", 240000, "ratings for the streaming ingest-overhead benchmark (0 skips it)")
 		minSpeed4  = fs.Float64("minspeedup4", 0, "fail unless shard_scaling.speedup_at_4 reaches this floor (0 disables)")
+		maxSLat    = fs.Float64("maxstreamlatency", 0, "fail if any batch-detected attack's streaming latency exceeds this many days (0 disables)")
+		maxSOver   = fs.Float64("maxstreamoverhead", 0, "fail if streaming ingest overhead exceeds this percent (0 disables)")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the measured sections to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile (after a final GC) to this file")
 	)
@@ -278,6 +289,54 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
+	if *streamAtt != "" || *streamRecs > 0 {
+		var stats StreamingStats
+		began := time.Now()
+		if *streamAtt != "" {
+			lat, err := measureStreamLatency(splitList(*streamAtt), *seed)
+			if err != nil {
+				return fmt.Errorf("streaming latency: %w", err)
+			}
+			stats.Latency = lat
+		}
+		if *streamRecs > 0 {
+			if err := atNumCPU(func() error {
+				ingest, err := measureStreamIngest(*streamRecs, *seed)
+				if err != nil {
+					return fmt.Errorf("streaming ingest: %w", err)
+				}
+				stats.Ingest = &ingest
+				return nil
+			}); err != nil {
+				return err
+			}
+		}
+		stats.WallNS = time.Since(began).Nanoseconds()
+		report.Streaming = &stats
+		report.TotalWallNS += stats.WallNS
+
+		// The committed streaming regression floors (see `make
+		// bench-quick`): the online path must not lose an attack the
+		// batch path catches, must not detect later than the pinned
+		// bound on anything it does catch, and must not tax ingest
+		// beyond the pinned overhead.
+		if *maxSLat > 0 {
+			for _, l := range stats.Latency {
+				if l.BatchDetected && !l.StreamDetected {
+					return fmt.Errorf("streaming latency: %s: batch detects but streaming does not", l.Attack)
+				}
+				if l.StreamDetected && l.StreamLatencyDays > *maxSLat {
+					return fmt.Errorf("streaming latency: %s: %.1f days above committed floor %.1f",
+						l.Attack, l.StreamLatencyDays, *maxSLat)
+				}
+			}
+		}
+		if *maxSOver > 0 && stats.Ingest != nil && stats.Ingest.OverheadPercent > *maxSOver {
+			return fmt.Errorf("streaming ingest: overhead %.1f%% above committed floor %.1f%%",
+				stats.Ingest.OverheadPercent, *maxSOver)
+		}
+	}
+
 	if *detMode != "" {
 		stats, err := measureDetection(*detMode, *seed, opt)
 		if err != nil {
@@ -297,6 +356,18 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	return os.WriteFile(*out, data, 0o644)
+}
+
+// splitList parses a comma-separated flag value, dropping empty and
+// surrounding-space-only elements.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 // atNumCPU runs f with GOMAXPROCS raised to the machine's CPU count

@@ -13,7 +13,7 @@ import (
 
 func TestSingleExperimentToStdout(t *testing.T) {
 	var buf strings.Builder
-	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "0", "-telemetryreps", "0", "-shardratings", "0", "-servingratings", "0", "-replratings", "0", "-detection", ""}, &buf); err != nil {
+	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "0", "-telemetryreps", "0", "-shardratings", "0", "-servingratings", "0", "-replratings", "0", "-detection", "", "-streamattacks", "", "-streamratings", "0"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	var rep Report
@@ -37,7 +37,7 @@ func TestSingleExperimentToStdout(t *testing.T) {
 
 func TestWALReplayStats(t *testing.T) {
 	var buf strings.Builder
-	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "2000", "-telemetryreps", "0", "-shardratings", "0", "-servingratings", "0", "-replratings", "0", "-detection", ""}, &buf); err != nil {
+	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "2000", "-telemetryreps", "0", "-shardratings", "0", "-servingratings", "0", "-replratings", "0", "-detection", "", "-streamattacks", "", "-streamratings", "0"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	var rep Report
@@ -58,7 +58,7 @@ func TestWALReplayStats(t *testing.T) {
 
 func TestWritesFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_test.json")
-	if err := run([]string{"-run", "fig2", "-out", path, "-workers", "2", "-telemetryreps", "0", "-shardratings", "0", "-servingratings", "0", "-replratings", "0", "-detection", ""}, io.Discard); err != nil {
+	if err := run([]string{"-run", "fig2", "-out", path, "-workers", "2", "-telemetryreps", "0", "-shardratings", "0", "-servingratings", "0", "-replratings", "0", "-detection", "", "-streamattacks", "", "-streamratings", "0"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -99,7 +99,7 @@ func TestAllCoversRegistry(t *testing.T) {
 
 func TestShardScalingStats(t *testing.T) {
 	var buf strings.Builder
-	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "0", "-telemetryreps", "0", "-shardratings", "4000", "-servingratings", "0", "-replratings", "0", "-detection", ""}, &buf); err != nil {
+	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "0", "-telemetryreps", "0", "-shardratings", "4000", "-servingratings", "0", "-replratings", "0", "-detection", "", "-streamattacks", "", "-streamratings", "0"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	var rep Report
@@ -131,7 +131,7 @@ func TestShardScalingStats(t *testing.T) {
 
 func TestServingStats(t *testing.T) {
 	var buf strings.Builder
-	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "0", "-telemetryreps", "0", "-shardratings", "0", "-servingratings", "600", "-replratings", "0", "-detection", ""}, &buf); err != nil {
+	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "0", "-telemetryreps", "0", "-shardratings", "0", "-servingratings", "600", "-replratings", "0", "-detection", "", "-streamattacks", "", "-streamratings", "0"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	var rep Report
@@ -160,7 +160,7 @@ func TestServingStats(t *testing.T) {
 
 func TestReplicationStats(t *testing.T) {
 	var buf strings.Builder
-	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "0", "-telemetryreps", "0", "-shardratings", "0", "-servingratings", "0", "-replratings", "800", "-detection", ""}, &buf); err != nil {
+	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "0", "-telemetryreps", "0", "-shardratings", "0", "-servingratings", "0", "-replratings", "800", "-detection", "", "-streamattacks", "", "-streamratings", "0"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	var rep Report
@@ -190,7 +190,7 @@ func TestDetectionStats(t *testing.T) {
 		t.Skip("runs the full detector×attack grid")
 	}
 	var buf strings.Builder
-	if err := run([]string{"-run", "fig2", "-out", "-", "-walrecords", "0", "-telemetryreps", "0", "-shardratings", "0", "-servingratings", "0", "-replratings", "0", "-detection", "quick"}, &buf); err != nil {
+	if err := run([]string{"-run", "fig2", "-out", "-", "-walrecords", "0", "-telemetryreps", "0", "-shardratings", "0", "-servingratings", "0", "-replratings", "0", "-detection", "quick", "-streamattacks", "", "-streamratings", "0"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	var rep Report
@@ -215,6 +215,57 @@ func TestDetectionStats(t *testing.T) {
 	}
 }
 
+func TestStreamingStats(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-run", "fig2", "-out", "-", "-walrecords", "0", "-telemetryreps", "0", "-shardratings", "0", "-servingratings", "0", "-replratings", "0", "-detection", "", "-streamattacks", "trust-then-strike", "-streamratings", "2000"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal([]byte(buf.String()), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	s := rep.Streaming
+	if s == nil {
+		t.Fatal("streaming missing from report")
+	}
+	if len(s.Latency) != 1 || s.Latency[0].Attack != "trust-then-strike" {
+		t.Fatalf("latency section: %+v", s.Latency)
+	}
+	l := s.Latency[0]
+	if l.StreamLatencyDays < 0 || l.BatchLatencyDays < 0 {
+		t.Fatalf("negative latency: %+v", l)
+	}
+	// The strike phase is the AR detector's easiest prey; if the
+	// streaming path stops catching it the section is measuring
+	// nothing.
+	if !l.StreamDetected {
+		t.Fatalf("streaming missed trust-then-strike: %+v", l)
+	}
+	in := s.Ingest
+	if in == nil {
+		t.Fatal("ingest section missing")
+	}
+	if in.Ratings != 2000 || in.Shards != 4 || in.BaselineWallNS <= 0 || in.StreamWallNS <= 0 {
+		t.Fatalf("degenerate ingest stats: %+v", in)
+	}
+	if in.Pushed+in.LateDropped+in.Shed != 2000 {
+		t.Fatalf("push accounting: pushed %d + late %d + shed %d != 2000", in.Pushed, in.LateDropped, in.Shed)
+	}
+	if rep.TotalWallNS != rep.Experiments[0].WallNS+s.WallNS {
+		t.Fatalf("total %d does not include streaming %d", rep.TotalWallNS, s.WallNS)
+	}
+}
+
+func TestStreamingLatencyFloor(t *testing.T) {
+	// An absurdly tight floor must fail the run: streaming detects
+	// trust-then-strike, so its latency exceeds 1e-9 and the
+	// committed-floor check fires.
+	err := run([]string{"-run", "fig2", "-out", "-", "-walrecords", "0", "-telemetryreps", "0", "-shardratings", "0", "-servingratings", "0", "-replratings", "0", "-detection", "", "-streamattacks", "trust-then-strike", "-streamratings", "0", "-maxstreamlatency", "1e-9"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "committed floor") {
+		t.Fatalf("floor breach not reported: %v", err)
+	}
+}
+
 func TestUnknownExperiment(t *testing.T) {
 	if err := run([]string{"-run", "fig99", "-out", "-"}, io.Discard); err == nil {
 		t.Fatal("unknown experiment accepted")
@@ -223,7 +274,7 @@ func TestUnknownExperiment(t *testing.T) {
 
 func TestTelemetryOverheadStats(t *testing.T) {
 	var buf strings.Builder
-	if err := run([]string{"-run", "fig2", "-out", "-", "-walrecords", "0", "-telemetryreps", "3", "-shardratings", "0", "-servingratings", "0", "-replratings", "0", "-detection", ""}, &buf); err != nil {
+	if err := run([]string{"-run", "fig2", "-out", "-", "-walrecords", "0", "-telemetryreps", "3", "-shardratings", "0", "-servingratings", "0", "-replratings", "0", "-detection", "", "-streamattacks", "", "-streamratings", "0"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	var rep Report

@@ -1,0 +1,380 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/randx"
+	"repro/internal/rating"
+	"repro/internal/shard"
+	"repro/internal/sim"
+)
+
+// The streaming-detection section answers two questions about the
+// -stream-detect path. How much earlier does the online detector raise
+// a campaign than batch maintenance windows do (detection latency, in
+// rating-days, per adversary-zoo strategy)? And what does keeping it on
+// cost at ingest (throughput with streaming enabled versus the same
+// engine without it)?
+//
+// The latency runs are deterministic: one shard means one pump
+// consuming time-ordered batches FIFO from a single submitter, so
+// alert times are a pure function of the seed. Both paths see the
+// identical combined workload and the identical count-window detector
+// configuration; the batch side closes sequential 10-day maintenance
+// windows the way matrixRun does, so its latency quantizes to window
+// ends while the streaming side can alert mid-window — the gap is the
+// section's headline number.
+
+// Zoo campaign shape shared by every latency run. The background is
+// sim.DefaultZoo (honest variance 0.05); the campaign's tight variance
+// is the paper's low-error signature the AR detector keys on.
+const (
+	slAStart    = 20
+	slAEnd      = 44
+	slRate      = 4
+	slBias      = 0.35
+	slVariance  = 0.005
+	slColluders = 8
+
+	slWindowDays = 10
+	slWindows    = 6
+
+	// Count-window detector shared by both paths. The threshold is
+	// calibrated on the default zoo background the same way
+	// zooARThreshold is on the matrix background: below the honest
+	// bulk's window error, so honest windows never charge.
+	slSize      = 30
+	slStep      = 15
+	slThreshold = 0.15
+
+	// slAlertThreshold is the accrued stream suspicion at which a
+	// rater alerts.
+	slAlertThreshold = 0.3
+)
+
+// StreamingStats is the report section.
+type StreamingStats struct {
+	Latency []StreamLatencyStats `json:"latency,omitempty"`
+	Ingest  *StreamIngestStats   `json:"ingest,omitempty"`
+	WallNS  int64                `json:"wall_ns"`
+}
+
+// StreamLatencyStats is one attack strategy's streaming-versus-batch
+// detection latency, in days after campaign onset. Undetected runs are
+// censored at the remaining horizon.
+type StreamLatencyStats struct {
+	Attack            string  `json:"attack"`
+	StreamDetected    bool    `json:"stream_detected"`
+	StreamLatencyDays float64 `json:"stream_latency_days"`
+	BatchDetected     bool    `json:"batch_detected"`
+	BatchLatencyDays  float64 `json:"batch_latency_days"`
+	// LeadDays is batch latency minus stream latency: how many
+	// rating-days of early warning the online path buys.
+	LeadDays float64 `json:"lead_days"`
+}
+
+// StreamIngestStats compares ingest throughput through the batching
+// router at 4 shards with streaming detection enabled against the same
+// engine without it. The timed region is submit-to-flush — the ack
+// path; detection drains asynchronously, and DrainWallNS records how
+// long the pumps took to finish after ingest stopped.
+type StreamIngestStats struct {
+	Ratings               int     `json:"ratings"`
+	Shards                int     `json:"shards"`
+	GOMAXPROCS            int     `json:"gomaxprocs"`
+	BaselineWallNS        int64   `json:"baseline_wall_ns"`
+	BaselineRatingsPerSec float64 `json:"baseline_ratings_per_sec"`
+	StreamWallNS          int64   `json:"stream_wall_ns"`
+	StreamRatingsPerSec   float64 `json:"stream_ratings_per_sec"`
+	OverheadPercent       float64 `json:"overhead_percent"`
+	DrainWallNS           int64   `json:"drain_wall_ns"`
+	Pushed                int64   `json:"pushed"`
+	LateDropped           int64   `json:"late_dropped"`
+	Shed                  int64   `json:"shed"`
+	Alerts                int     `json:"alerts"`
+}
+
+// slStrategies maps the CLI names to zoo strategies with their free
+// knobs tuned to the default zoo background (honest phases mimic its
+// variance, not the illustrative workload's).
+func slStrategies() map[string]attack.Strategy {
+	v := sim.DefaultZoo().GoodVar
+	m := make(map[string]attack.Strategy)
+	for _, s := range []attack.Strategy{
+		attack.Constant{},
+		attack.Camouflage{HonestVariance: v},
+		attack.OnOff{BurstDays: 3, SleepDays: 3},
+		attack.Ramp{},
+		attack.TrustThenStrike{BuildRatio: 0.5, HonestVariance: v},
+		attack.Sybil{},
+		attack.Whitewash{IdentityRatings: 3},
+		attack.RotatingTarget{},
+		attack.Oscillate{HonestDays: 4, AttackDays: 4, HonestVariance: v},
+	} {
+		m[s.Name()] = s
+	}
+	return m
+}
+
+func slDetector() detector.Config {
+	return detector.Config{Size: slSize, Step: slStep, Threshold: slThreshold}
+}
+
+// measureStreamLatency runs the latency comparison for each named
+// attack.
+func measureStreamLatency(names []string, seed int64) ([]StreamLatencyStats, error) {
+	zoo := slStrategies()
+	out := make([]StreamLatencyStats, 0, len(names))
+	for i, name := range names {
+		strat, ok := zoo[name]
+		if !ok {
+			known := make([]string, 0, len(zoo))
+			for k := range zoo {
+				known = append(known, k)
+			}
+			sort.Strings(known)
+			return nil, fmt.Errorf("unknown attack %q (known: %v)", name, known)
+		}
+		stats, err := streamLatencyOne(strat, randx.Derive(seed, i))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		out = append(out, stats)
+	}
+	return out, nil
+}
+
+func streamLatencyOne(strat attack.Strategy, seed int64) (StreamLatencyStats, error) {
+	trace, err := sim.GenerateZoo(randx.DeriveRand(seed, 0), sim.DefaultZoo())
+	if err != nil {
+		return StreamLatencyStats{}, err
+	}
+	campaign, err := strat.Plan(randx.Derive(seed, 1), attack.Params{
+		Object:    1,
+		Targets:   trace.ObjectIDs(),
+		Start:     slAStart,
+		End:       slAEnd,
+		Rate:      slRate,
+		Bias:      slBias,
+		Variance:  slVariance,
+		Levels:    trace.Params.RLevels,
+		Colluders: slColluders,
+	}, trace.QualityOf)
+	if err != nil {
+		return StreamLatencyStats{}, err
+	}
+	combined := append(append([]sim.LabeledRating(nil), trace.Ratings...), campaign...)
+	sim.SortByTime(combined)
+	malicious := make(map[rating.RaterID]bool)
+	for _, l := range campaign {
+		if l.Unfair {
+			malicious[l.Rating.Rater] = true
+		}
+	}
+	rs := sim.Ratings(combined)
+
+	horizon := float64(slWindows * slWindowDays)
+	stats := StreamLatencyStats{
+		Attack:            strat.Name(),
+		StreamLatencyDays: horizon - slAStart, // censored until detected
+		BatchLatencyDays:  horizon - slAStart,
+	}
+
+	// Batch side: sequential maintenance windows, latency quantized to
+	// the first window end that flags a true campaign identity.
+	sys, err := core.NewSystem(core.Config{Detector: slDetector()})
+	if err != nil {
+		return StreamLatencyStats{}, err
+	}
+	if err := sys.SubmitAll(rs); err != nil {
+		return StreamLatencyStats{}, err
+	}
+	for k := 0; k < slWindows && !stats.BatchDetected; k++ {
+		start, end := float64(k*slWindowDays), float64((k+1)*slWindowDays)
+		if _, err := sys.ProcessWindow(start, end); err != nil {
+			return StreamLatencyStats{}, err
+		}
+		for _, id := range sys.MaliciousRaters() {
+			if malicious[id] {
+				stats.BatchDetected = true
+				stats.BatchLatencyDays = end - slAStart
+				break
+			}
+		}
+	}
+
+	// Streaming side: one shard, one submitter, time-ordered chunks —
+	// alert times are deterministic.
+	engine, err := shard.NewEngine(core.Config{Detector: slDetector()}, 1)
+	if err != nil {
+		return StreamLatencyStats{}, err
+	}
+	st, err := engine.EnableStreaming(shard.StreamConfig{
+		Detector:       slDetector(),
+		AlertThreshold: slAlertThreshold,
+	})
+	if err != nil {
+		return StreamLatencyStats{}, err
+	}
+	const chunk = 256
+	for lo := 0; lo < len(rs); lo += chunk {
+		hi := lo + chunk
+		if hi > len(rs) {
+			hi = len(rs)
+		}
+		if err := engine.SubmitShard(0, rs[lo:hi]); err != nil {
+			return StreamLatencyStats{}, err
+		}
+	}
+	st.Sync()
+	st.Close()
+	alerts, _ := st.Alerts().Alerts(0)
+	for _, a := range alerts {
+		if !malicious[a.Rater] {
+			continue
+		}
+		lat := a.FirstFlagged - slAStart
+		if lat < 0 {
+			lat = 0
+		}
+		if !stats.StreamDetected || lat < stats.StreamLatencyDays {
+			stats.StreamLatencyDays = lat
+		}
+		stats.StreamDetected = true
+	}
+	stats.LeadDays = stats.BatchLatencyDays - stats.StreamLatencyDays
+	return stats, nil
+}
+
+// measureStreamIngest times the same time-ordered rating stream
+// through the batching router at 4 shards, once without streaming and
+// once with it enabled — the live -stream-detect regime, where arrival
+// order is rating-clock order.
+func measureStreamIngest(n int, seed int64) (StreamIngestStats, error) {
+	const (
+		shards      = 4
+		objects     = 48
+		raters      = 512
+		batchSize   = 256
+		submitChunk = 256
+		submitters  = 32
+	)
+	rng := randx.New(seed)
+	rs := make([]rating.Rating, n)
+	for i := range rs {
+		rs[i] = rating.Rating{
+			Rater:  rating.RaterID(rng.Intn(raters) + 1),
+			Object: rating.ObjectID(rng.Intn(objects)),
+			Value:  rng.Float64(),
+			// Strictly increasing event time: the streaming regime.
+			Time: float64(i) * 365 / float64(n),
+		}
+	}
+	stats := StreamIngestStats{
+		Ratings: n, Shards: shards,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	ingest := func(streaming bool) (time.Duration, error) {
+		engine, err := shard.NewEngine(core.Config{}, shards)
+		if err != nil {
+			return 0, err
+		}
+		var st *shard.Streaming
+		if streaming {
+			if st, err = engine.EnableStreaming(shard.StreamConfig{
+				AlertThreshold: slAlertThreshold,
+			}); err != nil {
+				return 0, err
+			}
+		}
+		router, err := shard.NewRouter(shard.RouterConfig{
+			Shards:    shards,
+			BatchSize: batchSize,
+			Flush:     engine.SubmitShard,
+		})
+		if err != nil {
+			return 0, err
+		}
+		runtime.GC()
+		began := time.Now()
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		errs := make([]error, submitters)
+		for w := 0; w < submitters; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for {
+					lo := int(next.Add(submitChunk)) - submitChunk
+					if lo >= n {
+						return
+					}
+					hi := lo + submitChunk
+					if hi > n {
+						hi = n
+					}
+					if err := router.Submit(rs[lo:hi]); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		if err := router.Flush(); err != nil {
+			return 0, err
+		}
+		wall := time.Since(began)
+		if err := router.Close(); err != nil {
+			return 0, err
+		}
+		for _, err := range errs {
+			if err != nil {
+				return 0, err
+			}
+		}
+		if got := engine.Len(); got != n {
+			return 0, fmt.Errorf("streaming=%v: ingested %d of %d ratings", streaming, got, n)
+		}
+		if st != nil {
+			drainBegan := time.Now()
+			st.Sync()
+			stats.DrainWallNS = time.Since(drainBegan).Nanoseconds()
+			st.Close()
+			ss := st.Stats()
+			stats.Pushed = ss.Pushed
+			stats.LateDropped = ss.LateDropped
+			stats.Shed = ss.Shed
+			stats.Alerts = ss.Alerts
+		}
+		return wall, nil
+	}
+
+	// Warm up once, then measure baseline and streaming.
+	if _, err := ingest(false); err != nil {
+		return stats, err
+	}
+	base, err := ingest(false)
+	if err != nil {
+		return stats, err
+	}
+	stream, err := ingest(true)
+	if err != nil {
+		return stats, err
+	}
+	stats.BaselineWallNS = base.Nanoseconds()
+	stats.BaselineRatingsPerSec = float64(n) / base.Seconds()
+	stats.StreamWallNS = stream.Nanoseconds()
+	stats.StreamRatingsPerSec = float64(n) / stream.Seconds()
+	stats.OverheadPercent = 100 * (stream.Seconds() - base.Seconds()) / base.Seconds()
+	return stats, nil
+}

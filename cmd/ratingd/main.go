@@ -70,6 +70,12 @@ func run(args []string) (retErr error) {
 		b         = fs.Float64("b", 1, "Procedure 2's b (suspicion weight)")
 		forget    = fs.Float64("forget", 1, "per-day trust forgetting factor")
 
+		streamDetect   = fs.Bool("stream-detect", false, "online streaming detection: per-object detector streams fed at submit time, alerts on /v1/alerts; forces the sharded engine backend")
+		streamWindow   = fs.Int("stream-window", 50, "streaming detector: ratings per count window")
+		streamStep     = fs.Int("stream-step", 25, "streaming detector: ratings between window starts")
+		alertThreshold = fs.Float64("alert-threshold", 0.5, "accrued suspicion at which a rater is alerted")
+		maintainEvery  = fs.Float64("maintain-every", 0, "streaming: auto-close an authoritative maintenance window every this many rating-days; 0 leaves windows to /v1/process")
+
 		shards        = fs.Int("shards", 1, "shard workers partitioning state by object; 1 keeps the single-system engine")
 		batchSize     = fs.Int("batch", 256, "sharded mode: ratings coalesced per shard flush (group commit)")
 		batchInterval = fs.Duration("batch-interval", 2*time.Millisecond, "sharded mode: max wait before a partial batch flushes; negative flushes on size only")
@@ -167,6 +173,16 @@ func run(args []string) (retErr error) {
 	shardEngineBackend, err := useShardEngine(*shards, *walDir)
 	if err != nil {
 		return err
+	}
+	if *streamDetect {
+		if *follow != "" {
+			// Alerts reflect live detection state, which only the primary
+			// computes; followers refuse /v1/alerts with 421 not_primary.
+			return errors.New("-stream-detect runs on primaries only; drop -follow or detect on the primary")
+		}
+		// The streaming path lives in the sharded engine; a single shard
+		// still uses it (one worker, same conformance guarantees).
+		shardEngineBackend = true
 	}
 	if *follow != "" {
 		// Follower: the primary is authoritative, so nothing local is
@@ -397,6 +413,51 @@ func run(args []string) (retErr error) {
 		if err := journal.Snapshot(); err != nil {
 			return fmt.Errorf("initial wal snapshot: %w", err)
 		}
+	}
+
+	// Streaming detection goes live after recovery and seeding, so the
+	// stream rebuild sees the full recovered store, and ResumeAfter —
+	// the recovered window high-water mark — keeps the catch-up pass
+	// from re-charging windows that are already durable.
+	if *streamDetect {
+		engine, ok := backend.(*shard.Engine)
+		if !ok {
+			return errors.New("-stream-detect: backend is not the sharded engine")
+		}
+		scfg := shard.StreamConfig{
+			Detector: detector.Config{
+				Size:      *streamWindow,
+				Step:      *streamStep,
+				Order:     *order,
+				Threshold: *threshold,
+			},
+			AlertThreshold: *alertThreshold,
+			MaintainEvery:  *maintainEvery,
+			ResumeAfter:    engine.LastWindowEnd(),
+		}
+		if *maintainEvery > 0 {
+			scfg.OnWindowDue = func(start, end float64) {
+				var err error
+				if journal != nil {
+					_, err = journal.ProcessWindow(start, end)
+				} else {
+					_, err = engine.ProcessWindow(start, end)
+				}
+				if err != nil {
+					warnf("streaming window [%g,%g): %v", start, end, err)
+					return
+				}
+				srv.InvalidateAll()
+			}
+		}
+		streaming, err := engine.EnableStreaming(scfg)
+		if err != nil {
+			return err
+		}
+		defer streaming.Close()
+		srv.SetAlerts(alertFeed{log: streaming.Alerts()})
+		fmt.Printf("streaming detection enabled (window %d/%d ratings, alert threshold %g, maintain every %g days, resume after %g)\n",
+			*streamWindow, *streamStep, *alertThreshold, *maintainEvery, scfg.ResumeAfter)
 	}
 
 	// Background maintenance: interval fsync and periodic

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/rating"
+	"repro/internal/shard"
+	"repro/internal/shard/shardtest"
+)
+
+// chaosStreamWorkload is one time-sorted rating sequence: the live
+// streaming regime, where arrival order is rating-clock order and the
+// store's per-object order therefore equals the push order a stream
+// rebuild replays.
+func chaosStreamWorkload() []rating.Rating {
+	w := shardtest.Workload{Seed: 11, Objects: 5, Raters: 20, Malicious: 4, Months: 3, PerMonth: 300, BurstLen: 60}
+	var all []rating.Rating
+	for _, m := range w.Generate() {
+		all = append(all, m.Ratings...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Time < all[j].Time })
+	return all
+}
+
+// submitSeq submits one rating at a time, in order. One big SubmitAll
+// would spread the batch across per-shard rings that drain
+// concurrently, letting a later-time rating on one shard fire a
+// window close while an earlier-time rating on another shard is still
+// in flight — fine for a live system, but the chaos comparison needs
+// every window to see identical evidence in both runs.
+func submitSeq(t *testing.T, j *shardJournal, rs []rating.Rating) {
+	t.Helper()
+	for i := range rs {
+		if err := j.SubmitAll(rs[i : i+1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// enableChaosStreaming switches streaming detection on the way run()
+// does: auto windows every 30 rating-days, closed through the journal
+// so barriers are durable, window starts recorded for the assertions.
+func enableChaosStreaming(t *testing.T, e *shard.Engine, j *shardJournal, resumeAfter float64, fired *[][2]float64, mu *sync.Mutex) *shard.Streaming {
+	t.Helper()
+	s, err := e.EnableStreaming(shard.StreamConfig{
+		Detector:       detector.Config{Size: 30, Step: 15, Threshold: 0.08},
+		AlertThreshold: 0.3,
+		MaintainEvery:  30,
+		ResumeAfter:    resumeAfter,
+		OnWindowDue: func(start, end float64) {
+			if _, err := j.ProcessWindow(start, end); err != nil {
+				t.Errorf("window [%g,%g): %v", start, end, err)
+				return
+			}
+			mu.Lock()
+			*fired = append(*fired, [2]float64{start, end})
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestStreamChaosMidWindowCrash kills a -stream-detect daemon mid-way
+// through its second maintenance window — after window [0,30) closed
+// durably, with in-memory stream suspicion accrued past t=30 that no
+// snapshot captured — and requires recovery to reach the exact state
+// of a never-crashed run: the WAL tails rebuild the engine, the
+// streams rebuild from the time-sorted stores, ResumeAfter keeps the
+// catch-up pass from re-charging the already-durable window, and after
+// the remaining traffic both the engine fingerprint and the streaming
+// suspicion fingerprint are byte-identical to a run that never died.
+func TestStreamChaosMidWindowCrash(t *testing.T) {
+	all := chaosStreamWorkload()
+	const cut = 45.0 // mid-window [30,60): the crash point
+	var prefix, rest []rating.Rating
+	for _, r := range all {
+		if r.Time < cut {
+			prefix = append(prefix, r)
+		} else {
+			rest = append(rest, r)
+		}
+	}
+	if len(prefix) == 0 || len(rest) == 0 {
+		t.Fatalf("degenerate cut: %d before, %d after", len(prefix), len(rest))
+	}
+
+	// Reference: the never-crashed run.
+	var mu sync.Mutex
+	var refFired [][2]float64
+	refEngine, refJ, refWS := openShardDaemon(t, t.TempDir(), 2)
+	refStream := enableChaosStreaming(t, refEngine, refJ, 0, &refFired, &mu)
+	submitSeq(t, refJ, all)
+	refStream.Sync()
+	refStream.Close()
+	wantEngine := engineFingerprint(t, refEngine, 5)
+	wantStream := refStream.Fingerprint()
+	closeShardDaemon(t, refJ, refWS)
+	mu.Lock()
+	if len(refFired) < 2 {
+		t.Fatalf("reference run fired %d windows", len(refFired))
+	}
+	mu.Unlock()
+
+	// Crash run, phase 1: ingest up to the cut, then die abruptly — no
+	// final snapshot, pumps' in-memory suspicion and alert log lost.
+	dir := t.TempDir()
+	var crashFired [][2]float64
+	e1, j1, ws1 := openShardDaemon(t, dir, 2)
+	s1 := enableChaosStreaming(t, e1, j1, 0, &crashFired, &mu)
+	submitSeq(t, j1, prefix)
+	s1.Sync()
+	s1.Close()
+	closeShardDaemon(t, j1, ws1)
+	mu.Lock()
+	if len(crashFired) != 1 || crashFired[0] != [2]float64{0, 30} {
+		t.Fatalf("pre-crash windows: %v, want exactly [0,30)", crashFired)
+	}
+	mu.Unlock()
+
+	// Recovery: the WAL tails must restore the window high-water mark,
+	// streams rebuild from the stores, and the catch-up pass must NOT
+	// re-fire the durable [0,30) — re-charging it would double-apply
+	// Procedure 2 and diverge from the reference trust state.
+	e2, j2, ws2 := openShardDaemon(t, dir, 2)
+	if !ws2.recovered {
+		t.Fatal("no prior state recovered")
+	}
+	if got := e2.LastWindowEnd(); got != 30 {
+		t.Fatalf("recovered window high-water %g, want 30", got)
+	}
+	var replayFired [][2]float64
+	s2 := enableChaosStreaming(t, e2, j2, e2.LastWindowEnd(), &replayFired, &mu)
+	submitSeq(t, j2, rest)
+	s2.Sync()
+	s2.Close()
+	defer closeShardDaemon(t, j2, ws2)
+
+	mu.Lock()
+	for _, win := range replayFired {
+		if win[0] < 30 {
+			t.Errorf("recovered run re-fired durable window [%g,%g)", win[0], win[1])
+		}
+	}
+	if len(replayFired) == 0 {
+		t.Error("recovered run fired no windows")
+	}
+	mu.Unlock()
+
+	if got := engineFingerprint(t, e2, 5); got != wantEngine {
+		t.Errorf("recovered engine state diverges from never-crashed run:\nwant %q\ngot  %q", wantEngine, got)
+	}
+	if got := s2.Fingerprint(); got != wantStream {
+		t.Errorf("recovered stream state diverges from never-crashed run:\nwant %q\ngot  %q", wantStream, got)
+	}
+}

@@ -140,6 +140,40 @@ type StreamSummary struct {
 	RetryAfter float64 `json:"retry_after,omitempty"`
 }
 
+// Alert is one newly-flagged rater pushed by the streaming detection
+// path. Seq positions the alert in the node's append-only alert log;
+// clients resume a poll by passing the response's Next back as since.
+type Alert struct {
+	// Seq is the alert's position in the log, ascending from 1.
+	Seq uint64 `json:"seq"`
+	// Rater is the flagged rater.
+	Rater int `json:"rater"`
+	// Source names the detection path that flagged the rater:
+	// "stream" (online AR detector), "window" (authoritative
+	// maintenance-window charging) or "collusion" (incremental
+	// collusion graph).
+	Source string `json:"source"`
+	// Suspicion is the evidence level at flag time; its meaning is
+	// per-source (accrued stream suspicion, post-window trust, or
+	// collusion suspicion mass).
+	Suspicion float64 `json:"suspicion"`
+	// FirstFlagged is the rating-clock time (days) of the evidence
+	// that tripped the flag.
+	FirstFlagged float64 `json:"first_flagged"`
+	// WallNS is the wall-clock flag time in Unix nanoseconds; zero
+	// (omitted) when the source does not track wall time.
+	WallNS int64 `json:"wall_ns,omitempty"`
+}
+
+// AlertsResponse is the long-poll alerts read. Alerts holds every
+// alert with Seq > since (empty — never null — when the poll timed
+// out); Next is the log's tail sequence, passed back as since to
+// resume without gaps or duplicates.
+type AlertsResponse struct {
+	Alerts []Alert `json:"alerts"`
+	Next   uint64  `json:"next"`
+}
+
 // HealthResponse is the liveness probe's body.
 type HealthResponse struct {
 	Status string `json:"status"`

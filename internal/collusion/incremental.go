@@ -1,0 +1,160 @@
+package collusion
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/rating"
+)
+
+// obs is one accepted rating's contribution to a (rater, cell) profile
+// entry. Only time and value matter: rater and cell are the map keys.
+type obs struct {
+	time, value float64
+}
+
+// obsList holds one (rater, cell) observation sequence. The streaming
+// ingest path pushes per-object ratings in non-decreasing time order,
+// so the list is usually already sorted; dirty marks the rare
+// out-of-order append so Snapshot only re-sorts what it must.
+type obsList struct {
+	obs   []obs
+	dirty bool
+}
+
+// Accumulator is the incremental form of Detect: ratings are folded in
+// as they arrive (any order, any chunking) and Snapshot materializes
+// the same Report that batch Detect would produce over the accumulated
+// multiset — bit-identical, including every float fold.
+//
+// The trick is that Detect's only order sensitivity is the float folds
+// inside buildProfiles, which run over ratings sorted by (rater,
+// object, time, value). Restricted to one (object, bucket) cell that
+// order is "raters ascending, each rater's observations by (time,
+// value)" — a shape the accumulator can replay from per-(rater, cell)
+// observation lists no matter how the ratings arrived. Everything
+// downstream (edges, groups, suspicion) is a pure function of the
+// profiles.
+//
+// An Accumulator is single-goroutine; callers that share one across
+// shards must serialize access.
+type Accumulator struct {
+	cfg     Config
+	byRater map[rating.RaterID]map[cell]*obsList
+	n       int
+}
+
+// NewAccumulator validates cfg and returns an empty accumulator.
+func NewAccumulator(cfg Config) (*Accumulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Accumulator{
+		cfg:     cfg.withDefaults(),
+		byRater: make(map[rating.RaterID]map[cell]*obsList),
+	}, nil
+}
+
+// Accumulate folds ratings into the co-rating profiles. Malformed
+// records (NaN/Inf values or times) are dropped, mirroring Detect.
+func (a *Accumulator) Accumulate(rs ...rating.Rating) {
+	for _, r := range rs {
+		if math.IsNaN(r.Value) || math.IsInf(r.Value, 0) ||
+			math.IsNaN(r.Time) || math.IsInf(r.Time, 0) {
+			continue
+		}
+		c := cell{obj: r.Object, bucket: int64(math.Floor(r.Time / a.cfg.BucketDays))}
+		cells := a.byRater[r.Rater]
+		if cells == nil {
+			cells = make(map[cell]*obsList)
+			a.byRater[r.Rater] = cells
+		}
+		list := cells[c]
+		if list == nil {
+			list = &obsList{}
+			cells[c] = list
+		}
+		o := obs{time: r.Time, value: r.Value}
+		if k := len(list.obs); k > 0 && obsLess(o, list.obs[k-1]) {
+			list.dirty = true
+		}
+		list.obs = append(list.obs, o)
+		a.n++
+	}
+}
+
+// Len returns how many ratings have been accepted since the last Reset.
+func (a *Accumulator) Len() int { return a.n }
+
+// Reset drops all accumulated state.
+func (a *Accumulator) Reset() {
+	a.byRater = make(map[rating.RaterID]map[cell]*obsList)
+	a.n = 0
+}
+
+// Snapshot materializes the collusion report over everything
+// accumulated so far. It is read-only with respect to the logical
+// state: accumulating more ratings afterwards and snapshotting again
+// is equivalent to a fresh batch Detect over the larger multiset.
+func (a *Accumulator) Snapshot() Report {
+	ids := make([]rating.RaterID, 0, len(a.byRater))
+	for id := range a.byRater {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	// Replay buildProfiles' folds: rater-ascending outer order, each
+	// (rater, cell) chunk in (time, value) order. Each cell's mean
+	// accumulator therefore sees the exact addition sequence the batch
+	// pass produces from its global sort.
+	type cellAgg struct {
+		sum float64
+		n   int
+	}
+	cellMean := make(map[cell]*cellAgg)
+	raterSums := make([]map[cell]float64, len(ids))
+	for i, id := range ids {
+		sums := make(map[cell]float64, len(a.byRater[id]))
+		for c, list := range a.byRater[id] {
+			if list.dirty {
+				sort.Slice(list.obs, func(x, y int) bool { return obsLess(list.obs[x], list.obs[y]) })
+				list.dirty = false
+			}
+			agg := cellMean[c]
+			if agg == nil {
+				agg = &cellAgg{}
+				cellMean[c] = agg
+			}
+			var sum float64
+			for _, o := range list.obs {
+				sum += o.value
+				agg.sum += o.value
+			}
+			agg.n += len(list.obs)
+			sums[c] = sum
+		}
+		raterSums[i] = sums
+	}
+
+	profiles := make([]profile, 0, len(ids))
+	for i, id := range ids {
+		cells := make(map[cell]float64, len(raterSums[i]))
+		for c, sum := range raterSums[i] {
+			agg := cellMean[c]
+			n := len(a.byRater[id][c].obs)
+			cells[c] = sum/float64(n) - agg.sum/float64(agg.n)
+		}
+		profiles = append(profiles, profile{id: id, cells: cells})
+	}
+
+	edges := buildEdges(profiles, a.cfg)
+	groups, suspicion := mineGroups(edges, a.cfg.MinGroupSize)
+	return Report{Edges: edges, Groups: groups, Suspicion: suspicion}
+}
+
+func obsLess(a, b obs) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.value < b.value
+}

@@ -1,0 +1,122 @@
+package collusion
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/randx"
+	"repro/internal/rating"
+)
+
+func TestNewAccumulatorValidation(t *testing.T) {
+	if _, err := NewAccumulator(Config{MinCoRatings: 1}); err == nil {
+		t.Fatal("bad config accepted")
+	}
+	if _, err := NewAccumulator(Config{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// genCollusionTrace builds a rating multiset with enough structure for
+// the graph to be non-trivial: a few honest raters plus a clique that
+// co-rates the same objects in the same buckets, salted with malformed
+// records that both paths must drop.
+func genCollusionTrace(rng *randx.Rand) []rating.Rating {
+	n := 40 + rng.Intn(200)
+	rs := make([]rating.Rating, 0, n+8)
+	clique := 3 + rng.Intn(4)
+	objects := 1 + rng.Intn(4)
+	for i := 0; i < n; i++ {
+		r := rating.Rating{
+			Rater:  rating.RaterID(rng.Intn(12)),
+			Object: rating.ObjectID(rng.Intn(objects)),
+			Value:  randx.Quantize(rng.Float64(), 11, true),
+			Time:   rng.Float64() * 90,
+		}
+		if rng.Float64() < 0.5 {
+			// Clique member: biased value, bucket-aligned time.
+			r.Rater = rating.RaterID(100 + rng.Intn(clique))
+			r.Value = randx.Quantize(0.8+0.2*rng.Float64(), 11, true)
+			r.Time = float64(rng.Intn(9)) * 10
+		}
+		if rng.Float64() < 0.25 {
+			// Duplicate timestamps exercise the (time, value) tie-break.
+			r.Time = math.Floor(r.Time)
+		}
+		rs = append(rs, r)
+	}
+	// Malformed records: dropped identically by Detect and Accumulate.
+	rs = append(rs,
+		rating.Rating{Rater: 1, Object: 0, Value: math.NaN(), Time: 5},
+		rating.Rating{Rater: 2, Object: 0, Value: 0.5, Time: math.Inf(1)},
+		rating.Rating{Rater: 3, Object: 0, Value: math.Inf(-1), Time: 5},
+		rating.Rating{Rater: 4, Object: 0, Value: 0.5, Time: math.NaN()},
+	)
+	rng.Shuffle(len(rs), func(i, j int) { rs[i], rs[j] = rs[j], rs[i] })
+	return rs
+}
+
+// Property: for arbitrary rating multisets, arbitrary arrival order,
+// and arbitrary chunking, the incremental accumulator's Snapshot is
+// bit-identical to batch Detect — every edge similarity, cohesion, and
+// suspicion float included.
+func TestAccumulatorMatchesDetectProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := randx.New(seed)
+		rs := genCollusionTrace(rng)
+		cfg := Config{MinCoRatings: 2, MinSimilarity: 0.5, MinGroupSize: 2}
+
+		batch, err := Detect(rs, cfg)
+		if err != nil {
+			return false
+		}
+		acc, err := NewAccumulator(cfg)
+		if err != nil {
+			return false
+		}
+		// Feed in random chunks, snapshotting mid-stream to prove
+		// Snapshot does not perturb later results.
+		for i := 0; i < len(rs); {
+			k := 1 + rng.Intn(16)
+			if i+k > len(rs) {
+				k = len(rs) - i
+			}
+			acc.Accumulate(rs[i : i+k]...)
+			i += k
+			if rng.Float64() < 0.2 {
+				_ = acc.Snapshot()
+			}
+		}
+		inc := acc.Snapshot()
+		if !reflect.DeepEqual(batch, inc) {
+			t.Logf("seed %d: batch %+v vs incremental %+v", seed, batch, inc)
+			return false
+		}
+		// A second snapshot must be identical to the first.
+		return reflect.DeepEqual(inc, acc.Snapshot())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccumulatorReset(t *testing.T) {
+	acc, err := NewAccumulator(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc.Accumulate(rating.Rating{Rater: 1, Object: 1, Value: 0.5, Time: 1})
+	if acc.Len() != 1 {
+		t.Fatalf("len = %d", acc.Len())
+	}
+	acc.Reset()
+	if acc.Len() != 0 {
+		t.Fatalf("len after reset = %d", acc.Len())
+	}
+	rep := acc.Snapshot()
+	if len(rep.Edges) != 0 || len(rep.Groups) != 0 || len(rep.Suspicion) != 0 {
+		t.Fatalf("non-empty report after reset: %+v", rep)
+	}
+}

@@ -24,6 +24,12 @@ var ErrOutOfOrder = errors.New("detector: rating out of time order")
 // a clock can run batch Detect per maintenance interval instead, as
 // core.System does).
 type Stream struct {
+	// OnAccrue, when non-nil, is invoked for every positive suspicion
+	// increment with the rater, the delta just added to its Suspicion,
+	// and the time of the rating that completed the window. It fires
+	// inside Push, so it must not call back into the Stream.
+	OnAccrue func(id rating.RaterID, delta, at float64)
+
 	cfg        Config
 	minSamples int
 
@@ -85,6 +91,10 @@ func (s *Stream) Push(r rating.Rating) ([]WindowReport, error) {
 	s.lastTime = r.Time
 	s.buf = append(s.buf, r)
 	s.total++
+	// With Step > Size, ratings can land in the gap between windows;
+	// they are dead on arrival and trimmed immediately so the buffer
+	// stays bounded by Size+Step regardless of geometry.
+	s.compact()
 
 	stats := s.perRater[r.Rater]
 	stats.TotalRatings++
@@ -154,31 +164,38 @@ func (s *Stream) accrueWindow(member []rating.Rating, rel int, level float64) {
 			s.perRater[r.Rater] = stats
 		}
 		prev := s.latest[r.Rater]
-		switch {
-		case prev == 0:
-			stats := s.perRater[r.Rater]
-			stats.Suspicion += level
-			s.perRater[r.Rater] = stats
-			s.latest[r.Rater] = level
-		case level > prev:
-			stats := s.perRater[r.Rater]
-			stats.Suspicion += level - prev
-			s.perRater[r.Rater] = stats
-			s.latest[r.Rater] = level
+		if level <= prev {
+			continue
+		}
+		delta := level - prev
+		stats := s.perRater[r.Rater]
+		stats.Suspicion += delta
+		s.perRater[r.Rater] = stats
+		s.latest[r.Rater] = level
+		if s.OnAccrue != nil {
+			s.OnAccrue(r.Rater, delta, s.lastTime)
 		}
 	}
 }
 
 // compact drops buffered ratings that can no longer appear in a window.
+// When Step > Size the next window start can exceed what has been
+// pushed so far (a gap); only what is actually buffered is droppable
+// now, and arrivals landing in the gap are trimmed by the next call.
 func (s *Stream) compact() {
 	nextStart := s.emitted * s.cfg.Step
-	if drop := nextStart - s.consumed; drop > 0 {
-		for abs := s.consumed; abs < nextStart; abs++ {
-			delete(s.pendingSuspicious, abs)
-		}
-		s.buf = append(s.buf[:0], s.buf[drop:]...)
-		s.consumed = nextStart
+	drop := nextStart - s.consumed
+	if drop > len(s.buf) {
+		drop = len(s.buf)
 	}
+	if drop <= 0 {
+		return
+	}
+	for abs := s.consumed; abs < s.consumed+drop; abs++ {
+		delete(s.pendingSuspicious, abs)
+	}
+	s.buf = append(s.buf[:0], s.buf[drop:]...)
+	s.consumed += drop
 }
 
 // PerRater returns a copy of the accumulated per-rater statistics —

@@ -160,6 +160,90 @@ func TestStreamConstantCliqueFlagged(t *testing.T) {
 	}
 }
 
+// TestStreamGappedWindows pins the Step > Size geometry: windows are
+// disjoint with dead ratings between them, which the buffer must trim
+// on arrival instead of hoarding (or, as before this test, panicking).
+func TestStreamGappedWindows(t *testing.T) {
+	cfg := Config{Mode: WindowByCount, Size: 8, Step: 19, Order: 2, Threshold: 0.3}
+	rng := randx.New(11)
+	var rs []rating.Rating
+	for i := 0; i < 120; i++ {
+		rs = append(rs, rating.Rating{
+			Rater: rating.RaterID(rng.Intn(10)),
+			Value: randx.Quantize(rng.Float64(), 11, true),
+			Time:  float64(i),
+		})
+	}
+	batch, err := Detect(rs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, werr := NewStream(cfg)
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	var streamed []WindowReport
+	for _, r := range rs {
+		reports, err := s.Push(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		streamed = append(streamed, reports...)
+		if s.Buffered() > cfg.Size {
+			t.Fatalf("buffer grew to %d with gapped windows", s.Buffered())
+		}
+	}
+	if len(streamed) != len(batch.Windows) || len(streamed) == 0 {
+		t.Fatalf("%d streamed windows vs %d batch", len(streamed), len(batch.Windows))
+	}
+	for i := range streamed {
+		if streamed[i].Model.NormalizedError != batch.Windows[i].Model.NormalizedError {
+			t.Fatalf("window %d: error %g vs %g", i,
+				streamed[i].Model.NormalizedError, batch.Windows[i].Model.NormalizedError)
+		}
+	}
+	per := s.PerRater()
+	for id, st := range batch.PerRater {
+		if per[id] != st {
+			t.Fatalf("rater %d: %+v vs %+v", id, per[id], st)
+		}
+	}
+}
+
+// TestStreamOnAccrue checks that the accrual hook sees exactly the
+// per-rater suspicion mass: summing the deltas reproduces PerRater.
+func TestStreamOnAccrue(t *testing.T) {
+	s, err := NewStream(Config{Size: 20, Step: 10, Threshold: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := map[rating.RaterID]float64{}
+	var lastAt float64
+	s.OnAccrue = func(id rating.RaterID, delta, at float64) {
+		if delta <= 0 {
+			t.Fatalf("non-positive delta %g", delta)
+		}
+		sums[id] += delta
+		lastAt = at
+	}
+	for i := 0; i < 45; i++ {
+		if _, err := s.Push(rating.Rating{Rater: rating.RaterID(i % 3), Value: 0.9, Time: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(sums) == 0 {
+		t.Fatal("hook never fired")
+	}
+	if lastAt == 0 {
+		t.Fatal("hook never saw a completion time")
+	}
+	for id, st := range s.PerRater() {
+		if st.Suspicion != sums[id] {
+			t.Fatalf("rater %d: hook sum %g vs suspicion %g", id, sums[id], st.Suspicion)
+		}
+	}
+}
+
 // Property: streaming equals batch for arbitrary traces and window
 // geometries.
 func TestStreamEquivalenceProperty(t *testing.T) {
@@ -167,15 +251,33 @@ func TestStreamEquivalenceProperty(t *testing.T) {
 		rng := randx.New(seed)
 		n := 30 + rng.Intn(150)
 		rs := make([]rating.Rating, n)
+		now := 0.0
 		for i := range rs {
+			// Times are non-decreasing with a fat tie mass so duplicate
+			// timestamps land inside and across windows.
+			if i == 0 || rng.Float64() > 0.3 {
+				now += rng.Float64()
+			}
 			rs[i] = rating.Rating{
 				Rater: rating.RaterID(rng.Intn(20)),
 				Value: randx.Quantize(rng.Float64(), 11, true),
-				Time:  float64(i) + rng.Float64(),
+				Time:  now,
 			}
 		}
 		size := 10 + rng.Intn(30)
-		step := 1 + rng.Intn(size)
+		// Step ranges past Size: gapped windows discard the ratings
+		// that land between consecutive windows.
+		step := 1 + rng.Intn(2*size)
+		// Force duplicate timestamps exactly at window boundaries: the
+		// last rating of a window shares its time with the first rating
+		// after it.
+		for b := step; b < n; b += step {
+			if rng.Float64() < 0.5 {
+				// Lowering rs[b] to its predecessor keeps the trace
+				// non-decreasing: rs[b+1] >= old rs[b] >= new rs[b].
+				rs[b].Time = rs[b-1].Time
+			}
+		}
 		cfg := Config{Mode: WindowByCount, Size: size, Step: step, Threshold: 0.3}
 
 		batch, err := Detect(rs, cfg)

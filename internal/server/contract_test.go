@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -363,6 +364,90 @@ func TestWireContractErrorPaths(t *testing.T) {
 		}
 		checkFixture(t, "submit_timeout", res)
 	})
+}
+
+// stubAlerts is a deterministic AlertSource for the alerts fixtures:
+// a fixed log whose wall times are pinned, so fixture bytes never
+// drift with the clock.
+type stubAlerts struct{ alerts []api.Alert }
+
+func (s stubAlerts) Alerts(since uint64) ([]api.Alert, uint64) {
+	next := uint64(len(s.alerts))
+	if since >= next {
+		return nil, next
+	}
+	return s.alerts[since:], next
+}
+
+func (s stubAlerts) WaitAlerts(ctx context.Context, since uint64, wait time.Duration) ([]api.Alert, uint64) {
+	if out, next := s.Alerts(since); len(out) > 0 {
+		return out, next
+	}
+	// The stub log never grows, so a poll past the tail always runs
+	// out its (test-sized) wait budget — the timeout shape.
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+	_, next := s.Alerts(since)
+	return nil, next
+}
+
+// TestWireContractAlerts pins the /v1/alerts long-poll surface: the
+// populated read, the empty read, the timed-out poll (200 with an
+// empty array, never an error), the 404 on nodes without streaming
+// detection, and the 421 refusal on read replicas.
+func TestWireContractAlerts(t *testing.T) {
+	src := stubAlerts{alerts: []api.Alert{
+		{Seq: 1, Rater: 103, Source: "stream", Suspicion: 0.41, FirstFlagged: 12.5, WallNS: 1700000000000000000},
+		{Seq: 2, Rater: 107, Source: "collusion", Suspicion: 0.66, FirstFlagged: 19, WallNS: 1700000000250000000},
+		{Seq: 3, Rater: 103, Source: "window", Suspicion: 0.05, FirstFlagged: 30, WallNS: 1700000000500000000},
+	}}
+	srv, err := New(core.Config{Detector: detector.Config{Threshold: 0.05}}, WithAlerts(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	get := func(path string) *http.Response {
+		res, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	checkFixture(t, "alerts_ok", get("/v1/alerts"))
+	checkFixture(t, "alerts_empty", get("/v1/alerts?since=3"))
+	checkFixture(t, "alerts_timeout", get("/v1/alerts?since=3&wait=0.02"))
+	checkFixture(t, "alerts_bad_request", get("/v1/alerts?wait=-1"))
+
+	// No streaming detection on this node: the route exists but the
+	// feed does not.
+	bare, err := New(core.Config{Detector: detector.Config{Threshold: 0.05}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsBare := httptest.NewServer(bare)
+	t.Cleanup(tsBare.Close)
+	res, err := tsBare.Client().Get(tsBare.URL + "/v1/alerts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFixture(t, "alerts_disabled", res)
+
+	// Replicas refuse the read as misdirected even though it is a GET:
+	// detection state lives on the primary.
+	srv.SetReplica(func() ReplicaInfo {
+		return ReplicaInfo{Primary: "http://primary.example:8080", Ready: true}
+	})
+	res, err = ts.Client().Get(ts.URL + "/v1/alerts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFixture(t, "alerts_not_primary", res)
 }
 
 // contractReplJournal is the minimal primary-side journal for the

@@ -94,7 +94,10 @@ func (s *Server) replicaGate(next http.Handler) http.Handler {
 			return
 		}
 		rep := info()
-		if r.Method != http.MethodGet {
+		// Alerts reflect the primary's live detection state — a replica
+		// has no streaming engine — so the read is misdirected, not
+		// merely stale.
+		if r.Method != http.MethodGet || r.URL.Path == alertsPath {
 			writeJSON(w, http.StatusMisdirectedRequest, &api.Error{
 				Code:    api.CodeNotPrimary,
 				Message: "this node is a read replica; send writes to the primary",

@@ -12,6 +12,7 @@
 //	GET  /v1/raters/{id}/trust        rater trust value
 //	GET  /v1/malicious[?limit=&offset=]  raters below the trust threshold
 //	GET  /v1/stats[?bounds=...]       state summary (+trust distribution)
+//	GET  /v1/alerts[?since=&wait=]    long-poll detection alerts
 //	GET  /v1/snapshot                 download the full state
 //	PUT  /v1/snapshot                 replace the full state
 //	GET  /healthz                     liveness
@@ -117,11 +118,13 @@ type Server struct {
 	mux     *http.ServeMux
 	handler http.Handler
 
-	// journal and replica can be swapped at runtime (promotion flips a
-	// follower into a primary on a live server); jmu guards both.
+	// journal, replica and alerts can be swapped at runtime (promotion
+	// flips a follower into a primary on a live server); jmu guards
+	// all three.
 	jmu     sync.RWMutex
 	journal Journal
 	replica func() ReplicaInfo
+	alerts  AlertSource
 
 	dedupe     *dedupeCache
 	cache      *readCache
@@ -257,6 +260,12 @@ func NewWith(backend Backend, opts ...Option) (*Server, error) {
 		if r.Body != nil {
 			r.Body = http.MaxBytesReader(w, r.Body, limit)
 		}
+		if r.URL.Path == alertsPath {
+			// A long poll legitimately outlives the per-request budget;
+			// its wait parameter is clamped server-side instead.
+			s.mux.ServeHTTP(w, r)
+			return
+		}
 		inner.ServeHTTP(w, r)
 	})
 	// The replica gate sits outside the body/timeout stack (it answers
@@ -314,6 +323,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/raters/{id}/trust", s.observe("/v1/raters/{id}/trust", s.handleTrust))
 	s.mux.HandleFunc("GET /v1/malicious", s.observe("/v1/malicious", s.handleMalicious))
 	s.mux.HandleFunc("GET /v1/stats", s.observe("/v1/stats", s.handleStats))
+	s.mux.HandleFunc("GET "+alertsPath, s.observe(alertsPath, s.handleAlerts))
 	s.mux.HandleFunc("GET /v1/snapshot", s.observe("/v1/snapshot", s.handleSnapshotGet))
 	s.mux.HandleFunc("PUT /v1/snapshot", s.observe("/v1/snapshot", s.admit(s.handleSnapshotPut)))
 	s.mux.HandleFunc("GET /healthz", s.observe("/healthz", func(w http.ResponseWriter, _ *http.Request) {

@@ -43,6 +43,16 @@ type Engine struct {
 
 	trustMu sync.RWMutex
 	manager *trust.Manager
+	// lastWindowEnd is the highest window end ProcessWindow has applied
+	// (guarded by trustMu). Shard snapshots persist it so recovery can
+	// hand EnableStreaming a ResumeAfter that never re-fires a window
+	// whose charge is already durable.
+	lastWindowEnd float64
+
+	// streaming, when set, is the online detection path (see
+	// EnableStreaming). Published once under all shard locks; the
+	// submit path does a single atomic load.
+	streaming atomic.Pointer[Streaming]
 
 	metrics *Metrics
 }
@@ -140,6 +150,13 @@ func (e *Engine) SubmitShard(i int, rs []rating.Rating) error {
 	st.mu.Lock()
 	st.store.AddBatchValidated(rs)
 	st.count.Store(int64(st.store.Len()))
+	// The streaming observe stays inside the shard lock so the pump's
+	// batch order matches the store's tie order; it only copies the
+	// batch and does a non-blocking enqueue, so the ack path never
+	// waits on detection.
+	if sp := e.streaming.Load(); sp != nil {
+		sp.observe(i, rs)
+	}
 	st.mu.Unlock()
 	e.metrics.ingested(i, len(rs))
 	return nil
@@ -237,11 +254,44 @@ func (e *Engine) ProcessWindow(start, end float64) (core.ProcessReport, error) {
 		return core.ProcessReport{}, err
 	}
 
+	sp := e.streaming.Load()
+	var prevMal []rating.RaterID
 	e.trustMu.Lock()
+	if sp != nil {
+		prevMal = e.manager.Malicious()
+	}
 	err = e.manager.UpdateBatch(report.Observations, end)
+	if err == nil && end > e.lastWindowEnd {
+		e.lastWindowEnd = end
+	}
+	var newMal []rating.RaterID
+	var newTrust map[rating.RaterID]float64
+	if err == nil && sp != nil {
+		// Diff the malicious list so the window close pushes alerts
+		// for newly-flagged raters; reads only, so the charge
+		// arithmetic stays byte-identical to a non-streaming engine.
+		was := make(map[rating.RaterID]bool, len(prevMal))
+		for _, id := range prevMal {
+			was[id] = true
+		}
+		for _, id := range e.manager.Malicious() {
+			if !was[id] {
+				newMal = append(newMal, id)
+			}
+		}
+		if len(newMal) > 0 {
+			newTrust = make(map[rating.RaterID]float64, len(newMal))
+			for _, id := range newMal {
+				newTrust[id] = e.manager.Trust(id)
+			}
+		}
+	}
 	e.trustMu.Unlock()
 	if err != nil {
 		return core.ProcessReport{}, fmt.Errorf("shard: %w", err)
+	}
+	if sp != nil {
+		sp.sink.flagWindow(newMal, newTrust, end)
 	}
 	e.metrics.windowDone(len(report.Objects))
 	return report, nil
@@ -412,6 +462,28 @@ func (e *Engine) LoadSnapshot(r io.Reader) error {
 	}
 	e.trustMu.Lock()
 	e.manager = manager
+	// A core snapshot carries no window history; recovery (Recover)
+	// restores the durable high-water mark right after seeding.
+	e.lastWindowEnd = 0
 	e.trustMu.Unlock()
 	return nil
+}
+
+// LastWindowEnd reports the highest maintenance-window end applied to
+// this engine (including windows restored by Recover). Zero means no
+// window has ever run.
+func (e *Engine) LastWindowEnd() float64 {
+	e.trustMu.RLock()
+	defer e.trustMu.RUnlock()
+	return e.lastWindowEnd
+}
+
+// setLastWindowEnd force-sets the window high-water mark; recovery
+// uses it after snapshot seeding.
+func (e *Engine) setLastWindowEnd(end float64) {
+	e.trustMu.Lock()
+	if end > e.lastWindowEnd {
+		e.lastWindowEnd = end
+	}
+	e.trustMu.Unlock()
 }

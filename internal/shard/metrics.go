@@ -23,6 +23,17 @@ type Metrics struct {
 	WindowsTotal *telemetry.Counter
 	// WindowObjects observes objects scanned per window.
 	WindowObjects *telemetry.Histogram
+	// StreamPushedTotal counts ratings accepted into per-object
+	// streams, per shard.
+	StreamPushedTotal *telemetry.CounterVec
+	// StreamLateTotal counts ratings the streaming path skipped for
+	// arriving behind their object's stream clock, per shard.
+	StreamLateTotal *telemetry.CounterVec
+	// StreamShedTotal counts ratings shed because a shard's streaming
+	// queue was full, per shard.
+	StreamShedTotal *telemetry.CounterVec
+	// AlertsTotal counts alerts emitted, by source.
+	AlertsTotal *telemetry.CounterVec
 
 	// labels[i] is the precomputed label value for shard i, so hot
 	// paths don't re-format integers.
@@ -33,13 +44,17 @@ type Metrics struct {
 // the given shard count.
 func NewMetrics(r *telemetry.Registry, shards int) *Metrics {
 	m := &Metrics{
-		RatingsTotal:     r.CounterVec("shard_ratings_total", "ratings applied per shard", "shard"),
-		BatchesTotal:     r.CounterVec("shard_batches_total", "router batch flushes per shard", "shard"),
-		FlushErrorsTotal: r.CounterVec("shard_flush_errors_total", "failed router flushes per shard", "shard"),
-		BatchSize:        r.HistogramVec("shard_batch_size", "ratings per flushed batch", []float64{1, 4, 16, 64, 256, 1024}, "shard"),
-		WindowsTotal:     r.Counter("shard_windows_total", "maintenance windows processed"),
-		WindowObjects:    r.Histogram("shard_window_objects", "objects scanned per maintenance window", nil),
-		labels:           make([]string, shards),
+		RatingsTotal:      r.CounterVec("shard_ratings_total", "ratings applied per shard", "shard"),
+		BatchesTotal:      r.CounterVec("shard_batches_total", "router batch flushes per shard", "shard"),
+		FlushErrorsTotal:  r.CounterVec("shard_flush_errors_total", "failed router flushes per shard", "shard"),
+		BatchSize:         r.HistogramVec("shard_batch_size", "ratings per flushed batch", []float64{1, 4, 16, 64, 256, 1024}, "shard"),
+		WindowsTotal:      r.Counter("shard_windows_total", "maintenance windows processed"),
+		WindowObjects:     r.Histogram("shard_window_objects", "objects scanned per maintenance window", nil),
+		StreamPushedTotal: r.CounterVec("shard_stream_pushed_total", "ratings accepted into per-object streams", "shard"),
+		StreamLateTotal:   r.CounterVec("shard_stream_late_total", "ratings skipped by the streaming path as behind the stream clock", "shard"),
+		StreamShedTotal:   r.CounterVec("shard_stream_shed_total", "ratings shed by full streaming queues", "shard"),
+		AlertsTotal:       r.CounterVec("shard_alerts_total", "alerts emitted", "source"),
+		labels:            make([]string, shards),
 	}
 	for i := range m.labels {
 		m.labels[i] = strconv.Itoa(i)
@@ -75,6 +90,34 @@ func (m *Metrics) flushFailed(shard int) {
 		return
 	}
 	m.FlushErrorsTotal.With(m.label(shard)).Inc()
+}
+
+func (m *Metrics) streamPushed(shard, n int) {
+	if m == nil {
+		return
+	}
+	m.StreamPushedTotal.With(m.label(shard)).Add(uint64(n))
+}
+
+func (m *Metrics) streamLate(shard int) {
+	if m == nil {
+		return
+	}
+	m.StreamLateTotal.With(m.label(shard)).Inc()
+}
+
+func (m *Metrics) streamShed(shard, n int) {
+	if m == nil {
+		return
+	}
+	m.StreamShedTotal.With(m.label(shard)).Add(uint64(n))
+}
+
+func (m *Metrics) alertEmitted(source string) {
+	if m == nil {
+		return
+	}
+	m.AlertsTotal.With(source).Inc()
 }
 
 func (m *Metrics) windowDone(objects int) {

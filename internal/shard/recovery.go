@@ -21,11 +21,16 @@ const shardSnapshotVersion = 1
 // trust state and to skip replaying windows the snapshot already
 // reflects.
 type shardSnapshot struct {
-	Version    int             `json:"version"`
-	Shard      int             `json:"shard"`
-	Shards     int             `json:"shards"`
-	BarrierSeq uint64          `json:"barrierSeq"`
-	State      json.RawMessage `json:"state"`
+	Version    int    `json:"version"`
+	Shard      int    `json:"shard"`
+	Shards     int    `json:"shards"`
+	BarrierSeq uint64 `json:"barrierSeq"`
+	// WindowEnd is the engine's maintenance-window high-water mark at
+	// snapshot time (additive; absent in older snapshots). Recovery
+	// restores it so streaming detection knows which auto windows are
+	// already durably charged.
+	WindowEnd float64         `json:"windowEnd,omitempty"`
+	State     json.RawMessage `json:"state"`
 }
 
 // WriteShardSnapshot serializes shard i's state (plus the global
@@ -45,6 +50,7 @@ func WriteShardSnapshot(e *Engine, i int, barrierSeq uint64, w io.Writer) error 
 		Shard:      i,
 		Shards:     len(e.states),
 		BarrierSeq: barrierSeq,
+		WindowEnd:  e.LastWindowEnd(),
 		State:      state.Bytes(),
 	}); err != nil {
 		return fmt.Errorf("shard: snapshot encode: %w", err)
@@ -109,6 +115,10 @@ type RecoverStats struct {
 	Dropped int
 	// NextSeq is the barrier sequence the journal should issue next.
 	NextSeq uint64
+	// LastWindowEnd is the recovered maintenance-window high-water
+	// mark (snapshots plus replayed barriers); EnableStreaming's
+	// ResumeAfter starts here.
+	LastWindowEnd float64
 	// Remapped reports that ratings were rerouted because the shard
 	// count changed (or snapshots disagreed with the log layout).
 	Remapped bool
@@ -147,6 +157,7 @@ func Recover(e *Engine, shards []RecoveredShard, warnf func(format string, args 
 		records   core.StateView
 		haveTrust bool
 		trustBase uint64
+		windowEnd float64
 	)
 	views := make([]*core.StateView, len(shards))
 	for i, sh := range shards {
@@ -161,6 +172,9 @@ func Recover(e *Engine, shards []RecoveredShard, warnf func(format string, args 
 			stats.Remapped = true
 		}
 		views[i] = &view
+		if snap.WindowEnd > windowEnd {
+			windowEnd = snap.WindowEnd
+		}
 		if !haveTrust || snap.BarrierSeq > trustBase {
 			haveTrust = true
 			trustBase = snap.BarrierSeq
@@ -186,6 +200,10 @@ func Recover(e *Engine, shards []RecoveredShard, warnf func(format string, args 
 		}
 		stats.SnapshotRatings = len(seed.Ratings)
 	}
+	// LoadSnapshot cleared the engine's window mark; restore the
+	// durable high-water the snapshots recorded. Replayed barriers
+	// below raise it further through ProcessWindow itself.
+	e.setLastWindowEnd(windowEnd)
 	stats.NextSeq = trustBase + 1
 
 	// Merge the log tails round by round: apply every shard's ratings
@@ -288,5 +306,6 @@ func Recover(e *Engine, shards []RecoveredShard, warnf func(format string, args 
 			stats.NextSeq = barrier.Seq + 1
 		}
 	}
+	stats.LastWindowEnd = e.LastWindowEnd()
 	return stats, nil
 }

@@ -1,0 +1,92 @@
+package shardtest
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/randx"
+	"repro/internal/rating"
+)
+
+// Op is one step of an interleaved replay: either a submit chunk or a
+// maintenance-window close. Exactly one field is set.
+type Op struct {
+	Ratings []rating.Rating
+	Window  *[2]float64
+}
+
+// InterleavedOps expands the workload into a seeded interleaving of
+// submit chunks and window closes. Each month's arrival stream is cut
+// into random chunks and the month's window close lands at a random
+// point in their midst — frequently before all of the month's ratings
+// have arrived, exactly the race a live system sees when a maintenance
+// boundary fires under traffic. The op sequence is the contract: two
+// systems replaying it see identical submits and identical closes, so
+// ratings a close missed are missed identically everywhere, and their
+// traces must match byte for byte.
+func (w Workload) InterleavedOps(seed int64) []Op {
+	rng := randx.New(seed ^ 0x517ea3)
+	var ops []Op
+	for _, m := range w.Generate() {
+		rs := m.Ratings
+		var chunks [][]rating.Rating
+		for i := 0; i < len(rs); {
+			k := 1 + rng.Intn(64)
+			if i+k > len(rs) {
+				k = len(rs) - i
+			}
+			chunks = append(chunks, rs[i:i+k])
+			i += k
+		}
+		// The close lands after at least 60% of the month's chunks, so
+		// windows usually have most of their evidence but often not
+		// all of it.
+		minPos := 3 * len(chunks) / 5
+		pos := minPos + rng.Intn(len(chunks)-minPos+1)
+		win := [2]float64{m.Start, m.End}
+		for i, c := range chunks {
+			if i == pos {
+				ops = append(ops, Op{Window: &win})
+			}
+			ops = append(ops, Op{Ratings: c})
+		}
+		if pos == len(chunks) {
+			ops = append(ops, Op{Window: &win})
+		}
+	}
+	return ops
+}
+
+// RunOps replays an op sequence through sys and returns the canonical
+// trace: each window's report and a full state fingerprint at every
+// close (not just the end), so a divergence is caught at the first
+// window it appears in.
+func RunOps(sys System, ops []Op, objects int) (string, error) {
+	var b strings.Builder
+	win := 0
+	for i, op := range ops {
+		if op.Window == nil {
+			if err := sys.SubmitAll(op.Ratings); err != nil {
+				return "", fmt.Errorf("op %d: %w", i, err)
+			}
+			continue
+		}
+		rep, err := sys.ProcessWindow(op.Window[0], op.Window[1])
+		if err != nil {
+			return "", fmt.Errorf("op %d: %w", i, err)
+		}
+		renderReport(&b, win, rep)
+		win++
+		fp, err := Fingerprint(sys, objects)
+		if err != nil {
+			return "", fmt.Errorf("op %d: %w", i, err)
+		}
+		b.WriteString(fp)
+	}
+	fp, err := Fingerprint(sys, objects)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(fp)
+	return b.String(), nil
+}
