@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-soak bench bench-quick allocs profile fuzz chaos chaos-repl contract matrix stream-conformance ci artifacts benchreport clean
+.PHONY: all build vet test race race-soak bench bench-quick allocs profile fuzz chaos chaos-repl chaos-cluster contract matrix stream-conformance ci artifacts benchreport clean
 
 # Committed shard-scaling floor for `make bench-quick`: the 4-shard
 # batching win measured for BENCH_6 sits at ~4x on the reference box;
@@ -55,6 +55,7 @@ bench:
 bench-quick:
 	$(GO) run ./cmd/benchreport -run tab1 -walrecords 0 -telemetryreps 0 \
 		-servingratings 0 -replratings 0 -detection "" -streamratings 0 \
+		-clusterratings 0 \
 		-minspeedup4 $(MIN_SPEEDUP4) -maxstreamlatency $(MAX_STREAM_LATENCY) \
 		-out /dev/null
 
@@ -102,6 +103,7 @@ ci:
 	$(GO) test -run=NONE -bench=BenchmarkTab1 -benchtime=1x .
 	$(MAKE) chaos
 	$(MAKE) chaos-repl
+	$(MAKE) chaos-cluster
 	$(MAKE) matrix
 	$(MAKE) bench-quick
 
@@ -155,11 +157,22 @@ chaos-repl:
 	$(GO) test -race -count=1 -run 'TestChaosRepl|TestTwoNodeConformance|TestFollowerBootstrap' ./internal/repl/
 	$(GO) test -race -count=1 -run 'TestDaemonFollower|TestDaemonAutoPromote' ./cmd/ratingd/
 
+# chaos-cluster soaks the partitioned serving tier under the race
+# detector: the N-node byte-conformance matrix against the
+# single-system oracle, the wrong_node/stale_epoch contract paths, and
+# the daemon-level node-kill soak — the dead keyspace range must shed
+# with typed 503s, every acked write must survive the hard kill, and
+# the restarted member must recover from its WAL and re-converge to
+# the oracle's exact state.
+chaos-cluster:
+	$(GO) test -race -count=1 -run 'TestCluster|TestTable|TestEvenTable|TestOwner|TestDoc|TestWrongNode|TestStaleEpoch|TestRouter|TestSingleNodeCluster|TestMergedPagination|TestMemberRefuses' ./internal/cluster/
+	$(GO) test -race -count=1 -run 'TestChaosCluster' ./cmd/ratingd/
+
 artifacts:
 	$(GO) run ./cmd/experiments -run all -mode full -csv artifacts/
 
 benchreport:
-	$(GO) run ./cmd/benchreport -out BENCH_9.json
+	$(GO) run ./cmd/benchreport -out BENCH_10.json
 
 clean:
 	rm -rf artifacts/

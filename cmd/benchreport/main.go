@@ -30,6 +30,12 @@
 // lag percentiles (records and seconds) while the primary ingests
 // paced batches.
 //
+// It also measures partitioned serving: the same stream ingested
+// through a plain single-node daemon and through the routing proxy
+// fronting a three-member cluster (one extra owner-forwarding hop per
+// request), plus the scan/apply window exchange and the
+// scatter-gather read paths across the member set.
+//
 // It also measures the streaming detection path (-stream-detect):
 // per-attack detection latency of online stream alerts versus batch
 // maintenance windows on the adversary-zoo workload, and the ingest
@@ -39,7 +45,7 @@
 // detection rate, latency, aggregation error per cell) so detector
 // regressions show up in BENCH history alongside perf regressions.
 //
-//	benchreport                      # all experiments -> BENCH_9.json
+//	benchreport                      # all experiments -> BENCH_10.json
 //	benchreport -run tab1 -out -     # one experiment  -> stdout
 //	benchreport -workers 4 -walrecords 100000
 package main
@@ -81,6 +87,7 @@ type Report struct {
 	ShardScale  *ShardScalingStats `json:"shard_scaling,omitempty"`
 	Serving     *ServingStats      `json:"serving,omitempty"`
 	Replication *ReplicationStats  `json:"replication,omitempty"`
+	Cluster     *ClusterStats      `json:"cluster,omitempty"`
 	Streaming   *StreamingStats    `json:"streaming,omitempty"`
 	Detection   *DetectionStats    `json:"detection,omitempty"`
 	TotalWallNS int64              `json:"total_wall_ns"`
@@ -152,12 +159,13 @@ func run(args []string, stdout io.Writer) error {
 		runID      = fs.String("run", "all", "experiment ID to measure, or \"all\"")
 		seed       = fs.Int64("seed", 1, "top-level random seed")
 		workers    = fs.Int("workers", 0, "Monte-Carlo worker goroutines (0 = GOMAXPROCS)")
-		out        = fs.String("out", "BENCH_9.json", "output path, or \"-\" for stdout")
+		out        = fs.String("out", "BENCH_10.json", "output path, or \"-\" for stdout")
 		walRecs    = fs.Int("walrecords", 50000, "WAL records for the recovery-replay benchmark (0 skips it)")
 		telReps    = fs.Int("telemetryreps", 20, "ProcessWindow repetitions for the telemetry-overhead benchmark (0 skips it)")
 		shardRecs  = fs.Int("shardratings", 480000, "ratings for the shard-scaling ingest benchmark (0 skips it)")
 		serveRecs  = fs.Int("servingratings", 240000, "ratings for the HTTP serving benchmark (0 skips it)")
 		replRecs   = fs.Int("replratings", 120000, "ratings for the replication catch-up/lag benchmark (0 skips it)")
+		clusterRec = fs.Int("clusterratings", 120000, "ratings for the partitioned-cluster routing benchmark (0 skips it)")
 		detMode    = fs.String("detection", "quick", "detector×attack matrix fidelity: quick or full (empty skips it)")
 		streamAtt  = fs.String("streamattacks", "constant,camouflage,on-off,ramp,trust-then-strike,sybil,whitewash,rotating,oscillate", "comma-separated zoo attacks for the streaming detection-latency benchmark (empty skips it)")
 		streamRecs = fs.Int("streamratings", 240000, "ratings for the streaming ingest-overhead benchmark (0 skips it)")
@@ -282,6 +290,20 @@ func run(args []string, stdout io.Writer) error {
 				return fmt.Errorf("replication: %w", err)
 			}
 			report.Replication = &stats
+			report.TotalWallNS += stats.WallNS
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+
+	if *clusterRec > 0 {
+		if err := atNumCPU(func() error {
+			stats, err := measureCluster(*clusterRec, *seed)
+			if err != nil {
+				return fmt.Errorf("cluster: %w", err)
+			}
+			report.Cluster = &stats
 			report.TotalWallNS += stats.WallNS
 			return nil
 		}); err != nil {

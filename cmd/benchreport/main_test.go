@@ -13,7 +13,7 @@ import (
 
 func TestSingleExperimentToStdout(t *testing.T) {
 	var buf strings.Builder
-	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "0", "-telemetryreps", "0", "-shardratings", "0", "-servingratings", "0", "-replratings", "0", "-detection", "", "-streamattacks", "", "-streamratings", "0"}, &buf); err != nil {
+	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "0", "-telemetryreps", "0", "-clusterratings", "0", "-shardratings", "0", "-servingratings", "0", "-replratings", "0", "-detection", "", "-streamattacks", "", "-streamratings", "0"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	var rep Report
@@ -37,7 +37,7 @@ func TestSingleExperimentToStdout(t *testing.T) {
 
 func TestWALReplayStats(t *testing.T) {
 	var buf strings.Builder
-	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "2000", "-telemetryreps", "0", "-shardratings", "0", "-servingratings", "0", "-replratings", "0", "-detection", "", "-streamattacks", "", "-streamratings", "0"}, &buf); err != nil {
+	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "2000", "-telemetryreps", "0", "-clusterratings", "0", "-shardratings", "0", "-servingratings", "0", "-replratings", "0", "-detection", "", "-streamattacks", "", "-streamratings", "0"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	var rep Report
@@ -58,7 +58,7 @@ func TestWALReplayStats(t *testing.T) {
 
 func TestWritesFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_test.json")
-	if err := run([]string{"-run", "fig2", "-out", path, "-workers", "2", "-telemetryreps", "0", "-shardratings", "0", "-servingratings", "0", "-replratings", "0", "-detection", "", "-streamattacks", "", "-streamratings", "0"}, io.Discard); err != nil {
+	if err := run([]string{"-run", "fig2", "-out", path, "-workers", "2", "-telemetryreps", "0", "-clusterratings", "0", "-shardratings", "0", "-servingratings", "0", "-replratings", "0", "-detection", "", "-streamattacks", "", "-streamratings", "0"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -99,7 +99,7 @@ func TestAllCoversRegistry(t *testing.T) {
 
 func TestShardScalingStats(t *testing.T) {
 	var buf strings.Builder
-	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "0", "-telemetryreps", "0", "-shardratings", "4000", "-servingratings", "0", "-replratings", "0", "-detection", "", "-streamattacks", "", "-streamratings", "0"}, &buf); err != nil {
+	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "0", "-telemetryreps", "0", "-clusterratings", "0", "-shardratings", "4000", "-servingratings", "0", "-replratings", "0", "-detection", "", "-streamattacks", "", "-streamratings", "0"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	var rep Report
@@ -131,7 +131,7 @@ func TestShardScalingStats(t *testing.T) {
 
 func TestServingStats(t *testing.T) {
 	var buf strings.Builder
-	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "0", "-telemetryreps", "0", "-shardratings", "0", "-servingratings", "600", "-replratings", "0", "-detection", "", "-streamattacks", "", "-streamratings", "0"}, &buf); err != nil {
+	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "0", "-telemetryreps", "0", "-clusterratings", "0", "-shardratings", "0", "-servingratings", "600", "-replratings", "0", "-detection", "", "-streamattacks", "", "-streamratings", "0"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	var rep Report
@@ -160,7 +160,7 @@ func TestServingStats(t *testing.T) {
 
 func TestReplicationStats(t *testing.T) {
 	var buf strings.Builder
-	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "0", "-telemetryreps", "0", "-shardratings", "0", "-servingratings", "0", "-replratings", "800", "-detection", "", "-streamattacks", "", "-streamratings", "0"}, &buf); err != nil {
+	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "0", "-telemetryreps", "0", "-clusterratings", "0", "-shardratings", "0", "-servingratings", "0", "-replratings", "800", "-detection", "", "-streamattacks", "", "-streamratings", "0"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	var rep Report
@@ -190,7 +190,7 @@ func TestDetectionStats(t *testing.T) {
 		t.Skip("runs the full detector×attack grid")
 	}
 	var buf strings.Builder
-	if err := run([]string{"-run", "fig2", "-out", "-", "-walrecords", "0", "-telemetryreps", "0", "-shardratings", "0", "-servingratings", "0", "-replratings", "0", "-detection", "quick", "-streamattacks", "", "-streamratings", "0"}, &buf); err != nil {
+	if err := run([]string{"-run", "fig2", "-out", "-", "-walrecords", "0", "-telemetryreps", "0", "-clusterratings", "0", "-shardratings", "0", "-servingratings", "0", "-replratings", "0", "-detection", "quick", "-streamattacks", "", "-streamratings", "0"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	var rep Report
@@ -217,7 +217,7 @@ func TestDetectionStats(t *testing.T) {
 
 func TestStreamingStats(t *testing.T) {
 	var buf strings.Builder
-	if err := run([]string{"-run", "fig2", "-out", "-", "-walrecords", "0", "-telemetryreps", "0", "-shardratings", "0", "-servingratings", "0", "-replratings", "0", "-detection", "", "-streamattacks", "trust-then-strike", "-streamratings", "2000"}, &buf); err != nil {
+	if err := run([]string{"-run", "fig2", "-out", "-", "-walrecords", "0", "-telemetryreps", "0", "-clusterratings", "0", "-shardratings", "0", "-servingratings", "0", "-replratings", "0", "-detection", "", "-streamattacks", "trust-then-strike", "-streamratings", "2000"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	var rep Report
@@ -256,11 +256,37 @@ func TestStreamingStats(t *testing.T) {
 	}
 }
 
+func TestClusterStats(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-run", "tab2", "-out", "-", "-walrecords", "0", "-telemetryreps", "0", "-shardratings", "0", "-servingratings", "0", "-replratings", "0", "-detection", "", "-streamattacks", "", "-streamratings", "0", "-clusterratings", "1500"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal([]byte(buf.String()), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	c := rep.Cluster
+	if c == nil {
+		t.Fatal("cluster missing from report")
+	}
+	if c.Ratings != 1500 || c.Nodes != 3 || c.DirectWallNS <= 0 || c.RouterWallNS <= 0 {
+		t.Fatalf("degenerate ingest stats: %+v", c)
+	}
+	// Overhead ratios need benchmark-size workloads; load-bearing here
+	// is that the exchange and scatter paths really ran.
+	if c.WindowExchangeNS <= 0 || c.ScatterStatsNSPerOp <= 0 || c.ScatterMalicNSPerOp <= 0 {
+		t.Fatalf("degenerate exchange/read stats: %+v", c)
+	}
+	if rep.TotalWallNS != rep.Experiments[0].WallNS+c.WallNS {
+		t.Fatalf("total %d does not include cluster %d", rep.TotalWallNS, c.WallNS)
+	}
+}
+
 func TestStreamingLatencyFloor(t *testing.T) {
 	// An absurdly tight floor must fail the run: streaming detects
 	// trust-then-strike, so its latency exceeds 1e-9 and the
 	// committed-floor check fires.
-	err := run([]string{"-run", "fig2", "-out", "-", "-walrecords", "0", "-telemetryreps", "0", "-shardratings", "0", "-servingratings", "0", "-replratings", "0", "-detection", "", "-streamattacks", "trust-then-strike", "-streamratings", "0", "-maxstreamlatency", "1e-9"}, io.Discard)
+	err := run([]string{"-run", "fig2", "-out", "-", "-walrecords", "0", "-telemetryreps", "0", "-clusterratings", "0", "-shardratings", "0", "-servingratings", "0", "-replratings", "0", "-detection", "", "-streamattacks", "trust-then-strike", "-streamratings", "0", "-maxstreamlatency", "1e-9"}, io.Discard)
 	if err == nil || !strings.Contains(err.Error(), "committed floor") {
 		t.Fatalf("floor breach not reported: %v", err)
 	}
@@ -274,7 +300,7 @@ func TestUnknownExperiment(t *testing.T) {
 
 func TestTelemetryOverheadStats(t *testing.T) {
 	var buf strings.Builder
-	if err := run([]string{"-run", "fig2", "-out", "-", "-walrecords", "0", "-telemetryreps", "3", "-shardratings", "0", "-servingratings", "0", "-replratings", "0", "-detection", "", "-streamattacks", "", "-streamratings", "0"}, &buf); err != nil {
+	if err := run([]string{"-run", "fig2", "-out", "-", "-walrecords", "0", "-telemetryreps", "3", "-clusterratings", "0", "-shardratings", "0", "-servingratings", "0", "-replratings", "0", "-detection", "", "-streamattacks", "", "-streamratings", "0"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	var rep Report

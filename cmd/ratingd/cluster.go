@@ -1,0 +1,96 @@
+// Cluster router mode: -route -cluster node1,node2,... serves the
+// stateless proxy tier in front of a partitioned cluster. The router
+// holds no rating state — single-object traffic forwards to the
+// keyspace owner, cross-object reads scatter-gather across the
+// members, and /v1/process runs the scan/apply exchange — so any
+// number of routers can front the same member set.
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/server"
+	"repro/internal/telemetry"
+	"repro/internal/trust"
+)
+
+// splitClusterURLs parses the -cluster flag: comma-separated base
+// URLs, whitespace-tolerant, trailing slashes dropped so flag values
+// match the canonical table form.
+func splitClusterURLs(s string) []string {
+	var urls []string
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimRight(strings.TrimSpace(p), "/")
+		if p != "" {
+			urls = append(urls, p)
+		}
+	}
+	return urls
+}
+
+type routerOptions struct {
+	addr       string
+	members    []string
+	epoch      uint64
+	trust      trust.ManagerConfig
+	reqTimeout time.Duration
+	maxBody    int64
+	pprof      bool
+}
+
+// runRouter builds the routing table, the proxy, and serves until
+// interrupted. The trust config must match the members': the router
+// folds window evidence with the same Procedure 2 parameters the
+// members apply.
+func runRouter(o routerOptions) error {
+	table, err := cluster.EvenTable(o.epoch, o.members)
+	if err != nil {
+		return err
+	}
+	started := time.Now()
+	reg := telemetry.NewRegistry()
+	registerProcessMetrics(reg, started)
+
+	rt, err := cluster.NewRouter(table, cluster.RouterConfig{
+		Trust: &o.trust,
+		ServerOptions: []server.Option{
+			server.WithMaxBodyBytes(o.maxBody),
+			server.WithRequestTimeout(o.reqTimeout),
+			server.WithTelemetry(reg),
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{
+		Addr:              o.addr,
+		Handler:           telemetryMux(rt, reg, o.pprof),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Printf("ratingd routing a %d-node cluster on %s (epoch %d)\n", len(o.members), o.addr, o.epoch)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case <-stop:
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return httpSrv.Shutdown(ctx)
+}

@@ -39,6 +39,8 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/api"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/detector"
 	"repro/internal/faultinject"
@@ -96,6 +98,11 @@ func run(args []string) (retErr error) {
 		admitWait   = fs.Duration("admit-wait", 250*time.Millisecond, "longest a queued mutating request waits for a slot before a 429 shed")
 		admitRetry  = fs.Duration("admit-retry-after", 0, "Retry-After hint on shed responses; 0 derives it from -admit-wait")
 
+		routeMode    = fs.Bool("route", false, "run as a stateless cluster router: forward single-object traffic to the keyspace owner in -cluster and scatter-gather cross-object reads")
+		clusterList  = fs.String("cluster", "", "comma-separated member base URLs; the 2^32 keyspace splits evenly across them in list order")
+		clusterSelf  = fs.String("cluster-self", "", "member mode: this node's own base URL exactly as it appears in -cluster")
+		clusterEpoch = fs.Uint64("cluster-epoch", 1, "routing-table version; requests pinning another epoch are refused with a typed 409 stale_epoch")
+
 		follow        = fs.String("follow", "", "run as a bounded-staleness read replica of this primary base URL")
 		maxLag        = fs.Duration("max-lag", 0, "replica: refuse reads (typed 503 replica_stale) once replicated state is older than this; 0 disables")
 		maxLagRecords = fs.Uint64("max-lag-records", 0, "replica: refuse reads once this many records behind the primary; 0 disables")
@@ -111,6 +118,28 @@ func run(args []string) (retErr error) {
 	}
 	if *promoteURL != "" {
 		return promoteRemote(*promoteURL)
+	}
+	if *routeMode && *clusterList == "" {
+		return errors.New("-route needs the member list: -cluster url1,url2,...")
+	}
+	if *clusterList != "" && *follow != "" {
+		return errors.New("-cluster and -follow are mutually exclusive; cluster members replicate trust through the router's apply broadcast")
+	}
+	if *clusterList != "" && !*routeMode && *clusterSelf == "" {
+		return errors.New("-cluster without -route runs a member; name this node's own URL with -cluster-self")
+	}
+	if *routeMode {
+		// The router is stateless — no engine, journal, or WAL — so it
+		// skips the backend build entirely and serves the proxy tier.
+		return runRouter(routerOptions{
+			addr:       *addr,
+			members:    splitClusterURLs(*clusterList),
+			epoch:      *clusterEpoch,
+			trust:      trust.ManagerConfig{B: *b, Forgetting: *forget},
+			reqTimeout: *reqTimeout,
+			maxBody:    *maxBody,
+			pprof:      *pprofOn,
+		})
 	}
 
 	var policy wal.SyncPolicy
@@ -182,6 +211,11 @@ func run(args []string) (retErr error) {
 		}
 		// The streaming path lives in the sharded engine; a single shard
 		// still uses it (one worker, same conformance guarantees).
+		shardEngineBackend = true
+	}
+	if *clusterList != "" {
+		// Member state lives in the sharded engine: the scan/apply
+		// exchange and point-range reads are engine operations.
 		shardEngineBackend = true
 	}
 	if *follow != "" {
@@ -305,6 +339,25 @@ func run(args []string) (retErr error) {
 		}
 	}
 
+	// Cluster member: keyspace ownership checks on the shared handlers
+	// plus the member-only scan/apply endpoints. The shard journal is
+	// the member's snapshotter, so an apply broadcast is durable before
+	// it is acked (member WALs never hold process records).
+	var member *cluster.Member
+	if *clusterList != "" {
+		table, err := cluster.EvenTable(*clusterEpoch, splitClusterURLs(*clusterList))
+		if err != nil {
+			return err
+		}
+		member, err = cluster.NewMember(table, strings.TrimRight(*clusterSelf, "/"), backend.(*shard.Engine))
+		if err != nil {
+			return err
+		}
+		if usingWAL && journal != nil {
+			member.SetSnapshotter(journal)
+		}
+	}
+
 	opts := []server.Option{
 		server.WithMaxBodyBytes(*maxBody),
 		server.WithRequestTimeout(*reqTimeout),
@@ -323,11 +376,26 @@ func run(args []string) (retErr error) {
 	if journal != nil {
 		opts = append(opts, server.WithJournal(journal))
 	}
+	if member != nil {
+		opts = append(opts,
+			server.WithCluster(member),
+			server.WithFeatures(api.DiscoveryFeatures{
+				StreamIngest: true,
+				StreamDetect: *streamDetect,
+				Cluster:      true,
+			}),
+		)
+	}
 	srv, err := server.NewWith(backend, opts...)
 	if err != nil {
 		return err
 	}
 	registerTrustMetrics(reg, srv.System())
+	if member != nil {
+		// An apply broadcast changes trust and verdicts for raters this
+		// node never saw ratings from; drop every cached read.
+		member.SetOnApply(srv.InvalidateAll)
+	}
 
 	// Replication wiring: either a follower node (replica gate plus
 	// in-place promotion) or, on a sharded-WAL primary, the
@@ -515,17 +583,20 @@ func run(args []string) (retErr error) {
 		go summaryLoop(bg, *telemetryInterval, reg, srv.System(), started)
 	}
 
-	var mountRepl func(*http.ServeMux)
+	var mounts []func(*http.ServeMux)
+	if member != nil {
+		mounts = append(mounts, member.Routes)
+	}
 	switch {
 	case node != nil:
-		mountRepl = node.routes
+		mounts = append(mounts, node.routes)
 	case replPrimary != nil:
-		mountRepl = replPrimary.Routes
+		mounts = append(mounts, replPrimary.Routes)
 	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           telemetryMux(srv, reg, *pprofOn, mountRepl),
+		Handler:           telemetryMux(srv, reg, *pprofOn, mounts...),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       15 * time.Second,
 		WriteTimeout:      60 * time.Second,
@@ -535,6 +606,10 @@ func run(args []string) (retErr error) {
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	fmt.Printf("ratingd listening on %s\n", *addr)
+	if member != nil {
+		t := member.Table()
+		fmt.Printf("cluster member %s (epoch %d, %d nodes)\n", *clusterSelf, t.Epoch, len(t.Nodes))
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

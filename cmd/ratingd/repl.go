@@ -125,25 +125,20 @@ func (n *replNode) handleReplicated(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if promoted {
-		writeJSON(w, http.StatusServiceUnavailable, &api.Error{
-			Code:    api.CodeUnavailable,
-			Message: "promoted without -wal; this primary cannot serve replication",
-		})
+		writeJSON(w, http.StatusServiceUnavailable, api.NewError(api.CodeUnavailable,
+			"promoted without -wal; this primary cannot serve replication"))
 		return
 	}
-	writeJSON(w, http.StatusMisdirectedRequest, &api.Error{
-		Code:    api.CodeNotPrimary,
-		Message: "this node is a follower; replicate from the primary",
-		Primary: n.cfg.PrimaryURL,
-	})
+	writeJSON(w, http.StatusMisdirectedRequest, api.NewError(api.CodeNotPrimary,
+		"this node is a follower; replicate from the primary").
+		WithPrimary(n.cfg.PrimaryURL))
 }
 
 func (n *replNode) handlePromote(w http.ResponseWriter, r *http.Request) {
 	st, err := n.promote("requested via POST /v1/repl/promote")
 	if err != nil {
-		writeJSON(w, http.StatusServiceUnavailable, &api.Error{
-			Code: api.CodeUnavailable, Message: err.Error(),
-		})
+		writeJSON(w, http.StatusServiceUnavailable,
+			api.NewError(api.CodeUnavailable, "%s", err.Error()))
 		return
 	}
 	writeJSON(w, http.StatusOK, st)

@@ -74,7 +74,7 @@ func installParallelObserver(reg *telemetry.Registry) {
 // /debug/vars, and — only when enabled — the pprof profile handlers.
 // extra, when non-nil, mounts additional daemon-level routes (the
 // replication endpoints) ahead of the API catch-all.
-func telemetryMux(api http.Handler, reg *telemetry.Registry, enablePprof bool, extra func(*http.ServeMux)) http.Handler {
+func telemetryMux(api http.Handler, reg *telemetry.Registry, enablePprof bool, extra ...func(*http.ServeMux)) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.Handler())
 	mux.Handle("/debug/vars", reg.JSONHandler())
@@ -85,8 +85,10 @@ func telemetryMux(api http.Handler, reg *telemetry.Registry, enablePprof bool, e
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	if extra != nil {
-		extra(mux)
+	for _, mount := range extra {
+		if mount != nil {
+			mount(mux)
+		}
 	}
 	mux.Handle("/", api)
 	return mux

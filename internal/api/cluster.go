@@ -1,0 +1,142 @@
+// Cluster wire shapes: the routing-table document served on
+// GET /v1/cluster, the internal scan/apply exchange the router uses to
+// run a maintenance window across members, and the GET /v1 discovery
+// document. These live in the v1 contract alongside the rest of the
+// surface — the router and members speak only these shapes, so a
+// member from one build and a router from another interoperate as
+// long as both honor v1's compatibility rules.
+
+package api
+
+// Version headers of the v1 surface.
+const (
+	// VersionHeader stamps every v1 response with the contract major
+	// version, so a client can detect a v2 server before decoding.
+	VersionHeader = "X-Api-Version"
+	// Version is the current contract major version.
+	Version = "1"
+	// ClusterEpochHeader pins a request to a routing-table epoch. A
+	// node whose table has a different epoch answers 409 stale_epoch
+	// instead of acting on a stale ownership view.
+	ClusterEpochHeader = "X-Cluster-Epoch"
+	// RequestIDHeader carries the client's idempotency/attribution
+	// token; error envelopes echo it as request_id.
+	RequestIDHeader = "X-Request-Id"
+)
+
+// ClusterNode is one member's row in the routing table: the contiguous
+// keyspace range it owns and, on GET /v1/cluster, its live health.
+type ClusterNode struct {
+	// URL is the node's base URL (scheme://host:port).
+	URL string `json:"url"`
+	// Lo is the first owned point of the 2^32 object-hash keyspace.
+	Lo uint32 `json:"lo"`
+	// Hi is one past the last owned point (exclusive; up to 2^32).
+	// An empty range has Hi == Lo.
+	Hi uint64 `json:"hi"`
+	// Status is "ok" or "down", probed by the router at serve time;
+	// empty when the document comes from a member (members know the
+	// table, not liveness).
+	Status string `json:"status,omitempty"`
+	// WindowEnd is the node's last charged maintenance-window end
+	// (rating-clock days); the router surfaces it so operators can
+	// spot a member lagging the cluster's window high-water mark.
+	WindowEnd float64 `json:"window_end,omitempty"`
+	// Self marks the node serving this document.
+	Self bool `json:"self,omitempty"`
+}
+
+// ClusterResponse is the GET /v1/cluster document: the epoch-stamped
+// ownership table every router and client routes by.
+type ClusterResponse struct {
+	// Epoch versions the table; it rides on every cross-node request
+	// as X-Cluster-Epoch.
+	Epoch uint64 `json:"epoch"`
+	// Nodes lists the members in ascending Lo order, covering the
+	// keyspace exactly.
+	Nodes []ClusterNode `json:"nodes"`
+}
+
+// RaterEvidence is one rater's per-object Procedure 2 evidence from a
+// member's scan: the observation counts plus the single float the
+// trust fold is order-sensitive in (suspicion mass). JSON float64
+// round-trips are exact, so folding these on the router in ascending
+// object order reproduces the single-system fold bit for bit.
+type RaterEvidence struct {
+	Rater      int     `json:"rater"`
+	N          int     `json:"n"`
+	Filtered   int     `json:"f"`
+	Suspicious int     `json:"s"`
+	Mass       float64 `json:"mass"`
+}
+
+// ObjectEvidence is one object's scan outcome on its owning member.
+type ObjectEvidence struct {
+	Object     int `json:"object"`
+	Considered int `json:"considered"`
+	Filtered   int `json:"filtered"`
+	// Windows is the detector window count; SuspiciousWindows the
+	// subset flagged.
+	Windows           int  `json:"windows"`
+	SuspiciousWindows int  `json:"suspicious_windows"`
+	Degraded          bool `json:"degraded,omitempty"`
+	// Raters holds the per-rater evidence in ascending rater order.
+	Raters []RaterEvidence `json:"raters"`
+}
+
+// ClusterScanRequest asks a member to scan its owned objects for one
+// maintenance window without charging trust — the router folds all
+// members' evidence and broadcasts the merged result via apply.
+type ClusterScanRequest struct {
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+}
+
+// ClusterScanResponse is the member's evidence, objects ascending.
+type ClusterScanResponse struct {
+	Objects []ObjectEvidence `json:"objects"`
+}
+
+// ClusterApplyRequest carries the router's merged window observations
+// to every member: each applies the identical batch to its replicated
+// trust state, so all nodes answer trust reads identically.
+type ClusterApplyRequest struct {
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+	// Observations holds the merged fold in ascending rater order.
+	Observations []RaterEvidence `json:"observations"`
+}
+
+// ClusterApplyResponse acknowledges a durable apply.
+type ClusterApplyResponse struct {
+	Raters    int     `json:"raters"`
+	WindowEnd float64 `json:"window_end"`
+}
+
+// DiscoveryLimits publishes the server's request bounds.
+type DiscoveryLimits struct {
+	// MaxBodyBytes is the unary request-body cap.
+	MaxBodyBytes int64 `json:"max_body_bytes"`
+	// MaxStreamLineBytes is the NDJSON per-line cap.
+	MaxStreamLineBytes int64 `json:"max_stream_line_bytes"`
+	// RequestTimeoutSeconds is the per-request handling deadline.
+	RequestTimeoutSeconds float64 `json:"request_timeout_seconds"`
+}
+
+// DiscoveryFeatures flags the optional subsystems this node runs.
+type DiscoveryFeatures struct {
+	StreamIngest bool `json:"stream_ingest"`
+	StreamDetect bool `json:"stream_detect"`
+	Replication  bool `json:"replication"`
+	Cluster      bool `json:"cluster"`
+	Router       bool `json:"router"`
+}
+
+// DiscoveryResponse is the GET /v1 document: the contract version,
+// the route list, the node's limits, and its feature flags.
+type DiscoveryResponse struct {
+	Version  string            `json:"version"`
+	Routes   []string          `json:"routes"`
+	Limits   DiscoveryLimits   `json:"limits"`
+	Features DiscoveryFeatures `json:"features"`
+}

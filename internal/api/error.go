@@ -41,6 +41,16 @@ const (
 	// mutations; the envelope's Primary field carries the primary's
 	// URL when known. Re-issue the request there.
 	CodeNotPrimary = "not_primary"
+	// CodeWrongNode: the node is a cluster member that does not own
+	// the request's keyspace point; the envelope's Owner field carries
+	// the owning node's base URL. Re-issue the request there (the
+	// typed client follows automatically, capped hops).
+	CodeWrongNode = "wrong_node"
+	// CodeStaleEpoch: the request pinned a cluster routing-table epoch
+	// (X-Cluster-Epoch) that does not match the node's table. The
+	// sender's view of ownership is stale; refresh from GET /v1/cluster
+	// before retrying.
+	CodeStaleEpoch = "stale_epoch"
 )
 
 // knownCodes is the closed catalogue.
@@ -55,6 +65,8 @@ var knownCodes = map[string]bool{
 	CodeInternal:        true,
 	CodeReplicaStale:    true,
 	CodeNotPrimary:      true,
+	CodeWrongNode:       true,
+	CodeStaleEpoch:      true,
 }
 
 // KnownCode reports whether code is in the v1 catalogue.
@@ -71,6 +83,49 @@ type Error struct {
 	// Primary is the primary's base URL, set on not_primary envelopes
 	// so a redirected client knows where mutations go.
 	Primary string `json:"primary,omitempty"`
+	// Owner is the owning cluster node's base URL, set on wrong_node
+	// envelopes so a misdirected client knows where the key lives.
+	Owner string `json:"owner,omitempty"`
+	// RequestID echoes the request's X-Request-ID header (when the
+	// client sent one) so failures are attributable across cross-node
+	// hops and retries.
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// NewError constructs a catalogue error envelope. Every handler must
+// build its envelopes through this helper — it is the single
+// construction point the error-catalogue test audits — and it panics
+// on a code outside the closed catalogue, turning a typo into an
+// immediate test failure instead of a silent contract break.
+func NewError(code, format string, args ...any) *Error {
+	if !KnownCode(code) {
+		panic(fmt.Sprintf("api: NewError with unknown code %q", code))
+	}
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// WithRetryAfter sets the backoff hint (seconds) and returns e.
+func (e *Error) WithRetryAfter(seconds float64) *Error {
+	e.RetryAfter = seconds
+	return e
+}
+
+// WithPrimary sets the primary's base URL and returns e.
+func (e *Error) WithPrimary(url string) *Error {
+	e.Primary = url
+	return e
+}
+
+// WithOwner sets the owning node's base URL and returns e.
+func (e *Error) WithOwner(url string) *Error {
+	e.Owner = url
+	return e
+}
+
+// WithRequestID echoes the request ID and returns e.
+func (e *Error) WithRequestID(id string) *Error {
+	e.RequestID = id
+	return e
 }
 
 // Error implements error.

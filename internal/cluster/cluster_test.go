@@ -1,0 +1,132 @@
+package cluster
+
+// In-process cluster harness: N member daemons (shard engine + API
+// server + cluster-internal routes) behind httptest listeners, fronted
+// by a Router. Member handlers are swappable through an atomic pointer
+// so tests can kill and revive a node without its URL changing.
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/shard"
+	"repro/internal/trust"
+)
+
+// memberNode is one in-process cluster member.
+type memberNode struct {
+	url     string
+	eng     *shard.Engine
+	member  *Member
+	srv     *server.Server
+	hs      *httptest.Server
+	handler atomic.Pointer[http.Handler]
+}
+
+// down makes the node unreachable: every request aborts the
+// connection, which clients see as a transport error, exactly like a
+// killed process behind a stable address.
+func (n *memberNode) down() {
+	var h http.Handler = http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic(http.ErrAbortHandler)
+	})
+	n.handler.Store(&h)
+}
+
+// up restores the node's real handler.
+func (n *memberNode) up() {
+	var h http.Handler = n.serveMux()
+	n.handler.Store(&h)
+}
+
+func (n *memberNode) serveMux() http.Handler {
+	mux := http.NewServeMux()
+	n.member.Routes(mux)
+	mux.Handle("/", n.srv)
+	return mux
+}
+
+// testCluster is N members plus the router, all in-process.
+type testCluster struct {
+	table   Table
+	members []*memberNode
+	router  *Router
+	front   *httptest.Server // the router's public HTTP face
+}
+
+// newTestCluster builds an n-node cluster, each member running a
+// shard.Engine with the given shard count.
+func newTestCluster(t *testing.T, nodes, shards int) *testCluster {
+	t.Helper()
+	return newTestClusterTable(t, nodes, shards, nil)
+}
+
+// newTestClusterTable is newTestCluster with an optional custom range
+// assignment: mkTable receives the member URLs and returns the table
+// (nil means EvenTable at epoch 1).
+func newTestClusterTable(t *testing.T, nodes, shards int, mkTable func(urls []string) Table) *testCluster {
+	t.Helper()
+	tc := &testCluster{}
+	urls := make([]string, nodes)
+	for i := 0; i < nodes; i++ {
+		n := &memberNode{}
+		var placeholder http.Handler = http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			http.Error(w, "not wired yet", http.StatusServiceUnavailable)
+		})
+		n.handler.Store(&placeholder)
+		n.hs = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			(*n.handler.Load()).ServeHTTP(w, r)
+		}))
+		t.Cleanup(n.hs.Close)
+		n.url = n.hs.URL
+		urls[i] = n.url
+		tc.members = append(tc.members, n)
+	}
+
+	if mkTable != nil {
+		tc.table = mkTable(urls)
+	} else {
+		table, err := EvenTable(1, urls)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tc.table = table
+	}
+
+	for _, n := range tc.members {
+		eng, err := shard.NewEngine(core.Config{}, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.eng = eng
+		member, err := NewMember(tc.table, n.url, eng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.member = member
+		srv, err := server.NewWith(eng,
+			server.WithCluster(member),
+			server.WithFeatures(api.DiscoveryFeatures{StreamIngest: true, Cluster: true}),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.srv = srv
+		member.SetOnApply(srv.InvalidateAll)
+		n.up()
+	}
+
+	router, err := NewRouter(tc.table, RouterConfig{Trust: &trust.ManagerConfig{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.router = router
+	tc.front = httptest.NewServer(router)
+	t.Cleanup(tc.front.Close)
+	return tc
+}

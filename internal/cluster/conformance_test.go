@@ -1,0 +1,131 @@
+package cluster
+
+// N-node conformance: the partitioned cluster must be externally
+// indistinguishable from one core.System. The seeded shardtest
+// workload is replayed through the router — submits fan out to
+// keyspace owners, windows run the scan/apply exchange, reads merge —
+// and the full trace (every observation, trust value, aggregate, and
+// verdict at %.17g) must be byte-identical to the single-threaded
+// oracle's, for 1-, 2- and 3-node clusters at several shard counts.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/shard/shardtest"
+)
+
+func oracleTrace(t *testing.T, w shardtest.Workload) string {
+	t.Helper()
+	oracle, err := core.NewSystem(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := shardtest.Run(oracle, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace
+}
+
+func TestClusterConformance(t *testing.T) {
+	for _, nodes := range []int{1, 2, 3} {
+		for _, shards := range []int{1, 2, 4, 8} {
+			nodes, shards := nodes, shards
+			t.Run(fmt.Sprintf("nodes=%d/shards=%d", nodes, shards), func(t *testing.T) {
+				t.Parallel()
+				w := shardtest.Workload{Seed: 4200 + int64(10*nodes+shards), Months: 2, PerMonth: 250}
+				want := oracleTrace(t, w)
+
+				tc := newTestCluster(t, nodes, shards)
+				got, err := shardtest.Run(tc.router, w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("cluster trace diverged from oracle:\n--- oracle\n%s--- cluster\n%s", want, got)
+				}
+
+				// Trust replicated: every member holds the identical full
+				// trust map, including nodes that own few objects.
+				base := tc.members[0].eng.TrustSnapshot()
+				for i, n := range tc.members[1:] {
+					snap := n.eng.TrustSnapshot()
+					if len(snap) != len(base) {
+						t.Fatalf("member %d: %d trust records, member 0 has %d", i+1, len(snap), len(base))
+					}
+					for id, v := range base {
+						if snap[id] != v {
+							t.Fatalf("member %d: trust[%d]=%v, member 0 has %v", i+1, id, snap[id], v)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestClusterConformanceEmptyRange pins the degenerate ownership case:
+// a member owning zero keyspace still replicates trust and still takes
+// applies, and the cluster's trace stays byte-identical to the oracle.
+func TestClusterConformanceEmptyRange(t *testing.T) {
+	w := shardtest.Workload{Seed: 77, Months: 2, PerMonth: 200}
+	want := oracleTrace(t, w)
+
+	tc := newTestClusterTable(t, 3, 2, func(urls []string) Table {
+		return Table{Epoch: 1, Nodes: []Node{
+			{URL: urls[0], Lo: 0, Hi: 1 << 31},
+			{URL: urls[1], Lo: 1 << 31, Hi: 1 << 31}, // owns nothing
+			{URL: urls[2], Lo: 1 << 31, Hi: 1 << 32},
+		}}
+	})
+	got, err := shardtest.Run(tc.router, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("empty-range cluster diverged from oracle:\n--- oracle\n%s--- cluster\n%s", want, got)
+	}
+
+	// The empty member holds no ratings but the full replicated trust
+	// state.
+	if n := tc.members[1].eng.Len(); n != 0 {
+		t.Fatalf("empty-range member stores %d ratings", n)
+	}
+	if got, want := len(tc.members[1].eng.TrustSnapshot()), len(tc.members[0].eng.TrustSnapshot()); got != want || want == 0 {
+		t.Fatalf("empty-range member has %d trust records, want %d (nonzero)", got, want)
+	}
+}
+
+// TestClusterSnapshotRoundTrip: the router's merged snapshot restores
+// into a fresh cluster with a different node count, and the restored
+// cluster serves identical state.
+func TestClusterSnapshotRoundTrip(t *testing.T) {
+	w := shardtest.Workload{Seed: 81, Months: 1, PerMonth: 200}
+	src := newTestCluster(t, 2, 2)
+	if _, err := shardtest.Run(src.router, w); err != nil {
+		t.Fatal(err)
+	}
+	srcFP, err := shardtest.Fingerprint(src.router, w.Objects)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := src.router.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := newTestCluster(t, 3, 4)
+	if err := dst.router.LoadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dstFP, err := shardtest.Fingerprint(dst.router, w.Objects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dstFP != srcFP {
+		t.Fatalf("restored 3-node cluster diverged from 2-node source:\n--- source\n%s--- restored\n%s", srcFP, dstFP)
+	}
+}

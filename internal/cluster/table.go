@@ -1,0 +1,159 @@
+// Package cluster implements static-membership partitioned serving:
+// N nodes each own a contiguous range of the 2^32 FNV-1a object-hash
+// keyspace, pinned in a versioned, epoch-stamped routing table. Rating
+// data partitions by object range; trust state replicates to every
+// node (Procedure 2's per-rater update is independent across raters,
+// so broadcasting one merged observation batch lands every node on
+// identical trust). A router tier (Router) fans the full v1 surface
+// out by object ID and folds cross-object reads in the canonical
+// ascending-object order, so a cluster answers byte-identically to a
+// single core.System.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/api"
+	"repro/internal/rating"
+	"repro/internal/shard"
+)
+
+// ringSize is one past the last keyspace point: ranges are [Lo, Hi)
+// with Hi up to 2^32.
+const ringSize = uint64(1) << 32
+
+// Node is one member's routing-table row: its base URL and the
+// contiguous keyspace range it owns.
+type Node struct {
+	// URL is the node's base URL, no trailing slash.
+	URL string
+	// Lo is the first owned point; Hi is one past the last (exclusive,
+	// up to 2^32). Hi == Lo is an empty range.
+	Lo uint32
+	Hi uint64
+}
+
+// Contains reports whether point p falls in the node's range.
+func (n Node) Contains(p uint32) bool {
+	return uint64(p) >= uint64(n.Lo) && uint64(p) < n.Hi
+}
+
+// Empty reports whether the node owns no points.
+func (n Node) Empty() bool { return n.Hi == uint64(n.Lo) }
+
+// Table is the epoch-stamped ownership map. Nodes are in ascending Lo
+// order and cover [0, 2^32) exactly — Validate enforces it — so every
+// keyspace point has exactly one owner and lookup is a binary search.
+type Table struct {
+	Epoch uint64
+	Nodes []Node
+}
+
+// Validate checks the table covers the keyspace exactly once:
+// non-empty, sorted ascending, first Lo == 0, each Hi == next Lo,
+// last Hi == 2^32. Empty ranges (Hi == Lo) are allowed — a node can
+// be a trust replica that owns no objects — but the non-empty ranges
+// must still tile the ring.
+func (t Table) Validate() error {
+	if len(t.Nodes) == 0 {
+		return fmt.Errorf("cluster: empty table")
+	}
+	next := uint64(0)
+	for i, n := range t.Nodes {
+		if n.URL == "" {
+			return fmt.Errorf("cluster: node %d: empty URL", i)
+		}
+		if strings.HasSuffix(n.URL, "/") {
+			return fmt.Errorf("cluster: node %d: URL %q has a trailing slash", i, n.URL)
+		}
+		if uint64(n.Lo) != next {
+			return fmt.Errorf("cluster: node %d: range starts at %d, want %d (ranges must tile [0,2^32))", i, n.Lo, next)
+		}
+		if n.Hi < uint64(n.Lo) || n.Hi > ringSize {
+			return fmt.Errorf("cluster: node %d: hi %d outside [%d,%d]", i, n.Hi, n.Lo, ringSize)
+		}
+		next = n.Hi
+	}
+	if next != ringSize {
+		return fmt.Errorf("cluster: table covers [0,%d), want [0,%d)", next, ringSize)
+	}
+	seen := make(map[string]bool, len(t.Nodes))
+	for i, n := range t.Nodes {
+		if seen[n.URL] {
+			return fmt.Errorf("cluster: node %d: duplicate URL %q", i, n.URL)
+		}
+		seen[n.URL] = true
+	}
+	return nil
+}
+
+// EvenTable splits the keyspace into len(urls) near-equal contiguous
+// ranges, one per URL in the given order, at the given epoch. This is
+// the static membership a `-cluster node1,node2,...` flag produces:
+// every router and member started with the same list derives the same
+// table, so ownership agrees without coordination.
+func EvenTable(epoch uint64, urls []string) (Table, error) {
+	if len(urls) == 0 {
+		return Table{}, fmt.Errorf("cluster: no nodes")
+	}
+	n := uint64(len(urls))
+	t := Table{Epoch: epoch, Nodes: make([]Node, len(urls))}
+	for i, u := range urls {
+		lo := ringSize * uint64(i) / n
+		hi := ringSize * uint64(i+1) / n
+		t.Nodes[i] = Node{URL: strings.TrimSuffix(u, "/"), Lo: uint32(lo), Hi: hi}
+	}
+	if err := t.Validate(); err != nil {
+		return Table{}, err
+	}
+	return t, nil
+}
+
+// Owner returns the index of the node owning point p. The table must
+// be valid; Owner panics on an uncovered point (impossible after
+// Validate).
+func (t Table) Owner(p uint32) int {
+	// First node with Hi > p; empty ranges never contain p, and the
+	// search lands past them.
+	i := sort.Search(len(t.Nodes), func(i int) bool { return t.Nodes[i].Hi > uint64(p) })
+	if i >= len(t.Nodes) || !t.Nodes[i].Contains(p) {
+		panic(fmt.Sprintf("cluster: point %d has no owner (invalid table)", p))
+	}
+	return i
+}
+
+// OwnerOfObject returns the index of the node owning an object.
+func (t Table) OwnerOfObject(obj rating.ObjectID) int {
+	return t.Owner(shard.KeyPoint(obj))
+}
+
+// OwnerOfRater returns the index of the node that answers
+// scatter-gather rater queries for a rater (trust is replicated, so
+// this partitions work, not data).
+func (t Table) OwnerOfRater(r rating.RaterID) int {
+	return t.Owner(shard.RaterPoint(r))
+}
+
+// IndexOf returns the index of the node with the given URL, or -1.
+func (t Table) IndexOf(url string) int {
+	url = strings.TrimSuffix(url, "/")
+	for i, n := range t.Nodes {
+		if n.URL == url {
+			return i
+		}
+	}
+	return -1
+}
+
+// Doc renders the table as the wire document (no health probing; the
+// router fills Status at serve time). self, when non-negative, marks
+// that row.
+func (t Table) Doc(self int) api.ClusterResponse {
+	doc := api.ClusterResponse{Epoch: t.Epoch, Nodes: make([]api.ClusterNode, len(t.Nodes))}
+	for i, n := range t.Nodes {
+		doc.Nodes[i] = api.ClusterNode{URL: n.URL, Lo: n.Lo, Hi: n.Hi, Self: i == self}
+	}
+	return doc
+}

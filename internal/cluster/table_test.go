@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rating"
+	"repro/internal/shard"
+)
+
+func TestEvenTableTilesKeyspace(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 16} {
+		urls := make([]string, n)
+		for i := range urls {
+			urls[i] = "http://node" + strings.Repeat("x", i) // distinct
+		}
+		table, err := EvenTable(7, urls)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := table.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if table.Epoch != 7 {
+			t.Fatalf("n=%d: epoch %d", n, table.Epoch)
+		}
+		if table.Nodes[0].Lo != 0 || table.Nodes[n-1].Hi != 1<<32 {
+			t.Fatalf("n=%d: keyspace not tiled: first lo=%d last hi=%d",
+				n, table.Nodes[0].Lo, table.Nodes[n-1].Hi)
+		}
+		// Ring endpoints and a spread of points resolve to the node
+		// whose range contains them.
+		for _, p := range []uint32{0, 1, 1 << 16, 1<<31 - 1, 1 << 31, 1<<32 - 1} {
+			owner := table.Owner(p)
+			if !table.Nodes[owner].Contains(p) {
+				t.Fatalf("n=%d: Owner(%d)=%d but range [%d,%d) does not contain it",
+					n, p, owner, table.Nodes[owner].Lo, table.Nodes[owner].Hi)
+			}
+		}
+	}
+}
+
+func TestTableValidateRejectsBadTables(t *testing.T) {
+	cases := []struct {
+		name  string
+		table Table
+	}{
+		{"empty", Table{Epoch: 1}},
+		{"gap", Table{Epoch: 1, Nodes: []Node{
+			{URL: "http://a", Lo: 0, Hi: 10},
+			{URL: "http://b", Lo: 20, Hi: 1 << 32},
+		}}},
+		{"overlap", Table{Epoch: 1, Nodes: []Node{
+			{URL: "http://a", Lo: 0, Hi: 30},
+			{URL: "http://b", Lo: 20, Hi: 1 << 32},
+		}}},
+		{"first not zero", Table{Epoch: 1, Nodes: []Node{
+			{URL: "http://a", Lo: 5, Hi: 1 << 32},
+		}}},
+		{"last short", Table{Epoch: 1, Nodes: []Node{
+			{URL: "http://a", Lo: 0, Hi: 1<<32 - 1},
+		}}},
+		{"dup url", Table{Epoch: 1, Nodes: []Node{
+			{URL: "http://a", Lo: 0, Hi: 100},
+			{URL: "http://a", Lo: 100, Hi: 1 << 32},
+		}}},
+		{"trailing slash", Table{Epoch: 1, Nodes: []Node{
+			{URL: "http://a/", Lo: 0, Hi: 1 << 32},
+		}}},
+		{"empty url", Table{Epoch: 1, Nodes: []Node{
+			{URL: "", Lo: 0, Hi: 1 << 32},
+		}}},
+	}
+	for _, tc := range cases {
+		if err := tc.table.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted an invalid table", tc.name)
+		}
+	}
+}
+
+func TestTableAllowsEmptyRanges(t *testing.T) {
+	table := Table{Epoch: 3, Nodes: []Node{
+		{URL: "http://a", Lo: 0, Hi: 1 << 31},
+		{URL: "http://b", Lo: 1 << 31, Hi: 1 << 31}, // empty
+		{URL: "http://c", Lo: 1 << 31, Hi: 1 << 32},
+	}}
+	if err := table.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !table.Nodes[1].Empty() {
+		t.Fatal("middle node should report Empty")
+	}
+	// No point ever lands on the empty range.
+	for _, p := range []uint32{0, 1<<31 - 1, 1 << 31, 1<<32 - 1} {
+		if owner := table.Owner(p); owner == 1 {
+			t.Fatalf("Owner(%d) resolved to the empty range", p)
+		}
+	}
+}
+
+func TestOwnerAgreesWithKeyPoints(t *testing.T) {
+	table, err := EvenTable(1, []string{"http://a", "http://b", "http://c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < 1000; id++ {
+		obj := rating.ObjectID(id)
+		if got, want := table.OwnerOfObject(obj), table.Owner(shard.KeyPoint(obj)); got != want {
+			t.Fatalf("object %d: OwnerOfObject=%d Owner(KeyPoint)=%d", id, got, want)
+		}
+		r := rating.RaterID(id)
+		if got, want := table.OwnerOfRater(r), table.Owner(shard.RaterPoint(r)); got != want {
+			t.Fatalf("rater %d: OwnerOfRater=%d Owner(RaterPoint)=%d", id, got, want)
+		}
+	}
+	// The hash spreads objects across all three nodes.
+	seen := map[int]bool{}
+	for id := 0; id < 1000; id++ {
+		seen[table.OwnerOfObject(rating.ObjectID(id))] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("1000 objects landed on %d of 3 nodes", len(seen))
+	}
+}
+
+func TestDocMarksSelf(t *testing.T) {
+	table, err := EvenTable(9, []string{"http://a", "http://b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := table.Doc(1)
+	if doc.Epoch != 9 || len(doc.Nodes) != 2 {
+		t.Fatalf("doc %+v", doc)
+	}
+	if doc.Nodes[0].Self || !doc.Nodes[1].Self {
+		t.Fatalf("self marks wrong: %+v", doc.Nodes)
+	}
+	// Doc(-1) — the router's view — marks nobody.
+	for _, n := range table.Doc(-1).Nodes {
+		if n.Self {
+			t.Fatal("router doc marked a node as self")
+		}
+	}
+}

@@ -16,7 +16,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeErr(w http.ResponseWriter, status int, code, msg string) {
-	writeJSON(w, status, &api.Error{Code: code, Message: msg})
+	writeJSON(w, status, api.NewError(code, "%s", msg))
 }
 
 func isSegmentGone(err error) bool { return errors.Is(err, wal.ErrSegmentGone) }

@@ -1,7 +1,6 @@
 package server
 
 import (
-	"fmt"
 	"math"
 	"net/http"
 	"strconv"
@@ -166,11 +165,10 @@ func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
 			// header never promises an earlier retry than the envelope.
 			w.Header().Set("Retry-After",
 				strconv.Itoa(int(math.Ceil(retry.Seconds()))))
-			writeJSON(w, http.StatusTooManyRequests, &api.Error{
-				Code:       api.CodeOverloaded,
-				Message:    fmt.Sprintf("overloaded: mutation shed (%s)", result),
-				RetryAfter: retry.Seconds(),
-			})
+			writeEnvelope(w, r, http.StatusTooManyRequests,
+				api.NewError(api.CodeOverloaded,
+					"overloaded: mutation shed (%s)", result).
+					WithRetryAfter(retry.Seconds()))
 			return
 		}
 		defer a.release()

@@ -70,7 +70,7 @@ func (s *Server) getAlerts() AlertSource {
 func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
 	src := s.getAlerts()
 	if src == nil {
-		writeError(w, http.StatusNotFound,
+		writeError(w, r, http.StatusNotFound,
 			errors.New("streaming detection is not enabled on this node"))
 		return
 	}
@@ -79,7 +79,7 @@ func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
 	if v := q.Get("since"); v != "" {
 		n, err := strconv.ParseUint(v, 10, 64)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("since %q: must be a non-negative integer", v))
+			writeError(w, r, http.StatusBadRequest, fmt.Errorf("since %q: must be a non-negative integer", v))
 			return
 		}
 		since = n
@@ -88,7 +88,7 @@ func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
 	if v := q.Get("wait"); v != "" {
 		secs, err := strconv.ParseFloat(v, 64)
 		if err != nil || secs < 0 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("wait %q: must be non-negative seconds", v))
+			writeError(w, r, http.StatusBadRequest, fmt.Errorf("wait %q: must be non-negative seconds", v))
 			return
 		}
 		wait = time.Duration(secs * float64(time.Second))

@@ -69,16 +69,35 @@ func WithRetry(p RetryPolicy) ClientOption {
 	}
 }
 
+// maxWrongNodeHops caps how many wrong_node redirects one logical
+// call follows before surfacing the error: enough for one stale-table
+// bounce plus a concurrent reassignment, small enough that two nodes
+// pointing at each other fail fast instead of ping-ponging.
+const maxWrongNodeHops = 3
+
 // Client is a typed HTTP client for a Server. The zero value is not
 // usable; call NewClient.
 type Client struct {
-	base  string
-	hc    *http.Client
-	retry RetryPolicy
+	base   string
+	hc     *http.Client
+	retry  RetryPolicy
+	header http.Header // extra headers on every request (epoch pinning)
 
 	mu        sync.Mutex
 	rng       *randx.Rand   // jitter + request IDs; nil when retries are off
 	prevDelay time.Duration // decorrelated-jitter state (guarded by mu)
+}
+
+// WithHeader attaches a header to every request the client sends; a
+// cluster router pins its routing-table epoch with
+// WithHeader(api.ClusterEpochHeader, "<epoch>").
+func WithHeader(key, value string) ClientOption {
+	return func(c *Client) {
+		if c.header == nil {
+			c.header = make(http.Header)
+		}
+		c.header.Set(key, value)
+	}
 }
 
 // NewClient builds a client for the service at base (e.g.
@@ -148,6 +167,11 @@ type APIError struct {
 	// RetryAfter is the server's backoff hint on shed (429) responses;
 	// zero when the server sent none.
 	RetryAfter time.Duration
+	// Owner is the owning node's base URL on wrong_node envelopes.
+	Owner string
+	// RequestID is the envelope's echoed X-Request-ID, attributing the
+	// failure to one logical call across retries and cross-node hops.
+	RequestID string
 }
 
 // Error implements error.
@@ -208,6 +232,18 @@ func (c *Client) MaliciousPage(ctx context.Context, offset, limit int) (Maliciou
 	if limit > 0 {
 		q.Set("limit", strconv.Itoa(limit))
 	}
+	var resp MaliciousResponse
+	err := c.do(ctx, http.MethodGet, "/v1/malicious?"+q.Encode(), nil, &resp)
+	return resp, err
+}
+
+// MaliciousPointRange lists the flagged raters whose keyspace point
+// falls in [lo, hi) — the disjoint slice a cluster router asks each
+// member for before merging the ID-sorted results.
+func (c *Client) MaliciousPointRange(ctx context.Context, lo uint32, hi uint64) (MaliciousResponse, error) {
+	q := url.Values{}
+	q.Set("point_lo", strconv.FormatUint(uint64(lo), 10))
+	q.Set("point_hi", strconv.FormatUint(hi, 10))
 	var resp MaliciousResponse
 	err := c.do(ctx, http.MethodGet, "/v1/malicious?"+q.Encode(), nil, &resp)
 	return resp, err
@@ -374,6 +410,8 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 
 	var lastErr error
 	var hint time.Duration // server's Retry-After from the last shed
+	base := c.base
+	hops := 0 // wrong_node redirects followed for this logical call
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
 			delay := c.backoff(attempt)
@@ -391,7 +429,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		if body != nil {
 			reader = bytes.NewReader(payload)
 		}
-		req, err := http.NewRequestWithContext(ctx, method, c.base+path, reader)
+		req, err := http.NewRequestWithContext(ctx, method, base+path, reader)
 		if err != nil {
 			return fmt.Errorf("server: %w", err)
 		}
@@ -400,6 +438,9 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		}
 		if reqID != "" {
 			req.Header.Set("X-Request-ID", reqID)
+		}
+		for k, vs := range c.header {
+			req.Header[k] = vs
 		}
 		res, err := c.hc.Do(req)
 		if err != nil {
@@ -432,6 +473,16 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 			}
 			return nil
 		}()
+		if apiErr, ok := err.(*APIError); ok && apiErr.Code == api.CodeWrongNode &&
+			apiErr.Owner != "" && hops < maxWrongNodeHops {
+			// The refusing node named the owner: re-issue there without
+			// consuming a retry attempt. The hop cap keeps two nodes
+			// with disagreeing tables from ping-ponging forever.
+			base = strings.TrimSuffix(apiErr.Owner, "/")
+			hops++
+			attempt--
+			continue
+		}
 		return err
 	}
 	return lastErr
@@ -451,6 +502,8 @@ func decodeError(res *http.Response) *APIError {
 			Code:       env.Code,
 			Message:    env.Message,
 			RetryAfter: time.Duration(env.RetryAfter * float64(time.Second)),
+			Owner:      env.Owner,
+			RequestID:  env.RequestID,
 		}
 		if e.RetryAfter == 0 {
 			e.RetryAfter = retryAfterHeader(res)

@@ -102,15 +102,20 @@ func checkFixture(t *testing.T, name string, res *http.Response) {
 	}
 
 	fix := contractFixture{Status: res.StatusCode}
-	if ra := res.Header.Get("Retry-After"); ra != "" {
-		fix.Headers = map[string]string{"Retry-After": ra}
-	}
-	if rl := res.Header.Get(ReplicaLagHeader); rl != "" {
-		if fix.Headers == nil {
-			fix.Headers = map[string]string{}
+	addHeader := func(name string) {
+		if v := res.Header.Get(name); v != "" {
+			if fix.Headers == nil {
+				fix.Headers = map[string]string{}
+			}
+			fix.Headers[name] = v
 		}
-		fix.Headers[ReplicaLagHeader] = rl
 	}
+	addHeader("Retry-After")
+	addHeader(ReplicaLagHeader)
+	// Every v1 response advertises its contract version; capturing it
+	// in each fixture makes a missing or changed stamp a contract
+	// break, not a silent drift.
+	addHeader(api.VersionHeader)
 	for _, line := range bytes.Split(raw, []byte("\n")) {
 		line = bytes.TrimSpace(line)
 		if len(line) == 0 {
@@ -193,6 +198,8 @@ func TestWireContract(t *testing.T) {
 	}
 
 	checkFixture(t, "health", get("/healthz"))
+	checkFixture(t, "discovery", get("/v1"))
+	checkFixture(t, "cluster_not_member", get("/v1/cluster"))
 	checkFixture(t, "submit_ok", post("/v1/ratings", `[{"rater":500,"object":1,"value":0.5,"time":40}]`))
 	checkFixture(t, "submit_bad_request", post("/v1/ratings", `[{"rater":1,"object":1,"value":7,"time":0}]`))
 	checkFixture(t, "process_ok", post("/v1/process", `{"start":0,"end":41}`))
@@ -218,6 +225,84 @@ func TestWireContract(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkFixture(t, "restore_bad_request", restoreRes)
+
+	// request_id attribution: any envelope for a request carrying
+	// X-Request-Id echoes it back.
+	ridReq, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/ratings",
+		strings.NewReader(`[{"rater":1,"object":1,"value":7,"time":0}]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ridReq.Header.Set("Content-Type", "application/json")
+	ridReq.Header.Set(api.RequestIDHeader, "contract-rid-0001")
+	ridRes, err := ts.Client().Do(ridReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFixture(t, "submit_bad_request_request_id", ridRes)
+}
+
+// contractClusterView is a deterministic ClusterView for the cluster
+// contract fixtures: a fixed two-node table that owns nothing locally,
+// so ownership checks produce the wrong_node envelope.
+type contractClusterView struct{}
+
+func (contractClusterView) Epoch() uint64                   { return 7 }
+func (contractClusterView) OwnsObject(rating.ObjectID) bool { return false }
+func (contractClusterView) OwnerURL(rating.ObjectID) string { return "http://node2.example:8080" }
+func (contractClusterView) Doc() api.ClusterResponse {
+	return api.ClusterResponse{Epoch: 7, Nodes: []api.ClusterNode{
+		{URL: "http://node1.example:8080", Lo: 0, Hi: 1 << 31, Status: "ok", WindowEnd: 30, Self: true},
+		{URL: "http://node2.example:8080", Lo: 1 << 31, Hi: 1 << 32, Status: "ok", WindowEnd: 30},
+	}}
+}
+
+// TestWireContractCluster pins the partitioned-serving surface: the
+// membership document, the typed wrong_node refusal carrying the
+// owner's URL, and the stale_epoch conflict for pinned requests.
+func TestWireContractCluster(t *testing.T) {
+	srv, err := New(core.Config{Detector: detector.Config{Threshold: 0.05}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetCluster(contractClusterView{})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	res, err := ts.Client().Get(ts.URL + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFixture(t, "cluster_doc", res)
+
+	res, err = ts.Client().Post(ts.URL+"/v1/ratings", "application/json",
+		strings.NewReader(`[{"rater":1,"object":1,"value":0.5,"time":1}]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFixture(t, "cluster_wrong_node", res)
+
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/stats", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(api.ClusterEpochHeader, "6")
+	res, err = ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFixture(t, "cluster_stale_epoch", res)
+
+	req, err = http.NewRequest(http.MethodGet, ts.URL+"/v1/stats", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(api.ClusterEpochHeader, "not-an-epoch")
+	res, err = ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFixture(t, "cluster_bad_epoch", res)
 }
 
 // TestWireContractErrorPaths covers the envelopes that need induced
@@ -551,6 +636,7 @@ func TestContractFixturesCoverCatalogue(t *testing.T) {
 		api.CodePayloadTooLarge, api.CodeOverloaded, api.CodeTimeout,
 		api.CodeUnavailable, api.CodeInternal,
 		api.CodeReplicaStale, api.CodeNotPrimary,
+		api.CodeWrongNode, api.CodeStaleEpoch,
 	} {
 		if !covered[code] {
 			t.Errorf("error code %q has no contract fixture", code)

@@ -121,12 +121,12 @@ func (s *Server) idempotent(h http.HandlerFunc) http.HandlerFunc {
 			select {
 			case <-e.done:
 			case <-r.Context().Done():
-				writeError(w, http.StatusServiceUnavailable,
+				writeError(w, r, http.StatusServiceUnavailable,
 					fmt.Errorf("duplicate of in-flight request %s: %w", id, r.Context().Err()))
 				return
 			}
 			if e.status == 0 { // leader aborted
-				writeError(w, http.StatusServiceUnavailable,
+				writeError(w, r, http.StatusServiceUnavailable,
 					fmt.Errorf("original request %s aborted; retry", id))
 				return
 			}

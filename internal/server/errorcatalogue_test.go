@@ -1,0 +1,64 @@
+package server_test
+
+// The error catalogue is closed: every envelope a handler emits is
+// constructed through api.NewError (which panics on codes outside the
+// catalogue), never via raw http.Error or an ad-hoc &api.Error{...}
+// literal. This test greps the handler-bearing packages so a new
+// endpoint cannot quietly invent an out-of-catalogue error shape.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// handlerPackages are the directories (relative to the repo root) that
+// write HTTP error responses.
+var handlerPackages = []string{
+	"internal/server",
+	"internal/repl",
+	"internal/cluster",
+	"cmd/ratingd",
+}
+
+// forbidden are constructions that bypass the catalogue. http.Error
+// writes text/plain with no envelope; an &api.Error literal skips
+// NewError's closed-code check.
+var forbidden = []string{
+	"http.Error(",
+	"&api.Error{",
+}
+
+func TestHandlersConstructErrorsViaCatalogue(t *testing.T) {
+	root := "../.."
+	for _, pkg := range handlerPackages {
+		entries, err := os.ReadDir(filepath.Join(root, pkg))
+		if err != nil {
+			t.Fatalf("%s: %v", pkg, err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			path := filepath.Join(root, pkg, name)
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, line := range strings.Split(string(src), "\n") {
+				trimmed := strings.TrimSpace(line)
+				if strings.HasPrefix(trimmed, "//") {
+					continue
+				}
+				for _, f := range forbidden {
+					if strings.Contains(line, f) {
+						t.Errorf("%s/%s:%d: %s bypasses the error catalogue; construct envelopes with api.NewError",
+							pkg, name, i+1, f)
+					}
+				}
+			}
+		}
+	}
+}

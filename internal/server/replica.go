@@ -98,32 +98,28 @@ func (s *Server) replicaGate(next http.Handler) http.Handler {
 		// has no streaming engine — so the read is misdirected, not
 		// merely stale.
 		if r.Method != http.MethodGet || r.URL.Path == alertsPath {
-			writeJSON(w, http.StatusMisdirectedRequest, &api.Error{
-				Code:    api.CodeNotPrimary,
-				Message: "this node is a read replica; send writes to the primary",
-				Primary: rep.Primary,
-			})
+			writeEnvelope(w, r, http.StatusMisdirectedRequest,
+				api.NewError(api.CodeNotPrimary,
+					"this node is a read replica; send writes to the primary").
+					WithPrimary(rep.Primary))
 			return
 		}
 		w.Header().Set(ReplicaLagHeader,
 			fmt.Sprintf("records=%d seconds=%.3f", rep.LagRecords, rep.LagSeconds))
 		if !rep.Ready {
-			writeJSON(w, http.StatusServiceUnavailable, &api.Error{
-				Code:       api.CodeReplicaStale,
-				Message:    "replica is bootstrapping and not yet serving reads",
-				RetryAfter: 1,
-			})
+			writeEnvelope(w, r, http.StatusServiceUnavailable,
+				api.NewError(api.CodeReplicaStale,
+					"replica is bootstrapping and not yet serving reads").
+					WithRetryAfter(1))
 			return
 		}
 		if (rep.MaxLagRecords > 0 && rep.LagRecords > rep.MaxLagRecords) ||
 			(rep.MaxLagSeconds > 0 && rep.LagSeconds > rep.MaxLagSeconds) {
-			writeJSON(w, http.StatusServiceUnavailable, &api.Error{
-				Code: api.CodeReplicaStale,
-				Message: fmt.Sprintf(
+			writeEnvelope(w, r, http.StatusServiceUnavailable,
+				api.NewError(api.CodeReplicaStale,
 					"replica lag %d records / %.3fs exceeds bound %d records / %gs",
-					rep.LagRecords, rep.LagSeconds, rep.MaxLagRecords, rep.MaxLagSeconds),
-				RetryAfter: 1,
-			})
+					rep.LagRecords, rep.LagSeconds, rep.MaxLagRecords, rep.MaxLagSeconds).
+					WithRetryAfter(1))
 			return
 		}
 		next.ServeHTTP(w, r)

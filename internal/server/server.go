@@ -35,6 +35,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/rating"
+	"repro/internal/shard"
 	"repro/internal/telemetry"
 	"repro/internal/trust"
 )
@@ -107,6 +108,12 @@ type AsyncSubmitter interface {
 	SubmitAsync(rs []rating.Rating) (wait func() error, err error)
 }
 
+// ErrUnavailable marks a backend failure that should surface as a
+// typed 503 rather than a 500: a cluster router wraps member
+// transport errors with it so the handlers shed the unreachable range
+// instead of reporting an internal fault.
+var ErrUnavailable = errors.New("backend unavailable")
+
 // streamPath is the bulk-ingest route; exempt from the whole-body
 // size cap and the whole-request timeout (streams are bounded per
 // line and per read instead — see stream.go).
@@ -118,13 +125,15 @@ type Server struct {
 	mux     *http.ServeMux
 	handler http.Handler
 
-	// journal, replica and alerts can be swapped at runtime (promotion
-	// flips a follower into a primary on a live server); jmu guards
-	// all three.
-	jmu     sync.RWMutex
-	journal Journal
-	replica func() ReplicaInfo
-	alerts  AlertSource
+	// journal, replica, alerts, cluster and features can be swapped at
+	// runtime (promotion flips a follower into a primary on a live
+	// server); jmu guards all five.
+	jmu      sync.RWMutex
+	journal  Journal
+	replica  func() ReplicaInfo
+	alerts   AlertSource
+	cluster  ClusterView
+	features api.DiscoveryFeatures
 
 	dedupe     *dedupeCache
 	cache      *readCache
@@ -233,6 +242,7 @@ func NewWith(backend Backend, opts ...Option) (*Server, error) {
 		cache:       newReadCache(defaultReadCacheObjects),
 		maxBody:     8 << 20,
 		streamBatch: 512,
+		features:    api.DiscoveryFeatures{StreamIngest: true},
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -268,10 +278,11 @@ func NewWith(backend Backend, opts ...Option) (*Server, error) {
 		}
 		inner.ServeHTTP(w, r)
 	})
-	// The replica gate sits outside the body/timeout stack (it answers
-	// from sampled lag without reading the body) but inside panic
-	// containment.
-	s.handler = recoverPanics(s.replicaGate(h))
+	// The replica and cluster gates sit outside the body/timeout stack
+	// (they answer from sampled state without reading the body) but
+	// inside panic containment; the version stamp is outermost so even
+	// a timeout 503 or panic 500 carries X-Api-Version.
+	s.handler = recoverPanics(stampVersion(s.replicaGate(s.clusterGate(h))))
 	return s, nil
 }
 
@@ -288,7 +299,7 @@ func recoverPanics(next http.Handler) http.Handler {
 				if v == http.ErrAbortHandler { //nolint:errorlint // sentinel by identity
 					panic(v)
 				}
-				writeErrorCode(w, http.StatusInternalServerError, api.CodeInternal,
+				writeErrorCode(w, r, http.StatusInternalServerError, api.CodeInternal,
 					fmt.Errorf("internal panic: %v", v))
 			}
 		}()
@@ -326,6 +337,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET "+alertsPath, s.observe(alertsPath, s.handleAlerts))
 	s.mux.HandleFunc("GET /v1/snapshot", s.observe("/v1/snapshot", s.handleSnapshotGet))
 	s.mux.HandleFunc("PUT /v1/snapshot", s.observe("/v1/snapshot", s.admit(s.handleSnapshotPut)))
+	s.mux.HandleFunc("GET /v1", s.observe("/v1", s.handleDiscovery))
+	s.mux.HandleFunc("GET /v1/cluster", s.observe("/v1/cluster", s.handleCluster))
 	s.mux.HandleFunc("GET /healthz", s.observe("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, api.HealthResponse{Status: "ok"})
 	}))
@@ -338,7 +351,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&batch); err != nil {
-		writeError(w, bodyErrStatus(err), fmt.Errorf("decode ratings: %w", err))
+		writeError(w, r, bodyErrStatus(err), fmt.Errorf("decode ratings: %w", err))
 		return
 	}
 	// Validate up front so acceptance is all-or-nothing: nothing is
@@ -347,7 +360,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	for i, p := range batch {
 		rs[i] = p.Rating()
 		if err := rs[i].Validate(); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("rating %d: %w", i, err))
+			writeError(w, r, http.StatusBadRequest, fmt.Errorf("rating %d: %w", i, err))
+			return
+		}
+	}
+	// Ownership is all-or-nothing like validation: a batch touching an
+	// unowned object is refused whole with the owner's URL, before
+	// anything is journaled.
+	for _, rt := range rs {
+		if !s.checkOwnership(w, r, rt.Object) {
 			return
 		}
 	}
@@ -356,11 +377,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			// Durability is unavailable; refuse the write so the
 			// client retries rather than accepting state a crash
 			// would silently lose.
-			writeError(w, http.StatusServiceUnavailable, fmt.Errorf("journal: %w", err))
+			writeError(w, r, http.StatusServiceUnavailable, fmt.Errorf("journal: %w", err))
 			return
 		}
 	} else if err := s.sys.SubmitAll(rs); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	s.cache.invalidateRatings(rs)
@@ -372,13 +393,22 @@ func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, bodyErrStatus(err), fmt.Errorf("decode process request: %w", err))
+		writeError(w, r, bodyErrStatus(err), fmt.Errorf("decode process request: %w", err))
 		return
 	}
 	if req.End <= req.Start {
 		// Reject before journaling so the WAL only sees windows that
 		// will replay successfully.
-		writeError(w, http.StatusBadRequest, fmt.Errorf("process window [%g,%g)", req.Start, req.End))
+		writeError(w, r, http.StatusBadRequest, fmt.Errorf("process window [%g,%g)", req.Start, req.End))
+		return
+	}
+	if s.getCluster() != nil {
+		// A member scanning only its owned range must never charge its
+		// replicated trust state locally — the fold needs every node's
+		// evidence. Windows run through the router's scan/apply
+		// orchestration.
+		writeEnvelope(w, r, http.StatusConflict, api.NewError(api.CodeConflict,
+			"this node is a cluster member; maintenance windows run through the cluster router"))
 		return
 	}
 	var rep core.ProcessReport
@@ -386,11 +416,11 @@ func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) {
 	if journal := s.getJournal(); journal != nil {
 		rep, err = journal.ProcessWindow(req.Start, req.End)
 		if err != nil {
-			writeError(w, http.StatusServiceUnavailable, fmt.Errorf("journal: %w", err))
+			writeError(w, r, http.StatusServiceUnavailable, fmt.Errorf("journal: %w", err))
 			return
 		}
 	} else if rep, err = s.sys.ProcessWindow(req.Start, req.End); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	// A window rewrites trust, which feeds every aggregate and the
@@ -410,10 +440,13 @@ func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("object id: %w", err))
+		writeError(w, r, http.StatusBadRequest, fmt.Errorf("object id: %w", err))
 		return
 	}
 	obj := rating.ObjectID(id)
+	if !s.checkOwnership(w, r, obj) {
+		return
+	}
 	agg, ok := s.cache.aggregate(obj, s.metrics)
 	if !ok {
 		gen := s.cache.snapshotGen(obj)
@@ -425,8 +458,10 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 				status = http.StatusNotFound
 			case errors.Is(err, trust.ErrNoTrustedRaters), errors.Is(err, trust.ErrNoRatings):
 				status = http.StatusConflict
+			case errors.Is(err, ErrUnavailable):
+				status = http.StatusServiceUnavailable
 			}
-			writeError(w, status, err)
+			writeError(w, r, status, err)
 			return
 		}
 		s.cache.storeAggregate(obj, agg, gen)
@@ -443,7 +478,7 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleTrust(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("rater id: %w", err))
+		writeError(w, r, http.StatusBadRequest, fmt.Errorf("rater id: %w", err))
 		return
 	}
 	writeJSON(w, http.StatusOK, api.TrustResponse{
@@ -460,13 +495,35 @@ func (s *Server) handleMalicious(w http.ResponseWriter, r *http.Request) {
 	var err error
 	if limitS != "" {
 		if limit, err = strconv.Atoi(limitS); err != nil || limit < 0 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("limit %q: must be a non-negative integer", limitS))
+			writeError(w, r, http.StatusBadRequest, fmt.Errorf("limit %q: must be a non-negative integer", limitS))
 			return
 		}
 	}
 	if offsetS != "" {
 		if offset, err = strconv.Atoi(offsetS); err != nil || offset < 0 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("offset %q: must be a non-negative integer", offsetS))
+			writeError(w, r, http.StatusBadRequest, fmt.Errorf("offset %q: must be a non-negative integer", offsetS))
+			return
+		}
+	}
+
+	// point_lo/point_hi restrict the answer to raters whose keyspace
+	// point falls in [lo, hi) — the scatter-gather partition a cluster
+	// router uses so members answer disjoint slices of the replicated
+	// rater set. Absent both, the full list is returned.
+	loS, hiS := q.Get("point_lo"), q.Get("point_hi")
+	pointFiltered := loS != "" || hiS != ""
+	var pointLo, pointHi uint64
+	if pointFiltered {
+		if loS == "" || hiS == "" {
+			writeError(w, r, http.StatusBadRequest, fmt.Errorf("point_lo and point_hi must be given together"))
+			return
+		}
+		if pointLo, err = strconv.ParseUint(loS, 10, 32); err != nil {
+			writeError(w, r, http.StatusBadRequest, fmt.Errorf("point_lo %q: must be a uint32", loS))
+			return
+		}
+		if pointHi, err = strconv.ParseUint(hiS, 10, 64); err != nil || pointHi > 1<<32 {
+			writeError(w, r, http.StatusBadRequest, fmt.Errorf("point_hi %q: must be an integer in [0,2^32]", hiS))
 			return
 		}
 	}
@@ -476,6 +533,15 @@ func (s *Server) handleMalicious(w http.ResponseWriter, r *http.Request) {
 		gen := s.cache.snapshotGlobalGen()
 		ids = s.sys.MaliciousRaters()
 		s.cache.storeMalicious(ids, gen)
+	}
+	if pointFiltered {
+		kept := make([]rating.RaterID, 0, len(ids))
+		for _, id := range ids {
+			if p := uint64(shard.RaterPoint(id)); p >= pointLo && p < pointHi {
+				kept = append(kept, id)
+			}
+		}
+		ids = kept
 	}
 	total := len(ids)
 	// The IDs are sorted ascending (trust.Manager.Malicious), so a
@@ -500,6 +566,12 @@ func (s *Server) handleMalicious(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
+
+// ParseBounds parses the stats endpoint's bounds parameter — a
+// comma-separated, strictly increasing list of trust upper bounds in
+// (0, 1] — for callers that replicate the stats surface (the cluster
+// router's merged handler).
+func ParseBounds(s string) ([]float64, error) { return parseBounds(s) }
 
 // parseBounds parses the stats endpoint's bounds parameter: a
 // comma-separated, strictly increasing list of trust upper bounds in
@@ -531,7 +603,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if boundsS := r.URL.Query().Get("bounds"); boundsS != "" {
 		bounds, err := parseBounds(boundsS)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, r, http.StatusBadRequest, err)
 			return
 		}
 		resp.Distribution = &api.TrustDistribution{
@@ -557,7 +629,7 @@ func (s *Server) handleSnapshotPut(w http.ResponseWriter, r *http.Request) {
 		restore = journal.Restore
 	}
 	if err := restore(r.Body); err != nil {
-		writeError(w, bodyErrStatus(err), err)
+		writeError(w, r, bodyErrStatus(err), err)
 		return
 	}
 	// The restored state shares nothing with the cached one.
@@ -572,13 +644,26 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // writeError emits the envelope with the status's default code.
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeErrorCode(w, status, api.CodeForStatus(status), err)
+func writeError(w http.ResponseWriter, r *http.Request, status int, err error) {
+	writeErrorCode(w, r, status, api.CodeForStatus(status), err)
 }
 
 // writeErrorCode emits the api.Error envelope for this failure.
-func writeErrorCode(w http.ResponseWriter, status int, code string, err error) {
-	writeJSON(w, status, &api.Error{Code: code, Message: err.Error()})
+func writeErrorCode(w http.ResponseWriter, r *http.Request, status int, code string, err error) {
+	writeEnvelope(w, r, status, api.NewError(code, "%s", err.Error()))
+}
+
+// writeEnvelope stamps the request's attribution ID onto the envelope
+// and emits it. Every error path funnels through here, so request_id
+// echoes uniformly on all envelopes (r may be nil on paths with no
+// request in hand).
+func writeEnvelope(w http.ResponseWriter, r *http.Request, status int, e *api.Error) {
+	if r != nil {
+		if rid := r.Header.Get(api.RequestIDHeader); rid != "" {
+			e.RequestID = rid
+		}
+	}
+	writeJSON(w, status, e)
 }
 
 // bodyErrStatus distinguishes an over-limit body (413) from ordinary

@@ -209,7 +209,7 @@ func (s *Server) handleSubmitStream(w http.ResponseWriter, r *http.Request) {
 		s.cache.invalidateObjectList(p.objs)
 		if err != nil {
 			if terminal == nil {
-				terminal = &api.Error{Code: api.CodeUnavailable, Message: fmt.Sprintf("journal: %v", err)}
+				terminal = api.NewError(api.CodeUnavailable, "journal: %v", err)
 			}
 			return
 		}
@@ -243,11 +243,9 @@ func (s *Server) handleSubmitStream(w http.ResponseWriter, r *http.Request) {
 			result, waited := adm.acquire(r)
 			s.metrics.admission(string(result), waited)
 			if result != admitted {
-				terminal = &api.Error{
-					Code:       api.CodeOverloaded,
-					Message:    fmt.Sprintf("overloaded: stream batch shed (%s)", result),
-					RetryAfter: adm.cfg.RetryAfter.Seconds(),
-				}
+				terminal = api.NewError(api.CodeOverloaded,
+					"overloaded: stream batch shed (%s)", result).
+					WithRetryAfter(adm.cfg.RetryAfter.Seconds())
 				return
 			}
 			release = adm.release
@@ -259,7 +257,7 @@ func (s *Server) handleSubmitStream(w http.ResponseWriter, r *http.Request) {
 				if release != nil {
 					release()
 				}
-				terminal = &api.Error{Code: api.CodeUnavailable, Message: fmt.Sprintf("journal: %v", err)}
+				terminal = api.NewError(api.CodeUnavailable, "journal: %v", err)
 				return
 			}
 			pending = append(pending, pendingBatch{
@@ -284,7 +282,7 @@ func (s *Server) handleSubmitStream(w http.ResponseWriter, r *http.Request) {
 		// still have applied on some shards.
 		s.cache.invalidateObjectList(st.objs)
 		if err != nil {
-			terminal = &api.Error{Code: api.CodeUnavailable, Message: fmt.Sprintf("journal: %v", err)}
+			terminal = api.NewError(api.CodeUnavailable, "journal: %v", err)
 			return
 		}
 		accepted += len(st.batch)
@@ -292,11 +290,13 @@ func (s *Server) handleSubmitStream(w http.ResponseWriter, r *http.Request) {
 	}
 
 	enc := json.NewEncoder(w)
-	rejectLine := func(n int, msg string) {
+	rejectLineCode := func(n int, code, msg string) {
 		rejected++
 		s.metrics.streamReject()
-		_ = enc.Encode(api.StreamLineError{Line: n, Code: api.CodeBadRequest, Message: msg})
+		_ = enc.Encode(api.StreamLineError{Line: n, Code: code, Message: msg})
 	}
+	rejectLine := func(n int, msg string) { rejectLineCode(n, api.CodeBadRequest, msg) }
+	cview := s.getCluster()
 
 	for terminal == nil {
 		line, err := lr.next()
@@ -308,7 +308,7 @@ func (s *Server) handleSubmitStream(w http.ResponseWriter, r *http.Request) {
 			if !errors.Is(err, errLineTooLong) {
 				code = api.CodeUnavailable // transport failure mid-stream
 			}
-			terminal = &api.Error{Code: code, Message: fmt.Sprintf("read stream: %v", err)}
+			terminal = api.NewError(code, "read stream: %v", err)
 			break
 		}
 		// Every physical line counts, blank or not: Lines maps 1:1 to
@@ -336,6 +336,13 @@ func (s *Server) handleSubmitStream(w http.ResponseWriter, r *http.Request) {
 		rt := p.Rating()
 		if err := rt.Validate(); err != nil {
 			rejectLine(lines, err.Error())
+			continue
+		}
+		if cview != nil && !cview.OwnsObject(rt.Object) {
+			// A stream is per-line, so a misrouted object rejects that
+			// line (naming the owner) instead of cutting the stream.
+			rejectLineCode(lines, api.CodeWrongNode,
+				fmt.Sprintf("object %d is owned by %s", rt.Object, cview.OwnerURL(rt.Object)))
 			continue
 		}
 		st.batch = append(st.batch, rt)

@@ -53,3 +53,30 @@ func ShardFor(obj rating.ObjectID, n int) int {
 	}
 	return Index(key[:], n)
 }
+
+// KeyPoint maps an object to its point on the cluster keyspace ring:
+// the low 32 bits of the same FNV-1a hash ShardFor uses. Cluster
+// membership assigns each node a contiguous [lo, hi) range of this
+// 2^32 space, so ownership — like shard placement — never moves
+// across runs, builds or platforms.
+func KeyPoint(obj rating.ObjectID) uint32 {
+	v := uint64(int64(obj))
+	var key [8]byte
+	for i := 0; i < 8; i++ {
+		key[i] = byte(v >> (8 * i))
+	}
+	return uint32(Hash64(key[:]))
+}
+
+// RaterPoint maps a rater to the same 2^32 ring. Trust state is
+// replicated to every cluster node, but scatter-gather reads over the
+// rater set (e.g. a merged /v1/malicious) still partition the work by
+// rater point so each member answers a disjoint slice.
+func RaterPoint(r rating.RaterID) uint32 {
+	v := uint64(int64(r))
+	var key [8]byte
+	for i := 0; i < 8; i++ {
+		key[i] = byte(v >> (8 * i))
+	}
+	return uint32(Hash64(key[:]))
+}
